@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the static and trace analyses: MCA
+//! port-pressure analysis, static feature extraction, energy folding and
+//! textual-trace replay through the listener stack.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kernel_ir::{lower, DType};
+use pulp_energy::static_feature_vector;
+use pulp_energy_model::{energy_of, stats_from_trace, EnergyModel};
+use pulp_kernels::{registry, KernelParams};
+use pulp_mca::analyze_kernel;
+use pulp_sim::{simulate, simulate_traced, ClusterConfig, TextSink};
+
+fn gemm() -> kernel_ir::Kernel {
+    registry()
+        .into_iter()
+        .find(|d| d.name == "gemm")
+        .expect("kernel")
+        .build(&KernelParams::new(DType::F32, 8196))
+        .expect("build")
+}
+
+fn bench_mca(c: &mut Criterion) {
+    let kernel = gemm();
+    c.bench_function("mca/analyze_gemm", |b| b.iter(|| analyze_kernel(&kernel)));
+}
+
+fn bench_static_features(c: &mut Criterion) {
+    let kernel = gemm();
+    c.bench_function("features/static_vector", |b| b.iter(|| static_feature_vector(&kernel)));
+}
+
+fn bench_energy_fold(c: &mut Criterion) {
+    let cfg = ClusterConfig::default();
+    let model = EnergyModel::table1();
+    let lowered = lower(&gemm(), 8, &cfg).expect("lower");
+    let stats = simulate(&cfg, &lowered.program).expect("simulate");
+    c.bench_function("energy/fold_stats", |b| b.iter(|| energy_of(&stats, &model, &cfg)));
+}
+
+fn bench_trace_replay(c: &mut Criterion) {
+    let cfg = ClusterConfig::default();
+    let kernel = registry()
+        .into_iter()
+        .find(|d| d.name == "vec_scale")
+        .expect("kernel")
+        .build(&KernelParams::new(DType::I32, 2048))
+        .expect("build");
+    let lowered = lower(&kernel, 4, &cfg).expect("lower");
+    let mut sink = TextSink::new();
+    simulate_traced(&cfg, &lowered.program, 10_000_000, &mut sink).expect("simulate");
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Bytes(sink.text.len() as u64));
+    group.bench_function("replay_listeners", |b| {
+        b.iter(|| stats_from_trace(&sink.text, &cfg, 4).expect("replay"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mca, bench_static_features, bench_energy_fold, bench_trace_replay);
+criterion_main!(benches);

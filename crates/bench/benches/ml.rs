@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the learning stack: decision-tree
+//! training at dataset scale (448 x 20 / 448 x 80), prediction, and one
+//! full stratified-CV repetition — the unit of work Figure 2 repeats 100
+//! times per curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pulp_ml::{cross_val_predict, Dataset, DecisionTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic dataset with paper-like shape and partly-learnable labels.
+fn synthetic(n: usize, d: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut features = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let label = ((row[0] + row[1 % d]) as usize + rng.gen_range(0..2)) % 8;
+        features.push(row);
+        labels.push(label);
+    }
+    let names = (0..d).map(|i| format!("f{i}")).collect();
+    Dataset::new(features, labels, names, 8).expect("dataset")
+}
+
+fn bench_tree_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_fit");
+    for d in [20usize, 80] {
+        let data = synthetic(448, d);
+        group.bench_with_input(BenchmarkId::new("448xD", d), &data, |b, data| {
+            b.iter(|| {
+                let mut tree = DecisionTree::new(TreeParams::default());
+                tree.fit(data);
+                tree.node_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_predict(c: &mut Criterion) {
+    let data = synthetic(448, 20);
+    let mut tree = DecisionTree::new(TreeParams::default());
+    tree.fit(&data);
+    c.bench_function("tree_predict/448", |b| {
+        b.iter(|| (0..data.len()).map(|i| tree.predict(data.row(i))).sum::<usize>())
+    });
+}
+
+fn bench_cv_repetition(c: &mut Criterion) {
+    let data = synthetic(448, 20);
+    c.bench_function("cv/10-fold-repetition", |b| {
+        b.iter(|| cross_val_predict(&data, 10, 0, || DecisionTree::new(TreeParams::default())))
+    });
+}
+
+criterion_group!(benches, bench_tree_fit, bench_tree_predict, bench_cv_repetition);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the cycle-level simulator: throughput in
+//! simulated micro-ops per second for representative kernels and team
+//! sizes. These numbers bound how long the full 448-sample labelling
+//! sweep takes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kernel_ir::{lower, DType};
+use pulp_kernels::{registry, KernelParams};
+use pulp_sim::{simulate, ClusterConfig};
+
+fn bench_kernels(c: &mut Criterion) {
+    let cfg = ClusterConfig::default();
+    let mut group = c.benchmark_group("simulate");
+    for name in ["gemm", "fir", "bank_hammer"] {
+        let def = registry().into_iter().find(|d| d.name == name).expect("kernel");
+        let kernel = def.build(&KernelParams::new(DType::I32, 2048)).expect("build");
+        for team in [1usize, 8] {
+            let lowered = lower(&kernel, team, &cfg).expect("lower");
+            let ops = lowered.program.dynamic_op_count();
+            group.throughput(Throughput::Elements(ops));
+            group.bench_with_input(
+                BenchmarkId::new(name, team),
+                &lowered.program,
+                |b, program| b.iter(|| simulate(&cfg, program).expect("simulate")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let cfg = ClusterConfig::default();
+    let def = registry().into_iter().find(|d| d.name == "gemm").expect("kernel");
+    let kernel = def.build(&KernelParams::new(DType::F32, 32768)).expect("build");
+    c.bench_function("lower/gemm-32k-8c", |b| {
+        b.iter(|| lower(&kernel, 8, &cfg).expect("lower"))
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_lowering);
+criterion_main!(benches);

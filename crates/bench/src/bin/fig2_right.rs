@@ -1,0 +1,54 @@
+//! E4 — Figure 2 (right): classification accuracy vs energy tolerance
+//! across static feature families (RAW, AGG, MCA, RAW+AGG, ALL) plus the
+//! importance-pruned "optimised" set.
+//!
+//! Expected shape (paper): the families are roughly coherent at 0%
+//! tolerance (~57%), approach 80% at 5%, and pruning to the most important
+//! features improves the 0%-tolerance accuracy.
+
+use pulp_bench::{load_or_build_dataset, CommonArgs};
+use pulp_energy::{
+    default_tolerances, report::render_curves, tolerance_curve, top_feature_columns,
+    StaticFeatureSet, ToleranceCurve,
+};
+
+/// Features kept by the pruning step (the paper's "optimised" classifier).
+const OPTIMIZED_FEATURES: usize = 6;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let data = load_or_build_dataset(&args.pipeline_options(), args.quick);
+    let protocol = args.protocol();
+    let tolerances = default_tolerances();
+    let energies = data.energies();
+
+    let mut curves: Vec<ToleranceCurve> = Vec::new();
+    for set in StaticFeatureSet::ALL_SETS {
+        let ds = data.static_dataset(set).expect("static dataset");
+        eprintln!("[fig2-right] evaluating {} ({} features)", set.name(), ds.n_features());
+        curves.push(tolerance_curve(set.name(), &ds, &energies, &tolerances, &protocol));
+    }
+
+    // Optimised: rank the full static vector, keep the top features.
+    let all = data.static_dataset(StaticFeatureSet::All).expect("static dataset");
+    let top = top_feature_columns(&all, OPTIMIZED_FEATURES, &protocol);
+    let kept: Vec<&str> = top.iter().map(|&c| all.feature_names()[c].as_str()).collect();
+    eprintln!("[fig2-right] optimised set keeps: {kept:?}");
+    let optimized = all.select_features(&top);
+    curves.push(tolerance_curve("optimised", &optimized, &energies, &tolerances, &protocol));
+
+    println!("E4 / Figure 2 (right) — static feature families\n");
+    print!("{}", render_curves(&curves));
+    println!("\noptimised set keeps: {kept:?}");
+
+    println!("\nshape checks:");
+    for c in &curves {
+        println!(
+            "  {:<10} @0% = {:>5.1}%   @5% = {:>5.1}%",
+            c.label,
+            c.at(0.0) * 100.0,
+            c.at(0.05) * 100.0
+        );
+    }
+    args.dump_json(&curves);
+}

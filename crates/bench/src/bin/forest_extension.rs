@@ -1,0 +1,72 @@
+//! E8 (extension) — decision tree vs random forest.
+//!
+//! The paper's future work proposes stronger models; its related work uses
+//! random forests for energy prediction. This experiment runs both on the
+//! same static features and protocol.
+
+use pulp_bench::{load_or_build_dataset, CommonArgs};
+use pulp_energy::{
+    default_tolerances,
+    evaluation::curve_from_predictions,
+    report::render_curves,
+    StaticFeatureSet,
+};
+use pulp_ml::{
+    cv::repeated_cross_val_predict, DecisionTree, ForestParams, KNearestNeighbors, KnnParams,
+    RandomForest,
+};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let data = load_or_build_dataset(&args.pipeline_options(), args.quick);
+    let protocol = args.protocol();
+    let tolerances = default_tolerances();
+    let energies = data.energies();
+    let all = data.static_dataset(StaticFeatureSet::All).expect("static");
+
+    // Forests are ~50x the training cost of a tree; scale repetitions down
+    // while keeping the fold structure.
+    let forest_repeats = (protocol.repeats / 10).max(2);
+
+    eprintln!("[forest] tree: {} reps; forest: {forest_repeats} reps", protocol.repeats);
+    let tree_preds = repeated_cross_val_predict(&all, protocol.folds, protocol.repeats, protocol.seed, || {
+        DecisionTree::new(protocol.tree)
+    });
+    let tree_curve = curve_from_predictions("tree", &tree_preds, &energies, &tolerances);
+
+    let mut seed_counter = protocol.seed;
+    let forest_preds =
+        repeated_cross_val_predict(&all, protocol.folds, forest_repeats, protocol.seed, || {
+            seed_counter += 1;
+            RandomForest::new(ForestParams {
+                n_trees: 50,
+                tree: protocol.tree,
+                max_features: None,
+                seed: seed_counter,
+            })
+        });
+    let forest_curve = curve_from_predictions("forest", &forest_preds, &energies, &tolerances);
+
+    let knn_preds = repeated_cross_val_predict(&all, protocol.folds, protocol.repeats, protocol.seed, || {
+        KNearestNeighbors::new(KnnParams::default())
+    });
+    let knn_curve = curve_from_predictions("knn(5)", &knn_preds, &energies, &tolerances);
+
+    let curves = vec![tree_curve, forest_curve, knn_curve];
+    println!("E8 — decision tree vs random forest (static ALL features)\n");
+    print!("{}", render_curves(&curves));
+    println!("\nshape checks:");
+    println!(
+        "  forest >= tree @0%: {} ({:.1}% vs {:.1}%)",
+        curves[1].at(0.0) >= curves[0].at(0.0) - 0.02,
+        curves[1].at(0.0) * 100.0,
+        curves[0].at(0.0) * 100.0
+    );
+    println!(
+        "  forest >= tree @5%: {} ({:.1}% vs {:.1}%)",
+        curves[1].at(0.05) >= curves[0].at(0.05) - 0.02,
+        curves[1].at(0.05) * 100.0,
+        curves[0].at(0.05) * 100.0
+    );
+    args.dump_json(&curves);
+}

@@ -1,0 +1,93 @@
+//! E6 — headline numbers of the paper, regenerated on our platform:
+//!
+//! * static features reach ~57% accuracy at 0% tolerance and approach 80%
+//!   at 5% tolerance over eight classes;
+//! * pruning to the most important features ("optimised") improves the
+//!   0%-tolerance accuracy (paper: 61% / 79%);
+//! * static features exceed 85% accuracy within an 8% tolerance;
+//! * the static-vs-dynamic accuracy gap stays below ~10 points.
+
+use pulp_bench::{load_or_build_dataset, CommonArgs};
+use pulp_energy::{
+    default_tolerances, report::render_confusion, tolerance_curve, top_feature_columns,
+    StaticFeatureSet,
+};
+use pulp_ml::{confusion_matrix, cross_val_predict, DecisionTree};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Headline {
+    static_at_0: f64,
+    static_at_5: f64,
+    static_at_8: f64,
+    optimized_at_0: f64,
+    optimized_at_5: f64,
+    dynamic_at_0: f64,
+    dynamic_at_5: f64,
+    gap_at_5: f64,
+    always8_at_5: f64,
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let data = load_or_build_dataset(&args.pipeline_options(), args.quick);
+    let protocol = args.protocol();
+    let tolerances = default_tolerances();
+    let energies = data.energies();
+
+    let all = data.static_dataset(StaticFeatureSet::All).expect("static");
+    let static_curve = tolerance_curve("static", &all, &energies, &tolerances, &protocol);
+
+    let top = top_feature_columns(&all, 6, &protocol);
+    let optimized = all.select_features(&top);
+    let optimized_curve =
+        tolerance_curve("optimised", &optimized, &energies, &tolerances, &protocol);
+
+    let dynamic = data.dynamic_dataset().expect("dynamic");
+    let dynamic_curve = tolerance_curve("dynamic", &dynamic, &energies, &tolerances, &protocol);
+
+    let naive = pulp_energy::always_n_curve(8, &energies, &tolerances);
+
+    let h = Headline {
+        static_at_0: static_curve.at(0.0),
+        static_at_5: static_curve.at(0.05),
+        static_at_8: static_curve.at(0.08),
+        optimized_at_0: optimized_curve.at(0.0),
+        optimized_at_5: optimized_curve.at(0.05),
+        dynamic_at_0: dynamic_curve.at(0.0),
+        dynamic_at_5: dynamic_curve.at(0.05),
+        gap_at_5: dynamic_curve.at(0.05) - static_curve.at(0.05),
+        always8_at_5: naive.at(0.05),
+    };
+
+    println!("E6 — headline numbers (ours vs paper)\n");
+    println!("{:<34} {:>8} {:>10}", "metric", "ours", "paper");
+    let pct = |v: f64| format!("{:.1}%", v * 100.0);
+    println!("{:<34} {:>8} {:>10}", "static accuracy @0% tolerance", pct(h.static_at_0), "~57%");
+    println!("{:<34} {:>8} {:>10}", "static accuracy @5% tolerance", pct(h.static_at_5), "~80%");
+    println!("{:<34} {:>8} {:>10}", "static accuracy @8% tolerance", pct(h.static_at_8), ">85%");
+    println!("{:<34} {:>8} {:>10}", "optimised accuracy @0%", pct(h.optimized_at_0), "61%");
+    println!("{:<34} {:>8} {:>10}", "optimised accuracy @5%", pct(h.optimized_at_5), "79%");
+    println!("{:<34} {:>8} {:>10}", "dynamic accuracy @5%", pct(h.dynamic_at_5), "-");
+    println!("{:<34} {:>8} {:>10}", "static-dynamic gap @5%", pct(h.gap_at_5), "<10%");
+    println!("{:<34} {:>8} {:>10}", "always-8 accuracy @5%", pct(h.always8_at_5), "-");
+
+    // One CV pass for the confusion structure: most confusion should sit
+    // between adjacent core counts (near-ties), as on the real platform.
+    let preds = cross_val_predict(&all, protocol.folds, protocol.seed, || {
+        DecisionTree::new(protocol.tree)
+    });
+    let confusion = confusion_matrix(&preds, &all.labels(), pulp_energy::NUM_CLASSES);
+    println!("\nconfusion matrix (static features, one CV pass):");
+    print!("{}", render_confusion(&confusion));
+
+    println!("\nshape verdicts:");
+    let verdict = |ok: bool| if ok { "OK" } else { "DEVIATES" };
+    println!("  [{}] tolerance helps a lot (@5% - @0% > 10 pts)", verdict(h.static_at_5 - h.static_at_0 > 0.10));
+    println!("  [{}] static @5% is strong (>70%)", verdict(h.static_at_5 > 0.70));
+    println!("  [{}] static @8% exceeds 85%%-ish (>80%)", verdict(h.static_at_8 > 0.80));
+    println!("  [{}] dynamic beats static by a bounded margin (gap in [-2%, 15%])", verdict(h.gap_at_5 > -0.02 && h.gap_at_5 < 0.15));
+    println!("  [{}] tree beats always-8 @5%", verdict(h.static_at_5 > h.always8_at_5));
+
+    args.dump_json(&h);
+}

@@ -1,0 +1,286 @@
+//! `pulp_cli` — command-line front end to the whole stack.
+//!
+//! ```text
+//! pulp_cli list                                   # dataset kernels
+//! pulp_cli pretty   <kernel> [--dtype d] [--size n]   # pseudo-C source
+//! pulp_cli features <kernel> [--dtype d] [--size n]   # static features
+//! pulp_cli disasm   <kernel> [--team t] [...]         # lowered program
+//! pulp_cli measure  <kernel> [...]                    # energy at 1..=8 cores
+//! pulp_cli classify <kernel> [...]                    # train + predict
+//! pulp_cli mca      <kernel> [...]                    # LLVM-MCA-style report
+//! pulp_cli trace    <kernel> [--team t] [...]         # GVSOC-style trace
+//! ```
+//!
+//! Defaults: `--dtype f32` (or the kernel's only supported type),
+//! `--size 2048`, `--team 4`.
+
+use kernel_ir::{lower, DType, Kernel};
+use pulp_bench::QUICK_KERNELS;
+use pulp_energy::{
+    measure_kernel,
+    pipeline::{LabeledDataset, PipelineOptions},
+    static_feature_names, static_feature_vector, StaticFeatureSet,
+};
+use pulp_energy_model::EnergyModel;
+use pulp_kernels::{registry, KernelDef, KernelParams};
+use pulp_ml::{DecisionTree, TreeParams};
+use pulp_sim::{simulate_traced, ClusterConfig, TextSink};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    command: String,
+    kernel: Option<String>,
+    dtype: Option<DType>,
+    size: usize,
+    team: usize,
+}
+
+fn parse_args() -> Option<Args> {
+    parse_from(std::env::args().skip(1))
+}
+
+fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
+    let command = argv.next()?;
+    let mut args = Args { command, kernel: None, dtype: None, size: 2048, team: 4 };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--dtype" => {
+                args.dtype = match argv.next().as_deref() {
+                    Some("i32") => Some(DType::I32),
+                    Some("f32") => Some(DType::F32),
+                    other => {
+                        eprintln!("unknown dtype {other:?} (use i32 or f32)");
+                        return None;
+                    }
+                };
+            }
+            "--size" => args.size = argv.next()?.parse().ok()?,
+            "--team" => args.team = argv.next()?.parse().ok()?,
+            other if !other.starts_with("--") && args.kernel.is_none() => {
+                args.kernel = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                return None;
+            }
+        }
+    }
+    Some(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Option<Args> {
+        parse_from(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let a = parse(&["measure", "gemm", "--dtype", "i32", "--size", "512", "--team", "6"])
+            .expect("parse");
+        assert_eq!(a.command, "measure");
+        assert_eq!(a.kernel.as_deref(), Some("gemm"));
+        assert_eq!(a.dtype, Some(DType::I32));
+        assert_eq!(a.size, 512);
+        assert_eq!(a.team, 6);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["pretty", "fir"]).expect("parse");
+        assert_eq!(a.dtype, None);
+        assert_eq!(a.size, 2048);
+        assert_eq!(a.team, 4);
+    }
+
+    #[test]
+    fn rejects_bad_dtype_and_flags() {
+        assert!(parse(&["measure", "gemm", "--dtype", "f64"]).is_none());
+        assert!(parse(&["measure", "gemm", "--bogus"]).is_none());
+        assert!(parse(&[]).is_none());
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pulp_cli <list|pretty|features|disasm|measure|classify|mca|trace> \
+         [kernel] [--dtype i32|f32] [--size BYTES] [--team N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn find_kernel<'a>(defs: &'a [KernelDef], name: &str) -> Option<&'a KernelDef> {
+    let found = defs.iter().find(|d| d.name == name);
+    if found.is_none() {
+        eprintln!("unknown kernel `{name}`; run `pulp_cli list`");
+    }
+    found
+}
+
+fn instantiate(def: &KernelDef, args: &Args) -> Option<Kernel> {
+    let dtype = args.dtype.unwrap_or_else(|| {
+        if def.supports(DType::F32) {
+            DType::F32
+        } else {
+            DType::I32
+        }
+    });
+    if !def.supports(dtype) {
+        eprintln!("kernel {} does not support {dtype}", def.name);
+        return None;
+    }
+    match def.build(&KernelParams::new(dtype, args.size)) {
+        Ok(k) => Some(k),
+        Err(e) => {
+            eprintln!("cannot instantiate {}: {e}", def.name);
+            None
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    let defs = registry();
+    let config = ClusterConfig::default();
+
+    match args.command.as_str() {
+        "list" => {
+            println!("{:<24} {:<10} {}", "kernel", "suite", "dtypes");
+            for d in &defs {
+                let dtypes: Vec<String> = d.dtypes.iter().map(|t| t.to_string()).collect();
+                println!("{:<24} {:<10} {}", d.name, d.suite.to_string(), dtypes.join(","));
+            }
+            ExitCode::SUCCESS
+        }
+        "pretty" => {
+            let Some(name) = &args.kernel else { return usage() };
+            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
+            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
+            print!("{kernel}");
+            ExitCode::SUCCESS
+        }
+        "features" => {
+            let Some(name) = &args.kernel else { return usage() };
+            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
+            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
+            for (n, v) in static_feature_names().iter().zip(static_feature_vector(&kernel)) {
+                println!("{n:>10} = {v:.4}");
+            }
+            ExitCode::SUCCESS
+        }
+        "disasm" => {
+            let Some(name) = &args.kernel else { return usage() };
+            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
+            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
+            match lower(&kernel, args.team, &config) {
+                Ok(lowered) => {
+                    print!("{}", lowered.program.disassemble());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("lowering failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "measure" => {
+            let Some(name) = &args.kernel else { return usage() };
+            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
+            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
+            match measure_kernel(&kernel, &config, &EnergyModel::table1()) {
+                Ok(profile) => {
+                    println!("{:>6} {:>12} {:>10} {:>9}", "cores", "energy [uJ]", "cycles", "speedup");
+                    for c in 0..8 {
+                        let mark = if c == profile.label() { "  <== min energy" } else { "" };
+                        println!(
+                            "{:>6} {:>12.4} {:>10} {:>8.2}x{mark}",
+                            c + 1,
+                            profile.energy[c] * 1e-9,
+                            profile.cycles[c],
+                            profile.speedup(c)
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("measurement failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "classify" => {
+            let Some(name) = &args.kernel else { return usage() };
+            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
+            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
+            eprintln!("training on the quick kernel set...");
+            let data = match LabeledDataset::build(&PipelineOptions::quick(QUICK_KERNELS)) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("training-set build failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let ds = match data.static_dataset(StaticFeatureSet::All) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("dataset assembly failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut tree = DecisionTree::new(TreeParams::default());
+            tree.fit(&ds);
+            let predicted = tree.predict(&static_feature_vector(&kernel));
+            println!("predicted minimum-energy configuration: {} cores", predicted + 1);
+            if let Ok(profile) = measure_kernel(&kernel, &config, &EnergyModel::table1()) {
+                println!(
+                    "simulated ground truth: {} cores (waste of prediction: {:.2}%)",
+                    profile.label() + 1,
+                    profile.waste(predicted) * 100.0
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "mca" => {
+            let Some(name) = &args.kernel else { return usage() };
+            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
+            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
+            let block = pulp_mca::kernel_block(&kernel);
+            let features = pulp_mca::analyze_block(&block, pulp_mca::DEFAULT_ITERATIONS);
+            print!(
+                "{}",
+                pulp_mca::render_report(block.len(), pulp_mca::DEFAULT_ITERATIONS, &features)
+            );
+            ExitCode::SUCCESS
+        }
+        "trace" => {
+            let Some(name) = &args.kernel else { return usage() };
+            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
+            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
+            match lower(&kernel, args.team, &config) {
+                Ok(lowered) => {
+                    let mut sink = TextSink::new();
+                    match simulate_traced(&config, &lowered.program, 100_000_000, &mut sink) {
+                        Ok(_) => {
+                            print!("{}", sink.text);
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("simulation failed: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("lowering failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

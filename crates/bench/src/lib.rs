@@ -1,0 +1,171 @@
+//! # pulp-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5 and
+//! EXPERIMENTS.md), plus Criterion micro-benchmarks of the substrates.
+//!
+//! All experiment binaries accept:
+//!
+//! * `--quick` — reduced dataset (subset of kernels, 2 payload sizes) and
+//!   reduced CV protocol; for smoke-testing the harness.
+//! * `--json <path>` — dump the machine-readable record next to the text
+//!   report.
+//! * `--threads <n>` — simulation worker threads (default: all cores).
+//!
+//! The full dataset build (448 samples × 8 team sizes) is cached on disk
+//! (`target/pulp-dataset-*.json`) so consecutive experiments reuse it.
+
+use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};
+use pulp_energy::Protocol;
+use std::path::{Path, PathBuf};
+
+/// Parsed common command-line options.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Reduced dataset + protocol.
+    pub quick: bool,
+    /// Optional JSON dump path.
+    pub json: Option<PathBuf>,
+    /// Simulation threads (0 = all).
+    pub threads: usize,
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args`, ignoring unknown flags.
+    pub fn parse() -> Self {
+        let mut quick = false;
+        let mut json = None;
+        let mut threads = 0usize;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--json" => json = args.next().map(PathBuf::from),
+                "--threads" => {
+                    threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                }
+                _ => {}
+            }
+        }
+        Self { quick, json, threads }
+    }
+
+    /// The pipeline options implied by these arguments.
+    pub fn pipeline_options(&self) -> PipelineOptions {
+        let mut opts = if self.quick {
+            PipelineOptions::quick(QUICK_KERNELS)
+        } else {
+            PipelineOptions::default()
+        };
+        opts.threads = self.threads;
+        opts
+    }
+
+    /// The evaluation protocol implied by these arguments.
+    pub fn protocol(&self) -> Protocol {
+        if self.quick {
+            Protocol::quick()
+        } else {
+            Protocol::default()
+        }
+    }
+
+    /// Writes `record` as pretty JSON if `--json` was given.
+    pub fn dump_json<T: serde::Serialize>(&self, record: &T) {
+        if let Some(path) = &self.json {
+            match serde_json::to_string_pretty(record) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write(path, s) {
+                        eprintln!("warning: cannot write {}: {e}", path.display());
+                    }
+                }
+                Err(e) => eprintln!("warning: cannot serialise record: {e}"),
+            }
+        }
+    }
+}
+
+/// Kernel subset used by `--quick` runs: one representative per behaviour
+/// class.
+pub const QUICK_KERNELS: &[&str] = &[
+    "gemm",
+    "fir",
+    "vec_scale",
+    "fpu_storm",
+    "bank_hammer",
+    "reduction_critical",
+    "compute_dense",
+    "l2_stream",
+];
+
+/// Builds the dataset, reusing an on-disk cache when the options match.
+///
+/// # Panics
+///
+/// Panics when the dataset cannot be built — experiments cannot proceed
+/// without it.
+pub fn load_or_build_dataset(opts: &PipelineOptions, quick: bool) -> LabeledDataset {
+    let cache = cache_path(quick);
+    if let Ok(text) = std::fs::read_to_string(&cache) {
+        if let Ok(data) = serde_json::from_str::<LabeledDataset>(&text) {
+            eprintln!("[dataset] reusing cache {}", cache.display());
+            return data;
+        }
+    }
+    eprintln!(
+        "[dataset] building ({} kernels x sizes; this simulates every sample at 1..=8 cores)...",
+        opts.kernel_filter.as_ref().map_or(59, Vec::len)
+    );
+    let start = std::time::Instant::now();
+    let data = LabeledDataset::build(opts).expect("dataset build failed");
+    eprintln!("[dataset] {} samples in {:.1?}", data.len(), start.elapsed());
+    if let Ok(s) = serde_json::to_string(&data) {
+        if std::fs::write(&cache, s).is_ok() {
+            eprintln!("[dataset] cached at {}", cache.display());
+        }
+    }
+    data
+}
+
+fn cache_path(quick: bool) -> PathBuf {
+    let dir = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| find_target_dir());
+    dir.join(if quick { "pulp-dataset-quick.json" } else { "pulp-dataset-full.json" })
+}
+
+fn find_target_dir() -> PathBuf {
+    // Walk up from the executable towards a `target` directory; fall back
+    // to the current directory.
+    if let Ok(exe) = std::env::current_exe() {
+        let mut p: &Path = exe.as_path();
+        while let Some(parent) = p.parent() {
+            if parent.file_name().is_some_and(|n| n == "target") {
+                return parent.to_path_buf();
+            }
+            p = parent;
+        }
+    }
+    PathBuf::from(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_kernels_exist_in_registry() {
+        let names: Vec<&str> = pulp_kernels::registry().iter().map(|d| d.name).collect();
+        for k in QUICK_KERNELS {
+            assert!(names.contains(k), "unknown quick kernel {k}");
+        }
+    }
+
+    #[test]
+    fn pipeline_options_respect_quick() {
+        let args = CommonArgs { quick: true, json: None, threads: 2 };
+        let opts = args.pipeline_options();
+        assert_eq!(opts.threads, 2);
+        assert_eq!(opts.kernel_filter.as_ref().map(Vec::len), Some(QUICK_KERNELS.len()));
+        assert_eq!(args.protocol().repeats, pulp_energy::Protocol::quick().repeats);
+    }
+}

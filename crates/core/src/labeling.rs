@@ -1,0 +1,188 @@
+//! Simulation-based labelling — steps (B)–(E) of the paper's workflow.
+//!
+//! Each dataset sample is simulated with every team size from 1 to 8; the
+//! Table-I energy model assigns each run an energy; the arg-min team size
+//! becomes the sample's class label.
+
+use kernel_ir::{lower, Kernel, LowerError};
+use pulp_energy_model::{energy_of, DynamicFeatures, EnergyModel};
+use pulp_sim::{simulate, ClusterConfig, SimError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of classes (team sizes 1..=8 on the paper's cluster).
+pub const NUM_CLASSES: usize = 8;
+
+/// Errors produced while measuring a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureError {
+    /// Lowering failed.
+    Lower(LowerError),
+    /// Simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lower(e) => write!(f, "lowering failed: {e}"),
+            Self::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Lower(e) => Some(e),
+            Self::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<LowerError> for MeasureError {
+    fn from(e: LowerError) -> Self {
+        Self::Lower(e)
+    }
+}
+
+impl From<SimError> for MeasureError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+/// Energy measurements of one kernel across all team sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyProfile {
+    /// Total energy (fJ) per team size; index `t` = `t + 1` cores.
+    pub energy: [f64; NUM_CLASSES],
+    /// Kernel cycles per team size.
+    pub cycles: [u64; NUM_CLASSES],
+    /// Table-III dynamic features per team size.
+    pub dynamic: Vec<DynamicFeatures>,
+}
+
+impl EnergyProfile {
+    /// The minimum-energy class (0-based; class `c` means `c + 1` cores).
+    pub fn label(&self) -> usize {
+        self.energy
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite energies"))
+            .map(|(i, _)| i)
+            .expect("non-empty energies")
+    }
+
+    /// Fractional energy wasted by running with class `c` instead of the
+    /// optimum.
+    pub fn waste(&self, c: usize) -> f64 {
+        let min = self.energy[self.label()];
+        (self.energy[c] - min) / min
+    }
+
+    /// Parallel speed-up of class `c` relative to one core.
+    pub fn speedup(&self, c: usize) -> f64 {
+        self.cycles[0] as f64 / self.cycles[c] as f64
+    }
+}
+
+/// Simulates `kernel` at every team size and assembles its energy profile.
+///
+/// # Errors
+///
+/// Propagates lowering or simulation failures (neither is expected for
+/// validated dataset kernels).
+pub fn measure_kernel(
+    kernel: &Kernel,
+    config: &ClusterConfig,
+    model: &EnergyModel,
+) -> Result<EnergyProfile, MeasureError> {
+    let mut energy = [0.0; NUM_CLASSES];
+    let mut cycles = [0u64; NUM_CLASSES];
+    let mut dynamic = Vec::with_capacity(NUM_CLASSES);
+    for team in 1..=NUM_CLASSES.min(config.num_cores) {
+        let lowered = lower(kernel, team, config)?;
+        let stats = simulate(config, &lowered.program)?;
+        energy[team - 1] = energy_of(&stats, model, config).total();
+        cycles[team - 1] = stats.cycles;
+        dynamic.push(DynamicFeatures::extract(&stats));
+    }
+    Ok(EnergyProfile { energy, cycles, dynamic })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel_ir::{DType, KernelBuilder, Suite};
+
+    fn measure(kernel: &Kernel) -> EnergyProfile {
+        measure_kernel(kernel, &ClusterConfig::default(), &EnergyModel::table1())
+            .expect("measure")
+    }
+
+    fn compute_kernel(n: usize) -> Kernel {
+        let mut b = KernelBuilder::new("c", Suite::Custom, DType::I32, n * 4);
+        let x = b.array("x", n);
+        b.par_for(n as u64, |b, i| {
+            b.load(x, i);
+            b.alu(16);
+            b.store(x, i);
+        });
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn profile_has_all_team_sizes() {
+        let p = measure(&compute_kernel(256));
+        assert!(p.energy.iter().all(|&e| e > 0.0));
+        assert!(p.cycles.iter().all(|&c| c > 0));
+        assert_eq!(p.dynamic.len(), 8);
+    }
+
+    #[test]
+    fn scalable_compute_prefers_many_cores() {
+        let p = measure(&compute_kernel(2048));
+        assert!(
+            p.label() >= 5,
+            "dense compute should favour large teams, got {} cores (energies {:?})",
+            p.label() + 1,
+            p.energy
+        );
+        assert!(p.speedup(7) > 4.0, "speed-up at 8 cores: {}", p.speedup(7));
+    }
+
+    #[test]
+    fn serialised_kernel_prefers_few_cores() {
+        // Critical section around every iteration: no parallel benefit.
+        let n = 512usize;
+        let mut b = KernelBuilder::new("ser", Suite::Custom, DType::I32, n * 4);
+        let x = b.array("x", n);
+        let acc = b.array("acc", 4);
+        b.par_for(n as u64, |b, i| {
+            b.load(x, i);
+            b.critical(|b| {
+                b.load(acc, 0);
+                b.alu(4);
+                b.store(acc, 0);
+            });
+        });
+        let k = b.build().expect("valid");
+        let p = measure(&k);
+        assert!(
+            p.label() <= 2,
+            "serialised kernel should favour small teams, got {} cores (energies {:?})",
+            p.label() + 1,
+            p.energy
+        );
+    }
+
+    #[test]
+    fn waste_is_zero_at_the_label() {
+        let p = measure(&compute_kernel(512));
+        assert_eq!(p.waste(p.label()), 0.0);
+        for c in 0..NUM_CLASSES {
+            assert!(p.waste(c) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! End-to-end dataset construction — the paper's Figure-1 workflow.
+//!
+//! [`LabeledDataset::build`] enumerates the 448 samples, extracts static
+//! features (step A), simulates each sample at every team size (steps
+//! B–C), applies the energy model (step D), labels each sample with its
+//! minimum-energy class (step E) and collects everything into trainable
+//! datasets (step F).
+
+use crate::features::{
+    dynamic_feature_names, dynamic_feature_vector, static_feature_names, static_feature_vector,
+    StaticFeatureSet,
+};
+use crate::labeling::{measure_kernel, MeasureError, NUM_CLASSES};
+use kernel_ir::{DType, Suite, ValidateKernelError};
+use pulp_energy_model::EnergyModel;
+use pulp_kernels::{all_samples, registry, KernelDef, SampleSpec, PAYLOAD_SIZES};
+use pulp_ml::{Dataset, DatasetError};
+use pulp_sim::ClusterConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Options controlling dataset construction.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Cluster to simulate (ablation experiments swap this).
+    pub config: ClusterConfig,
+    /// Energy model applied to the runs.
+    pub model: EnergyModel,
+    /// Payload sizes to instantiate (defaults to the paper's four).
+    pub payload_sizes: Vec<usize>,
+    /// Restrict to kernels whose name appears here (`None` = all 59).
+    pub kernel_filter: Option<Vec<String>>,
+    /// Worker threads for the simulation sweep (`0` = all cores).
+    pub threads: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        Self {
+            config: ClusterConfig::default(),
+            model: EnergyModel::table1(),
+            payload_sizes: PAYLOAD_SIZES.to_vec(),
+            kernel_filter: None,
+            threads: 0,
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// A reduced configuration for tests and quick demos: a kernel-name
+    /// subset at two payload sizes.
+    pub fn quick(kernels: &[&str]) -> Self {
+        Self {
+            kernel_filter: Some(kernels.iter().map(|s| s.to_string()).collect()),
+            payload_sizes: vec![512, 2048],
+            ..Self::default()
+        }
+    }
+}
+
+/// Errors produced while building the dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildDatasetError {
+    /// A kernel failed to instantiate.
+    Kernel {
+        /// Sample id (`suite/name/dtype/payload`).
+        sample: String,
+        /// The underlying validation error.
+        source: ValidateKernelError,
+    },
+    /// A sample failed to simulate.
+    Measure {
+        /// Sample id.
+        sample: String,
+        /// The underlying measurement error.
+        source: MeasureError,
+    },
+    /// The assembled matrices were inconsistent.
+    Dataset(DatasetError),
+    /// The filter matched no kernels.
+    EmptySelection,
+}
+
+impl fmt::Display for BuildDatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Kernel { sample, source } => write!(f, "{sample}: {source}"),
+            Self::Measure { sample, source } => write!(f, "{sample}: {source}"),
+            Self::Dataset(e) => write!(f, "dataset assembly: {e}"),
+            Self::EmptySelection => write!(f, "kernel filter selected nothing"),
+        }
+    }
+}
+
+impl std::error::Error for BuildDatasetError {}
+
+impl From<DatasetError> for BuildDatasetError {
+    fn from(e: DatasetError) -> Self {
+        Self::Dataset(e)
+    }
+}
+
+/// One fully-measured dataset sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleRecord {
+    /// `suite/name/dtype/payload` identifier.
+    pub id: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Originating suite.
+    pub suite: Suite,
+    /// Element type.
+    pub dtype: DType,
+    /// Payload bytes.
+    pub payload_bytes: usize,
+    /// Minimum-energy class (0-based; class `c` = `c + 1` cores).
+    pub label: usize,
+    /// Total energy (fJ) per class.
+    pub energy: Vec<f64>,
+    /// Kernel cycles per class.
+    pub cycles: Vec<u64>,
+    /// Static feature vector (20 dims).
+    pub static_x: Vec<f64>,
+    /// Dynamic feature vector (80 dims).
+    pub dynamic_x: Vec<f64>,
+}
+
+/// The measured, labelled dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledDataset {
+    /// All measured samples, in enumeration order.
+    pub samples: Vec<SampleRecord>,
+}
+
+impl LabeledDataset {
+    /// Builds the dataset per `opts`. This runs
+    /// `samples × 8` cycle-level simulations; with default options expect
+    /// minutes of CPU time (it parallelises over `opts.threads`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel-instantiation and simulation failures, tagged
+    /// with the offending sample id.
+    pub fn build(opts: &PipelineOptions) -> Result<Self, BuildDatasetError> {
+        let defs = registry();
+        let specs: Vec<SampleSpec> = all_samples()
+            .into_iter()
+            .filter(|s| {
+                opts.payload_sizes.contains(&s.payload_bytes)
+                    && opts
+                        .kernel_filter
+                        .as_ref()
+                        .is_none_or(|f| f.iter().any(|n| n == defs[s.kernel_index].name))
+            })
+            .collect();
+        if specs.is_empty() {
+            return Err(BuildDatasetError::EmptySelection);
+        }
+
+        let threads = if opts.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            opts.threads
+        }
+        .min(specs.len());
+
+        let mut samples: Vec<Option<SampleRecord>> = vec![None; specs.len()];
+        let mut first_error: Option<BuildDatasetError> = None;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let specs = &specs;
+                let defs = &defs;
+                let opts_ref = &*opts;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = t;
+                    while i < specs.len() {
+                        out.push((i, measure_one(&specs[i], &defs[specs[i].kernel_index], opts_ref)));
+                        i += threads;
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                for (i, res) in h.join().expect("worker panicked") {
+                    match res {
+                        Ok(record) => samples[i] = Some(record),
+                        Err(e) => {
+                            if first_error.is_none() {
+                                first_error = Some(e);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(Self { samples: samples.into_iter().map(|s| s.expect("all filled")).collect() })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no samples were measured.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Class labels, aligned with `samples`.
+    pub fn labels(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.label).collect()
+    }
+
+    /// Per-sample energies by class (input to the tolerance metric).
+    pub fn energies(&self) -> Vec<Vec<f64>> {
+        self.samples.iter().map(|s| s.energy.clone()).collect()
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> [usize; NUM_CLASSES] {
+        let mut counts = [0usize; NUM_CLASSES];
+        for s in &self.samples {
+            counts[s.label] += 1;
+        }
+        counts
+    }
+
+    /// Trainable dataset over one static feature family.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrices are inconsistent (a bug).
+    pub fn static_dataset(&self, set: StaticFeatureSet) -> Result<Dataset, DatasetError> {
+        let full = self.static_dataset_all()?;
+        Ok(full.select_features(&set.columns()))
+    }
+
+    /// Trainable dataset over the full 20-dimensional static vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrices are inconsistent (a bug).
+    pub fn static_dataset_all(&self) -> Result<Dataset, DatasetError> {
+        Dataset::new(
+            self.samples.iter().map(|s| s.static_x.clone()).collect(),
+            self.labels(),
+            static_feature_names(),
+            NUM_CLASSES,
+        )
+    }
+
+    /// Trainable dataset over the 80-dimensional dynamic vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrices are inconsistent (a bug).
+    pub fn dynamic_dataset(&self) -> Result<Dataset, DatasetError> {
+        Dataset::new(
+            self.samples.iter().map(|s| s.dynamic_x.clone()).collect(),
+            self.labels(),
+            dynamic_feature_names(),
+            NUM_CLASSES,
+        )
+    }
+}
+
+fn measure_one(
+    spec: &SampleSpec,
+    def: &KernelDef,
+    opts: &PipelineOptions,
+) -> Result<SampleRecord, BuildDatasetError> {
+    let params = spec.params();
+    let kernel = def.build(&params).map_err(|source| BuildDatasetError::Kernel {
+        sample: format!("{}/{}/{}/{}", def.suite, def.name, spec.dtype, spec.payload_bytes),
+        source,
+    })?;
+    let profile = measure_kernel(&kernel, &opts.config, &opts.model).map_err(|source| {
+        BuildDatasetError::Measure { sample: kernel.sample_id(), source }
+    })?;
+    Ok(SampleRecord {
+        id: kernel.sample_id(),
+        kernel: def.name.to_string(),
+        suite: def.suite,
+        dtype: spec.dtype,
+        payload_bytes: spec.payload_bytes,
+        label: profile.label(),
+        energy: profile.energy.to_vec(),
+        cycles: profile.cycles.to_vec(),
+        static_x: static_feature_vector(&kernel),
+        dynamic_x: dynamic_feature_vector(&profile),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_dataset() -> LabeledDataset {
+        LabeledDataset::build(&PipelineOptions::quick(&[
+            "vec_scale",
+            "fpu_storm",
+            "bank_hammer",
+            "gemm",
+        ]))
+        .expect("build")
+    }
+
+    #[test]
+    fn quick_build_produces_expected_sample_count() {
+        let d = quick_dataset();
+        // 4 kernels × 2 dtypes × 2 sizes.
+        assert_eq!(d.len(), 16);
+        assert_eq!(d.class_counts().iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn datasets_are_trainable_shapes() {
+        let d = quick_dataset();
+        let s = d.static_dataset(StaticFeatureSet::All).expect("static");
+        assert_eq!(s.len(), d.len());
+        assert_eq!(s.n_features(), 20);
+        let dy = d.dynamic_dataset().expect("dynamic");
+        assert_eq!(dy.n_features(), 80);
+        let agg = d.static_dataset(StaticFeatureSet::Agg).expect("agg");
+        assert_eq!(agg.n_features(), 3);
+    }
+
+    #[test]
+    fn empty_filter_is_an_error() {
+        let err = LabeledDataset::build(&PipelineOptions::quick(&["no_such_kernel"]))
+            .unwrap_err();
+        assert_eq!(err, BuildDatasetError::EmptySelection);
+    }
+
+    #[test]
+    fn labels_match_energy_argmin() {
+        let d = quick_dataset();
+        for s in &d.samples {
+            let argmin = s
+                .energy
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            assert_eq!(s.label, argmin, "{}", s.id);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_across_thread_counts() {
+        let mut opts = PipelineOptions::quick(&["vec_scale", "bank_hammer"]);
+        opts.threads = 1;
+        let d1 = LabeledDataset::build(&opts).expect("build");
+        opts.threads = 4;
+        let d4 = LabeledDataset::build(&opts).expect("build");
+        assert_eq!(d1, d4);
+    }
+}

@@ -1,0 +1,229 @@
+//! The deployable predictor — the paper's end product.
+//!
+//! [`EnergyPredictor`] packages a trained decision tree together with the
+//! feature recipe it was trained on, so a compiler or build system can
+//! pick the minimum-energy core count of a new kernel **at compile time**
+//! ("automatic system configuration for energy minimisation", as the
+//! abstract puts it). Predictors serialise to JSON for embedding in a
+//! toolchain.
+
+use crate::features::{static_feature_vector, StaticFeatureSet};
+use crate::labeling::NUM_CLASSES;
+use crate::pipeline::LabeledDataset;
+use kernel_ir::Kernel;
+use pulp_ml::{DatasetError, DecisionTree, TreeParams};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced when building or loading a predictor.
+#[derive(Debug)]
+pub enum PredictorError {
+    /// The training data could not be assembled.
+    Dataset(DatasetError),
+    /// A serialised predictor could not be parsed.
+    Parse(serde_json::Error),
+}
+
+impl fmt::Display for PredictorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Dataset(e) => write!(f, "training data: {e}"),
+            Self::Parse(e) => write!(f, "predictor deserialisation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Dataset(e) => Some(e),
+            Self::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<DatasetError> for PredictorError {
+    fn from(e: DatasetError) -> Self {
+        Self::Dataset(e)
+    }
+}
+
+/// A trained, serialisable minimum-energy-configuration predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyPredictor {
+    tree: DecisionTree,
+    feature_set: StaticFeatureSet,
+    /// Columns of the full static vector this predictor consumes (after
+    /// optional importance pruning).
+    columns: Vec<usize>,
+    feature_names: Vec<String>,
+}
+
+impl EnergyPredictor {
+    /// Trains a predictor on a measured dataset using one static feature
+    /// family.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dataset's feature matrices are
+    /// inconsistent.
+    pub fn train(
+        data: &LabeledDataset,
+        feature_set: StaticFeatureSet,
+        params: TreeParams,
+    ) -> Result<Self, PredictorError> {
+        Self::train_on_columns(data, feature_set, feature_set.columns(), params)
+    }
+
+    /// Trains on an explicit column subset of the full static vector (the
+    /// paper's "optimised" pruned classifier).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dataset's feature matrices are
+    /// inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index exceeds the full static vector width.
+    pub fn train_on_columns(
+        data: &LabeledDataset,
+        feature_set: StaticFeatureSet,
+        columns: Vec<usize>,
+        params: TreeParams,
+    ) -> Result<Self, PredictorError> {
+        let full = data.static_dataset_all()?;
+        let projected = full.select_features(&columns);
+        let mut tree = DecisionTree::new(params);
+        tree.fit(&projected);
+        Ok(Self {
+            tree,
+            feature_set,
+            feature_names: projected.feature_names().to_vec(),
+            columns,
+        })
+    }
+
+    /// Predicts the minimum-energy core count (1..=8) of `kernel` from
+    /// its static features only — no simulation involved.
+    pub fn predict_cores(&self, kernel: &Kernel) -> usize {
+        let full = static_feature_vector(kernel);
+        let projected: Vec<f64> = self.columns.iter().map(|&c| full[c]).collect();
+        self.tree.predict(&projected) + 1
+    }
+
+    /// The feature names this predictor consumes.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// The learned decision rules, rendered for inspection.
+    pub fn rules(&self) -> String {
+        self.tree.render(&self.feature_names)
+    }
+
+    /// Serialises the predictor to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("predictor is serialisable")
+    }
+
+    /// Loads a predictor from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the JSON does not describe a predictor.
+    pub fn from_json(text: &str) -> Result<Self, PredictorError> {
+        let p: Self = serde_json::from_str(text).map_err(PredictorError::Parse)?;
+        Ok(p)
+    }
+
+    /// Number of output classes.
+    pub fn n_classes(&self) -> usize {
+        NUM_CLASSES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineOptions;
+
+    fn data() -> LabeledDataset {
+        LabeledDataset::build(&PipelineOptions::quick(&[
+            "vec_scale",
+            "fpu_storm",
+            "bank_hammer",
+            "compute_dense",
+        ]))
+        .expect("dataset")
+    }
+
+    fn sample_kernel() -> Kernel {
+        pulp_kernels::registry()
+            .into_iter()
+            .find(|d| d.name == "stream_copy")
+            .expect("kernel")
+            .build(&pulp_kernels::KernelParams::new(kernel_ir::DType::I32, 2048))
+            .expect("build")
+    }
+
+    #[test]
+    fn trains_and_predicts_in_range() {
+        let p = EnergyPredictor::train(&data(), StaticFeatureSet::All, TreeParams::default())
+            .expect("train");
+        let cores = p.predict_cores(&sample_kernel());
+        assert!((1..=8).contains(&cores), "prediction out of range: {cores}");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let d = data();
+        let p = EnergyPredictor::train(&d, StaticFeatureSet::All, TreeParams::default())
+            .expect("train");
+        let restored = EnergyPredictor::from_json(&p.to_json()).expect("load");
+        assert_eq!(p, restored);
+        let k = sample_kernel();
+        assert_eq!(p.predict_cores(&k), restored.predict_cores(&k));
+    }
+
+    #[test]
+    fn pruned_predictor_uses_selected_columns() {
+        let d = data();
+        let p = EnergyPredictor::train_on_columns(
+            &d,
+            StaticFeatureSet::All,
+            vec![3, 6], // avgws, F4
+            TreeParams::default(),
+        )
+        .expect("train");
+        assert_eq!(p.feature_names(), &["avgws".to_string(), "F4".to_string()]);
+        let _ = p.predict_cores(&sample_kernel());
+    }
+
+    #[test]
+    fn rules_mention_trained_features() {
+        let d = data();
+        let p = EnergyPredictor::train(&d, StaticFeatureSet::Agg, TreeParams::default())
+            .expect("train");
+        let rules = p.rules();
+        assert!(
+            rules.contains("F1") || rules.contains("F3") || rules.contains("F4"),
+            "rules:\n{rules}"
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_json() {
+        assert!(EnergyPredictor::from_json("not json").is_err());
+        assert!(EnergyPredictor::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn predictor_matches_feature_set_width() {
+        let d = data();
+        let p = EnergyPredictor::train(&d, StaticFeatureSet::Agg, TreeParams::default())
+            .expect("train");
+        assert_eq!(p.feature_names().len(), 3);
+        assert_eq!(p.n_classes(), 8);
+    }
+}

@@ -1,0 +1,215 @@
+//! Combining execution statistics with the energy model.
+//!
+//! This is step (D) of the paper's workflow: execution activity (from the
+//! simulator or from the trace-analyser) is folded with the Table-I
+//! coefficients into a per-component energy breakdown.
+
+use crate::model::{EnergyModel, Femtojoules};
+use pulp_sim::{ClusterConfig, SimStats};
+use serde::{Deserialize, Serialize};
+
+/// Per-component energy of one run, in femtojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Processing elements (leakage + opcodes + active wait + gating).
+    pub pe: Femtojoules,
+    /// Shared FPUs.
+    pub fpu: Femtojoules,
+    /// TCDM banks.
+    pub l1: Femtojoules,
+    /// L2 banks.
+    pub l2: Femtojoules,
+    /// Instruction cache.
+    pub icache: Femtojoules,
+    /// DMA engine.
+    pub dma: Femtojoules,
+    /// Other cluster components.
+    pub other: Femtojoules,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in femtojoules.
+    pub fn total(&self) -> Femtojoules {
+        self.pe + self.fpu + self.l1 + self.l2 + self.icache + self.dma + self.other
+    }
+
+    /// Total energy in microjoules (convenience for reports).
+    pub fn total_uj(&self) -> f64 {
+        self.total() * 1e-9
+    }
+}
+
+/// Computes the energy of a run described by `stats`.
+///
+/// `config` supplies the component counts that are not recorded in the
+/// statistics (number of FPUs).
+pub fn energy_of(stats: &SimStats, model: &EnergyModel, config: &ClusterConfig) -> EnergyBreakdown {
+    let cycles = stats.cycles as f64;
+
+    let mut pe = 0.0;
+    let mut fp_ops_total: u64 = 0;
+    for c in &stats.cores {
+        pe += model.pe.leakage * cycles;
+        pe += model.pe.nop * c.active_wait_cycles() as f64;
+        pe += model.pe.cg * c.cg_cycles as f64;
+        pe += model.pe.alu * c.alu_ops as f64;
+        pe += model.pe.fp * c.fp_ops as f64;
+        pe += model.pe.l1 * c.l1_ops as f64;
+        pe += model.pe.l2 * c.l2_ops as f64;
+        fp_ops_total += c.fp_ops;
+    }
+
+    let fpus = config.num_fpus as f64;
+    let fpu_busy = fp_ops_total as f64;
+    let fpu_idle = (fpus * cycles - fpu_busy).max(0.0);
+    let fpu = model.fpu.leakage * fpus * cycles
+        + model.fpu.operative * fpu_busy
+        + model.fpu.idle * fpu_idle;
+
+    let mut l1 = 0.0;
+    for b in &stats.l1_banks {
+        l1 += model.l1_bank.leakage * cycles;
+        l1 += model.l1_bank.read * b.reads as f64;
+        l1 += model.l1_bank.write * b.writes as f64;
+        l1 += model.l1_bank.idle * (cycles - b.busy_cycles() as f64).max(0.0);
+    }
+
+    let mut l2 = 0.0;
+    for b in &stats.l2_banks {
+        l2 += model.l2_bank.leakage * cycles;
+        l2 += model.l2_bank.read * b.reads as f64;
+        l2 += model.l2_bank.write * b.writes as f64;
+        l2 += model.l2_bank.idle * (cycles - b.busy_cycles() as f64).max(0.0);
+    }
+
+    let icache = model.icache.leakage * cycles
+        + model.icache.use_ * stats.icache.fetches as f64
+        + model.icache.refill * stats.icache.refills as f64;
+
+    let dma_busy = stats.dma.busy_cycles as f64;
+    let dma = model.dma.leakage * cycles
+        + model.dma.transfer * stats.dma.words_transferred as f64
+        + model.dma.idle * (cycles - dma_busy).max(0.0);
+
+    let other =
+        model.other.leakage * cycles + model.other.active * stats.cluster_active_cycles as f64;
+
+    EnergyBreakdown { pe, fpu, l1, l2, icache, dma, other }
+}
+
+/// Renders a per-component breakdown with percentages.
+pub fn render_breakdown(e: &EnergyBreakdown) -> String {
+    use std::fmt::Write as _;
+    let total = e.total().max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<8} {:>12} {:>7}", "component", "energy [uJ]", "share");
+    for (name, v) in [
+        ("PE", e.pe),
+        ("FPU", e.fpu),
+        ("L1", e.l1),
+        ("L2", e.l2),
+        ("I$", e.icache),
+        ("DMA", e.dma),
+        ("other", e.other),
+    ] {
+        let _ = writeln!(out, "{name:<8} {:>12.4} {:>6.1}%", v * 1e-9, 100.0 * v / total);
+    }
+    let _ = writeln!(out, "{:<8} {:>12.4}", "total", e.total_uj());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ClusterConfig {
+        ClusterConfig::default()
+    }
+
+    fn empty_stats(cycles: u64) -> SimStats {
+        let c = config();
+        let mut s = SimStats::new(c.num_cores, c.tcdm_banks, c.l2_banks);
+        s.cycles = cycles;
+        for core in &mut s.cores {
+            core.cg_cycles = cycles;
+        }
+        s
+    }
+
+    #[test]
+    fn zero_cycles_zero_energy() {
+        let s = empty_stats(0);
+        let e = energy_of(&s, &EnergyModel::table1(), &config());
+        assert_eq!(e.total(), 0.0);
+    }
+
+    #[test]
+    fn idle_cluster_burns_leakage_and_gating() {
+        let s = empty_stats(1000);
+        let m = EnergyModel::table1();
+        let e = energy_of(&s, &m, &config());
+        // 8 cores: leakage + cg for every cycle.
+        let expected_pe = 8.0 * 1000.0 * (m.pe.leakage + m.pe.cg);
+        assert!((e.pe - expected_pe).abs() < 1e-6);
+        // All banks idle.
+        let expected_l1 = 16.0 * 1000.0 * (m.l1_bank.leakage + m.l1_bank.idle);
+        assert!((e.l1 - expected_l1).abs() < 1e-6);
+        assert!(e.total() > 0.0);
+    }
+
+    #[test]
+    fn op_energy_is_additive() {
+        let mut s = empty_stats(100);
+        s.cores[0].cg_cycles = 0;
+        s.cores[0].alu_ops = 50;
+        s.cores[0].idle_cycles = 50;
+        s.cores[0].fetches = 50;
+        s.icache.fetches = 50;
+        let m = EnergyModel::table1();
+        let base = energy_of(&empty_stats(100), &m, &config());
+        let e = energy_of(&s, &m, &config());
+        let delta = e.pe - base.pe;
+        let expected = 50.0 * m.pe.alu + 50.0 * m.pe.nop - 100.0 * m.pe.cg;
+        assert!((delta - expected).abs() < 1e-6, "delta = {delta}, expected = {expected}");
+    }
+
+    #[test]
+    fn fp_ops_charge_core_and_fpu() {
+        let mut s = empty_stats(10);
+        s.cores[2].fp_ops = 4;
+        let m = EnergyModel::table1();
+        let e = energy_of(&s, &m, &config());
+        let base = energy_of(&empty_stats(10), &m, &config());
+        assert!((e.pe - base.pe - 4.0 * m.pe.fp).abs() < 1e-6);
+        assert!((e.fpu - base.fpu - 4.0 * m.fpu.operative).abs() < 1e-6);
+    }
+
+    #[test]
+    fn breakdown_renders_all_components() {
+        let e = EnergyBreakdown {
+            pe: 50.0e9,
+            fpu: 10.0e9,
+            l1: 10.0e9,
+            l2: 10.0e9,
+            icache: 10.0e9,
+            dma: 5.0e9,
+            other: 5.0e9,
+        };
+        let s = render_breakdown(&e);
+        assert!(s.contains("PE"));
+        assert!(s.contains("50.0%"));
+        assert!(s.contains("total"));
+        assert_eq!(s.lines().count(), 1 + 7 + 1);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let mut s = empty_stats(10);
+        s.l1_banks[3].reads = 7;
+        s.dma.words_transferred = 2;
+        let e = energy_of(&s, &EnergyModel::table1(), &config());
+        let sum = e.pe + e.fpu + e.l1 + e.l2 + e.icache + e.dma + e.other;
+        assert!((e.total() - sum).abs() < 1e-9);
+        assert!((e.total_uj() - e.total() * 1e-9).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,149 @@
+//! Dynamic (profile-based) features — Table III of the paper.
+//!
+//! Extracted from one simulation run (one kernel at one team size). The
+//! full dynamic feature vector of a dataset sample concatenates these over
+//! all eight team sizes, which is why Table IV reports importances as
+//! `(feature, PEs)` pairs.
+
+use pulp_sim::SimStats;
+use serde::{Deserialize, Serialize};
+
+/// Names of the 10 dynamic features, in [`DynamicFeatures::to_vec`] order.
+pub const DYNAMIC_FEATURE_NAMES: [&str; 10] = [
+    "PE_idle",
+    "PE_sleep",
+    "PE_alu",
+    "PE_fp",
+    "PE_l1",
+    "PE_l2",
+    "L1_idle",
+    "L1_read",
+    "L1_write",
+    "L1_conflicts",
+];
+
+/// Table-III dynamic features of one run.
+///
+/// Fractions (`pe_idle`, `pe_sleep`) are averaged over the *team* cores —
+/// the cores actually executing the program — so they describe the code's
+/// behaviour rather than the trivially-gated unused silicon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicFeatures {
+    /// Fraction of cycles a team core spent in resource contention or in a
+    /// multi-cycle instruction.
+    pub pe_idle: f64,
+    /// Fraction of cycles a team core spent clock-gated.
+    pub pe_sleep: f64,
+    /// Opcodes using the integer ALU.
+    pub pe_alu: f64,
+    /// Opcodes using the FPU.
+    pub pe_fp: f64,
+    /// Opcodes accessing the TCDM.
+    pub pe_l1: f64,
+    /// Opcodes accessing off-cluster memory.
+    pub pe_l2: f64,
+    /// TCDM bank idle cycles (summed over banks).
+    pub l1_idle: f64,
+    /// TCDM read requests.
+    pub l1_read: f64,
+    /// TCDM write requests.
+    pub l1_write: f64,
+    /// TCDM same-cycle conflicts.
+    pub l1_conflicts: f64,
+}
+
+impl DynamicFeatures {
+    /// Extracts the features from one run's statistics.
+    pub fn extract(stats: &SimStats) -> Self {
+        let team = stats.team_size.max(1);
+        let denom = (stats.cycles as f64 * team as f64).max(1.0);
+        let team_cores = &stats.cores[..team.min(stats.cores.len())];
+        let idle: u64 = team_cores.iter().map(|c| c.idle_cycles + c.nop_ops).sum();
+        let sleep: u64 = team_cores.iter().map(|c| c.cg_cycles).sum();
+        Self {
+            pe_idle: idle as f64 / denom,
+            pe_sleep: sleep as f64 / denom,
+            pe_alu: team_cores.iter().map(|c| c.alu_ops).sum::<u64>() as f64,
+            pe_fp: team_cores.iter().map(|c| c.fp_ops).sum::<u64>() as f64,
+            pe_l1: team_cores.iter().map(|c| c.l1_ops).sum::<u64>() as f64,
+            pe_l2: team_cores.iter().map(|c| c.l2_ops).sum::<u64>() as f64,
+            l1_idle: stats.l1_idle_cycles() as f64,
+            l1_read: stats.l1_reads() as f64,
+            l1_write: stats.l1_writes() as f64,
+            l1_conflicts: stats.l1_conflicts() as f64,
+        }
+    }
+
+    /// Flattens into the 10-element vector matching
+    /// [`DYNAMIC_FEATURE_NAMES`].
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.pe_idle,
+            self.pe_sleep,
+            self.pe_alu,
+            self.pe_fp,
+            self.pe_l1,
+            self.pe_l2,
+            self.l1_idle,
+            self.l1_read,
+            self.l1_write,
+            self.l1_conflicts,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_use_team_cores_only() {
+        let mut s = SimStats::new(8, 16, 32);
+        s.cycles = 100;
+        s.team_size = 2;
+        s.cores[0].idle_cycles = 10;
+        s.cores[1].cg_cycles = 50;
+        // Unused cores fully gated; must not dilute the features.
+        for c in 2..8 {
+            s.cores[c].cg_cycles = 100;
+        }
+        let f = DynamicFeatures::extract(&s);
+        assert!((f.pe_idle - 10.0 / 200.0).abs() < 1e-12);
+        assert!((f.pe_sleep - 50.0 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_are_totals() {
+        let mut s = SimStats::new(8, 16, 32);
+        s.cycles = 10;
+        s.team_size = 3;
+        s.cores[0].alu_ops = 5;
+        s.cores[2].alu_ops = 7;
+        s.cores[1].fp_ops = 3;
+        s.l1_banks[0].reads = 4;
+        s.l1_banks[1].writes = 2;
+        s.l1_banks[1].conflicts = 1;
+        let f = DynamicFeatures::extract(&s);
+        assert_eq!(f.pe_alu, 12.0);
+        assert_eq!(f.pe_fp, 3.0);
+        assert_eq!(f.l1_read, 4.0);
+        assert_eq!(f.l1_write, 2.0);
+        assert_eq!(f.l1_conflicts, 1.0);
+        assert_eq!(f.l1_idle, 10.0 * 16.0 - 6.0);
+    }
+
+    #[test]
+    fn vector_matches_names() {
+        let s = SimStats::new(8, 16, 32);
+        let f = DynamicFeatures::extract(&s);
+        assert_eq!(f.to_vec().len(), DYNAMIC_FEATURE_NAMES.len());
+    }
+
+    #[test]
+    fn zero_cycles_do_not_divide_by_zero() {
+        let s = SimStats::new(8, 16, 32);
+        let f = DynamicFeatures::extract(&s);
+        assert!(f.pe_idle.is_finite());
+        assert!(f.pe_sleep.is_finite());
+    }
+}

@@ -1,0 +1,172 @@
+//! The PULP cluster energy model — Table I of the paper.
+//!
+//! Every constant is in femtojoules and was derived by the paper's authors
+//! from post place-and-route power analysis (Synopsys PrimeTime, 0.65 V,
+//! parasitic-annotated post-layout simulation of single-instruction-class
+//! microbenchmarks). We consume the published numbers directly — exactly
+//! what the paper's own trace→energy step does.
+//!
+//! Leakage entries are charged per component per cycle; operation entries
+//! per event (opcode executed, bank request served, line refilled, word
+//! transferred); idle entries per component-cycle without activity.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy in femtojoules.
+pub type Femtojoules = f64;
+
+/// Processing-element energy coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeEnergy {
+    /// Leakage per core per cycle.
+    pub leakage: f64,
+    /// Active-wait (NOP) cycle.
+    pub nop: f64,
+    /// Integer ALU opcode.
+    pub alu: f64,
+    /// Floating-point opcode (core side).
+    pub fp: f64,
+    /// TCDM access opcode (core side).
+    pub l1: f64,
+    /// L2 access opcode (core side).
+    pub l2: f64,
+    /// Clock-gated cycle.
+    pub cg: f64,
+}
+
+/// Shared-FPU energy coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpuEnergy {
+    /// Leakage per FPU per cycle.
+    pub leakage: f64,
+    /// Per operation executed.
+    pub operative: f64,
+    /// Per idle FPU-cycle.
+    pub idle: f64,
+}
+
+/// Memory-bank energy coefficients (used for both TCDM and L2 banks).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BankEnergy {
+    /// Leakage per bank per cycle.
+    pub leakage: f64,
+    /// Per read request served.
+    pub read: f64,
+    /// Per write request served.
+    pub write: f64,
+    /// Per idle bank-cycle.
+    pub idle: f64,
+}
+
+/// Instruction-cache energy coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IcacheEnergy {
+    /// Leakage per cycle.
+    pub leakage: f64,
+    /// Per fetch served.
+    pub use_: f64,
+    /// Per line refill.
+    pub refill: f64,
+}
+
+/// DMA engine energy coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DmaEnergy {
+    /// Leakage per cycle.
+    pub leakage: f64,
+    /// Per word transferred.
+    pub transfer: f64,
+    /// Per idle cycle.
+    pub idle: f64,
+}
+
+/// Residual cluster circuitry (cores-to-TCDM interconnect, event unit...).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OtherEnergy {
+    /// Leakage per cycle.
+    pub leakage: f64,
+    /// Per cycle with cluster activity.
+    pub active: f64,
+}
+
+/// The complete Table-I energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Processing elements.
+    pub pe: PeEnergy,
+    /// Shared FPUs.
+    pub fpu: FpuEnergy,
+    /// TCDM banks.
+    pub l1_bank: BankEnergy,
+    /// L2 banks.
+    pub l2_bank: BankEnergy,
+    /// Shared instruction cache.
+    pub icache: IcacheEnergy,
+    /// DMA engine.
+    pub dma: DmaEnergy,
+    /// Other cluster components.
+    pub other: OtherEnergy,
+}
+
+impl EnergyModel {
+    /// The published Table-I coefficients (femtojoules).
+    pub const fn table1() -> Self {
+        Self {
+            pe: PeEnergy {
+                leakage: 182.0,
+                nop: 1212.0,
+                alu: 2558.0,
+                fp: 2468.0,
+                l1: 3242.0,
+                l2: 1011.0,
+                cg: 20.0,
+            },
+            fpu: FpuEnergy { leakage: 191.0, operative: 299.0, idle: 0.0 },
+            l1_bank: BankEnergy { leakage: 49.0, read: 2543.0, write: 2568.0, idle: 64.0 },
+            l2_bank: BankEnergy { leakage: 105.0, read: 2942.0, write: 3480.0, idle: 13.0 },
+            icache: IcacheEnergy { leakage: 774.0, use_: 4492.0, refill: 5932.0 },
+            dma: DmaEnergy { leakage: 165.0, transfer: 1750.0, idle: 46.0 },
+            other: OtherEnergy { leakage: 655.0, active: 2702.0 },
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let m = EnergyModel::table1();
+        assert_eq!(m.pe.leakage, 182.0);
+        assert_eq!(m.pe.nop, 1212.0);
+        assert_eq!(m.pe.alu, 2558.0);
+        assert_eq!(m.pe.fp, 2468.0);
+        assert_eq!(m.pe.l1, 3242.0);
+        assert_eq!(m.pe.l2, 1011.0);
+        assert_eq!(m.pe.cg, 20.0);
+        assert_eq!(m.fpu.leakage, 191.0);
+        assert_eq!(m.fpu.operative, 299.0);
+        assert_eq!(m.fpu.idle, 0.0);
+        assert_eq!(m.l1_bank.read, 2543.0);
+        assert_eq!(m.l1_bank.write, 2568.0);
+        assert_eq!(m.l2_bank.read, 2942.0);
+        assert_eq!(m.l2_bank.write, 3480.0);
+        assert_eq!(m.icache.use_, 4492.0);
+        assert_eq!(m.icache.refill, 5932.0);
+        assert_eq!(m.dma.transfer, 1750.0);
+        assert_eq!(m.other.active, 2702.0);
+    }
+
+    #[test]
+    fn clock_gating_is_far_cheaper_than_active_wait() {
+        let m = EnergyModel::table1();
+        assert!(m.pe.cg * 10.0 < m.pe.nop);
+    }
+}

@@ -1,0 +1,218 @@
+//! Kernel abstract syntax tree.
+//!
+//! A [`Kernel`] is the IR-level equivalent of one C/OpenMP benchmark
+//! function: array declarations plus a statement tree of loops, parallel
+//! regions, typed memory accesses and compute bursts. It carries exactly
+//! the information the paper's tooling reads off LLVM-IR: opcode classes,
+//! memory access targets, loop structure and parallel-region trip counts.
+
+use crate::expr::{Idx, LoopVar};
+use crate::types::{DType, MemLevel, Schedule, Suite};
+use serde::{Deserialize, Serialize};
+
+/// Handle to a declared array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayId(pub(crate) u32);
+
+impl ArrayId {
+    /// The kernel-unique id of this array.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Creates an id from a raw index, for tests and tooling that walk
+    /// [`Kernel::arrays`] positionally.
+    pub fn for_tests(id: u32) -> Self {
+        Self(id)
+    }
+}
+
+/// An array declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayDecl {
+    /// Human-readable name (used in diagnostics).
+    pub name: String,
+    /// Length in elements (elements are 4 bytes for both supported types).
+    pub len: usize,
+    /// Memory level the array lives in.
+    pub level: MemLevel,
+}
+
+impl ArrayDecl {
+    /// Size of the array in bytes.
+    pub fn bytes(&self) -> usize {
+        self.len * 4
+    }
+}
+
+/// One IR statement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Sequential counted loop.
+    For {
+        /// Induction variable bound by this loop.
+        var: LoopVar,
+        /// Trip count.
+        trip: u64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// OpenMP `parallel for` region.
+    ParFor {
+        /// Induction variable bound by this loop.
+        var: LoopVar,
+        /// Total iteration count (split across the team).
+        trip: u64,
+        /// Work schedule.
+        sched: Schedule,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Load one element of `arr` at `idx`.
+    Load {
+        /// Source array.
+        arr: ArrayId,
+        /// Element index expression.
+        idx: Idx,
+    },
+    /// Store one element of `arr` at `idx`.
+    Store {
+        /// Destination array.
+        arr: ArrayId,
+        /// Element index expression.
+        idx: Idx,
+    },
+    /// `n` integer ALU operations.
+    Alu(u32),
+    /// `n` integer multiplies.
+    Mul(u32),
+    /// `n` integer divides.
+    Div(u32),
+    /// `n` floating-point add/mul operations.
+    Fp(u32),
+    /// `n` floating-point divides.
+    FpDiv(u32),
+    /// `n` explicit active-wait cycles.
+    Nop(u32),
+    /// Cluster-wide barrier (top level only).
+    Barrier,
+    /// Critical section (serialised across the team).
+    Critical(Vec<Stmt>),
+    /// DMA transfer between an L2 array and a TCDM array (sequential
+    /// context only; the paper's future-work memory-hierarchy model).
+    DmaTransfer {
+        /// L2-side array.
+        l2: ArrayId,
+        /// TCDM-side array.
+        tcdm: ArrayId,
+        /// 32-bit words to move.
+        words: u64,
+        /// `true` for L2 → TCDM.
+        inbound: bool,
+        /// `true` blocks the master until the transfer completes;
+        /// `false` programs the engine and continues (pair with
+        /// [`Stmt::DmaWait`] for double buffering).
+        blocking: bool,
+    },
+    /// Wait for all outstanding asynchronous DMA transfers.
+    DmaWait,
+}
+
+/// A complete kernel: metadata, arrays and body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Kernel name, e.g. `"gemm"`.
+    pub name: String,
+    /// Originating benchmark suite.
+    pub suite: Suite,
+    /// Data type this instance manipulates.
+    pub dtype: DType,
+    /// Payload size in bytes this instance was generated for (the
+    /// `transfer` RAW feature).
+    pub payload_bytes: usize,
+    /// Declared arrays, indexed by [`ArrayId`].
+    pub arrays: Vec<ArrayDecl>,
+    /// Statement tree.
+    pub body: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Declared array storage in bytes, per memory level.
+    pub fn footprint(&self, level: MemLevel) -> usize {
+        self.arrays.iter().filter(|a| a.level == level).map(ArrayDecl::bytes).sum()
+    }
+
+    /// Returns the declaration of `arr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arr` does not belong to this kernel.
+    pub fn array(&self, arr: ArrayId) -> &ArrayDecl {
+        &self.arrays[arr.0 as usize]
+    }
+
+    /// Visits every statement in the tree, depth first.
+    pub fn visit(&self, mut f: impl FnMut(&Stmt)) {
+        fn walk(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+            for s in stmts {
+                f(s);
+                match s {
+                    Stmt::For { body, .. }
+                    | Stmt::ParFor { body, .. }
+                    | Stmt::Critical(body) => walk(body, f),
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.body, &mut f);
+    }
+
+    /// Unique sample identifier `suite/name/dtype/payload`.
+    pub fn sample_id(&self) -> String {
+        format!("{}/{}/{}/{}", self.suite, self.name, self.dtype, self.payload_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_kernel() -> Kernel {
+        Kernel {
+            name: "t".into(),
+            suite: Suite::Custom,
+            dtype: DType::I32,
+            payload_bytes: 64,
+            arrays: vec![
+                ArrayDecl { name: "a".into(), len: 16, level: MemLevel::Tcdm },
+                ArrayDecl { name: "b".into(), len: 8, level: MemLevel::L2 },
+            ],
+            body: vec![Stmt::ParFor {
+                var: LoopVar(0),
+                trip: 16,
+                sched: Schedule::Static,
+                body: vec![Stmt::Alu(2), Stmt::Load { arr: ArrayId(0), idx: Idx::zero() }],
+            }],
+        }
+    }
+
+    #[test]
+    fn footprint_separates_levels() {
+        let k = tiny_kernel();
+        assert_eq!(k.footprint(MemLevel::Tcdm), 64);
+        assert_eq!(k.footprint(MemLevel::L2), 32);
+    }
+
+    #[test]
+    fn visit_reaches_nested_statements() {
+        let k = tiny_kernel();
+        let mut n = 0;
+        k.visit(|_| n += 1);
+        assert_eq!(n, 3); // ParFor + Alu + Load
+    }
+
+    #[test]
+    fn sample_id_is_fully_qualified() {
+        assert_eq!(tiny_kernel().sample_id(), "custom/t/i32/64");
+    }
+}

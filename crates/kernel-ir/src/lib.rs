@@ -1,0 +1,69 @@
+//! # kernel-ir — kernel intermediate representation
+//!
+//! The IR-level stand-in for the C/OpenMP sources of the paper's dataset.
+//! A [`Kernel`] preserves exactly the program structure the paper's
+//! pipeline observes: typed arrays, loop nests with affine accesses,
+//! OpenMP parallel regions with schedules, compute bursts by opcode class
+//! and synchronisation constructs.
+//!
+//! Three consumers read the IR:
+//!
+//! * [`static_features`] extracts the RAW/AGG compile-time features
+//!   (Table II(a) of the paper) without executing anything;
+//! * the `pulp-mca` crate computes machine-code-analyser features from the
+//!   hot-block instruction mix;
+//! * [`lowering`] plays compiler + OpenMP runtime, producing per-core
+//!   [`pulp_sim::Program`]s for any team size.
+//!
+//! # Examples
+//!
+//! ```
+//! use kernel_ir::{DType, KernelBuilder, Suite, lower, RawFeatures};
+//! use pulp_sim::{simulate, ClusterConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = 64;
+//! let mut b = KernelBuilder::new("axpy", Suite::Custom, DType::F32, 2 * n * 4);
+//! let x = b.array("x", n);
+//! let y = b.array("y", n);
+//! b.par_for(n as u64, |b, i| {
+//!     b.load(x, i);
+//!     b.load(y, i);
+//!     b.compute(2); // mul + add
+//!     b.store(y, i);
+//! });
+//! let kernel = b.build()?;
+//!
+//! let raw = RawFeatures::extract(&kernel);
+//! assert_eq!(raw.tcdm, 3);
+//!
+//! let config = ClusterConfig::default();
+//! let lowered = lower(&kernel, 4, &config)?;
+//! let stats = simulate(&config, &lowered.program)?;
+//! assert_eq!(stats.l1_reads(), 2 * n as u64);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod builder;
+pub mod expr;
+pub mod lowering;
+pub mod pretty;
+pub mod static_features;
+pub mod transform;
+pub mod types;
+pub mod validate;
+
+pub use ast::{ArrayDecl, ArrayId, Kernel, Stmt};
+pub use builder::KernelBuilder;
+pub use expr::{Idx, LoopVar};
+pub use lowering::{contains_dma, lower, static_chunk, ArrayLayout, LowerError, Lowered};
+pub use pretty::render as render_kernel;
+pub use static_features::{AggFeatures, RawFeatures};
+pub use transform::{interchange_parallel, unroll_innermost};
+pub use types::{DType, MemLevel, Schedule, Suite};
+pub use validate::{validate, ValidateKernelError, L2_CAPACITY, TCDM_CAPACITY};

@@ -1,0 +1,666 @@
+//! Lowering kernels to per-core simulator programs.
+//!
+//! This pass plays the role of the compiler + OpenMP runtime on PULP: it
+//! assigns arrays to concrete addresses, splits parallel-region iterations
+//! across the team according to the schedule, inserts the fork/join
+//! skeleton (master `Fork`, worker `WaitFork`, joining `Barrier`) and adds
+//! the loop-control overhead instructions real code pays per iteration.
+//!
+//! Master/worker convention: sequential statements execute on core 0 while
+//! workers sleep clock-gated; sequential loops that *contain* parallel
+//! regions are replicated on the workers as control skeleton only, so the
+//! fork counters stay aligned across the team.
+
+use crate::ast::{ArrayId, Kernel, Stmt};
+use crate::expr::{Idx, LoopVar};
+use crate::types::{MemLevel, Schedule};
+use pulp_sim::{AddrExpr, ClusterConfig, OpKind, Program, SegOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// ALU instructions charged per parallel-region entry per core (schedule
+/// bounds computation in the OpenMP runtime).
+pub const REGION_PROLOGUE_ALU: u32 = 12;
+/// ALU instructions charged when entering any counted loop (induction
+/// variable initialisation).
+pub const LOOP_SETUP_ALU: u32 = 1;
+
+/// Errors produced by [`lower`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// The requested team is empty or exceeds the cluster size.
+    BadTeamSize {
+        /// Requested team size.
+        team: usize,
+        /// Cores available in the cluster.
+        available: usize,
+    },
+    /// A chunked schedule was given a zero chunk size.
+    ZeroChunk,
+    /// Array storage exceeds the address window of its memory level.
+    LayoutOverflow {
+        /// The level that overflowed.
+        level: MemLevel,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadTeamSize { team, available } => {
+                write!(f, "team size {team} invalid for a {available}-core cluster")
+            }
+            Self::ZeroChunk => write!(f, "chunked schedule requires a chunk size >= 1"),
+            Self::LayoutOverflow { level } => write!(f, "arrays overflow {level:?} window"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Concrete placement of a kernel's arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayLayout {
+    bases: Vec<u32>,
+}
+
+impl ArrayLayout {
+    /// Byte base address of `arr`.
+    pub fn base(&self, arr: ArrayId) -> u32 {
+        self.bases[arr.id() as usize]
+    }
+
+    fn compute(kernel: &Kernel, config: &ClusterConfig) -> Result<Self, LowerError> {
+        let mut tcdm_off: u32 = 0;
+        let mut l2_off: u32 = 0;
+        let mut bases = Vec::with_capacity(kernel.arrays.len());
+        for a in &kernel.arrays {
+            let bytes = a.bytes() as u32;
+            match a.level {
+                MemLevel::Tcdm => {
+                    bases.push(pulp_sim::TCDM_BASE + tcdm_off);
+                    tcdm_off += bytes;
+                    if tcdm_off > config.tcdm_bytes {
+                        return Err(LowerError::LayoutOverflow { level: MemLevel::Tcdm });
+                    }
+                }
+                MemLevel::L2 => {
+                    bases.push(pulp_sim::L2_BASE + l2_off);
+                    l2_off += bytes;
+                    if l2_off > config.l2_bytes {
+                        return Err(LowerError::LayoutOverflow { level: MemLevel::L2 });
+                    }
+                }
+            }
+        }
+        Ok(Self { bases })
+    }
+}
+
+/// Result of lowering: the runnable program plus the array placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lowered {
+    /// Per-core program for the requested team size.
+    pub program: Program,
+    /// Array base addresses.
+    pub layout: ArrayLayout,
+}
+
+/// Lowers `kernel` for a team of `team` cores on `config`.
+///
+/// # Errors
+///
+/// Returns an error for invalid team sizes, zero chunk sizes, or array sets
+/// that do not fit their memory level.
+pub fn lower(kernel: &Kernel, team: usize, config: &ClusterConfig) -> Result<Lowered, LowerError> {
+    if team == 0 || team > config.num_cores {
+        return Err(LowerError::BadTeamSize { team, available: config.num_cores });
+    }
+    let layout = ArrayLayout::compute(kernel, config)?;
+    let mut streams = Vec::with_capacity(team);
+    for core in 0..team {
+        let mut lo = Lowerer {
+            layout: &layout,
+            team,
+            core,
+            out: Vec::new(),
+            depth: 0,
+            bindings: HashMap::new(),
+        };
+        lo.lower_sequential(&kernel.body);
+        streams.push(lo.out);
+    }
+    let program = Program::new(streams);
+    debug_assert_eq!(program.validate(), Ok(()));
+    Ok(Lowered { program, layout })
+}
+
+/// Affine binding of a loop variable to the core-local loop nest:
+/// `value = offset + Σ coeff_d · iv_d`.
+#[derive(Debug, Clone)]
+struct Binding {
+    offset: i64,
+    terms: Vec<(u8, i64)>,
+}
+
+struct Lowerer<'k> {
+    layout: &'k ArrayLayout,
+    team: usize,
+    core: usize,
+    out: Vec<SegOp>,
+    depth: usize,
+    bindings: HashMap<LoopVar, Binding>,
+}
+
+impl Lowerer<'_> {
+    fn is_master(&self) -> bool {
+        self.core == 0
+    }
+
+    fn emit_op(&mut self, kind: OpKind, n: u32) {
+        for _ in 0..n {
+            self.out.push(SegOp::Instr { kind, addr: None });
+        }
+    }
+
+    fn emit_access(&mut self, kind: OpKind, arr: ArrayId, idx: &Idx) {
+        let mut base = i64::from(self.layout.base(arr)) + 4 * idx.constant();
+        let mut terms = Vec::new();
+        for (var, coeff) in idx.terms() {
+            let b = self.bindings.get(&var).expect("validated: var in scope");
+            base += 4 * coeff * b.offset;
+            for &(d, c) in &b.terms {
+                let byte_coeff = 4 * coeff * c;
+                if byte_coeff != 0 {
+                    merge_term(&mut terms, d, byte_coeff);
+                }
+            }
+        }
+        self.out.push(SegOp::Instr { kind, addr: Some(AddrExpr { base, terms }) });
+    }
+
+    /// Opens a counted loop, binds `var` to the fresh depth with `offset`
+    /// and `stride`, runs `body`, and closes the loop. When `overhead` is
+    /// set, per-iteration loop-control instructions are charged.
+    fn counted_loop(
+        &mut self,
+        trip: u64,
+        bind: Option<(LoopVar, i64, i64)>,
+        overhead: bool,
+        body: impl FnOnce(&mut Self),
+    ) {
+        if overhead {
+            self.emit_op(OpKind::Alu, LOOP_SETUP_ALU);
+        }
+        self.out.push(SegOp::LoopBegin { trip });
+        let d = self.depth as u8;
+        self.depth += 1;
+        if let Some((var, offset, stride)) = bind {
+            self.bindings.insert(var, Binding { offset, terms: vec![(d, stride)] });
+        }
+        body(self);
+        if overhead {
+            // Induction-variable increment + backward branch.
+            self.emit_op(OpKind::Alu, 1);
+            self.emit_op(OpKind::Branch, 1);
+        }
+        self.out.push(SegOp::LoopEnd);
+        self.depth -= 1;
+        if let Some((var, _, _)) = bind {
+            self.bindings.remove(&var);
+        }
+    }
+
+    /// Lowers statements in sequential (non-parallel) context.
+    fn lower_sequential(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::ParFor { var, trip, sched, body } => {
+                    self.lower_region(*var, *trip, *sched, body);
+                }
+                Stmt::Barrier => self.out.push(SegOp::Barrier),
+                Stmt::For { var, trip, body } => {
+                    if contains_parallel(body) {
+                        // Replicated control skeleton; workers execute the
+                        // loop structure for free (no overhead ops) so the
+                        // fork counters stay aligned.
+                        let overhead = self.is_master();
+                        self.counted_loop(*trip, Some((*var, 0, 1)), overhead, |lo| {
+                            lo.lower_sequential(body);
+                        });
+                    } else if self.is_master() {
+                        self.counted_loop(*trip, Some((*var, 0, 1)), true, |lo| {
+                            lo.lower_serial_body(body);
+                        });
+                    }
+                }
+                Stmt::DmaTransfer { words, inbound, blocking, .. } => {
+                    // The master programs the engine; workers are asleep.
+                    if self.is_master() {
+                        self.out.push(if *blocking {
+                            SegOp::Dma { words: *words, inbound: *inbound }
+                        } else {
+                            SegOp::DmaAsync { words: *words, inbound: *inbound }
+                        });
+                    }
+                }
+                Stmt::DmaWait => {
+                    if self.is_master() {
+                        self.out.push(SegOp::DmaWait);
+                    }
+                }
+                other => {
+                    if self.is_master() {
+                        self.lower_serial_stmt(other);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lowers master-only straight-line statements (no parallel regions
+    /// inside, guaranteed by validation + `contains_parallel` dispatch).
+    fn lower_serial_body(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.lower_serial_stmt(s);
+        }
+    }
+
+    fn lower_serial_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::For { var, trip, body } => {
+                self.counted_loop(*trip, Some((*var, 0, 1)), true, |lo| {
+                    lo.lower_serial_body(body);
+                });
+            }
+            Stmt::Load { arr, idx } => self.emit_access(OpKind::Load, *arr, idx),
+            Stmt::Store { arr, idx } => self.emit_access(OpKind::Store, *arr, idx),
+            Stmt::Alu(n) => self.emit_op(OpKind::Alu, *n),
+            Stmt::Mul(n) => self.emit_op(OpKind::Mul, *n),
+            Stmt::Div(n) => self.emit_op(OpKind::Div, *n),
+            Stmt::Fp(n) => self.emit_op(OpKind::Fp(pulp_sim::FpOp::Mul), *n),
+            Stmt::FpDiv(n) => self.emit_op(OpKind::Fp(pulp_sim::FpOp::Div), *n),
+            Stmt::Nop(n) => self.emit_op(OpKind::Nop, *n),
+            Stmt::Critical(body) => {
+                self.out.push(SegOp::CriticalBegin);
+                self.lower_serial_body(body);
+                self.out.push(SegOp::CriticalEnd);
+            }
+            Stmt::DmaTransfer { words, inbound, blocking, .. } => {
+                self.out.push(if *blocking {
+                    SegOp::Dma { words: *words, inbound: *inbound }
+                } else {
+                    SegOp::DmaAsync { words: *words, inbound: *inbound }
+                });
+            }
+            Stmt::DmaWait => self.out.push(SegOp::DmaWait),
+            Stmt::ParFor { .. } | Stmt::Barrier => {
+                unreachable!("serial body cannot contain regions or barriers")
+            }
+        }
+    }
+
+    /// Lowers one parallel region for this core.
+    fn lower_region(&mut self, var: LoopVar, trip: u64, sched: Schedule, body: &[Stmt]) {
+        if self.is_master() {
+            self.out.push(SegOp::Fork);
+        } else {
+            self.out.push(SegOp::WaitFork);
+        }
+        self.emit_op(OpKind::Alu, REGION_PROLOGUE_ALU);
+        match sched {
+            Schedule::Static => self.lower_static_chunk(var, trip, body),
+            Schedule::Chunked(k) => self.lower_chunked(var, trip, k.max(1) as u64, body),
+            Schedule::Guided(min) => self.lower_guided(var, trip, min.max(1) as u64, body),
+        }
+        self.out.push(SegOp::Barrier);
+    }
+
+    fn lower_static_chunk(&mut self, var: LoopVar, trip: u64, body: &[Stmt]) {
+        let (start, len) = static_chunk(trip, self.team, self.core);
+        if len == 0 {
+            return;
+        }
+        self.counted_loop(len, Some((var, start as i64, 1)), true, |lo| {
+            lo.lower_serial_body(body);
+        });
+    }
+
+    fn lower_chunked(&mut self, var: LoopVar, trip: u64, k: u64, body: &[Stmt]) {
+        let full = trip / k;
+        let rem = trip % k;
+        let team = self.team as u64;
+        let core = self.core as u64;
+        // Full chunks assigned round-robin: chunk ids {core, core+T, ...}.
+        let rounds = if full > core { (full - core).div_ceil(team) } else { 0 };
+        if rounds > 0 {
+            let offset = (core * k) as i64;
+            let outer_stride = (team * k) as i64;
+            self.emit_op(OpKind::Alu, LOOP_SETUP_ALU);
+            self.out.push(SegOp::LoopBegin { trip: rounds });
+            let d0 = self.depth as u8;
+            self.depth += 1;
+            self.counted_loop(k, None, true, |lo| {
+                let d1 = (lo.depth - 1) as u8;
+                lo.bindings.insert(
+                    var,
+                    Binding { offset, terms: vec![(d0, outer_stride), (d1, 1)] },
+                );
+                lo.lower_serial_body(body);
+                lo.bindings.remove(&var);
+            });
+            // Outer round bookkeeping.
+            self.emit_op(OpKind::Alu, 1);
+            self.emit_op(OpKind::Branch, 1);
+            self.out.push(SegOp::LoopEnd);
+            self.depth -= 1;
+        }
+        // The trailing partial chunk goes to the core next in rotation.
+        if rem > 0 && full % team == core {
+            let start = (full * k) as i64;
+            self.counted_loop(rem, Some((var, start, 1)), true, |lo| {
+                lo.lower_serial_body(body);
+            });
+        }
+    }
+}
+
+impl Lowerer<'_> {
+    /// Guided schedule: precompute the geometric chunk sequence, assign
+    /// chunks round-robin, and emit one counted loop per owned chunk.
+    fn lower_guided(&mut self, var: LoopVar, trip: u64, min_chunk: u64, body: &[Stmt]) {
+        let chunks = guided_chunks(trip, self.team, min_chunk);
+        for (cid, &(start, len)) in chunks.iter().enumerate() {
+            if cid % self.team != self.core {
+                continue;
+            }
+            self.counted_loop(len, Some((var, start as i64, 1)), true, |lo| {
+                lo.lower_serial_body(body);
+            });
+        }
+    }
+}
+
+/// The `(start, len)` chunk sequence of a guided schedule over `trip`
+/// iterations for `team` cores with minimum chunk `min_chunk`.
+pub fn guided_chunks(trip: u64, team: usize, min_chunk: u64) -> Vec<(u64, u64)> {
+    let mut chunks = Vec::new();
+    let mut start = 0u64;
+    let mut remaining = trip;
+    let min_chunk = min_chunk.max(1);
+    while remaining > 0 {
+        let len = (remaining / (2 * team as u64)).max(min_chunk).min(remaining);
+        chunks.push((start, len));
+        start += len;
+        remaining -= len;
+    }
+    chunks
+}
+
+fn merge_term(terms: &mut Vec<(u8, i64)>, d: u8, c: i64) {
+    if let Some(t) = terms.iter_mut().find(|(td, _)| *td == d) {
+        t.1 += c;
+        terms.retain(|(_, c)| *c != 0);
+    } else {
+        terms.push((d, c));
+    }
+}
+
+/// Returns `(start, len)` of `core`'s contiguous static chunk of `trip`
+/// iterations split over `team` cores.
+pub fn static_chunk(trip: u64, team: usize, core: usize) -> (u64, u64) {
+    let team = team as u64;
+    let core = core as u64;
+    let base = trip / team;
+    let rem = trip % team;
+    let start = core * base + core.min(rem);
+    let len = base + u64::from(core < rem);
+    (start, len)
+}
+
+fn contains_parallel(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::ParFor { .. } => true,
+        Stmt::For { body, .. } | Stmt::Critical(body) => contains_parallel(body),
+        _ => false,
+    })
+}
+
+/// Returns `true` when `stmts` contain a DMA transfer anywhere.
+pub fn contains_dma(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::DmaTransfer { .. } | Stmt::DmaWait => true,
+        Stmt::For { body, .. } | Stmt::ParFor { body, .. } | Stmt::Critical(body) => {
+            contains_dma(body)
+        }
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::types::{DType, Suite};
+    use pulp_sim::simulate;
+
+    fn config() -> ClusterConfig {
+        ClusterConfig::default()
+    }
+
+    fn vector_add(n: usize) -> Kernel {
+        let mut b = KernelBuilder::new("vadd", Suite::Custom, DType::I32, n * 4);
+        let a = b.array("a", n);
+        let c = b.array("c", n);
+        b.par_for(n as u64, |b, i| {
+            b.load(a, i);
+            b.compute(1);
+            b.store(c, i);
+        });
+        b.build().expect("valid kernel")
+    }
+
+    #[test]
+    fn static_chunk_partitions_exactly() {
+        for trip in [0u64, 1, 7, 8, 9, 100] {
+            for team in 1..=8usize {
+                let mut total = 0;
+                let mut next = 0;
+                for core in 0..team {
+                    let (start, len) = static_chunk(trip, team, core);
+                    assert_eq!(start, next, "chunks must be contiguous");
+                    next = start + len;
+                    total += len;
+                }
+                assert_eq!(total, trip, "trip={trip} team={team}");
+            }
+        }
+    }
+
+    #[test]
+    fn lower_rejects_bad_team() {
+        let k = vector_add(16);
+        assert!(matches!(lower(&k, 0, &config()), Err(LowerError::BadTeamSize { .. })));
+        assert!(matches!(lower(&k, 9, &config()), Err(LowerError::BadTeamSize { .. })));
+    }
+
+    #[test]
+    fn lowered_program_validates_and_runs() {
+        let k = vector_add(64);
+        for team in 1..=8 {
+            let lowered = lower(&k, team, &config()).expect("lower");
+            assert_eq!(lowered.program.num_cores(), team);
+            let stats = simulate(&config(), &lowered.program).expect("simulate");
+            // Each of the 64 iterations does 1 load + 1 store.
+            assert_eq!(stats.l1_reads(), 64, "team={team}");
+            assert_eq!(stats.l1_writes(), 64, "team={team}");
+        }
+    }
+
+    #[test]
+    fn work_is_conserved_across_team_sizes() {
+        let k = vector_add(100);
+        let ops1 = lower(&k, 1, &config()).expect("lower").program.dynamic_op_count();
+        let ops8 = lower(&k, 8, &config()).expect("lower").program.dynamic_op_count();
+        // Parallel lowering adds per-core prologue/loop overhead but the
+        // payload work (3 ops per iteration) must be identical.
+        let payload: u64 = 3 * 100;
+        assert!(ops1 >= payload);
+        assert!(ops8 >= payload);
+        // Overhead stays within the runtime bookkeeping budget.
+        assert!(ops8 - payload < 8 * 64, "excess overhead: {}", ops8 - payload);
+    }
+
+    #[test]
+    fn addresses_cover_the_arrays_disjointly() {
+        let n = 32;
+        let k = vector_add(n);
+        let lowered = lower(&k, 4, &config()).expect("lower");
+        let base_a = lowered.layout.base(ArrayId(0));
+        let base_c = lowered.layout.base(ArrayId(1));
+        assert_eq!(base_c - base_a, (n * 4) as u32, "arrays packed back to back");
+    }
+
+    #[test]
+    fn parallel_speedup_visible_after_lowering() {
+        let k = vector_add(512);
+        let c1 = simulate(&config(), &lower(&k, 1, &config()).expect("lower").program)
+            .expect("simulate")
+            .cycles;
+        let c8 = simulate(&config(), &lower(&k, 8, &config()).expect("lower").program)
+            .expect("simulate")
+            .cycles;
+        assert!(c8 * 3 < c1, "expected speedup: 1 core {c1} vs 8 cores {c8}");
+    }
+
+    #[test]
+    fn guided_chunks_partition_and_decay() {
+        for (trip, team) in [(100u64, 4usize), (37, 3), (8, 8), (1, 2)] {
+            let chunks = guided_chunks(trip, team, 1);
+            let total: u64 = chunks.iter().map(|&(_, l)| l).sum();
+            assert_eq!(total, trip, "trip={trip} team={team}");
+            // Contiguous coverage.
+            let mut next = 0;
+            for &(s, l) in &chunks {
+                assert_eq!(s, next);
+                next = s + l;
+            }
+            // Non-increasing chunk sizes.
+            for w in chunks.windows(2) {
+                assert!(w[1].1 <= w[0].1, "guided chunks must decay: {chunks:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn guided_schedule_covers_all_iterations() {
+        let n = 100usize;
+        let mut b = KernelBuilder::new("guided", Suite::Custom, DType::I32, n * 4);
+        let a = b.array("a", n);
+        b.par_for_sched(n as u64, Schedule::Guided(2), |b, i| {
+            b.store(a, i);
+        });
+        let k = b.build().expect("valid");
+        for team in [1, 4, 8] {
+            let lowered = lower(&k, team, &config()).expect("lower");
+            let stats = simulate(&config(), &lowered.program).expect("simulate");
+            assert_eq!(stats.l1_writes(), n as u64, "team={team}");
+        }
+    }
+
+    #[test]
+    fn chunked_schedule_covers_all_iterations() {
+        let n = 37usize; // deliberately not a multiple of chunk * team
+        let mut b = KernelBuilder::new("chunked", Suite::Custom, DType::I32, n * 4);
+        let a = b.array("a", n);
+        b.par_for_sched(n as u64, Schedule::Chunked(4), |b, i| {
+            b.store(a, i);
+        });
+        let k = b.build().expect("valid");
+        for team in [1, 3, 8] {
+            let lowered = lower(&k, team, &config()).expect("lower");
+            let stats = simulate(&config(), &lowered.program).expect("simulate");
+            assert_eq!(stats.l1_writes(), n as u64, "team={team}");
+        }
+    }
+
+    #[test]
+    fn chunked_addresses_match_static_semantics() {
+        // Store i at a[i]: collect addresses from both schedules; as a set
+        // they must be identical.
+        let n = 24usize;
+        let build = |sched: Schedule| {
+            let mut b = KernelBuilder::new("s", Suite::Custom, DType::I32, n * 4);
+            let a = b.array("a", n);
+            b.par_for_sched(n as u64, sched, |b, i| b.store(a, i));
+            b.build().expect("valid")
+        };
+        let collect = |k: &Kernel| {
+            use pulp_sim::{simulate_traced, TraceEvent, VecSink};
+            let lowered = lower(k, 3, &config()).expect("lower");
+            let mut sink = VecSink::new();
+            simulate_traced(&config(), &lowered.program, 1_000_000, &mut sink)
+                .expect("simulate");
+            let mut addrs: Vec<u32> = sink
+                .events
+                .iter()
+                .filter_map(|(_, e)| match e {
+                    TraceEvent::Insn { kind: OpKind::Store, addr, .. } => *addr,
+                    _ => None,
+                })
+                .collect();
+            addrs.sort_unstable();
+            addrs
+        };
+        let a = collect(&build(Schedule::Static));
+        let b = collect(&build(Schedule::Chunked(5)));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), n);
+    }
+
+    #[test]
+    fn sequential_sections_run_on_master_only() {
+        let mut b = KernelBuilder::new("seq", Suite::Custom, DType::I32, 64);
+        let a = b.array("a", 16);
+        b.for_(16, |b, i| b.store(a, i)); // sequential init
+        b.par_for(16, |b, i| {
+            b.load(a, i);
+        });
+        let k = b.build().expect("valid");
+        let lowered = lower(&k, 4, &config()).expect("lower");
+        let stats = simulate(&config(), &lowered.program).expect("simulate");
+        // Master did the 16 stores; loads spread across the team.
+        assert_eq!(stats.cores[0].l1_ops >= 16 + 4, true);
+        assert!(stats.cores[1].l1_ops >= 1);
+    }
+
+    #[test]
+    fn outer_time_loop_with_inner_region() {
+        let mut b = KernelBuilder::new("iter", Suite::Custom, DType::I32, 64);
+        let a = b.array("a", 16);
+        b.for_(3, |b, _t| {
+            b.par_for(16, |b, i| {
+                b.load(a, i);
+                b.store(a, i);
+            });
+        });
+        let k = b.build().expect("valid");
+        let lowered = lower(&k, 4, &config()).expect("lower");
+        let stats = simulate(&config(), &lowered.program).expect("simulate");
+        assert_eq!(stats.l1_reads(), 3 * 16);
+        assert_eq!(stats.l1_writes(), 3 * 16);
+        assert_eq!(stats.barriers, 3);
+    }
+
+    #[test]
+    fn empty_chunks_still_synchronise() {
+        // 2 iterations over 8 cores: 6 cores get nothing but must not hang.
+        let mut b = KernelBuilder::new("tiny", Suite::Custom, DType::I32, 8);
+        let a = b.array("a", 2);
+        b.par_for(2, |b, i| b.store(a, i));
+        let k = b.build().expect("valid");
+        let lowered = lower(&k, 8, &config()).expect("lower");
+        let stats = simulate(&config(), &lowered.program).expect("simulate");
+        assert_eq!(stats.l1_writes(), 2);
+    }
+}

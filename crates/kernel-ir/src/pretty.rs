@@ -1,0 +1,186 @@
+//! Pseudo-C pretty-printing of kernels.
+//!
+//! Renders a [`Kernel`] back into OpenMP-flavoured pseudo-C, close to the
+//! sources the dataset kernels were ported from. Useful in docs, debug
+//! output and the examples; [`Kernel`] implements [`std::fmt::Display`]
+//! through this module.
+
+use crate::ast::{Kernel, Stmt};
+use crate::expr::Idx;
+use crate::types::{MemLevel, Schedule};
+use std::fmt::{self, Write as _};
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&render(self))
+    }
+}
+
+/// Renders `kernel` as OpenMP-flavoured pseudo-C.
+pub fn render(kernel: &Kernel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// {} [{}] dtype={} payload={}B",
+        kernel.name, kernel.suite, kernel.dtype, kernel.payload_bytes
+    );
+    let _ = writeln!(out, "void kernel(void) {{");
+    for (i, a) in kernel.arrays.iter().enumerate() {
+        let attr = match a.level {
+            MemLevel::Tcdm => "__tcdm",
+            MemLevel::L2 => "__l2",
+        };
+        let _ = writeln!(out, "  {attr} {} {}[{}]; // a{i}", kernel.dtype, a.name, a.len);
+    }
+    render_stmts(kernel, &kernel.body, 1, &mut out);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn var_name(id: u32) -> String {
+    // i, j, k, l, m, ... then v<N>.
+    const NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n_"];
+    NAMES.get(id as usize).map_or_else(|| format!("v{id}"), |s| (*s).to_string())
+}
+
+fn render_idx(idx: &Idx) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (v, c) in idx.terms() {
+        match c {
+            1 => parts.push(var_name(v.id())),
+            -1 => parts.push(format!("-{}", var_name(v.id()))),
+            c => parts.push(format!("{c}*{}", var_name(v.id()))),
+        }
+    }
+    if idx.constant() != 0 || parts.is_empty() {
+        parts.push(idx.constant().to_string());
+    }
+    parts.join(" + ").replace("+ -", "- ")
+}
+
+fn render_stmts(kernel: &Kernel, stmts: &[Stmt], indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::For { var, trip, body } => {
+                let v = var_name(var.id());
+                let _ = writeln!(out, "{pad}for (int {v} = 0; {v} < {trip}; {v}++) {{");
+                render_stmts(kernel, body, indent + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::ParFor { var, trip, sched, body } => {
+                let clause = match sched {
+                    Schedule::Static => String::new(),
+                    Schedule::Chunked(k) => format!(" schedule(static, {k})"),
+                    Schedule::Guided(k) => format!(" schedule(guided, {k})"),
+                };
+                let v = var_name(var.id());
+                let _ = writeln!(out, "{pad}#pragma omp parallel for{clause}");
+                let _ = writeln!(out, "{pad}for (int {v} = 0; {v} < {trip}; {v}++) {{");
+                render_stmts(kernel, body, indent + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Load { arr, idx } => {
+                let _ = writeln!(out, "{pad}tmp = {}[{}];", kernel.array(*arr).name, render_idx(idx));
+            }
+            Stmt::Store { arr, idx } => {
+                let _ = writeln!(out, "{pad}{}[{}] = tmp;", kernel.array(*arr).name, render_idx(idx));
+            }
+            Stmt::Alu(n) => {
+                let _ = writeln!(out, "{pad}/* {n}x int alu */");
+            }
+            Stmt::Mul(n) => {
+                let _ = writeln!(out, "{pad}/* {n}x int mul */");
+            }
+            Stmt::Div(n) => {
+                let _ = writeln!(out, "{pad}/* {n}x int div */");
+            }
+            Stmt::Fp(n) => {
+                let _ = writeln!(out, "{pad}/* {n}x fp op */");
+            }
+            Stmt::FpDiv(n) => {
+                let _ = writeln!(out, "{pad}/* {n}x fp div */");
+            }
+            Stmt::Nop(n) => {
+                let _ = writeln!(out, "{pad}/* {n}x nop */");
+            }
+            Stmt::Barrier => {
+                let _ = writeln!(out, "{pad}#pragma omp barrier");
+            }
+            Stmt::Critical(body) => {
+                let _ = writeln!(out, "{pad}#pragma omp critical");
+                let _ = writeln!(out, "{pad}{{");
+                render_stmts(kernel, body, indent + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::DmaTransfer { l2, tcdm, words, inbound, blocking } => {
+                let (src, dst) = if *inbound { (*l2, *tcdm) } else { (*tcdm, *l2) };
+                let call = if *blocking { "dma_memcpy" } else { "dma_memcpy_async" };
+                let _ = writeln!(
+                    out,
+                    "{pad}{call}({}, {}, {words} /* words */);",
+                    kernel.array(dst).name,
+                    kernel.array(src).name
+                );
+            }
+            Stmt::DmaWait => {
+                let _ = writeln!(out, "{pad}dma_wait();");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::types::{DType, Suite};
+
+    fn demo() -> Kernel {
+        let mut b = KernelBuilder::new("demo", Suite::Custom, DType::F32, 256);
+        let a = b.array("a", 64);
+        let l2 = b.array_l2("buf", 64);
+        b.dma_in(l2, a, 64);
+        b.par_for_sched(8, Schedule::Chunked(2), |b, i| {
+            b.for_(8, |b, j| {
+                b.load(a, i * 8 + j);
+                b.compute(2);
+            });
+            b.critical(|b| b.store(a, i));
+        });
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn renders_structure() {
+        let text = render(&demo());
+        assert!(text.contains("#pragma omp parallel for schedule(static, 2)"));
+        assert!(text.contains("for (int j = 0; j < 8; j++)"));
+        assert!(text.contains("tmp = a[8*i + j];"));
+        assert!(text.contains("#pragma omp critical"));
+        assert!(text.contains("dma_memcpy(a, buf, 64"));
+        assert!(text.contains("__tcdm f32 a[64]"));
+        assert!(text.contains("__l2 f32 buf[64]"));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let k = demo();
+        assert_eq!(format!("{k}"), render(&k));
+    }
+
+    #[test]
+    fn index_rendering_handles_constants_and_negatives() {
+        assert_eq!(render_idx(&Idx::zero()), "0");
+        assert_eq!(render_idx(&Idx::constant_of(5)), "5");
+        let i = crate::expr::LoopVar::for_tests(0);
+        assert_eq!(render_idx(&(Idx::constant_of(15) - i)), "-i + 15");
+        assert_eq!(render_idx(&(i * 4 + 2usize)), "4*i + 2");
+    }
+
+    #[test]
+    fn braces_balance() {
+        let text = render(&demo());
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+}

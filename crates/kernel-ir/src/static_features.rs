@@ -1,0 +1,161 @@
+//! Static (compile-time) feature extraction — the RAW and AGG feature
+//! families of Table II(a) in the paper.
+//!
+//! RAW features are static counts read off the IR without executing it,
+//! mirroring the LLVM-IR parsing of the original work:
+//!
+//! * `op` — number of ALU, FP and JUMP opcodes in the kernel body,
+//! * `tcdm` — number of accesses to the on-cluster TCDM memory,
+//! * `transfer` — amount of data the kernel works on (payload bytes),
+//! * `avgws` — average iteration count of the parallel regions (the
+//!   OpenMP replacement the paper proposes for OpenCL's work-item count).
+//!
+//! AGG features combine them exactly as Grewe et al. do:
+//! `F1 = transfer / (op + tcdm)`, `F3 = avgws`, `F4 = op / tcdm`.
+
+use crate::ast::{Kernel, Stmt};
+use crate::types::MemLevel;
+use serde::{Deserialize, Serialize};
+
+/// Raw static counts (Table II(a), RAW block).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RawFeatures {
+    /// Static count of ALU, FP and JUMP opcodes.
+    pub op: u64,
+    /// Static count of TCDM accesses.
+    pub tcdm: u64,
+    /// Payload bytes the kernel works on.
+    pub transfer: u64,
+    /// Average trip count over parallel regions (0 when there are none).
+    pub avgws: f64,
+}
+
+impl RawFeatures {
+    /// Extracts the RAW features from `kernel`.
+    pub fn extract(kernel: &Kernel) -> Self {
+        let mut op: u64 = 0;
+        let mut tcdm: u64 = 0;
+        let mut region_trips: Vec<u64> = Vec::new();
+        kernel.visit(|s| match s {
+            Stmt::Alu(n) | Stmt::Mul(n) | Stmt::Div(n) | Stmt::Fp(n) | Stmt::FpDiv(n) => {
+                op += u64::from(*n);
+            }
+            // Each loop contributes one backward jump.
+            Stmt::For { .. } => op += 1,
+            Stmt::ParFor { trip, .. } => {
+                op += 1;
+                region_trips.push(*trip);
+            }
+            Stmt::Load { arr, .. } | Stmt::Store { arr, .. } => {
+                if kernel.array(*arr).level == MemLevel::Tcdm {
+                    tcdm += 1;
+                }
+            }
+            _ => {}
+        });
+        let avgws = if region_trips.is_empty() {
+            0.0
+        } else {
+            region_trips.iter().sum::<u64>() as f64 / region_trips.len() as f64
+        };
+        Self { op, tcdm, transfer: kernel.payload_bytes as u64, avgws }
+    }
+}
+
+/// Aggregate static features (Table II(a), AGG block).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggFeatures {
+    /// `transfer / (op + tcdm)` — data moved per static instruction.
+    pub f1: f64,
+    /// `avgws` — parallel work available.
+    pub f3: f64,
+    /// `op / tcdm` — compute-to-memory ratio.
+    pub f4: f64,
+}
+
+impl AggFeatures {
+    /// Combines RAW features following Grewe et al.
+    ///
+    /// Denominators are clamped to 1 so kernels without memory accesses
+    /// still produce finite features.
+    pub fn from_raw(raw: &RawFeatures) -> Self {
+        let denom1 = (raw.op + raw.tcdm).max(1) as f64;
+        let denom4 = raw.tcdm.max(1) as f64;
+        Self {
+            f1: raw.transfer as f64 / denom1,
+            f3: raw.avgws,
+            f4: raw.op as f64 / denom4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::types::{DType, Suite};
+
+    fn sample_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("k", Suite::Custom, DType::F32, 256);
+        let a = b.array("a", 64);
+        let l2 = b.array_l2("b", 64);
+        b.par_for(64, |b, i| {
+            b.load(a, i); // tcdm
+            b.load(l2, i); // l2, not counted in tcdm
+            b.compute(3); // 3 fp
+            b.store(a, i); // tcdm
+        });
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn raw_counts_are_static_not_dynamic() {
+        let raw = RawFeatures::extract(&sample_kernel());
+        // 3 FP + 1 jump for the region; loop trip does not multiply counts.
+        assert_eq!(raw.op, 4);
+        assert_eq!(raw.tcdm, 2);
+        assert_eq!(raw.transfer, 256);
+        assert!((raw.avgws - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l2_accesses_excluded_from_tcdm_count() {
+        let raw = RawFeatures::extract(&sample_kernel());
+        assert_eq!(raw.tcdm, 2, "only the two TCDM accesses count");
+    }
+
+    #[test]
+    fn agg_combines_grewe_style() {
+        let raw = RawFeatures { op: 6, tcdm: 2, transfer: 256, avgws: 64.0 };
+        let agg = AggFeatures::from_raw(&raw);
+        assert!((agg.f1 - 32.0).abs() < 1e-9);
+        assert!((agg.f3 - 64.0).abs() < 1e-9);
+        assert!((agg.f4 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agg_handles_zero_denominators() {
+        let raw = RawFeatures { op: 0, tcdm: 0, transfer: 100, avgws: 0.0 };
+        let agg = AggFeatures::from_raw(&raw);
+        assert!(agg.f1.is_finite());
+        assert!(agg.f4.is_finite());
+    }
+
+    #[test]
+    fn avgws_averages_multiple_regions() {
+        let mut b = KernelBuilder::new("k", Suite::Custom, DType::I32, 64);
+        b.par_for(10, |b, _| b.alu(1));
+        b.par_for(30, |b, _| b.alu(1));
+        let k = b.build().expect("valid");
+        let raw = RawFeatures::extract(&k);
+        assert!((raw.avgws - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_regions_gives_zero_avgws() {
+        let mut b = KernelBuilder::new("k", Suite::Custom, DType::I32, 64);
+        b.for_(10, |b, _| b.alu(1));
+        let k = b.build().expect("valid");
+        assert_eq!(RawFeatures::extract(&k).avgws, 0.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Kernel transformations.
+//!
+//! Compiler-style rewrites over the IR:
+//!
+//! * [`unroll_innermost`] — trades static code size (more I-cache
+//!   refills, larger `op` feature) for fewer loop-control instructions
+//!   per iteration; quantified by the `unroll_ablation` bench.
+//! * [`interchange_parallel`] — swaps a perfect `parallel for`/`for`
+//!   nest, moving the work-sharing domain to the inner loop.
+//!
+//! Both let robustness studies ask how sensitive the energy landscape and
+//! the static features are to compiler knobs the paper holds fixed.
+
+use crate::ast::{Kernel, Stmt};
+use crate::expr::LoopVar;
+
+/// Unrolls every innermost sequential `For` loop of `kernel` by `factor`.
+///
+/// A loop of trip `t` becomes a loop of `t / factor` iterations whose body
+/// is `factor` substituted copies, followed by `t % factor` straight-line
+/// remainder copies. Parallel loops are never unrolled (their trip is the
+/// work-sharing domain, not a code-size knob).
+///
+/// Factors of 0 or 1, and kernels without eligible loops, return an
+/// unchanged clone.
+pub fn unroll_innermost(kernel: &Kernel, factor: u32) -> Kernel {
+    let mut out = kernel.clone();
+    if factor <= 1 {
+        return out;
+    }
+    let mut next_var = max_var_id(kernel).map_or(0, |v| v + 1);
+    out.body = rewrite(&out.body, u64::from(factor), &mut next_var);
+    out
+}
+
+fn max_var_id(kernel: &Kernel) -> Option<u32> {
+    let mut max = None;
+    kernel.visit(|s| {
+        if let Stmt::For { var, .. } | Stmt::ParFor { var, .. } = s {
+            max = Some(max.map_or(var.id(), |m: u32| m.max(var.id())));
+        }
+    });
+    max
+}
+
+fn has_loop(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::For { .. } | Stmt::ParFor { .. } => true,
+        Stmt::Critical(body) => has_loop(body),
+        _ => false,
+    })
+}
+
+fn rewrite(stmts: &[Stmt], factor: u64, next_var: &mut u32) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::For { var, trip, body } if !has_loop(body) => {
+                unroll_one(*var, *trip, body, factor, next_var)
+            }
+            Stmt::For { var, trip, body } => Stmt::For {
+                var: *var,
+                trip: *trip,
+                body: rewrite(body, factor, next_var),
+            },
+            Stmt::ParFor { var, trip, sched, body } => Stmt::ParFor {
+                var: *var,
+                trip: *trip,
+                sched: *sched,
+                body: rewrite(body, factor, next_var),
+            },
+            Stmt::Critical(body) => Stmt::Critical(rewrite(body, factor, next_var)),
+            other => other.clone(),
+        })
+        .collect()
+}
+
+fn unroll_one(var: LoopVar, trip: u64, body: &[Stmt], factor: u64, next_var: &mut u32) -> Stmt {
+    let main_trips = trip / factor;
+    let remainder = trip % factor;
+    let new_var = LoopVar(*next_var);
+    *next_var += 1;
+
+    let mut main_body = Vec::with_capacity(body.len() * factor as usize);
+    for u in 0..factor {
+        for s in body {
+            main_body.push(substitute(s, var, Some(new_var), factor as i64, u as i64));
+        }
+    }
+    let mut out = Vec::new();
+    if main_trips > 0 {
+        out.push(Stmt::For { var: new_var, trip: main_trips, body: main_body });
+    }
+    for r in 0..remainder {
+        let base = (main_trips * factor + r) as i64;
+        for s in body {
+            out.push(substitute(s, var, None, 0, base));
+        }
+    }
+    // A single statement is expected by the caller; wrap multi-part
+    // results in a trip-1 loop only when needed.
+    if out.len() == 1 {
+        out.pop().expect("non-empty")
+    } else {
+        let wrapper = LoopVar(*next_var);
+        *next_var += 1;
+        Stmt::For { var: wrapper, trip: 1, body: out }
+    }
+}
+
+fn substitute(
+    s: &Stmt,
+    var: LoopVar,
+    new_var: Option<LoopVar>,
+    scale: i64,
+    offset: i64,
+) -> Stmt {
+    match s {
+        Stmt::Load { arr, idx } => Stmt::Load {
+            arr: *arr,
+            idx: idx.replace_var_affine(var, new_var, scale, offset),
+        },
+        Stmt::Store { arr, idx } => Stmt::Store {
+            arr: *arr,
+            idx: idx.replace_var_affine(var, new_var, scale, offset),
+        },
+        Stmt::Critical(body) => Stmt::Critical(
+            body.iter().map(|s| substitute(s, var, new_var, scale, offset)).collect(),
+        ),
+        // Innermost loops contain no nested loops by construction.
+        other => other.clone(),
+    }
+}
+
+/// Interchanges each parallel loop with its immediately-nested sequential
+/// loop when the nest is *perfect* (the `ParFor` body is exactly one
+/// `For`). The inner loop becomes the work-sharing domain:
+///
+/// ```text
+/// parallel for i { for j { body(i, j) } }
+///   ==>  parallel for j { for i { body(i, j) } }
+/// ```
+///
+/// The IR carries no loop-carried dataflow, so the transform is always
+/// energy-semantics preserving here (same multiset of operations and
+/// addresses); on real code it would require a dependence check. It
+/// changes the `avgws` static feature, the bank-access pattern and the
+/// per-core chunk shape — a second compiler knob for robustness studies.
+pub fn interchange_parallel(kernel: &Kernel) -> Kernel {
+    let mut out = kernel.clone();
+    out.body = out
+        .body
+        .iter()
+        .map(|s| match s {
+            Stmt::ParFor { var, trip, sched, body } if body.len() == 1 => {
+                if let Stmt::For { var: ivar, trip: itrip, body: ibody } = &body[0] {
+                    Stmt::ParFor {
+                        var: *ivar,
+                        trip: *itrip,
+                        sched: *sched,
+                        body: vec![Stmt::For {
+                            var: *var,
+                            trip: *trip,
+                            body: ibody.clone(),
+                        }],
+                    }
+                } else {
+                    s.clone()
+                }
+            }
+            other => other.clone(),
+        })
+        .collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::lowering::lower;
+    use crate::types::{DType, Suite};
+    use pulp_sim::{simulate, simulate_traced, ClusterConfig, OpKind, TraceEvent, VecSink};
+
+    fn fir_like(n: u64, taps: u64) -> Kernel {
+        let mut b = KernelBuilder::new("fir", Suite::Custom, DType::I32, 4 * n as usize);
+        let x = b.array("x", (n + taps) as usize);
+        let y = b.array("y", n as usize);
+        let c = b.array("c", taps as usize);
+        b.par_for(n, |b, i| {
+            b.for_(taps, |b, t| {
+                b.load(x, i + t);
+                b.load(c, t);
+                b.alu(2);
+            });
+            b.store(y, i);
+        });
+        b.build().expect("valid")
+    }
+
+    fn addresses(kernel: &Kernel, team: usize) -> Vec<u32> {
+        let cfg = ClusterConfig::default();
+        let lowered = lower(kernel, team, &cfg).expect("lower");
+        let mut sink = VecSink::new();
+        simulate_traced(&cfg, &lowered.program, 10_000_000, &mut sink).expect("simulate");
+        let mut addrs: Vec<u32> = sink
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TraceEvent::Insn { kind: OpKind::Load | OpKind::Store, addr, .. } => *addr,
+                _ => None,
+            })
+            .collect();
+        addrs.sort_unstable();
+        addrs
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let k = fir_like(16, 8);
+        assert_eq!(unroll_innermost(&k, 1), k);
+        assert_eq!(unroll_innermost(&k, 0), k);
+    }
+
+    #[test]
+    fn unrolled_kernel_still_validates() {
+        let k = fir_like(16, 8);
+        for factor in [2, 3, 4, 8] {
+            let u = unroll_innermost(&k, factor);
+            assert!(crate::validate::validate(&u).is_ok(), "factor {factor}");
+        }
+    }
+
+    #[test]
+    fn unrolling_preserves_the_memory_access_multiset() {
+        let k = fir_like(12, 6);
+        let base = addresses(&k, 3);
+        for factor in [2, 4, 5] {
+            let u = unroll_innermost(&k, factor);
+            assert_eq!(addresses(&u, 3), base, "factor {factor}");
+        }
+    }
+
+    #[test]
+    fn unrolling_reduces_cycles() {
+        let cfg = ClusterConfig::default();
+        let k = fir_like(64, 16);
+        let cycles = |k: &Kernel| {
+            let lowered = lower(k, 1, &cfg).expect("lower");
+            simulate(&cfg, &lowered.program).expect("simulate").cycles
+        };
+        let base = cycles(&k);
+        let unrolled = cycles(&unroll_innermost(&k, 4));
+        assert!(
+            unrolled < base,
+            "unrolling must remove loop overhead: {unrolled} vs {base}"
+        );
+    }
+
+    #[test]
+    fn remainder_iterations_are_not_lost() {
+        // trip 7, factor 3: 2 full blocks + 1 remainder.
+        let k = fir_like(4, 7);
+        let u = unroll_innermost(&k, 3);
+        assert_eq!(addresses(&u, 1), addresses(&k, 1));
+    }
+
+    #[test]
+    fn interchange_swaps_perfect_nests() {
+        let k = fir_like(16, 8);
+        let t = interchange_parallel(&k);
+        assert!(crate::validate::validate(&t).is_ok());
+        // The parallel trip count is now the tap count.
+        let mut outer_trip = 0;
+        for s in &t.body {
+            if let Stmt::ParFor { trip, .. } = s {
+                outer_trip = *trip;
+            }
+        }
+        // fir's region body is [For, Store]: not a perfect nest → no swap.
+        assert_eq!(outer_trip, 16);
+
+        // A genuinely perfect nest does swap.
+        let mut b = crate::builder::KernelBuilder::new(
+            "nest",
+            crate::types::Suite::Custom,
+            crate::types::DType::I32,
+            1024,
+        );
+        let a = b.array("a", 16 * 8);
+        b.par_for(16, |b, i| {
+            b.for_(8, |b, j| {
+                b.load(a, i * 8 + j);
+                b.alu(1);
+            });
+        });
+        let k = b.build().expect("valid");
+        let t = interchange_parallel(&k);
+        let mut outer = 0;
+        for s in &t.body {
+            if let Stmt::ParFor { trip, .. } = s {
+                outer = *trip;
+            }
+        }
+        assert_eq!(outer, 8, "inner loop must become the parallel domain");
+        assert_eq!(addresses(&t, 4), addresses(&k, 4), "same access multiset");
+        // avgws changes accordingly.
+        use crate::static_features::RawFeatures;
+        assert_eq!(RawFeatures::extract(&k).avgws, 16.0);
+        assert_eq!(RawFeatures::extract(&t).avgws, 8.0);
+    }
+
+    #[test]
+    fn grows_static_op_feature() {
+        use crate::static_features::RawFeatures;
+        let k = fir_like(16, 8);
+        let u = unroll_innermost(&k, 4);
+        let base = RawFeatures::extract(&k);
+        let unrolled = RawFeatures::extract(&u);
+        assert!(unrolled.op > base.op, "{} !> {}", unrolled.op, base.op);
+        assert!(unrolled.tcdm > base.tcdm);
+    }
+}

@@ -1,0 +1,112 @@
+//! Basic kernel types: data types, benchmark suites, loop schedules.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element data type a kernel is instantiated with.
+///
+/// The paper's dataset considers 32-bit integers and 32-bit single-precision
+/// floats (PULP's cores have no double-precision support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit signed integer.
+    I32,
+    /// 32-bit IEEE-754 single-precision float.
+    F32,
+}
+
+impl DType {
+    /// Element size in bytes (both supported types are 32-bit).
+    pub const fn bytes(self) -> usize {
+        4
+    }
+
+    /// All data types in dataset enumeration order.
+    pub const ALL: [DType; 2] = [DType::I32, DType::F32];
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DType::I32 => "i32",
+            DType::F32 => "f32",
+        })
+    }
+}
+
+/// Benchmark suite a kernel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// Polyhedral-compilation benchmarks.
+    Polybench,
+    /// DSP-oriented kernels.
+    Utdsp,
+    /// Hand-written kernels stressing memory, compute and synchronisation.
+    Custom,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Suite::Polybench => "polybench",
+            Suite::Utdsp => "utdsp",
+            Suite::Custom => "custom",
+        })
+    }
+}
+
+/// OpenMP loop schedule for parallel regions.
+///
+/// PULP's OpenMP runtime implements a limited subset of the standard's
+/// scheduling policies; following the paper we support static contiguous
+/// chunking and round-robin chunked scheduling (the closest static
+/// approximation of `schedule(dynamic, k)` on a platform without tasking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Contiguous block per core (`schedule(static)`).
+    Static,
+    /// Round-robin chunks of the given size (`schedule(static, k)`).
+    Chunked(usize),
+    /// Guided self-scheduling approximated statically: chunk sizes decay
+    /// geometrically (`remaining / (2 · team)`, floored at the given
+    /// minimum), assigned round-robin. The closest static model of
+    /// `schedule(guided, k)` on a runtime without tasking.
+    Guided(usize),
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::Static
+    }
+}
+
+/// Memory level an array is allocated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemLevel {
+    /// On-cluster tightly-coupled data memory (single-cycle).
+    Tcdm,
+    /// Off-cluster L2 scratchpad (15-cycle latency).
+    L2,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::I32.bytes(), 4);
+        assert_eq!(DType::F32.bytes(), 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(Suite::Polybench.to_string(), "polybench");
+    }
+
+    #[test]
+    fn default_schedule_is_static() {
+        assert_eq!(Schedule::default(), Schedule::Static);
+    }
+}

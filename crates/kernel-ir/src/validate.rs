@@ -1,0 +1,340 @@
+//! Structural validation of kernels.
+//!
+//! Checks the invariants the lowering pass and the simulator rely on:
+//! memory footprints fit their level, every index stays in bounds for all
+//! loop-variable values (interval analysis over the affine expressions),
+//! parallel regions do not nest, and barriers only appear at the top level.
+
+use crate::ast::{ArrayId, Kernel, Stmt};
+use crate::expr::{Idx, LoopVar};
+use crate::types::MemLevel;
+use std::collections::HashMap;
+use std::fmt;
+
+/// TCDM capacity assumed by validation (the paper's instance: 64 KiB).
+pub const TCDM_CAPACITY: usize = 64 * 1024;
+/// L2 capacity assumed by validation (the paper's instance: 512 KiB).
+pub const L2_CAPACITY: usize = 512 * 1024;
+
+/// Errors reported by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateKernelError {
+    /// Combined TCDM arrays exceed the scratchpad capacity.
+    TcdmOverflow {
+        /// Bytes requested.
+        bytes: usize,
+        /// Capacity available.
+        capacity: usize,
+    },
+    /// Combined L2 arrays exceed the L2 capacity.
+    L2Overflow {
+        /// Bytes requested.
+        bytes: usize,
+        /// Capacity available.
+        capacity: usize,
+    },
+    /// A `ParFor` appears inside another `ParFor`.
+    NestedParallel,
+    /// A barrier appears inside a loop or critical section.
+    MisplacedBarrier,
+    /// An index expression references a loop variable that is not in scope.
+    UnboundVar {
+        /// The out-of-scope variable.
+        var: LoopVar,
+    },
+    /// A DMA endpoint is in the wrong memory level or too small.
+    BadDma {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A DMA transfer appears inside a parallel region.
+    MisplacedDma,
+    /// An access may fall outside its array for some iteration.
+    IndexOutOfBounds {
+        /// Accessed array.
+        arr: ArrayId,
+        /// Smallest reachable index.
+        min: i64,
+        /// Largest reachable index.
+        max: i64,
+        /// Array length in elements.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ValidateKernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TcdmOverflow { bytes, capacity } => {
+                write!(f, "TCDM arrays need {bytes} B but capacity is {capacity} B")
+            }
+            Self::L2Overflow { bytes, capacity } => {
+                write!(f, "L2 arrays need {bytes} B but capacity is {capacity} B")
+            }
+            Self::NestedParallel => write!(f, "nested parallel regions are not supported"),
+            Self::MisplacedBarrier => {
+                write!(f, "barriers are only allowed at the kernel top level")
+            }
+            Self::UnboundVar { var } => {
+                write!(f, "index references out-of-scope loop variable v{}", var.id())
+            }
+            Self::BadDma { reason } => write!(f, "invalid DMA transfer: {reason}"),
+            Self::MisplacedDma => {
+                write!(f, "DMA transfers are not allowed inside parallel regions")
+            }
+            Self::IndexOutOfBounds { arr, min, max, len } => write!(
+                f,
+                "array {} indexed in [{min}, {max}] but has {len} elements",
+                arr.id()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidateKernelError {}
+
+/// Validates `kernel`, returning the first defect found.
+///
+/// # Errors
+///
+/// See [`ValidateKernelError`] for the conditions checked.
+pub fn validate(kernel: &Kernel) -> Result<(), ValidateKernelError> {
+    let tcdm = kernel.footprint(MemLevel::Tcdm);
+    if tcdm > TCDM_CAPACITY {
+        return Err(ValidateKernelError::TcdmOverflow { bytes: tcdm, capacity: TCDM_CAPACITY });
+    }
+    let l2 = kernel.footprint(MemLevel::L2);
+    if l2 > L2_CAPACITY {
+        return Err(ValidateKernelError::L2Overflow { bytes: l2, capacity: L2_CAPACITY });
+    }
+    let mut scope: HashMap<LoopVar, u64> = HashMap::new();
+    check_stmts(kernel, &kernel.body, &mut scope, Ctx::TopLevel)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctx {
+    TopLevel,
+    InLoop,
+    InParallel,
+}
+
+fn check_stmts(
+    kernel: &Kernel,
+    stmts: &[Stmt],
+    scope: &mut HashMap<LoopVar, u64>,
+    ctx: Ctx,
+) -> Result<(), ValidateKernelError> {
+    for s in stmts {
+        match s {
+            Stmt::For { var, trip, body } => {
+                scope.insert(*var, *trip);
+                let inner = if ctx == Ctx::TopLevel { Ctx::InLoop } else { ctx };
+                check_stmts(kernel, body, scope, inner)?;
+                scope.remove(var);
+            }
+            Stmt::ParFor { var, trip, body, .. } => {
+                if ctx == Ctx::InParallel {
+                    return Err(ValidateKernelError::NestedParallel);
+                }
+                scope.insert(*var, *trip);
+                check_stmts(kernel, body, scope, Ctx::InParallel)?;
+                scope.remove(var);
+            }
+            Stmt::Load { arr, idx } | Stmt::Store { arr, idx } => {
+                check_access(kernel, *arr, idx, scope)?;
+            }
+            Stmt::Barrier => {
+                if ctx != Ctx::TopLevel {
+                    return Err(ValidateKernelError::MisplacedBarrier);
+                }
+            }
+            Stmt::Critical(body) => {
+                check_stmts(kernel, body, scope, ctx)?;
+            }
+            Stmt::DmaWait => {
+                if ctx == Ctx::InParallel {
+                    return Err(ValidateKernelError::MisplacedDma);
+                }
+            }
+            Stmt::DmaTransfer { l2, tcdm, words, .. } => {
+                // Allowed in sequential context (including tiling loops),
+                // but not inside parallel regions.
+                if ctx == Ctx::InParallel {
+                    return Err(ValidateKernelError::MisplacedDma);
+                }
+                if kernel.array(*l2).level != MemLevel::L2 {
+                    return Err(ValidateKernelError::BadDma {
+                        reason: "l2 endpoint must be an L2 array",
+                    });
+                }
+                if kernel.array(*tcdm).level != MemLevel::Tcdm {
+                    return Err(ValidateKernelError::BadDma {
+                        reason: "tcdm endpoint must be a TCDM array",
+                    });
+                }
+                let max = kernel.array(*l2).len.min(kernel.array(*tcdm).len) as u64;
+                if *words > max {
+                    return Err(ValidateKernelError::BadDma {
+                        reason: "transfer longer than an endpoint array",
+                    });
+                }
+            }
+            Stmt::Alu(_)
+            | Stmt::Mul(_)
+            | Stmt::Div(_)
+            | Stmt::Fp(_)
+            | Stmt::FpDiv(_)
+            | Stmt::Nop(_) => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_access(
+    kernel: &Kernel,
+    arr: ArrayId,
+    idx: &Idx,
+    scope: &HashMap<LoopVar, u64>,
+) -> Result<(), ValidateKernelError> {
+    let mut min = idx.constant();
+    let mut max = idx.constant();
+    for (var, coeff) in idx.terms() {
+        let Some(&trip) = scope.get(&var) else {
+            return Err(ValidateKernelError::UnboundVar { var });
+        };
+        let hi = trip.saturating_sub(1) as i64;
+        let (lo_c, hi_c) = if coeff >= 0 { (0, coeff * hi) } else { (coeff * hi, 0) };
+        min += lo_c;
+        max += hi_c;
+    }
+    let len = kernel.array(arr).len;
+    if min < 0 || max >= len as i64 {
+        return Err(ValidateKernelError::IndexOutOfBounds { arr, min, max, len });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::types::{DType, Suite};
+
+    fn builder() -> KernelBuilder {
+        KernelBuilder::new("t", Suite::Custom, DType::I32, 64)
+    }
+
+    #[test]
+    fn accepts_well_formed_kernel() {
+        let mut b = builder();
+        let a = b.array("a", 64);
+        b.par_for(8, |b, i| {
+            b.for_(8, |b, j| {
+                b.load(a, i * 8 + j);
+            });
+        });
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_tcdm_overflow() {
+        let mut b = builder();
+        let _ = b.array("big", (TCDM_CAPACITY / 4) + 1);
+        assert!(matches!(b.build(), Err(ValidateKernelError::TcdmOverflow { .. })));
+    }
+
+    #[test]
+    fn rejects_l2_overflow() {
+        let mut b = builder();
+        let _ = b.array_l2("big", (L2_CAPACITY / 4) + 1);
+        assert!(matches!(b.build(), Err(ValidateKernelError::L2Overflow { .. })));
+    }
+
+    #[test]
+    fn rejects_nested_parallel() {
+        let mut b = builder();
+        b.par_for(4, |b, _| {
+            b.par_for_sched(4, crate::types::Schedule::Static, |b, _| b.alu(1));
+        });
+        assert_eq!(b.build().unwrap_err(), ValidateKernelError::NestedParallel);
+    }
+
+    #[test]
+    fn rejects_barrier_in_loop() {
+        let mut b = builder();
+        b.par_for(4, |b, _| b.barrier());
+        assert_eq!(b.build().unwrap_err(), ValidateKernelError::MisplacedBarrier);
+    }
+
+    #[test]
+    fn accepts_top_level_barrier() {
+        let mut b = builder();
+        b.par_for(4, |b, _| b.alu(1));
+        b.barrier();
+        b.par_for(4, |b, _| b.alu(1));
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_upper() {
+        let mut b = builder();
+        let a = b.array("a", 8);
+        b.par_for(9, |b, i| b.load(a, i));
+        assert!(matches!(b.build(), Err(ValidateKernelError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn rejects_negative_index() {
+        let mut b = builder();
+        let a = b.array("a", 8);
+        b.par_for(8, |b, i| b.load(a, i - 1));
+        assert!(matches!(
+            b.build(),
+            Err(ValidateKernelError::IndexOutOfBounds { min: -1, .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_boundary_index() {
+        let mut b = builder();
+        let a = b.array("a", 8);
+        b.par_for(8, |b, i| b.load(a, i));
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_unbound_var() {
+        let mut b = builder();
+        let a = b.array("a", 64);
+        let mut stash = None;
+        b.par_for(4, |_, i| stash = Some(i));
+        let escaped = stash.expect("captured var");
+        b.load(a, escaped);
+        assert!(matches!(b.build(), Err(ValidateKernelError::UnboundVar { .. })));
+    }
+
+    #[test]
+    fn negative_coefficient_interval_analysis() {
+        let mut b = builder();
+        let a = b.array("a", 16);
+        // a[15 - i] for i in 0..16: in bounds.
+        b.par_for(16, |b, i| {
+            b.load(a, Idx::constant_of(15) - i);
+        });
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn negative_coefficient_out_of_bounds() {
+        let mut b = builder();
+        let a = b.array("a", 16);
+        // a[15 - i] for i in 0..17: reaches -1.
+        b.par_for(17, |b, i| {
+            b.load(a, Idx::constant_of(15) - i);
+        });
+        assert!(matches!(
+            b.build(),
+            Err(ValidateKernelError::IndexOutOfBounds { min: -1, .. })
+        ));
+    }
+}

@@ -1,0 +1,179 @@
+//! Extension kernels beyond the paper's 59-kernel dataset.
+//!
+//! The paper's future work proposes to "model DMA transfers and memory
+//! hierarchy". These kernels exercise that model: the same computation
+//! expressed (a) reading the off-cluster L2 directly on every access, and
+//! (b) staging tiles into the TCDM with the cluster DMA before computing —
+//! the canonical PULP programming pattern the dataset deliberately avoids.
+//!
+//! They are *not* part of [`crate::registry`] (the dataset stays at the
+//! paper's 59 kernels); the `dma_staging` example and the ablation tests
+//! consume them directly.
+
+use crate::params::{builder, KernelParams};
+use kernel_ir::{Kernel, Suite, ValidateKernelError};
+
+type BuildResult = Result<Kernel, ValidateKernelError>;
+
+/// Elements processed per DMA tile.
+pub const TILE_ELEMS: usize = 1024;
+
+/// Direct-to-L2 variant: every element is loaded from and stored to the
+/// off-cluster memory, paying the 15-cycle latency per access.
+pub fn l2_direct_scale(p: &KernelParams) -> BuildResult {
+    let n = p.elems().max(TILE_ELEMS);
+    let mut b = builder("l2_direct_scale", Suite::Custom, p);
+    let data = b.array_l2("data_l2", n);
+    b.par_for(n as u64, |b, i| {
+        b.load(data, i);
+        b.compute(2);
+        b.store(data, i);
+    });
+    b.build()
+}
+
+/// DMA-staged variant of [`l2_direct_scale`]: a sequential tiling loop
+/// stages each tile into the TCDM, a parallel region computes on it, and
+/// the DMA writes it back.
+pub fn dma_tiled_scale(p: &KernelParams) -> BuildResult {
+    let n = p.elems().max(TILE_ELEMS);
+    let tiles = n.div_ceil(TILE_ELEMS);
+    let mut b = builder("dma_tiled_scale", Suite::Custom, p);
+    let data = b.array_l2("data_l2", n);
+    let tile = b.array("tile", TILE_ELEMS);
+    b.for_(tiles as u64, |b, _t| {
+        b.dma_in(data, tile, TILE_ELEMS as u64);
+        b.par_for(TILE_ELEMS as u64, |b, i| {
+            b.load(tile, i);
+            b.compute(2);
+            b.store(tile, i);
+        });
+        b.dma_out(data, tile, TILE_ELEMS as u64);
+    });
+    b.build()
+}
+
+/// Double-buffered variant: while the team computes on one tile, the DMA
+/// prefetches the next into the other — the canonical overlap pattern.
+pub fn dma_double_buffer_scale(p: &KernelParams) -> BuildResult {
+    let n = p.elems().max(2 * TILE_ELEMS);
+    let pairs = n.div_ceil(2 * TILE_ELEMS);
+    let mut b = builder("dma_double_buffer_scale", Suite::Custom, p);
+    let data = b.array_l2("data_l2", n);
+    let tile_a = b.array("tile_a", TILE_ELEMS);
+    let tile_b = b.array("tile_b", TILE_ELEMS);
+    let words = TILE_ELEMS as u64;
+    b.dma_in(data, tile_a, words);
+    b.for_(pairs as u64, |b, _pair| {
+        // Prefetch the next tile while computing the current one.
+        b.dma_in_async(data, tile_b, words);
+        b.par_for(TILE_ELEMS as u64, |b, i| {
+            b.load(tile_a, i);
+            b.compute(2);
+            b.store(tile_a, i);
+        });
+        b.dma_wait();
+        b.dma_in_async(data, tile_a, words);
+        b.par_for(TILE_ELEMS as u64, |b, i| {
+            b.load(tile_b, i);
+            b.compute(2);
+            b.store(tile_b, i);
+        });
+        b.dma_wait();
+    });
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel_ir::{lower, DType};
+    use pulp_energy_model::{energy_of, EnergyModel};
+    use pulp_sim::{simulate, ClusterConfig};
+
+    fn run(kernel: &Kernel, team: usize) -> (u64, f64) {
+        let cfg = ClusterConfig::default();
+        let lowered = lower(kernel, team, &cfg).expect("lower");
+        let stats = simulate(&cfg, &lowered.program).expect("simulate");
+        (stats.cycles, energy_of(&stats, &EnergyModel::table1(), &cfg).total())
+    }
+
+    #[test]
+    fn both_variants_build_and_run() {
+        let p = KernelParams::new(DType::I32, 2048);
+        let direct = l2_direct_scale(&p).expect("direct");
+        let tiled = dma_tiled_scale(&p).expect("tiled");
+        for team in [1, 4, 8] {
+            let _ = run(&direct, team);
+            let _ = run(&tiled, team);
+        }
+    }
+
+    #[test]
+    fn dma_staging_beats_direct_l2_access() {
+        let p = KernelParams::new(DType::I32, 8196);
+        let direct = l2_direct_scale(&p).expect("direct");
+        let tiled = dma_tiled_scale(&p).expect("tiled");
+        let (c_direct, e_direct) = run(&direct, 8);
+        let (c_tiled, e_tiled) = run(&tiled, 8);
+        assert!(
+            (c_tiled as f64) < 0.9 * c_direct as f64,
+            "staging should be clearly faster: {c_tiled} vs {c_direct} cycles"
+        );
+        assert!(
+            e_tiled < e_direct,
+            "staging should save energy: {e_tiled} vs {e_direct} fJ"
+        );
+    }
+
+    #[test]
+    fn double_buffering_overlaps_transfer_and_compute() {
+        let p = KernelParams::new(DType::I32, 32768);
+        let blocking = dma_tiled_scale(&p).expect("tiled");
+        let overlapped = dma_double_buffer_scale(&p).expect("double buffer");
+        let (c_blocking, _) = run(&blocking, 8);
+        let (c_overlap, _) = run(&overlapped, 8);
+        assert!(
+            c_overlap < c_blocking,
+            "overlap should hide DMA time: {c_overlap} vs {c_blocking}"
+        );
+    }
+
+    #[test]
+    fn double_buffer_moves_at_least_the_payload() {
+        let p = KernelParams::new(DType::I32, 8196);
+        let k = dma_double_buffer_scale(&p).expect("double buffer");
+        let cfg = ClusterConfig::default();
+        let lowered = lower(&k, 4, &cfg).expect("lower");
+        let stats = simulate(&cfg, &lowered.program).expect("simulate");
+        assert!(stats.dma.words_transferred as usize >= p.elems());
+    }
+
+    #[test]
+    fn dma_engine_activity_is_recorded() {
+        let p = KernelParams::new(DType::I32, 2048);
+        let tiled = dma_tiled_scale(&p).expect("tiled");
+        let cfg = ClusterConfig::default();
+        let lowered = lower(&tiled, 4, &cfg).expect("lower");
+        let stats = simulate(&cfg, &lowered.program).expect("simulate");
+        let n = p.elems().max(TILE_ELEMS) as u64;
+        // Each element moves in and out exactly once.
+        assert_eq!(stats.dma.words_transferred, 2 * n.div_ceil(TILE_ELEMS as u64) * TILE_ELEMS as u64);
+        assert!(stats.dma.busy_cycles > 0);
+    }
+
+    #[test]
+    fn dma_trace_parity() {
+        use pulp_energy_model::stats_from_trace;
+        use pulp_sim::{simulate_traced, TextSink};
+        let p = KernelParams::new(DType::I32, 512);
+        let tiled = dma_tiled_scale(&p).expect("tiled");
+        let cfg = ClusterConfig::default();
+        let lowered = lower(&tiled, 2, &cfg).expect("lower");
+        let mut sink = TextSink::new();
+        let direct = simulate_traced(&cfg, &lowered.program, 10_000_000, &mut sink)
+            .expect("simulate");
+        let replayed = stats_from_trace(&sink.text, &cfg, 2).expect("replay");
+        assert_eq!(direct, replayed);
+    }
+}

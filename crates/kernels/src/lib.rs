@@ -1,0 +1,295 @@
+//! # pulp-kernels — the 59-kernel OpenMP benchmark dataset
+//!
+//! The paper's dataset is "a collection of three suites of benchmarks, for
+//! a total of 59 distinct kernels written in C": Polybench, UTDSP, and a
+//! custom suite of stress kernels. Each kernel is parametric in the data
+//! type (`i32`/`f32`) and the payload size (512 B – 32 KiB); a handful of
+//! kernels only make sense for one data type (e.g. FFT is float-only,
+//! histogram integer-only), giving the paper's 448 samples.
+//!
+//! # Examples
+//!
+//! ```
+//! use pulp_kernels::{all_samples, registry, KernelParams};
+//! use kernel_ir::DType;
+//!
+//! let defs = registry();
+//! assert_eq!(defs.len(), 59);
+//! assert_eq!(all_samples().len(), 448);
+//!
+//! let gemm = defs.iter().find(|d| d.name == "gemm").expect("gemm exists");
+//! let kernel = gemm
+//!     .build(&KernelParams::new(DType::F32, 2048))
+//!     .expect("valid instantiation");
+//! assert_eq!(kernel.name, "gemm");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod custom;
+pub mod extra;
+pub mod params;
+pub mod polybench;
+pub mod utdsp;
+
+pub use params::{builder, KernelParams, PAYLOAD_SIZES};
+
+use kernel_ir::{DType, Kernel, Suite, ValidateKernelError};
+use serde::{Deserialize, Serialize};
+
+/// Builder function of one dataset kernel.
+pub type KernelFn = fn(&KernelParams) -> Result<Kernel, ValidateKernelError>;
+
+const BOTH: &[DType] = &[DType::I32, DType::F32];
+const F32_ONLY: &[DType] = &[DType::F32];
+const I32_ONLY: &[DType] = &[DType::I32];
+
+/// One dataset kernel: identity plus its builder.
+#[derive(Clone, Copy)]
+pub struct KernelDef {
+    /// Kernel name (unique within the dataset).
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: Suite,
+    /// Data types this kernel supports.
+    pub dtypes: &'static [DType],
+    build_fn: KernelFn,
+}
+
+impl std::fmt::Debug for KernelDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelDef")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("dtypes", &self.dtypes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Error returned when instantiating a kernel for an unsupported type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedDtypeError {
+    /// The kernel.
+    pub kernel: &'static str,
+    /// The requested type.
+    pub dtype: DType,
+}
+
+impl std::fmt::Display for UnsupportedDtypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kernel {} does not support {}", self.kernel, self.dtype)
+    }
+}
+
+impl std::error::Error for UnsupportedDtypeError {}
+
+impl KernelDef {
+    /// Instantiates the kernel for `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error if the instantiation is structurally
+    /// invalid (never expected for in-range payload sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.dtype` is not in [`KernelDef::dtypes`]; use
+    /// [`KernelDef::supports`] to check first.
+    pub fn build(&self, params: &KernelParams) -> Result<Kernel, ValidateKernelError> {
+        assert!(
+            self.supports(params.dtype),
+            "kernel {} does not support {}",
+            self.name,
+            params.dtype
+        );
+        (self.build_fn)(params)
+    }
+
+    /// Returns `true` when the kernel supports `dtype`.
+    pub fn supports(&self, dtype: DType) -> bool {
+        self.dtypes.contains(&dtype)
+    }
+}
+
+macro_rules! defs {
+    ($($suite:ident / $name:literal : $path:path [$dtypes:expr]),* $(,)?) => {
+        vec![$(KernelDef {
+            name: $name,
+            suite: Suite::$suite,
+            dtypes: $dtypes,
+            build_fn: $path,
+        }),*]
+    };
+}
+
+/// The full 59-kernel registry.
+pub fn registry() -> Vec<KernelDef> {
+    defs![
+        // Polybench (24).
+        Polybench / "gemm": polybench::gemm[BOTH],
+        Polybench / "2mm": polybench::two_mm[BOTH],
+        Polybench / "3mm": polybench::three_mm[BOTH],
+        Polybench / "atax": polybench::atax[BOTH],
+        Polybench / "bicg": polybench::bicg[BOTH],
+        Polybench / "mvt": polybench::mvt[BOTH],
+        Polybench / "gemver": polybench::gemver[BOTH],
+        Polybench / "gesummv": polybench::gesummv[BOTH],
+        Polybench / "syrk": polybench::syrk[BOTH],
+        Polybench / "syr2k": polybench::syr2k[BOTH],
+        Polybench / "trmm": polybench::trmm[BOTH],
+        Polybench / "symm": polybench::symm[BOTH],
+        Polybench / "doitgen": polybench::doitgen[BOTH],
+        Polybench / "cholesky": polybench::cholesky[F32_ONLY],
+        Polybench / "lu": polybench::lu[BOTH],
+        Polybench / "trisolv": polybench::trisolv[BOTH],
+        Polybench / "durbin": polybench::durbin[F32_ONLY],
+        Polybench / "gramschmidt": polybench::gramschmidt[F32_ONLY],
+        Polybench / "jacobi-1d": polybench::jacobi_1d[BOTH],
+        Polybench / "jacobi-2d": polybench::jacobi_2d[BOTH],
+        Polybench / "seidel-2d": polybench::seidel_2d[BOTH],
+        Polybench / "fdtd-2d": polybench::fdtd_2d[BOTH],
+        Polybench / "correlation": polybench::correlation[F32_ONLY],
+        Polybench / "covariance": polybench::covariance[BOTH],
+        // UTDSP (17).
+        Utdsp / "fir": utdsp::fir[BOTH],
+        Utdsp / "iir": utdsp::iir[BOTH],
+        Utdsp / "lmsfir": utdsp::lmsfir[BOTH],
+        Utdsp / "latnrm": utdsp::latnrm[BOTH],
+        Utdsp / "mult": utdsp::mult[BOTH],
+        Utdsp / "fft": utdsp::fft[F32_ONLY],
+        Utdsp / "histogram": utdsp::histogram[I32_ONLY],
+        Utdsp / "adpcm": utdsp::adpcm[BOTH],
+        Utdsp / "edge_detect": utdsp::edge_detect[BOTH],
+        Utdsp / "compress": utdsp::compress[BOTH],
+        Utdsp / "spectral": utdsp::spectral[BOTH],
+        Utdsp / "dot_product": utdsp::dot_product[BOTH],
+        Utdsp / "vec_scale": utdsp::vec_scale[BOTH],
+        Utdsp / "autocorr": utdsp::autocorr[BOTH],
+        Utdsp / "conv2d_5x5": utdsp::conv2d_5x5[BOTH],
+        Utdsp / "decimate": utdsp::decimate[BOTH],
+        Utdsp / "interp": utdsp::interp[BOTH],
+        // Custom (18).
+        Custom / "stream_copy": custom::stream_copy[BOTH],
+        Custom / "stream_triad": custom::stream_triad[BOTH],
+        Custom / "bank_hammer": custom::bank_hammer[BOTH],
+        Custom / "bank_stride": custom::bank_stride[BOTH],
+        Custom / "fpu_storm": custom::fpu_storm[BOTH],
+        Custom / "reduction_critical": custom::reduction_critical[BOTH],
+        Custom / "barrier_storm": custom::barrier_storm[BOTH],
+        Custom / "imbalanced_chunks": custom::imbalanced_chunks[BOTH],
+        Custom / "compute_dense": custom::compute_dense[BOTH],
+        Custom / "memory_scatter": custom::memory_scatter[BOTH],
+        Custom / "l2_stream": custom::l2_stream[BOTH],
+        Custom / "mixed_phase": custom::mixed_phase[BOTH],
+        Custom / "serial_fraction": custom::serial_fraction[BOTH],
+        Custom / "tiny_regions": custom::tiny_regions[BOTH],
+        Custom / "divergent_div": custom::divergent_div[BOTH],
+        Custom / "conflict_free_scatter": custom::conflict_free_scatter[BOTH],
+        Custom / "critical_light": custom::critical_light[BOTH],
+        Custom / "saxpy_chunked": custom::saxpy_chunked[BOTH],
+    ]
+}
+
+/// One dataset sample: a kernel instantiated for a type and payload size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SampleSpec {
+    /// Index into [`registry`].
+    pub kernel_index: usize,
+    /// Element type.
+    pub dtype: DType,
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+}
+
+impl SampleSpec {
+    /// Kernel parameters for this sample.
+    pub fn params(&self) -> KernelParams {
+        KernelParams::new(self.dtype, self.payload_bytes)
+    }
+}
+
+/// Enumerates the full 448-sample dataset in deterministic order.
+pub fn all_samples() -> Vec<SampleSpec> {
+    let mut out = Vec::new();
+    for (kernel_index, def) in registry().iter().enumerate() {
+        for &dtype in def.dtypes {
+            for payload_bytes in PAYLOAD_SIZES {
+                out.push(SampleSpec { kernel_index, dtype, payload_bytes });
+            }
+        }
+    }
+    out
+}
+
+/// Name/function pairs of the custom suite (used by tests).
+#[doc(hidden)]
+pub fn custom_kernel_fns() -> Vec<(&'static str, KernelFn)> {
+    registry()
+        .into_iter()
+        .filter(|d| d.suite == Suite::Custom)
+        .map(|d| (d.name, d.build_fn))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_59_unique_kernels() {
+        let defs = registry();
+        assert_eq!(defs.len(), 59);
+        let mut names: Vec<&str> = defs.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 59, "duplicate kernel names");
+    }
+
+    #[test]
+    fn suite_composition_matches_design() {
+        let defs = registry();
+        let count = |s: Suite| defs.iter().filter(|d| d.suite == s).count();
+        assert_eq!(count(Suite::Polybench), 24);
+        assert_eq!(count(Suite::Utdsp), 17);
+        assert_eq!(count(Suite::Custom), 18);
+    }
+
+    #[test]
+    fn dataset_has_448_samples_like_the_paper() {
+        assert_eq!(all_samples().len(), 448);
+    }
+
+    #[test]
+    fn six_kernels_are_single_dtype() {
+        let singles: Vec<&str> = registry()
+            .iter()
+            .filter(|d| d.dtypes.len() == 1)
+            .map(|d| d.name)
+            .collect();
+        assert_eq!(singles.len(), 6, "singles: {singles:?}");
+    }
+
+    #[test]
+    fn every_sample_builds_and_validates() {
+        let defs = registry();
+        for spec in all_samples() {
+            let def = &defs[spec.kernel_index];
+            def.build(&spec.params())
+                .unwrap_or_else(|e| panic!("{}/{}/{}: {e}", def.name, spec.dtype, spec.payload_bytes));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn unsupported_dtype_panics() {
+        let defs = registry();
+        let fft = defs.iter().find(|d| d.name == "fft").expect("fft");
+        let _ = fft.build(&KernelParams::new(DType::I32, 512));
+    }
+
+    #[test]
+    fn sample_order_is_deterministic() {
+        assert_eq!(all_samples(), all_samples());
+    }
+}

@@ -1,0 +1,84 @@
+//! Kernel instantiation parameters and sizing helpers.
+//!
+//! Every dataset kernel is parametric in the data type and the payload
+//! size (the amount of data it processes). The paper instantiates each
+//! kernel for `{i32, f32} × {512, 2048, 8196, 32768}` bytes, chosen so the
+//! whole working set always fits in the TCDM (avoiding DMA traffic).
+
+use kernel_ir::{DType, KernelBuilder, Suite};
+use serde::{Deserialize, Serialize};
+
+/// Payload sizes in bytes, as listed in the paper (§IV-B — including the
+/// paper's own `8196` rather than the power of two).
+pub const PAYLOAD_SIZES: [usize; 4] = [512, 2048, 8196, 32768];
+
+/// Parameters of one kernel instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelParams {
+    /// Element type.
+    pub dtype: DType,
+    /// Payload bytes the kernel processes.
+    pub payload_bytes: usize,
+}
+
+impl KernelParams {
+    /// Creates parameters.
+    pub fn new(dtype: DType, payload_bytes: usize) -> Self {
+        Self { dtype, payload_bytes }
+    }
+
+    /// Total elements in the payload.
+    pub fn elems(&self) -> usize {
+        (self.payload_bytes / self.dtype.bytes()).max(1)
+    }
+
+    /// Elements per array when the payload is split over `arrays` arrays
+    /// of equal length (at least 4 so boundary kernels stay non-trivial).
+    pub fn vec_len(&self, arrays: usize) -> usize {
+        (self.elems() / arrays.max(1)).max(4)
+    }
+
+    /// Side of square matrices when the payload is split over `arrays`
+    /// equally-sized `n × n` matrices (at least 4).
+    pub fn mat_side(&self, arrays: usize) -> usize {
+        let per_array = self.elems() / arrays.max(1);
+        ((per_array as f64).sqrt().floor() as usize).max(4)
+    }
+}
+
+/// Opens a builder for a dataset kernel.
+pub fn builder(name: &str, suite: Suite, p: &KernelParams) -> KernelBuilder {
+    KernelBuilder::new(name, suite, p.dtype, p.payload_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elems_divides_by_element_size() {
+        let p = KernelParams::new(DType::I32, 2048);
+        assert_eq!(p.elems(), 512);
+    }
+
+    #[test]
+    fn vec_len_splits_payload() {
+        let p = KernelParams::new(DType::F32, 2048);
+        assert_eq!(p.vec_len(2), 256);
+        assert_eq!(p.vec_len(3), 170);
+    }
+
+    #[test]
+    fn mat_side_is_square_root() {
+        let p = KernelParams::new(DType::F32, 32768);
+        // 8192 elems over 3 matrices = 2730 per matrix → side 52.
+        assert_eq!(p.mat_side(3), 52);
+    }
+
+    #[test]
+    fn tiny_payloads_clamp_to_usable_sizes() {
+        let p = KernelParams::new(DType::I32, 16);
+        assert!(p.vec_len(3) >= 4);
+        assert!(p.mat_side(3) >= 4);
+    }
+}

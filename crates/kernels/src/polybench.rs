@@ -1,0 +1,757 @@
+//! Polybench kernels ported to the kernel IR.
+//!
+//! Polybench is "a well-known set of programs for testing polyhedral
+//! optimisation passes in compilers" (§IV-B). The ports keep each kernel's
+//! loop structure, access patterns and compute density; the outermost loop
+//! of each kernel is the OpenMP-parallel one, as in common OpenMP ports.
+//!
+//! Two IR-level approximations apply across the suite (documented in
+//! DESIGN.md): triangular loop nests use their average trip count (the IR
+//! has rectangular loops only), and `sqrt` is modelled as a divide-class
+//! operation.
+
+use crate::params::{builder, KernelParams};
+use kernel_ir::{Kernel, Suite, ValidateKernelError};
+
+type BuildResult = Result<Kernel, ValidateKernelError>;
+
+/// `C = α·A·B + β·C` — the canonical dense matrix multiply.
+pub fn gemm(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(3);
+    let mut b = builder("gemm", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    let bb = b.array("B", n * n);
+    let c = b.array("C", n * n);
+    b.par_for(n as u64, |b, i| {
+        b.for_(n as u64, |b, j| {
+            b.load(c, i * n + j);
+            b.compute_mul(1); // beta * C
+            b.for_(n as u64, |b, k| {
+                b.load(a, i * n + k);
+                b.load(bb, k * n + j);
+                b.compute(2); // alpha*A*B multiply-accumulate
+            });
+            b.store(c, i * n + j);
+        });
+    });
+    b.build()
+}
+
+/// `D = A·B; E = C·D` — two chained matrix multiplies.
+pub fn two_mm(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(5);
+    let mut b = builder("2mm", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    let bb = b.array("B", n * n);
+    let c = b.array("C", n * n);
+    let d = b.array("D", n * n);
+    let e = b.array("E", n * n);
+    for (x, y, out) in [(a, bb, d), (c, d, e)] {
+        b.par_for(n as u64, |b, i| {
+            b.for_(n as u64, |b, j| {
+                b.for_(n as u64, |b, k| {
+                    b.load(x, i * n + k);
+                    b.load(y, k * n + j);
+                    b.compute(2);
+                });
+                b.store(out, i * n + j);
+            });
+        });
+    }
+    b.build()
+}
+
+/// `F = (A·B)·(C·D)` — three chained matrix multiplies.
+pub fn three_mm(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(7);
+    let mut b = builder("3mm", Suite::Polybench, p);
+    let names = ["A", "B", "C", "D", "E", "F", "G"];
+    let arrs: Vec<_> = names.iter().map(|s| b.array(*s, n * n)).collect();
+    let (a, bb, c, d, e, f, g) =
+        (arrs[0], arrs[1], arrs[2], arrs[3], arrs[4], arrs[5], arrs[6]);
+    for (x, y, out) in [(a, bb, e), (c, d, f), (e, f, g)] {
+        b.par_for(n as u64, |b, i| {
+            b.for_(n as u64, |b, j| {
+                b.for_(n as u64, |b, k| {
+                    b.load(x, i * n + k);
+                    b.load(y, k * n + j);
+                    b.compute(2);
+                });
+                b.store(out, i * n + j);
+            });
+        });
+    }
+    b.build()
+}
+
+/// `y = Aᵀ·(A·x)` — matrix transpose–vector products.
+pub fn atax(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(1);
+    let mut b = builder("atax", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    let x = b.array("x", n);
+    let tmp = b.array("tmp", n);
+    let y = b.array("y", n);
+    b.par_for(n as u64, |b, i| {
+        b.for_(n as u64, |b, j| {
+            b.load(a, i * n + j);
+            b.load(x, j);
+            b.compute(2);
+        });
+        b.store(tmp, i);
+    });
+    b.par_for(n as u64, |b, j| {
+        b.for_(n as u64, |b, i| {
+            b.load(a, i * n + j);
+            b.load(tmp, i);
+            b.compute(2);
+        });
+        b.store(y, j);
+    });
+    b.build()
+}
+
+/// BiCG sub-kernel: `q = A·p; s = Aᵀ·r`.
+pub fn bicg(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(1);
+    let mut b = builder("bicg", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    let pv = b.array("p", n);
+    let r = b.array("r", n);
+    let q = b.array("q", n);
+    let s = b.array("s", n);
+    b.par_for(n as u64, |b, i| {
+        b.for_(n as u64, |b, j| {
+            b.load(a, i * n + j);
+            b.load(pv, j);
+            b.compute(2);
+        });
+        b.store(q, i);
+    });
+    b.par_for(n as u64, |b, j| {
+        b.for_(n as u64, |b, i| {
+            b.load(a, i * n + j);
+            b.load(r, i);
+            b.compute(2);
+        });
+        b.store(s, j);
+    });
+    b.build()
+}
+
+/// `x1 += A·y1; x2 += Aᵀ·y2` — two matrix–vector products.
+pub fn mvt(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(1);
+    let mut b = builder("mvt", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    let x1 = b.array("x1", n);
+    let x2 = b.array("x2", n);
+    let y1 = b.array("y1", n);
+    let y2 = b.array("y2", n);
+    b.par_for(n as u64, |b, i| {
+        b.load(x1, i);
+        b.for_(n as u64, |b, j| {
+            b.load(a, i * n + j);
+            b.load(y1, j);
+            b.compute(2);
+        });
+        b.store(x1, i);
+    });
+    b.par_for(n as u64, |b, i| {
+        b.load(x2, i);
+        b.for_(n as u64, |b, j| {
+            b.load(a, j * n + i);
+            b.load(y2, j);
+            b.compute(2);
+        });
+        b.store(x2, i);
+    });
+    b.build()
+}
+
+/// Vector multiplications and matrix additions (`gemver`).
+pub fn gemver(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(1);
+    let mut b = builder("gemver", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    let u1 = b.array("u1", n);
+    let v1 = b.array("v1", n);
+    let u2 = b.array("u2", n);
+    let v2 = b.array("v2", n);
+    let x = b.array("x", n);
+    let y = b.array("y", n);
+    let w = b.array("w", n);
+    let z = b.array("z", n);
+    // A = A + u1 v1' + u2 v2'
+    b.par_for(n as u64, |b, i| {
+        b.load(u1, i);
+        b.load(u2, i);
+        b.for_(n as u64, |b, j| {
+            b.load(a, i * n + j);
+            b.load(v1, j);
+            b.load(v2, j);
+            b.compute(4);
+            b.store(a, i * n + j);
+        });
+    });
+    // x = beta * A' y + z
+    b.par_for(n as u64, |b, i| {
+        b.for_(n as u64, |b, j| {
+            b.load(a, j * n + i);
+            b.load(y, j);
+            b.compute(2);
+        });
+        b.load(z, i);
+        b.compute(1);
+        b.store(x, i);
+    });
+    // w = alpha * A x
+    b.par_for(n as u64, |b, i| {
+        b.for_(n as u64, |b, j| {
+            b.load(a, i * n + j);
+            b.load(x, j);
+            b.compute(2);
+        });
+        b.store(w, i);
+    });
+    b.build()
+}
+
+/// `y = α·A·x + β·B·x` — summed matrix–vector products.
+pub fn gesummv(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(2);
+    let mut b = builder("gesummv", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    let bb = b.array("B", n * n);
+    let x = b.array("x", n);
+    let y = b.array("y", n);
+    b.par_for(n as u64, |b, i| {
+        b.for_(n as u64, |b, j| {
+            b.load(a, i * n + j);
+            b.load(bb, i * n + j);
+            b.load(x, j);
+            b.compute(4);
+        });
+        b.compute(2); // alpha*tmp + beta*y
+        b.store(y, i);
+    });
+    b.build()
+}
+
+/// Symmetric rank-k update `C = α·A·Aᵀ + β·C` (triangular nest averaged).
+pub fn syrk(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(2);
+    let half = (n / 2).max(1);
+    let mut b = builder("syrk", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    let c = b.array("C", n * n);
+    b.par_for(n as u64, |b, i| {
+        // j <= i averaged to n/2 iterations.
+        b.for_(half as u64, |b, j| {
+            b.load(c, i * n + j);
+            b.compute_mul(1);
+            b.for_(n as u64, |b, k| {
+                b.load(a, i * n + k);
+                b.load(a, j * n + k);
+                b.compute(2);
+            });
+            b.store(c, i * n + j);
+        });
+    });
+    b.build()
+}
+
+/// Symmetric rank-2k update `C = α·A·Bᵀ + α·B·Aᵀ + β·C`.
+pub fn syr2k(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(3);
+    let half = (n / 2).max(1);
+    let mut b = builder("syr2k", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    let bb = b.array("B", n * n);
+    let c = b.array("C", n * n);
+    b.par_for(n as u64, |b, i| {
+        b.for_(half as u64, |b, j| {
+            b.load(c, i * n + j);
+            b.compute_mul(1);
+            b.for_(n as u64, |b, k| {
+                b.load(a, i * n + k);
+                b.load(bb, j * n + k);
+                b.load(a, j * n + k);
+                b.load(bb, i * n + k);
+                b.compute(4);
+            });
+            b.store(c, i * n + j);
+        });
+    });
+    b.build()
+}
+
+/// Triangular matrix multiply `B = α·Aᵀ·B` (triangular nest averaged).
+pub fn trmm(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(2);
+    let half = (n / 2).max(1);
+    let mut b = builder("trmm", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    let bb = b.array("B", n * n);
+    b.par_for(n as u64, |b, i| {
+        b.for_(n as u64, |b, j| {
+            b.for_(half as u64, |b, k| {
+                b.load(a, k * n + i);
+                b.load(bb, k * n + j);
+                b.compute(2);
+            });
+            b.load(bb, i * n + j);
+            b.compute_mul(1);
+            b.store(bb, i * n + j);
+        });
+    });
+    b.build()
+}
+
+/// Symmetric matrix multiply `C = α·A·B + β·C` with symmetric `A`.
+pub fn symm(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(3);
+    let half = (n / 2).max(1);
+    let mut b = builder("symm", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    let bb = b.array("B", n * n);
+    let c = b.array("C", n * n);
+    b.par_for(n as u64, |b, i| {
+        b.for_(n as u64, |b, j| {
+            b.for_(half as u64, |b, k| {
+                b.load(a, i * n + k);
+                b.load(bb, k * n + j);
+                b.load(c, k * n + j);
+                b.compute(3);
+            });
+            b.load(bb, i * n + j);
+            b.load(c, i * n + j);
+            b.compute(3);
+            b.store(c, i * n + j);
+        });
+    });
+    b.build()
+}
+
+/// Multiresolution analysis kernel `doitgen` (3D tensor contraction).
+pub fn doitgen(p: &KernelParams) -> BuildResult {
+    // Tensor nr x nq x np plus projection matrix np x np; the tensor
+    // takes the bulk of the payload.
+    let nq = 4usize;
+    let np = (((p.elems() / 2) / nq) as f64).sqrt().floor().max(4.0) as usize;
+    let nr = np;
+    let mut b = builder("doitgen", Suite::Polybench, p);
+    let a = b.array("A", nr * nq * np);
+    let c4 = b.array("C4", np * np);
+    let sum = b.array("sum", np * 8); // one scratch row per core
+    b.par_for(nr as u64, |b, r| {
+        b.for_(nq as u64, |b, q| {
+            b.for_(np as u64, |b, pp| {
+                b.for_(np as u64, |b, s| {
+                    b.load(a, (r * nq + kernel_ir::Idx::from(q)) * np + s);
+                    b.load(c4, s * np + pp);
+                    b.compute(2);
+                });
+                b.store(sum, pp);
+            });
+            b.for_(np as u64, |b, pp| {
+                b.load(sum, pp);
+                b.store(a, (r * nq + kernel_ir::Idx::from(q)) * np + pp);
+            });
+        });
+    });
+    b.build()
+}
+
+/// Cholesky decomposition (float-only: needs divides and square roots).
+pub fn cholesky(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(1);
+    let half = (n / 2).max(1);
+    let mut b = builder("cholesky", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    // Row factorisation: parallel over rows within a block column
+    // (simplified right-looking structure).
+    b.par_for(n as u64, |b, i| {
+        b.for_(half as u64, |b, j| {
+            b.load(a, i * n + j);
+            b.for_(half as u64, |b, k| {
+                b.load(a, i * n + k);
+                b.load(a, j * n + k);
+                b.compute(2);
+            });
+            b.compute_div(1); // divide by the pivot
+            b.store(a, i * n + j);
+        });
+        b.load(a, i * n + i);
+        b.compute_div(1); // sqrt modelled as divide-class
+        b.store(a, i * n + i);
+    });
+    b.build()
+}
+
+/// LU decomposition (right-looking, triangular nests averaged).
+pub fn lu(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(1);
+    let half = (n / 2).max(1);
+    let mut b = builder("lu", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    b.par_for(n as u64, |b, i| {
+        b.for_(half as u64, |b, j| {
+            b.load(a, i * n + j);
+            b.for_(half as u64, |b, k| {
+                b.load(a, i * n + k);
+                b.load(a, k * n + j);
+                b.compute(2);
+            });
+            b.compute_div(1);
+            b.store(a, i * n + j);
+        });
+    });
+    b.build()
+}
+
+/// Triangular solver `L·x = b` (row-parallel approximation).
+pub fn trisolv(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(1);
+    let half = (n / 2).max(1);
+    let mut b = builder("trisolv", Suite::Polybench, p);
+    let l = b.array("L", n * n);
+    let x = b.array("x", n);
+    let bv = b.array("b", n);
+    b.par_for(n as u64, |b, i| {
+        b.load(bv, i);
+        b.for_(half as u64, |b, j| {
+            b.load(l, i * n + j);
+            b.load(x, j);
+            b.compute(2);
+        });
+        b.load(l, i * n + i);
+        b.compute_div(1);
+        b.store(x, i);
+    });
+    b.build()
+}
+
+/// Durbin's algorithm for Toeplitz systems (float-only, divide-heavy).
+pub fn durbin(p: &KernelParams) -> BuildResult {
+    let n = p.vec_len(3);
+    let inner = (n / 2).max(1);
+    let mut b = builder("durbin", Suite::Polybench, p);
+    let r = b.array("r", n);
+    let y = b.array("y", n);
+    let z = b.array("z", n);
+    // The outer recurrence is sequential; each step's inner sweep is the
+    // parallel region (matching OpenMP ports of durbin).
+    b.for_(8, |b, _k| {
+        b.par_for(inner as u64, |b, i| {
+            b.load(r, i);
+            b.load(y, i);
+            b.compute(2);
+            b.store(z, i);
+        });
+        b.par_for(inner as u64, |b, i| {
+            b.load(z, i);
+            b.compute_div(1);
+            b.store(y, i);
+        });
+    });
+    b.build()
+}
+
+/// Modified Gram–Schmidt orthogonalisation (float-only).
+pub fn gramschmidt(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(2);
+    let mut b = builder("gramschmidt", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    let q = b.array("Q", n * n);
+    // For each column (sequential), normalise and update the trailing
+    // columns in parallel.
+    b.for_((n.min(16)) as u64, |b, k| {
+        // norm of column k
+        b.par_for(n as u64, |b, i| {
+            b.load(a, i * n + k);
+            b.compute(2);
+        });
+        // normalise
+        b.par_for(n as u64, |b, i| {
+            b.load(a, i * n + k);
+            b.compute_div(1);
+            b.store(q, i * n + k);
+        });
+    });
+    b.build()
+}
+
+/// 1D Jacobi stencil (two sweeps per time step).
+pub fn jacobi_1d(p: &KernelParams) -> BuildResult {
+    let n = p.vec_len(2);
+    let interior = (n - 2) as u64;
+    let mut b = builder("jacobi-1d", Suite::Polybench, p);
+    let a = b.array("A", n);
+    let bb = b.array("B", n);
+    b.for_(4, |b, _t| {
+        b.par_for(interior, |b, i| {
+            b.load(a, i);
+            b.load(a, i + 1);
+            b.load(a, i + 2);
+            b.compute(3);
+            b.store(bb, i + 1);
+        });
+        b.par_for(interior, |b, i| {
+            b.load(bb, i);
+            b.load(bb, i + 1);
+            b.load(bb, i + 2);
+            b.compute(3);
+            b.store(a, i + 1);
+        });
+    });
+    b.build()
+}
+
+/// 2D Jacobi five-point stencil.
+pub fn jacobi_2d(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(2);
+    let interior = (n - 2) as u64;
+    let mut b = builder("jacobi-2d", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    let bb = b.array("B", n * n);
+    b.for_(2, |b, _t| {
+        for (src, dst) in [(a, bb), (bb, a)] {
+            b.par_for(interior, |b, i| {
+                b.for_(interior, |b, j| {
+                    b.load(src, (i + 1) * n + (j + 1));
+                    b.load(src, (i + 1) * n + j);
+                    b.load(src, (i + 1) * n + (j + 2));
+                    b.load(src, i * n + (j + 1));
+                    b.load(src, (i + 2) * n + (j + 1));
+                    b.compute(5);
+                    b.store(dst, (i + 1) * n + (j + 1));
+                });
+            });
+        }
+    });
+    b.build()
+}
+
+/// Gauss–Seidel 2D sweep (wavefront parallelised by rows).
+pub fn seidel_2d(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(1);
+    let interior = (n - 2) as u64;
+    let mut b = builder("seidel-2d", Suite::Polybench, p);
+    let a = b.array("A", n * n);
+    b.for_(2, |b, _t| {
+        b.par_for(interior, |b, i| {
+            b.for_(interior, |b, j| {
+                b.load(a, i * n + j);
+                b.load(a, i * n + (j + 1));
+                b.load(a, i * n + (j + 2));
+                b.load(a, (i + 1) * n + j);
+                b.load(a, (i + 1) * n + (j + 1));
+                b.load(a, (i + 1) * n + (j + 2));
+                b.load(a, (i + 2) * n + j);
+                b.load(a, (i + 2) * n + (j + 1));
+                b.load(a, (i + 2) * n + (j + 2));
+                b.compute(9);
+                b.store(a, (i + 1) * n + (j + 1));
+            });
+        });
+    });
+    b.build()
+}
+
+/// 2D finite-difference time-domain kernel (three field arrays).
+pub fn fdtd_2d(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(3);
+    let m = (n - 1) as u64;
+    let mut b = builder("fdtd-2d", Suite::Polybench, p);
+    let ex = b.array("ex", n * n);
+    let ey = b.array("ey", n * n);
+    let hz = b.array("hz", n * n);
+    b.for_(2, |b, _t| {
+        b.par_for(m, |b, i| {
+            b.for_(m, |b, j| {
+                b.load(ey, (i + 1) * n + j);
+                b.load(hz, (i + 1) * n + j);
+                b.load(hz, i * n + j);
+                b.compute(2);
+                b.store(ey, (i + 1) * n + j);
+            });
+        });
+        b.par_for(m, |b, i| {
+            b.for_(m, |b, j| {
+                b.load(ex, i * n + (j + 1));
+                b.load(hz, i * n + (j + 1));
+                b.load(hz, i * n + j);
+                b.compute(2);
+                b.store(ex, i * n + (j + 1));
+            });
+        });
+        b.par_for(m, |b, i| {
+            b.for_(m, |b, j| {
+                b.load(hz, i * n + j);
+                b.load(ex, i * n + (j + 1));
+                b.load(ex, i * n + j);
+                b.load(ey, (i + 1) * n + j);
+                b.load(ey, i * n + j);
+                b.compute(5);
+                b.store(hz, i * n + j);
+            });
+        });
+    });
+    b.build()
+}
+
+/// Pearson correlation matrix (float-only: stddev divides).
+pub fn correlation(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(2);
+    let half = (n / 2).max(1);
+    let mut b = builder("correlation", Suite::Polybench, p);
+    let data = b.array("data", n * n);
+    let corr = b.array("corr", n * n);
+    let mean = b.array("mean", n);
+    let std = b.array("stddev", n);
+    b.par_for(n as u64, |b, j| {
+        b.for_(n as u64, |b, i| {
+            b.load(data, i * n + j);
+            b.compute(1);
+        });
+        b.compute_div(1);
+        b.store(mean, j);
+    });
+    b.par_for(n as u64, |b, j| {
+        b.load(mean, j);
+        b.for_(n as u64, |b, i| {
+            b.load(data, i * n + j);
+            b.compute(3);
+        });
+        b.compute_div(2); // divide + sqrt
+        b.store(std, j);
+    });
+    b.par_for(n as u64, |b, i| {
+        b.load(std, i);
+        b.for_(half as u64, |b, j| {
+            b.load(std, j);
+            b.for_(half as u64, |b, k| {
+                b.load(data, k * n + i);
+                b.load(data, k * n + j);
+                b.compute(2);
+            });
+            b.compute_div(1);
+            b.store(corr, i * n + j);
+        });
+    });
+    b.build()
+}
+
+/// Covariance matrix.
+pub fn covariance(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(2);
+    let half = (n / 2).max(1);
+    let mut b = builder("covariance", Suite::Polybench, p);
+    let data = b.array("data", n * n);
+    let cov = b.array("cov", n * n);
+    let mean = b.array("mean", n);
+    b.par_for(n as u64, |b, j| {
+        b.for_(n as u64, |b, i| {
+            b.load(data, i * n + j);
+            b.compute(1);
+        });
+        b.compute_div(1);
+        b.store(mean, j);
+    });
+    b.par_for(n as u64, |b, i| {
+        b.for_(half as u64, |b, j| {
+            b.for_(n as u64, |b, k| {
+                b.load(data, k * n + i);
+                b.load(data, k * n + j);
+                b.load(mean, i);
+                b.load(mean, j);
+                b.compute(3);
+            });
+            b.compute_div(1);
+            b.store(cov, i * n + j);
+        });
+    });
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel_ir::{DType, RawFeatures};
+
+    fn params() -> KernelParams {
+        KernelParams::new(DType::F32, 2048)
+    }
+
+    #[test]
+    fn all_polybench_kernels_validate() {
+        let fns: Vec<(&str, fn(&KernelParams) -> BuildResult)> = vec![
+            ("gemm", gemm),
+            ("2mm", two_mm),
+            ("3mm", three_mm),
+            ("atax", atax),
+            ("bicg", bicg),
+            ("mvt", mvt),
+            ("gemver", gemver),
+            ("gesummv", gesummv),
+            ("syrk", syrk),
+            ("syr2k", syr2k),
+            ("trmm", trmm),
+            ("symm", symm),
+            ("doitgen", doitgen),
+            ("cholesky", cholesky),
+            ("lu", lu),
+            ("trisolv", trisolv),
+            ("durbin", durbin),
+            ("gramschmidt", gramschmidt),
+            ("jacobi-1d", jacobi_1d),
+            ("jacobi-2d", jacobi_2d),
+            ("seidel-2d", seidel_2d),
+            ("fdtd-2d", fdtd_2d),
+            ("correlation", correlation),
+            ("covariance", covariance),
+        ];
+        assert_eq!(fns.len(), 24);
+        for size in crate::params::PAYLOAD_SIZES {
+            for dtype in DType::ALL {
+                let p = KernelParams::new(dtype, size);
+                for (name, f) in &fns {
+                    let k = f(&p).unwrap_or_else(|e| panic!("{name}@{size}/{dtype}: {e}"));
+                    assert_eq!(k.suite, Suite::Polybench);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_has_cubic_structure() {
+        let k = gemm(&params()).expect("gemm");
+        let raw = RawFeatures::extract(&k);
+        assert!(raw.tcdm >= 4, "gemm touches C, A, B");
+        assert!(raw.avgws > 0.0);
+    }
+
+    #[test]
+    fn float_instances_contain_fp_work() {
+        let k = gemm(&KernelParams::new(DType::F32, 2048)).expect("gemm");
+        let mut fp = 0u64;
+        k.visit(|s| {
+            if let kernel_ir::Stmt::Fp(n) = s {
+                fp += u64::from(*n);
+            }
+        });
+        assert!(fp > 0);
+    }
+
+    #[test]
+    fn int_instances_contain_no_fp_work() {
+        let k = gemm(&KernelParams::new(DType::I32, 2048)).expect("gemm");
+        k.visit(|s| {
+            assert!(
+                !matches!(s, kernel_ir::Stmt::Fp(_) | kernel_ir::Stmt::FpDiv(_)),
+                "i32 gemm must not contain FP ops"
+            );
+        });
+    }
+}

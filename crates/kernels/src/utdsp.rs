@@ -1,0 +1,440 @@
+//! UTDSP kernels ported to the kernel IR.
+//!
+//! UTDSP "comprises a set of kernels designed for testing optimisation
+//! targeting digital signal processors" (§IV-B): filters, transforms and
+//! small linear-algebra routines with streaming access patterns.
+
+use crate::params::{builder, KernelParams};
+use kernel_ir::{Kernel, Schedule, Suite, ValidateKernelError};
+
+type BuildResult = Result<Kernel, ValidateKernelError>;
+
+/// Number of taps used by the filter kernels.
+const TAPS: usize = 16;
+
+/// Direct-form FIR filter.
+pub fn fir(p: &KernelParams) -> BuildResult {
+    let n = p.vec_len(2);
+    let mut b = builder("fir", Suite::Utdsp, p);
+    let x = b.array("x", n + TAPS);
+    let y = b.array("y", n);
+    let c = b.array("c", TAPS);
+    b.par_for(n as u64, |b, i| {
+        b.for_(TAPS as u64, |b, t| {
+            b.load(x, i + t);
+            b.load(c, t);
+            b.compute(2);
+        });
+        b.store(y, i);
+    });
+    b.build()
+}
+
+/// Cascade of IIR biquad sections, parallel over independent channels.
+pub fn iir(p: &KernelParams) -> BuildResult {
+    let channels = 8usize;
+    let n = (p.vec_len(2) / channels).max(4);
+    let mut b = builder("iir", Suite::Utdsp, p);
+    let x = b.array("x", channels * n);
+    let y = b.array("y", channels * n);
+    let coef = b.array("coef", 8);
+    b.par_for(channels as u64, |b, ch| {
+        // Each channel's recurrence is inherently serial.
+        b.for_(n as u64, |b, i| {
+            b.load(x, ch * n + i);
+            b.load(coef, 0);
+            b.load(coef, 1);
+            b.compute(4); // two poles, two zeros
+            b.store(y, ch * n + i);
+        });
+    });
+    b.build()
+}
+
+/// Least-mean-squares adaptive FIR filter.
+pub fn lmsfir(p: &KernelParams) -> BuildResult {
+    let n = p.vec_len(2);
+    let mut b = builder("lmsfir", Suite::Utdsp, p);
+    let x = b.array("x", n + TAPS);
+    let y = b.array("y", n);
+    let c = b.array("c", TAPS);
+    b.par_for(n as u64, |b, i| {
+        // Filter.
+        b.for_(TAPS as u64, |b, t| {
+            b.load(x, i + t);
+            b.load(c, t);
+            b.compute(2);
+        });
+        b.store(y, i);
+        // Coefficient update (error feedback).
+        b.compute(2);
+        b.for_(TAPS as u64, |b, t| {
+            b.load(c, t);
+            b.load(x, i + t);
+            b.compute(2);
+            b.store(c, t);
+        });
+    });
+    b.build()
+}
+
+/// Normalised lattice filter (`latnrm`).
+pub fn latnrm(p: &KernelParams) -> BuildResult {
+    let stages = 8usize;
+    let n = p.vec_len(2);
+    let mut b = builder("latnrm", Suite::Utdsp, p);
+    let x = b.array("x", n);
+    let y = b.array("y", n);
+    let k = b.array("k", stages * 2);
+    b.par_for(n as u64, |b, i| {
+        b.load(x, i);
+        b.for_(stages as u64, |b, s| {
+            b.load(k, s * 2);
+            b.load(k, s * 2 + 1);
+            b.compute(4); // two rotations per stage
+        });
+        b.store(y, i);
+    });
+    b.build()
+}
+
+/// Small square matrix multiply (`mult`).
+pub fn mult(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(3);
+    let mut b = builder("mult", Suite::Utdsp, p);
+    let a = b.array("A", n * n);
+    let bb = b.array("B", n * n);
+    let c = b.array("C", n * n);
+    b.par_for(n as u64, |b, i| {
+        b.for_(n as u64, |b, j| {
+            b.for_(n as u64, |b, k| {
+                b.load(a, i * n + k);
+                b.load(bb, k * n + j);
+                b.compute(2);
+            });
+            b.store(c, i * n + j);
+        });
+    });
+    b.build()
+}
+
+/// Radix-2 FFT butterfly passes (float-only).
+///
+/// The bit-reversal permutation is not affine, so each of the `log2(n)`
+/// stages is modelled as a sweep of `n/2` butterflies with streaming
+/// access — preserving the stage structure, compute density and
+/// memory-to-compute ratio of the transform.
+pub fn fft(p: &KernelParams) -> BuildResult {
+    let n = p.vec_len(2).next_power_of_two().max(8);
+    let stages = n.trailing_zeros() as u64;
+    let mut b = builder("fft", Suite::Utdsp, p);
+    let re = b.array("re", n);
+    let im = b.array("im", n);
+    let tw = b.array("tw", n.max(2));
+    b.for_(stages, |b, _s| {
+        b.par_for((n / 2) as u64, |b, i| {
+            b.load(re, i * 2);
+            b.load(re, i * 2 + 1);
+            b.load(im, i * 2);
+            b.load(im, i * 2 + 1);
+            b.load(tw, i);
+            b.compute(10); // complex multiply + butterfly add/sub
+            b.store(re, i * 2);
+            b.store(re, i * 2 + 1);
+            b.store(im, i * 2);
+            b.store(im, i * 2 + 1);
+        });
+    });
+    b.build()
+}
+
+/// Histogram with shared bins (integer-only; bin updates serialised).
+pub fn histogram(p: &KernelParams) -> BuildResult {
+    let bins = 64usize;
+    let n = p.vec_len(1);
+    let mut b = builder("histogram", Suite::Utdsp, p);
+    let data = b.array("data", n);
+    let hist = b.array("hist", bins);
+    b.par_for(n as u64, |b, i| {
+        b.load(data, i);
+        b.alu(2); // bin computation
+        b.critical(|b| {
+            b.load(hist, 0);
+            b.alu(1);
+            b.store(hist, 0);
+        });
+    });
+    b.build()
+}
+
+/// ADPCM encoder: per-sample prediction and quantisation.
+pub fn adpcm(p: &KernelParams) -> BuildResult {
+    let blocks = 8usize;
+    let n = (p.vec_len(2) / blocks).max(4);
+    let mut b = builder("adpcm", Suite::Utdsp, p);
+    let x = b.array("x", blocks * n);
+    let out = b.array("out", blocks * n);
+    b.par_for(blocks as u64, |b, blk| {
+        b.for_(n as u64, |b, i| {
+            b.load(x, blk * n + i);
+            b.compute(3); // predict
+            b.compute_div(1); // quantise step
+            b.alu(2); // clamp + pack
+            b.store(out, blk * n + i);
+        });
+    });
+    b.build()
+}
+
+/// Sobel-style 3×3 edge detection.
+pub fn edge_detect(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(2);
+    let interior = (n - 2) as u64;
+    let mut b = builder("edge_detect", Suite::Utdsp, p);
+    let img = b.array("img", n * n);
+    let out = b.array("out", n * n);
+    b.par_for(interior, |b, i| {
+        b.for_(interior, |b, j| {
+            for di in 0..3usize {
+                for dj in 0..3usize {
+                    b.load(img, (i + di) * n + (j + dj));
+                }
+            }
+            b.compute(9);
+            b.store(out, (i + 1) * n + (j + 1));
+        });
+    });
+    b.build()
+}
+
+/// Block DCT compression: 8×8 blocks, row and column passes.
+pub fn compress(p: &KernelParams) -> BuildResult {
+    let side = 8usize;
+    let blocks = (p.elems() / (side * side)).max(1);
+    let mut b = builder("compress", Suite::Utdsp, p);
+    let img = b.array("img", blocks * side * side);
+    let cos = b.array("cos", side * side);
+    b.par_for(blocks as u64, |b, blk| {
+        b.for_((side * side) as u64, |b, rc| {
+            b.for_(side as u64, |b, k| {
+                b.load(img, blk * (side * side) + k);
+                b.load(cos, k * side);
+                b.compute(2);
+            });
+            b.store(img, blk * (side * side) + rc);
+        });
+    });
+    b.build()
+}
+
+/// Spectral estimation via windowed autocorrelation.
+pub fn spectral(p: &KernelParams) -> BuildResult {
+    let n = p.vec_len(2);
+    let lags = TAPS.min(n);
+    let mut b = builder("spectral", Suite::Utdsp, p);
+    let x = b.array("x", n + lags);
+    let r = b.array("r", lags.max(4));
+    b.par_for(lags as u64, |b, k| {
+        b.for_(n as u64, |b, i| {
+            b.load(x, i);
+            b.load(x, i + k);
+            b.compute(2);
+        });
+        b.compute(2); // window weighting
+        b.store(r, k);
+    });
+    b.build()
+}
+
+/// Dot product with per-core partial sums.
+pub fn dot_product(p: &KernelParams) -> BuildResult {
+    let n = p.vec_len(2);
+    let mut b = builder("dot_product", Suite::Utdsp, p);
+    let x = b.array("x", n);
+    let y = b.array("y", n);
+    let acc = b.array("acc", 8);
+    b.par_for(n as u64, |b, i| {
+        b.load(x, i);
+        b.load(y, i);
+        b.compute(2);
+    });
+    b.par_for(8, |b, c| {
+        b.load(acc, c);
+        b.compute(1);
+        b.store(acc, c);
+    });
+    b.build()
+}
+
+/// Vector scaling `y = a * x`.
+pub fn vec_scale(p: &KernelParams) -> BuildResult {
+    let n = p.vec_len(2);
+    let mut b = builder("vec_scale", Suite::Utdsp, p);
+    let x = b.array("x", n);
+    let y = b.array("y", n);
+    b.par_for(n as u64, |b, i| {
+        b.load(x, i);
+        b.compute(1);
+        b.store(y, i);
+    });
+    b.build()
+}
+
+/// Autocorrelation over a fixed lag window.
+pub fn autocorr(p: &KernelParams) -> BuildResult {
+    let n = p.vec_len(1);
+    let lags = TAPS;
+    let mut b = builder("autocorr", Suite::Utdsp, p);
+    let x = b.array("x", n + lags);
+    let r = b.array("r", lags);
+    b.par_for(lags as u64, |b, k| {
+        b.for_(n as u64, |b, i| {
+            b.load(x, i);
+            b.load(x, i + k);
+            b.compute(2);
+        });
+        b.store(r, k);
+    });
+    b.build()
+}
+
+/// 5×5 2D convolution.
+pub fn conv2d_5x5(p: &KernelParams) -> BuildResult {
+    let n = p.mat_side(2);
+    let interior = n.saturating_sub(4).max(1) as u64;
+    let mut b = builder("conv2d_5x5", Suite::Utdsp, p);
+    let img = b.array("img", n * n);
+    let out = b.array("out", n * n);
+    let ker = b.array("ker", 25);
+    b.par_for(interior, |b, i| {
+        b.for_(interior, |b, j| {
+            b.for_(5, |b, di| {
+                b.for_(5, |b, dj| {
+                    b.load(img, (i + kernel_ir::Idx::from(di)) * n + j + dj);
+                    b.load(ker, di * 5 + dj);
+                    b.compute(2);
+                });
+            });
+            b.store(out, (i + 2) * n + (j + 2));
+        });
+    });
+    b.build()
+}
+
+/// FIR decimation by 2 (chunked schedule, as UTDSP ports often use).
+pub fn decimate(p: &KernelParams) -> BuildResult {
+    let n_out = (p.vec_len(2) / 2).max(4);
+    let mut b = builder("decimate", Suite::Utdsp, p);
+    let x = b.array("x", 2 * n_out + TAPS);
+    let y = b.array("y", n_out);
+    let c = b.array("c", TAPS);
+    b.par_for_sched(n_out as u64, Schedule::Chunked(8), |b, i| {
+        b.for_(TAPS as u64, |b, t| {
+            b.load(x, i * 2 + t);
+            b.load(c, t);
+            b.compute(2);
+        });
+        b.store(y, i);
+    });
+    b.build()
+}
+
+/// FIR interpolation by 2.
+pub fn interp(p: &KernelParams) -> BuildResult {
+    let n_in = (p.vec_len(3)).max(4);
+    let mut b = builder("interp", Suite::Utdsp, p);
+    let x = b.array("x", n_in + TAPS / 2);
+    let y = b.array("y", 2 * n_in);
+    let c = b.array("c", TAPS);
+    b.par_for(n_in as u64, |b, i| {
+        for phase in 0..2usize {
+            b.for_((TAPS / 2) as u64, |b, t| {
+                b.load(x, i + t);
+                b.load(c, t * 2 + phase);
+                b.compute(2);
+            });
+            b.store(y, i * 2 + phase);
+        }
+    });
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel_ir::DType;
+
+    #[test]
+    fn all_utdsp_kernels_validate() {
+        let fns: Vec<(&str, fn(&KernelParams) -> BuildResult)> = vec![
+            ("fir", fir),
+            ("iir", iir),
+            ("lmsfir", lmsfir),
+            ("latnrm", latnrm),
+            ("mult", mult),
+            ("fft", fft),
+            ("histogram", histogram),
+            ("adpcm", adpcm),
+            ("edge_detect", edge_detect),
+            ("compress", compress),
+            ("spectral", spectral),
+            ("dot_product", dot_product),
+            ("vec_scale", vec_scale),
+            ("autocorr", autocorr),
+            ("conv2d_5x5", conv2d_5x5),
+            ("decimate", decimate),
+            ("interp", interp),
+        ];
+        assert_eq!(fns.len(), 17);
+        for size in crate::params::PAYLOAD_SIZES {
+            for dtype in DType::ALL {
+                let p = KernelParams::new(dtype, size);
+                for (name, f) in &fns {
+                    let k = f(&p).unwrap_or_else(|e| panic!("{name}@{size}/{dtype}: {e}"));
+                    assert_eq!(k.suite, Suite::Utdsp);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_uses_a_critical_section() {
+        let k = histogram(&KernelParams::new(DType::I32, 2048)).expect("histogram");
+        let mut criticals = 0;
+        k.visit(|s| {
+            if matches!(s, kernel_ir::Stmt::Critical(_)) {
+                criticals += 1;
+            }
+        });
+        assert_eq!(criticals, 1);
+    }
+
+    #[test]
+    fn decimate_uses_chunked_schedule() {
+        let k = decimate(&KernelParams::new(DType::F32, 2048)).expect("decimate");
+        let mut chunked = false;
+        k.visit(|s| {
+            if let kernel_ir::Stmt::ParFor { sched: Schedule::Chunked(_), .. } = s {
+                chunked = true;
+            }
+        });
+        assert!(chunked);
+    }
+
+    #[test]
+    fn fft_stage_count_is_log2() {
+        let k = fft(&KernelParams::new(DType::F32, 2048)).expect("fft");
+        let mut outer_trip = 0;
+        let mut seen = false;
+        k.visit(|s| {
+            if let kernel_ir::Stmt::For { trip, .. } = s {
+                if !seen {
+                    outer_trip = *trip;
+                    seen = true;
+                }
+            }
+        });
+        // 256 elems → 8 stages.
+        assert_eq!(outer_trip, 8);
+    }
+}

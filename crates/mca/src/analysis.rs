@@ -1,0 +1,205 @@
+//! Steady-state throughput analysis of an instruction block.
+//!
+//! Mirrors what LLVM-MCA does with `--iterations`: replay the block many
+//! times through the abstract machine, assuming cache hits and perfect
+//! branch prediction, and measure dispatch- and port-limited throughput.
+
+use crate::features::McaFeatures;
+use crate::machine::{decode, DISPATCH_WIDTH, NUM_PORTS};
+use pulp_sim::OpKind;
+
+/// Iterations replayed to reach steady state.
+pub const DEFAULT_ITERATIONS: u64 = 64;
+
+/// Analyses `block` replayed `iterations` times.
+///
+/// Returns all 13 MCA features of Table II(b). An empty block yields
+/// all-zero features.
+pub fn analyze_block(block: &[OpKind], iterations: u64) -> McaFeatures {
+    if block.is_empty() || iterations == 0 {
+        return McaFeatures::zero();
+    }
+    let mut port_busy = [0u64; NUM_PORTS];
+    let mut int_div_busy = 0u64;
+    let mut fp_div_busy = 0u64;
+    let mut uops = 0u64;
+    let mut insns = 0u64;
+
+    // One iteration of the block decides the per-iteration pressures;
+    // steady state scales linearly, so decode once and multiply.
+    for &kind in block {
+        insns += 1;
+        for uop in decode(kind) {
+            uops += 1;
+            int_div_busy += uop.int_div;
+            fp_div_busy += uop.fp_div;
+            if uop.ports.is_empty() {
+                continue;
+            }
+            // Greedy least-loaded eligible port, deterministic tie-break on
+            // port order.
+            let &best = uop
+                .ports
+                .iter()
+                .min_by_key(|&&p| port_busy[p])
+                .expect("non-empty port set");
+            port_busy[best] += 1;
+        }
+    }
+
+    insns *= iterations;
+    uops *= iterations;
+    int_div_busy *= iterations;
+    fp_div_busy *= iterations;
+    for b in &mut port_busy {
+        *b *= iterations;
+    }
+
+    let dispatch_cycles = uops.div_ceil(DISPATCH_WIDTH);
+    let resource_cycles = port_busy
+        .iter()
+        .copied()
+        .chain([int_div_busy, fp_div_busy])
+        .max()
+        .unwrap_or(0);
+    let cycles = dispatch_cycles.max(resource_cycles).max(1);
+    let cf = cycles as f64;
+
+    let mut rp = [0.0f64; NUM_PORTS];
+    for (i, b) in port_busy.iter().enumerate() {
+        rp[i] = *b as f64 / cf;
+    }
+    McaFeatures {
+        uops_per_cycle: uops as f64 / cf,
+        ipc: insns as f64 / cf,
+        rblock_throughput: cf / iterations as f64,
+        rp_div: int_div_busy as f64 / cf,
+        rp_fp_div: fp_div_busy as f64 / cf,
+        rp,
+    }
+}
+
+/// Extracts the hot-block instruction mix of a kernel.
+///
+/// The block is the static instruction stream of the kernel body — opcode
+/// classes in program order, with one ALU + branch pair per loop (the
+/// loop-control code MCA would see in the assembly). This matches what the
+/// paper feeds MCA: the compiled kernel text, independent of trip counts.
+pub fn kernel_block(kernel: &kernel_ir::Kernel) -> Vec<OpKind> {
+    let mut block = Vec::new();
+    kernel.visit(|s| match s {
+        kernel_ir::Stmt::For { .. } | kernel_ir::Stmt::ParFor { .. } => {
+            block.push(OpKind::Alu);
+            block.push(OpKind::Branch);
+        }
+        kernel_ir::Stmt::Load { .. } => block.push(OpKind::Load),
+        kernel_ir::Stmt::Store { .. } => block.push(OpKind::Store),
+        kernel_ir::Stmt::Alu(n) => block.extend(std::iter::repeat(OpKind::Alu).take(*n as usize)),
+        kernel_ir::Stmt::Mul(n) => block.extend(std::iter::repeat(OpKind::Mul).take(*n as usize)),
+        kernel_ir::Stmt::Div(n) => block.extend(std::iter::repeat(OpKind::Div).take(*n as usize)),
+        kernel_ir::Stmt::Fp(n) => block.extend(
+            std::iter::repeat(OpKind::Fp(pulp_sim::FpOp::Mul)).take(*n as usize),
+        ),
+        kernel_ir::Stmt::FpDiv(n) => block.extend(
+            std::iter::repeat(OpKind::Fp(pulp_sim::FpOp::Div)).take(*n as usize),
+        ),
+        kernel_ir::Stmt::Nop(n) => block.extend(std::iter::repeat(OpKind::Nop).take(*n as usize)),
+        kernel_ir::Stmt::Barrier
+        | kernel_ir::Stmt::Critical(_)
+        | kernel_ir::Stmt::DmaTransfer { .. }
+        | kernel_ir::Stmt::DmaWait => {}
+    });
+    block
+}
+
+/// Analyses a kernel's hot block with the default iteration count.
+pub fn analyze_kernel(kernel: &kernel_ir::Kernel) -> McaFeatures {
+    analyze_block(&kernel_block(kernel), DEFAULT_ITERATIONS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel_ir::{DType, KernelBuilder, Suite};
+    use pulp_sim::FpOp;
+
+    #[test]
+    fn empty_block_is_all_zero() {
+        let f = analyze_block(&[], DEFAULT_ITERATIONS);
+        assert_eq!(f.ipc, 0.0);
+        assert_eq!(f.rblock_throughput, 0.0);
+    }
+
+    #[test]
+    fn alu_block_is_dispatch_limited() {
+        // 4 ALU ports, dispatch width 4: IPC = 4.
+        let block = vec![OpKind::Alu; 16];
+        let f = analyze_block(&block, 100);
+        assert!((f.ipc - 4.0).abs() < 0.1, "ipc = {}", f.ipc);
+        assert!((f.uops_per_cycle - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn fp_block_is_port_limited() {
+        // FP ops only go to P0/P1: throughput 2/cycle despite width 4.
+        let block = vec![OpKind::Fp(FpOp::Mul); 16];
+        let f = analyze_block(&block, 100);
+        assert!((f.ipc - 2.0).abs() < 0.1, "ipc = {}", f.ipc);
+        assert!(f.rp[0] > 0.9 && f.rp[1] > 0.9);
+        assert!(f.rp[5] == 0.0);
+    }
+
+    #[test]
+    fn divider_pressure_reported() {
+        let block = vec![OpKind::Div, OpKind::Alu];
+        let f = analyze_block(&block, 10);
+        assert!(f.rp_div > 0.9, "int divider should saturate: {}", f.rp_div);
+        assert_eq!(f.rp_fp_div, 0.0);
+    }
+
+    #[test]
+    fn fp_divider_pressure_reported() {
+        let block = vec![OpKind::Fp(FpOp::Div)];
+        let f = analyze_block(&block, 10);
+        assert!(f.rp_fp_div > 0.9);
+    }
+
+    #[test]
+    fn loads_spread_over_agu_ports() {
+        let block = vec![OpKind::Load; 8];
+        let f = analyze_block(&block, 50);
+        assert!((f.rp[2] - f.rp[3]).abs() < 0.01, "loads balance across P2/P3");
+        assert!((f.ipc - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn rbp_scales_with_block_size() {
+        let small = analyze_block(&vec![OpKind::Alu; 4], 100);
+        let large = analyze_block(&vec![OpKind::Alu; 8], 100);
+        assert!((large.rblock_throughput / small.rblock_throughput - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn kernel_block_reflects_structure() {
+        let mut b = KernelBuilder::new("k", Suite::Custom, DType::F32, 64);
+        let a = b.array("a", 16);
+        b.par_for(16, |b, i| {
+            b.load(a, i);
+            b.compute(2);
+            b.store(a, i);
+        });
+        let k = b.build().expect("valid");
+        let block = kernel_block(&k);
+        // loop(alu+branch) + load + 2 fp + store
+        assert_eq!(block.len(), 6);
+        assert_eq!(block.iter().filter(|k| k.is_fp()).count(), 2);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let block = vec![OpKind::Load, OpKind::Fp(FpOp::Mul), OpKind::Store, OpKind::Alu];
+        let a = analyze_block(&block, DEFAULT_ITERATIONS);
+        let b = analyze_block(&block, DEFAULT_ITERATIONS);
+        assert_eq!(a.to_vec(), b.to_vec());
+    }
+}

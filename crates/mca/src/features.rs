@@ -1,0 +1,120 @@
+//! The MCA feature vector (Table II(b) of the paper).
+
+use crate::machine::NUM_PORTS;
+use serde::{Deserialize, Serialize};
+
+/// Names of the 13 MCA features, in [`McaFeatures::to_vec`] order.
+pub const MCA_FEATURE_NAMES: [&str; 13] = [
+    "uOPSpc", "IPC", "RBP", "RPDiv", "RPFPDiv", "RP0", "RP1", "RP2", "RP3", "RP4", "RP5", "RP6",
+    "RP7",
+];
+
+/// Machine-code-analyser features of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McaFeatures {
+    /// Micro-operations issued per cycle.
+    pub uops_per_cycle: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Reverse block throughput (cycles per block iteration).
+    pub rblock_throughput: f64,
+    /// Resource pressure on the integer divider.
+    pub rp_div: f64,
+    /// Resource pressure on the floating-point divider.
+    pub rp_fp_div: f64,
+    /// Per-port resource pressures (P0..P7).
+    pub rp: [f64; NUM_PORTS],
+}
+
+impl McaFeatures {
+    /// The all-zero feature vector (empty kernels).
+    pub fn zero() -> Self {
+        Self {
+            uops_per_cycle: 0.0,
+            ipc: 0.0,
+            rblock_throughput: 0.0,
+            rp_div: 0.0,
+            rp_fp_div: 0.0,
+            rp: [0.0; NUM_PORTS],
+        }
+    }
+
+    /// Flattens into the 13-element vector matching
+    /// [`MCA_FEATURE_NAMES`].
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut v = vec![
+            self.uops_per_cycle,
+            self.ipc,
+            self.rblock_throughput,
+            self.rp_div,
+            self.rp_fp_div,
+        ];
+        v.extend_from_slice(&self.rp);
+        v
+    }
+}
+
+/// Renders an LLVM-MCA-style summary report for a block of `insns`
+/// instructions analysed into `features`.
+///
+/// ```text
+/// Iterations:        64
+/// Instructions:      6
+/// uOps Per Cycle:    2.67
+/// IPC:               2.29
+/// Block RThroughput: 2.6
+///
+/// Resource pressure per cycle:
+/// [Div] [FDiv] [P0] [P1] [P2] [P3] [P4] [P5] [P6] [P7]
+///  0.00  0.00  0.38 ...
+/// ```
+pub fn render_report(insns: usize, iterations: u64, f: &McaFeatures) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Iterations:        {iterations}");
+    let _ = writeln!(out, "Instructions:      {insns}");
+    let _ = writeln!(out, "uOps Per Cycle:    {:.2}", f.uops_per_cycle);
+    let _ = writeln!(out, "IPC:               {:.2}", f.ipc);
+    let _ = writeln!(out, "Block RThroughput: {:.1}", f.rblock_throughput);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Resource pressure per cycle:");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>6} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+        "[Div]", "[FDiv]", "[P0]", "[P1]", "[P2]", "[P3]", "[P4]", "[P5]", "[P6]", "[P7]"
+    );
+    let _ = write!(out, "{:>6.2} {:>6.2}", f.rp_div, f.rp_fp_div);
+    for p in f.rp {
+        let _ = write!(out, " {p:>5.2}");
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_matches_names() {
+        assert_eq!(McaFeatures::zero().to_vec().len(), MCA_FEATURE_NAMES.len());
+    }
+
+    #[test]
+    fn zero_is_all_zero() {
+        assert!(McaFeatures::zero().to_vec().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let mut f = McaFeatures::zero();
+        f.ipc = 2.29;
+        f.rp[3] = 0.55;
+        let r = render_report(6, 64, &f);
+        assert!(r.contains("Iterations:        64"));
+        assert!(r.contains("Instructions:      6"));
+        assert!(r.contains("IPC:               2.29"));
+        assert!(r.contains("[P7]"));
+        assert!(r.contains("0.55"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # pulp-mca — static machine-code analysis
+//!
+//! A from-scratch stand-in for LLVM-MCA, the machine-code analyser whose
+//! port-pressure outputs the paper uses as additional static features
+//! (Table II(b)). The tool models the execution engine of a generic
+//! out-of-order microarchitecture — *not* PULP — and reports how strongly
+//! an instruction mix stresses each execution port, assuming cache hits
+//! and perfect branch prediction. The paper treats these numbers as a
+//! static *fingerprint* of the kernel.
+//!
+//! # Examples
+//!
+//! ```
+//! use kernel_ir::{DType, KernelBuilder, Suite};
+//! use pulp_mca::analyze_kernel;
+//!
+//! # fn main() -> Result<(), kernel_ir::ValidateKernelError> {
+//! let mut b = KernelBuilder::new("dot", Suite::Custom, DType::F32, 512);
+//! let x = b.array("x", 64);
+//! let y = b.array("y", 64);
+//! b.par_for(64, |b, i| {
+//!     b.load(x, i);
+//!     b.load(y, i);
+//!     b.compute(2);
+//! });
+//! let kernel = b.build()?;
+//! let mca = analyze_kernel(&kernel);
+//! assert!(mca.ipc > 0.0);
+//! assert!(mca.rp[2] > 0.0, "loads pressure the AGU ports");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod features;
+pub mod machine;
+
+pub use analysis::{analyze_block, analyze_kernel, kernel_block, DEFAULT_ITERATIONS};
+pub use features::{render_report, McaFeatures, MCA_FEATURE_NAMES};
+pub use machine::{decode, Uop, DISPATCH_WIDTH, NUM_PORTS};

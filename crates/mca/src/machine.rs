@@ -1,0 +1,105 @@
+//! Abstract out-of-order machine model.
+//!
+//! LLVM-MCA models the execution engine of an out-of-order
+//! microarchitecture: instructions are decoded into micro-ops and
+//! dispatched to execution *ports*. The paper uses MCA's port-pressure
+//! outputs as a static "fingerprint" of the kernel — the machine being
+//! modelled is deliberately *not* PULP; what matters is that the same
+//! instruction mix always maps to the same pressure vector.
+//!
+//! This module defines an 8-port machine in the spirit of the one MCA
+//! models by default (Table II(b) of the paper names the port roles):
+//!
+//! | Port | Role |
+//! |------|------|
+//! | P0   | other components (FP, div) |
+//! | P1   | other components (FP, mul) |
+//! | P2   | AGU, load data |
+//! | P3   | AGU, load data |
+//! | P4   | store data |
+//! | P5   | INT ALU, vector ALU, LEA |
+//! | P6   | INT ALU, branch |
+//! | P7   | address generation unit |
+
+use pulp_sim::{FpOp, OpKind};
+
+/// Number of execution ports.
+pub const NUM_PORTS: usize = 8;
+/// Micro-ops dispatched per cycle.
+pub const DISPATCH_WIDTH: u64 = 4;
+/// Cycles the integer divider is blocked per divide.
+pub const INT_DIV_OCCUPANCY: u64 = 8;
+/// Cycles the FP divider is blocked per divide.
+pub const FP_DIV_OCCUPANCY: u64 = 12;
+
+/// One micro-op: the set of ports it may execute on plus extra divider
+/// occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uop {
+    /// Candidate ports (indices into the port array); empty for uops that
+    /// consume dispatch bandwidth only (NOPs).
+    pub ports: &'static [usize],
+    /// Cycles charged to the integer divider.
+    pub int_div: u64,
+    /// Cycles charged to the FP divider.
+    pub fp_div: u64,
+}
+
+const ALU_PORTS: &[usize] = &[5, 6, 0, 1];
+const MUL_PORTS: &[usize] = &[1];
+const DIV_PORTS: &[usize] = &[0];
+const FP_PORTS: &[usize] = &[0, 1];
+const LOAD_PORTS: &[usize] = &[2, 3];
+const STORE_DATA_PORTS: &[usize] = &[4];
+const AGU_PORTS: &[usize] = &[7, 2, 3];
+const BRANCH_PORTS: &[usize] = &[6];
+const NO_PORTS: &[usize] = &[];
+
+/// Decodes one instruction into its micro-ops.
+pub fn decode(kind: OpKind) -> Vec<Uop> {
+    let plain = |ports: &'static [usize]| Uop { ports, int_div: 0, fp_div: 0 };
+    match kind {
+        OpKind::Alu => vec![plain(ALU_PORTS)],
+        OpKind::Mul => vec![plain(MUL_PORTS)],
+        OpKind::Div => vec![Uop { ports: DIV_PORTS, int_div: INT_DIV_OCCUPANCY, fp_div: 0 }],
+        OpKind::Fp(FpOp::Add) | OpKind::Fp(FpOp::Mul) => vec![plain(FP_PORTS)],
+        OpKind::Fp(FpOp::Div) => {
+            vec![Uop { ports: DIV_PORTS, int_div: 0, fp_div: FP_DIV_OCCUPANCY }]
+        }
+        OpKind::Load => vec![plain(LOAD_PORTS)],
+        // Stores split into a store-data uop and an address-generation uop.
+        OpKind::Store => vec![plain(STORE_DATA_PORTS), plain(AGU_PORTS)],
+        OpKind::Branch | OpKind::Jump => vec![plain(BRANCH_PORTS)],
+        OpKind::Nop => vec![plain(NO_PORTS)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_produce_two_uops() {
+        assert_eq!(decode(OpKind::Store).len(), 2);
+        assert_eq!(decode(OpKind::Load).len(), 1);
+    }
+
+    #[test]
+    fn divides_charge_divider_units() {
+        let d = decode(OpKind::Div);
+        assert_eq!(d[0].int_div, INT_DIV_OCCUPANCY);
+        assert_eq!(d[0].fp_div, 0);
+        let f = decode(OpKind::Fp(FpOp::Div));
+        assert_eq!(f[0].fp_div, FP_DIV_OCCUPANCY);
+    }
+
+    #[test]
+    fn nops_use_no_ports() {
+        assert!(decode(OpKind::Nop)[0].ports.is_empty());
+    }
+
+    #[test]
+    fn alu_is_widely_issuable() {
+        assert_eq!(decode(OpKind::Alu)[0].ports.len(), 4);
+    }
+}

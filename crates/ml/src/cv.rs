@@ -1,0 +1,173 @@
+//! Stratified cross-validation.
+//!
+//! The paper evaluates every classifier with "10-fold stratified
+//! cross-validation ... repeated 100 times with random seeds, for ensuring
+//! to get unbiased accuracy results". This module implements that exact
+//! protocol.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A model trainable on row subsets — implemented by the decision tree and
+/// the random forest.
+pub trait Classifier {
+    /// Fits on the given training rows of `data`.
+    fn fit_rows(&mut self, data: &Dataset, rows: &[usize]);
+    /// Predicts the class of one feature vector.
+    fn predict(&self, x: &[f64]) -> usize;
+}
+
+impl Classifier for crate::tree::DecisionTree {
+    fn fit_rows(&mut self, data: &Dataset, rows: &[usize]) {
+        crate::tree::DecisionTree::fit_rows(self, data, rows);
+    }
+    fn predict(&self, x: &[f64]) -> usize {
+        crate::tree::DecisionTree::predict(self, x)
+    }
+}
+
+impl Classifier for crate::forest::RandomForest {
+    fn fit_rows(&mut self, data: &Dataset, rows: &[usize]) {
+        crate::forest::RandomForest::fit_rows(self, data, rows);
+    }
+    fn predict(&self, x: &[f64]) -> usize {
+        crate::forest::RandomForest::predict(self, x)
+    }
+}
+
+/// Splits sample indices into `k` stratified folds.
+///
+/// Each class's samples are shuffled and dealt round-robin, so every fold
+/// approximates the global class distribution.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn stratified_folds(labels: &[usize], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k > 0, "need at least one fold");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        per_class[l].push(i);
+    }
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut next = 0usize;
+    for class_rows in &mut per_class {
+        class_rows.shuffle(&mut rng);
+        for &row in class_rows.iter() {
+            folds[next % k].push(row);
+            next += 1;
+        }
+    }
+    folds
+}
+
+/// Out-of-fold predictions for every sample under k-fold CV.
+///
+/// `make` builds a fresh classifier per fold (keeping folds independent).
+/// Returns one predicted label per sample, aligned with `data` rows.
+pub fn cross_val_predict<C: Classifier>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    mut make: impl FnMut() -> C,
+) -> Vec<usize> {
+    let folds = stratified_folds(data.labels(), k, seed);
+    let mut predictions = vec![0usize; data.len()];
+    for test_fold in &folds {
+        if test_fold.is_empty() {
+            continue;
+        }
+        let train: Vec<usize> = folds
+            .iter()
+            .filter(|f| !std::ptr::eq(*f, test_fold))
+            .flatten()
+            .copied()
+            .collect();
+        if train.is_empty() {
+            continue;
+        }
+        let mut model = make();
+        model.fit_rows(data, &train);
+        for &row in test_fold {
+            predictions[row] = model.predict(data.row(row));
+        }
+    }
+    predictions
+}
+
+/// Runs [`cross_val_predict`] `repeats` times with seeds `0..repeats`
+/// (offset by `base_seed`), returning each repetition's predictions.
+pub fn repeated_cross_val_predict<C: Classifier>(
+    data: &Dataset,
+    k: usize,
+    repeats: usize,
+    base_seed: u64,
+    mut make: impl FnMut() -> C,
+) -> Vec<Vec<usize>> {
+    (0..repeats)
+        .map(|r| cross_val_predict(data, k, base_seed + r as u64, &mut make))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{DecisionTree, TreeParams};
+
+    #[test]
+    fn folds_partition_the_dataset() {
+        let labels: Vec<usize> = (0..100).map(|i| i % 3).collect();
+        let folds = stratified_folds(&labels, 10, 7);
+        assert_eq!(folds.len(), 10);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        // 80 of class 0, 20 of class 1 → every fold of 10 gets 2 ones.
+        let labels: Vec<usize> =
+            std::iter::repeat(0).take(80).chain(std::iter::repeat(1).take(20)).collect();
+        let folds = stratified_folds(&labels, 10, 3);
+        for f in &folds {
+            let ones = f.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(ones, 2, "fold with {ones} minority samples");
+        }
+    }
+
+    #[test]
+    fn folds_differ_by_seed_but_not_within() {
+        let labels: Vec<usize> = (0..60).map(|i| i % 2).collect();
+        assert_eq!(stratified_folds(&labels, 5, 1), stratified_folds(&labels, 5, 1));
+        assert_ne!(stratified_folds(&labels, 5, 1), stratified_folds(&labels, 5, 2));
+    }
+
+    #[test]
+    fn cross_val_predict_learns_separable_data() {
+        // Class = x > 5, plenty of samples.
+        let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let labels: Vec<usize> = (0..100).map(|i| usize::from(i >= 50)).collect();
+        let data = Dataset::new(features, labels.clone(), vec!["x".into()], 2).expect("dataset");
+        let preds =
+            cross_val_predict(&data, 10, 0, || DecisionTree::new(TreeParams::default()));
+        let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        assert!(correct >= 98, "cv accuracy too low: {correct}/100");
+    }
+
+    #[test]
+    fn repeated_cv_produces_independent_repetitions() {
+        let features: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 7) as f64, i as f64]).collect();
+        let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let data = Dataset::new(features, labels, vec!["a".into(), "b".into()], 2)
+            .expect("dataset");
+        let reps =
+            repeated_cross_val_predict(&data, 5, 3, 0, || DecisionTree::new(TreeParams::default()));
+        assert_eq!(reps.len(), 3);
+        assert_eq!(reps[0].len(), 40);
+    }
+}

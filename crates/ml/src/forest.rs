@@ -1,0 +1,195 @@
+//! Random forest — bagged trees with feature subsampling.
+//!
+//! The paper's related work uses random forests for energy prediction
+//! (Benedict et al.), and its future work calls for stronger models than
+//! a single tree; the `forest_extension` bench compares both on the same
+//! protocol.
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters.
+    pub tree: TreeParams,
+    /// Features sampled per tree; `None` = `sqrt(n_features)`.
+    pub max_features: Option<usize>,
+    /// RNG seed for bootstrap and feature sampling.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self { n_trees: 50, tree: TreeParams::default(), max_features: None, seed: 0 }
+    }
+}
+
+struct ForestTree {
+    tree: DecisionTree,
+    /// Columns (into the full feature space) this tree was trained on.
+    columns: Vec<usize>,
+}
+
+/// A fitted random forest.
+pub struct RandomForest {
+    params: ForestParams,
+    trees: Vec<ForestTree>,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest.
+    pub fn new(params: ForestParams) -> Self {
+        Self { params, trees: Vec::new(), n_features: 0 }
+    }
+
+    /// Fits on a row subset of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn fit_rows(&mut self, data: &Dataset, rows: &[usize]) {
+        assert!(!rows.is_empty(), "cannot fit on an empty training set");
+        self.trees.clear();
+        self.n_features = data.n_features();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let m = self
+            .params
+            .max_features
+            .unwrap_or_else(|| (data.n_features() as f64).sqrt().ceil() as usize)
+            .clamp(1, data.n_features());
+        let mut all_columns: Vec<usize> = (0..data.n_features()).collect();
+        for _ in 0..self.params.n_trees {
+            // Bootstrap sample of the training rows.
+            let boot: Vec<usize> =
+                (0..rows.len()).map(|_| rows[rng.gen_range(0..rows.len())]).collect();
+            // Feature subset for this tree.
+            all_columns.shuffle(&mut rng);
+            let mut columns = all_columns[..m].to_vec();
+            columns.sort_unstable();
+            let projected = data.select_features(&columns);
+            let mut tree = DecisionTree::new(self.params.tree);
+            tree.fit_rows(&projected, &boot);
+            self.trees.push(ForestTree { tree, columns });
+        }
+    }
+
+    /// Fits on all rows.
+    pub fn fit(&mut self, data: &Dataset) {
+        let rows: Vec<usize> = (0..data.len()).collect();
+        self.fit_rows(data, &rows);
+    }
+
+    /// Majority-vote prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest is unfitted.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        assert!(!self.trees.is_empty(), "predict called on an unfitted forest");
+        let mut votes = std::collections::HashMap::new();
+        let mut scratch = Vec::new();
+        for ft in &self.trees {
+            scratch.clear();
+            scratch.extend(ft.columns.iter().map(|&c| x[c]));
+            *votes.entry(ft.tree.predict(&scratch)).or_insert(0usize) += 1;
+        }
+        votes
+            .into_iter()
+            .max_by_key(|&(class, count)| (count, usize::MAX - class))
+            .map(|(class, _)| class)
+            .unwrap_or(0)
+    }
+
+    /// Mean feature importances over trees, mapped back to the full
+    /// feature space and normalised.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut total = vec![0.0; self.n_features];
+        for ft in &self.trees {
+            for (local, &col) in ft.columns.iter().enumerate() {
+                total[col] += ft.tree.feature_importances()[local];
+            }
+        }
+        let norm: f64 = total.iter().sum();
+        if norm > 0.0 {
+            for t in &mut total {
+                *t /= norm;
+            }
+        }
+        total
+    }
+
+    /// Number of fitted trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Returns `true` before fitting.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_data(n_per_class: usize) -> Dataset {
+        // Two well-separated 2D blobs.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per_class {
+            let t = i as f64 * 0.1;
+            features.push(vec![t, t + 0.5]);
+            labels.push(0);
+            features.push(vec![10.0 + t, 9.0 - t]);
+            labels.push(1);
+        }
+        Dataset::new(features, labels, vec!["x".into(), "y".into()], 2).expect("valid dataset")
+    }
+
+    #[test]
+    fn forest_classifies_blobs() {
+        let d = blob_data(20);
+        let mut f = RandomForest::new(ForestParams { n_trees: 11, ..ForestParams::default() });
+        f.fit(&d);
+        assert_eq!(f.predict(&[0.5, 1.0]), 0);
+        assert_eq!(f.predict(&[10.5, 8.0]), 1);
+        assert_eq!(f.len(), 11);
+    }
+
+    #[test]
+    fn forest_is_seed_deterministic() {
+        let d = blob_data(10);
+        let mk = |seed| {
+            let mut f = RandomForest::new(ForestParams { n_trees: 7, seed, ..Default::default() });
+            f.fit(&d);
+            (0..d.len()).map(|i| f.predict(d.row(i))).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(42), mk(42));
+    }
+
+    #[test]
+    fn importances_normalised() {
+        let d = blob_data(10);
+        let mut f = RandomForest::new(ForestParams::default());
+        f.fit(&d);
+        let imp = f.feature_importances();
+        assert_eq!(imp.len(), 2);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfitted")]
+    fn predict_requires_fit() {
+        let f = RandomForest::new(ForestParams::default());
+        let _ = f.predict(&[0.0, 0.0]);
+    }
+}

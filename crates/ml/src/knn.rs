@@ -1,0 +1,212 @@
+//! k-nearest-neighbours classifier.
+//!
+//! A distance-based baseline to contrast with the tree models: where the
+//! decision tree partitions feature space with axis-aligned thresholds,
+//! k-NN predicts from raw similarity. Features are z-score standardised
+//! internally (the static features span 10 orders of magnitude — `transfer`
+//! in bytes vs port pressures in [0, 1] — so unscaled distances would be
+//! meaningless).
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// k-NN hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnnParams {
+    /// Number of neighbours consulted.
+    pub k: usize,
+}
+
+impl Default for KnnParams {
+    fn default() -> Self {
+        Self { k: 5 }
+    }
+}
+
+/// A fitted k-NN classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KNearestNeighbors {
+    params: KnnParams,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    n_classes: usize,
+}
+
+impl KNearestNeighbors {
+    /// Creates an unfitted classifier.
+    pub fn new(params: KnnParams) -> Self {
+        Self {
+            params,
+            rows: Vec::new(),
+            labels: Vec::new(),
+            mean: Vec::new(),
+            std: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// Fits on a row subset of `data` (memorises standardised rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn fit_rows(&mut self, data: &Dataset, rows: &[usize]) {
+        assert!(!rows.is_empty(), "cannot fit on an empty training set");
+        let d = data.n_features();
+        let n = rows.len() as f64;
+        self.n_classes = data.n_classes();
+        self.mean = vec![0.0; d];
+        self.std = vec![0.0; d];
+        for &r in rows {
+            for (j, v) in data.row(r).iter().enumerate() {
+                self.mean[j] += v;
+            }
+        }
+        for m in &mut self.mean {
+            *m /= n;
+        }
+        for &r in rows {
+            for (j, v) in data.row(r).iter().enumerate() {
+                self.std[j] += (v - self.mean[j]).powi(2);
+            }
+        }
+        for s in &mut self.std {
+            *s = (*s / n).sqrt();
+            if *s == 0.0 {
+                *s = 1.0; // constant feature: contributes nothing either way
+            }
+        }
+        self.rows = rows.iter().map(|&r| self.standardise(data.row(r))).collect();
+        self.labels = rows.iter().map(|&r| data.label(r)).collect();
+    }
+
+    /// Fits on all rows.
+    pub fn fit(&mut self, data: &Dataset) {
+        let rows: Vec<usize> = (0..data.len()).collect();
+        self.fit_rows(data, &rows);
+    }
+
+    fn standardise(&self, x: &[f64]) -> Vec<f64> {
+        x.iter().enumerate().map(|(j, v)| (v - self.mean[j]) / self.std[j]).collect()
+    }
+
+    /// Majority vote over the `k` nearest training samples (squared
+    /// Euclidean distance in standardised space; distance-sum tiebreak).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classifier is unfitted.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        assert!(!self.rows.is_empty(), "predict called on an unfitted classifier");
+        let q = self.standardise(x);
+        let mut dists: Vec<(f64, usize)> = self
+            .rows
+            .iter()
+            .zip(&self.labels)
+            .map(|(r, &l)| {
+                let d: f64 = r.iter().zip(&q).map(|(a, b)| (a - b).powi(2)).sum();
+                (d, l)
+            })
+            .collect();
+        let k = self.params.k.clamp(1, dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances")
+        });
+        let mut votes = vec![(0usize, 0.0f64); self.n_classes];
+        for &(d, l) in &dists[..k] {
+            votes[l].0 += 1;
+            votes[l].1 += d;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                // More votes wins; ties broken by smaller total distance.
+                a.0.cmp(&b.0).then(b.1.partial_cmp(&a.1).expect("finite distances"))
+            })
+            .map(|(class, _)| class)
+            .unwrap_or(0)
+    }
+}
+
+impl crate::cv::Classifier for KNearestNeighbors {
+    fn fit_rows(&mut self, data: &Dataset, rows: &[usize]) {
+        KNearestNeighbors::fit_rows(self, data, rows);
+    }
+    fn predict(&self, x: &[f64]) -> usize {
+        KNearestNeighbors::predict(self, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        // Deliberately unbalanced feature scales: f0 in thousands, f1 tiny.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            features.push(vec![1000.0 + i as f64, 0.01]);
+            labels.push(0);
+            features.push(vec![1000.0 + i as f64, 0.05]);
+            labels.push(1);
+        }
+        Dataset::new(features, labels, vec!["big".into(), "small".into()], 2)
+            .expect("dataset")
+    }
+
+    #[test]
+    fn standardisation_makes_small_features_count() {
+        // Without z-scoring, f1's 0.04 gap would be invisible next to f0.
+        let d = blobs();
+        let mut knn = KNearestNeighbors::new(KnnParams { k: 3 });
+        knn.fit(&d);
+        assert_eq!(knn.predict(&[1010.0, 0.01]), 0);
+        assert_eq!(knn.predict(&[1010.0, 0.05]), 1);
+    }
+
+    #[test]
+    fn k_one_memorises_training_points() {
+        let d = blobs();
+        let mut knn = KNearestNeighbors::new(KnnParams { k: 1 });
+        knn.fit(&d);
+        for i in 0..d.len() {
+            assert_eq!(knn.predict(d.row(i)), d.label(i));
+        }
+    }
+
+    #[test]
+    fn constant_features_do_not_nan() {
+        let d = Dataset::new(
+            vec![vec![7.0, 1.0], vec![7.0, 2.0], vec![7.0, 10.0], vec![7.0, 11.0]],
+            vec![0, 0, 1, 1],
+            vec!["const".into(), "x".into()],
+            2,
+        )
+        .expect("dataset");
+        let mut knn = KNearestNeighbors::new(KnnParams { k: 1 });
+        knn.fit(&d);
+        assert_eq!(knn.predict(&[7.0, 1.5]), 0);
+        assert_eq!(knn.predict(&[7.0, 10.5]), 1);
+    }
+
+    #[test]
+    fn oversized_k_clamps_to_training_size() {
+        let d = blobs();
+        let mut knn = KNearestNeighbors::new(KnnParams { k: 10_000 });
+        knn.fit(&d);
+        // With k = n the vote is the global distribution (tied 20/20);
+        // the distance tiebreak resolves deterministically.
+        let _ = knn.predict(&[1000.0, 0.03]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfitted")]
+    fn predict_requires_fit() {
+        let knn = KNearestNeighbors::new(KnnParams::default());
+        let _ = knn.predict(&[0.0]);
+    }
+}

@@ -1,0 +1,49 @@
+//! # pulp-ml — classical machine learning for the energy-classification task
+//!
+//! A from-scratch implementation of the learning stack the paper uses:
+//!
+//! * a CART [`DecisionTree`] with Gini impurity and feature importances
+//!   (the paper's classifier — chosen over deep models precisely because
+//!   its importances are inspectable, Table IV);
+//! * a [`RandomForest`] for the paper's future-work comparison;
+//! * stratified k-fold cross-validation with seeded repetitions
+//!   ([`cv::cross_val_predict`]), matching the paper's "10-fold stratified
+//!   cross-validation repeated 100 times with random seeds";
+//! * plain and *energy-tolerance* accuracy
+//!   ([`metrics::tolerance_accuracy`]) — the evaluation axis of Figure 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use pulp_ml::{Dataset, DecisionTree, TreeParams, cv::cross_val_predict, metrics::accuracy};
+//!
+//! # fn main() -> Result<(), pulp_ml::DatasetError> {
+//! let features: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+//! let labels: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+//! let data = Dataset::new(features, labels.clone(), vec!["x".into()], 2)?;
+//! let preds = cross_val_predict(&data, 5, 0, || DecisionTree::new(TreeParams::default()));
+//! assert!(accuracy(&preds, &labels) > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cv;
+pub mod dataset;
+pub mod forest;
+pub mod knn;
+pub mod metrics;
+pub mod split;
+pub mod tree;
+
+pub use cv::{cross_val_predict, repeated_cross_val_predict, stratified_folds, Classifier};
+pub use dataset::{Dataset, DatasetError};
+pub use forest::{ForestParams, RandomForest};
+pub use knn::{KNearestNeighbors, KnnParams};
+pub use metrics::{
+    accuracy, class_scores, confusion_matrix, mean_std, tolerance_accuracy, ClassScore,
+};
+pub use split::{best_split, best_split_with, entropy, gini, Criterion, Split};
+pub use tree::{DecisionTree, TreeParams};

@@ -1,0 +1,212 @@
+//! Classification metrics, including the paper's energy-tolerance accuracy.
+//!
+//! Plain accuracy treats any misprediction as wrong; the paper argues that
+//! "selecting a number of processing elements that leads to a small amount
+//! of energy wasted with respect to the theoretical minimum may be
+//! acceptable from the engineering point of view" and therefore evaluates
+//! accuracy under an increasing tolerance threshold on the wasted energy.
+
+/// Fraction of exact label matches.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Accuracy under an energy-waste tolerance.
+///
+/// `energy_by_class[i][c]` is the measured energy of sample `i` when run
+/// with the configuration of class `c`. A prediction is counted correct
+/// when the energy of the predicted configuration wastes at most
+/// `tolerance` (fractional, e.g. `0.05` for 5%) over the sample's minimum
+/// energy.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or a sample has no classes.
+pub fn tolerance_accuracy(
+    predictions: &[usize],
+    energy_by_class: &[Vec<f64>],
+    tolerance: f64,
+) -> f64 {
+    assert_eq!(predictions.len(), energy_by_class.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(energy_by_class)
+        .filter(|(&p, energies)| {
+            let min = energies
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            assert!(min.is_finite(), "sample with no class energies");
+            let wasted = (energies[p] - min) / min;
+            wasted <= tolerance + 1e-12
+        })
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Row-major confusion matrix: `m[true][predicted]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or a label exceeds
+/// `n_classes`.
+pub fn confusion_matrix(predictions: &[usize], labels: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        m[l][p] += 1;
+    }
+    m
+}
+
+/// Per-class precision, recall and F1 derived from a confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassScore {
+    /// Fraction of predictions for this class that were correct.
+    pub precision: f64,
+    /// Fraction of this class's samples that were found.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Samples of this class in the ground truth.
+    pub support: usize,
+}
+
+/// Per-class scores from a `m[true][predicted]` confusion matrix.
+///
+/// Classes with no samples and no predictions score zero across the
+/// board.
+pub fn class_scores(confusion: &[Vec<usize>]) -> Vec<ClassScore> {
+    let n = confusion.len();
+    (0..n)
+        .map(|c| {
+            let tp = confusion[c][c];
+            let support: usize = confusion[c].iter().sum();
+            let predicted: usize = confusion.iter().map(|row| row[c]).sum();
+            let precision = if predicted > 0 { tp as f64 / predicted as f64 } else { 0.0 };
+            let recall = if support > 0 { tp as f64 / support as f64 } else { 0.0 };
+            let f1 = if precision + recall > 0.0 {
+                2.0 * precision * recall / (precision + recall)
+            } else {
+                0.0
+            };
+            ClassScore { precision, recall, f1, support }
+        })
+        .collect()
+}
+
+/// Mean and sample standard deviation of a series of accuracy values.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn zero_tolerance_requires_argmin() {
+        let energies = vec![vec![10.0, 5.0, 20.0], vec![1.0, 2.0, 3.0]];
+        // Sample 0: argmin class 1. Sample 1: argmin class 0.
+        assert_eq!(tolerance_accuracy(&[1, 0], &energies, 0.0), 1.0);
+        assert_eq!(tolerance_accuracy(&[0, 0], &energies, 0.0), 0.5);
+    }
+
+    #[test]
+    fn tolerance_forgives_near_optimal_predictions() {
+        // Class 0 wastes 4% over the class-1 minimum.
+        let energies = vec![vec![10.4, 10.0, 20.0]];
+        assert_eq!(tolerance_accuracy(&[0], &energies, 0.0), 0.0);
+        assert_eq!(tolerance_accuracy(&[0], &energies, 0.05), 1.0);
+        assert_eq!(tolerance_accuracy(&[2], &energies, 0.05), 0.0);
+    }
+
+    #[test]
+    fn tolerance_is_monotone() {
+        let energies: Vec<Vec<f64>> =
+            (0..10).map(|i| vec![10.0 + i as f64, 10.0, 30.0]).collect();
+        let preds = vec![0usize; 10];
+        let mut last = 0.0;
+        for t in [0.0, 0.1, 0.2, 0.5, 1.0] {
+            let acc = tolerance_accuracy(&preds, &energies, t);
+            assert!(acc >= last, "accuracy must grow with tolerance");
+            last = acc;
+        }
+        assert_eq!(last, 1.0);
+    }
+
+    #[test]
+    fn exact_minimum_always_within_tolerance() {
+        let energies = vec![vec![5.0, 7.0]];
+        assert_eq!(tolerance_accuracy(&[0], &energies, 0.0), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_shape_and_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn class_scores_from_confusion() {
+        // class 0: 3 tp, 1 fn; class 1: 4 tp, 1 fp.
+        let m = vec![vec![3, 1], vec![0, 4]];
+        let s = class_scores(&m);
+        assert!((s[0].precision - 1.0).abs() < 1e-12);
+        assert!((s[0].recall - 0.75).abs() < 1e-12);
+        assert!((s[1].precision - 0.8).abs() < 1e-12);
+        assert!((s[1].recall - 1.0).abs() < 1e-12);
+        assert_eq!(s[0].support, 4);
+        assert!(s[0].f1 > 0.85 && s[0].f1 < 0.86);
+    }
+
+    #[test]
+    fn empty_class_scores_zero() {
+        let m = vec![vec![2, 0, 0], vec![0, 2, 0], vec![0, 0, 0]];
+        let s = class_scores(&m);
+        assert_eq!(s[2].precision, 0.0);
+        assert_eq!(s[2].recall, 0.0);
+        assert_eq!(s[2].support, 0);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]).1, 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Impurity measures and best-split search for CART trees.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Split-quality criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Criterion {
+    /// Gini impurity (the paper's setting, scikit-learn default).
+    #[default]
+    Gini,
+    /// Shannon entropy (information gain).
+    Entropy,
+}
+
+impl Criterion {
+    /// Impurity of a class-count histogram under this criterion.
+    pub fn impurity(self, counts: &[usize]) -> f64 {
+        match self {
+            Criterion::Gini => gini(counts),
+            Criterion::Entropy => entropy(counts),
+        }
+    }
+}
+
+/// Shannon entropy (bits) of a class-count histogram.
+pub fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    -counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// Gini impurity of a class-count histogram.
+///
+/// `1 - Σ p_c²`; zero for pure nodes, approaching `1 - 1/C` for uniform
+/// mixtures over `C` classes.
+pub fn gini(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+/// A candidate axis-aligned split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Split {
+    /// Feature column to test.
+    pub feature: usize,
+    /// Samples with `x[feature] <= threshold` go left.
+    pub threshold: f64,
+    /// Impurity decrease, weighted by the node's sample fraction of `n_total`.
+    pub weighted_decrease: f64,
+}
+
+/// Finds the best Gini split of `rows` over `features`.
+///
+/// Returns `None` when no split satisfies `min_leaf` on both sides or no
+/// feature separates the samples. `n_total` is the size of the full
+/// training set, used to weight the impurity decrease for feature
+/// importances (matching scikit-learn's convention).
+pub fn best_split(
+    data: &Dataset,
+    rows: &[usize],
+    features: &[usize],
+    min_leaf: usize,
+    n_total: usize,
+) -> Option<Split> {
+    best_split_with(data, rows, features, min_leaf, n_total, Criterion::Gini)
+}
+
+/// [`best_split`] under an explicit impurity criterion.
+pub fn best_split_with(
+    data: &Dataset,
+    rows: &[usize],
+    features: &[usize],
+    min_leaf: usize,
+    n_total: usize,
+    criterion: Criterion,
+) -> Option<Split> {
+    let n = rows.len();
+    if n < 2 * min_leaf.max(1) {
+        return None;
+    }
+    let mut parent_counts = vec![0usize; data.n_classes()];
+    for &r in rows {
+        parent_counts[data.label(r)] += 1;
+    }
+    let parent_gini = criterion.impurity(&parent_counts);
+    if parent_gini == 0.0 {
+        return None;
+    }
+
+    let mut best: Option<Split> = None;
+    let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(n);
+    for &f in features {
+        scratch.clear();
+        scratch.extend(rows.iter().map(|&r| (data.row(r)[f], data.label(r))));
+        scratch.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN features"));
+
+        let mut left = vec![0usize; data.n_classes()];
+        let mut right = parent_counts.clone();
+        for i in 0..n - 1 {
+            let (v, l) = scratch[i];
+            left[l] += 1;
+            right[l] -= 1;
+            let next_v = scratch[i + 1].0;
+            if v == next_v {
+                continue; // cannot split between equal values
+            }
+            let n_left = i + 1;
+            let n_right = n - n_left;
+            if n_left < min_leaf || n_right < min_leaf {
+                continue;
+            }
+            let child = (n_left as f64 * criterion.impurity(&left)
+                + n_right as f64 * criterion.impurity(&right))
+                / n as f64;
+            let decrease = (n as f64 / n_total as f64) * (parent_gini - child);
+            // Zero-decrease splits are kept (like scikit-learn's splitter):
+            // XOR-style problems need a first split that only pays off one
+            // level deeper. Ties keep the earliest feature/threshold for
+            // determinism.
+            if decrease >= 0.0
+                && best.as_ref().is_none_or(|b| decrease > b.weighted_decrease)
+            {
+                best = Some(Split {
+                    feature: f,
+                    threshold: 0.5 * (v + next_v),
+                    weighted_decrease: decrease,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(rows: Vec<Vec<f64>>, labels: Vec<usize>) -> Dataset {
+        let width = rows[0].len();
+        let names = (0..width).map(|i| format!("f{i}")).collect();
+        Dataset::new(rows, labels, names, 3).expect("valid dataset")
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[10, 0]), 0.0);
+        assert!((gini(&[5, 5]) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn finds_perfect_split() {
+        let d = data(
+            vec![vec![1.0], vec![2.0], vec![10.0], vec![11.0]],
+            vec![0, 0, 1, 1],
+        );
+        let s = best_split(&d, &[0, 1, 2, 3], &[0], 1, 4).expect("split");
+        assert_eq!(s.feature, 0);
+        assert!(s.threshold > 2.0 && s.threshold < 10.0);
+        // Perfect split of a 50/50 node: decrease = parent gini = 0.5.
+        assert!((s.weighted_decrease - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_node_has_no_split() {
+        let d = data(vec![vec![1.0], vec![2.0]], vec![1, 1]);
+        assert!(best_split(&d, &[0, 1], &[0], 1, 2).is_none());
+    }
+
+    #[test]
+    fn constant_feature_has_no_split() {
+        let d = data(vec![vec![3.0], vec![3.0]], vec![0, 1]);
+        assert!(best_split(&d, &[0, 1], &[0], 1, 2).is_none());
+    }
+
+    #[test]
+    fn min_leaf_is_respected() {
+        let d = data(
+            vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]],
+            vec![0, 1, 1, 1],
+        );
+        // min_leaf = 3 cannot be satisfied on 4 samples.
+        assert!(best_split(&d, &[0, 1, 2, 3], &[0], 3, 4).is_none());
+        // min_leaf = 2 forces the only legal threshold (2.5).
+        let s = best_split(&d, &[0, 1, 2, 3], &[0], 2, 4).expect("split");
+        assert!((s.threshold - 2.5).abs() < 1e-12);
+        assert!(best_split(&d, &[0, 1, 2, 3], &[0], 1, 4).is_some());
+    }
+
+    #[test]
+    fn picks_most_informative_feature() {
+        // f0 is noise, f1 separates perfectly.
+        let d = data(
+            vec![
+                vec![5.0, 1.0],
+                vec![1.0, 2.0],
+                vec![5.0, 10.0],
+                vec![1.0, 11.0],
+            ],
+            vec![0, 0, 2, 2],
+        );
+        let s = best_split(&d, &[0, 1, 2, 3], &[0, 1], 1, 4).expect("split");
+        assert_eq!(s.feature, 1);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(entropy(&[10, 0]), 0.0);
+        assert!((entropy(&[5, 5]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[4, 4, 4, 4]) - 2.0).abs() < 1e-12);
+        assert_eq!(entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn entropy_criterion_finds_the_same_perfect_split() {
+        let d = data(
+            vec![vec![1.0], vec![2.0], vec![10.0], vec![11.0]],
+            vec![0, 0, 1, 1],
+        );
+        let s = best_split_with(&d, &[0, 1, 2, 3], &[0], 1, 4, Criterion::Entropy)
+            .expect("split");
+        assert_eq!(s.feature, 0);
+        assert!(s.threshold > 2.0 && s.threshold < 10.0);
+        // Perfect split of a 50/50 node: decrease = 1 bit.
+        assert!((s.weighted_decrease - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighting_scales_with_node_fraction() {
+        let d = data(
+            vec![vec![1.0], vec![2.0], vec![10.0], vec![11.0]],
+            vec![0, 0, 1, 1],
+        );
+        // Same node, but pretend it is half of a bigger training set.
+        let s = best_split(&d, &[0, 1, 2, 3], &[0], 1, 8).expect("split");
+        assert!((s.weighted_decrease - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,381 @@
+//! CART decision tree — the paper's classifier.
+//!
+//! The paper deliberately uses a decision tree rather than a deep model
+//! because it "supports decisions by checking a sequence of control
+//! statements" and allows insight into which features matter (Table IV
+//! reports its feature importances).
+
+use crate::dataset::Dataset;
+use crate::split::{best_split_with, Criterion, Split};
+use serde::{Deserialize, Serialize};
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Split-quality criterion (the paper uses Gini).
+    pub criterion: Criterion,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 16,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            criterion: Criterion::Gini,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Internal {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    params: TreeParams,
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree with `params`.
+    pub fn new(params: TreeParams) -> Self {
+        Self { params, nodes: Vec::new(), importances: Vec::new(), n_features: 0 }
+    }
+
+    /// Fits the tree on all rows of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(&mut self, data: &Dataset) {
+        let rows: Vec<usize> = (0..data.len()).collect();
+        self.fit_rows(data, &rows);
+    }
+
+    /// Fits the tree on a row subset (used by cross-validation and
+    /// bagging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn fit_rows(&mut self, data: &Dataset, rows: &[usize]) {
+        assert!(!rows.is_empty(), "cannot fit on an empty training set");
+        self.nodes.clear();
+        self.n_features = data.n_features();
+        self.importances = vec![0.0; data.n_features()];
+        let all_features: Vec<usize> = (0..data.n_features()).collect();
+        let mut rows = rows.to_vec();
+        let n_total = rows.len();
+        self.grow(data, &mut rows, &all_features, 0, n_total);
+        let norm: f64 = self.importances.iter().sum();
+        if norm > 0.0 {
+            for i in &mut self.importances {
+                *i /= norm;
+            }
+        }
+    }
+
+    fn grow(
+        &mut self,
+        data: &Dataset,
+        rows: &mut Vec<usize>,
+        features: &[usize],
+        depth: usize,
+        n_total: usize,
+    ) -> usize {
+        let split = if depth >= self.params.max_depth || rows.len() < self.params.min_samples_split
+        {
+            None
+        } else {
+            best_split_with(
+                data,
+                rows,
+                features,
+                self.params.min_samples_leaf,
+                n_total,
+                self.params.criterion,
+            )
+        };
+        match split {
+            None => self.push_leaf(data, rows),
+            Some(Split { feature, threshold, weighted_decrease }) => {
+                self.importances[feature] += weighted_decrease;
+                let (mut left_rows, mut right_rows): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&r| data.row(r)[feature] <= threshold);
+                debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
+                let id = self.nodes.len();
+                // Reserve the slot; children are appended after.
+                self.nodes.push(Node::Leaf { class: 0 });
+                let left = self.grow(data, &mut left_rows, features, depth + 1, n_total);
+                let right = self.grow(data, &mut right_rows, features, depth + 1, n_total);
+                self.nodes[id] = Node::Internal { feature, threshold, left, right };
+                id
+            }
+        }
+    }
+
+    fn push_leaf(&mut self, data: &Dataset, rows: &[usize]) -> usize {
+        let mut counts = vec![0usize; data.n_classes()];
+        for &r in rows {
+            counts[data.label(r)] += 1;
+        }
+        let class = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf { class });
+        id
+    }
+
+    /// Predicts the class of one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted or `x` is shorter than the training
+    /// feature count.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        assert!(!self.nodes.is_empty(), "predict called on an unfitted tree");
+        let mut id = 0;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { class } => return *class,
+                Node::Internal { feature, threshold, left, right } => {
+                    id = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Normalised feature importances (mean impurity decrease); sums to 1
+    /// for any tree with at least one split.
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Renders the fitted tree as indented if/else rules — the
+    /// interpretability the paper cites as the reason to prefer trees
+    /// over deep models.
+    ///
+    /// `feature_names` maps column indices to labels; columns beyond the
+    /// slice fall back to `f<idx>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted.
+    pub fn render(&self, feature_names: &[String]) -> String {
+        assert!(!self.nodes.is_empty(), "render called on an unfitted tree");
+        fn name(names: &[String], f: usize) -> String {
+            names.get(f).cloned().unwrap_or_else(|| format!("f{f}"))
+        }
+        fn rec(nodes: &[Node], names: &[String], id: usize, indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            match &nodes[id] {
+                Node::Leaf { class } => {
+                    out.push_str(&format!("{pad}-> class {class}\n"));
+                }
+                Node::Internal { feature, threshold, left, right } => {
+                    out.push_str(&format!(
+                        "{pad}if {} <= {threshold:.4} {{\n",
+                        name(names, *feature)
+                    ));
+                    rec(nodes, names, *left, indent + 1, out);
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    rec(nodes, names, *right, indent + 1, out);
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+            }
+        }
+        let mut out = String::new();
+        rec(&self.nodes, feature_names, 0, 0, &mut out);
+        out
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Internal { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> Dataset {
+        // XOR needs depth 2.
+        Dataset::new(
+            vec![
+                vec![0.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 0.0],
+                vec![1.0, 1.0],
+            ],
+            vec![0, 1, 1, 0],
+            vec!["x".into(), "y".into()],
+            2,
+        )
+        .expect("valid dataset")
+    }
+
+    #[test]
+    fn learns_xor_perfectly() {
+        let d = xor_data();
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        for i in 0..d.len() {
+            assert_eq!(t.predict(d.row(i)), d.label(i));
+        }
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_majority_leaf() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![1, 1, 0],
+            vec!["x".into()],
+            2,
+        )
+        .expect("valid dataset");
+        let mut t = DecisionTree::new(TreeParams { max_depth: 0, ..TreeParams::default() });
+        t.fit(&d);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[999.0]), 1);
+    }
+
+    #[test]
+    fn importances_sum_to_one() {
+        let d = xor_data();
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        let sum: f64 = t.feature_importances().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irrelevant_feature_gets_zero_importance() {
+        let d = Dataset::new(
+            vec![
+                vec![0.0, 7.0],
+                vec![1.0, 7.0],
+                vec![10.0, 7.0],
+                vec![11.0, 7.0],
+            ],
+            vec![0, 0, 1, 1],
+            vec!["signal".into(), "constant".into()],
+            2,
+        )
+        .expect("valid dataset");
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        assert_eq!(t.feature_importances()[1], 0.0);
+        assert!((t.feature_importances()[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_rows_ignores_excluded_samples() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![100.0]],
+            vec![0, 0, 1],
+            vec!["x".into()],
+            2,
+        )
+        .expect("valid dataset");
+        let mut t = DecisionTree::new(TreeParams::default());
+        // Train without the only class-1 sample: tree must be a pure leaf.
+        t.fit_rows(&d, &[0, 1]);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[100.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfitted")]
+    fn predict_requires_fit() {
+        let t = DecisionTree::new(TreeParams::default());
+        let _ = t.predict(&[0.0]);
+    }
+
+    #[test]
+    fn render_produces_readable_rules() {
+        let d = xor_data();
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        let rules = t.render(&["x".to_string(), "y".to_string()]);
+        assert!(rules.contains("if x <=") || rules.contains("if y <="));
+        assert!(rules.contains("-> class 0"));
+        assert!(rules.contains("-> class 1"));
+        // Braces balance: every internal node opens and closes two blocks.
+        let opens = rules.matches('{').count();
+        let closes = rules.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced rules:\n{rules}");
+        assert!(opens >= 2, "xor needs at least two splits");
+    }
+
+    #[test]
+    fn render_falls_back_on_missing_names() {
+        let d = xor_data();
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        let rules = t.render(&[]);
+        assert!(rules.contains("if f0") || rules.contains("if f1"));
+    }
+
+    #[test]
+    fn entropy_criterion_also_learns_xor() {
+        let d = xor_data();
+        let mut t = DecisionTree::new(TreeParams {
+            criterion: Criterion::Entropy,
+            ..TreeParams::default()
+        });
+        t.fit(&d);
+        for i in 0..d.len() {
+            assert_eq!(t.predict(d.row(i)), d.label(i));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_fits() {
+        let d = xor_data();
+        let mut a = DecisionTree::new(TreeParams::default());
+        let mut b = DecisionTree::new(TreeParams::default());
+        a.fit(&d);
+        b.fit(&d);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,823 @@
+//! Cycle-level cluster simulation.
+//!
+//! [`simulate`] runs a [`Program`] on the configured cluster and returns
+//! [`SimStats`]. Every mechanism the paper identifies as relevant for the
+//! energy/parallelism trade-off is modelled per cycle: TCDM bank conflicts,
+//! shared-FPU arbitration, L2 latency, barrier sleep with clock gating,
+//! OpenMP fork/join overhead and critical-section serialisation.
+
+use crate::config::ClusterConfig;
+use crate::dma::{DmaEngine, DmaTransfer};
+use crate::event_unit::EventUnit;
+use crate::fpu::FpuPool;
+use crate::icache::refills_for_static_insns;
+use crate::isa::{MicroOp, OpKind};
+use crate::program::{Program, SegOp, Step, ValidateProgramError};
+use crate::stats::SimStats;
+use crate::tcdm::TcdmArbiter;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
+use std::fmt;
+
+/// Default cycle budget before a run is declared hung.
+pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Errors produced by [`simulate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The program failed structural validation.
+    Validate(ValidateProgramError),
+    /// The program requests more cores than the cluster has.
+    TeamTooLarge {
+        /// Cores requested by the program.
+        requested: usize,
+        /// Cores available in the cluster.
+        available: usize,
+    },
+    /// A memory operation addressed neither TCDM nor L2.
+    AddressOutOfRange {
+        /// Issuing core.
+        core: usize,
+        /// Faulting byte address.
+        addr: u32,
+    },
+    /// The run exceeded the cycle budget (likely deadlock).
+    CycleLimit {
+        /// The exhausted budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Validate(e) => write!(f, "invalid program: {e}"),
+            Self::TeamTooLarge { requested, available } => {
+                write!(f, "program needs {requested} cores but cluster has {available}")
+            }
+            Self::AddressOutOfRange { core, addr } => {
+                write!(f, "core {core}: address {addr:#010x} maps to no memory")
+            }
+            Self::CycleLimit { budget } => {
+                write!(f, "cycle budget of {budget} exhausted (deadlock?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Validate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateProgramError> for SimError {
+    fn from(e: ValidateProgramError) -> Self {
+        Self::Validate(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Ready,
+    /// Finishing a multi-cycle operation.
+    Busy(u32),
+    /// Master executing the fork runtime code.
+    Forking(u32),
+    SleepBarrier,
+    SleepFork,
+    Finished,
+}
+
+/// Runs `program` on the cluster described by `config`, collecting stats.
+///
+/// Convenience wrapper over [`simulate_traced`] using a [`NullSink`] and the
+/// default cycle budget.
+///
+/// # Errors
+///
+/// See [`simulate_traced`].
+pub fn simulate(config: &ClusterConfig, program: &Program) -> Result<SimStats, SimError> {
+    simulate_traced(config, program, DEFAULT_MAX_CYCLES, &mut NullSink)
+}
+
+/// Runs `program` on the cluster, streaming trace events into `sink`.
+///
+/// Cores `0..program.num_cores()` execute the program streams; remaining
+/// cluster cores are clock-gated for the whole run (their leakage and
+/// gating energy still counts, which is what makes small team sizes pay for
+/// the silicon they do not use).
+///
+/// # Errors
+///
+/// Returns an error if the program is structurally invalid, requests more
+/// cores than available, touches an unmapped address, or fails to finish
+/// within `max_cycles`.
+pub fn simulate_traced<S: TraceSink>(
+    config: &ClusterConfig,
+    program: &Program,
+    max_cycles: u64,
+    sink: &mut S,
+) -> Result<SimStats, SimError> {
+    program.validate()?;
+    let team = program.num_cores();
+    if team > config.num_cores {
+        return Err(SimError::TeamTooLarge { requested: team, available: config.num_cores });
+    }
+    if team == 0 {
+        let mut stats = SimStats::new(config.num_cores, config.tcdm_banks, config.l2_banks);
+        stats.team_size = 0;
+        return Ok(stats);
+    }
+
+    let mut stats = SimStats::new(config.num_cores, config.tcdm_banks, config.l2_banks);
+    stats.team_size = team;
+
+    let mut cursors: Vec<_> = (0..team).map(|c| crate::program::Cursor::new(program, c)).collect();
+    let mut modes = vec![Mode::Ready; team];
+    let mut forks_seen = vec![0u64; team];
+    let mut cg_open = vec![false; config.num_cores];
+
+    let mut eu = EventUnit::new(team);
+    let mut dma = DmaEngine::new();
+    // Cycle at which the last asynchronous DMA completes.
+    let mut dma_free_at: u64 = 0;
+    let mut arbiter = TcdmArbiter::new(config.tcdm_banks, config.model_bank_conflicts);
+    // The cluster reaches L2 through a single port: one new access may be
+    // issued per cycle (accesses are pipelined, so latency still overlaps
+    // across cores).
+    let mut l2_port = TcdmArbiter::new(1, true);
+    let mut fpus = FpuPool::new(
+        config.num_fpus,
+        config.model_fpu_contention,
+        config.fpu_latency,
+        config.fp_div_latency,
+    );
+
+    // Total master-side cycles per fork: base plus per-worker signalling.
+    let fork_cycles =
+        config.fork_latency + config.fork_per_worker * (team.saturating_sub(1)) as u32;
+
+    let mut cycle: u64 = 0;
+    // `Some(n)`: the last core arrived; the event unit broadcasts the
+    // release after `n` more cycles.
+    let mut barrier_countdown: Option<u32> = None;
+    loop {
+        if modes.iter().all(|m| *m == Mode::Finished) {
+            break;
+        }
+        if cycle >= max_cycles {
+            return Err(SimError::CycleLimit { budget: max_cycles });
+        }
+
+        let mut barrier_release = false;
+        let mut any_active = false;
+
+        for core in 0..team {
+            match modes[core] {
+                Mode::Finished => {
+                    count_sleep(config, &mut stats, &mut cg_open, sink, cycle, core);
+                }
+                Mode::Busy(left) => {
+                    stats.cores[core].idle_cycles += 1;
+                    any_active = true;
+                    sink.emit(cycle, TraceEvent::Stall { core });
+                    modes[core] = if left <= 1 { Mode::Ready } else { Mode::Busy(left - 1) };
+                }
+                Mode::Forking(left) => {
+                    stats.cores[core].idle_cycles += 1;
+                    any_active = true;
+                    sink.emit(cycle, TraceEvent::Stall { core });
+                    if left <= 1 {
+                        eu.signal_fork();
+                        sink.emit(cycle, TraceEvent::Fork);
+                        cursors[core].advance();
+                        modes[core] = Mode::Ready;
+                    } else {
+                        modes[core] = Mode::Forking(left - 1);
+                    }
+                }
+                Mode::SleepBarrier => {
+                    count_sleep(config, &mut stats, &mut cg_open, sink, cycle, core);
+                }
+                Mode::SleepFork => {
+                    if eu.fork_ready(forks_seen[core]) {
+                        // Wake: this cycle is the dispatch cycle.
+                        if cg_open[core] {
+                            cg_open[core] = false;
+                            sink.emit(cycle, TraceEvent::CgExit { core });
+                        }
+                        forks_seen[core] += 1;
+                        cursors[core].advance();
+                        stats.cores[core].idle_cycles += 1;
+                        sink.emit(cycle, TraceEvent::Stall { core });
+                        any_active = true;
+                        modes[core] = Mode::Ready;
+                    } else {
+                        count_sleep(config, &mut stats, &mut cg_open, sink, cycle, core);
+                    }
+                }
+                Mode::Ready => {
+                    if cursors[core].is_done() {
+                        modes[core] = Mode::Finished;
+                        count_sleep(config, &mut stats, &mut cg_open, sink, cycle, core);
+                        continue;
+                    }
+                    any_active = true;
+                    step_core(
+                        config,
+                        fork_cycles,
+                        &mut stats,
+                        &mut cursors,
+                        &mut modes,
+                        &mut forks_seen,
+                        &mut cg_open,
+                        &mut eu,
+                        &mut dma,
+                        &mut dma_free_at,
+                        &mut arbiter,
+                        &mut l2_port,
+                        &mut fpus,
+                        &mut barrier_release,
+                        sink,
+                        cycle,
+                        core,
+                    )?;
+                }
+            }
+        }
+
+        // Unused physical cores are clock-gated for the whole run.
+        for core in team..config.num_cores {
+            count_sleep(config, &mut stats, &mut cg_open, sink, cycle, core);
+        }
+
+        if barrier_release {
+            barrier_countdown = Some(config.barrier_latency);
+        }
+        let do_release = match barrier_countdown {
+            Some(0) => {
+                barrier_countdown = None;
+                true
+            }
+            Some(n) => {
+                barrier_countdown = Some(n - 1);
+                false
+            }
+            None => false,
+        };
+        if do_release {
+            stats.barriers += 1;
+            sink.emit(cycle, TraceEvent::BarrierRelease);
+            for core in 0..team {
+                if modes[core] == Mode::SleepBarrier {
+                    if cg_open[core] {
+                        cg_open[core] = false;
+                        sink.emit(cycle + 1, TraceEvent::CgExit { core });
+                    }
+                    cursors[core].advance();
+                    modes[core] = Mode::Ready;
+                }
+            }
+            eu.release_barrier();
+        }
+
+        if any_active || !config.model_clock_gating {
+            stats.cluster_active_cycles += 1;
+        }
+        cycle += 1;
+    }
+
+    // Close dangling clock-gating regions for the listeners.
+    for core in 0..config.num_cores {
+        if cg_open[core] {
+            sink.emit(cycle, TraceEvent::CgExit { core });
+        }
+    }
+
+    stats.cycles = cycle;
+    stats.dma.words_transferred = dma.words_transferred();
+    stats.dma.busy_cycles = dma.busy_cycles();
+    stats.icache.fetches = stats.cores.iter().map(|c| c.fetches).sum();
+    stats.icache.refills = (0..team)
+        .map(|c| {
+            let static_insns =
+                program.stream(c).iter().filter(|s| matches!(s, SegOp::Instr { .. })).count();
+            refills_for_static_insns(static_insns as u64)
+        })
+        .sum();
+    sink.emit(cycle, TraceEvent::IcacheRefill { count: stats.icache.refills });
+    debug_assert_eq!(stats.check_consistency(), Ok(()));
+    Ok(stats)
+}
+
+/// Accounts one sleeping cycle for `core`, routed to clock gating or active
+/// wait depending on the configuration's ablation switch.
+fn count_sleep<S: TraceSink>(
+    config: &ClusterConfig,
+    stats: &mut SimStats,
+    cg_open: &mut [bool],
+    sink: &mut S,
+    cycle: u64,
+    core: usize,
+) {
+    if config.model_clock_gating {
+        if !cg_open[core] {
+            cg_open[core] = true;
+            sink.emit(cycle, TraceEvent::CgEnter { core });
+        }
+        stats.cores[core].cg_cycles += 1;
+    } else {
+        stats.cores[core].idle_cycles += 1;
+        sink.emit(cycle, TraceEvent::Stall { core });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)]
+fn step_core<S: TraceSink>(
+    config: &ClusterConfig,
+    fork_cycles: u32,
+    stats: &mut SimStats,
+    cursors: &mut [crate::program::Cursor<'_>],
+    modes: &mut [Mode],
+    forks_seen: &mut [u64],
+    cg_open: &mut [bool],
+    eu: &mut EventUnit,
+    dma: &mut DmaEngine,
+    dma_free_at: &mut u64,
+    arbiter: &mut TcdmArbiter,
+    l2_port: &mut TcdmArbiter,
+    fpus: &mut FpuPool,
+    barrier_release: &mut bool,
+    sink: &mut S,
+    cycle: u64,
+    core: usize,
+) -> Result<(), SimError> {
+    let step = cursors[core].current();
+    match step {
+        // Completion is detected by the main loop before dispatching here.
+        Step::Done => unreachable!("step_core called on a finished cursor"),
+        Step::Op(op) => {
+            exec_op(config, stats, cursors, modes, arbiter, l2_port, fpus, sink, cycle, core, op)?;
+        }
+        Step::Barrier => {
+            sink.emit(cycle, TraceEvent::BarrierArrive { core });
+            stats.cores[core].idle_cycles += 1;
+            sink.emit(cycle, TraceEvent::Stall { core });
+            modes[core] = Mode::SleepBarrier;
+            if eu.arrive(core) {
+                *barrier_release = true;
+            }
+        }
+        Step::Fork => {
+            stats.cores[core].idle_cycles += 1;
+            sink.emit(cycle, TraceEvent::Stall { core });
+            if fork_cycles <= 1 {
+                eu.signal_fork();
+                sink.emit(cycle, TraceEvent::Fork);
+                cursors[core].advance();
+            } else {
+                modes[core] = Mode::Forking(fork_cycles - 1);
+            }
+        }
+        Step::WaitFork => {
+            if eu.fork_ready(forks_seen[core]) {
+                forks_seen[core] += 1;
+                cursors[core].advance();
+                stats.cores[core].idle_cycles += 1;
+                sink.emit(cycle, TraceEvent::Stall { core });
+            } else {
+                modes[core] = Mode::SleepFork;
+                // This cycle already counts as sleeping.
+                if config.model_clock_gating {
+                    cg_open[core] = true;
+                    sink.emit(cycle, TraceEvent::CgEnter { core });
+                    stats.cores[core].cg_cycles += 1;
+                    return Ok(());
+                }
+                stats.cores[core].idle_cycles += 1;
+                sink.emit(cycle, TraceEvent::Stall { core });
+            }
+        }
+        Step::CriticalBegin => {
+            if eu.try_lock(core) {
+                retire(stats, sink, cycle, core, OpKind::Alu, None);
+                stats.cores[core].alu_ops += 1;
+                cursors[core].advance();
+            } else {
+                stats.cores[core].idle_cycles += 1;
+                sink.emit(cycle, TraceEvent::Stall { core });
+            }
+        }
+        Step::CriticalEnd => {
+            eu.unlock(core);
+            retire(stats, sink, cycle, core, OpKind::Alu, None);
+            stats.cores[core].alu_ops += 1;
+            cursors[core].advance();
+        }
+        Step::Dma { words, inbound } => {
+            // Blocking transfer: the issuing core programs the engine and
+            // actively waits for completion.
+            let t = if inbound { DmaTransfer::inbound(words) } else { DmaTransfer::outbound(words) };
+            let busy = dma.run(t) as u32;
+            *dma_free_at = (*dma_free_at).max(cycle + u64::from(busy));
+            sink.emit(cycle, TraceEvent::Dma { words, inbound });
+            stats.cores[core].idle_cycles += 1;
+            sink.emit(cycle, TraceEvent::Stall { core });
+            cursors[core].advance();
+            if busy > 1 {
+                modes[core] = Mode::Busy(busy - 1);
+            }
+        }
+        Step::DmaAsync { words, inbound } => {
+            if cycle < *dma_free_at {
+                // Engine still streaming a previous transfer: retry.
+                stats.cores[core].idle_cycles += 1;
+                sink.emit(cycle, TraceEvent::Stall { core });
+            } else {
+                let t = if inbound {
+                    DmaTransfer::inbound(words)
+                } else {
+                    DmaTransfer::outbound(words)
+                };
+                let busy = dma.run(t);
+                *dma_free_at = cycle + busy;
+                sink.emit(cycle, TraceEvent::Dma { words, inbound });
+                // One cycle to program the engine; the core then continues.
+                stats.cores[core].idle_cycles += 1;
+                sink.emit(cycle, TraceEvent::Stall { core });
+                cursors[core].advance();
+            }
+        }
+        Step::DmaWait => {
+            stats.cores[core].idle_cycles += 1;
+            sink.emit(cycle, TraceEvent::Stall { core });
+            if cycle >= *dma_free_at {
+                cursors[core].advance();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Records the fetch + trace event shared by every retirement path.
+fn retire<S: TraceSink>(
+    stats: &mut SimStats,
+    sink: &mut S,
+    cycle: u64,
+    core: usize,
+    kind: OpKind,
+    addr: Option<u32>,
+) {
+    stats.cores[core].fetches += 1;
+    sink.emit(cycle, TraceEvent::Insn { core, kind, addr });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_op<S: TraceSink>(
+    config: &ClusterConfig,
+    stats: &mut SimStats,
+    cursors: &mut [crate::program::Cursor<'_>],
+    modes: &mut [Mode],
+    arbiter: &mut TcdmArbiter,
+    l2_port: &mut TcdmArbiter,
+    fpus: &mut FpuPool,
+    sink: &mut S,
+    cycle: u64,
+    core: usize,
+    op: MicroOp,
+) -> Result<(), SimError> {
+    // An executing core is never clock-gated; CG flags are managed by the
+    // sleep paths. `finish` consumes the step and schedules any multi-cycle
+    // tail as Busy time.
+    let mut finish = |cursors: &mut [crate::program::Cursor<'_>], latency: u32| {
+        cursors[core].advance();
+        if latency > 1 {
+            modes[core] = Mode::Busy(latency - 1);
+        }
+    };
+    match op.kind {
+        OpKind::Alu => {
+            stats.cores[core].alu_ops += 1;
+            retire(stats, sink, cycle, core, op.kind, None);
+            finish(cursors, 1);
+        }
+        OpKind::Mul => {
+            stats.cores[core].alu_ops += 1;
+            retire(stats, sink, cycle, core, op.kind, None);
+            finish(cursors, config.mul_latency);
+        }
+        OpKind::Div => {
+            stats.cores[core].alu_ops += 1;
+            retire(stats, sink, cycle, core, op.kind, None);
+            finish(cursors, config.int_div_latency);
+        }
+        OpKind::Branch | OpKind::Jump => {
+            stats.cores[core].alu_ops += 1;
+            retire(stats, sink, cycle, core, op.kind, None);
+            finish(cursors, 1 + config.taken_branch_penalty);
+        }
+        OpKind::Nop => {
+            stats.cores[core].nop_ops += 1;
+            retire(stats, sink, cycle, core, op.kind, None);
+            finish(cursors, 1);
+        }
+        OpKind::Fp(f) => {
+            let fpu = config.fpu_of(core);
+            match fpus.try_issue(fpu, f, cycle) {
+                Some(issue) => {
+                    stats.cores[core].fp_ops += 1;
+                    retire(stats, sink, cycle, core, op.kind, None);
+                    finish(cursors, issue.core_busy);
+                }
+                None => {
+                    stats.cores[core].idle_cycles += 1;
+                    sink.emit(cycle, TraceEvent::Stall { core });
+                }
+            }
+        }
+        OpKind::Load | OpKind::Store => {
+            let addr = op.addr.expect("memory op without address");
+            let write = op.kind == OpKind::Store;
+            if config.is_tcdm(addr) {
+                let bank = config.tcdm_bank_of(addr);
+                if arbiter.try_access(bank, cycle) {
+                    stats.cores[core].l1_ops += 1;
+                    if write {
+                        stats.l1_banks[bank].writes += 1;
+                    } else {
+                        stats.l1_banks[bank].reads += 1;
+                    }
+                    sink.emit(cycle, TraceEvent::L1Access { bank, write });
+                    retire(stats, sink, cycle, core, op.kind, Some(addr));
+                    finish(cursors, 1);
+                } else {
+                    stats.l1_banks[bank].conflicts += 1;
+                    stats.cores[core].idle_cycles += 1;
+                    sink.emit(cycle, TraceEvent::L1Conflict { bank });
+                    sink.emit(cycle, TraceEvent::Stall { core });
+                }
+            } else if config.is_l2(addr) {
+                if !l2_port.try_access(0, cycle) {
+                    stats.cores[core].idle_cycles += 1;
+                    sink.emit(cycle, TraceEvent::Stall { core });
+                    return Ok(());
+                }
+                let bank = config.l2_bank_of(addr);
+                stats.cores[core].l2_ops += 1;
+                if write {
+                    stats.l2_banks[bank].writes += 1;
+                } else {
+                    stats.l2_banks[bank].reads += 1;
+                }
+                sink.emit(cycle, TraceEvent::L2Access { bank, write });
+                retire(stats, sink, cycle, core, op.kind, Some(addr));
+                finish(cursors, config.l2_latency);
+            } else {
+                return Err(SimError::AddressOutOfRange { core, addr });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{L2_BASE, TCDM_BASE};
+    use crate::program::AddrExpr;
+
+    fn instr(kind: OpKind) -> SegOp {
+        SegOp::Instr { kind, addr: None }
+    }
+
+    fn load(addr: u32) -> SegOp {
+        SegOp::Instr { kind: OpKind::Load, addr: Some(AddrExpr::constant(addr)) }
+    }
+
+    fn store(addr: u32) -> SegOp {
+        SegOp::Instr { kind: OpKind::Store, addr: Some(AddrExpr::constant(addr)) }
+    }
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::default()
+    }
+
+    #[test]
+    fn single_alu_program() {
+        let p = Program::new(vec![vec![instr(OpKind::Alu)]]);
+        let s = simulate(&cfg(), &p).expect("simulate");
+        assert_eq!(s.cores[0].alu_ops, 1);
+        assert_eq!(s.cycles, 2); // 1 execute + 1 finish/park cycle
+        assert!(s.check_consistency().is_ok());
+        // The 7 unused cores are clock-gated throughout.
+        assert_eq!(s.cores[7].cg_cycles, s.cycles);
+    }
+
+    #[test]
+    fn empty_team_is_a_noop() {
+        let p = Program::new(vec![]);
+        let s = simulate(&cfg(), &p).expect("simulate");
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.team_size, 0);
+    }
+
+    #[test]
+    fn tcdm_load_is_single_cycle() {
+        let p = Program::new(vec![vec![load(TCDM_BASE), load(TCDM_BASE + 4)]]);
+        let s = simulate(&cfg(), &p).expect("simulate");
+        assert_eq!(s.cores[0].l1_ops, 2);
+        assert_eq!(s.l1_reads(), 2);
+        assert_eq!(s.l1_conflicts(), 0);
+        assert_eq!(s.cycles, 3);
+    }
+
+    #[test]
+    fn l2_load_pays_latency() {
+        let p = Program::new(vec![vec![load(L2_BASE)]]);
+        let s = simulate(&cfg(), &p).expect("simulate");
+        assert_eq!(s.cores[0].l2_ops, 1);
+        // 1 retire + 14 wait + 1 park.
+        assert_eq!(s.cycles, 1 + 14 + 1);
+        assert_eq!(s.cores[0].idle_cycles, 14);
+    }
+
+    #[test]
+    fn out_of_range_address_errors() {
+        let p = Program::new(vec![vec![load(0xDEAD_0000)]]);
+        assert!(matches!(
+            simulate(&cfg(), &p),
+            Err(SimError::AddressOutOfRange { core: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn bank_conflicts_serialise_accesses() {
+        // Two cores hammer the same bank with stores.
+        let body = vec![store(TCDM_BASE)];
+        let p = Program::new(vec![body.clone(), body]);
+        let s = simulate(&cfg(), &p).expect("simulate");
+        assert_eq!(s.l1_writes(), 2);
+        assert_eq!(s.l1_conflicts(), 1);
+        // One core lost one arbitration round.
+        let idle: u64 = s.cores.iter().map(|c| c.idle_cycles).sum();
+        assert_eq!(idle, 1);
+    }
+
+    #[test]
+    fn no_conflicts_on_disjoint_banks() {
+        let p = Program::new(vec![vec![store(TCDM_BASE)], vec![store(TCDM_BASE + 4)]]);
+        let s = simulate(&cfg(), &p).expect("simulate");
+        assert_eq!(s.l1_conflicts(), 0);
+    }
+
+    #[test]
+    fn conflict_model_ablation_removes_conflicts() {
+        let body = vec![store(TCDM_BASE)];
+        let p = Program::new(vec![body.clone(), body]);
+        let s = simulate(&cfg().without_bank_conflicts(), &p).expect("simulate");
+        assert_eq!(s.l1_conflicts(), 0);
+    }
+
+    #[test]
+    fn fpu_contention_stalls_partner_core() {
+        // Cores 0 and 4 share FPU 0.
+        let body = vec![instr(OpKind::Fp(crate::isa::FpOp::Mul))];
+        let p = Program::new(vec![body.clone(), vec![], vec![], vec![], body]);
+        let s = simulate(&cfg(), &p).expect("simulate");
+        assert_eq!(s.cores[0].fp_ops + s.cores[4].fp_ops, 2);
+        let stalls = s.cores[0].idle_cycles + s.cores[4].idle_cycles;
+        assert_eq!(stalls, 1, "one of the pair must lose arbitration once");
+    }
+
+    #[test]
+    fn fpu_ablation_removes_stalls() {
+        let body = vec![instr(OpKind::Fp(crate::isa::FpOp::Mul))];
+        let p = Program::new(vec![body.clone(), vec![], vec![], vec![], body]);
+        let s = simulate(&cfg().without_fpu_contention(), &p).expect("simulate");
+        let stalls = s.cores[0].idle_cycles + s.cores[4].idle_cycles;
+        assert_eq!(stalls, 0);
+    }
+
+    #[test]
+    fn barrier_synchronises_team() {
+        // Core 0 does 10 ALU ops before the barrier, core 1 none.
+        let p = Program::new(vec![
+            std::iter::repeat_with(|| instr(OpKind::Alu))
+                .take(10)
+                .chain([SegOp::Barrier])
+                .collect(),
+            vec![SegOp::Barrier],
+        ]);
+        let s = simulate(&cfg(), &p).expect("simulate");
+        assert_eq!(s.barriers, 1);
+        // Core 1 slept while core 0 computed.
+        assert!(s.cores[1].cg_cycles >= 9, "core 1 cg: {}", s.cores[1].cg_cycles);
+        assert!(s.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn fork_wakes_workers() {
+        let p = Program::new(vec![
+            vec![instr(OpKind::Alu), SegOp::Fork, instr(OpKind::Alu), SegOp::Barrier],
+            vec![SegOp::WaitFork, instr(OpKind::Alu), SegOp::Barrier],
+        ]);
+        let s = simulate(&cfg(), &p).expect("simulate");
+        assert_eq!(s.cores[1].alu_ops, 1);
+        // Worker slept during master's pre-fork work and fork latency.
+        assert!(s.cores[1].cg_cycles >= u64::from(cfg().fork_latency) - 1);
+        assert!(s.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn critical_section_serialises() {
+        let body = vec![
+            SegOp::CriticalBegin,
+            instr(OpKind::Alu),
+            instr(OpKind::Alu),
+            SegOp::CriticalEnd,
+        ];
+        let p = Program::new(vec![body.clone(), body]);
+        let s = simulate(&cfg(), &p).expect("simulate");
+        // The second core spins while the first holds the lock.
+        let spin: u64 = s.cores.iter().map(|c| c.idle_cycles).sum();
+        assert!(spin >= 3, "expected lock spinning, got {spin} idle cycles");
+        assert!(s.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn team_too_large_is_rejected() {
+        let p = Program::new(vec![vec![]; 9]);
+        assert!(matches!(
+            simulate(&cfg(), &p),
+            Err(SimError::TeamTooLarge { requested: 9, available: 8 })
+        ));
+    }
+
+    #[test]
+    fn cycle_limit_detects_runaway() {
+        let p = Program::new(vec![vec![
+            SegOp::LoopBegin { trip: 1_000_000 },
+            instr(OpKind::Alu),
+            SegOp::LoopEnd,
+        ]]);
+        assert!(matches!(
+            simulate_traced(&cfg(), &p, 100, &mut NullSink),
+            Err(SimError::CycleLimit { budget: 100 })
+        ));
+    }
+
+    #[test]
+    fn clock_gating_ablation_turns_sleep_into_active_wait() {
+        let p = Program::new(vec![
+            std::iter::repeat_with(|| instr(OpKind::Alu))
+                .take(10)
+                .chain([SegOp::Barrier])
+                .collect(),
+            vec![SegOp::Barrier],
+        ]);
+        let s = simulate(&cfg().without_clock_gating(), &p).expect("simulate");
+        assert_eq!(s.cores[1].cg_cycles, 0);
+        assert!(s.cores[1].idle_cycles >= 9);
+    }
+
+    #[test]
+    fn parallel_speedup_on_independent_work() {
+        // 256 ALU ops split over 1 vs 4 cores.
+        let chunk = |n: usize| -> Vec<SegOp> {
+            vec![SegOp::LoopBegin { trip: n as u64 }, instr(OpKind::Alu), SegOp::LoopEnd]
+        };
+        let p1 = Program::new(vec![chunk(256)]);
+        let p4 = Program::new(vec![chunk(64), chunk(64), chunk(64), chunk(64)]);
+        let s1 = simulate(&cfg(), &p1).expect("simulate");
+        let s4 = simulate(&cfg(), &p4).expect("simulate");
+        assert!(
+            s4.cycles * 3 < s1.cycles,
+            "expected near-4x speedup: {} vs {}",
+            s1.cycles,
+            s4.cycles
+        );
+    }
+
+    #[test]
+    fn trace_and_stats_agree_on_op_counts() {
+        use crate::trace::VecSink;
+        let p = Program::new(vec![vec![
+            instr(OpKind::Alu),
+            load(TCDM_BASE),
+            store(TCDM_BASE + 64),
+            SegOp::Barrier,
+        ]]);
+        let mut sink = VecSink::new();
+        let s = simulate_traced(&cfg(), &p, 1_000, &mut sink).expect("simulate");
+        let insns = sink
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::Insn { .. }))
+            .count() as u64;
+        assert_eq!(insns, s.total_retired());
+    }
+}

@@ -1,0 +1,162 @@
+//! Cluster event unit: barriers, parallel-region forks, critical lock.
+//!
+//! On PULP the event unit implements hardware-accelerated barriers and
+//! drives the clock gating of cores sleeping on them. This model keeps the
+//! same observable behaviour: cores arriving at a barrier are clock-gated
+//! until the last participant arrives; workers waiting for a fork sleep
+//! until the master signals the region; a single cluster-wide lock backs
+//! `#pragma omp critical`.
+
+/// State of the cluster event unit.
+#[derive(Debug, Clone)]
+pub struct EventUnit {
+    arrived: Vec<bool>,
+    arrived_count: usize,
+    team: usize,
+    /// Monotonic count of forks signalled by the master.
+    forks_signalled: u64,
+    /// Core currently holding the critical lock.
+    lock_holder: Option<usize>,
+}
+
+impl EventUnit {
+    /// Creates an event unit for a team of `team` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `team` is zero.
+    pub fn new(team: usize) -> Self {
+        assert!(team > 0, "team must be non-empty");
+        Self {
+            arrived: vec![false; team],
+            arrived_count: 0,
+            team,
+            forks_signalled: 0,
+            lock_holder: None,
+        }
+    }
+
+    /// Registers `core`'s arrival at the barrier.
+    ///
+    /// Returns `true` when this arrival completes the barrier (caller must
+    /// then [`EventUnit::release_barrier`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core already arrived (a core cannot arrive twice at the
+    /// same barrier episode).
+    pub fn arrive(&mut self, core: usize) -> bool {
+        assert!(!self.arrived[core], "core {core} arrived twice");
+        self.arrived[core] = true;
+        self.arrived_count += 1;
+        self.arrived_count == self.team
+    }
+
+    /// Resets the barrier for the next episode.
+    pub fn release_barrier(&mut self) {
+        self.arrived.iter_mut().for_each(|a| *a = false);
+        self.arrived_count = 0;
+    }
+
+    /// Returns `true` if `core` is currently waiting at the barrier.
+    pub fn is_waiting(&self, core: usize) -> bool {
+        self.arrived[core]
+    }
+
+    /// Signals one fork (master side).
+    pub fn signal_fork(&mut self) {
+        self.forks_signalled += 1;
+    }
+
+    /// Returns `true` if fork number `seq` (0-based) has been signalled.
+    pub fn fork_ready(&self, seq: u64) -> bool {
+        self.forks_signalled > seq
+    }
+
+    /// Attempts to take the critical lock for `core`.
+    ///
+    /// Returns `true` on acquisition; re-entrant acquisition is a bug and
+    /// panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` already holds the lock.
+    pub fn try_lock(&mut self, core: usize) -> bool {
+        match self.lock_holder {
+            None => {
+                self.lock_holder = Some(core);
+                true
+            }
+            Some(h) => {
+                assert!(h != core, "core {core} re-acquired the critical lock");
+                false
+            }
+        }
+    }
+
+    /// Releases the critical lock held by `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` does not hold the lock.
+    pub fn unlock(&mut self, core: usize) {
+        assert_eq!(self.lock_holder, Some(core), "core {core} released a lock it does not hold");
+        self.lock_holder = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_completes_on_last_arrival() {
+        let mut eu = EventUnit::new(3);
+        assert!(!eu.arrive(0));
+        assert!(!eu.arrive(2));
+        assert!(eu.is_waiting(0));
+        assert!(eu.arrive(1));
+        eu.release_barrier();
+        assert!(!eu.is_waiting(0));
+        // Reusable for the next episode.
+        assert!(!eu.arrive(1));
+        assert!(!eu.arrive(0));
+        assert!(eu.arrive(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn double_arrival_panics() {
+        let mut eu = EventUnit::new(2);
+        eu.arrive(0);
+        eu.arrive(0);
+    }
+
+    #[test]
+    fn fork_sequencing() {
+        let mut eu = EventUnit::new(2);
+        assert!(!eu.fork_ready(0));
+        eu.signal_fork();
+        assert!(eu.fork_ready(0));
+        assert!(!eu.fork_ready(1));
+        eu.signal_fork();
+        assert!(eu.fork_ready(1));
+    }
+
+    #[test]
+    fn critical_lock_is_exclusive() {
+        let mut eu = EventUnit::new(2);
+        assert!(eu.try_lock(0));
+        assert!(!eu.try_lock(1));
+        eu.unlock(0);
+        assert!(eu.try_lock(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn unlock_requires_ownership() {
+        let mut eu = EventUnit::new(2);
+        assert!(eu.try_lock(0));
+        eu.unlock(1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Shared instruction-cache model.
+//!
+//! The paper's energy model charges the I-cache per *use* (fetch) and per
+//! *refill*. Kernels are small loops, so after the first traversal of each
+//! static instruction every fetch hits. The model therefore charges one
+//! refill per cache line of static program text per core (cold start) and
+//! one use per dynamic fetch.
+
+/// Instructions per I-cache line.
+pub const INSNS_PER_LINE: u64 = 4;
+
+/// Computes the number of cold-start refills for a core executing
+/// `static_insns` distinct static instructions.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pulp_sim::icache::refills_for_static_insns(0), 0);
+/// assert_eq!(pulp_sim::icache::refills_for_static_insns(1), 1);
+/// assert_eq!(pulp_sim::icache::refills_for_static_insns(4), 1);
+/// assert_eq!(pulp_sim::icache::refills_for_static_insns(5), 2);
+/// ```
+pub fn refills_for_static_insns(static_insns: u64) -> u64 {
+    static_insns.div_ceil(INSNS_PER_LINE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refills_round_up_to_lines() {
+        assert_eq!(refills_for_static_insns(0), 0);
+        assert_eq!(refills_for_static_insns(3), 1);
+        assert_eq!(refills_for_static_insns(8), 2);
+        assert_eq!(refills_for_static_insns(9), 3);
+    }
+}

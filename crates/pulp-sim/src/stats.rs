@@ -1,0 +1,231 @@
+//! Execution statistics collected by the cluster simulator.
+//!
+//! [`SimStats`] is the fast-path equivalent of the paper's GVSOC trace: it
+//! holds exactly the activity counters that the Table-I energy model and the
+//! Table-III dynamic features consume. The slow path (textual trace +
+//! listeners, in the `pulp-energy-model` crate) reconstructs the same
+//! counters from trace lines; tests assert both paths agree.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-core activity counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Retired integer-pipeline ops (ALU, MUL, DIV, branches, jumps).
+    pub alu_ops: u64,
+    /// Retired floating-point ops.
+    pub fp_ops: u64,
+    /// Retired loads/stores hitting the TCDM.
+    pub l1_ops: u64,
+    /// Retired loads/stores hitting the L2.
+    pub l2_ops: u64,
+    /// Explicit NOP ops retired.
+    pub nop_ops: u64,
+    /// Active-wait cycles: resource contention, multi-cycle instruction
+    /// tails, critical-section spinning and runtime fork overhead.
+    pub idle_cycles: u64,
+    /// Cycles spent clock-gated (barrier sleep, fork wait, post-completion).
+    pub cg_cycles: u64,
+    /// Instruction fetches issued (one per retired op).
+    pub fetches: u64,
+}
+
+impl CoreStats {
+    /// Total retired micro-ops.
+    pub fn retired(&self) -> u64 {
+        self.alu_ops + self.fp_ops + self.l1_ops + self.l2_ops + self.nop_ops
+    }
+
+    /// Cycles charged at the NOP (active-wait) energy cost.
+    pub fn active_wait_cycles(&self) -> u64 {
+        self.idle_cycles + self.nop_ops
+    }
+}
+
+/// Per-TCDM-bank activity counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankStats {
+    /// Read requests served.
+    pub reads: u64,
+    /// Write requests served.
+    pub writes: u64,
+    /// Requests deferred because the bank was already granted this cycle.
+    pub conflicts: u64,
+}
+
+impl BankStats {
+    /// Cycles in which the bank served a request.
+    pub fn busy_cycles(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Instruction-cache activity counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IcacheStats {
+    /// Fetch accesses (one per retired instruction).
+    pub fetches: u64,
+    /// Line refills (first touch of each static instruction line per core).
+    pub refills: u64,
+}
+
+/// DMA engine activity counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmaStats {
+    /// Words moved between L2 and TCDM.
+    pub words_transferred: u64,
+    /// Cycles the engine spent moving data.
+    pub busy_cycles: u64,
+}
+
+/// Complete statistics of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total kernel cycles.
+    pub cycles: u64,
+    /// Team size the kernel was run with (cores executing the program).
+    pub team_size: usize,
+    /// Per-core counters, indexed by physical core id (length = cluster
+    /// cores, including unused clock-gated cores).
+    pub cores: Vec<CoreStats>,
+    /// Per-TCDM-bank counters.
+    pub l1_banks: Vec<BankStats>,
+    /// Per-L2-bank counters.
+    pub l2_banks: Vec<BankStats>,
+    /// Shared instruction cache counters.
+    pub icache: IcacheStats,
+    /// DMA counters (zero for the paper's dataset, which keeps all data in
+    /// TCDM).
+    pub dma: DmaStats,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Cycles during which at least one core was active (not clock-gated).
+    pub cluster_active_cycles: u64,
+}
+
+impl SimStats {
+    /// Creates zeroed statistics for a cluster shape.
+    pub fn new(num_cores: usize, l1_banks: usize, l2_banks: usize) -> Self {
+        Self {
+            cycles: 0,
+            team_size: 0,
+            cores: vec![CoreStats::default(); num_cores],
+            l1_banks: vec![BankStats::default(); l1_banks],
+            l2_banks: vec![BankStats::default(); l2_banks],
+            icache: IcacheStats::default(),
+            dma: DmaStats::default(),
+            barriers: 0,
+            cluster_active_cycles: 0,
+        }
+    }
+
+    /// Total retired micro-ops across all cores.
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(CoreStats::retired).sum()
+    }
+
+    /// Total TCDM reads across banks.
+    pub fn l1_reads(&self) -> u64 {
+        self.l1_banks.iter().map(|b| b.reads).sum()
+    }
+
+    /// Total TCDM writes across banks.
+    pub fn l1_writes(&self) -> u64 {
+        self.l1_banks.iter().map(|b| b.writes).sum()
+    }
+
+    /// Total TCDM bank conflicts.
+    pub fn l1_conflicts(&self) -> u64 {
+        self.l1_banks.iter().map(|b| b.conflicts).sum()
+    }
+
+    /// Sum over banks of cycles with no request served.
+    pub fn l1_idle_cycles(&self) -> u64 {
+        let busy: u64 = self.l1_banks.iter().map(BankStats::busy_cycles).sum();
+        (self.cycles * self.l1_banks.len() as u64).saturating_sub(busy)
+    }
+
+    /// Sum over L2 banks of cycles with no request served.
+    pub fn l2_idle_cycles(&self) -> u64 {
+        let busy: u64 = self.l2_banks.iter().map(BankStats::busy_cycles).sum();
+        (self.cycles * self.l2_banks.len() as u64).saturating_sub(busy)
+    }
+
+    /// Internal consistency checks; used by tests and debug assertions.
+    ///
+    /// Verifies that per-core cycle decompositions sum to the total cycle
+    /// count and that fetch counts match retirements.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (id, c) in self.cores.iter().enumerate() {
+            let accounted = c.retired() + c.idle_cycles + c.cg_cycles;
+            // Every cycle a core is either retiring (1 cycle per retired op),
+            // actively waiting, or clock-gated.
+            if accounted != self.cycles {
+                return Err(format!(
+                    "core {id}: accounted {accounted} cycles of {}",
+                    self.cycles
+                ));
+            }
+            if c.fetches != c.retired() {
+                return Err(format!(
+                    "core {id}: {} fetches but {} retired ops",
+                    c.fetches,
+                    c.retired()
+                ));
+            }
+        }
+        let fetches: u64 = self.cores.iter().map(|c| c.fetches).sum();
+        if self.icache.fetches != fetches {
+            return Err(format!(
+                "icache fetches {} != core fetches {fetches}",
+                self.icache.fetches
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_stats_are_consistent() {
+        let s = SimStats::new(8, 16, 32);
+        assert_eq!(s.cores.len(), 8);
+        assert_eq!(s.l1_banks.len(), 16);
+        assert!(s.check_consistency().is_ok());
+        assert_eq!(s.l1_idle_cycles(), 0);
+    }
+
+    #[test]
+    fn idle_cycles_complement_busy() {
+        let mut s = SimStats::new(1, 2, 1);
+        s.cycles = 10;
+        s.l1_banks[0].reads = 3;
+        s.l1_banks[1].writes = 4;
+        assert_eq!(s.l1_idle_cycles(), 20 - 7);
+    }
+
+    #[test]
+    fn consistency_catches_cycle_mismatch() {
+        let mut s = SimStats::new(1, 1, 1);
+        s.cycles = 5;
+        s.cores[0].alu_ops = 2;
+        s.cores[0].fetches = 2;
+        s.icache.fetches = 2;
+        // 2 retired + 0 idle + 0 cg != 5 cycles
+        assert!(s.check_consistency().is_err());
+        s.cores[0].cg_cycles = 3;
+        assert!(s.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn consistency_catches_fetch_mismatch() {
+        let mut s = SimStats::new(1, 1, 1);
+        s.cycles = 2;
+        s.cores[0].alu_ops = 2;
+        s.cores[0].fetches = 1;
+        assert!(s.check_consistency().is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Golden-trace snapshot: the exact textual trace of a small fixed program.
+//!
+//! The trace grammar is a public interface (the energy crate's listener
+//! stack parses it); this test freezes it so accidental format or
+//! scheduling changes are caught explicitly rather than surfacing as
+//! listener mismatches downstream.
+
+use pulp_sim::{
+    simulate_traced, AddrExpr, ClusterConfig, OpKind, Program, SegOp, TextSink, TCDM_BASE,
+};
+
+#[test]
+fn single_core_trace_is_stable() {
+    let program = Program::new(vec![vec![
+        SegOp::Instr { kind: OpKind::Alu, addr: None },
+        SegOp::Instr { kind: OpKind::Load, addr: Some(AddrExpr::constant(TCDM_BASE)) },
+        SegOp::Instr { kind: OpKind::Store, addr: Some(AddrExpr::constant(TCDM_BASE + 4)) },
+        SegOp::Instr { kind: OpKind::Nop, addr: None },
+    ]]);
+    let mut sink = TextSink::new();
+    let stats =
+        simulate_traced(&ClusterConfig::default(), &program, 1_000, &mut sink).expect("simulate");
+
+    // The 7 unused physical cores are clock-gated for the whole run and
+    // announce it with one enter/exit region each.
+    let expected = "\
+0: cluster/pe0/insn: alu
+0: cluster/pe1/trace: cg_enter
+0: cluster/pe2/trace: cg_enter
+0: cluster/pe3/trace: cg_enter
+0: cluster/pe4/trace: cg_enter
+0: cluster/pe5/trace: cg_enter
+0: cluster/pe6/trace: cg_enter
+0: cluster/pe7/trace: cg_enter
+1: cluster/l1/bank0/trace: read
+1: cluster/pe0/insn: lw 0x10000000
+2: cluster/l1/bank1/trace: write
+2: cluster/pe0/insn: sw 0x10000004
+3: cluster/pe0/insn: nop
+4: cluster/pe0/trace: cg_enter
+5: cluster/pe0/trace: cg_exit
+5: cluster/pe1/trace: cg_exit
+5: cluster/pe2/trace: cg_exit
+5: cluster/pe3/trace: cg_exit
+5: cluster/pe4/trace: cg_exit
+5: cluster/pe5/trace: cg_exit
+5: cluster/pe6/trace: cg_exit
+5: cluster/pe7/trace: cg_exit
+5: cluster/icache: refill 1
+";
+    assert_eq!(sink.text, expected, "trace format drifted:\n{}", sink.text);
+    assert_eq!(stats.cycles, 5);
+    assert_eq!(stats.total_retired(), 4);
+}
+
+#[test]
+fn two_core_trace_interleaves_in_core_order() {
+    let alu = SegOp::Instr { kind: OpKind::Alu, addr: None };
+    let program = Program::new(vec![vec![alu.clone()], vec![alu]]);
+    let mut sink = TextSink::new();
+    simulate_traced(&ClusterConfig::default(), &program, 1_000, &mut sink).expect("simulate");
+    let lines: Vec<&str> = sink.text.lines().collect();
+    // Cycle 0: both cores retire one ALU op, in core-id order.
+    assert_eq!(lines[0], "0: cluster/pe0/insn: alu");
+    assert_eq!(lines[1], "0: cluster/pe1/insn: alu");
+}

@@ -1,0 +1,48 @@
+//! Energy landscape sweep: how the minimum-energy core count moves with
+//! data type and payload size.
+//!
+//! Reproduces, for a handful of kernels, the observation that motivates
+//! the paper: "the energy optimal scaling configuration is not trivial" —
+//! it depends on the kernel's resource pressure *and* its instantiation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p pulp-energy --example energy_sweep
+//! ```
+
+use pulp_energy::measure_kernel;
+use pulp_energy_model::EnergyModel;
+use pulp_kernels::{registry, KernelParams, PAYLOAD_SIZES};
+use pulp_sim::ClusterConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ClusterConfig::default();
+    let model = EnergyModel::table1();
+    let defs = registry();
+
+    for name in ["gemm", "fpu_storm", "bank_hammer", "tiny_regions"] {
+        let def = defs.iter().find(|d| d.name == name).expect("kernel exists");
+        println!("=== {name} ===");
+        println!(
+            "{:>6} {:>6} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} | best",
+            "dtype", "bytes", "1", "2", "3", "4", "5", "6", "7", "8"
+        );
+        for &dtype in def.dtypes {
+            for size in PAYLOAD_SIZES {
+                let kernel = def.build(&KernelParams::new(dtype, size))?;
+                let profile = measure_kernel(&kernel, &config, &model)?;
+                print!("{:>6} {:>6} |", dtype.to_string(), size);
+                for c in 0..8 {
+                    print!(" {:>8.2}", profile.energy[c] * 1e-9);
+                }
+                println!(" | {} cores", profile.label() + 1);
+            }
+        }
+        println!();
+    }
+    println!("(energies in microjoules; 'best' is the energy arg-min — note how it");
+    println!(" shifts with the data type on FPU-bound kernels and with the payload");
+    println!(" size once the OpenMP fork/join overhead stops amortising)");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Time-resolved power profile of a phased kernel.
+//!
+//! Attaches a [`PowerProbe`] to the simulation of the `mixed_phase`
+//! kernel (compute phase, barrier, memory phase) and renders power over
+//! time — the compute burst, the barrier dip and the memory phase are all
+//! visible, the simulator-side analogue of the paper's post-layout power
+//! traces.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p pulp-energy --example power_profile
+//! ```
+
+use kernel_ir::{lower, DType};
+use pulp_energy_model::{render_profile, EnergyModel, PowerProbe};
+use pulp_kernels::{registry, KernelParams};
+use pulp_sim::{simulate_traced, ClusterConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ClusterConfig::default();
+    let kernel = registry()
+        .into_iter()
+        .find(|d| d.name == "mixed_phase")
+        .expect("kernel exists")
+        .build(&KernelParams::new(DType::F32, 2048))?;
+
+    let lowered = lower(&kernel, 4, &config)?;
+    let window = 64;
+    let mut probe = PowerProbe::new(EnergyModel::table1(), config.clone(), window);
+    let stats = simulate_traced(&config, &lowered.program, 10_000_000, &mut probe)?;
+
+    println!(
+        "mixed_phase/f32/2048 on 4 cores: {} cycles, baseline {:.1} pJ/cycle\n",
+        stats.cycles,
+        probe.baseline_per_cycle() * 1e-3
+    );
+    println!("{:>10} {:>12}  power over time ({}-cycle windows)", "cycle", "power", window);
+    print!("{}", render_profile(&probe.profile(), window, 50));
+    println!(
+        "\ndynamic energy captured by the probe: {:.3} uJ",
+        probe.dynamic_total() * 1e-9
+    );
+    Ok(())
+}

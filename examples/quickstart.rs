@@ -1,0 +1,56 @@
+//! Quickstart: author a kernel, extract its static features, measure its
+//! energy at every core count, and see which configuration wins.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p pulp-energy --example quickstart
+//! ```
+
+use kernel_ir::{DType, KernelBuilder, Suite};
+use pulp_energy::{measure_kernel, static_feature_names, static_feature_vector};
+use pulp_energy_model::EnergyModel;
+use pulp_sim::ClusterConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An AXPY-style kernel over 1024 floats, written with the builder API.
+    let n = 1024usize;
+    let mut b = KernelBuilder::new("axpy", Suite::Custom, DType::F32, 2 * n * 4);
+    let x = b.array("x", n);
+    let y = b.array("y", n);
+    b.par_for(n as u64, |b, i| {
+        b.load(x, i);
+        b.load(y, i);
+        b.compute(2); // a * x[i] + y[i]
+        b.store(y, i);
+    });
+    let kernel = b.build()?;
+
+    // Static features — what the classifier would see at compile time.
+    println!("static features of `{}`:", kernel.name);
+    for (name, value) in static_feature_names().iter().zip(static_feature_vector(&kernel)) {
+        println!("  {name:>10} = {value:.3}");
+    }
+
+    // Ground truth: simulate at 1..=8 cores and apply the Table-I model.
+    let config = ClusterConfig::default();
+    let profile = measure_kernel(&kernel, &config, &EnergyModel::table1())?;
+
+    println!("\n{:>6} {:>12} {:>10} {:>9}", "cores", "energy [uJ]", "cycles", "speedup");
+    for c in 0..8 {
+        let marker = if c == profile.label() { "  <-- minimum energy" } else { "" };
+        println!(
+            "{:>6} {:>12.3} {:>10} {:>8.2}x{marker}",
+            c + 1,
+            profile.energy[c] * 1e-9,
+            profile.cycles[c],
+            profile.speedup(c),
+        );
+    }
+    println!(
+        "\nminimum-energy configuration: {} cores (energy waste at 8 cores: {:.1}%)",
+        profile.label() + 1,
+        profile.waste(7) * 100.0
+    );
+    Ok(())
+}

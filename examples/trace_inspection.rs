@@ -1,0 +1,70 @@
+//! The GVSOC-style trace path: simulate with a textual trace, replay it
+//! through the paper's listener hierarchy, and compare the energy computed
+//! from the trace with the simulator's own accounting.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p pulp-energy --example trace_inspection
+//! ```
+
+use kernel_ir::{lower, DType, KernelBuilder, Suite};
+use pulp_energy_model::{energy_of, stats_from_trace, DynamicFeatures, EnergyModel};
+use pulp_sim::{simulate_traced, ClusterConfig, TextSink};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small kernel with observable contention: two loads to nearby
+    // addresses plus FP work.
+    let n = 64usize;
+    let mut b = KernelBuilder::new("demo", Suite::Custom, DType::F32, n * 4);
+    let x = b.array("x", n);
+    b.par_for(n as u64, |b, i| {
+        b.load(x, i);
+        b.compute(3);
+        b.store(x, i);
+    });
+    let kernel = b.build()?;
+
+    let config = ClusterConfig::default();
+    let team = 4;
+    let lowered = lower(&kernel, team, &config)?;
+
+    // Run once with a text trace attached.
+    let mut sink = TextSink::new();
+    let stats = simulate_traced(&config, &lowered.program, 1_000_000, &mut sink)?;
+
+    println!("trace: {} lines; first ten:", sink.text.lines().count());
+    for line in sink.text.lines().take(10) {
+        println!("  {line}");
+    }
+
+    // Replay the text through the listener stack (8 CoreListeners,
+    // 16 L1BankListeners, 32 L2BankListeners), as the paper does.
+    let reconstructed = stats_from_trace(&sink.text, &config, team)?;
+    let model = EnergyModel::table1();
+    let e_direct = energy_of(&stats, &model, &config);
+    let e_trace = energy_of(&reconstructed, &model, &config);
+
+    println!("\nenergy from simulator stats: {:.4} uJ", e_direct.total_uj());
+    println!("energy from replayed trace:  {:.4} uJ", e_trace.total_uj());
+    assert!((e_direct.total() - e_trace.total()).abs() < 1e-6, "paths must agree");
+
+    println!("\nper-component breakdown (uJ):");
+    println!("  PE     {:.4}", e_direct.pe * 1e-9);
+    println!("  FPU    {:.4}", e_direct.fpu * 1e-9);
+    println!("  L1     {:.4}", e_direct.l1 * 1e-9);
+    println!("  L2     {:.4}", e_direct.l2 * 1e-9);
+    println!("  I$     {:.4}", e_direct.icache * 1e-9);
+    println!("  DMA    {:.4}", e_direct.dma * 1e-9);
+    println!("  other  {:.4}", e_direct.other * 1e-9);
+
+    let dynamic = DynamicFeatures::extract(&reconstructed);
+    println!("\ndynamic features at {team} cores (Table III):");
+    println!("  PE_idle      = {:.3}", dynamic.pe_idle);
+    println!("  PE_sleep     = {:.3}", dynamic.pe_sleep);
+    println!("  PE_alu       = {}", dynamic.pe_alu);
+    println!("  PE_fp        = {}", dynamic.pe_fp);
+    println!("  PE_l1        = {}", dynamic.pe_l1);
+    println!("  L1_conflicts = {}", dynamic.l1_conflicts);
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Label regression pins.
+//!
+//! These tests pin the minimum-energy labels of behaviour-defining samples
+//! to the values measured with the calibrated platform of DESIGN.md §6.
+//! They are deliberately *brittle*: a change to simulator timing, runtime
+//! overheads or the energy model that moves any of these labels should be
+//! a conscious decision (re-run `dataset_stats` and update EXPERIMENTS.md
+//! alongside these pins).
+
+use kernel_ir::DType;
+use pulp_energy::measure_kernel;
+use pulp_energy_model::EnergyModel;
+use pulp_kernels::{registry, KernelParams};
+use pulp_sim::ClusterConfig;
+
+fn label(kernel: &str, dtype: DType, payload: usize) -> usize {
+    let def = registry().into_iter().find(|d| d.name == kernel).expect("kernel exists");
+    let k = def.build(&KernelParams::new(dtype, payload)).expect("build");
+    let profile = measure_kernel(&k, &ClusterConfig::default(), &EnergyModel::table1())
+        .expect("measure");
+    profile.label() + 1
+}
+
+#[test]
+fn fpu_bound_f32_prefers_the_fpu_count() {
+    assert_eq!(label("fpu_storm", DType::F32, 8196), 4);
+}
+
+#[test]
+fn fpu_bound_i32_prefers_all_cores() {
+    assert_eq!(label("fpu_storm", DType::I32, 8196), 8);
+}
+
+#[test]
+fn conflict_bound_kernel_prefers_few_cores() {
+    assert!(label("bank_hammer", DType::I32, 512) <= 2);
+}
+
+#[test]
+fn dense_compute_prefers_all_cores() {
+    assert_eq!(label("compute_dense", DType::I32, 32768), 8);
+}
+
+#[test]
+fn tiny_regions_prefer_tiny_teams() {
+    assert!(label("tiny_regions", DType::F32, 2048) <= 2);
+}
+
+#[test]
+fn serialised_reduction_prefers_small_teams() {
+    assert!(label("reduction_critical", DType::I32, 8196) <= 4);
+}
+
+#[test]
+fn small_payload_shifts_gemm_below_the_maximum() {
+    let small = label("gemm", DType::F32, 512);
+    let large = label("gemm", DType::F32, 32768);
+    assert!(small < large, "512 B gemm ({small}) must sit below 32 KiB gemm ({large})");
+    assert_eq!(large, 8);
+}

@@ -1,0 +1,135 @@
+//! End-to-end pipeline integration: dataset construction, feature/label
+//! coherence and classification above chance on a reduced kernel set.
+
+use pulp_energy::{
+    evaluation::{always_n_curve, tolerance_curve, Protocol},
+    pipeline::{LabeledDataset, PipelineOptions},
+    StaticFeatureSet, NUM_CLASSES,
+};
+use pulp_ml::{cross_val_predict, DecisionTree, TreeParams};
+
+fn dataset() -> LabeledDataset {
+    let mut opts = PipelineOptions::quick(&[
+        "gemm",
+        "fir",
+        "vec_scale",
+        "fpu_storm",
+        "bank_hammer",
+        "reduction_critical",
+        "compute_dense",
+        "tiny_regions",
+        "stream_triad",
+        "dot_product",
+    ]);
+    opts.payload_sizes = vec![512, 2048, 8196];
+    LabeledDataset::build(&opts).expect("dataset build")
+}
+
+#[test]
+fn pipeline_produces_coherent_dataset() {
+    let data = dataset();
+    assert_eq!(data.len(), 10 * 2 * 3);
+    for s in &data.samples {
+        assert_eq!(s.energy.len(), NUM_CLASSES);
+        assert_eq!(s.static_x.len(), 20);
+        assert_eq!(s.dynamic_x.len(), 80);
+        assert!(s.energy.iter().all(|&e| e.is_finite() && e > 0.0), "{}", s.id);
+        // Energies are in a sane absolute range for microcontroller
+        // kernels: nanojoules to millijoules.
+        assert!(s.energy[0] > 1e3 && s.energy[0] < 1e15, "{}: {}", s.id, s.energy[0]);
+    }
+    // Labels span more than one class on this behaviour mix.
+    let classes: std::collections::HashSet<usize> = data.labels().into_iter().collect();
+    assert!(classes.len() >= 3, "labels collapsed: {classes:?}");
+}
+
+#[test]
+fn static_features_classify_above_chance() {
+    let data = dataset();
+    let ds = data.static_dataset(StaticFeatureSet::All).expect("static");
+    let preds = cross_val_predict(&ds, 5, 0, || DecisionTree::new(TreeParams::default()));
+    let acc = pulp_ml::accuracy(&preds, &ds.labels());
+    // 8-class chance is 12.5%; a majority-class guesser would get the
+    // dominant-class share. The tree must beat chance comfortably.
+    assert!(acc > 0.3, "static CV accuracy too low: {acc}");
+}
+
+#[test]
+fn learned_tree_beats_always_8_under_tolerance() {
+    let data = dataset();
+    let ds = data.static_dataset(StaticFeatureSet::All).expect("static");
+    let tolerances = vec![0.0, 0.05, 0.10];
+    let energies = data.energies();
+    let curve = tolerance_curve("static", &ds, &energies, &tolerances, &Protocol::quick());
+    let naive = always_n_curve(8, &energies, &tolerances);
+    assert!(
+        curve.at(0.05) > naive.at(0.05),
+        "tree {:.3} must beat always-8 {:.3} at 5% tolerance",
+        curve.at(0.05),
+        naive.at(0.05)
+    );
+}
+
+#[test]
+fn dynamic_features_are_at_least_as_good_as_static() {
+    let data = dataset();
+    let energies = data.energies();
+    let tolerances = vec![0.05];
+    let protocol = Protocol::quick();
+    let s = tolerance_curve(
+        "static",
+        &data.static_dataset(StaticFeatureSet::All).expect("static"),
+        &energies,
+        &tolerances,
+        &protocol,
+    );
+    let d = tolerance_curve(
+        "dynamic",
+        &data.dynamic_dataset().expect("dynamic"),
+        &energies,
+        &tolerances,
+        &protocol,
+    );
+    // Dynamic features contain the ground truth's ingredients; allow a
+    // small slack for CV noise on the reduced set.
+    assert!(
+        d.at(0.05) >= s.at(0.05) - 0.10,
+        "dynamic {:.3} should not trail static {:.3} by much",
+        d.at(0.05),
+        s.at(0.05)
+    );
+}
+
+#[test]
+fn tolerance_never_decreases_accuracy() {
+    let data = dataset();
+    let ds = data.static_dataset(StaticFeatureSet::Agg).expect("agg");
+    let tolerances: Vec<f64> = (0..=10).map(|t| t as f64 / 50.0).collect();
+    let curve =
+        tolerance_curve("agg", &ds, &data.energies(), &tolerances, &Protocol::quick());
+    for w in curve.mean.windows(2) {
+        assert!(w[1] >= w[0] - 1e-12);
+    }
+}
+
+#[test]
+fn fpu_bound_kernel_labels_depend_on_dtype() {
+    let data = dataset();
+    let label_of = |id: &str| {
+        data.samples
+            .iter()
+            .find(|s| s.id == id)
+            .unwrap_or_else(|| panic!("missing sample {id}"))
+            .label
+    };
+    // The paper's FPU-contention story: f32 instances of an FP-dense
+    // kernel must favour fewer cores than their i32 twins.
+    let f32_label = label_of("custom/fpu_storm/f32/8196");
+    let i32_label = label_of("custom/fpu_storm/i32/8196");
+    assert!(
+        f32_label < i32_label,
+        "fpu_storm: f32 label {} must be below i32 label {}",
+        f32_label + 1,
+        i32_label + 1
+    );
+}

@@ -1,0 +1,75 @@
+//! The paper's kernel-region isolation: "after analysing the trace, it is
+//! possible to filter out events within a range of cycles ... the range of
+//! cycles in which the parallel code fragment is contained".
+//!
+//! We simulate a program with a warm-up phase, a kernel phase and a
+//! cool-down phase in one trace, locate the kernel window from the barrier
+//! markers, and check the windowed listener counts only the kernel's work.
+
+use kernel_ir::{lower, DType, KernelBuilder, Suite};
+use pulp_energy_model::{PulpListeners, TraceAnalyser};
+use pulp_sim::{simulate_traced, ClusterConfig, TextSink};
+
+/// Builds a program whose kernel phase is bracketed by barriers:
+/// master-only warm-up, parallel kernel, master-only cool-down.
+fn phased_kernel(n: usize) -> kernel_ir::Kernel {
+    let mut b = KernelBuilder::new("phased", Suite::Custom, DType::I32, n * 4);
+    let x = b.array("x", n);
+    // Warm-up: sequential master-only initialisation.
+    b.for_(n as u64, |b, i| b.store(x, i));
+    b.barrier();
+    // The kernel: the parallel region of interest.
+    b.par_for(n as u64, |b, i| {
+        b.load(x, i);
+        b.alu(2);
+        b.store(x, i);
+    });
+    b.barrier();
+    // Cool-down: sequential master-only checksum.
+    b.for_(n as u64, |b, i| b.load(x, i));
+    b.build().expect("valid kernel")
+}
+
+#[test]
+fn windowed_analysis_isolates_the_parallel_region() {
+    let n = 64usize;
+    let cfg = ClusterConfig::default();
+    let kernel = phased_kernel(n);
+    let lowered = lower(&kernel, 4, &cfg).expect("lower");
+    let mut sink = TextSink::new();
+    simulate_traced(&cfg, &lowered.program, 1_000_000, &mut sink).expect("simulate");
+
+    // Locate the kernel window from the explicit barrier releases: the
+    // kernel's parallel region sits between the 1st and 2nd release
+    // (region fork/join adds its own barriers after them).
+    let releases: Vec<u64> = sink
+        .text
+        .lines()
+        .filter(|l| l.contains("event_unit: release"))
+        .map(|l| l.split(':').next().expect("cycle field").trim().parse().expect("cycle"))
+        .collect();
+    assert!(releases.len() >= 2, "expected bracketing barriers, got {releases:?}");
+    let start = releases[0] + 1;
+    let end = releases[releases.len() - 2] + 1;
+
+    // Full-trace counts include warm-up stores and cool-down loads.
+    let mut full = PulpListeners::new(&cfg);
+    TraceAnalyser::new().analyse(&sink.text, &mut full).expect("analyse");
+    let full_stats = full.into_stats(4);
+    assert_eq!(full_stats.l1_writes(), 2 * n as u64, "warm-up + kernel stores");
+    assert_eq!(full_stats.l1_reads(), 2 * n as u64, "kernel + cool-down loads");
+
+    // Windowed counts cover exactly the kernel region.
+    let mut windowed = PulpListeners::new(&cfg);
+    TraceAnalyser::with_window(start, end).analyse(&sink.text, &mut windowed).expect("analyse");
+    let kernel_stats = windowed.into_stats(4);
+    assert_eq!(kernel_stats.l1_writes(), n as u64, "kernel stores only");
+    assert_eq!(kernel_stats.l1_reads(), n as u64, "kernel loads only");
+    // All four team cores worked inside the window.
+    for core in 0..4 {
+        assert!(
+            kernel_stats.cores[core].l1_ops > 0,
+            "core {core} idle inside the kernel window"
+        );
+    }
+}
