@@ -26,7 +26,9 @@ fn bench_mca(c: &mut Criterion) {
 
 fn bench_static_features(c: &mut Criterion) {
     let kernel = gemm();
-    c.bench_function("features/static_vector", |b| b.iter(|| static_feature_vector(&kernel)));
+    c.bench_function("features/static_vector", |b| {
+        b.iter(|| static_feature_vector(&kernel))
+    });
 }
 
 fn bench_energy_fold(c: &mut Criterion) {
@@ -34,7 +36,9 @@ fn bench_energy_fold(c: &mut Criterion) {
     let model = EnergyModel::table1();
     let lowered = lower(&gemm(), 8, &cfg).expect("lower");
     let stats = simulate(&cfg, &lowered.program).expect("simulate");
-    c.bench_function("energy/fold_stats", |b| b.iter(|| energy_of(&stats, &model, &cfg)));
+    c.bench_function("energy/fold_stats", |b| {
+        b.iter(|| energy_of(&stats, &model, &cfg))
+    });
 }
 
 fn bench_trace_replay(c: &mut Criterion) {
@@ -56,5 +60,11 @@ fn bench_trace_replay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mca, bench_static_features, bench_energy_fold, bench_trace_replay);
+criterion_group!(
+    benches,
+    bench_mca,
+    bench_static_features,
+    bench_energy_fold,
+    bench_trace_replay
+);
 criterion_main!(benches);

@@ -43,7 +43,11 @@ fn bench_tree_predict(c: &mut Criterion) {
     let mut tree = DecisionTree::new(TreeParams::default());
     tree.fit(&data);
     c.bench_function("tree_predict/448", |b| {
-        b.iter(|| (0..data.len()).map(|i| tree.predict(data.row(i))).sum::<usize>())
+        b.iter(|| {
+            (0..data.len())
+                .map(|i| tree.predict(data.row(i)))
+                .sum::<usize>()
+        })
     });
 }
 
@@ -54,5 +58,10 @@ fn bench_cv_repetition(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tree_fit, bench_tree_predict, bench_cv_repetition);
+criterion_group!(
+    benches,
+    bench_tree_fit,
+    bench_tree_predict,
+    bench_cv_repetition
+);
 criterion_main!(benches);

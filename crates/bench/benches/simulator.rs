@@ -6,14 +6,21 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kernel_ir::{lower, DType};
 use pulp_kernels::{registry, KernelParams};
-use pulp_sim::{simulate, ClusterConfig};
+use pulp_sim::{
+    simulate, simulate_instrumented, ClusterConfig, NoTelemetry, NullSink, RegionProfiler,
+};
 
 fn bench_kernels(c: &mut Criterion) {
     let cfg = ClusterConfig::default();
     let mut group = c.benchmark_group("simulate");
     for name in ["gemm", "fir", "bank_hammer"] {
-        let def = registry().into_iter().find(|d| d.name == name).expect("kernel");
-        let kernel = def.build(&KernelParams::new(DType::I32, 2048)).expect("build");
+        let def = registry()
+            .into_iter()
+            .find(|d| d.name == name)
+            .expect("kernel");
+        let kernel = def
+            .build(&KernelParams::new(DType::I32, 2048))
+            .expect("build");
         for team in [1usize, 8] {
             let lowered = lower(&kernel, team, &cfg).expect("lower");
             let ops = lowered.program.dynamic_op_count();
@@ -28,14 +35,62 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Guard: no-op telemetry must not change simulator throughput (the
+/// `telemetry_guard` binary enforces the <=2% contract; this bench makes
+/// the comparison visible in criterion output). The third variant prices
+/// a real observer, `RegionProfiler`.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let cfg = ClusterConfig::default();
+    let def = registry()
+        .into_iter()
+        .find(|d| d.name == "gemm")
+        .expect("kernel");
+    let kernel = def
+        .build(&KernelParams::new(DType::F32, 2048))
+        .expect("build");
+    let lowered = lower(&kernel, 8, &cfg).expect("lower");
+    let program = &lowered.program;
+    let ops = program.dynamic_op_count();
+
+    let mut group = c.benchmark_group("telemetry");
+    group.throughput(Throughput::Elements(ops));
+    group.bench_function("baseline", |b| {
+        b.iter(|| simulate(&cfg, program).expect("simulate"))
+    });
+    group.bench_function("noop-hooks", |b| {
+        b.iter(|| {
+            simulate_instrumented(&cfg, program, 100_000_000, &mut NullSink, &mut NoTelemetry)
+                .expect("simulate")
+        })
+    });
+    group.bench_function("region-profiler", |b| {
+        b.iter(|| {
+            let mut profiler = RegionProfiler::new();
+            simulate_instrumented(&cfg, program, 100_000_000, &mut NullSink, &mut profiler)
+                .expect("simulate")
+        })
+    });
+    group.finish();
+}
+
 fn bench_lowering(c: &mut Criterion) {
     let cfg = ClusterConfig::default();
-    let def = registry().into_iter().find(|d| d.name == "gemm").expect("kernel");
-    let kernel = def.build(&KernelParams::new(DType::F32, 32768)).expect("build");
+    let def = registry()
+        .into_iter()
+        .find(|d| d.name == "gemm")
+        .expect("kernel");
+    let kernel = def
+        .build(&KernelParams::new(DType::F32, 32768))
+        .expect("build");
     c.bench_function("lower/gemm-32k-8c", |b| {
         b.iter(|| lower(&kernel, 8, &cfg).expect("lower"))
     });
 }
 
-criterion_group!(benches, bench_kernels, bench_lowering);
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_telemetry_overhead,
+    bench_lowering
+);
 criterion_main!(benches);

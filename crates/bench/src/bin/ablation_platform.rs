@@ -45,8 +45,14 @@ fn main() {
     let variants: Vec<(&str, ClusterConfig)> = vec![
         ("baseline", base_cfg.clone()),
         ("no-clock-gating", base_cfg.clone().without_clock_gating()),
-        ("no-fpu-contention", base_cfg.clone().without_fpu_contention()),
-        ("no-bank-conflicts", base_cfg.clone().without_bank_conflicts()),
+        (
+            "no-fpu-contention",
+            base_cfg.clone().without_fpu_contention(),
+        ),
+        (
+            "no-bank-conflicts",
+            base_cfg.clone().without_bank_conflicts(),
+        ),
     ];
 
     let mut datasets: BTreeMap<&str, LabeledDataset> = BTreeMap::new();
@@ -56,15 +62,21 @@ fn main() {
     let baseline = &datasets["baseline"];
     let base_labels = baseline.labels();
 
-    println!("E7 — platform-mechanism ablation ({} samples per variant)\n", baseline.len());
+    println!(
+        "E7 — platform-mechanism ablation ({} samples per variant)\n",
+        baseline.len()
+    );
     let mut records = Vec::new();
     for (name, _) in &variants {
         let d = &datasets[name];
         let labels = d.labels();
-        let agree = labels.iter().zip(&base_labels).filter(|(a, b)| a == b).count() as f64
+        let agree = labels
+            .iter()
+            .zip(&base_labels)
+            .filter(|(a, b)| a == b)
+            .count() as f64
             / labels.len() as f64;
-        let mean =
-            labels.iter().map(|&l| (l + 1) as f64).sum::<f64>() / labels.len() as f64;
+        let mean = labels.iter().map(|&l| (l + 1) as f64).sum::<f64>() / labels.len() as f64;
         println!("--- {name} ---");
         print!("{}", render_class_distribution(&d.class_counts()));
         println!("label agreement with baseline: {:.1}%", agree * 100.0);
@@ -78,10 +90,22 @@ fn main() {
     }
 
     println!("shape checks:");
-    let mean_of = |n: &str| records.iter().find(|r| r.name == n).map(|r| r.mean_label).unwrap_or(0.0);
+    let mean_of = |n: &str| {
+        records
+            .iter()
+            .find(|r| r.name == n)
+            .map(|r| r.mean_label)
+            .unwrap_or(0.0)
+    };
     println!(
         "  removing clock gating changes labels ({}% agreement)",
-        (records.iter().find(|r| r.name == "no-clock-gating").map(|r| r.label_agreement_with_baseline).unwrap_or(1.0) * 100.0).round()
+        (records
+            .iter()
+            .find(|r| r.name == "no-clock-gating")
+            .map(|r| r.label_agreement_with_baseline)
+            .unwrap_or(1.0)
+            * 100.0)
+            .round()
     );
     println!(
         "  removing FPU contention pushes optima to more cores: {:.2} -> {:.2}",

@@ -59,7 +59,10 @@ fn main() {
     let mut rows = Vec::new();
     for (cluster_name, config) in shapes() {
         for (name, dtype) in kernels {
-            let def = registry().into_iter().find(|d| d.name == name).expect("kernel");
+            let def = registry()
+                .into_iter()
+                .find(|d| d.name == name)
+                .expect("kernel");
             let kernel = def.build(&KernelParams::new(dtype, 8196)).expect("build");
             let mut best = (0usize, f64::INFINITY);
             for team in 1..=config.num_cores {

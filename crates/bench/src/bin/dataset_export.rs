@@ -22,7 +22,7 @@ fn csv_escape(s: &str) -> String {
 
 fn main() {
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), args.quick);
+    let data = load_or_build_dataset(&args.pipeline_options(), &args);
 
     // Header.
     let mut cols: Vec<String> = vec![

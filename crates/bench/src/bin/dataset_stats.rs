@@ -23,7 +23,7 @@ struct Record {
 
 fn main() {
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), args.quick);
+    let data = load_or_build_dataset(&args.pipeline_options(), &args);
 
     println!("E2 / §IV-B — dataset statistics\n");
     println!("samples: {} (paper: 448)", data.len());
@@ -35,7 +35,12 @@ fn main() {
     let shares: Vec<f64> = counts.iter().map(|&c| c as f64 / total).collect();
     println!(
         "\nlargest class: {} cores with {:.1}% (paper: class 8 at 34.8%)",
-        counts.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i + 1).unwrap_or(0),
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i + 1)
+            .unwrap_or(0),
         shares.iter().cloned().fold(0.0, f64::max) * 100.0
     );
 

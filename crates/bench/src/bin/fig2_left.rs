@@ -12,7 +12,7 @@ use pulp_energy::{
 
 fn main() {
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), args.quick);
+    let data = load_or_build_dataset(&args.pipeline_options(), &args);
     let protocol = args.protocol();
     let tolerances = default_tolerances();
     let energies = data.energies();
@@ -24,7 +24,9 @@ fn main() {
         data.len()
     );
 
-    let agg = data.static_dataset(StaticFeatureSet::Agg).expect("static dataset");
+    let agg = data
+        .static_dataset(StaticFeatureSet::Agg)
+        .expect("static dataset");
     let static_curve = tolerance_curve("static(AGG)", &agg, &energies, &tolerances, &protocol);
 
     let dyn_data = data.dynamic_dataset().expect("dynamic dataset");

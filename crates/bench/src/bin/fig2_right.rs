@@ -17,7 +17,7 @@ const OPTIMIZED_FEATURES: usize = 6;
 
 fn main() {
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), args.quick);
+    let data = load_or_build_dataset(&args.pipeline_options(), &args);
     let protocol = args.protocol();
     let tolerances = default_tolerances();
     let energies = data.energies();
@@ -25,17 +25,38 @@ fn main() {
     let mut curves: Vec<ToleranceCurve> = Vec::new();
     for set in StaticFeatureSet::ALL_SETS {
         let ds = data.static_dataset(set).expect("static dataset");
-        eprintln!("[fig2-right] evaluating {} ({} features)", set.name(), ds.n_features());
-        curves.push(tolerance_curve(set.name(), &ds, &energies, &tolerances, &protocol));
+        eprintln!(
+            "[fig2-right] evaluating {} ({} features)",
+            set.name(),
+            ds.n_features()
+        );
+        curves.push(tolerance_curve(
+            set.name(),
+            &ds,
+            &energies,
+            &tolerances,
+            &protocol,
+        ));
     }
 
     // Optimised: rank the full static vector, keep the top features.
-    let all = data.static_dataset(StaticFeatureSet::All).expect("static dataset");
+    let all = data
+        .static_dataset(StaticFeatureSet::All)
+        .expect("static dataset");
     let top = top_feature_columns(&all, OPTIMIZED_FEATURES, &protocol);
-    let kept: Vec<&str> = top.iter().map(|&c| all.feature_names()[c].as_str()).collect();
+    let kept: Vec<&str> = top
+        .iter()
+        .map(|&c| all.feature_names()[c].as_str())
+        .collect();
     eprintln!("[fig2-right] optimised set keeps: {kept:?}");
     let optimized = all.select_features(&top);
-    curves.push(tolerance_curve("optimised", &optimized, &energies, &tolerances, &protocol));
+    curves.push(tolerance_curve(
+        "optimised",
+        &optimized,
+        &energies,
+        &tolerances,
+        &protocol,
+    ));
 
     println!("E4 / Figure 2 (right) — static feature families\n");
     print!("{}", render_curves(&curves));

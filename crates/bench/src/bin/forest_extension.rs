@@ -6,10 +6,7 @@
 
 use pulp_bench::{load_or_build_dataset, CommonArgs};
 use pulp_energy::{
-    default_tolerances,
-    evaluation::curve_from_predictions,
-    report::render_curves,
-    StaticFeatureSet,
+    default_tolerances, evaluation::curve_from_predictions, report::render_curves, StaticFeatureSet,
 };
 use pulp_ml::{
     cv::repeated_cross_val_predict, DecisionTree, ForestParams, KNearestNeighbors, KnnParams,
@@ -18,7 +15,7 @@ use pulp_ml::{
 
 fn main() {
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), args.quick);
+    let data = load_or_build_dataset(&args.pipeline_options(), &args);
     let protocol = args.protocol();
     let tolerances = default_tolerances();
     let energies = data.energies();
@@ -28,10 +25,17 @@ fn main() {
     // while keeping the fold structure.
     let forest_repeats = (protocol.repeats / 10).max(2);
 
-    eprintln!("[forest] tree: {} reps; forest: {forest_repeats} reps", protocol.repeats);
-    let tree_preds = repeated_cross_val_predict(&all, protocol.folds, protocol.repeats, protocol.seed, || {
-        DecisionTree::new(protocol.tree)
-    });
+    eprintln!(
+        "[forest] tree: {} reps; forest: {forest_repeats} reps",
+        protocol.repeats
+    );
+    let tree_preds = repeated_cross_val_predict(
+        &all,
+        protocol.folds,
+        protocol.repeats,
+        protocol.seed,
+        || DecisionTree::new(protocol.tree),
+    );
     let tree_curve = curve_from_predictions("tree", &tree_preds, &energies, &tolerances);
 
     let mut seed_counter = protocol.seed;
@@ -47,9 +51,13 @@ fn main() {
         });
     let forest_curve = curve_from_predictions("forest", &forest_preds, &energies, &tolerances);
 
-    let knn_preds = repeated_cross_val_predict(&all, protocol.folds, protocol.repeats, protocol.seed, || {
-        KNearestNeighbors::new(KnnParams::default())
-    });
+    let knn_preds = repeated_cross_val_predict(
+        &all,
+        protocol.folds,
+        protocol.repeats,
+        protocol.seed,
+        || KNearestNeighbors::new(KnnParams::default()),
+    );
     let knn_curve = curve_from_predictions("knn(5)", &knn_preds, &energies, &tolerances);
 
     let curves = vec![tree_curve, forest_curve, knn_curve];

@@ -30,7 +30,7 @@ struct Headline {
 
 fn main() {
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), args.quick);
+    let data = load_or_build_dataset(&args.pipeline_options(), &args);
     let protocol = args.protocol();
     let tolerances = default_tolerances();
     let energies = data.energies();
@@ -63,31 +63,86 @@ fn main() {
     println!("E6 — headline numbers (ours vs paper)\n");
     println!("{:<34} {:>8} {:>10}", "metric", "ours", "paper");
     let pct = |v: f64| format!("{:.1}%", v * 100.0);
-    println!("{:<34} {:>8} {:>10}", "static accuracy @0% tolerance", pct(h.static_at_0), "~57%");
-    println!("{:<34} {:>8} {:>10}", "static accuracy @5% tolerance", pct(h.static_at_5), "~80%");
-    println!("{:<34} {:>8} {:>10}", "static accuracy @8% tolerance", pct(h.static_at_8), ">85%");
-    println!("{:<34} {:>8} {:>10}", "optimised accuracy @0%", pct(h.optimized_at_0), "61%");
-    println!("{:<34} {:>8} {:>10}", "optimised accuracy @5%", pct(h.optimized_at_5), "79%");
-    println!("{:<34} {:>8} {:>10}", "dynamic accuracy @5%", pct(h.dynamic_at_5), "-");
-    println!("{:<34} {:>8} {:>10}", "static-dynamic gap @5%", pct(h.gap_at_5), "<10%");
-    println!("{:<34} {:>8} {:>10}", "always-8 accuracy @5%", pct(h.always8_at_5), "-");
+    println!(
+        "{:<34} {:>8} {:>10}",
+        "static accuracy @0% tolerance",
+        pct(h.static_at_0),
+        "~57%"
+    );
+    println!(
+        "{:<34} {:>8} {:>10}",
+        "static accuracy @5% tolerance",
+        pct(h.static_at_5),
+        "~80%"
+    );
+    println!(
+        "{:<34} {:>8} {:>10}",
+        "static accuracy @8% tolerance",
+        pct(h.static_at_8),
+        ">85%"
+    );
+    println!(
+        "{:<34} {:>8} {:>10}",
+        "optimised accuracy @0%",
+        pct(h.optimized_at_0),
+        "61%"
+    );
+    println!(
+        "{:<34} {:>8} {:>10}",
+        "optimised accuracy @5%",
+        pct(h.optimized_at_5),
+        "79%"
+    );
+    println!(
+        "{:<34} {:>8} {:>10}",
+        "dynamic accuracy @5%",
+        pct(h.dynamic_at_5),
+        "-"
+    );
+    println!(
+        "{:<34} {:>8} {:>10}",
+        "static-dynamic gap @5%",
+        pct(h.gap_at_5),
+        "<10%"
+    );
+    println!(
+        "{:<34} {:>8} {:>10}",
+        "always-8 accuracy @5%",
+        pct(h.always8_at_5),
+        "-"
+    );
 
     // One CV pass for the confusion structure: most confusion should sit
     // between adjacent core counts (near-ties), as on the real platform.
     let preds = cross_val_predict(&all, protocol.folds, protocol.seed, || {
         DecisionTree::new(protocol.tree)
     });
-    let confusion = confusion_matrix(&preds, &all.labels(), pulp_energy::NUM_CLASSES);
+    let confusion = confusion_matrix(&preds, all.labels(), pulp_energy::NUM_CLASSES);
     println!("\nconfusion matrix (static features, one CV pass):");
     print!("{}", render_confusion(&confusion));
 
     println!("\nshape verdicts:");
     let verdict = |ok: bool| if ok { "OK" } else { "DEVIATES" };
-    println!("  [{}] tolerance helps a lot (@5% - @0% > 10 pts)", verdict(h.static_at_5 - h.static_at_0 > 0.10));
-    println!("  [{}] static @5% is strong (>70%)", verdict(h.static_at_5 > 0.70));
-    println!("  [{}] static @8% exceeds 85%%-ish (>80%)", verdict(h.static_at_8 > 0.80));
-    println!("  [{}] dynamic beats static by a bounded margin (gap in [-2%, 15%])", verdict(h.gap_at_5 > -0.02 && h.gap_at_5 < 0.15));
-    println!("  [{}] tree beats always-8 @5%", verdict(h.static_at_5 > h.always8_at_5));
+    println!(
+        "  [{}] tolerance helps a lot (@5% - @0% > 10 pts)",
+        verdict(h.static_at_5 - h.static_at_0 > 0.10)
+    );
+    println!(
+        "  [{}] static @5% is strong (>70%)",
+        verdict(h.static_at_5 > 0.70)
+    );
+    println!(
+        "  [{}] static @8% exceeds 85%%-ish (>80%)",
+        verdict(h.static_at_8 > 0.80)
+    );
+    println!(
+        "  [{}] dynamic beats static by a bounded margin (gap in [-2%, 15%])",
+        verdict(h.gap_at_5 > -0.02 && h.gap_at_5 < 0.15)
+    );
+    println!(
+        "  [{}] tree beats always-8 @5%",
+        verdict(h.static_at_5 > h.always8_at_5)
+    );
 
     args.dump_json(&h);
 }

@@ -24,7 +24,7 @@ struct Point {
 
 fn main() {
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), args.quick);
+    let data = load_or_build_dataset(&args.pipeline_options(), &args);
     let protocol = args.protocol();
     let all = data.static_dataset(StaticFeatureSet::All).expect("static");
     let energies = data.energies();
@@ -32,7 +32,7 @@ fn main() {
     // 10 stratified folds; training on the first `k` of them sweeps the
     // fraction in 10% steps while keeping class balance.
     let folds_per_step = 10usize;
-    let repeats = protocol.repeats.min(30).max(3);
+    let repeats = protocol.repeats.clamp(3, 30);
 
     println!("E10 — learning curve (static ALL features, {repeats} repetitions)\n");
     println!(
@@ -46,15 +46,13 @@ fn main() {
         let mut train_samples = 0;
         for rep in 0..repeats {
             let folds = stratified_folds(all.labels(), folds_per_step, rep as u64);
-            let train: Vec<usize> =
-                folds[..train_folds].iter().flatten().copied().collect();
+            let train: Vec<usize> = folds[..train_folds].iter().flatten().copied().collect();
             let test: Vec<usize> = folds[train_folds..].iter().flatten().copied().collect();
             train_samples = train.len();
             let mut tree = DecisionTree::new(TreeParams::default());
             tree.fit_rows(&all, &train);
             let preds: Vec<usize> = test.iter().map(|&r| tree.predict(all.row(r))).collect();
-            let test_energies: Vec<Vec<f64>> =
-                test.iter().map(|&r| energies[r].clone()).collect();
+            let test_energies: Vec<Vec<f64>> = test.iter().map(|&r| energies[r].clone()).collect();
             acc0.push(tolerance_accuracy(&preds, &test_energies, 0.0));
             acc5.push(tolerance_accuracy(&preds, &test_energies, 0.05));
         }

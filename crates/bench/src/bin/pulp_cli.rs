@@ -8,20 +8,22 @@
 //! pulp_cli measure  <kernel> [...]                    # energy at 1..=8 cores
 //! pulp_cli classify <kernel> [...]                    # train + predict
 //! pulp_cli mca      <kernel> [...]                    # LLVM-MCA-style report
+//! pulp_cli profile  <kernel> [...]                    # stall causes + energy, 1..=8 cores
 //! pulp_cli trace    <kernel> [--team t] [...]         # GVSOC-style trace
+//! pulp_cli trace    <kernel> --chrome out.json [...]  # Chrome trace-event JSON
 //! ```
 //!
 //! Defaults: `--dtype f32` (or the kernel's only supported type),
 //! `--size 2048`, `--team 4`.
 
 use kernel_ir::{lower, DType, Kernel};
-use pulp_bench::QUICK_KERNELS;
+use pulp_bench::{profile_run, recorder_of_run, QUICK_KERNELS};
 use pulp_energy::{
     measure_kernel,
     pipeline::{LabeledDataset, PipelineOptions},
     static_feature_names, static_feature_vector, StaticFeatureSet,
 };
-use pulp_energy_model::EnergyModel;
+use pulp_energy_model::{energy_waterfall, EnergyModel};
 use pulp_kernels::{registry, KernelDef, KernelParams};
 use pulp_ml::{DecisionTree, TreeParams};
 use pulp_sim::{simulate_traced, ClusterConfig, TextSink};
@@ -34,6 +36,7 @@ struct Args {
     dtype: Option<DType>,
     size: usize,
     team: usize,
+    chrome: Option<String>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -42,9 +45,17 @@ fn parse_args() -> Option<Args> {
 
 fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
     let command = argv.next()?;
-    let mut args = Args { command, kernel: None, dtype: None, size: 2048, team: 4 };
+    let mut args = Args {
+        command,
+        kernel: None,
+        dtype: None,
+        size: 2048,
+        team: 4,
+        chrome: None,
+    };
     while let Some(a) = argv.next() {
         match a.as_str() {
+            "--chrome" => args.chrome = Some(argv.next()?),
             "--dtype" => {
                 args.dtype = match argv.next().as_deref() {
                     Some("i32") => Some(DType::I32),
@@ -69,45 +80,10 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
     Some(args)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn parse(words: &[&str]) -> Option<Args> {
-        parse_from(words.iter().map(|s| s.to_string()))
-    }
-
-    #[test]
-    fn parses_full_command_line() {
-        let a = parse(&["measure", "gemm", "--dtype", "i32", "--size", "512", "--team", "6"])
-            .expect("parse");
-        assert_eq!(a.command, "measure");
-        assert_eq!(a.kernel.as_deref(), Some("gemm"));
-        assert_eq!(a.dtype, Some(DType::I32));
-        assert_eq!(a.size, 512);
-        assert_eq!(a.team, 6);
-    }
-
-    #[test]
-    fn defaults_apply() {
-        let a = parse(&["pretty", "fir"]).expect("parse");
-        assert_eq!(a.dtype, None);
-        assert_eq!(a.size, 2048);
-        assert_eq!(a.team, 4);
-    }
-
-    #[test]
-    fn rejects_bad_dtype_and_flags() {
-        assert!(parse(&["measure", "gemm", "--dtype", "f64"]).is_none());
-        assert!(parse(&["measure", "gemm", "--bogus"]).is_none());
-        assert!(parse(&[]).is_none());
-    }
-}
-
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pulp_cli <list|pretty|features|disasm|measure|classify|mca|trace> \
-         [kernel] [--dtype i32|f32] [--size BYTES] [--team N]"
+        "usage: pulp_cli <list|pretty|features|disasm|measure|classify|mca|profile|trace> \
+         [kernel] [--dtype i32|f32] [--size BYTES] [--team N] [--chrome OUT.json]"
     );
     ExitCode::FAILURE
 }
@@ -150,33 +126,59 @@ fn main() -> ExitCode {
 
     match args.command.as_str() {
         "list" => {
-            println!("{:<24} {:<10} {}", "kernel", "suite", "dtypes");
+            println!("{:<24} {:<10} dtypes", "kernel", "suite");
             for d in &defs {
                 let dtypes: Vec<String> = d.dtypes.iter().map(|t| t.to_string()).collect();
-                println!("{:<24} {:<10} {}", d.name, d.suite.to_string(), dtypes.join(","));
+                println!(
+                    "{:<24} {:<10} {}",
+                    d.name,
+                    d.suite.to_string(),
+                    dtypes.join(",")
+                );
             }
             ExitCode::SUCCESS
         }
         "pretty" => {
-            let Some(name) = &args.kernel else { return usage() };
-            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
-            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
+            let Some(name) = &args.kernel else {
+                return usage();
+            };
+            let Some(def) = find_kernel(&defs, name) else {
+                return ExitCode::FAILURE;
+            };
+            let Some(kernel) = instantiate(def, &args) else {
+                return ExitCode::FAILURE;
+            };
             print!("{kernel}");
             ExitCode::SUCCESS
         }
         "features" => {
-            let Some(name) = &args.kernel else { return usage() };
-            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
-            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
-            for (n, v) in static_feature_names().iter().zip(static_feature_vector(&kernel)) {
+            let Some(name) = &args.kernel else {
+                return usage();
+            };
+            let Some(def) = find_kernel(&defs, name) else {
+                return ExitCode::FAILURE;
+            };
+            let Some(kernel) = instantiate(def, &args) else {
+                return ExitCode::FAILURE;
+            };
+            for (n, v) in static_feature_names()
+                .iter()
+                .zip(static_feature_vector(&kernel))
+            {
                 println!("{n:>10} = {v:.4}");
             }
             ExitCode::SUCCESS
         }
         "disasm" => {
-            let Some(name) = &args.kernel else { return usage() };
-            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
-            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
+            let Some(name) = &args.kernel else {
+                return usage();
+            };
+            let Some(def) = find_kernel(&defs, name) else {
+                return ExitCode::FAILURE;
+            };
+            let Some(kernel) = instantiate(def, &args) else {
+                return ExitCode::FAILURE;
+            };
             match lower(&kernel, args.team, &config) {
                 Ok(lowered) => {
                     print!("{}", lowered.program.disassemble());
@@ -189,14 +191,27 @@ fn main() -> ExitCode {
             }
         }
         "measure" => {
-            let Some(name) = &args.kernel else { return usage() };
-            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
-            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
+            let Some(name) = &args.kernel else {
+                return usage();
+            };
+            let Some(def) = find_kernel(&defs, name) else {
+                return ExitCode::FAILURE;
+            };
+            let Some(kernel) = instantiate(def, &args) else {
+                return ExitCode::FAILURE;
+            };
             match measure_kernel(&kernel, &config, &EnergyModel::table1()) {
                 Ok(profile) => {
-                    println!("{:>6} {:>12} {:>10} {:>9}", "cores", "energy [uJ]", "cycles", "speedup");
+                    println!(
+                        "{:>6} {:>12} {:>10} {:>9}",
+                        "cores", "energy [uJ]", "cycles", "speedup"
+                    );
                     for c in 0..8 {
-                        let mark = if c == profile.label() { "  <== min energy" } else { "" };
+                        let mark = if c == profile.label() {
+                            "  <== min energy"
+                        } else {
+                            ""
+                        };
                         println!(
                             "{:>6} {:>12.4} {:>10} {:>8.2}x{mark}",
                             c + 1,
@@ -214,9 +229,15 @@ fn main() -> ExitCode {
             }
         }
         "classify" => {
-            let Some(name) = &args.kernel else { return usage() };
-            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
-            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
+            let Some(name) = &args.kernel else {
+                return usage();
+            };
+            let Some(def) = find_kernel(&defs, name) else {
+                return ExitCode::FAILURE;
+            };
+            let Some(kernel) = instantiate(def, &args) else {
+                return ExitCode::FAILURE;
+            };
             eprintln!("training on the quick kernel set...");
             let data = match LabeledDataset::build(&PipelineOptions::quick(QUICK_KERNELS)) {
                 Ok(d) => d,
@@ -235,7 +256,10 @@ fn main() -> ExitCode {
             let mut tree = DecisionTree::new(TreeParams::default());
             tree.fit(&ds);
             let predicted = tree.predict(&static_feature_vector(&kernel));
-            println!("predicted minimum-energy configuration: {} cores", predicted + 1);
+            println!(
+                "predicted minimum-energy configuration: {} cores",
+                predicted + 1
+            );
             if let Ok(profile) = measure_kernel(&kernel, &config, &EnergyModel::table1()) {
                 println!(
                     "simulated ground truth: {} cores (waste of prediction: {:.2}%)",
@@ -246,9 +270,15 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "mca" => {
-            let Some(name) = &args.kernel else { return usage() };
-            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
-            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
+            let Some(name) = &args.kernel else {
+                return usage();
+            };
+            let Some(def) = find_kernel(&defs, name) else {
+                return ExitCode::FAILURE;
+            };
+            let Some(kernel) = instantiate(def, &args) else {
+                return ExitCode::FAILURE;
+            };
             let block = pulp_mca::kernel_block(&kernel);
             let features = pulp_mca::analyze_block(&block, pulp_mca::DEFAULT_ITERATIONS);
             print!(
@@ -257,30 +287,155 @@ fn main() -> ExitCode {
             );
             ExitCode::SUCCESS
         }
-        "trace" => {
-            let Some(name) = &args.kernel else { return usage() };
-            let Some(def) = find_kernel(&defs, name) else { return ExitCode::FAILURE };
-            let Some(kernel) = instantiate(def, &args) else { return ExitCode::FAILURE };
-            match lower(&kernel, args.team, &config) {
-                Ok(lowered) => {
-                    let mut sink = TextSink::new();
-                    match simulate_traced(&config, &lowered.program, 100_000_000, &mut sink) {
-                        Ok(_) => {
-                            print!("{}", sink.text);
-                            ExitCode::SUCCESS
-                        }
-                        Err(e) => {
-                            eprintln!("simulation failed: {e}");
-                            ExitCode::FAILURE
-                        }
+        "profile" => {
+            let Some(name) = &args.kernel else {
+                return usage();
+            };
+            let Some(def) = find_kernel(&defs, name) else {
+                return ExitCode::FAILURE;
+            };
+            let Some(kernel) = instantiate(def, &args) else {
+                return ExitCode::FAILURE;
+            };
+            let model = EnergyModel::table1();
+            for team in 1..=config.num_cores {
+                let lowered = match lower(&kernel, team, &config) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        eprintln!("lowering failed at team {team}: {e}");
+                        return ExitCode::FAILURE;
                     }
+                };
+                let run = match profile_run(&config, &lowered.program, 100_000_000) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("simulation failed at team {team}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Err(e) = run.stats.check_consistency() {
+                    eprintln!("attribution inconsistent at team {team}: {e}");
+                    return ExitCode::FAILURE;
                 }
+                let attributed = run.stats.breakdown_totals().total();
+                println!("== {name} team {team} ==");
+                print!("{}", run.stats.summary());
+                println!(
+                    "attribution: {attributed} cycle-cells = {} cycles x {} cores (exclusive)",
+                    run.stats.cycles,
+                    run.stats.cores.len()
+                );
+                for r in &run.regions {
+                    println!(
+                        "  {:<12} cycles {:>8}..{:<8} ({} cycles, {} executed)",
+                        r.label(),
+                        r.start_cycle,
+                        r.end_cycle,
+                        r.cycles(),
+                        r.breakdown.execute
+                    );
+                }
+                print!("{}", energy_waterfall(&run.stats, &model, &config));
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        "trace" => {
+            let Some(name) = &args.kernel else {
+                return usage();
+            };
+            let Some(def) = find_kernel(&defs, name) else {
+                return ExitCode::FAILURE;
+            };
+            let Some(kernel) = instantiate(def, &args) else {
+                return ExitCode::FAILURE;
+            };
+            let lowered = match lower(&kernel, args.team, &config) {
+                Ok(l) => l,
                 Err(e) => {
                     eprintln!("lowering failed: {e}");
-                    ExitCode::FAILURE
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(path) = &args.chrome {
+                let run = match profile_run(&config, &lowered.program, 100_000_000) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("simulation failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let mut rec = recorder_of_run(&run);
+                energy_waterfall(&run.stats, &EnergyModel::table1(), &config).record(&mut rec);
+                let json = pulp_obs::chrome_trace(&rec, &format!("pulp_cli {name} t{}", args.team));
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "wrote {path}: {} cycles, {} spans (load in chrome://tracing or ui.perfetto.dev)",
+                    run.stats.cycles,
+                    rec.spans().len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                let mut sink = TextSink::new();
+                match simulate_traced(&config, &lowered.program, 100_000_000, &mut sink) {
+                    Ok(_) => {
+                        print!("{}", sink.text);
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("simulation failed: {e}");
+                        ExitCode::FAILURE
+                    }
                 }
             }
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Option<Args> {
+        parse_from(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let a = parse(&[
+            "measure", "gemm", "--dtype", "i32", "--size", "512", "--team", "6",
+        ])
+        .expect("parse");
+        assert_eq!(a.command, "measure");
+        assert_eq!(a.kernel.as_deref(), Some("gemm"));
+        assert_eq!(a.dtype, Some(DType::I32));
+        assert_eq!(a.size, 512);
+        assert_eq!(a.team, 6);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["pretty", "fir"]).expect("parse");
+        assert_eq!(a.dtype, None);
+        assert_eq!(a.size, 2048);
+        assert_eq!(a.team, 4);
+    }
+
+    #[test]
+    fn rejects_bad_dtype_and_flags() {
+        assert!(parse(&["measure", "gemm", "--dtype", "f64"]).is_none());
+        assert!(parse(&["measure", "gemm", "--bogus"]).is_none());
+        assert!(parse(&[]).is_none());
+    }
+
+    #[test]
+    fn chrome_flag_takes_a_path() {
+        let a = parse(&["trace", "fir", "--chrome", "out.json"]).expect("parse");
+        assert_eq!(a.chrome.as_deref(), Some("out.json"));
+        assert!(parse(&["trace", "fir", "--chrome"]).is_none());
     }
 }

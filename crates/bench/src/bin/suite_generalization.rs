@@ -23,14 +23,17 @@ struct Row {
 
 fn main() {
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), args.quick);
+    let data = load_or_build_dataset(&args.pipeline_options(), &args);
     let all = data.static_dataset(StaticFeatureSet::All).expect("static");
     let energies = data.energies();
 
     let eval = |test_rows: &[usize], train_rows: &[usize]| -> (f64, f64, f64) {
         let mut tree = DecisionTree::new(TreeParams::default());
         tree.fit_rows(&all, train_rows);
-        let preds: Vec<usize> = test_rows.iter().map(|&r| tree.predict(all.row(r))).collect();
+        let preds: Vec<usize> = test_rows
+            .iter()
+            .map(|&r| tree.predict(all.row(r)))
+            .collect();
         let e: Vec<Vec<f64>> = test_rows.iter().map(|&r| energies[r].clone()).collect();
         (
             tolerance_accuracy(&preds, &e, 0.0),
@@ -76,10 +79,12 @@ fn main() {
     let mut loko_preds: Vec<usize> = Vec::new();
     let mut loko_energy: Vec<Vec<f64>> = Vec::new();
     for kernel in &kernels {
-        let test: Vec<usize> =
-            (0..data.len()).filter(|&i| &data.samples[i].kernel == kernel).collect();
-        let train: Vec<usize> =
-            (0..data.len()).filter(|&i| &data.samples[i].kernel != kernel).collect();
+        let test: Vec<usize> = (0..data.len())
+            .filter(|&i| &data.samples[i].kernel == kernel)
+            .collect();
+        let train: Vec<usize> = (0..data.len())
+            .filter(|&i| &data.samples[i].kernel != kernel)
+            .collect();
         let mut tree = DecisionTree::new(TreeParams::default());
         tree.fit_rows(&all, &train);
         for &r in &test {
@@ -107,8 +112,15 @@ fn main() {
     });
 
     println!("\nshape checks:");
-    let within_suite = rows.iter().take(3).map(|r| r.acc_at_5).fold(f64::INFINITY, f64::min);
-    println!("  worst held-out-suite acc@5%: {:.1}%", within_suite * 100.0);
+    let within_suite = rows
+        .iter()
+        .take(3)
+        .map(|r| r.acc_at_5)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "  worst held-out-suite acc@5%: {:.1}%",
+        within_suite * 100.0
+    );
     println!(
         "  LOKO acc@5% {:.1}% vs mixed-CV ~94%: unseen-kernel generalisation is the hard case",
         a5 * 100.0

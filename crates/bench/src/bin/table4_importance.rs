@@ -17,7 +17,7 @@ struct Record {
 
 fn main() {
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), args.quick);
+    let data = load_or_build_dataset(&args.pipeline_options(), &args);
     let protocol = args.protocol();
 
     let dynamic = rank_features(&data.dynamic_dataset().expect("dynamic"), &protocol);
@@ -27,9 +27,15 @@ fn main() {
     );
 
     println!("E5 / Table IV — most relevant features\n");
-    print!("{}", render_importances("Dynamic features (top 12):", &dynamic, 12));
+    print!(
+        "{}",
+        render_importances("Dynamic features (top 12):", &dynamic, 12)
+    );
     println!();
-    print!("{}", render_importances("Static features (top 9):", &static_, 9));
+    print!(
+        "{}",
+        render_importances("Static features (top 9):", &static_, 9)
+    );
 
     println!("\nshape checks:");
     let top_dynamic: Vec<&str> = dynamic.iter().take(4).map(|r| r.name.as_str()).collect();
@@ -41,7 +47,9 @@ fn main() {
     let top_static: Vec<&str> = static_.iter().take(3).map(|r| r.name.as_str()).collect();
     println!(
         "  avgws/F-features lead static ranking: {} (top 3: {:?})",
-        top_static.iter().any(|n| matches!(*n, "avgws" | "F1" | "F3" | "F4" | "transfer")),
+        top_static
+            .iter()
+            .any(|n| matches!(*n, "avgws" | "F1" | "F3" | "F4" | "transfer")),
         top_static
     );
 

@@ -1,0 +1,145 @@
+//! `telemetry_guard` — keeps the telemetry hooks zero-cost.
+//!
+//! `simulate` monomorphises its generic telemetry parameter with
+//! [`NoTelemetry`], whose hooks are empty `#[inline(always)]` methods, so
+//! the instrumented loop must compile to the uninstrumented one. This
+//! guard measures both entry points on the same workload, interleaved, and
+//! compares medians: a real regression (someone making the hooks
+//! non-inlinable or adding work outside them) shows up as a stable gap.
+//!
+//! ```text
+//! telemetry_guard [--iters N] [--threshold PCT] [--strict]
+//! ```
+//!
+//! Exits nonzero only with `--strict` (CI noise on shared runners makes a
+//! hard default gate flaky; the 2% threshold is the contract).
+
+use kernel_ir::{lower, DType};
+use pulp_kernels::{registry, KernelParams};
+use pulp_sim::{
+    simulate_instrumented, simulate_traced, ClusterConfig, NoTelemetry, NullSink, Program,
+};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    iters: usize,
+    threshold: f64,
+    strict: bool,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut args = Args {
+        iters: 21,
+        threshold: 2.0,
+        strict: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--iters" => args.iters = argv.next()?.parse().ok()?,
+            "--threshold" => args.threshold = argv.next()?.parse().ok()?,
+            "--strict" => args.strict = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                return None;
+            }
+        }
+    }
+    Some(args)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+fn workload(config: &ClusterConfig) -> Program {
+    let defs = registry();
+    let def = defs
+        .iter()
+        .find(|d| d.name == "gemm")
+        .expect("gemm in registry");
+    // Large enough that one run takes tens of milliseconds: timing noise on
+    // a shared runner stays well under the threshold being enforced.
+    let kernel = def
+        .build(&KernelParams::new(DType::F32, 32768))
+        .expect("gemm instantiates");
+    lower(&kernel, 8, config).expect("gemm lowers").program
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        eprintln!("usage: telemetry_guard [--iters N] [--threshold PCT] [--strict]");
+        return ExitCode::FAILURE;
+    };
+    let config = ClusterConfig::default();
+    let program = workload(&config);
+
+    // Warm up both paths once.
+    let baseline_stats =
+        simulate_traced(&config, &program, 100_000_000, &mut NullSink).expect("simulate");
+    let hooked_stats = simulate_instrumented(
+        &config,
+        &program,
+        100_000_000,
+        &mut NullSink,
+        &mut NoTelemetry,
+    )
+    .expect("simulate");
+    assert_eq!(baseline_stats, hooked_stats, "both entry points must agree");
+
+    let mut base = Vec::with_capacity(args.iters);
+    let mut hooked = Vec::with_capacity(args.iters);
+    for _ in 0..args.iters {
+        let t = Instant::now();
+        let s = simulate_traced(&config, &program, 100_000_000, &mut NullSink).expect("simulate");
+        base.push(t.elapsed().as_secs_f64());
+        std::hint::black_box(s.cycles);
+
+        let t = Instant::now();
+        let s = simulate_instrumented(
+            &config,
+            &program,
+            100_000_000,
+            &mut NullSink,
+            &mut NoTelemetry,
+        )
+        .expect("simulate");
+        hooked.push(t.elapsed().as_secs_f64());
+        std::hint::black_box(s.cycles);
+    }
+
+    let cycles = baseline_stats.cycles as f64;
+    let m_base = median(base);
+    let m_hooked = median(hooked);
+    let delta_pct = 100.0 * (m_hooked - m_base) / m_base;
+    println!(
+        "workload: gemm f32 32768B team 8 ({} cycles)",
+        baseline_stats.cycles
+    );
+    println!(
+        "baseline (simulate):              median {:>9.3} ms  {:>8.2} Mcycles/s",
+        m_base * 1e3,
+        cycles / m_base / 1e6
+    );
+    println!(
+        "no-op telemetry (instrumented):   median {:>9.3} ms  {:>8.2} Mcycles/s",
+        m_hooked * 1e3,
+        cycles / m_hooked / 1e6
+    );
+    println!("delta: {delta_pct:+.2}% (threshold {:.2}%)", args.threshold);
+
+    if delta_pct > args.threshold {
+        eprintln!(
+            "telemetry overhead exceeds the {:.2}% contract",
+            args.threshold
+        );
+        if args.strict {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!("OK: no-op telemetry is within the contract");
+    }
+    ExitCode::SUCCESS
+}

@@ -36,9 +36,9 @@ fn main() {
 
     // Train a predictor on ordinary (factor-1) kernels.
     eprintln!("[unroll] training factor-1 predictor...");
-    let data = pulp_bench::load_or_build_dataset(&args.pipeline_options(), args.quick);
-    let predictor = EnergyPredictor::train(&data, StaticFeatureSet::All, TreeParams::default())
-        .expect("train");
+    let data = pulp_bench::load_or_build_dataset(&args.pipeline_options(), &args);
+    let predictor =
+        EnergyPredictor::train(&data, StaticFeatureSet::All, TreeParams::default()).expect("train");
 
     let kernels = ["fir", "gemm", "autocorr", "conv2d_5x5"];
     let factors = [1u32, 2, 4, 8];
@@ -49,8 +49,13 @@ fn main() {
     );
     let mut rows = Vec::new();
     for name in kernels {
-        let def = registry().into_iter().find(|d| d.name == name).expect("kernel");
-        let base = def.build(&KernelParams::new(DType::I32, 8196)).expect("build");
+        let def = registry()
+            .into_iter()
+            .find(|d| d.name == name)
+            .expect("kernel");
+        let base = def
+            .build(&KernelParams::new(DType::I32, 8196))
+            .expect("build");
         let mut rolled_energy = 0.0;
         for factor in factors {
             let kernel = unroll_innermost(&base, factor);
@@ -86,7 +91,9 @@ fn main() {
     }
 
     println!("\nshape checks:");
-    let saved_any = rows.iter().any(|r| r.factor > 1 && r.energy_saved_vs_rolled > 0.02);
+    let saved_any = rows
+        .iter()
+        .any(|r| r.factor > 1 && r.energy_saved_vs_rolled > 0.02);
     println!("  unrolling saves energy somewhere (> 2%): {saved_any}");
     let max_waste = rows
         .iter()

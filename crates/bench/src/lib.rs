@@ -10,9 +10,17 @@
 //! * `--json <path>` — dump the machine-readable record next to the text
 //!   report.
 //! * `--threads <n>` — simulation worker threads (default: all cores).
+//! * `--progress` — per-sample progress lines on stderr during the sweep.
+//! * `--quiet` — suppress informational stderr chatter.
 //!
 //! The full dataset build (448 samples × 8 team sizes) is cached on disk
 //! (`target/pulp-dataset-*.json`) so consecutive experiments reuse it.
+
+pub mod profiling;
+
+pub use profiling::{
+    chrome_trace_of_run, profile_run, recorder_of_run, CauseRun, CoreTimeline, ProfiledRun,
+};
 
 use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};
 use pulp_energy::Protocol;
@@ -27,6 +35,10 @@ pub struct CommonArgs {
     pub json: Option<PathBuf>,
     /// Simulation threads (0 = all).
     pub threads: usize,
+    /// Per-sample progress on stderr (`--progress`).
+    pub progress: bool,
+    /// Suppress informational stderr chatter (`--quiet`).
+    pub quiet: bool,
 }
 
 impl CommonArgs {
@@ -35,6 +47,8 @@ impl CommonArgs {
         let mut quick = false;
         let mut json = None;
         let mut threads = 0usize;
+        let mut progress = false;
+        let mut quiet = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -43,10 +57,18 @@ impl CommonArgs {
                 "--threads" => {
                     threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
                 }
+                "--progress" => progress = true,
+                "--quiet" => quiet = true,
                 _ => {}
             }
         }
-        Self { quick, json, threads }
+        Self {
+            quick,
+            json,
+            threads,
+            progress,
+            quiet,
+        }
     }
 
     /// The pipeline options implied by these arguments.
@@ -57,6 +79,7 @@ impl CommonArgs {
             PipelineOptions::default()
         };
         opts.threads = self.threads;
+        opts.progress = self.progress;
         opts
     }
 
@@ -98,28 +121,41 @@ pub const QUICK_KERNELS: &[&str] = &[
 ];
 
 /// Builds the dataset, reusing an on-disk cache when the options match.
+/// `--quiet` suppresses the stderr chatter; `--progress` (already folded
+/// into `opts` by [`CommonArgs::pipeline_options`]) adds per-sample lines.
 ///
 /// # Panics
 ///
 /// Panics when the dataset cannot be built — experiments cannot proceed
 /// without it.
-pub fn load_or_build_dataset(opts: &PipelineOptions, quick: bool) -> LabeledDataset {
-    let cache = cache_path(quick);
+pub fn load_or_build_dataset(opts: &PipelineOptions, args: &CommonArgs) -> LabeledDataset {
+    let quiet = args.quiet;
+    let cache = cache_path(args.quick);
     if let Ok(text) = std::fs::read_to_string(&cache) {
         if let Ok(data) = serde_json::from_str::<LabeledDataset>(&text) {
-            eprintln!("[dataset] reusing cache {}", cache.display());
+            if !quiet {
+                eprintln!("[dataset] reusing cache {}", cache.display());
+            }
             return data;
         }
     }
-    eprintln!(
-        "[dataset] building ({} kernels x sizes; this simulates every sample at 1..=8 cores)...",
-        opts.kernel_filter.as_ref().map_or(59, Vec::len)
-    );
+    if !quiet {
+        eprintln!(
+            "[dataset] building ({} kernels x sizes; this simulates every sample at 1..=8 cores)...",
+            opts.kernel_filter.as_ref().map_or(59, Vec::len)
+        );
+    }
     let start = std::time::Instant::now();
     let data = LabeledDataset::build(opts).expect("dataset build failed");
-    eprintln!("[dataset] {} samples in {:.1?}", data.len(), start.elapsed());
+    if !quiet {
+        eprintln!(
+            "[dataset] {} samples in {:.1?}",
+            data.len(),
+            start.elapsed()
+        );
+    }
     if let Ok(s) = serde_json::to_string(&data) {
-        if std::fs::write(&cache, s).is_ok() {
+        if std::fs::write(&cache, s).is_ok() && !quiet {
             eprintln!("[dataset] cached at {}", cache.display());
         }
     }
@@ -129,8 +165,12 @@ pub fn load_or_build_dataset(opts: &PipelineOptions, quick: bool) -> LabeledData
 fn cache_path(quick: bool) -> PathBuf {
     let dir = std::env::var_os("CARGO_TARGET_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| find_target_dir());
-    dir.join(if quick { "pulp-dataset-quick.json" } else { "pulp-dataset-full.json" })
+        .unwrap_or_else(find_target_dir);
+    dir.join(if quick {
+        "pulp-dataset-quick.json"
+    } else {
+        "pulp-dataset-full.json"
+    })
 }
 
 fn find_target_dir() -> PathBuf {
@@ -162,10 +202,23 @@ mod tests {
 
     #[test]
     fn pipeline_options_respect_quick() {
-        let args = CommonArgs { quick: true, json: None, threads: 2 };
+        let args = CommonArgs {
+            quick: true,
+            json: None,
+            threads: 2,
+            progress: true,
+            quiet: false,
+        };
         let opts = args.pipeline_options();
         assert_eq!(opts.threads, 2);
-        assert_eq!(opts.kernel_filter.as_ref().map(Vec::len), Some(QUICK_KERNELS.len()));
-        assert_eq!(args.protocol().repeats, pulp_energy::Protocol::quick().repeats);
+        assert!(opts.progress);
+        assert_eq!(
+            opts.kernel_filter.as_ref().map(Vec::len),
+            Some(QUICK_KERNELS.len())
+        );
+        assert_eq!(
+            args.protocol().repeats,
+            pulp_energy::Protocol::quick().repeats
+        );
     }
 }

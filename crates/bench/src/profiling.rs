@@ -1,0 +1,228 @@
+//! Bridges the simulator's [`Telemetry`] stream into `pulp-obs` recorders.
+//!
+//! [`profile_run`] executes a program once with full attribution telemetry
+//! and returns the statistics, the serial/parallel region profiles and a
+//! per-core cause timeline. [`chrome_trace_of_run`] renders that into a
+//! Chrome trace-event JSON (load it at `chrome://tracing` or ui.perfetto.dev):
+//! track 0 carries the region spans and fork/release markers, tracks
+//! `1..=n` carry one lane per core whose spans are maximal runs of a
+//! single [`CycleCause`].
+
+use pulp_obs::{chrome_trace, Recorder};
+use pulp_sim::{
+    simulate_instrumented, ClusterConfig, CycleCause, NullSink, Program, RegionProfile,
+    RegionProfiler, SimError, SimStats, Telemetry,
+};
+
+/// A maximal run of consecutive cycles a core spent on one cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CauseRun {
+    /// The attributed cause.
+    pub cause: CycleCause,
+    /// First cycle of the run.
+    pub start: u64,
+    /// One past the last cycle of the run.
+    pub end: u64,
+}
+
+impl CauseRun {
+    /// Run length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Telemetry that compacts each core's per-cycle attribution into maximal
+/// same-cause runs (the lanes of the Chrome trace).
+#[derive(Debug, Clone, Default)]
+pub struct CoreTimeline {
+    lanes: Vec<Vec<CauseRun>>,
+}
+
+impl CoreTimeline {
+    /// One lane per core, each a time-ordered list of cause runs.
+    pub fn lanes(&self) -> &[Vec<CauseRun>] {
+        &self.lanes
+    }
+}
+
+impl Telemetry for CoreTimeline {
+    fn on_cycle(&mut self, cycle: u64, core: usize, cause: CycleCause) {
+        if self.lanes.len() <= core {
+            self.lanes.resize(core + 1, Vec::new());
+        }
+        let lane = &mut self.lanes[core];
+        match lane.last_mut() {
+            Some(run) if run.cause == cause && run.end == cycle => run.end = cycle + 1,
+            _ => lane.push(CauseRun {
+                cause,
+                start: cycle,
+                end: cycle + 1,
+            }),
+        }
+    }
+}
+
+/// Everything one instrumented run produces.
+#[derive(Debug, Clone)]
+pub struct ProfiledRun {
+    /// Ground-truth simulator statistics.
+    pub stats: SimStats,
+    /// Serial/parallel region segmentation with per-region attribution.
+    pub regions: Vec<RegionProfile>,
+    /// Per-core cause timeline.
+    pub timeline: CoreTimeline,
+    /// Fork-signal cycles.
+    pub forks: Vec<u64>,
+    /// Barrier-release cycles.
+    pub releases: Vec<u64>,
+}
+
+#[derive(Debug, Default)]
+struct BridgeTelemetry {
+    regions: RegionProfiler,
+    timeline: CoreTimeline,
+    forks: Vec<u64>,
+    releases: Vec<u64>,
+}
+
+impl Telemetry for BridgeTelemetry {
+    fn on_cycle(&mut self, cycle: u64, core: usize, cause: CycleCause) {
+        self.regions.on_cycle(cycle, core, cause);
+        self.timeline.on_cycle(cycle, core, cause);
+    }
+
+    fn on_fork(&mut self, cycle: u64) {
+        self.regions.on_fork(cycle);
+        self.forks.push(cycle);
+    }
+
+    fn on_barrier_release(&mut self, cycle: u64) {
+        self.regions.on_barrier_release(cycle);
+        self.releases.push(cycle);
+    }
+
+    fn on_finish(&mut self, cycles: u64) {
+        self.regions.on_finish(cycles);
+    }
+}
+
+/// Runs `program` once with full attribution telemetry.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn profile_run(
+    config: &ClusterConfig,
+    program: &Program,
+    max_cycles: u64,
+) -> Result<ProfiledRun, SimError> {
+    let mut tel = BridgeTelemetry::default();
+    let stats = simulate_instrumented(config, program, max_cycles, &mut NullSink, &mut tel)?;
+    Ok(ProfiledRun {
+        stats,
+        regions: tel.regions.regions().to_vec(),
+        timeline: tel.timeline,
+        forks: tel.forks,
+        releases: tel.releases,
+    })
+}
+
+/// Converts a profiled run into an obs [`Recorder`] on the manual clock
+/// (ticks = cycles): region spans and fork/release markers on track 0, one
+/// track per core with its cause runs as spans.
+pub fn recorder_of_run(run: &ProfiledRun) -> Recorder {
+    let mut rec = Recorder::manual();
+    for region in &run.regions {
+        rec.set_time(region.start_cycle);
+        let span = rec.start_cat(&region.label(), "region");
+        rec.annotate(span, "cycles", region.cycles());
+        rec.annotate(span, "execute", region.breakdown.execute);
+        rec.set_time(region.end_cycle);
+        rec.end(span);
+    }
+    for &cycle in &run.forks {
+        rec.set_time(cycle);
+        rec.event("fork");
+    }
+    for &cycle in &run.releases {
+        rec.set_time(cycle);
+        rec.event("barrier_release");
+    }
+    for lane in run.timeline.lanes() {
+        let mut core_rec = Recorder::manual();
+        for r in lane {
+            core_rec.set_time(r.start);
+            let span = core_rec.start_cat(r.cause.token(), "core");
+            core_rec.set_time(r.end);
+            core_rec.end(span);
+        }
+        rec.merge(core_rec);
+    }
+    rec
+}
+
+/// Simulates `program` and renders the run as Chrome trace-event JSON.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn chrome_trace_of_run(
+    config: &ClusterConfig,
+    program: &Program,
+    max_cycles: u64,
+    process_name: &str,
+) -> Result<String, SimError> {
+    let run = profile_run(config, program, max_cycles)?;
+    let rec = recorder_of_run(&run);
+    Ok(chrome_trace(&rec, process_name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulp_sim::{OpKind, SegOp};
+
+    fn fork_join_program() -> Program {
+        let instr = |kind| SegOp::Instr { kind, addr: None };
+        let master = vec![
+            instr(OpKind::Alu),
+            SegOp::Fork,
+            instr(OpKind::Alu),
+            instr(OpKind::Mul),
+            SegOp::Barrier,
+            instr(OpKind::Alu),
+        ];
+        let worker = vec![SegOp::WaitFork, instr(OpKind::Alu), SegOp::Barrier];
+        Program::new(vec![master, worker])
+    }
+
+    #[test]
+    fn timeline_covers_every_cycle_per_core() {
+        let config = ClusterConfig::default();
+        let run = profile_run(&config, &fork_join_program(), 10_000).expect("simulate");
+        for (core, lane) in run.timeline.lanes().iter().enumerate() {
+            let covered: u64 = lane.iter().map(CauseRun::cycles).sum();
+            assert_eq!(
+                covered, run.stats.cycles,
+                "core {core} lane must tile the run"
+            );
+            for w in lane.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "runs must be contiguous");
+                assert_ne!(w[0].cause, w[1].cause, "runs must be maximal");
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_trace_of_run_is_valid_and_deterministic() {
+        let config = ClusterConfig::default();
+        let p = fork_join_program();
+        let a = chrome_trace_of_run(&config, &p, 10_000, "demo").expect("trace");
+        let b = chrome_trace_of_run(&config, &p, 10_000, "demo").expect("trace");
+        assert_eq!(a, b, "manual clock must make the trace deterministic");
+        pulp_obs::validate_chrome_trace(&a).expect("valid chrome trace");
+        assert!(a.contains("serial#0"));
+        assert!(a.contains("\"fork\""));
+    }
+}

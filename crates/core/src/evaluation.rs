@@ -5,8 +5,7 @@
 
 use crate::labeling::NUM_CLASSES;
 use pulp_ml::{
-    cv::repeated_cross_val_predict, mean_std, tolerance_accuracy, Dataset, DecisionTree,
-    TreeParams,
+    cv::repeated_cross_val_predict, mean_std, tolerance_accuracy, Dataset, DecisionTree, TreeParams,
 };
 use serde::{Deserialize, Serialize};
 
@@ -36,7 +35,10 @@ impl ToleranceCurve {
             .iter()
             .enumerate()
             .min_by(|a, b| {
-                (a.1 - t).abs().partial_cmp(&(b.1 - t).abs()).expect("finite tolerances")
+                (a.1 - t)
+                    .abs()
+                    .partial_cmp(&(b.1 - t).abs())
+                    .expect("finite tolerances")
             })
             .map(|(i, _)| i)
             .expect("non-empty grid");
@@ -59,14 +61,23 @@ pub struct Protocol {
 
 impl Default for Protocol {
     fn default() -> Self {
-        Self { folds: 10, repeats: 100, seed: 0, tree: TreeParams::default() }
+        Self {
+            folds: 10,
+            repeats: 100,
+            seed: 0,
+            tree: TreeParams::default(),
+        }
     }
 }
 
 impl Protocol {
     /// A faster protocol for tests and demos (5 folds × 5 repeats).
     pub fn quick() -> Self {
-        Self { folds: 5, repeats: 5, ..Self::default() }
+        Self {
+            folds: 5,
+            repeats: 5,
+            ..Self::default()
+        }
     }
 }
 
@@ -83,10 +94,38 @@ pub fn tolerance_curve(
     tolerances: &[f64],
     protocol: &Protocol,
 ) -> ToleranceCurve {
-    let reps = repeated_cross_val_predict(data, protocol.folds, protocol.repeats, protocol.seed, || {
-        DecisionTree::new(protocol.tree)
-    });
-    curve_from_predictions(label, &reps, energies, tolerances)
+    let mut rec = pulp_obs::Recorder::new();
+    tolerance_curve_instrumented(label, data, energies, tolerances, protocol, &mut rec)
+}
+
+/// [`tolerance_curve`] with stage telemetry: records a `cv_predict` span
+/// around the repeated cross-validation and a `score` span around the
+/// tolerance sweep.
+pub fn tolerance_curve_instrumented(
+    label: impl Into<String>,
+    data: &Dataset,
+    energies: &[Vec<f64>],
+    tolerances: &[f64],
+    protocol: &Protocol,
+    rec: &mut pulp_obs::Recorder,
+) -> ToleranceCurve {
+    let label = label.into();
+    let cv = rec.start_cat(&format!("cv_predict {label}"), "evaluate");
+    rec.annotate(cv, "folds", protocol.folds);
+    rec.annotate(cv, "repeats", protocol.repeats);
+    let reps = repeated_cross_val_predict(
+        data,
+        protocol.folds,
+        protocol.repeats,
+        protocol.seed,
+        || DecisionTree::new(protocol.tree),
+    );
+    rec.end(cv);
+    let score = rec.start_cat(&format!("score {label}"), "evaluate");
+    rec.annotate(score, "tolerances", tolerances.len());
+    let curve = curve_from_predictions(label, &reps, energies, tolerances);
+    rec.end(score);
+    curve
 }
 
 /// Builds a curve from precomputed per-repetition predictions.
@@ -99,13 +138,20 @@ pub fn curve_from_predictions(
     let mut mean = Vec::with_capacity(tolerances.len());
     let mut std = Vec::with_capacity(tolerances.len());
     for &t in tolerances {
-        let accs: Vec<f64> =
-            reps.iter().map(|preds| tolerance_accuracy(preds, energies, t)).collect();
+        let accs: Vec<f64> = reps
+            .iter()
+            .map(|preds| tolerance_accuracy(preds, energies, t))
+            .collect();
         let (m, s) = mean_std(&accs);
         mean.push(m);
         std.push(s);
     }
-    ToleranceCurve { label: label.into(), tolerances: tolerances.to_vec(), mean, std }
+    ToleranceCurve {
+        label: label.into(),
+        tolerances: tolerances.to_vec(),
+        mean,
+        std,
+    }
 }
 
 /// The naive "always-N" policy curve (the paper compares to always-8).
@@ -156,14 +202,22 @@ pub fn rank_features(data: &Dataset, protocol: &Protocol) -> Vec<RankedFeature> 
             importance: if norm > 0.0 { imp / norm } else { 0.0 },
         })
         .collect();
-    ranked.sort_by(|a, b| b.importance.partial_cmp(&a.importance).expect("finite importances"));
+    ranked.sort_by(|a, b| {
+        b.importance
+            .partial_cmp(&a.importance)
+            .expect("finite importances")
+    });
     ranked
 }
 
 /// Columns of the `n` most important features of `data` (the paper's
 /// pruning step producing the "optimised" classifier).
 pub fn top_feature_columns(data: &Dataset, n: usize, protocol: &Protocol) -> Vec<usize> {
-    rank_features(data, protocol).into_iter().take(n).map(|r| r.column).collect()
+    rank_features(data, protocol)
+        .into_iter()
+        .take(n)
+        .map(|r| r.column)
+        .collect()
 }
 
 #[cfg(test)]
@@ -178,15 +232,24 @@ mod tests {
         let mut energies = Vec::new();
         for i in 0..n {
             let class = i % 4;
-            features.push(vec![class as f64 + ((i * 7) % 3) as f64 * 0.1, (i % 5) as f64]);
+            features.push(vec![
+                class as f64 + ((i * 7) % 3) as f64 * 0.1,
+                (i % 5) as f64,
+            ]);
             labels.push(class);
             // Energy grows with distance from the optimal class.
-            let e: Vec<f64> =
-                (0..NUM_CLASSES).map(|c| 10.0 + (c as f64 - class as f64).abs()).collect();
+            let e: Vec<f64> = (0..NUM_CLASSES)
+                .map(|c| 10.0 + (c as f64 - class as f64).abs())
+                .collect();
             energies.push(e);
         }
-        let data = Dataset::new(features, labels, vec!["signal".into(), "noise".into()], NUM_CLASSES)
-            .expect("dataset");
+        let data = Dataset::new(
+            features,
+            labels,
+            vec!["signal".into(), "noise".into()],
+            NUM_CLASSES,
+        )
+        .expect("dataset");
         (data, energies)
     }
 
@@ -196,7 +259,11 @@ mod tests {
         let tol = default_tolerances();
         let c = tolerance_curve("test", &data, &energies, &tol, &Protocol::quick());
         for w in c.mean.windows(2) {
-            assert!(w[1] >= w[0] - 1e-12, "curve must be non-decreasing: {:?}", c.mean);
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "curve must be non-decreasing: {:?}",
+                c.mean
+            );
         }
     }
 

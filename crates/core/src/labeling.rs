@@ -6,6 +6,7 @@
 
 use kernel_ir::{lower, Kernel, LowerError};
 use pulp_energy_model::{energy_of, DynamicFeatures, EnergyModel};
+use pulp_obs::Recorder;
 use pulp_sim::{simulate, ClusterConfig, SimError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -108,7 +109,56 @@ pub fn measure_kernel(
         cycles[team - 1] = stats.cycles;
         dynamic.push(DynamicFeatures::extract(&stats));
     }
-    Ok(EnergyProfile { energy, cycles, dynamic })
+    Ok(EnergyProfile {
+        energy,
+        cycles,
+        dynamic,
+    })
+}
+
+/// [`measure_kernel`] with stage telemetry: each team-size simulation gets
+/// a `simulate` span annotated with its cycle count and energy.
+///
+/// # Errors
+///
+/// See [`measure_kernel`].
+pub fn measure_kernel_instrumented(
+    kernel: &Kernel,
+    config: &ClusterConfig,
+    model: &EnergyModel,
+    rec: &mut Recorder,
+) -> Result<EnergyProfile, MeasureError> {
+    let mut energy = [0.0; NUM_CLASSES];
+    let mut cycles = [0u64; NUM_CLASSES];
+    let mut dynamic = Vec::with_capacity(NUM_CLASSES);
+    for team in 1..=NUM_CLASSES.min(config.num_cores) {
+        let span = rec.start_cat(&format!("simulate t{team}"), "simulate");
+        let result = (|| -> Result<_, MeasureError> {
+            let lowered = lower(kernel, team, config)?;
+            let stats = simulate(config, &lowered.program)?;
+            Ok(stats)
+        })();
+        let stats = match result {
+            Ok(stats) => stats,
+            Err(e) => {
+                rec.annotate(span, "error", &e);
+                rec.end(span);
+                return Err(e);
+            }
+        };
+        let fj = energy_of(&stats, model, config).total();
+        rec.annotate(span, "cycles", stats.cycles);
+        rec.annotate(span, "energy_uj", format!("{:.4}", fj * 1e-9));
+        rec.end(span);
+        energy[team - 1] = fj;
+        cycles[team - 1] = stats.cycles;
+        dynamic.push(DynamicFeatures::extract(&stats));
+    }
+    Ok(EnergyProfile {
+        energy,
+        cycles,
+        dynamic,
+    })
 }
 
 #[cfg(test)]
@@ -117,8 +167,7 @@ mod tests {
     use kernel_ir::{DType, KernelBuilder, Suite};
 
     fn measure(kernel: &Kernel) -> EnergyProfile {
-        measure_kernel(kernel, &ClusterConfig::default(), &EnergyModel::table1())
-            .expect("measure")
+        measure_kernel(kernel, &ClusterConfig::default(), &EnergyModel::table1()).expect("measure")
     }
 
     fn compute_kernel(n: usize) -> Kernel {

@@ -56,13 +56,15 @@ pub mod predictor;
 pub mod report;
 
 pub use evaluation::{
-    always_n_curve, default_tolerances, rank_features, tolerance_curve, top_feature_columns,
-    Protocol, RankedFeature, ToleranceCurve,
+    always_n_curve, default_tolerances, rank_features, tolerance_curve,
+    tolerance_curve_instrumented, top_feature_columns, Protocol, RankedFeature, ToleranceCurve,
 };
 pub use features::{
     dynamic_feature_names, dynamic_feature_vector, static_feature_names, static_feature_vector,
     StaticFeatureSet,
 };
-pub use labeling::{measure_kernel, EnergyProfile, MeasureError, NUM_CLASSES};
+pub use labeling::{
+    measure_kernel, measure_kernel_instrumented, EnergyProfile, MeasureError, NUM_CLASSES,
+};
 pub use pipeline::{BuildDatasetError, LabeledDataset, PipelineOptions, SampleRecord};
 pub use predictor::{EnergyPredictor, PredictorError};

@@ -10,14 +10,16 @@ use crate::features::{
     dynamic_feature_names, dynamic_feature_vector, static_feature_names, static_feature_vector,
     StaticFeatureSet,
 };
-use crate::labeling::{measure_kernel, MeasureError, NUM_CLASSES};
+use crate::labeling::{measure_kernel_instrumented, MeasureError, NUM_CLASSES};
 use kernel_ir::{DType, Suite, ValidateKernelError};
 use pulp_energy_model::EnergyModel;
 use pulp_kernels::{all_samples, registry, KernelDef, SampleSpec, PAYLOAD_SIZES};
 use pulp_ml::{Dataset, DatasetError};
+use pulp_obs::Recorder;
 use pulp_sim::ClusterConfig;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Options controlling dataset construction.
 #[derive(Debug, Clone)]
@@ -32,6 +34,9 @@ pub struct PipelineOptions {
     pub kernel_filter: Option<Vec<String>>,
     /// Worker threads for the simulation sweep (`0` = all cores).
     pub threads: usize,
+    /// Print measurement progress to stderr (`--progress` on the dataset
+    /// binaries).
+    pub progress: bool,
 }
 
 impl Default for PipelineOptions {
@@ -42,6 +47,7 @@ impl Default for PipelineOptions {
             payload_sizes: PAYLOAD_SIZES.to_vec(),
             kernel_filter: None,
             threads: 0,
+            progress: false,
         }
     }
 }
@@ -142,6 +148,24 @@ impl LabeledDataset {
     /// Propagates kernel-instantiation and simulation failures, tagged
     /// with the offending sample id.
     pub fn build(opts: &PipelineOptions) -> Result<Self, BuildDatasetError> {
+        let mut rec = Recorder::new();
+        Self::build_instrumented(opts, &mut rec)
+    }
+
+    /// [`build`](Self::build) with stage telemetry: records `enumerate`,
+    /// `measure` and `assemble` stage spans plus one span per sample
+    /// (nesting the per-team-size `simulate` spans) into `rec`. Worker
+    /// threads record into private [`Recorder`]s that are merged, one
+    /// track per worker, after the sweep joins.
+    ///
+    /// # Errors
+    ///
+    /// See [`build`](Self::build).
+    pub fn build_instrumented(
+        opts: &PipelineOptions,
+        rec: &mut Recorder,
+    ) -> Result<Self, BuildDatasetError> {
+        let enumerate = rec.start_cat("enumerate", "stage");
         let defs = registry();
         let specs: Vec<SampleSpec> = all_samples()
             .into_iter()
@@ -153,6 +177,8 @@ impl LabeledDataset {
                         .is_none_or(|f| f.iter().any(|n| n == defs[s.kernel_index].name))
             })
             .collect();
+        rec.annotate(enumerate, "samples", specs.len());
+        rec.end(enumerate);
         if specs.is_empty() {
             return Err(BuildDatasetError::EmptySelection);
         }
@@ -164,6 +190,10 @@ impl LabeledDataset {
         }
         .min(specs.len());
 
+        let measure = rec.start_cat("measure", "stage");
+        rec.annotate(measure, "threads", threads);
+        let done = AtomicUsize::new(0);
+        let total = specs.len();
         let mut samples: Vec<Option<SampleRecord>> = vec![None; specs.len()];
         let mut first_error: Option<BuildDatasetError> = None;
         std::thread::scope(|scope| {
@@ -172,18 +202,37 @@ impl LabeledDataset {
                 let specs = &specs;
                 let defs = &defs;
                 let opts_ref = &*opts;
+                let done = &done;
                 handles.push(scope.spawn(move || {
+                    let mut worker_rec = Recorder::new();
                     let mut out = Vec::new();
                     let mut i = t;
                     while i < specs.len() {
-                        out.push((i, measure_one(&specs[i], &defs[specs[i].kernel_index], opts_ref)));
+                        out.push((
+                            i,
+                            measure_one_instrumented(
+                                &specs[i],
+                                &defs[specs[i].kernel_index],
+                                opts_ref,
+                                &mut worker_rec,
+                            ),
+                        ));
+                        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if opts_ref.progress {
+                            eprintln!(
+                                "[pipeline] measured {n}/{total} {}",
+                                defs[specs[i].kernel_index].name
+                            );
+                        }
                         i += threads;
                     }
-                    out
+                    (out, worker_rec)
                 }));
             }
             for h in handles {
-                for (i, res) in h.join().expect("worker panicked") {
+                let (results, worker_rec) = h.join().expect("worker panicked");
+                rec.merge(worker_rec);
+                for (i, res) in results {
                     match res {
                         Ok(record) => samples[i] = Some(record),
                         Err(e) => {
@@ -195,10 +244,20 @@ impl LabeledDataset {
                 }
             }
         });
+        rec.counter("pipeline/samples", done.load(Ordering::Relaxed) as f64);
+        rec.end(measure);
         if let Some(e) = first_error {
             return Err(e);
         }
-        Ok(Self { samples: samples.into_iter().map(|s| s.expect("all filled")).collect() })
+        let assemble = rec.start_cat("assemble", "stage");
+        let out = Self {
+            samples: samples
+                .into_iter()
+                .map(|s| s.expect("all filled"))
+                .collect(),
+        };
+        rec.end(assemble);
+        Ok(out)
     }
 
     /// Number of samples.
@@ -269,19 +328,36 @@ impl LabeledDataset {
     }
 }
 
-fn measure_one(
+fn measure_one_instrumented(
     spec: &SampleSpec,
     def: &KernelDef,
     opts: &PipelineOptions,
+    rec: &mut Recorder,
 ) -> Result<SampleRecord, BuildDatasetError> {
     let params = spec.params();
-    let kernel = def.build(&params).map_err(|source| BuildDatasetError::Kernel {
-        sample: format!("{}/{}/{}/{}", def.suite, def.name, spec.dtype, spec.payload_bytes),
-        source,
-    })?;
-    let profile = measure_kernel(&kernel, &opts.config, &opts.model).map_err(|source| {
-        BuildDatasetError::Measure { sample: kernel.sample_id(), source }
-    })?;
+    let kernel = def
+        .build(&params)
+        .map_err(|source| BuildDatasetError::Kernel {
+            sample: format!(
+                "{}/{}/{}/{}",
+                def.suite, def.name, spec.dtype, spec.payload_bytes
+            ),
+            source,
+        })?;
+    let span = rec.start_cat(&kernel.sample_id(), "sample");
+    let profile = match measure_kernel_instrumented(&kernel, &opts.config, &opts.model, rec) {
+        Ok(p) => p,
+        Err(source) => {
+            rec.annotate(span, "error", &source);
+            rec.end(span);
+            return Err(BuildDatasetError::Measure {
+                sample: kernel.sample_id(),
+                source,
+            });
+        }
+    };
+    rec.annotate(span, "label", profile.label() + 1);
+    rec.end(span);
     Ok(SampleRecord {
         id: kernel.sample_id(),
         kernel: def.name.to_string(),
@@ -332,8 +408,7 @@ mod tests {
 
     #[test]
     fn empty_filter_is_an_error() {
-        let err = LabeledDataset::build(&PipelineOptions::quick(&["no_such_kernel"]))
-            .unwrap_err();
+        let err = LabeledDataset::build(&PipelineOptions::quick(&["no_such_kernel"])).unwrap_err();
         assert_eq!(err, BuildDatasetError::EmptySelection);
     }
 

@@ -163,7 +163,10 @@ mod tests {
             .into_iter()
             .find(|d| d.name == "stream_copy")
             .expect("kernel")
-            .build(&pulp_kernels::KernelParams::new(kernel_ir::DType::I32, 2048))
+            .build(&pulp_kernels::KernelParams::new(
+                kernel_ir::DType::I32,
+                2048,
+            ))
             .expect("build")
     }
 

@@ -37,7 +37,13 @@ pub fn render_importances(title: &str, ranked: &[RankedFeature], n: usize) -> St
     let _ = writeln!(out, "{title}");
     let _ = writeln!(out, "{:>4} {:<20} {:>10}", "#", "feature", "importance");
     for (i, r) in ranked.iter().take(n).enumerate() {
-        let _ = writeln!(out, "{:>4} {:<20} {:>9.1}%", i + 1, r.name, r.importance * 100.0);
+        let _ = writeln!(
+            out,
+            "{:>4} {:<20} {:>9.1}%",
+            i + 1,
+            r.name,
+            r.importance * 100.0
+        );
     }
     out
 }
@@ -48,7 +54,11 @@ pub fn render_class_distribution(counts: &[usize; NUM_CLASSES]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{:>6} {:>8} {:>8}", "cores", "count", "share");
     for (c, &n) in counts.iter().enumerate() {
-        let share = if total > 0 { 100.0 * n as f64 / total as f64 } else { 0.0 };
+        let share = if total > 0 {
+            100.0 * n as f64 / total as f64
+        } else {
+            0.0
+        };
         let _ = writeln!(out, "{:>6} {:>8} {:>7.1}%", c + 1, n, share);
     }
     let _ = writeln!(out, "{:>6} {:>8}", "total", total);

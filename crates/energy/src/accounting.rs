@@ -5,8 +5,10 @@
 //! coefficients into a per-component energy breakdown.
 
 use crate::model::{EnergyModel, Femtojoules};
+use pulp_obs::Recorder;
 use pulp_sim::{ClusterConfig, SimStats};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Per-component energy of one run, in femtojoules.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -39,62 +41,284 @@ impl EnergyBreakdown {
     }
 }
 
-/// Computes the energy of a run described by `stats`.
+/// One line of the energy waterfall: a component in one operating region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct WaterfallEntry {
+    /// Component the energy belongs to (`pe`, `fpu`, `l1`, ...).
+    pub component: &'static str,
+    /// Operating region within the component (`leakage`, `alu_op`, ...).
+    pub region: &'static str,
+    /// Energy in femtojoules.
+    pub fj: Femtojoules,
+}
+
+/// The full per-component, per-operating-region energy attribution of one
+/// run. [`EnergyBreakdown`] is this waterfall summed per component;
+/// [`energy_of`] is derived from it, so the two views always agree.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct EnergyWaterfall {
+    /// Waterfall lines in canonical (component, region) order.
+    pub entries: Vec<WaterfallEntry>,
+}
+
+impl EnergyWaterfall {
+    /// Total energy in femtojoules.
+    pub fn total(&self) -> Femtojoules {
+        self.entries.iter().map(|e| e.fj).sum()
+    }
+
+    /// Energy of one component summed over its operating regions.
+    pub fn component_total(&self, component: &str) -> Femtojoules {
+        self.entries
+            .iter()
+            .filter(|e| e.component == component)
+            .map(|e| e.fj)
+            .sum()
+    }
+
+    /// Collapses the waterfall into the per-component [`EnergyBreakdown`].
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        EnergyBreakdown {
+            pe: self.component_total("pe"),
+            fpu: self.component_total("fpu"),
+            l1: self.component_total("l1"),
+            l2: self.component_total("l2"),
+            icache: self.component_total("icache"),
+            dma: self.component_total("dma"),
+            other: self.component_total("other"),
+        }
+    }
+
+    /// Publishes every waterfall line as an `energy/<component>/<region>`
+    /// counter (fJ) on `rec`, plus `energy/total`.
+    pub fn record(&self, rec: &mut Recorder) {
+        for e in &self.entries {
+            rec.counter(&format!("energy/{}/{}", e.component, e.region), e.fj);
+        }
+        rec.counter("energy/total", self.total());
+    }
+}
+
+impl fmt::Display for EnergyWaterfall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().max(f64::MIN_POSITIVE);
+        writeln!(
+            f,
+            "{:<10} {:<12} {:>12} {:>7}",
+            "component", "region", "energy [uJ]", "share"
+        )?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "{:<10} {:<12} {:>12.4} {:>6.1}%",
+                e.component,
+                e.region,
+                e.fj * 1e-9,
+                100.0 * e.fj / total
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<10} {:<12} {:>12.4}",
+            "total",
+            "",
+            self.total() * 1e-9
+        )
+    }
+}
+
+/// Computes the full per-region energy waterfall of a run.
 ///
 /// `config` supplies the component counts that are not recorded in the
 /// statistics (number of FPUs).
-pub fn energy_of(stats: &SimStats, model: &EnergyModel, config: &ClusterConfig) -> EnergyBreakdown {
+pub fn energy_waterfall(
+    stats: &SimStats,
+    model: &EnergyModel,
+    config: &ClusterConfig,
+) -> EnergyWaterfall {
     let cycles = stats.cycles as f64;
+    let n_cores = stats.cores.len() as f64;
 
-    let mut pe = 0.0;
+    let mut active_wait: u64 = 0;
+    let mut cg: u64 = 0;
+    let mut alu: u64 = 0;
     let mut fp_ops_total: u64 = 0;
+    let mut l1_ops: u64 = 0;
+    let mut l2_ops: u64 = 0;
     for c in &stats.cores {
-        pe += model.pe.leakage * cycles;
-        pe += model.pe.nop * c.active_wait_cycles() as f64;
-        pe += model.pe.cg * c.cg_cycles as f64;
-        pe += model.pe.alu * c.alu_ops as f64;
-        pe += model.pe.fp * c.fp_ops as f64;
-        pe += model.pe.l1 * c.l1_ops as f64;
-        pe += model.pe.l2 * c.l2_ops as f64;
+        active_wait += c.active_wait_cycles();
+        cg += c.cg_cycles;
+        alu += c.alu_ops;
         fp_ops_total += c.fp_ops;
+        l1_ops += c.l1_ops;
+        l2_ops += c.l2_ops;
     }
 
     let fpus = config.num_fpus as f64;
     let fpu_busy = fp_ops_total as f64;
     let fpu_idle = (fpus * cycles - fpu_busy).max(0.0);
-    let fpu = model.fpu.leakage * fpus * cycles
-        + model.fpu.operative * fpu_busy
-        + model.fpu.idle * fpu_idle;
 
-    let mut l1 = 0.0;
+    let mut l1_reads: u64 = 0;
+    let mut l1_writes: u64 = 0;
+    let mut l1_idle = 0.0;
     for b in &stats.l1_banks {
-        l1 += model.l1_bank.leakage * cycles;
-        l1 += model.l1_bank.read * b.reads as f64;
-        l1 += model.l1_bank.write * b.writes as f64;
-        l1 += model.l1_bank.idle * (cycles - b.busy_cycles() as f64).max(0.0);
+        l1_reads += b.reads;
+        l1_writes += b.writes;
+        l1_idle += (cycles - b.busy_cycles() as f64).max(0.0);
     }
-
-    let mut l2 = 0.0;
+    let mut l2_reads: u64 = 0;
+    let mut l2_writes: u64 = 0;
+    let mut l2_idle = 0.0;
     for b in &stats.l2_banks {
-        l2 += model.l2_bank.leakage * cycles;
-        l2 += model.l2_bank.read * b.reads as f64;
-        l2 += model.l2_bank.write * b.writes as f64;
-        l2 += model.l2_bank.idle * (cycles - b.busy_cycles() as f64).max(0.0);
+        l2_reads += b.reads;
+        l2_writes += b.writes;
+        l2_idle += (cycles - b.busy_cycles() as f64).max(0.0);
     }
-
-    let icache = model.icache.leakage * cycles
-        + model.icache.use_ * stats.icache.fetches as f64
-        + model.icache.refill * stats.icache.refills as f64;
 
     let dma_busy = stats.dma.busy_cycles as f64;
-    let dma = model.dma.leakage * cycles
-        + model.dma.transfer * stats.dma.words_transferred as f64
-        + model.dma.idle * (cycles - dma_busy).max(0.0);
 
-    let other =
-        model.other.leakage * cycles + model.other.active * stats.cluster_active_cycles as f64;
+    let entries = vec![
+        WaterfallEntry {
+            component: "pe",
+            region: "leakage",
+            fj: model.pe.leakage * n_cores * cycles,
+        },
+        WaterfallEntry {
+            component: "pe",
+            region: "active_wait",
+            fj: model.pe.nop * active_wait as f64,
+        },
+        WaterfallEntry {
+            component: "pe",
+            region: "clock_gated",
+            fj: model.pe.cg * cg as f64,
+        },
+        WaterfallEntry {
+            component: "pe",
+            region: "alu_op",
+            fj: model.pe.alu * alu as f64,
+        },
+        WaterfallEntry {
+            component: "pe",
+            region: "fp_op",
+            fj: model.pe.fp * fp_ops_total as f64,
+        },
+        WaterfallEntry {
+            component: "pe",
+            region: "l1_access",
+            fj: model.pe.l1 * l1_ops as f64,
+        },
+        WaterfallEntry {
+            component: "pe",
+            region: "l2_access",
+            fj: model.pe.l2 * l2_ops as f64,
+        },
+        WaterfallEntry {
+            component: "fpu",
+            region: "leakage",
+            fj: model.fpu.leakage * fpus * cycles,
+        },
+        WaterfallEntry {
+            component: "fpu",
+            region: "operative",
+            fj: model.fpu.operative * fpu_busy,
+        },
+        WaterfallEntry {
+            component: "fpu",
+            region: "idle",
+            fj: model.fpu.idle * fpu_idle,
+        },
+        WaterfallEntry {
+            component: "l1",
+            region: "leakage",
+            fj: model.l1_bank.leakage * stats.l1_banks.len() as f64 * cycles,
+        },
+        WaterfallEntry {
+            component: "l1",
+            region: "read",
+            fj: model.l1_bank.read * l1_reads as f64,
+        },
+        WaterfallEntry {
+            component: "l1",
+            region: "write",
+            fj: model.l1_bank.write * l1_writes as f64,
+        },
+        WaterfallEntry {
+            component: "l1",
+            region: "idle",
+            fj: model.l1_bank.idle * l1_idle,
+        },
+        WaterfallEntry {
+            component: "l2",
+            region: "leakage",
+            fj: model.l2_bank.leakage * stats.l2_banks.len() as f64 * cycles,
+        },
+        WaterfallEntry {
+            component: "l2",
+            region: "read",
+            fj: model.l2_bank.read * l2_reads as f64,
+        },
+        WaterfallEntry {
+            component: "l2",
+            region: "write",
+            fj: model.l2_bank.write * l2_writes as f64,
+        },
+        WaterfallEntry {
+            component: "l2",
+            region: "idle",
+            fj: model.l2_bank.idle * l2_idle,
+        },
+        WaterfallEntry {
+            component: "icache",
+            region: "leakage",
+            fj: model.icache.leakage * cycles,
+        },
+        WaterfallEntry {
+            component: "icache",
+            region: "use",
+            fj: model.icache.use_ * stats.icache.fetches as f64,
+        },
+        WaterfallEntry {
+            component: "icache",
+            region: "refill",
+            fj: model.icache.refill * stats.icache.refills as f64,
+        },
+        WaterfallEntry {
+            component: "dma",
+            region: "leakage",
+            fj: model.dma.leakage * cycles,
+        },
+        WaterfallEntry {
+            component: "dma",
+            region: "transfer",
+            fj: model.dma.transfer * stats.dma.words_transferred as f64,
+        },
+        WaterfallEntry {
+            component: "dma",
+            region: "idle",
+            fj: model.dma.idle * (cycles - dma_busy).max(0.0),
+        },
+        WaterfallEntry {
+            component: "other",
+            region: "leakage",
+            fj: model.other.leakage * cycles,
+        },
+        WaterfallEntry {
+            component: "other",
+            region: "active",
+            fj: model.other.active * stats.cluster_active_cycles as f64,
+        },
+    ];
+    EnergyWaterfall { entries }
+}
 
-    EnergyBreakdown { pe, fpu, l1, l2, icache, dma, other }
+/// Computes the energy of a run described by `stats`.
+///
+/// `config` supplies the component counts that are not recorded in the
+/// statistics (number of FPUs). This is [`energy_waterfall`] collapsed per
+/// component.
+pub fn energy_of(stats: &SimStats, model: &EnergyModel, config: &ClusterConfig) -> EnergyBreakdown {
+    energy_waterfall(stats, model, config).breakdown()
 }
 
 /// Renders a per-component breakdown with percentages.
@@ -102,7 +326,11 @@ pub fn render_breakdown(e: &EnergyBreakdown) -> String {
     use std::fmt::Write as _;
     let total = e.total().max(f64::MIN_POSITIVE);
     let mut out = String::new();
-    let _ = writeln!(out, "{:<8} {:>12} {:>7}", "component", "energy [uJ]", "share");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>7}",
+        "component", "energy [uJ]", "share"
+    );
     for (name, v) in [
         ("PE", e.pe),
         ("FPU", e.fpu),
@@ -112,7 +340,12 @@ pub fn render_breakdown(e: &EnergyBreakdown) -> String {
         ("DMA", e.dma),
         ("other", e.other),
     ] {
-        let _ = writeln!(out, "{name:<8} {:>12.4} {:>6.1}%", v * 1e-9, 100.0 * v / total);
+        let _ = writeln!(
+            out,
+            "{name:<8} {:>12.4} {:>6.1}%",
+            v * 1e-9,
+            100.0 * v / total
+        );
     }
     let _ = writeln!(out, "{:<8} {:>12.4}", "total", e.total_uj());
     out
@@ -170,7 +403,10 @@ mod tests {
         let e = energy_of(&s, &m, &config());
         let delta = e.pe - base.pe;
         let expected = 50.0 * m.pe.alu + 50.0 * m.pe.nop - 100.0 * m.pe.cg;
-        assert!((delta - expected).abs() < 1e-6, "delta = {delta}, expected = {expected}");
+        assert!(
+            (delta - expected).abs() < 1e-6,
+            "delta = {delta}, expected = {expected}"
+        );
     }
 
     #[test]
@@ -200,6 +436,50 @@ mod tests {
         assert!(s.contains("50.0%"));
         assert!(s.contains("total"));
         assert_eq!(s.lines().count(), 1 + 7 + 1);
+    }
+
+    #[test]
+    fn waterfall_agrees_with_breakdown() {
+        let mut s = empty_stats(123);
+        s.cores[1].alu_ops = 9;
+        s.cores[1].fp_ops = 3;
+        s.l1_banks[0].reads = 5;
+        s.icache.fetches = 12;
+        let m = EnergyModel::table1();
+        let cfg = config();
+        let w = energy_waterfall(&s, &m, &cfg);
+        let e = energy_of(&s, &m, &cfg);
+        assert!((w.total() - e.total()).abs() < 1e-6);
+        assert!((w.component_total("pe") - e.pe).abs() < 1e-6);
+        assert!((w.component_total("l1") - e.l1).abs() < 1e-6);
+        // Every entry has a unique (component, region) pair.
+        let mut keys: Vec<(&str, &str)> =
+            w.entries.iter().map(|x| (x.component, x.region)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), w.entries.len());
+    }
+
+    #[test]
+    fn waterfall_records_counters() {
+        let s = empty_stats(10);
+        let w = energy_waterfall(&s, &EnergyModel::table1(), &config());
+        let mut rec = pulp_obs::Recorder::manual();
+        w.record(&mut rec);
+        assert!(rec.counters().contains_key("energy/pe/leakage"));
+        assert!(rec.counters().contains_key("energy/total"));
+        let total = rec.counters()["energy/total"].last().expect("sample").value;
+        assert!((total - w.total()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn waterfall_display_is_a_table() {
+        let s = empty_stats(10);
+        let w = energy_waterfall(&s, &EnergyModel::table1(), &config());
+        let text = w.to_string();
+        assert!(text.contains("component"));
+        assert!(text.contains("clock_gated"));
+        assert!(text.lines().count() >= w.entries.len() + 2);
     }
 
     #[test]

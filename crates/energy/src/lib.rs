@@ -45,15 +45,18 @@ pub mod model;
 pub mod power;
 pub mod trace_analyser;
 
-pub use accounting::{energy_of, render_breakdown, EnergyBreakdown};
+pub use accounting::{
+    energy_of, energy_waterfall, render_breakdown, EnergyBreakdown, EnergyWaterfall, WaterfallEntry,
+};
 pub use dynamic_features::{DynamicFeatures, DYNAMIC_FEATURE_NAMES};
 pub use listeners::{BankListener, CoreListener, ListenError, PulpListeners, Route};
-pub use power::{render_profile, PowerProbe};
 pub use model::{
-    BankEnergy, DmaEnergy, EnergyModel, Femtojoules, FpuEnergy, IcacheEnergy, OtherEnergy,
-    PeEnergy,
+    BankEnergy, DmaEnergy, EnergyModel, Femtojoules, FpuEnergy, IcacheEnergy, OtherEnergy, PeEnergy,
 };
-pub use trace_analyser::{parse_line, stats_from_trace, ParseTraceError, ParsedLine, TraceAnalyser};
+pub use power::{render_profile, PowerProbe};
+pub use trace_analyser::{
+    parse_line, stats_from_trace, ParseTraceError, ParsedLine, TraceAnalyser,
+};
 
 #[cfg(test)]
 mod parity_tests {
@@ -92,7 +95,7 @@ mod parity_tests {
         let worker = vec![
             SegOp::WaitFork,
             SegOp::LoopBegin { trip: 10 },
-            load(TCDM_BASE), // same bank as master: conflicts
+            load(TCDM_BASE),                        // same bank as master: conflicts
             instr(OpKind::Fp(pulp_sim::FpOp::Mul)), // same FPU pair for core 4
             instr(OpKind::Nop),
             SegOp::LoopEnd,

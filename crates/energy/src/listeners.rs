@@ -7,7 +7,7 @@
 //! wants. This module is that structure; the parsing half lives in
 //! [`crate::trace_analyser`].
 
-use pulp_sim::{ClusterConfig, OpKind, SimStats};
+use pulp_sim::{ClusterConfig, CycleBreakdown, CycleCause, OpKind, SimStats};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -70,7 +70,11 @@ pub struct CoreListener {
     pub idle_cycles: u64,
     /// Clock-gated cycles accumulated from enter/exit regions.
     pub cg_cycles: u64,
-    cg_enter_at: Option<u64>,
+    /// Non-execute cycle attribution rebuilt from `stall <cause>` lines and
+    /// `cg_enter <cause>` region markers. The `execute` slot is filled from
+    /// the retired-op count when converting to stats.
+    pub breakdown: CycleBreakdown,
+    cg_enter_at: Option<(u64, CycleCause)>,
     /// When analysing a cycle window, regions truncated by the window
     /// boundary are clamped here instead of erroring.
     window_start: Option<u64>,
@@ -85,8 +89,9 @@ impl CoreListener {
     pub fn on_insn(&mut self, payload: &str, config: &ClusterConfig) -> Result<(), ListenError> {
         let mut parts = payload.split_whitespace();
         let mnemonic = parts.next().unwrap_or_default();
-        let kind = OpKind::from_mnemonic(mnemonic)
-            .ok_or_else(|| ListenError::UnknownMnemonic { mnemonic: mnemonic.to_string() })?;
+        let kind = OpKind::from_mnemonic(mnemonic).ok_or_else(|| ListenError::UnknownMnemonic {
+            mnemonic: mnemonic.to_string(),
+        })?;
         match kind {
             OpKind::Alu | OpKind::Mul | OpKind::Div | OpKind::Branch | OpKind::Jump => {
                 self.alu_ops += 1;
@@ -94,11 +99,12 @@ impl CoreListener {
             OpKind::Fp(_) => self.fp_ops += 1,
             OpKind::Nop => self.nop_ops += 1,
             OpKind::Load | OpKind::Store => {
-                let addr_str = parts
-                    .next()
-                    .ok_or_else(|| ListenError::BadAddress { payload: payload.to_string() })?;
-                let addr = parse_hex(addr_str)
-                    .ok_or_else(|| ListenError::BadAddress { payload: payload.to_string() })?;
+                let addr_str = parts.next().ok_or_else(|| ListenError::BadAddress {
+                    payload: payload.to_string(),
+                })?;
+                let addr = parse_hex(addr_str).ok_or_else(|| ListenError::BadAddress {
+                    payload: payload.to_string(),
+                })?;
                 // "The access level is inferred intercepting the address
                 // required by the operation at runtime."
                 if config.is_tcdm(addr) {
@@ -111,29 +117,43 @@ impl CoreListener {
         Ok(())
     }
 
-    /// Handles one `pe/trace` payload (`stall`, `cg_enter`, `cg_exit`),
-    /// identifying clock-gating regions and wait cycles.
+    /// Handles one `pe/trace` payload (`stall <cause>`, `cg_enter <cause>`,
+    /// `cg_exit`), identifying clock-gating regions, wait cycles and their
+    /// causes. A missing cause token (legacy traces) attributes to `idle`.
     ///
     /// # Errors
     ///
-    /// Returns an error for unknown payloads or unbalanced gating regions.
+    /// Returns an error for unknown payloads, unknown cause tokens or
+    /// unbalanced gating regions.
     pub fn on_trace(&mut self, cycle: u64, payload: &str, core: usize) -> Result<(), ListenError> {
-        match payload {
-            "stall" => self.idle_cycles += 1,
-            "cg_enter" => self.cg_enter_at = Some(cycle),
-            "cg_exit" => {
-                let enter = match (self.cg_enter_at.take(), self.window_start) {
+        let mut parts = payload.split_whitespace();
+        match parts.next() {
+            Some("stall") => {
+                let cause = parse_cause(parts.next(), payload)?;
+                self.idle_cycles += 1;
+                self.breakdown.add(cause);
+            }
+            Some("cg_enter") => {
+                let cause = parse_cause(parts.next(), payload)?;
+                self.cg_enter_at = Some((cycle, cause));
+            }
+            Some("cg_exit") => {
+                let (enter, cause) = match (self.cg_enter_at.take(), self.window_start) {
                     (Some(e), _) => e,
                     // The matching cg_enter fell before the analysis
                     // window: the core was gated since (at least) the
-                    // window start.
-                    (None, Some(start)) => start,
+                    // window start, for a reason the window cannot see.
+                    (None, Some(start)) => (start, CycleCause::Idle),
                     (None, None) => return Err(ListenError::UnbalancedCg { core }),
                 };
-                self.cg_cycles += cycle.saturating_sub(enter);
+                let len = cycle.saturating_sub(enter);
+                self.cg_cycles += len;
+                self.breakdown.add_n(cause, len);
             }
-            other => {
-                return Err(ListenError::UnknownPayload { payload: other.to_string() });
+            _ => {
+                return Err(ListenError::UnknownPayload {
+                    payload: payload.to_string(),
+                });
             }
         }
         Ok(())
@@ -141,8 +161,10 @@ impl CoreListener {
 
     /// Closes a dangling clock-gating region at `end_cycle`.
     pub fn finish(&mut self, end_cycle: u64) {
-        if let Some(enter) = self.cg_enter_at.take() {
-            self.cg_cycles += end_cycle.saturating_sub(enter);
+        if let Some((enter, cause)) = self.cg_enter_at.take() {
+            let len = end_cycle.saturating_sub(enter);
+            self.cg_cycles += len;
+            self.breakdown.add_n(cause, len);
         }
     }
 
@@ -175,7 +197,9 @@ impl BankListener {
             "write" => self.writes += 1,
             "conflict" => self.conflicts += 1,
             other => {
-                return Err(ListenError::UnknownPayload { payload: other.to_string() });
+                return Err(ListenError::UnknownPayload {
+                    payload: other.to_string(),
+                });
             }
         }
         Ok(())
@@ -299,7 +323,7 @@ impl PulpListeners {
                 self.cores[core].on_insn(payload, &self.config)?;
             }
             Route::CoreTrace(core) => {
-                if payload == "stall" {
+                if payload.split_whitespace().next() == Some("stall") {
                     self.mark_active(cycle);
                 }
                 self.cores[core].on_trace(cycle, payload, core)?;
@@ -311,19 +335,24 @@ impl PulpListeners {
                 Some("fork") => self.forks += 1,
                 Some("arrive") => {}
                 _ => {
-                    return Err(ListenError::UnknownPayload { payload: payload.to_string() });
+                    return Err(ListenError::UnknownPayload {
+                        payload: payload.to_string(),
+                    });
                 }
             },
             Route::Icache => {
                 let mut parts = payload.split_whitespace();
                 match (parts.next(), parts.next()) {
                     (Some("refill"), Some(n)) => {
-                        self.refills += n.parse::<u64>().map_err(|_| {
-                            ListenError::UnknownPayload { payload: payload.to_string() }
-                        })?;
+                        self.refills +=
+                            n.parse::<u64>().map_err(|_| ListenError::UnknownPayload {
+                                payload: payload.to_string(),
+                            })?;
                     }
                     _ => {
-                        return Err(ListenError::UnknownPayload { payload: payload.to_string() });
+                        return Err(ListenError::UnknownPayload {
+                            payload: payload.to_string(),
+                        });
                     }
                 }
             }
@@ -331,15 +360,16 @@ impl PulpListeners {
                 let mut parts = payload.split_whitespace();
                 match (parts.next(), parts.next(), parts.next()) {
                     (Some("transfer"), Some("in" | "out"), Some(n)) => {
-                        let words: u64 = n.parse().map_err(|_| {
-                            ListenError::UnknownPayload { payload: payload.to_string() }
+                        let words: u64 = n.parse().map_err(|_| ListenError::UnknownPayload {
+                            payload: payload.to_string(),
                         })?;
                         self.dma_words += words;
-                        self.dma_busy +=
-                            pulp_sim::dma::DmaTransfer::inbound(words).busy_cycles();
+                        self.dma_busy += pulp_sim::dma::DmaTransfer::inbound(words).busy_cycles();
                     }
                     _ => {
-                        return Err(ListenError::UnknownPayload { payload: payload.to_string() });
+                        return Err(ListenError::UnknownPayload {
+                            payload: payload.to_string(),
+                        });
                     }
                 }
             }
@@ -363,8 +393,11 @@ impl PulpListeners {
         for c in &mut self.cores {
             c.finish(cycles);
         }
-        let mut stats =
-            SimStats::new(self.config.num_cores, self.config.tcdm_banks, self.config.l2_banks);
+        let mut stats = SimStats::new(
+            self.config.num_cores,
+            self.config.tcdm_banks,
+            self.config.l2_banks,
+        );
         stats.cycles = cycles;
         stats.team_size = team_size;
         for (i, c) in self.cores.iter().enumerate() {
@@ -377,6 +410,10 @@ impl PulpListeners {
             s.idle_cycles = c.idle_cycles;
             s.cg_cycles = c.cg_cycles;
             s.fetches = c.retired();
+            s.breakdown = c.breakdown;
+            // One cycle retires per observed opcode; the simulator counts
+            // them the same way.
+            s.breakdown.execute = c.retired();
         }
         for (i, b) in self.l1.iter().enumerate() {
             stats.l1_banks[i].reads = b.reads;
@@ -401,6 +438,16 @@ impl PulpListeners {
 fn parse_hex(s: &str) -> Option<u32> {
     let hex = s.strip_prefix("0x")?;
     u32::from_str_radix(hex, 16).ok()
+}
+
+/// Decodes the optional cause token trailing `stall` / `cg_enter`.
+fn parse_cause(token: Option<&str>, payload: &str) -> Result<CycleCause, ListenError> {
+    match token {
+        None => Ok(CycleCause::Idle),
+        Some(tok) => CycleCause::from_token(tok).ok_or_else(|| ListenError::UnknownPayload {
+            payload: payload.to_string(),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -437,8 +484,14 @@ mod tests {
             c.on_insn("frobnicate", &cfg),
             Err(ListenError::UnknownMnemonic { .. })
         ));
-        assert!(matches!(c.on_insn("lw", &cfg), Err(ListenError::BadAddress { .. })));
-        assert!(matches!(c.on_insn("lw zzz", &cfg), Err(ListenError::BadAddress { .. })));
+        assert!(matches!(
+            c.on_insn("lw", &cfg),
+            Err(ListenError::BadAddress { .. })
+        ));
+        assert!(matches!(
+            c.on_insn("lw zzz", &cfg),
+            Err(ListenError::BadAddress { .. })
+        ));
     }
 
     #[test]
@@ -449,6 +502,29 @@ mod tests {
         c.on_trace(20, "cg_enter", 0).expect("enter");
         c.on_trace(22, "cg_exit", 0).expect("exit");
         assert_eq!(c.cg_cycles, 5 + 2);
+    }
+
+    #[test]
+    fn stall_and_cg_causes_accumulate_in_breakdown() {
+        let mut c = CoreListener::default();
+        c.on_trace(1, "stall tcdm_conflict", 0).expect("stall");
+        c.on_trace(2, "stall fpu_contention", 0).expect("stall");
+        c.on_trace(3, "cg_enter barrier", 0).expect("enter");
+        c.on_trace(8, "cg_exit", 0).expect("exit");
+        assert_eq!(c.breakdown.tcdm_conflict, 1);
+        assert_eq!(c.breakdown.fpu_contention, 1);
+        assert_eq!(c.breakdown.barrier, 5);
+        assert_eq!(c.idle_cycles, 2);
+        assert_eq!(c.cg_cycles, 5);
+    }
+
+    #[test]
+    fn unknown_cause_token_is_rejected() {
+        let mut c = CoreListener::default();
+        assert!(matches!(
+            c.on_trace(1, "stall daydreaming", 0),
+            Err(ListenError::UnknownPayload { .. })
+        ));
     }
 
     #[test]
@@ -472,7 +548,8 @@ mod tests {
     fn windowed_cg_exit_clamps_to_window_start() {
         let mut l = PulpListeners::new(&config());
         l.set_window_start(10);
-        l.handle(25, "cluster/pe2/trace", "cg_exit").expect("clamped exit");
+        l.handle(25, "cluster/pe2/trace", "cg_exit")
+            .expect("clamped exit");
         let stats = l.into_stats(3);
         assert_eq!(stats.cores[2].cg_cycles, 15);
     }
@@ -508,8 +585,10 @@ mod tests {
     fn into_stats_reconstructs_counters() {
         let mut l = PulpListeners::new(&config());
         l.handle(0, "cluster/pe0/insn", "alu").expect("insn");
-        l.handle(1, "cluster/l1/bank3/trace", "write").expect("bank");
-        l.handle(1, "cluster/l1/bank3/trace", "conflict").expect("bank");
+        l.handle(1, "cluster/l1/bank3/trace", "write")
+            .expect("bank");
+        l.handle(1, "cluster/l1/bank3/trace", "conflict")
+            .expect("bank");
         l.handle(2, "cluster/event_unit", "release").expect("eu");
         l.handle(3, "cluster/icache", "refill 4").expect("icache");
         let stats = l.into_stats(1);

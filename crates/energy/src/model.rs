@@ -121,12 +121,37 @@ impl EnergyModel {
                 l2: 1011.0,
                 cg: 20.0,
             },
-            fpu: FpuEnergy { leakage: 191.0, operative: 299.0, idle: 0.0 },
-            l1_bank: BankEnergy { leakage: 49.0, read: 2543.0, write: 2568.0, idle: 64.0 },
-            l2_bank: BankEnergy { leakage: 105.0, read: 2942.0, write: 3480.0, idle: 13.0 },
-            icache: IcacheEnergy { leakage: 774.0, use_: 4492.0, refill: 5932.0 },
-            dma: DmaEnergy { leakage: 165.0, transfer: 1750.0, idle: 46.0 },
-            other: OtherEnergy { leakage: 655.0, active: 2702.0 },
+            fpu: FpuEnergy {
+                leakage: 191.0,
+                operative: 299.0,
+                idle: 0.0,
+            },
+            l1_bank: BankEnergy {
+                leakage: 49.0,
+                read: 2543.0,
+                write: 2568.0,
+                idle: 64.0,
+            },
+            l2_bank: BankEnergy {
+                leakage: 105.0,
+                read: 2942.0,
+                write: 3480.0,
+                idle: 13.0,
+            },
+            icache: IcacheEnergy {
+                leakage: 774.0,
+                use_: 4492.0,
+                refill: 5932.0,
+            },
+            dma: DmaEnergy {
+                leakage: 165.0,
+                transfer: 1750.0,
+                idle: 46.0,
+            },
+            other: OtherEnergy {
+                leakage: 655.0,
+                active: 2702.0,
+            },
         }
     }
 }

@@ -32,7 +32,13 @@ impl PowerProbe {
     /// Panics if `window` is zero.
     pub fn new(model: EnergyModel, config: ClusterConfig, window: u64) -> Self {
         assert!(window > 0, "window must be at least one cycle");
-        Self { model, config, window, buckets: Vec::new(), max_cycle: 0 }
+        Self {
+            model,
+            config,
+            window,
+            buckets: Vec::new(),
+            max_cycle: 0,
+        }
     }
 
     fn add(&mut self, cycle: u64, energy: f64) {
@@ -109,10 +115,18 @@ impl PowerProbe {
             // Bank events carry the request energy net of the idle draw
             // already in the baseline.
             TraceEvent::L1Access { write, .. } => {
-                (if *write { m.l1_bank.write } else { m.l1_bank.read }) - m.l1_bank.idle
+                (if *write {
+                    m.l1_bank.write
+                } else {
+                    m.l1_bank.read
+                }) - m.l1_bank.idle
             }
             TraceEvent::L2Access { write, .. } => {
-                (if *write { m.l2_bank.write } else { m.l2_bank.read }) - m.l2_bank.idle
+                (if *write {
+                    m.l2_bank.write
+                } else {
+                    m.l2_bank.read
+                }) - m.l2_bank.idle
             }
             TraceEvent::Dma { words, .. } => m.dma.transfer * *words as f64,
             TraceEvent::IcacheRefill { count } => m.icache.refill * *count as f64,
@@ -172,7 +186,10 @@ mod tests {
     fn alu_burst(n: u64) -> Vec<SegOp> {
         vec![
             SegOp::LoopBegin { trip: n },
-            SegOp::Instr { kind: OpKind::Alu, addr: None },
+            SegOp::Instr {
+                kind: OpKind::Alu,
+                addr: None,
+            },
             SegOp::LoopEnd,
         ]
     }
@@ -210,7 +227,11 @@ mod tests {
         let base = probe.baseline_per_cycle();
         assert!(profile.iter().all(|&p| p >= base - 1e-9));
         // The busy windows sit well above the baseline.
-        assert!(profile[0] > base * 1.2, "first window {} vs base {base}", profile[0]);
+        assert!(
+            profile[0] > base * 1.2,
+            "first window {} vs base {base}",
+            profile[0]
+        );
     }
 
     #[test]

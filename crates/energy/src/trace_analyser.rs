@@ -68,7 +68,11 @@ pub fn parse_line(line: &str) -> Option<ParsedLine<'_>> {
     let (cycle_str, rest) = line.split_once(": ")?;
     let (path, payload) = rest.split_once(": ")?;
     let cycle = cycle_str.trim().parse().ok()?;
-    Some(ParsedLine { cycle, path, payload: payload.trim_end() })
+    Some(ParsedLine {
+        cycle,
+        path,
+        payload: payload.trim_end(),
+    })
 }
 
 /// Replays textual traces into a [`PulpListeners`] hierarchy.
@@ -85,7 +89,9 @@ impl TraceAnalyser {
 
     /// Restricts analysis to cycles in `[start, end)`.
     pub fn with_window(start: u64, end: u64) -> Self {
-        Self { window: Some((start, end)) }
+        Self {
+            window: Some((start, end)),
+        }
     }
 
     /// Replays `text` into `listeners`.
@@ -117,7 +123,10 @@ impl TraceAnalyser {
             }
             listeners
                 .handle(parsed.cycle, parsed.path, parsed.payload)
-                .map_err(|source| ParseTraceError::Listener { line: line_no, source })?;
+                .map_err(|source| ParseTraceError::Listener {
+                    line: line_no,
+                    source,
+                })?;
         }
         Ok(())
     }
@@ -171,7 +180,10 @@ mod tests {
         let cfg = ClusterConfig::default();
         let mut l = PulpListeners::new(&cfg);
         TraceAnalyser::new()
-            .analyse("1: cluster/pe0/insn: alu\n\n2: cluster/pe0/insn: alu\n", &mut l)
+            .analyse(
+                "1: cluster/pe0/insn: alu\n\n2: cluster/pe0/insn: alu\n",
+                &mut l,
+            )
             .expect("analyse");
         assert_eq!(l.cores[0].alu_ops, 2);
     }
@@ -181,7 +193,9 @@ mod tests {
         let cfg = ClusterConfig::default();
         let text = "1: cluster/pe0/insn: alu\n5: cluster/pe0/insn: alu\n9: cluster/pe0/insn: alu\n";
         let mut l = PulpListeners::new(&cfg);
-        TraceAnalyser::with_window(2, 9).analyse(text, &mut l).expect("analyse");
+        TraceAnalyser::with_window(2, 9)
+            .analyse(text, &mut l)
+            .expect("analyse");
         assert_eq!(l.cores[0].alu_ops, 1);
     }
 

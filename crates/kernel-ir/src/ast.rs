@@ -139,7 +139,11 @@ pub struct Kernel {
 impl Kernel {
     /// Declared array storage in bytes, per memory level.
     pub fn footprint(&self, level: MemLevel) -> usize {
-        self.arrays.iter().filter(|a| a.level == level).map(ArrayDecl::bytes).sum()
+        self.arrays
+            .iter()
+            .filter(|a| a.level == level)
+            .map(ArrayDecl::bytes)
+            .sum()
     }
 
     /// Returns the declaration of `arr`.
@@ -157,9 +161,9 @@ impl Kernel {
             for s in stmts {
                 f(s);
                 match s {
-                    Stmt::For { body, .. }
-                    | Stmt::ParFor { body, .. }
-                    | Stmt::Critical(body) => walk(body, f),
+                    Stmt::For { body, .. } | Stmt::ParFor { body, .. } | Stmt::Critical(body) => {
+                        walk(body, f)
+                    }
                     _ => {}
                 }
             }
@@ -169,7 +173,10 @@ impl Kernel {
 
     /// Unique sample identifier `suite/name/dtype/payload`.
     pub fn sample_id(&self) -> String {
-        format!("{}/{}/{}/{}", self.suite, self.name, self.dtype, self.payload_bytes)
+        format!(
+            "{}/{}/{}/{}",
+            self.suite, self.name, self.dtype, self.payload_bytes
+        )
     }
 }
 
@@ -184,14 +191,28 @@ mod tests {
             dtype: DType::I32,
             payload_bytes: 64,
             arrays: vec![
-                ArrayDecl { name: "a".into(), len: 16, level: MemLevel::Tcdm },
-                ArrayDecl { name: "b".into(), len: 8, level: MemLevel::L2 },
+                ArrayDecl {
+                    name: "a".into(),
+                    len: 16,
+                    level: MemLevel::Tcdm,
+                },
+                ArrayDecl {
+                    name: "b".into(),
+                    len: 8,
+                    level: MemLevel::L2,
+                },
             ],
             body: vec![Stmt::ParFor {
                 var: LoopVar(0),
                 trip: 16,
                 sched: Schedule::Static,
-                body: vec![Stmt::Alu(2), Stmt::Load { arr: ArrayId(0), idx: Idx::zero() }],
+                body: vec![
+                    Stmt::Alu(2),
+                    Stmt::Load {
+                        arr: ArrayId(0),
+                        idx: Idx::zero(),
+                    },
+                ],
             }],
         }
     }

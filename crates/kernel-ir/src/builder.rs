@@ -73,7 +73,11 @@ impl KernelBuilder {
 
     fn declare(&mut self, name: impl Into<String>, len: usize, level: MemLevel) -> ArrayId {
         let id = ArrayId(self.arrays.len() as u32);
-        self.arrays.push(ArrayDecl { name: name.into(), len, level });
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            len,
+            level,
+        });
         id
     }
 
@@ -112,7 +116,12 @@ impl KernelBuilder {
         self.scopes.push(Vec::new());
         f(self, var);
         let body = self.scopes.pop().expect("loop scope");
-        self.push(Stmt::ParFor { var, trip, sched, body });
+        self.push(Stmt::ParFor {
+            var,
+            trip,
+            sched,
+            body,
+        });
     }
 
     /// Opens a critical section.
@@ -125,12 +134,18 @@ impl KernelBuilder {
 
     /// Loads one element.
     pub fn load(&mut self, arr: ArrayId, idx: impl Into<Idx>) {
-        self.push(Stmt::Load { arr, idx: idx.into() });
+        self.push(Stmt::Load {
+            arr,
+            idx: idx.into(),
+        });
     }
 
     /// Stores one element.
     pub fn store(&mut self, arr: ArrayId, idx: impl Into<Idx>) {
-        self.push(Stmt::Store { arr, idx: idx.into() });
+        self.push(Stmt::Store {
+            arr,
+            idx: idx.into(),
+        });
     }
 
     /// Appends `n` integer ALU operations.
@@ -212,24 +227,48 @@ impl KernelBuilder {
     /// Stages `words` words from an L2 array into a TCDM array via the
     /// cluster DMA (top level only; blocking).
     pub fn dma_in(&mut self, l2: ArrayId, tcdm: ArrayId, words: u64) {
-        self.push(Stmt::DmaTransfer { l2, tcdm, words, inbound: true, blocking: true });
+        self.push(Stmt::DmaTransfer {
+            l2,
+            tcdm,
+            words,
+            inbound: true,
+            blocking: true,
+        });
     }
 
     /// Writes `words` words from a TCDM array back to an L2 array via the
     /// cluster DMA (top level only; blocking).
     pub fn dma_out(&mut self, l2: ArrayId, tcdm: ArrayId, words: u64) {
-        self.push(Stmt::DmaTransfer { l2, tcdm, words, inbound: false, blocking: true });
+        self.push(Stmt::DmaTransfer {
+            l2,
+            tcdm,
+            words,
+            inbound: false,
+            blocking: true,
+        });
     }
 
     /// Starts an asynchronous L2 → TCDM transfer (pair with
     /// [`KernelBuilder::dma_wait`] before touching the destination).
     pub fn dma_in_async(&mut self, l2: ArrayId, tcdm: ArrayId, words: u64) {
-        self.push(Stmt::DmaTransfer { l2, tcdm, words, inbound: true, blocking: false });
+        self.push(Stmt::DmaTransfer {
+            l2,
+            tcdm,
+            words,
+            inbound: true,
+            blocking: false,
+        });
     }
 
     /// Starts an asynchronous TCDM → L2 transfer.
     pub fn dma_out_async(&mut self, l2: ArrayId, tcdm: ArrayId, words: u64) {
-        self.push(Stmt::DmaTransfer { l2, tcdm, words, inbound: false, blocking: false });
+        self.push(Stmt::DmaTransfer {
+            l2,
+            tcdm,
+            words,
+            inbound: false,
+            blocking: false,
+        });
     }
 
     /// Waits for all outstanding asynchronous DMA transfers.

@@ -47,12 +47,18 @@ pub struct Idx {
 impl Idx {
     /// The zero index.
     pub fn zero() -> Self {
-        Self { terms: Vec::new(), constant: 0 }
+        Self {
+            terms: Vec::new(),
+            constant: 0,
+        }
     }
 
     /// A constant index.
     pub fn constant_of(c: i64) -> Self {
-        Self { terms: Vec::new(), constant: c }
+        Self {
+            terms: Vec::new(),
+            constant: c,
+        }
     }
 
     /// The constant part of the expression.
@@ -62,7 +68,10 @@ impl Idx {
 
     /// The coefficient of `v` (zero if `v` does not appear).
     pub fn coeff(&self, v: LoopVar) -> i64 {
-        self.terms.iter().find(|(t, _)| *t == v).map_or(0, |(_, c)| *c)
+        self.terms
+            .iter()
+            .find(|(t, _)| *t == v)
+            .map_or(0, |(_, c)| *c)
     }
 
     /// Iterates over the `(variable, coefficient)` terms.
@@ -99,7 +108,10 @@ impl Idx {
         scale: i64,
         offset: i64,
     ) -> Idx {
-        let mut out = Idx { terms: Vec::new(), constant: self.constant };
+        let mut out = Idx {
+            terms: Vec::new(),
+            constant: self.constant,
+        };
         for (v, c) in self.terms() {
             if v == var {
                 out.constant += c * offset;
@@ -130,7 +142,10 @@ impl Default for Idx {
 
 impl From<LoopVar> for Idx {
     fn from(v: LoopVar) -> Self {
-        Self { terms: vec![(v, 1)], constant: 0 }
+        Self {
+            terms: vec![(v, 1)],
+            constant: 0,
+        }
     }
 }
 
@@ -296,9 +311,13 @@ mod tests {
     #[test]
     fn cancelling_terms_disappear() {
         let i = v(0);
-        let idx = (i * 2 + Idx::zero()) + (Idx::from(i) * usize::MAX.min(0));
+        let zero = usize::from(false);
+        let idx = (i * 2 + Idx::zero()) + (Idx::from(i) * zero);
         assert_eq!(idx.coeff(i), 2);
-        let neg = Idx { terms: vec![(i, -2)], constant: 0 };
+        let neg = Idx {
+            terms: vec![(i, -2)],
+            constant: 0,
+        };
         let sum = idx + neg;
         assert_eq!(sum.coeff(i), 0);
         assert_eq!(sum.terms().count(), 0);

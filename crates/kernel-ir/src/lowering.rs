@@ -81,14 +81,18 @@ impl ArrayLayout {
                     bases.push(pulp_sim::TCDM_BASE + tcdm_off);
                     tcdm_off += bytes;
                     if tcdm_off > config.tcdm_bytes {
-                        return Err(LowerError::LayoutOverflow { level: MemLevel::Tcdm });
+                        return Err(LowerError::LayoutOverflow {
+                            level: MemLevel::Tcdm,
+                        });
                     }
                 }
                 MemLevel::L2 => {
                     bases.push(pulp_sim::L2_BASE + l2_off);
                     l2_off += bytes;
                     if l2_off > config.l2_bytes {
-                        return Err(LowerError::LayoutOverflow { level: MemLevel::L2 });
+                        return Err(LowerError::LayoutOverflow {
+                            level: MemLevel::L2,
+                        });
                     }
                 }
             }
@@ -114,7 +118,10 @@ pub struct Lowered {
 /// that do not fit their memory level.
 pub fn lower(kernel: &Kernel, team: usize, config: &ClusterConfig) -> Result<Lowered, LowerError> {
     if team == 0 || team > config.num_cores {
-        return Err(LowerError::BadTeamSize { team, available: config.num_cores });
+        return Err(LowerError::BadTeamSize {
+            team,
+            available: config.num_cores,
+        });
     }
     let layout = ArrayLayout::compute(kernel, config)?;
     let mut streams = Vec::with_capacity(team);
@@ -176,7 +183,10 @@ impl Lowerer<'_> {
                 }
             }
         }
-        self.out.push(SegOp::Instr { kind, addr: Some(AddrExpr { base, terms }) });
+        self.out.push(SegOp::Instr {
+            kind,
+            addr: Some(AddrExpr { base, terms }),
+        });
     }
 
     /// Opens a counted loop, binds `var` to the fresh depth with `offset`
@@ -196,7 +206,13 @@ impl Lowerer<'_> {
         let d = self.depth as u8;
         self.depth += 1;
         if let Some((var, offset, stride)) = bind {
-            self.bindings.insert(var, Binding { offset, terms: vec![(d, stride)] });
+            self.bindings.insert(
+                var,
+                Binding {
+                    offset,
+                    terms: vec![(d, stride)],
+                },
+            );
         }
         body(self);
         if overhead {
@@ -215,7 +231,12 @@ impl Lowerer<'_> {
     fn lower_sequential(&mut self, stmts: &[Stmt]) {
         for s in stmts {
             match s {
-                Stmt::ParFor { var, trip, sched, body } => {
+                Stmt::ParFor {
+                    var,
+                    trip,
+                    sched,
+                    body,
+                } => {
                     self.lower_region(*var, *trip, *sched, body);
                 }
                 Stmt::Barrier => self.out.push(SegOp::Barrier),
@@ -234,13 +255,24 @@ impl Lowerer<'_> {
                         });
                     }
                 }
-                Stmt::DmaTransfer { words, inbound, blocking, .. } => {
+                Stmt::DmaTransfer {
+                    words,
+                    inbound,
+                    blocking,
+                    ..
+                } => {
                     // The master programs the engine; workers are asleep.
                     if self.is_master() {
                         self.out.push(if *blocking {
-                            SegOp::Dma { words: *words, inbound: *inbound }
+                            SegOp::Dma {
+                                words: *words,
+                                inbound: *inbound,
+                            }
                         } else {
-                            SegOp::DmaAsync { words: *words, inbound: *inbound }
+                            SegOp::DmaAsync {
+                                words: *words,
+                                inbound: *inbound,
+                            }
                         });
                     }
                 }
@@ -286,11 +318,22 @@ impl Lowerer<'_> {
                 self.lower_serial_body(body);
                 self.out.push(SegOp::CriticalEnd);
             }
-            Stmt::DmaTransfer { words, inbound, blocking, .. } => {
+            Stmt::DmaTransfer {
+                words,
+                inbound,
+                blocking,
+                ..
+            } => {
                 self.out.push(if *blocking {
-                    SegOp::Dma { words: *words, inbound: *inbound }
+                    SegOp::Dma {
+                        words: *words,
+                        inbound: *inbound,
+                    }
                 } else {
-                    SegOp::DmaAsync { words: *words, inbound: *inbound }
+                    SegOp::DmaAsync {
+                        words: *words,
+                        inbound: *inbound,
+                    }
                 });
             }
             Stmt::DmaWait => self.out.push(SegOp::DmaWait),
@@ -332,7 +375,11 @@ impl Lowerer<'_> {
         let team = self.team as u64;
         let core = self.core as u64;
         // Full chunks assigned round-robin: chunk ids {core, core+T, ...}.
-        let rounds = if full > core { (full - core).div_ceil(team) } else { 0 };
+        let rounds = if full > core {
+            (full - core).div_ceil(team)
+        } else {
+            0
+        };
         if rounds > 0 {
             let offset = (core * k) as i64;
             let outer_stride = (team * k) as i64;
@@ -344,7 +391,10 @@ impl Lowerer<'_> {
                 let d1 = (lo.depth - 1) as u8;
                 lo.bindings.insert(
                     var,
-                    Binding { offset, terms: vec![(d0, outer_stride), (d1, 1)] },
+                    Binding {
+                        offset,
+                        terms: vec![(d0, outer_stride), (d1, 1)],
+                    },
                 );
                 lo.lower_serial_body(body);
                 lo.bindings.remove(&var);
@@ -389,7 +439,9 @@ pub fn guided_chunks(trip: u64, team: usize, min_chunk: u64) -> Vec<(u64, u64)> 
     let mut remaining = trip;
     let min_chunk = min_chunk.max(1);
     while remaining > 0 {
-        let len = (remaining / (2 * team as u64)).max(min_chunk).min(remaining);
+        let len = (remaining / (2 * team as u64))
+            .max(min_chunk)
+            .min(remaining);
         chunks.push((start, len));
         start += len;
         remaining -= len;
@@ -480,8 +532,14 @@ mod tests {
     #[test]
     fn lower_rejects_bad_team() {
         let k = vector_add(16);
-        assert!(matches!(lower(&k, 0, &config()), Err(LowerError::BadTeamSize { .. })));
-        assert!(matches!(lower(&k, 9, &config()), Err(LowerError::BadTeamSize { .. })));
+        assert!(matches!(
+            lower(&k, 0, &config()),
+            Err(LowerError::BadTeamSize { .. })
+        ));
+        assert!(matches!(
+            lower(&k, 9, &config()),
+            Err(LowerError::BadTeamSize { .. })
+        ));
     }
 
     #[test]
@@ -500,15 +558,25 @@ mod tests {
     #[test]
     fn work_is_conserved_across_team_sizes() {
         let k = vector_add(100);
-        let ops1 = lower(&k, 1, &config()).expect("lower").program.dynamic_op_count();
-        let ops8 = lower(&k, 8, &config()).expect("lower").program.dynamic_op_count();
+        let ops1 = lower(&k, 1, &config())
+            .expect("lower")
+            .program
+            .dynamic_op_count();
+        let ops8 = lower(&k, 8, &config())
+            .expect("lower")
+            .program
+            .dynamic_op_count();
         // Parallel lowering adds per-core prologue/loop overhead but the
         // payload work (3 ops per iteration) must be identical.
         let payload: u64 = 3 * 100;
         assert!(ops1 >= payload);
         assert!(ops8 >= payload);
         // Overhead stays within the runtime bookkeeping budget.
-        assert!(ops8 - payload < 8 * 64, "excess overhead: {}", ops8 - payload);
+        assert!(
+            ops8 - payload < 8 * 64,
+            "excess overhead: {}",
+            ops8 - payload
+        );
     }
 
     #[test]
@@ -518,7 +586,11 @@ mod tests {
         let lowered = lower(&k, 4, &config()).expect("lower");
         let base_a = lowered.layout.base(ArrayId(0));
         let base_c = lowered.layout.base(ArrayId(1));
-        assert_eq!(base_c - base_a, (n * 4) as u32, "arrays packed back to back");
+        assert_eq!(
+            base_c - base_a,
+            (n * 4) as u32,
+            "arrays packed back to back"
+        );
     }
 
     #[test]
@@ -599,13 +671,16 @@ mod tests {
             use pulp_sim::{simulate_traced, TraceEvent, VecSink};
             let lowered = lower(k, 3, &config()).expect("lower");
             let mut sink = VecSink::new();
-            simulate_traced(&config(), &lowered.program, 1_000_000, &mut sink)
-                .expect("simulate");
+            simulate_traced(&config(), &lowered.program, 1_000_000, &mut sink).expect("simulate");
             let mut addrs: Vec<u32> = sink
                 .events
                 .iter()
                 .filter_map(|(_, e)| match e {
-                    TraceEvent::Insn { kind: OpKind::Store, addr, .. } => *addr,
+                    TraceEvent::Insn {
+                        kind: OpKind::Store,
+                        addr,
+                        ..
+                    } => *addr,
                     _ => None,
                 })
                 .collect();
@@ -630,7 +705,7 @@ mod tests {
         let lowered = lower(&k, 4, &config()).expect("lower");
         let stats = simulate(&config(), &lowered.program).expect("simulate");
         // Master did the 16 stores; loads spread across the team.
-        assert_eq!(stats.cores[0].l1_ops >= 16 + 4, true);
+        assert!(stats.cores[0].l1_ops >= 16 + 4);
         assert!(stats.cores[1].l1_ops >= 1);
     }
 

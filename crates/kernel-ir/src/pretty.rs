@@ -30,7 +30,11 @@ pub fn render(kernel: &Kernel) -> String {
             MemLevel::Tcdm => "__tcdm",
             MemLevel::L2 => "__l2",
         };
-        let _ = writeln!(out, "  {attr} {} {}[{}]; // a{i}", kernel.dtype, a.name, a.len);
+        let _ = writeln!(
+            out,
+            "  {attr} {} {}[{}]; // a{i}",
+            kernel.dtype, a.name, a.len
+        );
     }
     render_stmts(kernel, &kernel.body, 1, &mut out);
     let _ = writeln!(out, "}}");
@@ -40,7 +44,9 @@ pub fn render(kernel: &Kernel) -> String {
 fn var_name(id: u32) -> String {
     // i, j, k, l, m, ... then v<N>.
     const NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n_"];
-    NAMES.get(id as usize).map_or_else(|| format!("v{id}"), |s| (*s).to_string())
+    NAMES
+        .get(id as usize)
+        .map_or_else(|| format!("v{id}"), |s| (*s).to_string())
 }
 
 fn render_idx(idx: &Idx) -> String {
@@ -68,7 +74,12 @@ fn render_stmts(kernel: &Kernel, stmts: &[Stmt], indent: usize, out: &mut String
                 render_stmts(kernel, body, indent + 1, out);
                 let _ = writeln!(out, "{pad}}}");
             }
-            Stmt::ParFor { var, trip, sched, body } => {
+            Stmt::ParFor {
+                var,
+                trip,
+                sched,
+                body,
+            } => {
                 let clause = match sched {
                     Schedule::Static => String::new(),
                     Schedule::Chunked(k) => format!(" schedule(static, {k})"),
@@ -81,10 +92,20 @@ fn render_stmts(kernel: &Kernel, stmts: &[Stmt], indent: usize, out: &mut String
                 let _ = writeln!(out, "{pad}}}");
             }
             Stmt::Load { arr, idx } => {
-                let _ = writeln!(out, "{pad}tmp = {}[{}];", kernel.array(*arr).name, render_idx(idx));
+                let _ = writeln!(
+                    out,
+                    "{pad}tmp = {}[{}];",
+                    kernel.array(*arr).name,
+                    render_idx(idx)
+                );
             }
             Stmt::Store { arr, idx } => {
-                let _ = writeln!(out, "{pad}{}[{}] = tmp;", kernel.array(*arr).name, render_idx(idx));
+                let _ = writeln!(
+                    out,
+                    "{pad}{}[{}] = tmp;",
+                    kernel.array(*arr).name,
+                    render_idx(idx)
+                );
             }
             Stmt::Alu(n) => {
                 let _ = writeln!(out, "{pad}/* {n}x int alu */");
@@ -113,9 +134,19 @@ fn render_stmts(kernel: &Kernel, stmts: &[Stmt], indent: usize, out: &mut String
                 render_stmts(kernel, body, indent + 1, out);
                 let _ = writeln!(out, "{pad}}}");
             }
-            Stmt::DmaTransfer { l2, tcdm, words, inbound, blocking } => {
+            Stmt::DmaTransfer {
+                l2,
+                tcdm,
+                words,
+                inbound,
+                blocking,
+            } => {
                 let (src, dst) = if *inbound { (*l2, *tcdm) } else { (*tcdm, *l2) };
-                let call = if *blocking { "dma_memcpy" } else { "dma_memcpy_async" };
+                let call = if *blocking {
+                    "dma_memcpy"
+                } else {
+                    "dma_memcpy_async"
+                };
                 let _ = writeln!(
                     out,
                     "{pad}{call}({}, {}, {words} /* words */);",

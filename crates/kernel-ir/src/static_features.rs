@@ -46,10 +46,10 @@ impl RawFeatures {
                 op += 1;
                 region_trips.push(*trip);
             }
-            Stmt::Load { arr, .. } | Stmt::Store { arr, .. } => {
-                if kernel.array(*arr).level == MemLevel::Tcdm {
-                    tcdm += 1;
-                }
+            Stmt::Load { arr, .. } | Stmt::Store { arr, .. }
+                if kernel.array(*arr).level == MemLevel::Tcdm =>
+            {
+                tcdm += 1;
             }
             _ => {}
         });
@@ -58,7 +58,12 @@ impl RawFeatures {
         } else {
             region_trips.iter().sum::<u64>() as f64 / region_trips.len() as f64
         };
-        Self { op, tcdm, transfer: kernel.payload_bytes as u64, avgws }
+        Self {
+            op,
+            tcdm,
+            transfer: kernel.payload_bytes as u64,
+            avgws,
+        }
     }
 }
 
@@ -126,7 +131,12 @@ mod tests {
 
     #[test]
     fn agg_combines_grewe_style() {
-        let raw = RawFeatures { op: 6, tcdm: 2, transfer: 256, avgws: 64.0 };
+        let raw = RawFeatures {
+            op: 6,
+            tcdm: 2,
+            transfer: 256,
+            avgws: 64.0,
+        };
         let agg = AggFeatures::from_raw(&raw);
         assert!((agg.f1 - 32.0).abs() < 1e-9);
         assert!((agg.f3 - 64.0).abs() < 1e-9);
@@ -135,7 +145,12 @@ mod tests {
 
     #[test]
     fn agg_handles_zero_denominators() {
-        let raw = RawFeatures { op: 0, tcdm: 0, transfer: 100, avgws: 0.0 };
+        let raw = RawFeatures {
+            op: 0,
+            tcdm: 0,
+            transfer: 100,
+            avgws: 0.0,
+        };
         let agg = AggFeatures::from_raw(&raw);
         assert!(agg.f1.is_finite());
         assert!(agg.f4.is_finite());

@@ -63,7 +63,12 @@ fn rewrite(stmts: &[Stmt], factor: u64, next_var: &mut u32) -> Vec<Stmt> {
                 trip: *trip,
                 body: rewrite(body, factor, next_var),
             },
-            Stmt::ParFor { var, trip, sched, body } => Stmt::ParFor {
+            Stmt::ParFor {
+                var,
+                trip,
+                sched,
+                body,
+            } => Stmt::ParFor {
                 var: *var,
                 trip: *trip,
                 sched: *sched,
@@ -89,7 +94,11 @@ fn unroll_one(var: LoopVar, trip: u64, body: &[Stmt], factor: u64, next_var: &mu
     }
     let mut out = Vec::new();
     if main_trips > 0 {
-        out.push(Stmt::For { var: new_var, trip: main_trips, body: main_body });
+        out.push(Stmt::For {
+            var: new_var,
+            trip: main_trips,
+            body: main_body,
+        });
     }
     for r in 0..remainder {
         let base = (main_trips * factor + r) as i64;
@@ -104,17 +113,15 @@ fn unroll_one(var: LoopVar, trip: u64, body: &[Stmt], factor: u64, next_var: &mu
     } else {
         let wrapper = LoopVar(*next_var);
         *next_var += 1;
-        Stmt::For { var: wrapper, trip: 1, body: out }
+        Stmt::For {
+            var: wrapper,
+            trip: 1,
+            body: out,
+        }
     }
 }
 
-fn substitute(
-    s: &Stmt,
-    var: LoopVar,
-    new_var: Option<LoopVar>,
-    scale: i64,
-    offset: i64,
-) -> Stmt {
+fn substitute(s: &Stmt, var: LoopVar, new_var: Option<LoopVar>, scale: i64, offset: i64) -> Stmt {
     match s {
         Stmt::Load { arr, idx } => Stmt::Load {
             arr: *arr,
@@ -125,7 +132,9 @@ fn substitute(
             idx: idx.replace_var_affine(var, new_var, scale, offset),
         },
         Stmt::Critical(body) => Stmt::Critical(
-            body.iter().map(|s| substitute(s, var, new_var, scale, offset)).collect(),
+            body.iter()
+                .map(|s| substitute(s, var, new_var, scale, offset))
+                .collect(),
         ),
         // Innermost loops contain no nested loops by construction.
         other => other.clone(),
@@ -152,8 +161,18 @@ pub fn interchange_parallel(kernel: &Kernel) -> Kernel {
         .body
         .iter()
         .map(|s| match s {
-            Stmt::ParFor { var, trip, sched, body } if body.len() == 1 => {
-                if let Stmt::For { var: ivar, trip: itrip, body: ibody } = &body[0] {
+            Stmt::ParFor {
+                var,
+                trip,
+                sched,
+                body,
+            } if body.len() == 1 => {
+                if let Stmt::For {
+                    var: ivar,
+                    trip: itrip,
+                    body: ibody,
+                } = &body[0]
+                {
                     Stmt::ParFor {
                         var: *ivar,
                         trip: *itrip,
@@ -207,7 +226,11 @@ mod tests {
             .events
             .iter()
             .filter_map(|(_, e)| match e {
-                TraceEvent::Insn { kind: OpKind::Load | OpKind::Store, addr, .. } => *addr,
+                TraceEvent::Insn {
+                    kind: OpKind::Load | OpKind::Store,
+                    addr,
+                    ..
+                } => *addr,
                 _ => None,
             })
             .collect();

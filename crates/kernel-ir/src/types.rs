@@ -61,9 +61,10 @@ impl fmt::Display for Suite {
 /// scheduling policies; following the paper we support static contiguous
 /// chunking and round-robin chunked scheduling (the closest static
 /// approximation of `schedule(dynamic, k)` on a platform without tasking).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Schedule {
     /// Contiguous block per core (`schedule(static)`).
+    #[default]
     Static,
     /// Round-robin chunks of the given size (`schedule(static, k)`).
     Chunked(usize),
@@ -72,12 +73,6 @@ pub enum Schedule {
     /// minimum), assigned round-robin. The closest static model of
     /// `schedule(guided, k)` on a runtime without tasking.
     Guided(usize),
-}
-
-impl Default for Schedule {
-    fn default() -> Self {
-        Schedule::Static
-    }
 }
 
 /// Memory level an array is allocated in.

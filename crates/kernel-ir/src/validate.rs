@@ -76,7 +76,11 @@ impl fmt::Display for ValidateKernelError {
                 write!(f, "barriers are only allowed at the kernel top level")
             }
             Self::UnboundVar { var } => {
-                write!(f, "index references out-of-scope loop variable v{}", var.id())
+                write!(
+                    f,
+                    "index references out-of-scope loop variable v{}",
+                    var.id()
+                )
             }
             Self::BadDma { reason } => write!(f, "invalid DMA transfer: {reason}"),
             Self::MisplacedDma => {
@@ -101,11 +105,17 @@ impl std::error::Error for ValidateKernelError {}
 pub fn validate(kernel: &Kernel) -> Result<(), ValidateKernelError> {
     let tcdm = kernel.footprint(MemLevel::Tcdm);
     if tcdm > TCDM_CAPACITY {
-        return Err(ValidateKernelError::TcdmOverflow { bytes: tcdm, capacity: TCDM_CAPACITY });
+        return Err(ValidateKernelError::TcdmOverflow {
+            bytes: tcdm,
+            capacity: TCDM_CAPACITY,
+        });
     }
     let l2 = kernel.footprint(MemLevel::L2);
     if l2 > L2_CAPACITY {
-        return Err(ValidateKernelError::L2Overflow { bytes: l2, capacity: L2_CAPACITY });
+        return Err(ValidateKernelError::L2Overflow {
+            bytes: l2,
+            capacity: L2_CAPACITY,
+        });
     }
     let mut scope: HashMap<LoopVar, u64> = HashMap::new();
     check_stmts(kernel, &kernel.body, &mut scope, Ctx::TopLevel)
@@ -128,11 +138,17 @@ fn check_stmts(
         match s {
             Stmt::For { var, trip, body } => {
                 scope.insert(*var, *trip);
-                let inner = if ctx == Ctx::TopLevel { Ctx::InLoop } else { ctx };
+                let inner = if ctx == Ctx::TopLevel {
+                    Ctx::InLoop
+                } else {
+                    ctx
+                };
                 check_stmts(kernel, body, scope, inner)?;
                 scope.remove(var);
             }
-            Stmt::ParFor { var, trip, body, .. } => {
+            Stmt::ParFor {
+                var, trip, body, ..
+            } => {
                 if ctx == Ctx::InParallel {
                     return Err(ValidateKernelError::NestedParallel);
                 }
@@ -156,7 +172,9 @@ fn check_stmts(
                     return Err(ValidateKernelError::MisplacedDma);
                 }
             }
-            Stmt::DmaTransfer { l2, tcdm, words, .. } => {
+            Stmt::DmaTransfer {
+                l2, tcdm, words, ..
+            } => {
                 // Allowed in sequential context (including tiling loops),
                 // but not inside parallel regions.
                 if ctx == Ctx::InParallel {
@@ -203,7 +221,11 @@ fn check_access(
             return Err(ValidateKernelError::UnboundVar { var });
         };
         let hi = trip.saturating_sub(1) as i64;
-        let (lo_c, hi_c) = if coeff >= 0 { (0, coeff * hi) } else { (coeff * hi, 0) };
+        let (lo_c, hi_c) = if coeff >= 0 {
+            (0, coeff * hi)
+        } else {
+            (coeff * hi, 0)
+        };
         min += lo_c;
         max += hi_c;
     }
@@ -240,14 +262,20 @@ mod tests {
     fn rejects_tcdm_overflow() {
         let mut b = builder();
         let _ = b.array("big", (TCDM_CAPACITY / 4) + 1);
-        assert!(matches!(b.build(), Err(ValidateKernelError::TcdmOverflow { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ValidateKernelError::TcdmOverflow { .. })
+        ));
     }
 
     #[test]
     fn rejects_l2_overflow() {
         let mut b = builder();
         let _ = b.array_l2("big", (L2_CAPACITY / 4) + 1);
-        assert!(matches!(b.build(), Err(ValidateKernelError::L2Overflow { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ValidateKernelError::L2Overflow { .. })
+        ));
     }
 
     #[test]
@@ -263,7 +291,10 @@ mod tests {
     fn rejects_barrier_in_loop() {
         let mut b = builder();
         b.par_for(4, |b, _| b.barrier());
-        assert_eq!(b.build().unwrap_err(), ValidateKernelError::MisplacedBarrier);
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidateKernelError::MisplacedBarrier
+        );
     }
 
     #[test]
@@ -280,7 +311,10 @@ mod tests {
         let mut b = builder();
         let a = b.array("a", 8);
         b.par_for(9, |b, i| b.load(a, i));
-        assert!(matches!(b.build(), Err(ValidateKernelError::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ValidateKernelError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -310,7 +344,10 @@ mod tests {
         b.par_for(4, |_, i| stash = Some(i));
         let escaped = stash.expect("captured var");
         b.load(a, escaped);
-        assert!(matches!(b.build(), Err(ValidateKernelError::UnboundVar { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ValidateKernelError::UnboundVar { .. })
+        ));
     }
 
     #[test]

@@ -332,7 +332,9 @@ mod tests {
         let k = bank_hammer(&KernelParams::new(DType::I32, 2048)).expect("kernel");
         let conflicts = |team: usize| {
             let lowered = lower(&k, team, &cfg).expect("lower");
-            simulate(&cfg, &lowered.program).expect("simulate").l1_conflicts()
+            simulate(&cfg, &lowered.program)
+                .expect("simulate")
+                .l1_conflicts()
         };
         assert_eq!(conflicts(1), 0);
         assert!(conflicts(8) > conflicts(2), "more cores, more conflicts");

@@ -95,7 +95,10 @@ mod tests {
         let cfg = ClusterConfig::default();
         let lowered = lower(kernel, team, &cfg).expect("lower");
         let stats = simulate(&cfg, &lowered.program).expect("simulate");
-        (stats.cycles, energy_of(&stats, &EnergyModel::table1(), &cfg).total())
+        (
+            stats.cycles,
+            energy_of(&stats, &EnergyModel::table1(), &cfg).total(),
+        )
     }
 
     #[test]
@@ -158,7 +161,10 @@ mod tests {
         let stats = simulate(&cfg, &lowered.program).expect("simulate");
         let n = p.elems().max(TILE_ELEMS) as u64;
         // Each element moves in and out exactly once.
-        assert_eq!(stats.dma.words_transferred, 2 * n.div_ceil(TILE_ELEMS as u64) * TILE_ELEMS as u64);
+        assert_eq!(
+            stats.dma.words_transferred,
+            2 * n.div_ceil(TILE_ELEMS as u64) * TILE_ELEMS as u64
+        );
         assert!(stats.dma.busy_cycles > 0);
     }
 
@@ -171,8 +177,8 @@ mod tests {
         let cfg = ClusterConfig::default();
         let lowered = lower(&tiled, 2, &cfg).expect("lower");
         let mut sink = TextSink::new();
-        let direct = simulate_traced(&cfg, &lowered.program, 10_000_000, &mut sink)
-            .expect("simulate");
+        let direct =
+            simulate_traced(&cfg, &lowered.program, 10_000_000, &mut sink).expect("simulate");
         let replayed = stats_from_trace(&sink.text, &cfg, 2).expect("replay");
         assert_eq!(direct, replayed);
     }

@@ -215,7 +215,11 @@ pub fn all_samples() -> Vec<SampleSpec> {
     for (kernel_index, def) in registry().iter().enumerate() {
         for &dtype in def.dtypes {
             for payload_bytes in PAYLOAD_SIZES {
-                out.push(SampleSpec { kernel_index, dtype, payload_bytes });
+                out.push(SampleSpec {
+                    kernel_index,
+                    dtype,
+                    payload_bytes,
+                });
             }
         }
     }
@@ -275,8 +279,9 @@ mod tests {
         let defs = registry();
         for spec in all_samples() {
             let def = &defs[spec.kernel_index];
-            def.build(&spec.params())
-                .unwrap_or_else(|e| panic!("{}/{}/{}: {e}", def.name, spec.dtype, spec.payload_bytes));
+            def.build(&spec.params()).unwrap_or_else(|e| {
+                panic!("{}/{}/{}: {e}", def.name, spec.dtype, spec.payload_bytes)
+            });
         }
     }
 

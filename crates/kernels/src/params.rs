@@ -24,7 +24,10 @@ pub struct KernelParams {
 impl KernelParams {
     /// Creates parameters.
     pub fn new(dtype: DType, payload_bytes: usize) -> Self {
-        Self { dtype, payload_bytes }
+        Self {
+            dtype,
+            payload_bytes,
+        }
     }
 
     /// Total elements in the payload.

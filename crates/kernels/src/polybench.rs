@@ -67,8 +67,9 @@ pub fn three_mm(p: &KernelParams) -> BuildResult {
     let mut b = builder("3mm", Suite::Polybench, p);
     let names = ["A", "B", "C", "D", "E", "F", "G"];
     let arrs: Vec<_> = names.iter().map(|s| b.array(*s, n * n)).collect();
-    let (a, bb, c, d, e, f, g) =
-        (arrs[0], arrs[1], arrs[2], arrs[3], arrs[4], arrs[5], arrs[6]);
+    let (a, bb, c, d, e, f, g) = (
+        arrs[0], arrs[1], arrs[2], arrs[3], arrs[4], arrs[5], arrs[6],
+    );
     for (x, y, out) in [(a, bb, e), (c, d, f), (e, f, g)] {
         b.par_for(n as u64, |b, i| {
             b.for_(n as u64, |b, j| {
@@ -680,13 +681,15 @@ mod tests {
     use super::*;
     use kernel_ir::{DType, RawFeatures};
 
+    type KernelTable = Vec<(&'static str, fn(&KernelParams) -> BuildResult)>;
+
     fn params() -> KernelParams {
         KernelParams::new(DType::F32, 2048)
     }
 
     #[test]
     fn all_polybench_kernels_validate() {
-        let fns: Vec<(&str, fn(&KernelParams) -> BuildResult)> = vec![
+        let fns: KernelTable = vec![
             ("gemm", gemm),
             ("2mm", two_mm),
             ("3mm", three_mm),

@@ -364,9 +364,11 @@ mod tests {
     use super::*;
     use kernel_ir::DType;
 
+    type KernelTable = Vec<(&'static str, fn(&KernelParams) -> BuildResult)>;
+
     #[test]
     fn all_utdsp_kernels_validate() {
-        let fns: Vec<(&str, fn(&KernelParams) -> BuildResult)> = vec![
+        let fns: KernelTable = vec![
             ("fir", fir),
             ("iir", iir),
             ("lmsfir", lmsfir),
@@ -414,7 +416,11 @@ mod tests {
         let k = decimate(&KernelParams::new(DType::F32, 2048)).expect("decimate");
         let mut chunked = false;
         k.visit(|s| {
-            if let kernel_ir::Stmt::ParFor { sched: Schedule::Chunked(_), .. } = s {
+            if let kernel_ir::Stmt::ParFor {
+                sched: Schedule::Chunked(_),
+                ..
+            } = s
+            {
                 chunked = true;
             }
         });

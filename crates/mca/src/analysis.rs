@@ -94,16 +94,18 @@ pub fn kernel_block(kernel: &kernel_ir::Kernel) -> Vec<OpKind> {
         }
         kernel_ir::Stmt::Load { .. } => block.push(OpKind::Load),
         kernel_ir::Stmt::Store { .. } => block.push(OpKind::Store),
-        kernel_ir::Stmt::Alu(n) => block.extend(std::iter::repeat(OpKind::Alu).take(*n as usize)),
-        kernel_ir::Stmt::Mul(n) => block.extend(std::iter::repeat(OpKind::Mul).take(*n as usize)),
-        kernel_ir::Stmt::Div(n) => block.extend(std::iter::repeat(OpKind::Div).take(*n as usize)),
-        kernel_ir::Stmt::Fp(n) => block.extend(
-            std::iter::repeat(OpKind::Fp(pulp_sim::FpOp::Mul)).take(*n as usize),
-        ),
-        kernel_ir::Stmt::FpDiv(n) => block.extend(
-            std::iter::repeat(OpKind::Fp(pulp_sim::FpOp::Div)).take(*n as usize),
-        ),
-        kernel_ir::Stmt::Nop(n) => block.extend(std::iter::repeat(OpKind::Nop).take(*n as usize)),
+        kernel_ir::Stmt::Alu(n) => block.extend(std::iter::repeat_n(OpKind::Alu, *n as usize)),
+        kernel_ir::Stmt::Mul(n) => block.extend(std::iter::repeat_n(OpKind::Mul, *n as usize)),
+        kernel_ir::Stmt::Div(n) => block.extend(std::iter::repeat_n(OpKind::Div, *n as usize)),
+        kernel_ir::Stmt::Fp(n) => block.extend(std::iter::repeat_n(
+            OpKind::Fp(pulp_sim::FpOp::Mul),
+            *n as usize,
+        )),
+        kernel_ir::Stmt::FpDiv(n) => block.extend(std::iter::repeat_n(
+            OpKind::Fp(pulp_sim::FpOp::Div),
+            *n as usize,
+        )),
+        kernel_ir::Stmt::Nop(n) => block.extend(std::iter::repeat_n(OpKind::Nop, *n as usize)),
         kernel_ir::Stmt::Barrier
         | kernel_ir::Stmt::Critical(_)
         | kernel_ir::Stmt::DmaTransfer { .. }
@@ -168,14 +170,17 @@ mod tests {
     fn loads_spread_over_agu_ports() {
         let block = vec![OpKind::Load; 8];
         let f = analyze_block(&block, 50);
-        assert!((f.rp[2] - f.rp[3]).abs() < 0.01, "loads balance across P2/P3");
+        assert!(
+            (f.rp[2] - f.rp[3]).abs() < 0.01,
+            "loads balance across P2/P3"
+        );
         assert!((f.ipc - 2.0).abs() < 0.1);
     }
 
     #[test]
     fn rbp_scales_with_block_size() {
-        let small = analyze_block(&vec![OpKind::Alu; 4], 100);
-        let large = analyze_block(&vec![OpKind::Alu; 8], 100);
+        let small = analyze_block(&[OpKind::Alu; 4], 100);
+        let large = analyze_block(&[OpKind::Alu; 8], 100);
         assert!((large.rblock_throughput / small.rblock_throughput - 2.0).abs() < 0.1);
     }
 
@@ -197,7 +202,12 @@ mod tests {
 
     #[test]
     fn analysis_is_deterministic() {
-        let block = vec![OpKind::Load, OpKind::Fp(FpOp::Mul), OpKind::Store, OpKind::Alu];
+        let block = vec![
+            OpKind::Load,
+            OpKind::Fp(FpOp::Mul),
+            OpKind::Store,
+            OpKind::Alu,
+        ];
         let a = analyze_block(&block, DEFAULT_ITERATIONS);
         let b = analyze_block(&block, DEFAULT_ITERATIONS);
         assert_eq!(a.to_vec(), b.to_vec());

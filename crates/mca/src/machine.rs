@@ -57,14 +57,26 @@ const NO_PORTS: &[usize] = &[];
 
 /// Decodes one instruction into its micro-ops.
 pub fn decode(kind: OpKind) -> Vec<Uop> {
-    let plain = |ports: &'static [usize]| Uop { ports, int_div: 0, fp_div: 0 };
+    let plain = |ports: &'static [usize]| Uop {
+        ports,
+        int_div: 0,
+        fp_div: 0,
+    };
     match kind {
         OpKind::Alu => vec![plain(ALU_PORTS)],
         OpKind::Mul => vec![plain(MUL_PORTS)],
-        OpKind::Div => vec![Uop { ports: DIV_PORTS, int_div: INT_DIV_OCCUPANCY, fp_div: 0 }],
+        OpKind::Div => vec![Uop {
+            ports: DIV_PORTS,
+            int_div: INT_DIV_OCCUPANCY,
+            fp_div: 0,
+        }],
         OpKind::Fp(FpOp::Add) | OpKind::Fp(FpOp::Mul) => vec![plain(FP_PORTS)],
         OpKind::Fp(FpOp::Div) => {
-            vec![Uop { ports: DIV_PORTS, int_div: 0, fp_div: FP_DIV_OCCUPANCY }]
+            vec![Uop {
+                ports: DIV_PORTS,
+                int_div: 0,
+                fp_div: FP_DIV_OCCUPANCY,
+            }]
         }
         OpKind::Load => vec![plain(LOAD_PORTS)],
         // Stores split into a store-data uop and an address-generation uop.

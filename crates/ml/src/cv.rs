@@ -131,8 +131,9 @@ mod tests {
     #[test]
     fn folds_are_stratified() {
         // 80 of class 0, 20 of class 1 → every fold of 10 gets 2 ones.
-        let labels: Vec<usize> =
-            std::iter::repeat(0).take(80).chain(std::iter::repeat(1).take(20)).collect();
+        let labels: Vec<usize> = std::iter::repeat_n(0, 80)
+            .chain(std::iter::repeat_n(1, 20))
+            .collect();
         let folds = stratified_folds(&labels, 10, 3);
         for f in &folds {
             let ones = f.iter().filter(|&&i| labels[i] == 1).count();
@@ -143,8 +144,14 @@ mod tests {
     #[test]
     fn folds_differ_by_seed_but_not_within() {
         let labels: Vec<usize> = (0..60).map(|i| i % 2).collect();
-        assert_eq!(stratified_folds(&labels, 5, 1), stratified_folds(&labels, 5, 1));
-        assert_ne!(stratified_folds(&labels, 5, 1), stratified_folds(&labels, 5, 2));
+        assert_eq!(
+            stratified_folds(&labels, 5, 1),
+            stratified_folds(&labels, 5, 1)
+        );
+        assert_ne!(
+            stratified_folds(&labels, 5, 1),
+            stratified_folds(&labels, 5, 2)
+        );
     }
 
     #[test]
@@ -153,8 +160,7 @@ mod tests {
         let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
         let labels: Vec<usize> = (0..100).map(|i| usize::from(i >= 50)).collect();
         let data = Dataset::new(features, labels.clone(), vec!["x".into()], 2).expect("dataset");
-        let preds =
-            cross_val_predict(&data, 10, 0, || DecisionTree::new(TreeParams::default()));
+        let preds = cross_val_predict(&data, 10, 0, || DecisionTree::new(TreeParams::default()));
         let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
         assert!(correct >= 98, "cv accuracy too low: {correct}/100");
     }
@@ -163,8 +169,8 @@ mod tests {
     fn repeated_cv_produces_independent_repetitions() {
         let features: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 7) as f64, i as f64]).collect();
         let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
-        let data = Dataset::new(features, labels, vec!["a".into(), "b".into()], 2)
-            .expect("dataset");
+        let data =
+            Dataset::new(features, labels, vec!["a".into(), "b".into()], 2).expect("dataset");
         let reps =
             repeated_cross_val_predict(&data, 5, 3, 0, || DecisionTree::new(TreeParams::default()));
         assert_eq!(reps.len(), 3);

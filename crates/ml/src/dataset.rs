@@ -56,7 +56,11 @@ impl fmt::Display for DatasetError {
             Self::RaggedRow { row, len, expected } => {
                 write!(f, "row {row} has {len} features, expected {expected}")
             }
-            Self::LabelOutOfRange { row, label, n_classes } => {
+            Self::LabelOutOfRange {
+                row,
+                label,
+                n_classes,
+            } => {
                 write!(f, "row {row}: label {label} outside 0..{n_classes}")
             }
             Self::NameMismatch { names, width } => {
@@ -99,11 +103,18 @@ impl Dataset {
         }
         let width = features.first().map_or(feature_names.len(), Vec::len);
         if feature_names.len() != width {
-            return Err(DatasetError::NameMismatch { names: feature_names.len(), width });
+            return Err(DatasetError::NameMismatch {
+                names: feature_names.len(),
+                width,
+            });
         }
         for (i, row) in features.iter().enumerate() {
             if row.len() != width {
-                return Err(DatasetError::RaggedRow { row: i, len: row.len(), expected: width });
+                return Err(DatasetError::RaggedRow {
+                    row: i,
+                    len: row.len(),
+                    expected: width,
+                });
             }
             for (j, v) in row.iter().enumerate() {
                 if v.is_nan() {
@@ -113,10 +124,19 @@ impl Dataset {
         }
         for (i, &l) in labels.iter().enumerate() {
             if l >= n_classes {
-                return Err(DatasetError::LabelOutOfRange { row: i, label: l, n_classes });
+                return Err(DatasetError::LabelOutOfRange {
+                    row: i,
+                    label: l,
+                    n_classes,
+                });
             }
         }
-        Ok(Self { features, labels, feature_names, n_classes })
+        Ok(Self {
+            features,
+            labels,
+            feature_names,
+            n_classes,
+        })
     }
 
     /// Number of samples.
@@ -180,8 +200,16 @@ impl Dataset {
             .iter()
             .map(|row| columns.iter().map(|&c| row[c]).collect())
             .collect();
-        let feature_names = columns.iter().map(|&c| self.feature_names[c].clone()).collect();
-        Dataset { features, labels: self.labels.clone(), feature_names, n_classes: self.n_classes }
+        let feature_names = columns
+            .iter()
+            .map(|&c| self.feature_names[c].clone())
+            .collect();
+        Dataset {
+            features,
+            labels: self.labels.clone(),
+            feature_names,
+            n_classes: self.n_classes,
+        }
     }
 
     /// Looks up feature columns by name.
@@ -226,7 +254,12 @@ mod tests {
             Err(DatasetError::LengthMismatch { .. })
         ));
         assert!(matches!(
-            Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1], vec!["a".into()], 2),
+            Dataset::new(
+                vec![vec![1.0], vec![1.0, 2.0]],
+                vec![0, 1],
+                vec!["a".into()],
+                2
+            ),
             Err(DatasetError::RaggedRow { row: 1, .. })
         ));
         assert!(matches!(

@@ -27,7 +27,12 @@ pub struct ForestParams {
 
 impl Default for ForestParams {
     fn default() -> Self {
-        Self { n_trees: 50, tree: TreeParams::default(), max_features: None, seed: 0 }
+        Self {
+            n_trees: 50,
+            tree: TreeParams::default(),
+            max_features: None,
+            seed: 0,
+        }
     }
 }
 
@@ -47,7 +52,11 @@ pub struct RandomForest {
 impl RandomForest {
     /// Creates an unfitted forest.
     pub fn new(params: ForestParams) -> Self {
-        Self { params, trees: Vec::new(), n_features: 0 }
+        Self {
+            params,
+            trees: Vec::new(),
+            n_features: 0,
+        }
     }
 
     /// Fits on a row subset of `data`.
@@ -68,8 +77,9 @@ impl RandomForest {
         let mut all_columns: Vec<usize> = (0..data.n_features()).collect();
         for _ in 0..self.params.n_trees {
             // Bootstrap sample of the training rows.
-            let boot: Vec<usize> =
-                (0..rows.len()).map(|_| rows[rng.gen_range(0..rows.len())]).collect();
+            let boot: Vec<usize> = (0..rows.len())
+                .map(|_| rows[rng.gen_range(0..rows.len())])
+                .collect();
             // Feature subset for this tree.
             all_columns.shuffle(&mut rng);
             let mut columns = all_columns[..m].to_vec();
@@ -93,7 +103,10 @@ impl RandomForest {
     ///
     /// Panics if the forest is unfitted.
     pub fn predict(&self, x: &[f64]) -> usize {
-        assert!(!self.trees.is_empty(), "predict called on an unfitted forest");
+        assert!(
+            !self.trees.is_empty(),
+            "predict called on an unfitted forest"
+        );
         let mut votes = std::collections::HashMap::new();
         let mut scratch = Vec::new();
         for ft in &self.trees {
@@ -158,7 +171,10 @@ mod tests {
     #[test]
     fn forest_classifies_blobs() {
         let d = blob_data(20);
-        let mut f = RandomForest::new(ForestParams { n_trees: 11, ..ForestParams::default() });
+        let mut f = RandomForest::new(ForestParams {
+            n_trees: 11,
+            ..ForestParams::default()
+        });
         f.fit(&d);
         assert_eq!(f.predict(&[0.5, 1.0]), 0);
         assert_eq!(f.predict(&[10.5, 8.0]), 1);
@@ -169,9 +185,15 @@ mod tests {
     fn forest_is_seed_deterministic() {
         let d = blob_data(10);
         let mk = |seed| {
-            let mut f = RandomForest::new(ForestParams { n_trees: 7, seed, ..Default::default() });
+            let mut f = RandomForest::new(ForestParams {
+                n_trees: 7,
+                seed,
+                ..Default::default()
+            });
             f.fit(&d);
-            (0..d.len()).map(|i| f.predict(d.row(i))).collect::<Vec<_>>()
+            (0..d.len())
+                .map(|i| f.predict(d.row(i)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(mk(42), mk(42));
     }

@@ -78,7 +78,10 @@ impl KNearestNeighbors {
                 *s = 1.0; // constant feature: contributes nothing either way
             }
         }
-        self.rows = rows.iter().map(|&r| self.standardise(data.row(r))).collect();
+        self.rows = rows
+            .iter()
+            .map(|&r| self.standardise(data.row(r)))
+            .collect();
         self.labels = rows.iter().map(|&r| data.label(r)).collect();
     }
 
@@ -89,7 +92,10 @@ impl KNearestNeighbors {
     }
 
     fn standardise(&self, x: &[f64]) -> Vec<f64> {
-        x.iter().enumerate().map(|(j, v)| (v - self.mean[j]) / self.std[j]).collect()
+        x.iter()
+            .enumerate()
+            .map(|(j, v)| (v - self.mean[j]) / self.std[j])
+            .collect()
     }
 
     /// Majority vote over the `k` nearest training samples (squared
@@ -99,7 +105,10 @@ impl KNearestNeighbors {
     ///
     /// Panics if the classifier is unfitted.
     pub fn predict(&self, x: &[f64]) -> usize {
-        assert!(!self.rows.is_empty(), "predict called on an unfitted classifier");
+        assert!(
+            !self.rows.is_empty(),
+            "predict called on an unfitted classifier"
+        );
         let q = self.standardise(x);
         let mut dists: Vec<(f64, usize)> = self
             .rows
@@ -124,7 +133,8 @@ impl KNearestNeighbors {
             .enumerate()
             .max_by(|(_, a), (_, b)| {
                 // More votes wins; ties broken by smaller total distance.
-                a.0.cmp(&b.0).then(b.1.partial_cmp(&a.1).expect("finite distances"))
+                a.0.cmp(&b.0)
+                    .then(b.1.partial_cmp(&a.1).expect("finite distances"))
             })
             .map(|(class, _)| class)
             .unwrap_or(0)
@@ -154,8 +164,7 @@ mod tests {
             features.push(vec![1000.0 + i as f64, 0.05]);
             labels.push(1);
         }
-        Dataset::new(features, labels, vec!["big".into(), "small".into()], 2)
-            .expect("dataset")
+        Dataset::new(features, labels, vec!["big".into(), "small".into()], 2).expect("dataset")
     }
 
     #[test]
@@ -181,7 +190,12 @@ mod tests {
     #[test]
     fn constant_features_do_not_nan() {
         let d = Dataset::new(
-            vec![vec![7.0, 1.0], vec![7.0, 2.0], vec![7.0, 10.0], vec![7.0, 11.0]],
+            vec![
+                vec![7.0, 1.0],
+                vec![7.0, 2.0],
+                vec![7.0, 10.0],
+                vec![7.0, 11.0],
+            ],
             vec![0, 0, 1, 1],
             vec!["const".into(), "x".into()],
             2,

@@ -16,7 +16,11 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
     if predictions.is_empty() {
         return 0.0;
     }
-    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     correct as f64 / predictions.len() as f64
 }
 
@@ -44,10 +48,7 @@ pub fn tolerance_accuracy(
         .iter()
         .zip(energy_by_class)
         .filter(|(&p, energies)| {
-            let min = energies
-                .iter()
-                .copied()
-                .fold(f64::INFINITY, f64::min);
+            let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
             assert!(min.is_finite(), "sample with no class energies");
             let wasted = (energies[p] - min) / min;
             wasted <= tolerance + 1e-12
@@ -62,7 +63,11 @@ pub fn tolerance_accuracy(
 ///
 /// Panics if the slices have different lengths or a label exceeds
 /// `n_classes`.
-pub fn confusion_matrix(predictions: &[usize], labels: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    n_classes: usize,
+) -> Vec<Vec<usize>> {
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
     let mut m = vec![vec![0usize; n_classes]; n_classes];
     for (&p, &l) in predictions.iter().zip(labels) {
@@ -95,14 +100,27 @@ pub fn class_scores(confusion: &[Vec<usize>]) -> Vec<ClassScore> {
             let tp = confusion[c][c];
             let support: usize = confusion[c].iter().sum();
             let predicted: usize = confusion.iter().map(|row| row[c]).sum();
-            let precision = if predicted > 0 { tp as f64 / predicted as f64 } else { 0.0 };
-            let recall = if support > 0 { tp as f64 / support as f64 } else { 0.0 };
+            let precision = if predicted > 0 {
+                tp as f64 / predicted as f64
+            } else {
+                0.0
+            };
+            let recall = if support > 0 {
+                tp as f64 / support as f64
+            } else {
+                0.0
+            };
             let f1 = if precision + recall > 0.0 {
                 2.0 * precision * recall / (precision + recall)
             } else {
                 0.0
             };
-            ClassScore { precision, recall, f1, support }
+            ClassScore {
+                precision,
+                recall,
+                f1,
+                support,
+            }
         })
         .collect()
 }
@@ -150,8 +168,7 @@ mod tests {
 
     #[test]
     fn tolerance_is_monotone() {
-        let energies: Vec<Vec<f64>> =
-            (0..10).map(|i| vec![10.0 + i as f64, 10.0, 30.0]).collect();
+        let energies: Vec<Vec<f64>> = (0..10).map(|i| vec![10.0 + i as f64, 10.0, 30.0]).collect();
         let preds = vec![0usize; 10];
         let mut last = 0.0;
         for t in [0.0, 0.1, 0.2, 0.5, 1.0] {

@@ -132,9 +132,7 @@ pub fn best_split_with(
             // XOR-style problems need a first split that only pays off one
             // level deeper. Ties keep the earliest feature/threshold for
             // determinism.
-            if decrease >= 0.0
-                && best.as_ref().is_none_or(|b| decrease > b.weighted_decrease)
-            {
+            if decrease >= 0.0 && best.as_ref().is_none_or(|b| decrease > b.weighted_decrease) {
                 best = Some(Split {
                     feature: f,
                     threshold: 0.5 * (v + next_v),
@@ -233,8 +231,7 @@ mod tests {
             vec![vec![1.0], vec![2.0], vec![10.0], vec![11.0]],
             vec![0, 0, 1, 1],
         );
-        let s = best_split_with(&d, &[0, 1, 2, 3], &[0], 1, 4, Criterion::Entropy)
-            .expect("split");
+        let s = best_split_with(&d, &[0, 1, 2, 3], &[0], 1, 4, Criterion::Entropy).expect("split");
         assert_eq!(s.feature, 0);
         assert!(s.threshold > 2.0 && s.threshold < 10.0);
         // Perfect split of a 50/50 node: decrease = 1 bit.

@@ -58,7 +58,12 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Creates an unfitted tree with `params`.
     pub fn new(params: TreeParams) -> Self {
-        Self { params, nodes: Vec::new(), importances: Vec::new(), n_features: 0 }
+        Self {
+            params,
+            nodes: Vec::new(),
+            importances: Vec::new(),
+            n_features: 0,
+        }
     }
 
     /// Fits the tree on all rows of `data`.
@@ -97,7 +102,7 @@ impl DecisionTree {
     fn grow(
         &mut self,
         data: &Dataset,
-        rows: &mut Vec<usize>,
+        rows: &mut [usize],
         features: &[usize],
         depth: usize,
         n_total: usize,
@@ -117,17 +122,27 @@ impl DecisionTree {
         };
         match split {
             None => self.push_leaf(data, rows),
-            Some(Split { feature, threshold, weighted_decrease }) => {
+            Some(Split {
+                feature,
+                threshold,
+                weighted_decrease,
+            }) => {
                 self.importances[feature] += weighted_decrease;
-                let (mut left_rows, mut right_rows): (Vec<usize>, Vec<usize>) =
-                    rows.iter().partition(|&&r| data.row(r)[feature] <= threshold);
+                let (mut left_rows, mut right_rows): (Vec<usize>, Vec<usize>) = rows
+                    .iter()
+                    .partition(|&&r| data.row(r)[feature] <= threshold);
                 debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
                 let id = self.nodes.len();
                 // Reserve the slot; children are appended after.
                 self.nodes.push(Node::Leaf { class: 0 });
                 let left = self.grow(data, &mut left_rows, features, depth + 1, n_total);
                 let right = self.grow(data, &mut right_rows, features, depth + 1, n_total);
-                self.nodes[id] = Node::Internal { feature, threshold, left, right };
+                self.nodes[id] = Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 id
             }
         }
@@ -161,8 +176,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[id] {
                 Node::Leaf { class } => return *class,
-                Node::Internal { feature, threshold, left, right } => {
-                    id = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -200,7 +224,12 @@ impl DecisionTree {
                 Node::Leaf { class } => {
                     out.push_str(&format!("{pad}-> class {class}\n"));
                 }
-                Node::Internal { feature, threshold, left, right } => {
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     out.push_str(&format!(
                         "{pad}if {} <= {threshold:.4} {{\n",
                         name(names, *feature)
@@ -273,7 +302,10 @@ mod tests {
             2,
         )
         .expect("valid dataset");
-        let mut t = DecisionTree::new(TreeParams { max_depth: 0, ..TreeParams::default() });
+        let mut t = DecisionTree::new(TreeParams {
+            max_depth: 0,
+            ..TreeParams::default()
+        });
         t.fit(&d);
         assert_eq!(t.node_count(), 1);
         assert_eq!(t.predict(&[999.0]), 1);

@@ -1,0 +1,249 @@
+//! Chrome trace-event (Perfetto-loadable) export.
+//!
+//! Emits the JSON object form of the [trace event format]: a top-level
+//! `traceEvents` array of complete (`ph: "X"`), counter (`ph: "C"`),
+//! instant (`ph: "i"`) and metadata (`ph: "M"`) events. Load the output in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! [trace event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::recorder::Recorder;
+use serde::Value;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Renders `rec` as a Chrome trace-event JSON string.
+///
+/// Deterministic: events appear as metadata first, then spans in open
+/// order, then instants, then counter samples sorted by name. `pid` is
+/// always 0; `tid` is the recorder track. Timestamps are the recorder's
+/// ticks interpreted as microseconds.
+pub fn chrome_trace(rec: &Recorder, process_name: &str) -> String {
+    serde_json::to_string(&chrome_trace_value(rec, process_name)).expect("value serialises")
+}
+
+/// [`chrome_trace`] as a [`Value`] tree (for tests and post-processing).
+pub fn chrome_trace_value(rec: &Recorder, process_name: &str) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    events.push(obj(vec![
+        ("name", Value::Str("process_name".into())),
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::U64(0)),
+        ("tid", Value::U64(0)),
+        ("args", obj(vec![("name", Value::Str(process_name.into()))])),
+    ]));
+    let mut tracks: Vec<u32> = rec.spans().iter().map(|s| s.track).collect();
+    tracks.extend(rec.events().iter().map(|e| e.track));
+    tracks.sort_unstable();
+    tracks.dedup();
+    for track in &tracks {
+        events.push(obj(vec![
+            ("name", Value::Str("thread_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::U64(0)),
+            ("tid", Value::U64(u64::from(*track))),
+            (
+                "args",
+                obj(vec![("name", Value::Str(format!("track{track}")))]),
+            ),
+        ]));
+    }
+    for s in rec.spans() {
+        let mut fields = vec![
+            ("name", Value::Str(s.name.clone())),
+            (
+                "cat",
+                Value::Str(if s.cat.is_empty() {
+                    "span".into()
+                } else {
+                    s.cat.clone()
+                }),
+            ),
+            ("ph", Value::Str("X".into())),
+            ("ts", Value::U64(s.start)),
+            ("dur", Value::U64(s.duration())),
+            ("pid", Value::U64(0)),
+            ("tid", Value::U64(u64::from(s.track))),
+        ];
+        if !s.args.is_empty() {
+            fields.push((
+                "args",
+                Value::Map(
+                    s.args
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                ),
+            ));
+        }
+        events.push(obj(fields));
+    }
+    for e in rec.events() {
+        events.push(obj(vec![
+            ("name", Value::Str(e.name.clone())),
+            ("ph", Value::Str("i".into())),
+            ("ts", Value::U64(e.ts)),
+            ("pid", Value::U64(0)),
+            ("tid", Value::U64(u64::from(e.track))),
+            ("s", Value::Str("t".into())),
+        ]));
+    }
+    for (name, samples) in rec.counters() {
+        for sample in samples {
+            events.push(obj(vec![
+                ("name", Value::Str(name.clone())),
+                ("ph", Value::Str("C".into())),
+                ("ts", Value::U64(sample.ts)),
+                ("pid", Value::U64(0)),
+                ("args", obj(vec![("value", Value::F64(sample.value))])),
+            ]));
+        }
+    }
+    Value::Map(vec![
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        ("traceEvents".to_string(), Value::Seq(events)),
+    ])
+}
+
+/// Structural check for an exported trace: parses the JSON, then verifies
+/// per-`tid` that complete events have monotonically non-decreasing start
+/// timestamps and properly nest (each span is either disjoint from or fully
+/// contained in the one enclosing it).
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate_chrome_trace(json: &str) -> Result<(), String> {
+    let v: Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let events = v
+        .field("traceEvents")
+        .and_then(|e| e.as_seq())
+        .map_err(|e| e.to_string())?;
+    // (tid, ts, end, name) of complete events, in file order.
+    let mut by_tid: std::collections::BTreeMap<u64, Vec<(u64, u64, String)>> =
+        std::collections::BTreeMap::new();
+    for ev in events {
+        let ph = ev
+            .field("ph")
+            .and_then(|p| p.as_str())
+            .map_err(|e| e.to_string())?;
+        if ph != "X" {
+            continue;
+        }
+        let ts = ev
+            .field("ts")
+            .and_then(|t| t.as_u64())
+            .map_err(|e| e.to_string())?;
+        let dur = ev
+            .field("dur")
+            .and_then(|d| d.as_u64())
+            .map_err(|e| e.to_string())?;
+        let tid = ev
+            .field("tid")
+            .and_then(|t| t.as_u64())
+            .map_err(|e| e.to_string())?;
+        let name = ev
+            .field("name")
+            .and_then(|n| n.as_str())
+            .map_err(|e| e.to_string())?;
+        by_tid
+            .entry(tid)
+            .or_default()
+            .push((ts, ts + dur, name.to_string()));
+    }
+    for (tid, spans) in &by_tid {
+        let mut stack: Vec<(u64, u64, &str)> = Vec::new();
+        let mut last_ts = 0u64;
+        for (ts, end, name) in spans {
+            if *ts < last_ts {
+                return Err(format!(
+                    "tid {tid}: span `{name}` starts at {ts} before previous start {last_ts}"
+                ));
+            }
+            last_ts = *ts;
+            while let Some((_, open_end, _)) = stack.last() {
+                if *ts >= *open_end {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some((open_ts, open_end, open_name)) = stack.last() {
+                if *end > *open_end {
+                    return Err(format!(
+                        "tid {tid}: span `{name}` [{ts}, {end}) escapes enclosing \
+                         `{open_name}` [{open_ts}, {open_end})"
+                    ));
+                }
+            }
+            stack.push((*ts, *end, name));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_round_trips_and_nests() {
+        let mut r = Recorder::manual();
+        let a = r.start_cat("pipeline", "stage");
+        r.set_time(2);
+        let b = r.start("simulate");
+        r.set_time(8);
+        r.end(b);
+        r.set_time(10);
+        r.end(a);
+        r.counter("progress", 1.0);
+        r.event("checkpoint");
+        let json = chrome_trace(&r, "pulp");
+        let v: Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v.field("traceEvents").unwrap().as_seq().unwrap();
+        assert!(events.len() >= 5);
+        validate_chrome_trace(&json).expect("well nested");
+    }
+
+    #[test]
+    fn validator_rejects_escaping_span() {
+        let bad = r#"{"traceEvents":[
+            {"name":"outer","ph":"X","ts":0,"dur":5,"pid":0,"tid":0},
+            {"name":"inner","ph":"X","ts":3,"dur":10,"pid":0,"tid":0}
+        ]}"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("escapes"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validator_rejects_backwards_time() {
+        let bad = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":9,"dur":1,"pid":0,"tid":0},
+            {"name":"b","ph":"X","ts":3,"dur":1,"pid":0,"tid":0}
+        ]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn merged_tracks_get_distinct_tids() {
+        let mut main = Recorder::manual();
+        let m = main.start("main");
+        main.set_time(10);
+        main.end(m);
+        let mut w = Recorder::manual();
+        let s = w.start("worker");
+        w.set_time(4);
+        w.end(s);
+        main.merge(w);
+        let json = chrome_trace(&main, "pulp");
+        validate_chrome_trace(&json).expect("valid");
+        assert!(json.contains("\"tid\":1"));
+    }
+}

@@ -1,0 +1,474 @@
+//! Span/counter recorder with pluggable clock.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Handle to a span opened with [`Recorder::start`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub(crate) usize);
+
+/// One recorded span: a named interval on a track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (stage or component label).
+    pub name: String,
+    /// Category tag grouping related spans (e.g. `pipeline`, `energy`).
+    pub cat: String,
+    /// Track (thread lane) the span lives on; merged recorders get fresh
+    /// tracks so their spans never interleave.
+    pub track: u32,
+    /// Start timestamp in clock ticks (µs under the wall clock).
+    pub start: u64,
+    /// End timestamp; equals `start` while the span is still open.
+    pub end: u64,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: usize,
+    /// Index of the enclosing span in [`Recorder::spans`], if any.
+    pub parent: Option<usize>,
+    /// Free-form key/value annotations (sorted by key).
+    pub args: BTreeMap<String, String>,
+}
+
+impl SpanRecord {
+    /// Span length in clock ticks.
+    pub fn duration(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A named instantaneous marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: String,
+    /// Track the event belongs to.
+    pub track: u32,
+    /// Timestamp in clock ticks.
+    pub ts: u64,
+}
+
+/// One sampled value of a counter series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterSample {
+    /// Timestamp in clock ticks.
+    pub ts: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+#[derive(Debug, Clone)]
+enum Clock {
+    /// Real time; ticks are microseconds since recorder creation.
+    Wall(Instant),
+    /// Caller-driven time; ticks mean whatever the caller wants (tests use
+    /// plain integers, the simulator bridge uses cycles).
+    Manual(u64),
+}
+
+/// Collects spans, counters and events with either a wall or a manual
+/// clock. Free of globals: pass `&mut Recorder` to whoever should report.
+///
+/// Span nesting follows open order per recorder: [`Recorder::start`] pushes
+/// onto an open stack, [`Recorder::end`] closes (out-of-order ends close
+/// the requested span and everything opened after it, keeping the stack
+/// well-formed — Chrome's trace viewer requires proper nesting).
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    clock: Clock,
+    spans: Vec<SpanRecord>,
+    open: Vec<usize>,
+    events: Vec<EventRecord>,
+    counters: BTreeMap<String, Vec<CounterSample>>,
+    track: u32,
+    next_track: u32,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder on the wall clock (ticks = µs since creation).
+    pub fn new() -> Self {
+        Self::with_clock(Clock::Wall(Instant::now()))
+    }
+
+    /// Creates a recorder on a manual clock starting at tick 0. Use
+    /// [`Recorder::set_time`] to advance it; timing becomes fully
+    /// deterministic (tests) or simulation-driven (ticks = cycles).
+    pub fn manual() -> Self {
+        Self::with_clock(Clock::Manual(0))
+    }
+
+    fn with_clock(clock: Clock) -> Self {
+        Self {
+            clock,
+            spans: Vec::new(),
+            open: Vec::new(),
+            events: Vec::new(),
+            counters: BTreeMap::new(),
+            track: 0,
+            next_track: 1,
+        }
+    }
+
+    /// Current tick count.
+    pub fn now(&self) -> u64 {
+        match &self.clock {
+            Clock::Wall(t0) => t0.elapsed().as_micros() as u64,
+            Clock::Manual(t) => *t,
+        }
+    }
+
+    /// Moves a manual clock to `ticks` (no-op on the wall clock). Time may
+    /// only move forward; earlier values are ignored.
+    pub fn set_time(&mut self, ticks: u64) {
+        if let Clock::Manual(t) = &mut self.clock {
+            *t = (*t).max(ticks);
+        }
+    }
+
+    /// Opens a span named `name` with an empty category.
+    pub fn start(&mut self, name: &str) -> SpanId {
+        self.start_cat(name, "")
+    }
+
+    /// Opens a span with an explicit category tag.
+    pub fn start_cat(&mut self, name: &str, cat: &str) -> SpanId {
+        let now = self.now();
+        let parent = self.open.last().copied();
+        let idx = self.spans.len();
+        self.spans.push(SpanRecord {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            track: self.track,
+            start: now,
+            end: now,
+            depth: self.open.len(),
+            parent,
+            args: BTreeMap::new(),
+        });
+        self.open.push(idx);
+        SpanId(idx)
+    }
+
+    /// Closes `span` (and any spans opened after it still left open).
+    pub fn end(&mut self, span: SpanId) {
+        let now = self.now();
+        while let Some(idx) = self.open.pop() {
+            self.spans[idx].end = now;
+            if idx == span.0 {
+                return;
+            }
+        }
+    }
+
+    /// Runs `f` inside a span named `name`; the span closes when `f`
+    /// returns (even through `?`-free early returns within `f`).
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let id = self.start(name);
+        let out = f(self);
+        self.end(id);
+        out
+    }
+
+    /// Attaches a key/value annotation to a span.
+    pub fn annotate(&mut self, span: SpanId, key: &str, value: impl fmt::Display) {
+        if let Some(s) = self.spans.get_mut(span.0) {
+            s.args.insert(key.to_string(), value.to_string());
+        }
+    }
+
+    /// Records an instantaneous marker.
+    pub fn event(&mut self, name: &str) {
+        let ts = self.now();
+        self.events.push(EventRecord {
+            name: name.to_string(),
+            track: self.track,
+            ts,
+        });
+    }
+
+    /// Samples counter `name` at the current time.
+    pub fn counter(&mut self, name: &str, value: f64) {
+        let ts = self.now();
+        self.counters
+            .entry(name.to_string())
+            .or_default()
+            .push(CounterSample { ts, value });
+    }
+
+    /// Adds `delta` to counter `name`'s latest value (starting from 0).
+    pub fn counter_add(&mut self, name: &str, delta: f64) {
+        let last = self
+            .counters
+            .get(name)
+            .and_then(|s| s.last())
+            .map(|s| s.value)
+            .unwrap_or(0.0);
+        self.counter(name, last + delta);
+    }
+
+    /// Closes every span still open, in reverse open order.
+    pub fn close_all(&mut self) {
+        let now = self.now();
+        while let Some(idx) = self.open.pop() {
+            self.spans[idx].end = now;
+        }
+    }
+
+    /// All spans in open order (parents before children).
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// All instantaneous events in emission order.
+    pub fn events(&self) -> &[EventRecord] {
+        &self.events
+    }
+
+    /// Counter series, sorted by name.
+    pub fn counters(&self) -> &BTreeMap<String, Vec<CounterSample>> {
+        &self.counters
+    }
+
+    /// Absorbs `other`, re-homing its tracks after this recorder's so the
+    /// two span forests never interleave. Use for per-thread recorders
+    /// joined back into the pipeline's main one.
+    pub fn merge(&mut self, other: Recorder) {
+        let mut other = other;
+        other.close_all();
+        let base_span = self.spans.len();
+        let shift = self.next_track;
+        let mut max_track = 0;
+        for mut s in other.spans {
+            s.track += shift;
+            max_track = max_track.max(s.track);
+            s.parent = s.parent.map(|p| p + base_span);
+            self.spans.push(s);
+        }
+        for mut e in other.events {
+            e.track += shift;
+            max_track = max_track.max(e.track);
+            self.events.push(e);
+        }
+        for (name, samples) in other.counters {
+            self.counters.entry(name).or_default().extend(samples);
+        }
+        self.next_track = self.next_track.max(max_track + 1);
+    }
+
+    /// Deterministic [`Value`] tree: spans in open order, counters sorted
+    /// by name, fixed key order inside every object.
+    pub fn to_value(&self) -> Value {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                let mut m = vec![
+                    ("name".to_string(), Value::Str(s.name.clone())),
+                    ("cat".to_string(), Value::Str(s.cat.clone())),
+                    ("track".to_string(), Value::U64(u64::from(s.track))),
+                    ("start".to_string(), Value::U64(s.start)),
+                    ("end".to_string(), Value::U64(s.end)),
+                    ("depth".to_string(), Value::U64(s.depth as u64)),
+                ];
+                if !s.args.is_empty() {
+                    m.push((
+                        "args".to_string(),
+                        Value::Map(
+                            s.args
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                                .collect(),
+                        ),
+                    ));
+                }
+                Value::Map(m)
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, samples)| {
+                let seq = samples
+                    .iter()
+                    .map(|s| {
+                        Value::Map(vec![
+                            ("ts".to_string(), Value::U64(s.ts)),
+                            ("value".to_string(), Value::F64(s.value)),
+                        ])
+                    })
+                    .collect();
+                (name.clone(), Value::Seq(seq))
+            })
+            .collect();
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                Value::Map(vec![
+                    ("name".to_string(), Value::Str(e.name.clone())),
+                    ("track".to_string(), Value::U64(u64::from(e.track))),
+                    ("ts".to_string(), Value::U64(e.ts)),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("spans".to_string(), Value::Seq(spans)),
+            ("counters".to_string(), Value::Map(counters)),
+            ("events".to_string(), Value::Seq(events)),
+        ])
+    }
+
+    /// Compact deterministic JSON dump of [`Recorder::to_value`].
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("value serialises")
+    }
+
+    /// Human-readable summary table ([`fmt::Display`]).
+    pub fn summary(&self) -> Summary<'_> {
+        Summary { rec: self }
+    }
+}
+
+/// Display adapter over a [`Recorder`]: indented span table plus final
+/// counter values.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary<'a> {
+    rec: &'a Recorder,
+}
+
+impl fmt::Display for Summary<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total: u64 = self
+            .rec
+            .spans
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(SpanRecord::duration)
+            .sum();
+        writeln!(f, "{:<44} {:>12} {:>7}", "span", "ticks", "share")?;
+        for s in &self.rec.spans {
+            let label = format!("{}{}", "  ".repeat(s.depth), s.name);
+            let share = if total == 0 {
+                0.0
+            } else {
+                100.0 * s.duration() as f64 / total as f64
+            };
+            writeln!(f, "{:<44} {:>12} {:>6.1}%", label, s.duration(), share)?;
+        }
+        if !self.rec.counters.is_empty() {
+            writeln!(f, "{:<44} {:>12}", "counter", "last")?;
+            for (name, samples) in &self.rec.counters {
+                let last = samples.last().map(|s| s.value).unwrap_or(0.0);
+                writeln!(f, "{name:<44} {last:>12.3}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_spans_are_deterministic() {
+        let mut r = Recorder::manual();
+        let a = r.start("outer");
+        r.set_time(5);
+        let b = r.start("inner");
+        r.set_time(9);
+        r.end(b);
+        r.set_time(10);
+        r.end(a);
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].duration(), 10);
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].duration(), 4);
+    }
+
+    #[test]
+    fn out_of_order_end_closes_children() {
+        let mut r = Recorder::manual();
+        let a = r.start("outer");
+        let _b = r.start("leaked");
+        r.set_time(3);
+        r.end(a);
+        assert!(r.spans().iter().all(|s| s.end == 3));
+        // The open stack is empty again: a new span is top-level.
+        let c = r.start("next");
+        assert_eq!(r.spans()[c.0].depth, 0);
+    }
+
+    #[test]
+    fn counter_add_accumulates() {
+        let mut r = Recorder::manual();
+        r.counter_add("energy_uj", 1.5);
+        r.set_time(2);
+        r.counter_add("energy_uj", 2.0);
+        let series = &r.counters()["energy_uj"];
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[1].value, 3.5);
+    }
+
+    #[test]
+    fn merge_rehomes_tracks_and_parents() {
+        let mut main = Recorder::manual();
+        let m = main.start("main");
+        main.set_time(4);
+        main.end(m);
+
+        let mut worker = Recorder::manual();
+        let w = worker.start("worker");
+        worker.set_time(2);
+        let inner = worker.start("inner");
+        worker.set_time(3);
+        worker.end(inner);
+        worker.end(w);
+
+        main.merge(worker);
+        let spans = main.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].track, 0);
+        assert_eq!(spans[1].track, 1);
+        assert_eq!(spans[2].track, 1);
+        assert_eq!(spans[2].parent, Some(1));
+    }
+
+    #[test]
+    fn json_dump_is_stable() {
+        let mut r = Recorder::manual();
+        r.counter("zeta", 1.0);
+        r.counter("alpha", 2.0);
+        let s = r.start("stage");
+        r.set_time(7);
+        r.end(s);
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        // Counters are key-sorted in the dump.
+        assert!(a.find("alpha").unwrap() < a.find("zeta").unwrap());
+    }
+
+    #[test]
+    fn summary_lists_spans_and_counters() {
+        let mut r = Recorder::manual();
+        let s = r.start("simulate");
+        r.set_time(10);
+        r.end(s);
+        r.counter("kernels", 3.0);
+        let text = r.summary().to_string();
+        assert!(text.contains("simulate"));
+        assert!(text.contains("kernels"));
+        assert!(text.contains("100.0%"));
+    }
+}

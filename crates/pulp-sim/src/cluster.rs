@@ -6,6 +6,7 @@
 //! shared-FPU arbitration, L2 latency, barrier sleep with clock gating,
 //! OpenMP fork/join overhead and critical-section serialisation.
 
+use crate::cause::CycleCause;
 use crate::config::ClusterConfig;
 use crate::dma::{DmaEngine, DmaTransfer};
 use crate::event_unit::EventUnit;
@@ -15,6 +16,7 @@ use crate::isa::{MicroOp, OpKind};
 use crate::program::{Program, SegOp, Step, ValidateProgramError};
 use crate::stats::SimStats;
 use crate::tcdm::TcdmArbiter;
+use crate::telemetry::{NoTelemetry, Telemetry};
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 use std::fmt;
 
@@ -51,8 +53,14 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Validate(e) => write!(f, "invalid program: {e}"),
-            Self::TeamTooLarge { requested, available } => {
-                write!(f, "program needs {requested} cores but cluster has {available}")
+            Self::TeamTooLarge {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "program needs {requested} cores but cluster has {available}"
+                )
             }
             Self::AddressOutOfRange { core, addr } => {
                 write!(f, "core {core}: address {addr:#010x} maps to no memory")
@@ -82,8 +90,9 @@ impl From<ValidateProgramError> for SimError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
     Ready,
-    /// Finishing a multi-cycle operation.
-    Busy(u32),
+    /// Finishing a multi-cycle operation; carries the cause its remaining
+    /// cycles are attributed to.
+    Busy(u32, CycleCause),
     /// Master executing the fork runtime code.
     Forking(u32),
     SleepBarrier,
@@ -105,37 +114,65 @@ pub fn simulate(config: &ClusterConfig, program: &Program) -> Result<SimStats, S
 
 /// Runs `program` on the cluster, streaming trace events into `sink`.
 ///
-/// Cores `0..program.num_cores()` execute the program streams; remaining
-/// cluster cores are clock-gated for the whole run (their leakage and
-/// gating energy still counts, which is what makes small team sizes pay for
-/// the silicon they do not use).
+/// Convenience wrapper over [`simulate_instrumented`] with no telemetry.
 ///
 /// # Errors
 ///
-/// Returns an error if the program is structurally invalid, requests more
-/// cores than available, touches an unmapped address, or fails to finish
-/// within `max_cycles`.
+/// See [`simulate_instrumented`].
 pub fn simulate_traced<S: TraceSink>(
     config: &ClusterConfig,
     program: &Program,
     max_cycles: u64,
     sink: &mut S,
 ) -> Result<SimStats, SimError> {
+    simulate_instrumented(config, program, max_cycles, sink, &mut NoTelemetry)
+}
+
+/// Runs `program` on the cluster with trace and telemetry observers.
+///
+/// Cores `0..program.num_cores()` execute the program streams; remaining
+/// cluster cores are clock-gated for the whole run (their leakage and
+/// gating energy still counts, which is what makes small team sizes pay for
+/// the silicon they do not use).
+///
+/// `telemetry` receives one [`Telemetry::on_cycle`] call per team/cluster
+/// core per cycle with the cycle's exclusive [`CycleCause`], plus fork and
+/// barrier-release region boundaries. Pass [`NoTelemetry`] (or use
+/// [`simulate_traced`]) for the zero-cost path.
+///
+/// # Errors
+///
+/// Returns an error if the program is structurally invalid, requests more
+/// cores than available, touches an unmapped address, or fails to finish
+/// within `max_cycles`.
+pub fn simulate_instrumented<S: TraceSink, T: Telemetry>(
+    config: &ClusterConfig,
+    program: &Program,
+    max_cycles: u64,
+    sink: &mut S,
+    telemetry: &mut T,
+) -> Result<SimStats, SimError> {
     program.validate()?;
     let team = program.num_cores();
     if team > config.num_cores {
-        return Err(SimError::TeamTooLarge { requested: team, available: config.num_cores });
+        return Err(SimError::TeamTooLarge {
+            requested: team,
+            available: config.num_cores,
+        });
     }
     if team == 0 {
         let mut stats = SimStats::new(config.num_cores, config.tcdm_banks, config.l2_banks);
         stats.team_size = 0;
+        telemetry.on_finish(0);
         return Ok(stats);
     }
 
     let mut stats = SimStats::new(config.num_cores, config.tcdm_banks, config.l2_banks);
     stats.team_size = team;
 
-    let mut cursors: Vec<_> = (0..team).map(|c| crate::program::Cursor::new(program, c)).collect();
+    let mut cursors: Vec<_> = (0..team)
+        .map(|c| crate::program::Cursor::new(program, c))
+        .collect();
     let mut modes = vec![Mode::Ready; team];
     let mut forks_seen = vec![0u64; team];
     let mut cg_open = vec![false; config.num_cores];
@@ -178,20 +215,39 @@ pub fn simulate_traced<S: TraceSink>(
         for core in 0..team {
             match modes[core] {
                 Mode::Finished => {
-                    count_sleep(config, &mut stats, &mut cg_open, sink, cycle, core);
+                    count_sleep(
+                        config,
+                        &mut stats,
+                        &mut cg_open,
+                        sink,
+                        telemetry,
+                        cycle,
+                        core,
+                        CycleCause::Idle,
+                    );
                 }
-                Mode::Busy(left) => {
-                    stats.cores[core].idle_cycles += 1;
+                Mode::Busy(left, cause) => {
+                    stall(&mut stats, sink, telemetry, cycle, core, cause);
                     any_active = true;
-                    sink.emit(cycle, TraceEvent::Stall { core });
-                    modes[core] = if left <= 1 { Mode::Ready } else { Mode::Busy(left - 1) };
+                    modes[core] = if left <= 1 {
+                        Mode::Ready
+                    } else {
+                        Mode::Busy(left - 1, cause)
+                    };
                 }
                 Mode::Forking(left) => {
-                    stats.cores[core].idle_cycles += 1;
+                    stall(
+                        &mut stats,
+                        sink,
+                        telemetry,
+                        cycle,
+                        core,
+                        CycleCause::Runtime,
+                    );
                     any_active = true;
-                    sink.emit(cycle, TraceEvent::Stall { core });
                     if left <= 1 {
                         eu.signal_fork();
+                        telemetry.on_fork(cycle);
                         sink.emit(cycle, TraceEvent::Fork);
                         cursors[core].advance();
                         modes[core] = Mode::Ready;
@@ -200,7 +256,16 @@ pub fn simulate_traced<S: TraceSink>(
                     }
                 }
                 Mode::SleepBarrier => {
-                    count_sleep(config, &mut stats, &mut cg_open, sink, cycle, core);
+                    count_sleep(
+                        config,
+                        &mut stats,
+                        &mut cg_open,
+                        sink,
+                        telemetry,
+                        cycle,
+                        core,
+                        CycleCause::Barrier,
+                    );
                 }
                 Mode::SleepFork => {
                     if eu.fork_ready(forks_seen[core]) {
@@ -211,18 +276,42 @@ pub fn simulate_traced<S: TraceSink>(
                         }
                         forks_seen[core] += 1;
                         cursors[core].advance();
-                        stats.cores[core].idle_cycles += 1;
-                        sink.emit(cycle, TraceEvent::Stall { core });
+                        stall(
+                            &mut stats,
+                            sink,
+                            telemetry,
+                            cycle,
+                            core,
+                            CycleCause::Runtime,
+                        );
                         any_active = true;
                         modes[core] = Mode::Ready;
                     } else {
-                        count_sleep(config, &mut stats, &mut cg_open, sink, cycle, core);
+                        count_sleep(
+                            config,
+                            &mut stats,
+                            &mut cg_open,
+                            sink,
+                            telemetry,
+                            cycle,
+                            core,
+                            CycleCause::ForkWait,
+                        );
                     }
                 }
                 Mode::Ready => {
                     if cursors[core].is_done() {
                         modes[core] = Mode::Finished;
-                        count_sleep(config, &mut stats, &mut cg_open, sink, cycle, core);
+                        count_sleep(
+                            config,
+                            &mut stats,
+                            &mut cg_open,
+                            sink,
+                            telemetry,
+                            cycle,
+                            core,
+                            CycleCause::Idle,
+                        );
                         continue;
                     }
                     any_active = true;
@@ -242,6 +331,7 @@ pub fn simulate_traced<S: TraceSink>(
                         &mut fpus,
                         &mut barrier_release,
                         sink,
+                        telemetry,
                         cycle,
                         core,
                     )?;
@@ -251,7 +341,16 @@ pub fn simulate_traced<S: TraceSink>(
 
         // Unused physical cores are clock-gated for the whole run.
         for core in team..config.num_cores {
-            count_sleep(config, &mut stats, &mut cg_open, sink, cycle, core);
+            count_sleep(
+                config,
+                &mut stats,
+                &mut cg_open,
+                sink,
+                telemetry,
+                cycle,
+                core,
+                CycleCause::Idle,
+            );
         }
 
         if barrier_release {
@@ -270,6 +369,7 @@ pub fn simulate_traced<S: TraceSink>(
         };
         if do_release {
             stats.barriers += 1;
+            telemetry.on_barrier_release(cycle);
             sink.emit(cycle, TraceEvent::BarrierRelease);
             for core in 0..team {
                 if modes[core] == Mode::SleepBarrier {
@@ -291,8 +391,8 @@ pub fn simulate_traced<S: TraceSink>(
     }
 
     // Close dangling clock-gating regions for the listeners.
-    for core in 0..config.num_cores {
-        if cg_open[core] {
+    for (core, open) in cg_open.iter().enumerate().take(config.num_cores) {
+        if *open {
             sink.emit(cycle, TraceEvent::CgExit { core });
         }
     }
@@ -303,41 +403,70 @@ pub fn simulate_traced<S: TraceSink>(
     stats.icache.fetches = stats.cores.iter().map(|c| c.fetches).sum();
     stats.icache.refills = (0..team)
         .map(|c| {
-            let static_insns =
-                program.stream(c).iter().filter(|s| matches!(s, SegOp::Instr { .. })).count();
+            let static_insns = program
+                .stream(c)
+                .iter()
+                .filter(|s| matches!(s, SegOp::Instr { .. }))
+                .count();
             refills_for_static_insns(static_insns as u64)
         })
         .sum();
-    sink.emit(cycle, TraceEvent::IcacheRefill { count: stats.icache.refills });
+    sink.emit(
+        cycle,
+        TraceEvent::IcacheRefill {
+            count: stats.icache.refills,
+        },
+    );
+    telemetry.on_finish(cycle);
     debug_assert_eq!(stats.check_consistency(), Ok(()));
     Ok(stats)
 }
 
+/// Accounts one active-wait cycle for `core`, attributed to `cause`.
+fn stall<S: TraceSink, T: Telemetry>(
+    stats: &mut SimStats,
+    sink: &mut S,
+    telemetry: &mut T,
+    cycle: u64,
+    core: usize,
+    cause: CycleCause,
+) {
+    stats.cores[core].idle_cycles += 1;
+    stats.cores[core].breakdown.add(cause);
+    telemetry.on_cycle(cycle, core, cause);
+    sink.emit(cycle, TraceEvent::Stall { core, cause });
+}
+
 /// Accounts one sleeping cycle for `core`, routed to clock gating or active
-/// wait depending on the configuration's ablation switch.
-fn count_sleep<S: TraceSink>(
+/// wait depending on the configuration's ablation switch. The cause tags
+/// the whole gating region (emitted once, on `CgEnter`): a sleeping core's
+/// reason cannot change until it wakes, which closes the region.
+#[allow(clippy::too_many_arguments)]
+fn count_sleep<S: TraceSink, T: Telemetry>(
     config: &ClusterConfig,
     stats: &mut SimStats,
     cg_open: &mut [bool],
     sink: &mut S,
+    telemetry: &mut T,
     cycle: u64,
     core: usize,
+    cause: CycleCause,
 ) {
     if config.model_clock_gating {
         if !cg_open[core] {
             cg_open[core] = true;
-            sink.emit(cycle, TraceEvent::CgEnter { core });
+            sink.emit(cycle, TraceEvent::CgEnter { core, cause });
         }
         stats.cores[core].cg_cycles += 1;
+        stats.cores[core].breakdown.add(cause);
+        telemetry.on_cycle(cycle, core, cause);
     } else {
-        stats.cores[core].idle_cycles += 1;
-        sink.emit(cycle, TraceEvent::Stall { core });
+        stall(stats, sink, telemetry, cycle, core, cause);
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-#[allow(clippy::too_many_arguments)]
-fn step_core<S: TraceSink>(
+fn step_core<S: TraceSink, T: Telemetry>(
     config: &ClusterConfig,
     fork_cycles: u32,
     stats: &mut SimStats,
@@ -353,6 +482,7 @@ fn step_core<S: TraceSink>(
     fpus: &mut FpuPool,
     barrier_release: &mut bool,
     sink: &mut S,
+    telemetry: &mut T,
     cycle: u64,
     core: usize,
 ) -> Result<(), SimError> {
@@ -361,22 +491,24 @@ fn step_core<S: TraceSink>(
         // Completion is detected by the main loop before dispatching here.
         Step::Done => unreachable!("step_core called on a finished cursor"),
         Step::Op(op) => {
-            exec_op(config, stats, cursors, modes, arbiter, l2_port, fpus, sink, cycle, core, op)?;
+            exec_op(
+                config, stats, cursors, modes, arbiter, l2_port, fpus, sink, telemetry, cycle,
+                core, op,
+            )?;
         }
         Step::Barrier => {
             sink.emit(cycle, TraceEvent::BarrierArrive { core });
-            stats.cores[core].idle_cycles += 1;
-            sink.emit(cycle, TraceEvent::Stall { core });
+            stall(stats, sink, telemetry, cycle, core, CycleCause::Barrier);
             modes[core] = Mode::SleepBarrier;
             if eu.arrive(core) {
                 *barrier_release = true;
             }
         }
         Step::Fork => {
-            stats.cores[core].idle_cycles += 1;
-            sink.emit(cycle, TraceEvent::Stall { core });
+            stall(stats, sink, telemetry, cycle, core, CycleCause::Runtime);
             if fork_cycles <= 1 {
                 eu.signal_fork();
+                telemetry.on_fork(cycle);
                 sink.emit(cycle, TraceEvent::Fork);
                 cursors[core].advance();
             } else {
@@ -387,56 +519,63 @@ fn step_core<S: TraceSink>(
             if eu.fork_ready(forks_seen[core]) {
                 forks_seen[core] += 1;
                 cursors[core].advance();
-                stats.cores[core].idle_cycles += 1;
-                sink.emit(cycle, TraceEvent::Stall { core });
+                stall(stats, sink, telemetry, cycle, core, CycleCause::Runtime);
             } else {
                 modes[core] = Mode::SleepFork;
                 // This cycle already counts as sleeping.
                 if config.model_clock_gating {
                     cg_open[core] = true;
-                    sink.emit(cycle, TraceEvent::CgEnter { core });
+                    sink.emit(
+                        cycle,
+                        TraceEvent::CgEnter {
+                            core,
+                            cause: CycleCause::ForkWait,
+                        },
+                    );
                     stats.cores[core].cg_cycles += 1;
+                    stats.cores[core].breakdown.add(CycleCause::ForkWait);
+                    telemetry.on_cycle(cycle, core, CycleCause::ForkWait);
                     return Ok(());
                 }
-                stats.cores[core].idle_cycles += 1;
-                sink.emit(cycle, TraceEvent::Stall { core });
+                stall(stats, sink, telemetry, cycle, core, CycleCause::ForkWait);
             }
         }
         Step::CriticalBegin => {
             if eu.try_lock(core) {
-                retire(stats, sink, cycle, core, OpKind::Alu, None);
+                retire(stats, sink, telemetry, cycle, core, OpKind::Alu, None);
                 stats.cores[core].alu_ops += 1;
                 cursors[core].advance();
             } else {
-                stats.cores[core].idle_cycles += 1;
-                sink.emit(cycle, TraceEvent::Stall { core });
+                stall(stats, sink, telemetry, cycle, core, CycleCause::Runtime);
             }
         }
         Step::CriticalEnd => {
             eu.unlock(core);
-            retire(stats, sink, cycle, core, OpKind::Alu, None);
+            retire(stats, sink, telemetry, cycle, core, OpKind::Alu, None);
             stats.cores[core].alu_ops += 1;
             cursors[core].advance();
         }
         Step::Dma { words, inbound } => {
             // Blocking transfer: the issuing core programs the engine and
             // actively waits for completion.
-            let t = if inbound { DmaTransfer::inbound(words) } else { DmaTransfer::outbound(words) };
+            let t = if inbound {
+                DmaTransfer::inbound(words)
+            } else {
+                DmaTransfer::outbound(words)
+            };
             let busy = dma.run(t) as u32;
             *dma_free_at = (*dma_free_at).max(cycle + u64::from(busy));
             sink.emit(cycle, TraceEvent::Dma { words, inbound });
-            stats.cores[core].idle_cycles += 1;
-            sink.emit(cycle, TraceEvent::Stall { core });
+            stall(stats, sink, telemetry, cycle, core, CycleCause::Dma);
             cursors[core].advance();
             if busy > 1 {
-                modes[core] = Mode::Busy(busy - 1);
+                modes[core] = Mode::Busy(busy - 1, CycleCause::Dma);
             }
         }
         Step::DmaAsync { words, inbound } => {
             if cycle < *dma_free_at {
                 // Engine still streaming a previous transfer: retry.
-                stats.cores[core].idle_cycles += 1;
-                sink.emit(cycle, TraceEvent::Stall { core });
+                stall(stats, sink, telemetry, cycle, core, CycleCause::Dma);
             } else {
                 let t = if inbound {
                     DmaTransfer::inbound(words)
@@ -447,14 +586,12 @@ fn step_core<S: TraceSink>(
                 *dma_free_at = cycle + busy;
                 sink.emit(cycle, TraceEvent::Dma { words, inbound });
                 // One cycle to program the engine; the core then continues.
-                stats.cores[core].idle_cycles += 1;
-                sink.emit(cycle, TraceEvent::Stall { core });
+                stall(stats, sink, telemetry, cycle, core, CycleCause::Dma);
                 cursors[core].advance();
             }
         }
         Step::DmaWait => {
-            stats.cores[core].idle_cycles += 1;
-            sink.emit(cycle, TraceEvent::Stall { core });
+            stall(stats, sink, telemetry, cycle, core, CycleCause::Dma);
             if cycle >= *dma_free_at {
                 cursors[core].advance();
             }
@@ -464,20 +601,23 @@ fn step_core<S: TraceSink>(
 }
 
 /// Records the fetch + trace event shared by every retirement path.
-fn retire<S: TraceSink>(
+fn retire<S: TraceSink, T: Telemetry>(
     stats: &mut SimStats,
     sink: &mut S,
+    telemetry: &mut T,
     cycle: u64,
     core: usize,
     kind: OpKind,
     addr: Option<u32>,
 ) {
     stats.cores[core].fetches += 1;
+    stats.cores[core].breakdown.add(CycleCause::Execute);
+    telemetry.on_cycle(cycle, core, CycleCause::Execute);
     sink.emit(cycle, TraceEvent::Insn { core, kind, addr });
 }
 
 #[allow(clippy::too_many_arguments)]
-fn exec_op<S: TraceSink>(
+fn exec_op<S: TraceSink, T: Telemetry>(
     config: &ClusterConfig,
     stats: &mut SimStats,
     cursors: &mut [crate::program::Cursor<'_>],
@@ -486,56 +626,68 @@ fn exec_op<S: TraceSink>(
     l2_port: &mut TcdmArbiter,
     fpus: &mut FpuPool,
     sink: &mut S,
+    telemetry: &mut T,
     cycle: u64,
     core: usize,
     op: MicroOp,
 ) -> Result<(), SimError> {
     // An executing core is never clock-gated; CG flags are managed by the
     // sleep paths. `finish` consumes the step and schedules any multi-cycle
-    // tail as Busy time.
-    let mut finish = |cursors: &mut [crate::program::Cursor<'_>], latency: u32| {
-        cursors[core].advance();
-        if latency > 1 {
-            modes[core] = Mode::Busy(latency - 1);
-        }
-    };
+    // tail as Busy time attributed to `tail_cause`.
+    let mut finish =
+        |cursors: &mut [crate::program::Cursor<'_>], latency: u32, tail_cause: CycleCause| {
+            cursors[core].advance();
+            if latency > 1 {
+                modes[core] = Mode::Busy(latency - 1, tail_cause);
+            }
+        };
     match op.kind {
         OpKind::Alu => {
             stats.cores[core].alu_ops += 1;
-            retire(stats, sink, cycle, core, op.kind, None);
-            finish(cursors, 1);
+            retire(stats, sink, telemetry, cycle, core, op.kind, None);
+            finish(cursors, 1, CycleCause::ExecTail);
         }
         OpKind::Mul => {
             stats.cores[core].alu_ops += 1;
-            retire(stats, sink, cycle, core, op.kind, None);
-            finish(cursors, config.mul_latency);
+            retire(stats, sink, telemetry, cycle, core, op.kind, None);
+            finish(cursors, config.mul_latency, CycleCause::ExecTail);
         }
         OpKind::Div => {
             stats.cores[core].alu_ops += 1;
-            retire(stats, sink, cycle, core, op.kind, None);
-            finish(cursors, config.int_div_latency);
+            retire(stats, sink, telemetry, cycle, core, op.kind, None);
+            finish(cursors, config.int_div_latency, CycleCause::ExecTail);
         }
         OpKind::Branch | OpKind::Jump => {
             stats.cores[core].alu_ops += 1;
-            retire(stats, sink, cycle, core, op.kind, None);
-            finish(cursors, 1 + config.taken_branch_penalty);
+            retire(stats, sink, telemetry, cycle, core, op.kind, None);
+            finish(
+                cursors,
+                1 + config.taken_branch_penalty,
+                CycleCause::ExecTail,
+            );
         }
         OpKind::Nop => {
             stats.cores[core].nop_ops += 1;
-            retire(stats, sink, cycle, core, op.kind, None);
-            finish(cursors, 1);
+            retire(stats, sink, telemetry, cycle, core, op.kind, None);
+            finish(cursors, 1, CycleCause::ExecTail);
         }
         OpKind::Fp(f) => {
             let fpu = config.fpu_of(core);
             match fpus.try_issue(fpu, f, cycle) {
                 Some(issue) => {
                     stats.cores[core].fp_ops += 1;
-                    retire(stats, sink, cycle, core, op.kind, None);
-                    finish(cursors, issue.core_busy);
+                    retire(stats, sink, telemetry, cycle, core, op.kind, None);
+                    finish(cursors, issue.core_busy, CycleCause::ExecTail);
                 }
                 None => {
-                    stats.cores[core].idle_cycles += 1;
-                    sink.emit(cycle, TraceEvent::Stall { core });
+                    stall(
+                        stats,
+                        sink,
+                        telemetry,
+                        cycle,
+                        core,
+                        CycleCause::FpuContention,
+                    );
                 }
             }
         }
@@ -552,18 +704,23 @@ fn exec_op<S: TraceSink>(
                         stats.l1_banks[bank].reads += 1;
                     }
                     sink.emit(cycle, TraceEvent::L1Access { bank, write });
-                    retire(stats, sink, cycle, core, op.kind, Some(addr));
-                    finish(cursors, 1);
+                    retire(stats, sink, telemetry, cycle, core, op.kind, Some(addr));
+                    finish(cursors, 1, CycleCause::ExecTail);
                 } else {
                     stats.l1_banks[bank].conflicts += 1;
-                    stats.cores[core].idle_cycles += 1;
                     sink.emit(cycle, TraceEvent::L1Conflict { bank });
-                    sink.emit(cycle, TraceEvent::Stall { core });
+                    stall(
+                        stats,
+                        sink,
+                        telemetry,
+                        cycle,
+                        core,
+                        CycleCause::TcdmConflict,
+                    );
                 }
             } else if config.is_l2(addr) {
                 if !l2_port.try_access(0, cycle) {
-                    stats.cores[core].idle_cycles += 1;
-                    sink.emit(cycle, TraceEvent::Stall { core });
+                    stall(stats, sink, telemetry, cycle, core, CycleCause::L2Wait);
                     return Ok(());
                 }
                 let bank = config.l2_bank_of(addr);
@@ -574,8 +731,8 @@ fn exec_op<S: TraceSink>(
                     stats.l2_banks[bank].reads += 1;
                 }
                 sink.emit(cycle, TraceEvent::L2Access { bank, write });
-                retire(stats, sink, cycle, core, op.kind, Some(addr));
-                finish(cursors, config.l2_latency);
+                retire(stats, sink, telemetry, cycle, core, op.kind, Some(addr));
+                finish(cursors, config.l2_latency, CycleCause::L2Wait);
             } else {
                 return Err(SimError::AddressOutOfRange { core, addr });
             }
@@ -595,11 +752,17 @@ mod tests {
     }
 
     fn load(addr: u32) -> SegOp {
-        SegOp::Instr { kind: OpKind::Load, addr: Some(AddrExpr::constant(addr)) }
+        SegOp::Instr {
+            kind: OpKind::Load,
+            addr: Some(AddrExpr::constant(addr)),
+        }
     }
 
     fn store(addr: u32) -> SegOp {
-        SegOp::Instr { kind: OpKind::Store, addr: Some(AddrExpr::constant(addr)) }
+        SegOp::Instr {
+            kind: OpKind::Store,
+            addr: Some(AddrExpr::constant(addr)),
+        }
     }
 
     fn cfg() -> ClusterConfig {
@@ -715,14 +878,23 @@ mod tests {
         let s = simulate(&cfg(), &p).expect("simulate");
         assert_eq!(s.barriers, 1);
         // Core 1 slept while core 0 computed.
-        assert!(s.cores[1].cg_cycles >= 9, "core 1 cg: {}", s.cores[1].cg_cycles);
+        assert!(
+            s.cores[1].cg_cycles >= 9,
+            "core 1 cg: {}",
+            s.cores[1].cg_cycles
+        );
         assert!(s.check_consistency().is_ok());
     }
 
     #[test]
     fn fork_wakes_workers() {
         let p = Program::new(vec![
-            vec![instr(OpKind::Alu), SegOp::Fork, instr(OpKind::Alu), SegOp::Barrier],
+            vec![
+                instr(OpKind::Alu),
+                SegOp::Fork,
+                instr(OpKind::Alu),
+                SegOp::Barrier,
+            ],
             vec![SegOp::WaitFork, instr(OpKind::Alu), SegOp::Barrier],
         ]);
         let s = simulate(&cfg(), &p).expect("simulate");
@@ -753,7 +925,10 @@ mod tests {
         let p = Program::new(vec![vec![]; 9]);
         assert!(matches!(
             simulate(&cfg(), &p),
-            Err(SimError::TeamTooLarge { requested: 9, available: 8 })
+            Err(SimError::TeamTooLarge {
+                requested: 9,
+                available: 8
+            })
         ));
     }
 
@@ -788,7 +963,11 @@ mod tests {
     fn parallel_speedup_on_independent_work() {
         // 256 ALU ops split over 1 vs 4 cores.
         let chunk = |n: usize| -> Vec<SegOp> {
-            vec![SegOp::LoopBegin { trip: n as u64 }, instr(OpKind::Alu), SegOp::LoopEnd]
+            vec![
+                SegOp::LoopBegin { trip: n as u64 },
+                instr(OpKind::Alu),
+                SegOp::LoopEnd,
+            ]
         };
         let p1 = Program::new(vec![chunk(256)]);
         let p4 = Program::new(vec![chunk(64), chunk(64), chunk(64), chunk(64)]);

@@ -173,10 +173,10 @@ impl ClusterConfig {
         if self.num_fpus == 0 {
             return Err("num_fpus must be at least 1".into());
         }
-        if self.tcdm_bytes == 0 || self.tcdm_bytes % 4 != 0 {
+        if self.tcdm_bytes == 0 || !self.tcdm_bytes.is_multiple_of(4) {
             return Err("tcdm_bytes must be a positive multiple of the word size".into());
         }
-        if self.l2_bytes == 0 || self.l2_bytes % 4 != 0 {
+        if self.l2_bytes == 0 || !self.l2_bytes.is_multiple_of(4) {
             return Err("l2_bytes must be a positive multiple of the word size".into());
         }
         if self.l2_latency == 0 {
@@ -266,14 +266,20 @@ mod tests {
 
     #[test]
     fn validate_names_the_offending_field() {
-        let mut c = ClusterConfig::default();
-        c.num_fpus = 0;
+        let c = ClusterConfig {
+            num_fpus: 0,
+            ..ClusterConfig::default()
+        };
         assert!(c.validate().unwrap_err().contains("num_fpus"));
-        let mut c = ClusterConfig::default();
-        c.l2_latency = 0;
+        let c = ClusterConfig {
+            l2_latency: 0,
+            ..ClusterConfig::default()
+        };
         assert!(c.validate().unwrap_err().contains("l2_latency"));
-        let mut c = ClusterConfig::default();
-        c.tcdm_bytes = 7;
+        let c = ClusterConfig {
+            tcdm_bytes: 7,
+            ..ClusterConfig::default()
+        };
         assert!(c.validate().unwrap_err().contains("tcdm_bytes"));
     }
 }

@@ -28,12 +28,18 @@ pub struct DmaTransfer {
 impl DmaTransfer {
     /// Creates an inbound (L2 → TCDM) transfer of `words` words.
     pub fn inbound(words: u64) -> Self {
-        Self { words, inbound: true }
+        Self {
+            words,
+            inbound: true,
+        }
     }
 
     /// Creates an outbound (TCDM → L2) transfer of `words` words.
     pub fn outbound(words: u64) -> Self {
-        Self { words, inbound: false }
+        Self {
+            words,
+            inbound: false,
+        }
     }
 
     /// Cycles the engine is busy executing this transfer

@@ -100,7 +100,11 @@ impl EventUnit {
     ///
     /// Panics if `core` does not hold the lock.
     pub fn unlock(&mut self, core: usize) {
-        assert_eq!(self.lock_holder, Some(core), "core {core} released a lock it does not hold");
+        assert_eq!(
+            self.lock_holder,
+            Some(core),
+            "core {core} released a lock it does not hold"
+        );
         self.lock_holder = None;
     }
 }

@@ -28,7 +28,12 @@ pub struct FpuIssue {
 
 impl FpuPool {
     /// Creates a pool of `num_fpus` units.
-    pub fn new(num_fpus: usize, model_contention: bool, fpu_latency: u32, fp_div_latency: u32) -> Self {
+    pub fn new(
+        num_fpus: usize,
+        model_contention: bool,
+        fpu_latency: u32,
+        fp_div_latency: u32,
+    ) -> Self {
         Self {
             free_at: vec![0; num_fpus],
             model_contention,

@@ -129,7 +129,10 @@ impl MicroOp {
     /// Panics if `kind` is not a memory operation.
     pub fn mem(kind: OpKind, addr: u32) -> Self {
         assert!(kind.is_mem(), "only loads/stores carry addresses");
-        Self { kind, addr: Some(addr) }
+        Self {
+            kind,
+            addr: Some(addr),
+        }
     }
 }
 

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cause;
 pub mod cluster;
 pub mod config;
 pub mod dma;
@@ -58,11 +59,14 @@ pub mod isa;
 pub mod program;
 pub mod stats;
 pub mod tcdm;
+pub mod telemetry;
 pub mod trace;
 
-pub use cluster::{simulate, simulate_traced, SimError, DEFAULT_MAX_CYCLES};
+pub use cause::{CycleBreakdown, CycleCause};
+pub use cluster::{simulate, simulate_instrumented, simulate_traced, SimError, DEFAULT_MAX_CYCLES};
 pub use config::{ClusterConfig, L2_BASE, TCDM_BASE};
 pub use isa::{FpOp, MicroOp, OpKind};
 pub use program::{AddrExpr, Cursor, Program, SegOp, Step, ValidateProgramError};
-pub use stats::{BankStats, CoreStats, DmaStats, IcacheStats, SimStats};
+pub use stats::{BankStats, CoreStats, DmaStats, IcacheStats, SimStats, SimStatsSummary};
+pub use telemetry::{NoTelemetry, RegionKind, RegionProfile, RegionProfiler, Telemetry};
 pub use trace::{render_line, NullSink, TextSink, TraceEvent, TraceSink, VecSink};

@@ -27,7 +27,10 @@ pub struct AddrExpr {
 impl AddrExpr {
     /// A constant address with no induction-variable terms.
     pub fn constant(base: u32) -> Self {
-        Self { base: i64::from(base), terms: Vec::new() }
+        Self {
+            base: i64::from(base),
+            terms: Vec::new(),
+        }
     }
 
     /// Evaluates the expression for the given induction-variable stack.
@@ -42,7 +45,10 @@ impl AddrExpr {
         for &(d, c) in &self.terms {
             v += c * ivs[d as usize] as i64;
         }
-        debug_assert!((0..=i64::from(u32::MAX)).contains(&v), "address out of range: {v}");
+        debug_assert!(
+            (0..=i64::from(u32::MAX)).contains(&v),
+            "address out of range: {v}"
+        );
         v as u32
     }
 
@@ -177,7 +183,12 @@ impl fmt::Display for ValidateProgramError {
             Self::UnclosedLoop { core, pc } => {
                 write!(f, "core {core}: LoopBegin at pc {pc} never closed")
             }
-            Self::BadAddrDepth { core, pc, depth, nesting } => write!(
+            Self::BadAddrDepth {
+                core,
+                pc,
+                depth,
+                nesting,
+            } => write!(
                 f,
                 "core {core}: address at pc {pc} references loop depth {depth} \
                  but nesting is only {nesting}"
@@ -418,7 +429,13 @@ impl<'p> Cursor<'p> {
             }
         }
         assert!(stack.is_empty(), "unclosed LoopBegin");
-        Self { stream, matches, pc: 0, frames: Vec::new(), ivs: Vec::new() }
+        Self {
+            stream,
+            matches,
+            pc: 0,
+            frames: Vec::new(),
+            ivs: Vec::new(),
+        }
     }
 
     /// Returns the step at the current position without consuming it.
@@ -433,7 +450,10 @@ impl<'p> Cursor<'p> {
                         // Skip the whole body.
                         self.pc = self.matches[self.pc] + 1;
                     } else {
-                        self.frames.push(Frame { begin_pc: self.pc, remaining: *trip });
+                        self.frames.push(Frame {
+                            begin_pc: self.pc,
+                            remaining: *trip,
+                        });
                         self.ivs.push(0);
                         self.pc += 1;
                     }
@@ -452,7 +472,10 @@ impl<'p> Cursor<'p> {
                 }
                 SegOp::Instr { kind, addr } => {
                     let a = addr.as_ref().map(|e| e.eval(&self.ivs));
-                    return Step::Op(MicroOp { kind: *kind, addr: a });
+                    return Step::Op(MicroOp {
+                        kind: *kind,
+                        addr: a,
+                    });
                 }
                 SegOp::Barrier => return Step::Barrier,
                 SegOp::Fork => return Step::Fork,
@@ -460,10 +483,16 @@ impl<'p> Cursor<'p> {
                 SegOp::CriticalBegin => return Step::CriticalBegin,
                 SegOp::CriticalEnd => return Step::CriticalEnd,
                 SegOp::Dma { words, inbound } => {
-                    return Step::Dma { words: *words, inbound: *inbound }
+                    return Step::Dma {
+                        words: *words,
+                        inbound: *inbound,
+                    }
                 }
                 SegOp::DmaAsync { words, inbound } => {
-                    return Step::DmaAsync { words: *words, inbound: *inbound }
+                    return Step::DmaAsync {
+                        words: *words,
+                        inbound: *inbound,
+                    }
                 }
                 SegOp::DmaWait => return Step::DmaWait,
             }
@@ -511,7 +540,13 @@ mod tests {
         let p = Program::new(vec![vec![instr(OpKind::Alu), instr(OpKind::Nop)]]);
         let steps = drain(&p, 0);
         assert_eq!(steps.len(), 2);
-        assert_eq!(steps[0], Step::Op(MicroOp { kind: OpKind::Alu, addr: None }));
+        assert_eq!(
+            steps[0],
+            Step::Op(MicroOp {
+                kind: OpKind::Alu,
+                addr: None
+            })
+        );
     }
 
     #[test]
@@ -534,7 +569,13 @@ mod tests {
             instr(OpKind::Nop),
         ]]);
         let steps = drain(&p, 0);
-        assert_eq!(steps, vec![Step::Op(MicroOp { kind: OpKind::Nop, addr: None })]);
+        assert_eq!(
+            steps,
+            vec![Step::Op(MicroOp {
+                kind: OpKind::Nop,
+                addr: None
+            })]
+        );
     }
 
     #[test]
@@ -558,7 +599,10 @@ mod tests {
             SegOp::LoopBegin { trip: 3 },
             SegOp::Instr {
                 kind: OpKind::Load,
-                addr: Some(AddrExpr { base: 100, terms: vec![(0, 12), (1, 4)] }),
+                addr: Some(AddrExpr {
+                    base: 100,
+                    terms: vec![(0, 12), (1, 4)],
+                }),
             },
             SegOp::LoopEnd,
             SegOp::LoopEnd,
@@ -585,22 +629,34 @@ mod tests {
     #[test]
     fn validate_catches_unclosed_loop() {
         let p = Program::new(vec![vec![SegOp::LoopBegin { trip: 1 }]]);
-        assert!(matches!(p.validate(), Err(ValidateProgramError::UnclosedLoop { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateProgramError::UnclosedLoop { .. })
+        ));
     }
 
     #[test]
     fn validate_catches_bad_addr_depth() {
         let p = Program::new(vec![vec![SegOp::Instr {
             kind: OpKind::Load,
-            addr: Some(AddrExpr { base: 0, terms: vec![(0, 4)] }),
+            addr: Some(AddrExpr {
+                base: 0,
+                terms: vec![(0, 4)],
+            }),
         }]]);
-        assert!(matches!(p.validate(), Err(ValidateProgramError::BadAddrDepth { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateProgramError::BadAddrDepth { .. })
+        ));
     }
 
     #[test]
     fn validate_catches_sync_mismatch() {
         let p = Program::new(vec![vec![SegOp::Barrier], vec![]]);
-        assert!(matches!(p.validate(), Err(ValidateProgramError::SyncMismatch { core: 1 })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateProgramError::SyncMismatch { core: 1 })
+        ));
     }
 
     #[test]
@@ -610,7 +666,10 @@ mod tests {
             SegOp::LoopBegin { trip: 4 },
             SegOp::Instr {
                 kind: OpKind::Load,
-                addr: Some(AddrExpr { base: 0x1000_0000, terms: vec![(0, 4)] }),
+                addr: Some(AddrExpr {
+                    base: 0x1000_0000,
+                    terms: vec![(0, 4)],
+                }),
             },
             SegOp::LoopEnd,
             SegOp::Barrier,

@@ -6,7 +6,9 @@
 //! listeners, in the `pulp-energy-model` crate) reconstructs the same
 //! counters from trace lines; tests assert both paths agree.
 
+use crate::cause::CycleBreakdown;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Per-core activity counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -28,6 +30,9 @@ pub struct CoreStats {
     pub cg_cycles: u64,
     /// Instruction fetches issued (one per retired op).
     pub fetches: u64,
+    /// Exclusive per-cause attribution of every cycle; totals to the run's
+    /// cycle count.
+    pub breakdown: CycleBreakdown,
 }
 
 impl CoreStats {
@@ -173,6 +178,23 @@ impl SimStats {
                     c.retired()
                 ));
             }
+            // The cause taxonomy is exclusive and exhaustive: every cycle
+            // carries exactly one cause, and Execute cycles are exactly the
+            // retiring ones.
+            if c.breakdown.total() != self.cycles {
+                return Err(format!(
+                    "core {id}: cause breakdown covers {} cycles of {}",
+                    c.breakdown.total(),
+                    self.cycles
+                ));
+            }
+            if c.breakdown.execute != c.retired() {
+                return Err(format!(
+                    "core {id}: {} execute cycles but {} retired ops",
+                    c.breakdown.execute,
+                    c.retired()
+                ));
+            }
         }
         let fetches: u64 = self.cores.iter().map(|c| c.fetches).sum();
         if self.icache.fetches != fetches {
@@ -182,6 +204,95 @@ impl SimStats {
             ));
         }
         Ok(())
+    }
+
+    /// Cause breakdown summed over all cores.
+    pub fn breakdown_totals(&self) -> CycleBreakdown {
+        let mut total = CycleBreakdown::default();
+        for c in &self.cores {
+            total.merge(&c.breakdown);
+        }
+        total
+    }
+
+    /// A human-readable per-core summary table (retired ops, stall-cause
+    /// breakdown and clock-gating share). Render it with `Display`.
+    pub fn summary(&self) -> SimStatsSummary<'_> {
+        SimStatsSummary { stats: self }
+    }
+}
+
+/// Display adapter produced by [`SimStats::summary`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimStatsSummary<'a> {
+    stats: &'a SimStats,
+}
+
+impl fmt::Display for SimStatsSummary<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats;
+        writeln!(
+            f,
+            "run: {} cycles, team {} of {} cores, {} barriers, {} active cycles",
+            s.cycles,
+            s.team_size,
+            s.cores.len(),
+            s.barriers,
+            s.cluster_active_cycles
+        )?;
+        writeln!(
+            f,
+            "{:<6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            "core",
+            "retired",
+            "exec_tl",
+            "tcdm",
+            "fpu",
+            "l2",
+            "barrier",
+            "fork",
+            "runtime",
+            "dma",
+            "idle",
+            "cg%"
+        )?;
+        for (id, c) in s.cores.iter().enumerate() {
+            let b = &c.breakdown;
+            let cg_share = if s.cycles == 0 {
+                0.0
+            } else {
+                100.0 * c.cg_cycles as f64 / s.cycles as f64
+            };
+            writeln!(
+                f,
+                "pe{id:<4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {cg_share:>6.1}%",
+                c.retired(),
+                b.exec_tail,
+                b.tcdm_conflict,
+                b.fpu_contention,
+                b.l2_wait,
+                b.barrier,
+                b.fork_wait,
+                b.runtime,
+                b.dma,
+                b.idle,
+            )?;
+        }
+        let totals = s.breakdown_totals();
+        writeln!(
+            f,
+            "total  {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            totals.execute,
+            totals.exec_tail,
+            totals.tcdm_conflict,
+            totals.fpu_contention,
+            totals.l2_wait,
+            totals.barrier,
+            totals.fork_wait,
+            totals.runtime,
+            totals.dma,
+            totals.idle,
+        )
     }
 }
 
@@ -213,11 +324,52 @@ mod tests {
         s.cycles = 5;
         s.cores[0].alu_ops = 2;
         s.cores[0].fetches = 2;
+        s.cores[0].breakdown.execute = 2;
+        s.cores[0].breakdown.barrier = 3;
         s.icache.fetches = 2;
         // 2 retired + 0 idle + 0 cg != 5 cycles
         assert!(s.check_consistency().is_err());
         s.cores[0].cg_cycles = 3;
         assert!(s.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn consistency_catches_breakdown_mismatch() {
+        let mut s = SimStats::new(1, 1, 1);
+        s.cycles = 3;
+        s.cores[0].alu_ops = 1;
+        s.cores[0].fetches = 1;
+        s.cores[0].cg_cycles = 2;
+        s.icache.fetches = 1;
+        // Old counters balance, but the cause taxonomy is incomplete.
+        s.cores[0].breakdown.execute = 1;
+        assert!(s.check_consistency().is_err());
+        s.cores[0].breakdown.barrier = 2;
+        assert!(s.check_consistency().is_ok());
+        // Execute cycles must match retirements exactly.
+        s.cores[0].breakdown.execute = 0;
+        s.cores[0].breakdown.idle = 1;
+        assert!(s.check_consistency().is_err());
+    }
+
+    #[test]
+    fn summary_renders_per_core_rows() {
+        let mut s = SimStats::new(2, 1, 1);
+        s.cycles = 4;
+        s.team_size = 1;
+        s.cores[0].alu_ops = 2;
+        s.cores[0].fetches = 2;
+        s.cores[0].idle_cycles = 2;
+        s.cores[0].breakdown.execute = 2;
+        s.cores[0].breakdown.exec_tail = 2;
+        s.cores[1].cg_cycles = 4;
+        s.cores[1].breakdown.idle = 4;
+        s.icache.fetches = 2;
+        let table = s.summary().to_string();
+        assert!(table.contains("pe0"), "missing core row:\n{table}");
+        assert!(table.contains("pe1"), "missing core row:\n{table}");
+        assert!(table.contains("100.0%"), "missing cg share:\n{table}");
+        assert!(table.starts_with("run: 4 cycles"), "bad header:\n{table}");
     }
 
     #[test]

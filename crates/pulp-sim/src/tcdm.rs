@@ -21,7 +21,10 @@ impl TcdmArbiter {
     /// When `model_conflicts` is `false` every request is granted (ideal
     /// multi-ported memory; used by the ablation experiments).
     pub fn new(banks: usize, model_conflicts: bool) -> Self {
-        Self { granted_at: vec![u64::MAX; banks], model_conflicts }
+        Self {
+            granted_at: vec![u64::MAX; banks],
+            model_conflicts,
+        }
     }
 
     /// Attempts to access `bank` in `cycle`. Returns `true` when granted.

@@ -1,0 +1,265 @@
+//! Telemetry hook points for the simulator's hot loop.
+//!
+//! [`Telemetry`] receives one callback per core per cycle (with its
+//! attributed [`CycleCause`]) plus region boundaries (fork signals and
+//! barrier releases). The no-op impl [`NoTelemetry`] has empty
+//! `#[inline(always)]` methods, so `simulate` monomorphises to exactly the
+//! uninstrumented loop — the bench guard in `pulp-bench` keeps this honest.
+//!
+//! [`RegionProfiler`] is the bundled implementation: it segments a run
+//! into serial/parallel regions (fork → barrier-release spans) and
+//! accumulates a [`CycleBreakdown`] per segment, giving the per-parallel-
+//! region attribution the profiling CLI reports.
+
+use crate::cause::{CycleBreakdown, CycleCause};
+
+/// Observer of per-cycle attribution and region boundaries.
+///
+/// All methods default to no-ops so implementations override only what
+/// they need.
+pub trait Telemetry {
+    /// One core spent `cycle` on `cause`.
+    #[inline(always)]
+    fn on_cycle(&mut self, cycle: u64, core: usize, cause: CycleCause) {
+        let _ = (cycle, core, cause);
+    }
+
+    /// The master signalled a fork (a parallel region opens).
+    #[inline(always)]
+    fn on_fork(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// The event unit released a barrier (a parallel region closes).
+    #[inline(always)]
+    fn on_barrier_release(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// The run finished after `cycles` total cycles.
+    #[inline(always)]
+    fn on_finish(&mut self, cycles: u64) {
+        let _ = cycles;
+    }
+}
+
+/// Zero-cost telemetry: every hook compiles to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoTelemetry;
+
+impl Telemetry for NoTelemetry {}
+
+impl<T: Telemetry + ?Sized> Telemetry for &mut T {
+    #[inline(always)]
+    fn on_cycle(&mut self, cycle: u64, core: usize, cause: CycleCause) {
+        (**self).on_cycle(cycle, core, cause);
+    }
+
+    #[inline(always)]
+    fn on_fork(&mut self, cycle: u64) {
+        (**self).on_fork(cycle);
+    }
+
+    #[inline(always)]
+    fn on_barrier_release(&mut self, cycle: u64) {
+        (**self).on_barrier_release(cycle);
+    }
+
+    #[inline(always)]
+    fn on_finish(&mut self, cycles: u64) {
+        (**self).on_finish(cycles);
+    }
+}
+
+/// Kind of a [`RegionProfile`] segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Before the first fork, or between a barrier release and the next
+    /// fork (master-only code, plus sleeping workers).
+    Serial,
+    /// Between a fork signal and the barrier release that joins it.
+    Parallel,
+}
+
+/// One serial or parallel span of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionProfile {
+    /// Serial or parallel.
+    pub kind: RegionKind,
+    /// 0-based index among regions of the same kind.
+    pub index: usize,
+    /// First cycle of the region.
+    pub start_cycle: u64,
+    /// One past the last cycle of the region (filled on close).
+    pub end_cycle: u64,
+    /// Cycle attribution summed over all cores for this span.
+    pub breakdown: CycleBreakdown,
+}
+
+impl RegionProfile {
+    /// Region length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.start_cycle)
+    }
+
+    /// Stable display label, e.g. `serial#0` or `parallel#2`.
+    pub fn label(&self) -> String {
+        match self.kind {
+            RegionKind::Serial => format!("serial#{}", self.index),
+            RegionKind::Parallel => format!("parallel#{}", self.index),
+        }
+    }
+}
+
+/// Telemetry that attributes cycles to serial/parallel regions.
+///
+/// Segmentation model: a run starts in a serial region; each fork signal
+/// opens a parallel region, and the next barrier release closes it back to
+/// serial. Barrier releases inside serial spans (e.g. consecutive barriers
+/// without an intervening fork) are treated as region-neutral. This is a
+/// telemetry-level view — `SimStats` stays the per-run ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct RegionProfiler {
+    regions: Vec<RegionProfile>,
+    serial_count: usize,
+    parallel_count: usize,
+    /// Total per-cause attribution over the whole run (all cores).
+    pub totals: CycleBreakdown,
+}
+
+impl RegionProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Closed + open regions recorded so far, in time order.
+    pub fn regions(&self) -> &[RegionProfile] {
+        &self.regions
+    }
+
+    fn open(&mut self, kind: RegionKind, cycle: u64) {
+        let index = match kind {
+            RegionKind::Serial => {
+                self.serial_count += 1;
+                self.serial_count - 1
+            }
+            RegionKind::Parallel => {
+                self.parallel_count += 1;
+                self.parallel_count - 1
+            }
+        };
+        self.regions.push(RegionProfile {
+            kind,
+            index,
+            start_cycle: cycle,
+            end_cycle: cycle,
+            breakdown: CycleBreakdown::default(),
+        });
+    }
+
+    fn close_current(&mut self, cycle: u64) {
+        if let Some(r) = self.regions.last_mut() {
+            r.end_cycle = cycle;
+        }
+    }
+
+    fn current_kind(&self) -> Option<RegionKind> {
+        self.regions.last().map(|r| r.kind)
+    }
+}
+
+impl Telemetry for RegionProfiler {
+    fn on_cycle(&mut self, cycle: u64, _core: usize, cause: CycleCause) {
+        if self.regions.is_empty() {
+            self.open(RegionKind::Serial, cycle);
+        }
+        self.totals.add(cause);
+        if let Some(r) = self.regions.last_mut() {
+            r.breakdown.add(cause);
+            r.end_cycle = r.end_cycle.max(cycle + 1);
+        }
+    }
+
+    fn on_fork(&mut self, cycle: u64) {
+        if self.regions.is_empty() {
+            self.open(RegionKind::Serial, cycle);
+        }
+        // The fork cycle itself still belongs to the serial span.
+        self.close_current(cycle + 1);
+        self.open(RegionKind::Parallel, cycle + 1);
+    }
+
+    fn on_barrier_release(&mut self, cycle: u64) {
+        if self.current_kind() == Some(RegionKind::Parallel) {
+            self.close_current(cycle + 1);
+            self.open(RegionKind::Serial, cycle + 1);
+        }
+    }
+
+    fn on_finish(&mut self, cycles: u64) {
+        self.close_current(cycles);
+        // Drop an empty trailing region (e.g. a barrier release on the
+        // run's final cycle).
+        if let Some(last) = self.regions.last() {
+            if last.cycles() == 0 && last.breakdown.total() == 0 {
+                self.regions.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_telemetry_is_a_unit() {
+        let mut t = NoTelemetry;
+        t.on_cycle(0, 0, CycleCause::Execute);
+        t.on_fork(1);
+        t.on_barrier_release(2);
+        t.on_finish(3);
+    }
+
+    #[test]
+    fn profiler_segments_fork_join() {
+        let mut p = RegionProfiler::new();
+        // Serial prologue: 2 cycles of execute on core 0.
+        p.on_cycle(0, 0, CycleCause::Execute);
+        p.on_cycle(1, 0, CycleCause::Runtime);
+        p.on_fork(1);
+        // Parallel body.
+        p.on_cycle(2, 0, CycleCause::Execute);
+        p.on_cycle(2, 1, CycleCause::Execute);
+        p.on_cycle(3, 0, CycleCause::Barrier);
+        p.on_cycle(3, 1, CycleCause::Execute);
+        p.on_barrier_release(3);
+        // Serial epilogue.
+        p.on_cycle(4, 0, CycleCause::Execute);
+        p.on_finish(5);
+
+        let regions = p.regions();
+        assert_eq!(regions.len(), 3);
+        assert_eq!(regions[0].kind, RegionKind::Serial);
+        assert_eq!(regions[0].label(), "serial#0");
+        assert_eq!(regions[0].breakdown.total(), 2);
+        assert_eq!(regions[1].kind, RegionKind::Parallel);
+        assert_eq!(regions[1].breakdown.execute, 3);
+        assert_eq!(regions[1].breakdown.barrier, 1);
+        assert_eq!(regions[2].kind, RegionKind::Serial);
+        assert_eq!(regions[2].label(), "serial#1");
+        assert_eq!(p.totals.total(), 7);
+    }
+
+    #[test]
+    fn spurious_release_in_serial_is_neutral() {
+        let mut p = RegionProfiler::new();
+        p.on_cycle(0, 0, CycleCause::Execute);
+        p.on_barrier_release(0);
+        p.on_cycle(1, 0, CycleCause::Execute);
+        p.on_finish(2);
+        assert_eq!(p.regions().len(), 1);
+        assert_eq!(p.regions()[0].breakdown.execute, 2);
+    }
+}

@@ -7,6 +7,7 @@
 //! matching the component paths the paper quotes (`cluster/pe/insn`,
 //! `cluster/pe/trace`, `cluster/l1/bank/trace`, ...).
 
+use crate::cause::CycleCause;
 use crate::isa::OpKind;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -27,11 +28,19 @@ pub enum TraceEvent {
     Stall {
         /// Stalling core.
         core: usize,
+        /// Why the cycle was lost.
+        cause: CycleCause,
     },
     /// A core entered clock gating (path `cluster/pe<N>/trace`).
+    ///
+    /// The cause applies to the whole region up to the matching `CgExit`
+    /// (gated regions are single-cause by construction: a sleeping core
+    /// wakes — emitting `CgExit` — before its situation can change).
     CgEnter {
         /// Core being gated.
         core: usize,
+        /// Why the region's cycles are lost.
+        cause: CycleCause,
     },
     /// A core left clock gating (path `cluster/pe<N>/trace`).
     CgExit {
@@ -154,7 +163,7 @@ impl TraceSink for TextSink {
 ///
 /// ```text
 /// 1042: cluster/pe3/insn: lw 0x10000040
-/// 1043: cluster/pe3/trace: cg_enter
+/// 1043: cluster/pe3/trace: cg_enter barrier
 /// 1043: cluster/l1/bank5/trace: write
 /// ```
 pub fn render_line(out: &mut String, cycle: u64, event: TraceEvent) {
@@ -165,11 +174,19 @@ pub fn render_line(out: &mut String, cycle: u64, event: TraceEvent) {
                 let _ = write!(out, " {a:#010x}");
             }
         }
-        TraceEvent::Stall { core } => {
-            let _ = write!(out, "{cycle}: cluster/pe{core}/trace: stall");
+        TraceEvent::Stall { core, cause } => {
+            let _ = write!(
+                out,
+                "{cycle}: cluster/pe{core}/trace: stall {}",
+                cause.token()
+            );
         }
-        TraceEvent::CgEnter { core } => {
-            let _ = write!(out, "{cycle}: cluster/pe{core}/trace: cg_enter");
+        TraceEvent::CgEnter { core, cause } => {
+            let _ = write!(
+                out,
+                "{cycle}: cluster/pe{core}/trace: cg_enter {}",
+                cause.token()
+            );
         }
         TraceEvent::CgExit { core } => {
             let _ = write!(out, "{cycle}: cluster/pe{core}/trace: cg_exit");
@@ -219,21 +236,38 @@ mod tests {
     fn renders_insn_with_address() {
         let l = line(
             1042,
-            TraceEvent::Insn { core: 3, kind: OpKind::Load, addr: Some(0x1000_0040) },
+            TraceEvent::Insn {
+                core: 3,
+                kind: OpKind::Load,
+                addr: Some(0x1000_0040),
+            },
         );
         assert_eq!(l, "1042: cluster/pe3/insn: lw 0x10000040");
     }
 
     #[test]
     fn renders_insn_without_address() {
-        let l = line(7, TraceEvent::Insn { core: 0, kind: OpKind::Alu, addr: None });
+        let l = line(
+            7,
+            TraceEvent::Insn {
+                core: 0,
+                kind: OpKind::Alu,
+                addr: None,
+            },
+        );
         assert_eq!(l, "7: cluster/pe0/insn: alu");
     }
 
     #[test]
     fn renders_bank_events() {
         assert_eq!(
-            line(9, TraceEvent::L1Access { bank: 5, write: true }),
+            line(
+                9,
+                TraceEvent::L1Access {
+                    bank: 5,
+                    write: true
+                }
+            ),
             "9: cluster/l1/bank5/trace: write"
         );
         assert_eq!(
@@ -241,15 +275,57 @@ mod tests {
             "9: cluster/l1/bank15/trace: conflict"
         );
         assert_eq!(
-            line(10, TraceEvent::L2Access { bank: 31, write: false }),
+            line(
+                10,
+                TraceEvent::L2Access {
+                    bank: 31,
+                    write: false
+                }
+            ),
             "10: cluster/l2/bank31/trace: read"
         );
     }
 
     #[test]
     fn renders_cg_region_markers() {
-        assert_eq!(line(1, TraceEvent::CgEnter { core: 2 }), "1: cluster/pe2/trace: cg_enter");
-        assert_eq!(line(4, TraceEvent::CgExit { core: 2 }), "4: cluster/pe2/trace: cg_exit");
+        assert_eq!(
+            line(
+                1,
+                TraceEvent::CgEnter {
+                    core: 2,
+                    cause: CycleCause::Barrier
+                }
+            ),
+            "1: cluster/pe2/trace: cg_enter barrier"
+        );
+        assert_eq!(
+            line(4, TraceEvent::CgExit { core: 2 }),
+            "4: cluster/pe2/trace: cg_exit"
+        );
+    }
+
+    #[test]
+    fn renders_stall_with_cause() {
+        assert_eq!(
+            line(
+                9,
+                TraceEvent::Stall {
+                    core: 1,
+                    cause: CycleCause::TcdmConflict
+                }
+            ),
+            "9: cluster/pe1/trace: stall tcdm_conflict"
+        );
+        assert_eq!(
+            line(
+                9,
+                TraceEvent::Stall {
+                    core: 0,
+                    cause: CycleCause::FpuContention
+                }
+            ),
+            "9: cluster/pe0/trace: stall fpu_contention"
+        );
     }
 
     #[test]

@@ -12,32 +12,45 @@ use pulp_sim::{
 #[test]
 fn single_core_trace_is_stable() {
     let program = Program::new(vec![vec![
-        SegOp::Instr { kind: OpKind::Alu, addr: None },
-        SegOp::Instr { kind: OpKind::Load, addr: Some(AddrExpr::constant(TCDM_BASE)) },
-        SegOp::Instr { kind: OpKind::Store, addr: Some(AddrExpr::constant(TCDM_BASE + 4)) },
-        SegOp::Instr { kind: OpKind::Nop, addr: None },
+        SegOp::Instr {
+            kind: OpKind::Alu,
+            addr: None,
+        },
+        SegOp::Instr {
+            kind: OpKind::Load,
+            addr: Some(AddrExpr::constant(TCDM_BASE)),
+        },
+        SegOp::Instr {
+            kind: OpKind::Store,
+            addr: Some(AddrExpr::constant(TCDM_BASE + 4)),
+        },
+        SegOp::Instr {
+            kind: OpKind::Nop,
+            addr: None,
+        },
     ]]);
     let mut sink = TextSink::new();
     let stats =
         simulate_traced(&ClusterConfig::default(), &program, 1_000, &mut sink).expect("simulate");
 
     // The 7 unused physical cores are clock-gated for the whole run and
-    // announce it with one enter/exit region each.
+    // announce it with one enter/exit region each; `cg_enter` carries the
+    // cause the whole region's cycles are attributed to.
     let expected = "\
 0: cluster/pe0/insn: alu
-0: cluster/pe1/trace: cg_enter
-0: cluster/pe2/trace: cg_enter
-0: cluster/pe3/trace: cg_enter
-0: cluster/pe4/trace: cg_enter
-0: cluster/pe5/trace: cg_enter
-0: cluster/pe6/trace: cg_enter
-0: cluster/pe7/trace: cg_enter
+0: cluster/pe1/trace: cg_enter idle
+0: cluster/pe2/trace: cg_enter idle
+0: cluster/pe3/trace: cg_enter idle
+0: cluster/pe4/trace: cg_enter idle
+0: cluster/pe5/trace: cg_enter idle
+0: cluster/pe6/trace: cg_enter idle
+0: cluster/pe7/trace: cg_enter idle
 1: cluster/l1/bank0/trace: read
 1: cluster/pe0/insn: lw 0x10000000
 2: cluster/l1/bank1/trace: write
 2: cluster/pe0/insn: sw 0x10000004
 3: cluster/pe0/insn: nop
-4: cluster/pe0/trace: cg_enter
+4: cluster/pe0/trace: cg_enter idle
 5: cluster/pe0/trace: cg_exit
 5: cluster/pe1/trace: cg_exit
 5: cluster/pe2/trace: cg_exit
@@ -55,7 +68,10 @@ fn single_core_trace_is_stable() {
 
 #[test]
 fn two_core_trace_interleaves_in_core_order() {
-    let alu = SegOp::Instr { kind: OpKind::Alu, addr: None };
+    let alu = SegOp::Instr {
+        kind: OpKind::Alu,
+        addr: None,
+    };
     let program = Program::new(vec![vec![alu.clone()], vec![alu]]);
     let mut sink = TextSink::new();
     simulate_traced(&ClusterConfig::default(), &program, 1_000, &mut sink).expect("simulate");

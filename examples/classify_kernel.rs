@@ -21,11 +21,27 @@ use pulp_ml::{DecisionTree, TreeParams};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train on a spread of behaviours...
     let train_kernels = [
-        "gemm", "atax", "fir", "vec_scale", "dot_product", "fpu_storm", "bank_hammer",
-        "reduction_critical", "compute_dense", "stream_triad", "tiny_regions", "l2_stream",
+        "gemm",
+        "atax",
+        "fir",
+        "vec_scale",
+        "dot_product",
+        "fpu_storm",
+        "bank_hammer",
+        "reduction_critical",
+        "compute_dense",
+        "stream_triad",
+        "tiny_regions",
+        "l2_stream",
     ];
     // ...and classify kernels the model never saw.
-    let test_kernels = ["mvt", "autocorr", "stream_copy", "bank_stride", "critical_light"];
+    let test_kernels = [
+        "mvt",
+        "autocorr",
+        "stream_copy",
+        "bank_stride",
+        "critical_light",
+    ];
 
     println!("building training set ({} kernels)...", train_kernels.len());
     let mut opts = PipelineOptions::quick(&train_kernels);
@@ -35,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut tree = DecisionTree::new(TreeParams::default());
     tree.fit(&data);
-    println!("trained on {} samples; tree depth {}", data.len(), tree.depth());
+    println!(
+        "trained on {} samples; tree depth {}",
+        data.len(),
+        tree.depth()
+    );
 
     // The paper argues for decision trees because their decisions are
     // inspectable — print the learned rules (truncated).

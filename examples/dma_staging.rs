@@ -48,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{} PEs", prof.label() + 1),
                 prof.energy[7] * 1e-9,
                 prof.energy[prof.label()] * 1e-9,
-                prof_direct.energy[prof_direct.label()]
-                    / prof.energy[prof.label()],
+                prof_direct.energy[prof_direct.label()] / prof.energy[prof.label()],
             );
         }
     }

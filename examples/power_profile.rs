@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.cycles,
         probe.baseline_per_cycle() * 1e-3
     );
-    println!("{:>10} {:>12}  power over time ({}-cycle windows)", "cycle", "power", window);
+    println!(
+        "{:>10} {:>12}  power over time ({}-cycle windows)",
+        "cycle", "power", window
+    );
     print!("{}", render_profile(&probe.profile(), window, 50));
     println!(
         "\ndynamic energy captured by the probe: {:.3} uJ",

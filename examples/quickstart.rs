@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Static features — what the classifier would see at compile time.
     println!("static features of `{}`:", kernel.name);
-    for (name, value) in static_feature_names().iter().zip(static_feature_vector(&kernel)) {
+    for (name, value) in static_feature_names()
+        .iter()
+        .zip(static_feature_vector(&kernel))
+    {
         println!("  {name:>10} = {value:.3}");
     }
 
@@ -36,9 +39,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ClusterConfig::default();
     let profile = measure_kernel(&kernel, &config, &EnergyModel::table1())?;
 
-    println!("\n{:>6} {:>12} {:>10} {:>9}", "cores", "energy [uJ]", "cycles", "speedup");
+    println!(
+        "\n{:>6} {:>12} {:>10} {:>9}",
+        "cores", "energy [uJ]", "cycles", "speedup"
+    );
     for c in 0..8 {
-        let marker = if c == profile.label() { "  <-- minimum energy" } else { "" };
+        let marker = if c == profile.label() {
+            "  <-- minimum energy"
+        } else {
+            ""
+        };
         println!(
             "{:>6} {:>12.3} {:>10} {:>8.2}x{marker}",
             c + 1,

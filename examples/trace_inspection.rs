@@ -9,7 +9,9 @@
 //! ```
 
 use kernel_ir::{lower, DType, KernelBuilder, Suite};
-use pulp_energy_model::{energy_of, stats_from_trace, DynamicFeatures, EnergyModel};
+use pulp_energy_model::{
+    energy_of, energy_waterfall, stats_from_trace, DynamicFeatures, EnergyModel,
+};
 use pulp_sim::{simulate_traced, ClusterConfig, TextSink};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -45,18 +47,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let e_direct = energy_of(&stats, &model, &config);
     let e_trace = energy_of(&reconstructed, &model, &config);
 
-    println!("\nenergy from simulator stats: {:.4} uJ", e_direct.total_uj());
+    println!(
+        "\nenergy from simulator stats: {:.4} uJ",
+        e_direct.total_uj()
+    );
     println!("energy from replayed trace:  {:.4} uJ", e_trace.total_uj());
-    assert!((e_direct.total() - e_trace.total()).abs() < 1e-6, "paths must agree");
+    assert!(
+        (e_direct.total() - e_trace.total()).abs() < 1e-6,
+        "paths must agree"
+    );
 
-    println!("\nper-component breakdown (uJ):");
-    println!("  PE     {:.4}", e_direct.pe * 1e-9);
-    println!("  FPU    {:.4}", e_direct.fpu * 1e-9);
-    println!("  L1     {:.4}", e_direct.l1 * 1e-9);
-    println!("  L2     {:.4}", e_direct.l2 * 1e-9);
-    println!("  I$     {:.4}", e_direct.icache * 1e-9);
-    println!("  DMA    {:.4}", e_direct.dma * 1e-9);
-    println!("  other  {:.4}", e_direct.other * 1e-9);
+    // The reconstructed stats carry full per-core cycle attribution: the
+    // summary table shows where every core spent every cycle, and the
+    // waterfall shows which (component, operating-region) pair the energy
+    // went to. Both reconstructions agree with the simulator's own.
+    println!("\nper-core cycle attribution (reconstructed from the trace):");
+    print!("{}", reconstructed.summary());
+    assert_eq!(stats.breakdown_totals(), reconstructed.breakdown_totals());
+
+    println!("\nenergy waterfall:");
+    print!("{}", energy_waterfall(&stats, &model, &config));
 
     let dynamic = DynamicFeatures::extract(&reconstructed);
     println!("\ndynamic features at {team} cores (Table III):");

@@ -71,7 +71,10 @@ fn kernel_round_trips_through_json() {
         .into_iter()
         .find(|d| d.name == "gemm")
         .expect("kernel")
-        .build(&pulp_kernels::KernelParams::new(kernel_ir::DType::F32, 2048))
+        .build(&pulp_kernels::KernelParams::new(
+            kernel_ir::DType::F32,
+            2048,
+        ))
         .expect("build");
     let json = serde_json::to_string(&kernel).expect("serialise");
     let back: Kernel = serde_json::from_str(&json).expect("parse");
@@ -99,8 +102,7 @@ fn program_round_trips_through_json() {
 
 #[test]
 fn labeled_dataset_round_trips_through_json() {
-    let data =
-        LabeledDataset::build(&PipelineOptions::quick(&["vec_scale"])).expect("dataset");
+    let data = LabeledDataset::build(&PipelineOptions::quick(&["vec_scale"])).expect("dataset");
     let json = serde_json::to_string(&data).expect("serialise");
     let back: LabeledDataset = serde_json::from_str(&json).expect("parse");
     assert_eq!(data, back);

@@ -14,10 +14,15 @@ use pulp_kernels::{registry, KernelParams};
 use pulp_sim::ClusterConfig;
 
 fn label(kernel: &str, dtype: DType, payload: usize) -> usize {
-    let def = registry().into_iter().find(|d| d.name == kernel).expect("kernel exists");
-    let k = def.build(&KernelParams::new(dtype, payload)).expect("build");
-    let profile = measure_kernel(&k, &ClusterConfig::default(), &EnergyModel::table1())
-        .expect("measure");
+    let def = registry()
+        .into_iter()
+        .find(|d| d.name == kernel)
+        .expect("kernel exists");
+    let k = def
+        .build(&KernelParams::new(dtype, payload))
+        .expect("build");
+    let profile =
+        measure_kernel(&k, &ClusterConfig::default(), &EnergyModel::table1()).expect("measure");
     profile.label() + 1
 }
 
@@ -55,6 +60,9 @@ fn serialised_reduction_prefers_small_teams() {
 fn small_payload_shifts_gemm_below_the_maximum() {
     let small = label("gemm", DType::F32, 512);
     let large = label("gemm", DType::F32, 32768);
-    assert!(small < large, "512 B gemm ({small}) must sit below 32 KiB gemm ({large})");
+    assert!(
+        small < large,
+        "512 B gemm ({small}) must sit below 32 KiB gemm ({large})"
+    );
     assert_eq!(large, 8);
 }

@@ -33,10 +33,19 @@ fn pipeline_produces_coherent_dataset() {
         assert_eq!(s.energy.len(), NUM_CLASSES);
         assert_eq!(s.static_x.len(), 20);
         assert_eq!(s.dynamic_x.len(), 80);
-        assert!(s.energy.iter().all(|&e| e.is_finite() && e > 0.0), "{}", s.id);
+        assert!(
+            s.energy.iter().all(|&e| e.is_finite() && e > 0.0),
+            "{}",
+            s.id
+        );
         // Energies are in a sane absolute range for microcontroller
         // kernels: nanojoules to millijoules.
-        assert!(s.energy[0] > 1e3 && s.energy[0] < 1e15, "{}: {}", s.id, s.energy[0]);
+        assert!(
+            s.energy[0] > 1e3 && s.energy[0] < 1e15,
+            "{}: {}",
+            s.id,
+            s.energy[0]
+        );
     }
     // Labels span more than one class on this behaviour mix.
     let classes: std::collections::HashSet<usize> = data.labels().into_iter().collect();
@@ -48,7 +57,7 @@ fn static_features_classify_above_chance() {
     let data = dataset();
     let ds = data.static_dataset(StaticFeatureSet::All).expect("static");
     let preds = cross_val_predict(&ds, 5, 0, || DecisionTree::new(TreeParams::default()));
-    let acc = pulp_ml::accuracy(&preds, &ds.labels());
+    let acc = pulp_ml::accuracy(&preds, ds.labels());
     // 8-class chance is 12.5%; a majority-class guesser would get the
     // dominant-class share. The tree must beat chance comfortably.
     assert!(acc > 0.3, "static CV accuracy too low: {acc}");
@@ -105,8 +114,13 @@ fn tolerance_never_decreases_accuracy() {
     let data = dataset();
     let ds = data.static_dataset(StaticFeatureSet::Agg).expect("agg");
     let tolerances: Vec<f64> = (0..=10).map(|t| t as f64 / 50.0).collect();
-    let curve =
-        tolerance_curve("agg", &ds, &data.energies(), &tolerances, &Protocol::quick());
+    let curve = tolerance_curve(
+        "agg",
+        &ds,
+        &data.energies(),
+        &tolerances,
+        &Protocol::quick(),
+    );
     for w in curve.mean.windows(2) {
         assert!(w[1] >= w[0] - 1e-12);
     }

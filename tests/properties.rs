@@ -17,45 +17,48 @@ fn config() -> ClusterConfig {
 /// body mix, optionally a nested sequential loop.
 fn arb_kernel() -> impl Strategy<Value = kernel_ir::Kernel> {
     (
-        1u64..200,              // parallel trip
-        0u32..6,                // compute ops
-        0u32..3,                // loads
-        0u32..2,                // stores
-        prop::bool::ANY,        // nested loop?
-        1u64..8,                // nested trip
-        prop::bool::ANY,        // f32?
-        prop::bool::ANY,        // critical?
+        1u64..200,       // parallel trip
+        0u32..6,         // compute ops
+        0u32..3,         // loads
+        0u32..2,         // stores
+        prop::bool::ANY, // nested loop?
+        1u64..8,         // nested trip
+        prop::bool::ANY, // f32?
+        prop::bool::ANY, // critical?
     )
-        .prop_map(|(trip, ops, loads, stores, nested, ntrip, is_f32, critical)| {
-            let dtype = if is_f32 { DType::F32 } else { DType::I32 };
-            let n = 256usize;
-            let mut b = KernelBuilder::new("prop", Suite::Custom, dtype, n * 4);
-            let x = b.array("x", n);
-            let acc = b.array("acc", 4);
-            b.par_for(trip.min(n as u64), |b, i| {
-                for _ in 0..loads {
-                    b.load(x, i);
-                }
-                b.compute(ops);
-                if nested {
-                    b.for_(ntrip, |b, _j| {
+        .prop_map(
+            |(trip, ops, loads, stores, nested, ntrip, is_f32, critical)| {
+                let dtype = if is_f32 { DType::F32 } else { DType::I32 };
+                let n = 256usize;
+                let mut b = KernelBuilder::new("prop", Suite::Custom, dtype, n * 4);
+                let x = b.array("x", n);
+                let acc = b.array("acc", 4);
+                b.par_for(trip.min(n as u64), |b, i| {
+                    for _ in 0..loads {
                         b.load(x, i);
-                        b.compute(1);
-                    });
-                }
-                for _ in 0..stores {
-                    b.store(x, i);
-                }
-                if critical {
-                    b.critical(|b| {
-                        b.load(acc, 0);
-                        b.alu(1);
-                        b.store(acc, 0);
-                    });
-                }
-            });
-            b.build().expect("generated kernel is valid by construction")
-        })
+                    }
+                    b.compute(ops);
+                    if nested {
+                        b.for_(ntrip, |b, _j| {
+                            b.load(x, i);
+                            b.compute(1);
+                        });
+                    }
+                    for _ in 0..stores {
+                        b.store(x, i);
+                    }
+                    if critical {
+                        b.critical(|b| {
+                            b.load(acc, 0);
+                            b.alu(1);
+                            b.store(acc, 0);
+                        });
+                    }
+                });
+                b.build()
+                    .expect("generated kernel is valid by construction")
+            },
+        )
 }
 
 proptest! {
@@ -126,8 +129,14 @@ proptest! {
     ) {
         let event = match which {
             0 => TraceEvent::Insn { core, kind, addr: None },
-            1 => TraceEvent::Stall { core },
-            2 => TraceEvent::CgEnter { core },
+            1 => TraceEvent::Stall {
+                core,
+                cause: pulp_sim::CycleCause::ALL[(cycle % 10) as usize],
+            },
+            2 => TraceEvent::CgEnter {
+                core,
+                cause: pulp_sim::CycleCause::ALL[(core + bank) % 10],
+            },
             3 => TraceEvent::L1Access { bank, write: cycle % 2 == 0 },
             4 => TraceEvent::L1Conflict { bank },
             _ => TraceEvent::Insn { core, kind: OpKind::Load, addr: Some(pulp_sim::TCDM_BASE + (cycle as u32 % 1024) * 4) },

@@ -37,8 +37,13 @@ fn all_kernels_simulate_at_all_team_sizes() {
 fn memory_traffic_is_team_invariant() {
     let cfg = config();
     for name in ["gemm", "fir", "stream_copy", "jacobi-2d", "saxpy_chunked"] {
-        let def = registry().into_iter().find(|d| d.name == name).expect("kernel");
-        let kernel = def.build(&KernelParams::new(DType::I32, 2048)).expect("build");
+        let def = registry()
+            .into_iter()
+            .find(|d| d.name == name)
+            .expect("kernel");
+        let kernel = def
+            .build(&KernelParams::new(DType::I32, 2048))
+            .expect("build");
         let reference = {
             let lowered = lower(&kernel, 1, &cfg).expect("lower");
             let s = simulate(&cfg, &lowered.program).expect("simulate");
@@ -63,8 +68,13 @@ fn memory_traffic_is_team_invariant() {
 fn cycles_do_not_explode_with_cores() {
     let cfg = config();
     for name in ["gemm", "compute_dense", "reduction_critical"] {
-        let def = registry().into_iter().find(|d| d.name == name).expect("kernel");
-        let kernel = def.build(&KernelParams::new(DType::I32, 8196)).expect("build");
+        let def = registry()
+            .into_iter()
+            .find(|d| d.name == name)
+            .expect("kernel");
+        let kernel = def
+            .build(&KernelParams::new(DType::I32, 8196))
+            .expect("build");
         let c1 = {
             let lowered = lower(&kernel, 1, &cfg).expect("lower");
             simulate(&cfg, &lowered.program).expect("simulate").cycles
@@ -85,8 +95,13 @@ fn cycles_do_not_explode_with_cores() {
 #[test]
 fn trace_parity_on_dataset_kernel() {
     let cfg = config();
-    let def = registry().into_iter().find(|d| d.name == "bank_hammer").expect("kernel");
-    let kernel = def.build(&KernelParams::new(DType::F32, 512)).expect("build");
+    let def = registry()
+        .into_iter()
+        .find(|d| d.name == "bank_hammer")
+        .expect("kernel");
+    let kernel = def
+        .build(&KernelParams::new(DType::F32, 512))
+        .expect("build");
     let lowered = lower(&kernel, 4, &cfg).expect("lower");
     let mut sink = TextSink::new();
     let direct = simulate_traced(&cfg, &lowered.program, 10_000_000, &mut sink).expect("simulate");
@@ -99,8 +114,13 @@ fn trace_parity_on_dataset_kernel() {
 #[test]
 fn ablations_change_energy_in_the_expected_direction() {
     let model = EnergyModel::table1();
-    let def = registry().into_iter().find(|d| d.name == "bank_hammer").expect("kernel");
-    let kernel = def.build(&KernelParams::new(DType::I32, 2048)).expect("build");
+    let def = registry()
+        .into_iter()
+        .find(|d| d.name == "bank_hammer")
+        .expect("kernel");
+    let kernel = def
+        .build(&KernelParams::new(DType::I32, 2048))
+        .expect("build");
 
     let energy_with = |cfg: &ClusterConfig| {
         let lowered = lower(&kernel, 8, cfg).expect("lower");
@@ -129,7 +149,10 @@ fn energy_optimum_differs_from_speed_optimum_somewhere() {
     let model = EnergyModel::table1();
     let mut found = false;
     for name in ["fpu_storm", "bank_hammer", "critical_light", "tiny_regions"] {
-        let def = registry().into_iter().find(|d| d.name == name).expect("kernel");
+        let def = registry()
+            .into_iter()
+            .find(|d| d.name == name)
+            .expect("kernel");
         for &dtype in def.dtypes {
             let kernel = def.build(&KernelParams::new(dtype, 8196)).expect("build");
             let mut energies = Vec::new();
@@ -149,5 +172,8 @@ fn energy_optimum_differs_from_speed_optimum_somewhere() {
             }
         }
     }
-    assert!(found, "expected at least one kernel where energy argmin < speed argmin");
+    assert!(
+        found,
+        "expected at least one kernel where energy argmin < speed argmin"
+    );
 }

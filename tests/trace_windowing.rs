@@ -46,22 +46,44 @@ fn windowed_analysis_isolates_the_parallel_region() {
         .text
         .lines()
         .filter(|l| l.contains("event_unit: release"))
-        .map(|l| l.split(':').next().expect("cycle field").trim().parse().expect("cycle"))
+        .map(|l| {
+            l.split(':')
+                .next()
+                .expect("cycle field")
+                .trim()
+                .parse()
+                .expect("cycle")
+        })
         .collect();
-    assert!(releases.len() >= 2, "expected bracketing barriers, got {releases:?}");
+    assert!(
+        releases.len() >= 2,
+        "expected bracketing barriers, got {releases:?}"
+    );
     let start = releases[0] + 1;
     let end = releases[releases.len() - 2] + 1;
 
     // Full-trace counts include warm-up stores and cool-down loads.
     let mut full = PulpListeners::new(&cfg);
-    TraceAnalyser::new().analyse(&sink.text, &mut full).expect("analyse");
+    TraceAnalyser::new()
+        .analyse(&sink.text, &mut full)
+        .expect("analyse");
     let full_stats = full.into_stats(4);
-    assert_eq!(full_stats.l1_writes(), 2 * n as u64, "warm-up + kernel stores");
-    assert_eq!(full_stats.l1_reads(), 2 * n as u64, "kernel + cool-down loads");
+    assert_eq!(
+        full_stats.l1_writes(),
+        2 * n as u64,
+        "warm-up + kernel stores"
+    );
+    assert_eq!(
+        full_stats.l1_reads(),
+        2 * n as u64,
+        "kernel + cool-down loads"
+    );
 
     // Windowed counts cover exactly the kernel region.
     let mut windowed = PulpListeners::new(&cfg);
-    TraceAnalyser::with_window(start, end).analyse(&sink.text, &mut windowed).expect("analyse");
+    TraceAnalyser::with_window(start, end)
+        .analyse(&sink.text, &mut windowed)
+        .expect("analyse");
     let kernel_stats = windowed.into_stats(4);
     assert_eq!(kernel_stats.l1_writes(), n as u64, "kernel stores only");
     assert_eq!(kernel_stats.l1_reads(), n as u64, "kernel loads only");

@@ -1,0 +1,465 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: `Strategy` with `prop_map`,
+//! range/tuple/collection/sample strategies, `prop::bool::ANY`, the
+//! `proptest!` macro with `#![proptest_config(..)]`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its case number and message only), and the value stream is this crate's
+//! own deterministic generator. Each test function gets a generator seeded
+//! from its own name, so runs are reproducible.
+
+pub mod test_runner {
+    /// Run-time configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per test function.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Build a config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator (SplitMix64) used to drive strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a test name.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name gives a stable per-test seed.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            Self { state: h }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below: empty bound");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draw one value from the strategy.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// `Just`-style constant strategy.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_range_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_int!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9)
+    }
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Uniformly random `bool`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The canonical instance of [`Any`].
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// Length specification for [`vec`]: a fixed size or a range.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // exclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty vec size range");
+                Self {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a random length.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generate vectors of values drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64;
+                let len = self.size.lo + rng.below(span) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy choosing uniformly from a fixed set of values.
+        #[derive(Debug, Clone)]
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        /// Choose uniformly from `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select: no options");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn sample(&self, rng: &mut TestRng) -> T {
+                let i = rng.below(self.options.len() as u64) as usize;
+                self.options[i].clone()
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` user needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Fail the current property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($config) $($rest)*);
+    };
+    (@expand ($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(::std::stringify!($name));
+                for __case in 0..__config.cases {
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|__rng: &mut $crate::test_runner::TestRng| {
+                            $(
+                                let $arg =
+                                    $crate::strategy::Strategy::sample(&($strat), __rng);
+                            )+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })(&mut __rng);
+                    if let ::std::result::Result::Err(__msg) = __outcome {
+                        ::std::panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            ::std::stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -4i32..9, f in 0.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..9).contains(&y));
+            prop_assert!((0.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u32..10, prop::bool::ANY).prop_map(|(n, b)| if b { n + 100 } else { n }),
+        ) {
+            prop_assert!(pair < 10 || (100..110).contains(&pair));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            v in prop::collection::vec(0usize..5, 10..20),
+            w in prop::collection::vec(0u8..2, 8),
+        ) {
+            prop_assert!((10..20).contains(&v.len()));
+            prop_assert_eq!(w.len(), 8);
+        }
+
+        #[test]
+        fn select_picks_member(k in prop::sample::select(vec![2u8, 3, 5, 7])) {
+            prop_assert!([2u8, 3, 5, 7].contains(&k));
+        }
+    }
+
+    #[test]
+    fn failures_report_case() {
+        // A deliberately failing property, run manually to keep the test
+        // suite green while covering the failure path.
+        let mut rng = crate::test_runner::TestRng::deterministic("manual");
+        let outcome: Result<(), String> = (|rng: &mut crate::test_runner::TestRng| {
+            let x = crate::strategy::Strategy::sample(&(0u32..10), rng);
+            prop_assert!(x >= 10, "x was {x}");
+            Ok(())
+        })(&mut rng);
+        assert!(outcome.is_err());
+    }
+}

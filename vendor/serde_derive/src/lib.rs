@@ -1,0 +1,459 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stub.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build environment
+//! has no `syn`/`quote`), covering the item shapes this workspace uses:
+//! non-generic structs with named fields, tuple/newtype structs, and enums
+//! whose variants are unit, tuple or struct-like. Enums use serde's
+//! externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Unnamed(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// Derives the stub `serde::Serialize` (value-model conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => ser_struct(name, fields),
+        Item::Enum { name, variants } => ser_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the stub `serde::Deserialize` (value-model conversion).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => de_struct(name, fields),
+        Item::Enum { name, variants } => de_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub does not support generic type `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Unnamed(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: unexpected enum body {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Parses `field: Type, ...` returning field names. Commas inside angle
+/// brackets (`HashMap<K, V>`) are not separators; bracketed groups arrive
+/// as single tokens and need no special care.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            panic!("serde_derive: expected field name, got {tok:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tok in stream {
+        saw_any = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tok) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tok else {
+            panic!("serde_derive: expected variant name, got {tok:?}");
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                tokens.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Unnamed(count_tuple_fields(g.stream()));
+                tokens.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {}
+            }
+            tokens.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn ser_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Unnamed(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Unnamed(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Fields::Unnamed(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Fields::Unnamed(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = v.as_seq()?;\n\
+                 if seq.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                 \"expected {n} elements, got {{}}\", seq.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Fields::Unit => "::std::result::Result::Ok(Self)".to_string(),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vn} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                ),
+                Fields::Unnamed(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                    let inner = if *n == 1 {
+                        "::serde::Serialize::to_value(x0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), {inner})])",
+                        binds.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                         ::serde::Value::Map(::std::vec![{}]))])",
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{ {} }}\n\
+         }}\n\
+         }}",
+        arms.join(",\n")
+    )
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn})",
+                vn = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => unreachable!(),
+                Fields::Unnamed(1) => format!(
+                    "\"{vn}\" => ::std::result::Result::Ok(\
+                     {name}::{vn}(::serde::Deserialize::from_value(inner)?))"
+                ),
+                Fields::Unnamed(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{vn}\" => {{\n\
+                         let seq = inner.as_seq()?;\n\
+                         if seq.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"variant {vn}: expected {n} values, got {{}}\", \
+                         seq.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vn}({}))\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")?)?")
+                        })
+                        .collect();
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(\
+                         {name}::{vn} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n\
+         match v {{\n\
+         ::serde::Value::Str(s) => match s.as_str() {{\n\
+         {units}\n\
+         other => ::std::result::Result::Err(::serde::DeError(\
+         ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+         let (tag, inner) = &entries[0];\n\
+         let _ = inner;\n\
+         match tag.as_str() {{\n\
+         {tagged}\n\
+         other => ::std::result::Result::Err(::serde::DeError(\
+         ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+         }}\n\
+         }},\n\
+         other => ::std::result::Result::Err(::serde::DeError(\
+         ::std::format!(\"cannot deserialize {name} from {{other:?}}\"))),\n\
+         }}\n\
+         }}\n\
+         }}",
+        units = if unit_arms.is_empty() {
+            String::new()
+        } else {
+            unit_arms.join(",\n") + ","
+        },
+        tagged = if tagged_arms.is_empty() {
+            String::new()
+        } else {
+            tagged_arms.join(",\n") + ","
+        },
+    )
+}
