@@ -39,20 +39,18 @@ fn main() {
     print!("{}", render_curves(&curves));
 
     println!("\nshape checks:");
-    let s0 = curves[0].at(0.0);
-    let s5 = curves[0].at(0.05);
-    let d5 = curves[1].at(0.05);
-    let n5 = curves[2].at(0.05);
+    let at = |i: usize, t: f64| curves[i].at(t).expect("non-empty tolerance grid");
+    let s0 = at(0, 0.0);
+    let s5 = at(0, 0.05);
+    let d5 = at(1, 0.05);
+    let n5 = at(2, 0.05);
     println!("  static(AGG) @5%  = {:.1}%  (paper: >75%)", s5 * 100.0);
     println!("  static(AGG) @0%  = {:.1}%", s0 * 100.0);
     println!("  dynamic     @5%  = {:.1}%", d5 * 100.0);
     println!("  always-8    @5%  = {:.1}%", n5 * 100.0);
     println!(
         "  tree beats always-8 at every tolerance: {}",
-        curves[0]
-            .tolerances
-            .iter()
-            .all(|&t| curves[0].at(t) >= curves[2].at(t))
+        curves[0].tolerances.iter().all(|&t| at(0, t) >= at(2, t))
     );
     args.dump_json(&curves);
 }

@@ -64,11 +64,12 @@ fn main() {
 
     println!("\nshape checks:");
     for c in &curves {
+        let at = |t: f64| c.at(t).expect("non-empty tolerance grid");
         println!(
             "  {:<10} @0% = {:>5.1}%   @5% = {:>5.1}%",
             c.label,
-            c.at(0.0) * 100.0,
-            c.at(0.05) * 100.0
+            at(0.0) * 100.0,
+            at(0.05) * 100.0
         );
     }
     args.dump_json(&curves);

@@ -34,21 +34,28 @@ fn main() {
         protocol.folds,
         protocol.repeats,
         protocol.seed,
-        || DecisionTree::new(protocol.tree),
+        protocol.cv_threads,
+        |_seed| DecisionTree::new(protocol.tree),
     );
     let tree_curve = curve_from_predictions("tree", &tree_preds, &energies, &tolerances);
 
-    let mut seed_counter = protocol.seed;
-    let forest_preds =
-        repeated_cross_val_predict(&all, protocol.folds, forest_repeats, protocol.seed, || {
-            seed_counter += 1;
+    // Each repetition's forest is seeded from the repetition seed itself, so
+    // the run is deterministic at any `--cv-threads` value.
+    let forest_preds = repeated_cross_val_predict(
+        &all,
+        protocol.folds,
+        forest_repeats,
+        protocol.seed,
+        protocol.cv_threads,
+        |seed| {
             RandomForest::new(ForestParams {
                 n_trees: 50,
                 tree: protocol.tree,
                 max_features: None,
-                seed: seed_counter,
+                seed: seed + 1,
             })
-        });
+        },
+    );
     let forest_curve = curve_from_predictions("forest", &forest_preds, &energies, &tolerances);
 
     let knn_preds = repeated_cross_val_predict(
@@ -56,7 +63,8 @@ fn main() {
         protocol.folds,
         protocol.repeats,
         protocol.seed,
-        || KNearestNeighbors::new(KnnParams::default()),
+        protocol.cv_threads,
+        |_seed| KNearestNeighbors::new(KnnParams::default()),
     );
     let knn_curve = curve_from_predictions("knn(5)", &knn_preds, &energies, &tolerances);
 
@@ -64,17 +72,18 @@ fn main() {
     println!("E8 — decision tree vs random forest (static ALL features)\n");
     print!("{}", render_curves(&curves));
     println!("\nshape checks:");
+    let at = |i: usize, t: f64| curves[i].at(t).expect("non-empty tolerance grid");
     println!(
         "  forest >= tree @0%: {} ({:.1}% vs {:.1}%)",
-        curves[1].at(0.0) >= curves[0].at(0.0) - 0.02,
-        curves[1].at(0.0) * 100.0,
-        curves[0].at(0.0) * 100.0
+        at(1, 0.0) >= at(0, 0.0) - 0.02,
+        at(1, 0.0) * 100.0,
+        at(0, 0.0) * 100.0
     );
     println!(
         "  forest >= tree @5%: {} ({:.1}% vs {:.1}%)",
-        curves[1].at(0.05) >= curves[0].at(0.05) - 0.02,
-        curves[1].at(0.05) * 100.0,
-        curves[0].at(0.05) * 100.0
+        at(1, 0.05) >= at(0, 0.05) - 0.02,
+        at(1, 0.05) * 100.0,
+        at(0, 0.05) * 100.0
     );
     args.dump_json(&curves);
 }

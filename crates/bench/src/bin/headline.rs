@@ -48,16 +48,17 @@ fn main() {
 
     let naive = pulp_energy::always_n_curve(8, &energies, &tolerances);
 
+    let at = |c: &pulp_energy::ToleranceCurve, t: f64| c.at(t).expect("non-empty tolerance grid");
     let h = Headline {
-        static_at_0: static_curve.at(0.0),
-        static_at_5: static_curve.at(0.05),
-        static_at_8: static_curve.at(0.08),
-        optimized_at_0: optimized_curve.at(0.0),
-        optimized_at_5: optimized_curve.at(0.05),
-        dynamic_at_0: dynamic_curve.at(0.0),
-        dynamic_at_5: dynamic_curve.at(0.05),
-        gap_at_5: dynamic_curve.at(0.05) - static_curve.at(0.05),
-        always8_at_5: naive.at(0.05),
+        static_at_0: at(&static_curve, 0.0),
+        static_at_5: at(&static_curve, 0.05),
+        static_at_8: at(&static_curve, 0.08),
+        optimized_at_0: at(&optimized_curve, 0.0),
+        optimized_at_5: at(&optimized_curve, 0.05),
+        dynamic_at_0: at(&dynamic_curve, 0.0),
+        dynamic_at_5: at(&dynamic_curve, 0.05),
+        gap_at_5: at(&dynamic_curve, 0.05) - at(&static_curve, 0.05),
+        always8_at_5: at(&naive, 0.05),
     };
 
     println!("E6 — headline numbers (ours vs paper)\n");

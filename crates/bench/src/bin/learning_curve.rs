@@ -9,7 +9,9 @@
 
 use pulp_bench::{load_or_build_dataset, CommonArgs};
 use pulp_energy::StaticFeatureSet;
-use pulp_ml::{mean_std, stratified_folds, tolerance_accuracy, DecisionTree, TreeParams};
+use pulp_ml::{
+    mean_std, parallel_seeds, stratified_folds, tolerance_accuracy, DecisionTree, TreeParams,
+};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -41,21 +43,25 @@ fn main() {
     );
     let mut points = Vec::new();
     for train_folds in 1..folds_per_step {
-        let mut acc0 = Vec::new();
-        let mut acc5 = Vec::new();
-        let mut train_samples = 0;
-        for rep in 0..repeats {
+        // Each repetition derives everything from its index, so fanning
+        // them over `--cv-threads` workers is deterministic.
+        let reps = parallel_seeds(repeats, protocol.cv_threads, |rep| {
             let folds = stratified_folds(all.labels(), folds_per_step, rep as u64);
             let train: Vec<usize> = folds[..train_folds].iter().flatten().copied().collect();
             let test: Vec<usize> = folds[train_folds..].iter().flatten().copied().collect();
-            train_samples = train.len();
             let mut tree = DecisionTree::new(TreeParams::default());
             tree.fit_rows(&all, &train);
             let preds: Vec<usize> = test.iter().map(|&r| tree.predict(all.row(r))).collect();
             let test_energies: Vec<Vec<f64>> = test.iter().map(|&r| energies[r].clone()).collect();
-            acc0.push(tolerance_accuracy(&preds, &test_energies, 0.0));
-            acc5.push(tolerance_accuracy(&preds, &test_energies, 0.05));
-        }
+            (
+                train.len(),
+                tolerance_accuracy(&preds, &test_energies, 0.0),
+                tolerance_accuracy(&preds, &test_energies, 0.05),
+            )
+        });
+        let train_samples = reps.last().map_or(0, |r| r.0);
+        let acc0: Vec<f64> = reps.iter().map(|r| r.1).collect();
+        let acc5: Vec<f64> = reps.iter().map(|r| r.2).collect();
         let (m0, s0) = mean_std(&acc0);
         let (m5, s5) = mean_std(&acc5);
         let fraction = train_folds as f64 / folds_per_step as f64;

@@ -11,6 +11,8 @@
 //! pulp_cli profile  <kernel> [...]                    # stall causes + energy, 1..=8 cores
 //! pulp_cli trace    <kernel> [--team t] [...]         # GVSOC-style trace
 //! pulp_cli trace    <kernel> --chrome out.json [...]  # Chrome trace-event JSON
+//! pulp_cli cache    stats --cache-dir DIR             # sweep-cache usage
+//! pulp_cli cache    clear --cache-dir DIR             # delete cached sweeps
 //! ```
 //!
 //! Defaults: `--dtype f32` (or the kernel's only supported type),
@@ -19,9 +21,9 @@
 use kernel_ir::{lower, DType, Kernel};
 use pulp_bench::{profile_run, recorder_of_run, QUICK_KERNELS};
 use pulp_energy::{
-    measure_kernel,
+    default_cache_version, measure_kernel,
     pipeline::{LabeledDataset, PipelineOptions},
-    static_feature_names, static_feature_vector, StaticFeatureSet,
+    static_feature_names, static_feature_vector, StaticFeatureSet, SweepCache,
 };
 use pulp_energy_model::{energy_waterfall, EnergyModel};
 use pulp_kernels::{registry, KernelDef, KernelParams};
@@ -37,6 +39,7 @@ struct Args {
     size: usize,
     team: usize,
     chrome: Option<String>,
+    cache_dir: Option<String>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -52,10 +55,12 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
         size: 2048,
         team: 4,
         chrome: None,
+        cache_dir: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--chrome" => args.chrome = Some(argv.next()?),
+            "--cache-dir" => args.cache_dir = Some(argv.next()?),
             "--dtype" => {
                 args.dtype = match argv.next().as_deref() {
                     Some("i32") => Some(DType::I32),
@@ -83,7 +88,8 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: pulp_cli <list|pretty|features|disasm|measure|classify|mca|profile|trace> \
-         [kernel] [--dtype i32|f32] [--size BYTES] [--team N] [--chrome OUT.json]"
+         [kernel] [--dtype i32|f32] [--size BYTES] [--team N] [--chrome OUT.json]\n   \
+         or: pulp_cli cache <stats|clear> --cache-dir DIR"
     );
     ExitCode::FAILURE
 }
@@ -392,6 +398,42 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "cache" => {
+            let Some(action) = args.kernel.as_deref() else {
+                return usage();
+            };
+            let Some(dir) = args.cache_dir.as_deref() else {
+                eprintln!("cache {action}: --cache-dir DIR is required");
+                return ExitCode::FAILURE;
+            };
+            let dir = std::path::Path::new(dir);
+            match action {
+                "stats" => match SweepCache::dir_stats(dir) {
+                    Ok(stats) => {
+                        println!("cache dir : {}", dir.display());
+                        println!("version   : {}", default_cache_version());
+                        println!("entries   : {}", stats.entries);
+                        println!("size      : {} bytes", stats.bytes);
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("cannot read {}: {e}", dir.display());
+                        ExitCode::FAILURE
+                    }
+                },
+                "clear" => match SweepCache::clear(dir) {
+                    Ok(removed) => {
+                        println!("removed {removed} cached sweep(s) from {}", dir.display());
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("cannot clear {}: {e}", dir.display());
+                        ExitCode::FAILURE
+                    }
+                },
+                _ => usage(),
+            }
+        }
         _ => usage(),
     }
 }
@@ -437,5 +479,14 @@ mod tests {
         let a = parse(&["trace", "fir", "--chrome", "out.json"]).expect("parse");
         assert_eq!(a.chrome.as_deref(), Some("out.json"));
         assert!(parse(&["trace", "fir", "--chrome"]).is_none());
+    }
+
+    #[test]
+    fn cache_subcommand_parses() {
+        let a = parse(&["cache", "stats", "--cache-dir", "/tmp/sweeps"]).expect("parse");
+        assert_eq!(a.command, "cache");
+        assert_eq!(a.kernel.as_deref(), Some("stats"));
+        assert_eq!(a.cache_dir.as_deref(), Some("/tmp/sweeps"));
+        assert!(parse(&["cache", "clear", "--cache-dir"]).is_none());
     }
 }

@@ -10,11 +10,17 @@
 //! * `--json <path>` — dump the machine-readable record next to the text
 //!   report.
 //! * `--threads <n>` — simulation worker threads (default: all cores).
+//! * `--cv-threads <n>` — cross-validation worker threads (default: all
+//!   cores; predictions are bit-identical at any value).
+//! * `--cache-dir <dir>` — content-addressed sweep cache; repeat runs skip
+//!   every previously simulated sample.
 //! * `--progress` — per-sample progress lines on stderr during the sweep.
 //! * `--quiet` — suppress informational stderr chatter.
 //!
-//! The full dataset build (448 samples × 8 team sizes) is cached on disk
-//! (`target/pulp-dataset-*.json`) so consecutive experiments reuse it.
+//! Without `--cache-dir` the full dataset build (448 samples × 8 team
+//! sizes) is cached wholesale on disk (`target/pulp-dataset-*.json`) so
+//! consecutive experiments reuse it; with `--cache-dir` that coarse cache
+//! is bypassed in favour of the per-sample sweep cache.
 
 pub mod profiling;
 
@@ -23,11 +29,22 @@ pub use profiling::{
 };
 
 use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};
-use pulp_energy::Protocol;
+use pulp_energy::{Protocol, SweepCache};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Usage text printed when a common flag is given an invalid value.
+pub const COMMON_USAGE: &str = "common options:
+  --quick             reduced dataset + reduced CV protocol
+  --json <path>       dump the machine-readable record to <path>
+  --threads <n>       simulation worker threads (0 = all cores)
+  --cv-threads <n>    cross-validation worker threads (0 = all cores)
+  --cache-dir <dir>   content-addressed sweep cache directory
+  --progress          per-sample progress lines on stderr
+  --quiet             suppress informational stderr chatter";
 
 /// Parsed common command-line options.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CommonArgs {
     /// Reduced dataset + protocol.
     pub quick: bool,
@@ -35,43 +52,75 @@ pub struct CommonArgs {
     pub json: Option<PathBuf>,
     /// Simulation threads (0 = all).
     pub threads: usize,
+    /// Cross-validation threads (0 = all).
+    pub cv_threads: usize,
+    /// Sweep-cache directory (`--cache-dir`).
+    pub cache_dir: Option<PathBuf>,
     /// Per-sample progress on stderr (`--progress`).
     pub progress: bool,
     /// Suppress informational stderr chatter (`--quiet`).
     pub quiet: bool,
 }
 
+fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    match args.next() {
+        Some(v) if !v.starts_with("--") => Ok(v),
+        _ => Err(format!("{flag} requires a value")),
+    }
+}
+
+fn numeric_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<usize, String> {
+    let v = flag_value(args, flag)?;
+    v.parse()
+        .map_err(|_| format!("{flag} expects a non-negative integer, got `{v}`"))
+}
+
 impl CommonArgs {
-    /// Parses `std::env::args`, ignoring unknown flags.
+    /// Parses `std::env::args`; invalid values for known flags print the
+    /// usage message and exit with status 2 instead of panicking or being
+    /// silently replaced by a default.
     pub fn parse() -> Self {
-        let mut quick = false;
-        let mut json = None;
-        let mut threads = 0usize;
-        let mut progress = false;
-        let mut quiet = false;
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--quick" => quick = true,
-                "--json" => json = args.next().map(PathBuf::from),
-                "--threads" => {
-                    threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
-                }
-                "--progress" => progress = true,
-                "--quiet" => quiet = true,
-                _ => {}
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{COMMON_USAGE}");
+                std::process::exit(2);
             }
-        }
-        Self {
-            quick,
-            json,
-            threads,
-            progress,
-            quiet,
         }
     }
 
-    /// The pipeline options implied by these arguments.
+    /// [`parse`](Self::parse) over an explicit argument list (testable).
+    ///
+    /// Unknown flags and bare tokens are ignored — binaries with extra
+    /// options (e.g. `telemetry_guard --iters 31`) share this parser — but
+    /// a known flag with a missing or malformed value is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending flag.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--json" => out.json = Some(PathBuf::from(flag_value(&mut args, "--json")?)),
+                "--threads" => out.threads = numeric_value(&mut args, "--threads")?,
+                "--cv-threads" => out.cv_threads = numeric_value(&mut args, "--cv-threads")?,
+                "--cache-dir" => {
+                    out.cache_dir = Some(PathBuf::from(flag_value(&mut args, "--cache-dir")?));
+                }
+                "--progress" => out.progress = true,
+                "--quiet" => out.quiet = true,
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+
+    /// The pipeline options implied by these arguments. Opens the sweep
+    /// cache when `--cache-dir` was given (an unopenable directory warns
+    /// and degrades to uncached simulation).
     pub fn pipeline_options(&self) -> PipelineOptions {
         let mut opts = if self.quick {
             PipelineOptions::quick(QUICK_KERNELS)
@@ -80,15 +129,28 @@ impl CommonArgs {
         };
         opts.threads = self.threads;
         opts.progress = self.progress;
+        if let Some(dir) = &self.cache_dir {
+            match SweepCache::new(dir) {
+                Ok(cache) => opts.cache = Some(Arc::new(cache)),
+                Err(e) => eprintln!(
+                    "warning: cannot open cache dir {}: {e}; continuing uncached",
+                    dir.display()
+                ),
+            }
+        }
         opts
     }
 
     /// The evaluation protocol implied by these arguments.
     pub fn protocol(&self) -> Protocol {
-        if self.quick {
+        let base = if self.quick {
             Protocol::quick()
         } else {
             Protocol::default()
+        };
+        Protocol {
+            cv_threads: self.cv_threads,
+            ..base
         }
     }
 
@@ -130,13 +192,22 @@ pub const QUICK_KERNELS: &[&str] = &[
 /// without it.
 pub fn load_or_build_dataset(opts: &PipelineOptions, args: &CommonArgs) -> LabeledDataset {
     let quiet = args.quiet;
-    let cache = cache_path(args.quick);
-    if let Ok(text) = std::fs::read_to_string(&cache) {
-        if let Ok(data) = serde_json::from_str::<LabeledDataset>(&text) {
-            if !quiet {
-                eprintln!("[dataset] reusing cache {}", cache.display());
+    // With a sweep cache the per-sample entries are the source of truth:
+    // the coarse whole-dataset JSON cache is bypassed so every sample goes
+    // through (and populates) the content-addressed store.
+    let dataset_cache = if opts.cache.is_none() {
+        Some(cache_path(args.quick))
+    } else {
+        None
+    };
+    if let Some(cache) = &dataset_cache {
+        if let Ok(text) = std::fs::read_to_string(cache) {
+            if let Ok(data) = serde_json::from_str::<LabeledDataset>(&text) {
+                if !quiet {
+                    eprintln!("[dataset] reusing cache {}", cache.display());
+                }
+                return data;
             }
-            return data;
         }
     }
     if !quiet {
@@ -154,9 +225,16 @@ pub fn load_or_build_dataset(opts: &PipelineOptions, args: &CommonArgs) -> Label
             start.elapsed()
         );
     }
-    if let Ok(s) = serde_json::to_string(&data) {
-        if std::fs::write(&cache, s).is_ok() && !quiet {
-            eprintln!("[dataset] cached at {}", cache.display());
+    if let Some(sweep) = &opts.cache {
+        // One line the CI warm-cache check asserts on: a warm run must
+        // report a 100% hit rate (zero simulator invocations).
+        eprintln!("[cache] {}", sweep.stats());
+    }
+    if let Some(cache) = &dataset_cache {
+        if let Ok(s) = serde_json::to_string(&data) {
+            if std::fs::write(cache, s).is_ok() && !quiet {
+                eprintln!("[dataset] cached at {}", cache.display());
+            }
         }
     }
     data
@@ -204,14 +282,14 @@ mod tests {
     fn pipeline_options_respect_quick() {
         let args = CommonArgs {
             quick: true,
-            json: None,
             threads: 2,
             progress: true,
-            quiet: false,
+            ..CommonArgs::default()
         };
         let opts = args.pipeline_options();
         assert_eq!(opts.threads, 2);
         assert!(opts.progress);
+        assert!(opts.cache.is_none());
         assert_eq!(
             opts.kernel_filter.as_ref().map(Vec::len),
             Some(QUICK_KERNELS.len())
@@ -220,5 +298,67 @@ mod tests {
             args.protocol().repeats,
             pulp_energy::Protocol::quick().repeats
         );
+    }
+
+    fn parse(tokens: &[&str]) -> Result<CommonArgs, String> {
+        CommonArgs::parse_from(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parser_accepts_the_new_flags() {
+        let args = parse(&[
+            "--quick",
+            "--threads",
+            "3",
+            "--cv-threads",
+            "4",
+            "--cache-dir",
+            "/tmp/sweeps",
+            "--quiet",
+        ])
+        .expect("valid");
+        assert!(args.quick && args.quiet);
+        assert_eq!(args.threads, 3);
+        assert_eq!(args.cv_threads, 4);
+        assert_eq!(args.cache_dir.as_deref(), Some(Path::new("/tmp/sweeps")));
+        assert_eq!(args.protocol().cv_threads, 4);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_numeric_values() {
+        // Regression: `--threads banana` used to silently become 0.
+        let err = parse(&["--threads", "banana"]).unwrap_err();
+        assert!(err.contains("--threads") && err.contains("banana"), "{err}");
+        let err = parse(&["--cv-threads", "-1"]).unwrap_err();
+        assert!(err.contains("--cv-threads"), "{err}");
+        let err = parse(&["--threads"]).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        let err = parse(&["--cache-dir", "--quick"]).unwrap_err();
+        assert!(err.contains("--cache-dir"), "{err}");
+        let err = parse(&["--json"]).unwrap_err();
+        assert!(err.contains("--json"), "{err}");
+    }
+
+    #[test]
+    fn parser_still_ignores_foreign_flags() {
+        // telemetry_guard shares this parser and adds its own options.
+        let args = parse(&["--iters", "31", "--threshold", "2", "--strict", "--quick"])
+            .expect("foreign flags pass through");
+        assert!(args.quick);
+        assert_eq!(args.threads, 0);
+    }
+
+    #[test]
+    fn cache_dir_opens_a_sweep_cache() {
+        let dir = std::env::temp_dir().join(format!("pulp-bench-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = CommonArgs {
+            cache_dir: Some(dir.clone()),
+            ..CommonArgs::default()
+        };
+        let opts = args.pipeline_options();
+        assert!(opts.cache.is_some());
+        assert!(dir.is_dir(), "cache dir must be created eagerly");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

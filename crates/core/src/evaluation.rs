@@ -5,7 +5,8 @@
 
 use crate::labeling::NUM_CLASSES;
 use pulp_ml::{
-    cv::repeated_cross_val_predict, mean_std, tolerance_accuracy, Dataset, DecisionTree, TreeParams,
+    cv::repeated_cross_val_predict_instrumented, mean_std, tolerance_accuracy, Dataset,
+    DecisionTree, TreeParams,
 };
 use serde::{Deserialize, Serialize};
 
@@ -28,22 +29,44 @@ pub struct ToleranceCurve {
 }
 
 impl ToleranceCurve {
-    /// Mean accuracy at the tolerance closest to `t`.
-    pub fn at(&self, t: f64) -> f64 {
-        let idx = self
-            .tolerances
-            .iter()
-            .enumerate()
-            .min_by(|a, b| {
-                (a.1 - t)
-                    .abs()
-                    .partial_cmp(&(b.1 - t).abs())
-                    .expect("finite tolerances")
-            })
-            .map(|(i, _)| i)
-            .expect("non-empty grid");
-        self.mean[idx]
+    /// Mean accuracy at the finite tolerance closest to `t`, or `None` for
+    /// an empty grid (or one containing only non-finite tolerances).
+    ///
+    /// Curves built through [`curve_from_predictions`] have their grid
+    /// sanitised at construction, so `None` only ever signals a curve that
+    /// was empty to begin with — it used to be a panic deep inside an
+    /// experiment binary.
+    pub fn at(&self, t: f64) -> Option<f64> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &tol) in self.tolerances.iter().enumerate() {
+            if !tol.is_finite() {
+                continue;
+            }
+            let d = (tol - t).abs();
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best.and_then(|(i, _)| self.mean.get(i).copied())
     }
+}
+
+/// Drops non-finite entries from a tolerance grid, warning when anything
+/// is discarded. Called at curve construction so [`ToleranceCurve::at`]
+/// and the accuracy sweep only ever see finite thresholds.
+fn sanitize_tolerances(tolerances: &[f64]) -> Vec<f64> {
+    let finite: Vec<f64> = tolerances
+        .iter()
+        .copied()
+        .filter(|t| t.is_finite())
+        .collect();
+    if finite.len() < tolerances.len() {
+        eprintln!(
+            "[evaluation] warning: dropped {} non-finite tolerance(s) from the grid",
+            tolerances.len() - finite.len()
+        );
+    }
+    finite
 }
 
 /// Evaluation protocol parameters.
@@ -57,6 +80,9 @@ pub struct Protocol {
     pub seed: u64,
     /// Tree hyperparameters.
     pub tree: TreeParams,
+    /// Worker threads for the repeated-CV fan-out (`0` = all cores;
+    /// predictions are bit-identical at any value).
+    pub cv_threads: usize,
 }
 
 impl Default for Protocol {
@@ -66,6 +92,7 @@ impl Default for Protocol {
             repeats: 100,
             seed: 0,
             tree: TreeParams::default(),
+            cv_threads: 0,
         }
     }
 }
@@ -113,12 +140,15 @@ pub fn tolerance_curve_instrumented(
     let cv = rec.start_cat(&format!("cv_predict {label}"), "evaluate");
     rec.annotate(cv, "folds", protocol.folds);
     rec.annotate(cv, "repeats", protocol.repeats);
-    let reps = repeated_cross_val_predict(
+    rec.annotate(cv, "cv_threads", protocol.cv_threads);
+    let reps = repeated_cross_val_predict_instrumented(
         data,
         protocol.folds,
         protocol.repeats,
         protocol.seed,
-        || DecisionTree::new(protocol.tree),
+        protocol.cv_threads,
+        rec,
+        |_seed| DecisionTree::new(protocol.tree),
     );
     rec.end(cv);
     let score = rec.start_cat(&format!("score {label}"), "evaluate");
@@ -135,9 +165,10 @@ pub fn curve_from_predictions(
     energies: &[Vec<f64>],
     tolerances: &[f64],
 ) -> ToleranceCurve {
+    let tolerances = sanitize_tolerances(tolerances);
     let mut mean = Vec::with_capacity(tolerances.len());
     let mut std = Vec::with_capacity(tolerances.len());
-    for &t in tolerances {
+    for &t in &tolerances {
         let accs: Vec<f64> = reps
             .iter()
             .map(|preds| tolerance_accuracy(preds, energies, t))
@@ -148,7 +179,7 @@ pub fn curve_from_predictions(
     }
     ToleranceCurve {
         label: label.into(),
-        tolerances: tolerances.to_vec(),
+        tolerances,
         mean,
         std,
     }
@@ -273,7 +304,7 @@ mod tests {
         let tol = vec![0.0, 0.05];
         let learned = tolerance_curve("tree", &data, &energies, &tol, &Protocol::quick());
         let naive = always_n_curve(8, &energies, &tol);
-        assert!(learned.at(0.0) > naive.at(0.0));
+        assert!(learned.at(0.0).expect("grid") > naive.at(0.0).expect("grid"));
     }
 
     #[test]
@@ -314,7 +345,66 @@ mod tests {
             mean: vec![0.5, 0.7, 0.9],
             std: vec![0.0; 3],
         };
-        assert_eq!(c.at(0.051), 0.7);
-        assert_eq!(c.at(1.0), 0.9);
+        assert_eq!(c.at(0.051), Some(0.7));
+        assert_eq!(c.at(1.0), Some(0.9));
+    }
+
+    #[test]
+    fn curve_at_survives_empty_and_nan_grids() {
+        // Regression: both shapes used to panic inside `min_by`.
+        let empty = ToleranceCurve {
+            label: "empty".into(),
+            tolerances: Vec::new(),
+            mean: Vec::new(),
+            std: Vec::new(),
+        };
+        assert_eq!(empty.at(0.05), None);
+
+        let nan_grid = ToleranceCurve {
+            label: "nan".into(),
+            tolerances: vec![f64::NAN, 0.05, f64::INFINITY],
+            mean: vec![0.1, 0.7, 0.2],
+            std: vec![0.0; 3],
+        };
+        assert_eq!(
+            nan_grid.at(0.0),
+            Some(0.7),
+            "non-finite entries are skipped"
+        );
+        let all_nan = ToleranceCurve {
+            label: "all-nan".into(),
+            tolerances: vec![f64::NAN],
+            mean: vec![0.1],
+            std: vec![0.0],
+        };
+        assert_eq!(all_nan.at(0.0), None);
+    }
+
+    #[test]
+    fn construction_sanitises_non_finite_tolerances() {
+        let preds = vec![vec![0usize]];
+        let energies = vec![vec![1.0; NUM_CLASSES]];
+        let c = curve_from_predictions("s", &preds, &energies, &[f64::NAN, 0.0, f64::INFINITY]);
+        assert_eq!(c.tolerances, vec![0.0]);
+        assert_eq!(c.mean.len(), 1);
+        let none = curve_from_predictions("e", &preds, &energies, &[]);
+        assert!(none.tolerances.is_empty() && none.at(0.0).is_none());
+    }
+
+    #[test]
+    fn cv_threads_do_not_change_the_curve() {
+        let (data, energies) = synthetic(80);
+        let tol = vec![0.0, 0.05, 0.10];
+        let serial = Protocol {
+            cv_threads: 1,
+            ..Protocol::quick()
+        };
+        let parallel = Protocol {
+            cv_threads: 4,
+            ..Protocol::quick()
+        };
+        let c1 = tolerance_curve("t", &data, &energies, &tol, &serial);
+        let c4 = tolerance_curve("t", &data, &energies, &tol, &parallel);
+        assert_eq!(c1, c4, "curves must be bit-identical at any thread count");
     }
 }

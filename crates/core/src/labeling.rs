@@ -4,8 +4,9 @@
 //! Table-I energy model assigns each run an energy; the arg-min team size
 //! becomes the sample's class label.
 
+use crate::cache::SweepCache;
 use kernel_ir::{lower, Kernel, LowerError};
-use pulp_energy_model::{energy_of, DynamicFeatures, EnergyModel};
+use pulp_energy_model::{energy_of, DynamicFeatures, EnergyModel, EnergySummary};
 use pulp_obs::Recorder;
 use pulp_sim::{simulate, ClusterConfig, SimError};
 use serde::{Deserialize, Serialize};
@@ -66,13 +67,36 @@ pub struct EnergyProfile {
 
 impl EnergyProfile {
     /// The minimum-energy class (0-based; class `c` means `c + 1` cores).
+    ///
+    /// Non-finite energies (NaN/∞ from a degenerate energy model, e.g.
+    /// during ablation sweeps) are skipped with a warning instead of
+    /// panicking the whole dataset build. Ties are broken deterministically
+    /// in favour of the **fewest cores** — the cheaper configuration when
+    /// energies are equal. If *no* energy is finite the profile degrades to
+    /// class 0 (one core), again with a warning.
     pub fn label(&self) -> usize {
-        self.energy
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite energies"))
-            .map(|(i, _)| i)
-            .expect("non-empty energies")
+        let mut best: Option<(usize, f64)> = None;
+        let mut skipped = 0usize;
+        for (i, &e) in self.energy.iter().enumerate() {
+            if !e.is_finite() {
+                skipped += 1;
+                continue;
+            }
+            // Strict `<` keeps the earlier (fewest-cores) index on ties.
+            if best.is_none_or(|(_, b)| e < b) {
+                best = Some((i, e));
+            }
+        }
+        if skipped > 0 {
+            eprintln!("[labeling] warning: {skipped} non-finite energies skipped in arg-min");
+        }
+        match best {
+            Some((i, _)) => i,
+            None => {
+                eprintln!("[labeling] warning: no finite energy in profile; defaulting to class 0");
+                0
+            }
+        }
     }
 
     /// Fractional energy wasted by running with class `c` instead of the
@@ -85,6 +109,40 @@ impl EnergyProfile {
     /// Parallel speed-up of class `c` relative to one core.
     pub fn speedup(&self, c: usize) -> f64 {
         self.cycles[0] as f64 / self.cycles[c] as f64
+    }
+
+    /// The profile as per-core-count [`EnergySummary`] rows — the sweep
+    /// cache's value type. Only the team sizes actually measured (one per
+    /// [`DynamicFeatures`] entry) are emitted.
+    pub fn summaries(&self) -> Vec<EnergySummary> {
+        self.dynamic
+            .iter()
+            .enumerate()
+            .map(|(t, dynamic)| EnergySummary {
+                cores: t + 1,
+                energy_fj: self.energy[t],
+                cycles: self.cycles[t],
+                dynamic: *dynamic,
+            })
+            .collect()
+    }
+
+    /// Reassembles a profile from cached [`EnergySummary`] rows
+    /// (the inverse of [`summaries`](Self::summaries)).
+    pub fn from_summaries(summaries: &[EnergySummary]) -> Self {
+        let mut energy = [0.0; NUM_CLASSES];
+        let mut cycles = [0u64; NUM_CLASSES];
+        let mut dynamic = Vec::with_capacity(summaries.len());
+        for s in summaries {
+            energy[s.cores - 1] = s.energy_fj;
+            cycles[s.cores - 1] = s.cycles;
+            dynamic.push(s.dynamic);
+        }
+        Self {
+            energy,
+            cycles,
+            dynamic,
+        }
     }
 }
 
@@ -161,6 +219,41 @@ pub fn measure_kernel_instrumented(
     })
 }
 
+/// [`measure_kernel_instrumented`] behind the content-addressed sweep
+/// cache: a valid cached sweep short-circuits all 1..=8 simulator
+/// invocations; a miss (or stale/corrupt entry) recomputes and stores the
+/// fresh sweep atomically.
+///
+/// # Errors
+///
+/// See [`measure_kernel`]. Cache I/O never fails the measurement — a bad
+/// entry simply falls back to recomputing.
+pub fn measure_kernel_cached(
+    kernel: &Kernel,
+    config: &ClusterConfig,
+    model: &EnergyModel,
+    cache: &SweepCache,
+    rec: &mut Recorder,
+) -> Result<EnergyProfile, MeasureError> {
+    let sample = kernel.sample_id();
+    let key = cache.key(&sample, config, model);
+    let expected_teams = NUM_CLASSES.min(config.num_cores);
+    if let Some(summaries) = cache.lookup(&key) {
+        let shape_ok = summaries.len() == expected_teams
+            && summaries.iter().enumerate().all(|(i, s)| s.cores == i + 1);
+        if shape_ok {
+            let span = rec.start_cat(&format!("cache hit {sample}"), "cache");
+            rec.end(span);
+            return Ok(EnergyProfile::from_summaries(&summaries));
+        }
+        // A hash collision or foreign entry of the wrong shape: ignore it
+        // and recompute (the store below overwrites it).
+    }
+    let profile = measure_kernel_instrumented(kernel, config, model, rec)?;
+    cache.store(&key, &profile.summaries());
+    Ok(profile)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,5 +326,76 @@ mod tests {
         for c in 0..NUM_CLASSES {
             assert!(p.waste(c) >= 0.0);
         }
+    }
+
+    fn profile_with_energy(energy: [f64; NUM_CLASSES]) -> EnergyProfile {
+        EnergyProfile {
+            energy,
+            cycles: [100; NUM_CLASSES],
+            dynamic: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn label_skips_nan_energies_instead_of_panicking() {
+        // Regression: `partial_cmp(..).expect("finite energies")` used to
+        // panic the whole dataset build on a single NaN.
+        let mut energy = [10.0; NUM_CLASSES];
+        energy[0] = f64::NAN;
+        energy[3] = 2.0;
+        energy[5] = f64::INFINITY;
+        assert_eq!(profile_with_energy(energy).label(), 3);
+    }
+
+    #[test]
+    fn label_ties_prefer_fewest_cores() {
+        let mut energy = [5.0; NUM_CLASSES];
+        energy[2] = 1.0;
+        energy[6] = 1.0; // exact tie with class 2 → class 2 (fewer cores) wins
+        assert_eq!(profile_with_energy(energy).label(), 2);
+        assert_eq!(profile_with_energy([7.0; NUM_CLASSES]).label(), 0);
+    }
+
+    #[test]
+    fn all_nan_profile_degrades_to_class_zero() {
+        assert_eq!(profile_with_energy([f64::NAN; NUM_CLASSES]).label(), 0);
+    }
+
+    #[test]
+    fn summaries_round_trip_through_the_cache_value_type() {
+        let p = measure(&compute_kernel(256));
+        let summaries = p.summaries();
+        assert_eq!(summaries.len(), 8);
+        assert!(summaries.iter().enumerate().all(|(i, s)| s.cores == i + 1));
+        assert_eq!(EnergyProfile::from_summaries(&summaries), p);
+    }
+
+    #[test]
+    fn cached_measurement_is_identical_and_skips_the_simulator() {
+        let dir = std::env::temp_dir().join(format!(
+            "pulp-labeling-cache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SweepCache::new(&dir).expect("create cache");
+        let config = ClusterConfig::default();
+        let model = EnergyModel::table1();
+        let kernel = compute_kernel(256);
+
+        let mut rec = Recorder::new();
+        let cold =
+            measure_kernel_cached(&kernel, &config, &model, &cache, &mut rec).expect("cold run");
+        let mut rec = Recorder::new();
+        let warm =
+            measure_kernel_cached(&kernel, &config, &model, &cache, &mut rec).expect("warm run");
+        assert_eq!(cold, warm, "cache round-trip must be bit-identical");
+        assert!(
+            rec.spans().iter().all(|s| s.cat != "simulate"),
+            "warm run must not invoke the simulator"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

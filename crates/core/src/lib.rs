@@ -40,7 +40,7 @@
 //! let tolerances = vec![0.0, 0.05];
 //! let curve = tolerance_curve("AGG", &agg, &data.energies(), &tolerances, &Protocol::quick());
 //! let naive = always_n_curve(8, &data.energies(), &tolerances);
-//! assert!(curve.at(0.05) >= 0.0 && naive.at(0.05) <= 1.0);
+//! assert!(curve.at(0.05).expect("grid") >= 0.0 && naive.at(0.05).expect("grid") <= 1.0);
 //! # Ok(())
 //! # }
 //! ```
@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod evaluation;
 pub mod features;
 pub mod labeling;
@@ -55,6 +56,7 @@ pub mod pipeline;
 pub mod predictor;
 pub mod report;
 
+pub use cache::{default_cache_version, CacheDirStats, CacheStats, SweepCache};
 pub use evaluation::{
     always_n_curve, default_tolerances, rank_features, tolerance_curve,
     tolerance_curve_instrumented, top_feature_columns, Protocol, RankedFeature, ToleranceCurve,
@@ -64,7 +66,8 @@ pub use features::{
     StaticFeatureSet,
 };
 pub use labeling::{
-    measure_kernel, measure_kernel_instrumented, EnergyProfile, MeasureError, NUM_CLASSES,
+    measure_kernel, measure_kernel_cached, measure_kernel_instrumented, EnergyProfile,
+    MeasureError, NUM_CLASSES,
 };
 pub use pipeline::{BuildDatasetError, LabeledDataset, PipelineOptions, SampleRecord};
 pub use predictor::{EnergyPredictor, PredictorError};

@@ -6,11 +6,14 @@
 //! minimum-energy class (step E) and collects everything into trainable
 //! datasets (step F).
 
+use crate::cache::SweepCache;
 use crate::features::{
     dynamic_feature_names, dynamic_feature_vector, static_feature_names, static_feature_vector,
     StaticFeatureSet,
 };
-use crate::labeling::{measure_kernel_instrumented, MeasureError, NUM_CLASSES};
+use crate::labeling::{
+    measure_kernel_cached, measure_kernel_instrumented, MeasureError, NUM_CLASSES,
+};
 use kernel_ir::{DType, Suite, ValidateKernelError};
 use pulp_energy_model::EnergyModel;
 use pulp_kernels::{all_samples, registry, KernelDef, SampleSpec, PAYLOAD_SIZES};
@@ -20,6 +23,7 @@ use pulp_sim::ClusterConfig;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Options controlling dataset construction.
 #[derive(Debug, Clone)]
@@ -37,6 +41,10 @@ pub struct PipelineOptions {
     /// Print measurement progress to stderr (`--progress` on the dataset
     /// binaries).
     pub progress: bool,
+    /// Content-addressed sweep cache (`--cache-dir` on the binaries);
+    /// `None` simulates every sample from scratch. Shared across the
+    /// worker threads.
+    pub cache: Option<Arc<SweepCache>>,
 }
 
 impl Default for PipelineOptions {
@@ -48,6 +56,7 @@ impl Default for PipelineOptions {
             kernel_filter: None,
             threads: 0,
             progress: false,
+            cache: None,
         }
     }
 }
@@ -245,6 +254,9 @@ impl LabeledDataset {
             }
         });
         rec.counter("pipeline/samples", done.load(Ordering::Relaxed) as f64);
+        if let Some(cache) = &opts.cache {
+            cache.record(rec);
+        }
         rec.end(measure);
         if let Some(e) = first_error {
             return Err(e);
@@ -345,7 +357,11 @@ fn measure_one_instrumented(
             source,
         })?;
     let span = rec.start_cat(&kernel.sample_id(), "sample");
-    let profile = match measure_kernel_instrumented(&kernel, &opts.config, &opts.model, rec) {
+    let measured = match &opts.cache {
+        Some(cache) => measure_kernel_cached(&kernel, &opts.config, &opts.model, cache, rec),
+        None => measure_kernel_instrumented(&kernel, &opts.config, &opts.model, rec),
+    };
+    let profile = match measured {
         Ok(p) => p,
         Err(source) => {
             rec.annotate(span, "error", &source);
@@ -435,5 +451,44 @@ mod tests {
         opts.threads = 4;
         let d4 = LabeledDataset::build(&opts).expect("build");
         assert_eq!(d1, d4);
+    }
+
+    #[test]
+    fn warm_cache_build_is_identical_and_skips_the_simulator() {
+        let dir = std::env::temp_dir().join(format!(
+            "pulp-pipeline-cache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut opts = PipelineOptions::quick(&["vec_scale", "bank_hammer"]);
+        opts.cache = Some(Arc::new(SweepCache::new(&dir).expect("cache")));
+        let cold = LabeledDataset::build(&opts).expect("cold build");
+
+        // Fresh cache handle so the counters below reflect only the warm run.
+        let warm_cache = Arc::new(SweepCache::new(&dir).expect("cache"));
+        opts.cache = Some(Arc::clone(&warm_cache));
+        let mut rec = pulp_obs::Recorder::new();
+        let warm = LabeledDataset::build_instrumented(&opts, &mut rec).expect("warm build");
+
+        assert_eq!(cold, warm, "warm-cache build must be bit-identical");
+        let stats = warm_cache.stats();
+        assert_eq!(stats.misses, 0, "warm run must not miss: {stats}");
+        assert_eq!(
+            stats.invalidations, 0,
+            "warm run must not invalidate: {stats}"
+        );
+        assert_eq!(
+            stats.hits as usize,
+            warm.len(),
+            "one hit per sample: {stats}"
+        );
+        assert!(
+            rec.spans().iter().all(|s| s.cat != "simulate"),
+            "warm run must not invoke the simulator"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -43,7 +43,17 @@ pub mod dynamic_features;
 pub mod listeners;
 pub mod model;
 pub mod power;
+pub mod summary;
 pub mod trace_analyser;
+
+/// Version of the energy model and feature-extraction pipeline.
+///
+/// Bump this whenever Table-I coefficients, the accounting rules in
+/// [`energy_of`], or the [`DynamicFeatures`] extraction change numeric
+/// results. The `pulp-energy` sweep cache folds this constant into its
+/// keys, so a bump invalidates cached energies instead of serving stale
+/// ones.
+pub const MODEL_VERSION: u32 = 1;
 
 pub use accounting::{
     energy_of, energy_waterfall, render_breakdown, EnergyBreakdown, EnergyWaterfall, WaterfallEntry,
@@ -54,6 +64,7 @@ pub use model::{
     BankEnergy, DmaEnergy, EnergyModel, Femtojoules, FpuEnergy, IcacheEnergy, OtherEnergy, PeEnergy,
 };
 pub use power::{render_profile, PowerProbe};
+pub use summary::EnergySummary;
 pub use trace_analyser::{
     parse_line, stats_from_trace, ParseTraceError, ParsedLine, TraceAnalyser,
 };

@@ -1,0 +1,74 @@
+//! Serializable per-run energy summaries.
+//!
+//! A [`EnergySummary`] condenses one simulated run (one kernel at one team
+//! size) into the numbers the labelling pipeline actually consumes: total
+//! energy, cycle count and the Table-III dynamic features. The struct is
+//! deliberately small and `serde`-round-trippable so sweep results can be
+//! persisted — the `pulp-energy` sweep cache stores one summary per team
+//! size per sample.
+
+use crate::dynamic_features::DynamicFeatures;
+use serde::{Deserialize, Serialize};
+
+/// Condensed result of simulating one kernel at one team size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergySummary {
+    /// Team size the run used (1-based core count).
+    pub cores: usize,
+    /// Total energy of the run in femtojoules.
+    pub energy_fj: f64,
+    /// Kernel cycles of the run.
+    pub cycles: u64,
+    /// Table-III dynamic features extracted from the run.
+    pub dynamic: DynamicFeatures,
+}
+
+impl EnergySummary {
+    /// Returns `true` when the summary holds physically meaningful numbers
+    /// (finite, non-negative energy and a team size of at least one core).
+    pub fn is_plausible(&self) -> bool {
+        self.cores >= 1 && self.energy_fj.is_finite() && self.energy_fj >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(cores: usize, energy_fj: f64) -> EnergySummary {
+        EnergySummary {
+            cores,
+            energy_fj,
+            cycles: 100,
+            dynamic: DynamicFeatures {
+                pe_idle: 0.1,
+                pe_sleep: 0.2,
+                pe_alu: 3.0,
+                pe_fp: 4.0,
+                pe_l1: 5.0,
+                pe_l2: 6.0,
+                l1_idle: 7.0,
+                l1_read: 8.0,
+                l1_write: 9.0,
+                l1_conflicts: 10.0,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let s = summary(4, 1234.5678e6);
+        let json = serde_json::to_string(&s).expect("serialise");
+        let back: EnergySummary = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn plausibility_flags_bad_numbers() {
+        assert!(summary(1, 10.0).is_plausible());
+        assert!(!summary(0, 10.0).is_plausible());
+        assert!(!summary(2, f64::NAN).is_plausible());
+        assert!(!summary(2, f64::INFINITY).is_plausible());
+        assert!(!summary(2, -1.0).is_plausible());
+    }
+}

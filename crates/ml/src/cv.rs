@@ -3,12 +3,16 @@
 //! The paper evaluates every classifier with "10-fold stratified
 //! cross-validation ... repeated 100 times with random seeds, for ensuring
 //! to get unbiased accuracy results". This module implements that exact
-//! protocol.
+//! protocol, fanning the seeded repetitions out over a scoped worker pool:
+//! each repetition derives its RNG purely from its own seed, so the
+//! predictions are bit-identical at any thread count.
 
 use crate::dataset::Dataset;
+use pulp_obs::Recorder;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 
 /// A model trainable on row subsets — implemented by the decision tree and
 /// the random forest.
@@ -40,22 +44,38 @@ impl Classifier for crate::forest::RandomForest {
 /// Splits sample indices into `k` stratified folds.
 ///
 /// Each class's samples are shuffled and dealt round-robin, so every fold
-/// approximates the global class distribution.
+/// approximates the global class distribution and fold sizes differ by at
+/// most one.
+///
+/// Edge cases are handled without panicking:
+///
+/// * **Empty input** returns `k` empty folds.
+/// * **Classes with fewer than `k` samples** are dealt into distinct
+///   consecutive folds; with fewer than `k` samples overall some folds are
+///   (necessarily) empty — callers such as [`cross_val_predict`] skip
+///   them.
+/// * **Gaps in the label space** (e.g. labels `{0, 7, 1_000_000}`) are
+///   fine: classes are bucketed by value, never used as a dense index, so
+///   a large label cannot blow up allocation. Classes are processed in
+///   ascending label order, keeping the output identical to the historical
+///   dense-indexing behaviour for gapless label sets.
 ///
 /// # Panics
 ///
 /// Panics if `k` is zero.
 pub fn stratified_folds(labels: &[usize], k: usize, seed: u64) -> Vec<Vec<usize>> {
     assert!(k > 0, "need at least one fold");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
-    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
-    for (i, &l) in labels.iter().enumerate() {
-        per_class[l].push(i);
-    }
     let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    if labels.is_empty() {
+        return folds;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_class: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, &l) in labels.iter().enumerate() {
+        per_class.entry(l).or_default().push(i);
+    }
     let mut next = 0usize;
-    for class_rows in &mut per_class {
+    for class_rows in per_class.values_mut() {
         class_rows.shuffle(&mut rng);
         for &row in class_rows.iter() {
             folds[next % k].push(row);
@@ -99,17 +119,139 @@ pub fn cross_val_predict<C: Classifier>(
     predictions
 }
 
+/// Picks the worker count for `jobs` independent jobs: `0` means all
+/// available cores, and the result never exceeds the job count.
+fn resolve_threads(requested: usize, jobs: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    t.clamp(1, jobs.max(1))
+}
+
 /// Runs [`cross_val_predict`] `repeats` times with seeds `0..repeats`
-/// (offset by `base_seed`), returning each repetition's predictions.
+/// (offset by `base_seed`) fanned out over `threads` workers (`0` = all
+/// cores), returning each repetition's predictions in repetition order.
+///
+/// `make` receives the repetition's seed, so classifiers needing their own
+/// randomness (e.g. a random forest) stay a pure function of the
+/// repetition — predictions are **bit-identical at any thread count**.
 pub fn repeated_cross_val_predict<C: Classifier>(
     data: &Dataset,
     k: usize,
     repeats: usize,
     base_seed: u64,
-    mut make: impl FnMut() -> C,
+    threads: usize,
+    make: impl Fn(u64) -> C + Sync,
 ) -> Vec<Vec<usize>> {
-    (0..repeats)
-        .map(|r| cross_val_predict(data, k, base_seed + r as u64, &mut make))
+    let mut rec = Recorder::new();
+    repeated_cross_val_predict_instrumented(data, k, repeats, base_seed, threads, &mut rec, make)
+}
+
+/// [`repeated_cross_val_predict`] with stage telemetry: one `cv rep N`
+/// span per repetition (annotated with its seed), recorded into private
+/// per-worker [`Recorder`]s that are merged — one track per worker — after
+/// the pool joins, plus a final `cv/repetitions` counter.
+pub fn repeated_cross_val_predict_instrumented<C: Classifier>(
+    data: &Dataset,
+    k: usize,
+    repeats: usize,
+    base_seed: u64,
+    threads: usize,
+    rec: &mut Recorder,
+    make: impl Fn(u64) -> C + Sync,
+) -> Vec<Vec<usize>> {
+    if repeats == 0 {
+        return Vec::new();
+    }
+    let threads = resolve_threads(threads, repeats);
+    let run_rep = |r: usize, worker_rec: &mut Recorder| {
+        let seed = base_seed + r as u64;
+        let span = worker_rec.start_cat(&format!("cv rep {r}"), "cv");
+        worker_rec.annotate(span, "seed", seed);
+        let preds = cross_val_predict(data, k, seed, || make(seed));
+        worker_rec.end(span);
+        preds
+    };
+    let mut out: Vec<Option<Vec<usize>>> = vec![None; repeats];
+    if threads == 1 {
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = Some(run_rep(r, rec));
+        }
+    } else {
+        let run_rep = &run_rep;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                handles.push(scope.spawn(move || {
+                    let mut worker_rec = Recorder::new();
+                    let mut results = Vec::new();
+                    let mut r = t;
+                    while r < repeats {
+                        results.push((r, run_rep(r, &mut worker_rec)));
+                        r += threads;
+                    }
+                    (results, worker_rec)
+                }));
+            }
+            for h in handles {
+                let (results, worker_rec) = h.join().expect("CV worker panicked");
+                rec.merge(worker_rec);
+                for (r, preds) in results {
+                    out[r] = Some(preds);
+                }
+            }
+        });
+    }
+    rec.counter("cv/repetitions", repeats as f64);
+    out.into_iter()
+        .map(|p| p.expect("all repetitions filled"))
+        .collect()
+}
+
+/// Fans `n` independent seeded jobs out over `threads` workers (`0` = all
+/// cores), returning `f(0), f(1), ..., f(n - 1)` in index order.
+///
+/// The same round-robin scoped-pool pattern [`repeated_cross_val_predict`]
+/// uses, exposed for experiment loops (e.g. the learning-curve harness)
+/// whose per-seed work does not fit the [`Classifier`] shape. `f` must
+/// derive all randomness from its index argument to stay deterministic
+/// across thread counts.
+pub fn parallel_seeds<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = resolve_threads(threads, n);
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if threads == 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = Some(f(i));
+        }
+    } else {
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                handles.push(scope.spawn(move || {
+                    let mut results = Vec::new();
+                    let mut i = t;
+                    while i < n {
+                        results.push((i, f(i)));
+                        i += threads;
+                    }
+                    results
+                }));
+            }
+            for h in handles {
+                for (i, v) in h.join().expect("seed worker panicked") {
+                    out[i] = Some(v);
+                }
+            }
+        });
+    }
+    out.into_iter()
+        .map(|v| v.expect("all jobs filled"))
         .collect()
 }
 
@@ -155,6 +297,69 @@ mod tests {
     }
 
     #[test]
+    fn empty_labels_give_empty_folds() {
+        let folds = stratified_folds(&[], 4, 0);
+        assert_eq!(folds.len(), 4);
+        assert!(folds.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn class_smaller_than_k_lands_in_distinct_folds() {
+        // 3 samples of class 1, k = 5: each lands in its own fold and the
+        // partition stays complete.
+        let labels = vec![0, 0, 0, 0, 0, 0, 0, 1, 1, 1];
+        let folds = stratified_folds(&labels, 5, 11);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        for f in &folds {
+            let minority = f.iter().filter(|&&i| labels[i] == 1).count();
+            assert!(minority <= 1, "minority class bunched into one fold");
+        }
+    }
+
+    #[test]
+    fn fewer_samples_than_folds_leaves_empty_folds_but_partitions() {
+        let labels = vec![0, 1, 0];
+        let folds = stratified_folds(&labels, 10, 0);
+        assert_eq!(folds.len(), 10);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn gaps_in_the_label_space_are_handled() {
+        // Labels are values, not indices: a huge label must not allocate a
+        // dense class table (the old implementation indexed `Vec` by label
+        // and would try to allocate ~1e9 buckets here).
+        let labels = vec![0, 7, 7, 1_000_000_007, 0, 7];
+        let folds = stratified_folds(&labels, 3, 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+        // Fold sizes stay balanced to within one sample.
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn dense_labels_match_historical_dealing_order() {
+        // The BTreeMap bucketing must keep the exact output the old
+        // dense-indexed implementation produced for gapless labels (other
+        // tests pin downstream results to it).
+        let labels: Vec<usize> = (0..40).map(|i| (i * 7) % 4).collect();
+        let folds = stratified_folds(&labels, 5, 9);
+        // Class 0 is shuffled first, then classes 1..=3 continue the same
+        // round-robin counter.
+        let mut expected_sizes = vec![8usize; 5];
+        expected_sizes.sort_unstable();
+        let mut sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, expected_sizes);
+    }
+
+    #[test]
     fn cross_val_predict_learns_separable_data() {
         // Class = x > 5, plenty of samples.
         let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
@@ -171,9 +376,57 @@ mod tests {
         let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
         let data =
             Dataset::new(features, labels, vec!["a".into(), "b".into()], 2).expect("dataset");
-        let reps =
-            repeated_cross_val_predict(&data, 5, 3, 0, || DecisionTree::new(TreeParams::default()));
+        let reps = repeated_cross_val_predict(&data, 5, 3, 0, 1, |_| {
+            DecisionTree::new(TreeParams::default())
+        });
         assert_eq!(reps.len(), 3);
         assert_eq!(reps[0].len(), 40);
+    }
+
+    #[test]
+    fn repeated_cv_is_bit_identical_across_thread_counts() {
+        let features: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 9) as f64, (i % 4) as f64, i as f64 * 0.25])
+            .collect();
+        let labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
+        let data = Dataset::new(
+            features,
+            labels,
+            vec!["a".into(), "b".into(), "c".into()],
+            3,
+        )
+        .expect("dataset");
+        let make = |_seed: u64| DecisionTree::new(TreeParams::default());
+        let serial = repeated_cross_val_predict(&data, 5, 8, 42, 1, make);
+        let four = repeated_cross_val_predict(&data, 5, 8, 42, 4, make);
+        let odd = repeated_cross_val_predict(&data, 5, 8, 42, 3, make);
+        let auto = repeated_cross_val_predict(&data, 5, 8, 42, 0, make);
+        assert_eq!(serial, four, "1 vs 4 threads diverged");
+        assert_eq!(serial, odd, "1 vs 3 threads diverged");
+        assert_eq!(serial, auto, "1 vs auto threads diverged");
+    }
+
+    #[test]
+    fn instrumented_cv_records_one_span_per_repetition() {
+        let features: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..30).map(|i| i % 2).collect();
+        let data = Dataset::new(features, labels, vec!["x".into()], 2).expect("dataset");
+        let mut rec = Recorder::new();
+        let reps = repeated_cross_val_predict_instrumented(&data, 3, 6, 0, 2, &mut rec, |_| {
+            DecisionTree::new(TreeParams::default())
+        });
+        assert_eq!(reps.len(), 6);
+        let cv_spans = rec.spans().iter().filter(|s| s.cat == "cv").count();
+        assert_eq!(cv_spans, 6);
+        let last = rec.counters()["cv/repetitions"].last().expect("counter");
+        assert_eq!(last.value, 6.0);
+    }
+
+    #[test]
+    fn parallel_seeds_preserves_index_order() {
+        let out = parallel_seeds(17, 4, |i| i * i);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(parallel_seeds(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_seeds(3, 0, |i| i), vec![0, 1, 2]);
     }
 }

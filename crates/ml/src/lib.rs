@@ -38,7 +38,10 @@ pub mod metrics;
 pub mod split;
 pub mod tree;
 
-pub use cv::{cross_val_predict, repeated_cross_val_predict, stratified_folds, Classifier};
+pub use cv::{
+    cross_val_predict, parallel_seeds, repeated_cross_val_predict,
+    repeated_cross_val_predict_instrumented, stratified_folds, Classifier,
+};
 pub use dataset::{Dataset, DatasetError};
 pub use forest::{ForestParams, RandomForest};
 pub use knn::{KNearestNeighbors, KnnParams};

@@ -62,6 +62,16 @@ pub mod tcdm;
 pub mod telemetry;
 pub mod trace;
 
+/// Version of the simulator's timing/behaviour model.
+///
+/// Bump this whenever a change alters simulated cycle counts or event
+/// statistics for *any* program (latency model tweaks, arbitration order,
+/// new stall causes...). Downstream caches — notably the sweep cache in
+/// `pulp-energy` — fold this constant into their keys, so a bump
+/// invalidates every cached simulation result instead of silently serving
+/// stale numbers.
+pub const SIM_VERSION: u32 = 1;
+
 pub use cause::{CycleBreakdown, CycleCause};
 pub use cluster::{simulate, simulate_instrumented, simulate_traced, SimError, DEFAULT_MAX_CYCLES};
 pub use config::{ClusterConfig, L2_BASE, TCDM_BASE};

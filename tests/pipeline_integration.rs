@@ -71,11 +71,11 @@ fn learned_tree_beats_always_8_under_tolerance() {
     let energies = data.energies();
     let curve = tolerance_curve("static", &ds, &energies, &tolerances, &Protocol::quick());
     let naive = always_n_curve(8, &energies, &tolerances);
+    let at5 = curve.at(0.05).expect("grid");
+    let naive5 = naive.at(0.05).expect("grid");
     assert!(
-        curve.at(0.05) > naive.at(0.05),
-        "tree {:.3} must beat always-8 {:.3} at 5% tolerance",
-        curve.at(0.05),
-        naive.at(0.05)
+        at5 > naive5,
+        "tree {at5:.3} must beat always-8 {naive5:.3} at 5% tolerance"
     );
 }
 
@@ -101,11 +101,11 @@ fn dynamic_features_are_at_least_as_good_as_static() {
     );
     // Dynamic features contain the ground truth's ingredients; allow a
     // small slack for CV noise on the reduced set.
+    let d5 = d.at(0.05).expect("grid");
+    let s5 = s.at(0.05).expect("grid");
     assert!(
-        d.at(0.05) >= s.at(0.05) - 0.10,
-        "dynamic {:.3} should not trail static {:.3} by much",
-        d.at(0.05),
-        s.at(0.05)
+        d5 >= s5 - 0.10,
+        "dynamic {d5:.3} should not trail static {s5:.3} by much"
     );
 }
 
