@@ -40,6 +40,7 @@ fn build(name: &str, config: ClusterConfig, args: &CommonArgs) -> LabeledDataset
 }
 
 fn main() {
+    let start = std::time::Instant::now();
     let args = CommonArgs::parse();
     let base_cfg = ClusterConfig::default();
     let variants: Vec<(&str, ClusterConfig)> = vec![
@@ -118,4 +119,10 @@ fn main() {
         mean_of("no-bank-conflicts")
     );
     args.dump_json(&records);
+
+    // The manifest records the *baseline* configuration; the ablated
+    // variants are derived from it deterministically.
+    let mut manifest_opts = args.pipeline_options();
+    manifest_opts.config = base_cfg;
+    args.write_manifest("ablation_platform", &manifest_opts, None, start);
 }

@@ -41,6 +41,7 @@ fn shapes() -> Vec<(String, ClusterConfig)> {
 }
 
 fn main() {
+    let start = std::time::Instant::now();
     let args = CommonArgs::parse();
     let model = EnergyModel::table1();
     let kernels = [
@@ -112,4 +113,7 @@ fn main() {
         opt("16c8f", "bank_hammer")
     );
     args.dump_json(&rows);
+    // The manifest records the paper-shape baseline; the alternative
+    // cluster shapes are derived from it in `shapes()`.
+    args.write_manifest("cluster_sweep", &args.pipeline_options(), None, start);
 }

@@ -21,8 +21,10 @@ fn csv_escape(s: &str) -> String {
 }
 
 fn main() {
+    let start = std::time::Instant::now();
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), &args);
+    let opts = args.pipeline_options();
+    let data = load_or_build_dataset(&opts, &args);
 
     // Header.
     let mut cols: Vec<String> = vec![
@@ -60,4 +62,5 @@ fn main() {
         cols.len()
     );
     args.dump_json(&data);
+    args.write_manifest("dataset_export", &opts, None, start);
 }

@@ -22,8 +22,10 @@ struct Record {
 }
 
 fn main() {
+    let start = std::time::Instant::now();
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), &args);
+    let opts = args.pipeline_options();
+    let data = load_or_build_dataset(&opts, &args);
 
     println!("E2 / §IV-B — dataset statistics\n");
     println!("samples: {} (paper: 448)", data.len());
@@ -77,4 +79,5 @@ fn main() {
         by_dtype,
         mean_label_by_payload,
     });
+    args.write_manifest("dataset_stats", &opts, None, start);
 }

@@ -11,8 +11,10 @@ use pulp_energy::{
 };
 
 fn main() {
+    let start = std::time::Instant::now();
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), &args);
+    let opts = args.pipeline_options();
+    let data = load_or_build_dataset(&opts, &args);
     let protocol = args.protocol();
     let tolerances = default_tolerances();
     let energies = data.energies();
@@ -53,4 +55,5 @@ fn main() {
         curves[0].tolerances.iter().all(|&t| at(0, t) >= at(2, t))
     );
     args.dump_json(&curves);
+    args.write_manifest("fig2_left", &opts, Some(&protocol), start);
 }

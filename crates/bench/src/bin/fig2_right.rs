@@ -16,8 +16,10 @@ use pulp_energy::{
 const OPTIMIZED_FEATURES: usize = 6;
 
 fn main() {
+    let start = std::time::Instant::now();
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), &args);
+    let opts = args.pipeline_options();
+    let data = load_or_build_dataset(&opts, &args);
     let protocol = args.protocol();
     let tolerances = default_tolerances();
     let energies = data.energies();
@@ -73,4 +75,5 @@ fn main() {
         );
     }
     args.dump_json(&curves);
+    args.write_manifest("fig2_right", &opts, Some(&protocol), start);
 }

@@ -14,8 +14,10 @@ use pulp_ml::{
 };
 
 fn main() {
+    let start = std::time::Instant::now();
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), &args);
+    let opts = args.pipeline_options();
+    let data = load_or_build_dataset(&opts, &args);
     let protocol = args.protocol();
     let tolerances = default_tolerances();
     let energies = data.energies();
@@ -86,4 +88,5 @@ fn main() {
         at(0, 0.05) * 100.0
     );
     args.dump_json(&curves);
+    args.write_manifest("forest_extension", &opts, Some(&protocol), start);
 }

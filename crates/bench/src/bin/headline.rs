@@ -9,11 +9,13 @@
 
 use pulp_bench::{load_or_build_dataset, CommonArgs};
 use pulp_energy::{
-    default_tolerances, report::render_confusion, tolerance_curve, top_feature_columns,
+    default_tolerances, report::render_confusion, tolerance_curve, top_feature_columns, CacheStats,
     StaticFeatureSet,
 };
 use pulp_ml::{confusion_matrix, cross_val_predict, DecisionTree};
 use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
 
 #[derive(Debug, Serialize)]
 struct Headline {
@@ -28,9 +30,38 @@ struct Headline {
     always8_at_5: f64,
 }
 
+/// The benchmark-trajectory record `pulp_cli bench diff` consumes. The
+/// `accuracy` map is compared field-by-field; everything else is context.
+#[derive(Debug, Serialize)]
+struct BenchHeadline {
+    schema: &'static str,
+    accuracy: Headline,
+    /// How much the tree beats the always-8 naive policy at 5% tolerance.
+    naive_delta: f64,
+    wall_time_ms: u64,
+    cache: Option<CacheStats>,
+    manifest_hash: String,
+}
+
+/// `--bench-out <path>` (default `BENCH_headline.json`); parsed directly
+/// because it is headline-specific and `CommonArgs` ignores foreign flags.
+fn bench_out_path() -> PathBuf {
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        if a == "--bench-out" {
+            if let Some(p) = argv.next() {
+                return PathBuf::from(p);
+            }
+        }
+    }
+    PathBuf::from("BENCH_headline.json")
+}
+
 fn main() {
+    let start = Instant::now();
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), &args);
+    let opts = args.pipeline_options();
+    let data = load_or_build_dataset(&opts, &args);
     let protocol = args.protocol();
     let tolerances = default_tolerances();
     let energies = data.energies();
@@ -146,4 +177,30 @@ fn main() {
     );
 
     args.dump_json(&h);
+
+    // Provenance + the benchmark-trajectory record `bench diff` compares.
+    let manifest = args.write_manifest("headline", &opts, Some(&protocol), start);
+    let bench = BenchHeadline {
+        schema: "pulp-headline/v1",
+        naive_delta: h.static_at_5 - h.always8_at_5,
+        accuracy: h,
+        wall_time_ms: start.elapsed().as_millis() as u64,
+        cache: opts.cache.as_ref().map(|c| c.stats()),
+        manifest_hash: manifest.manifest_hash(),
+    };
+    let out = bench_out_path();
+    match serde_json::to_string_pretty(&bench) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&out, s) {
+                eprintln!("warning: cannot write {}: {e}", out.display());
+            } else if !args.quiet {
+                args.logger().info(
+                    "bench",
+                    "headline record written",
+                    &[("path", out.display().to_string())],
+                );
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise bench record: {e}"),
+    }
 }

@@ -25,8 +25,10 @@ struct Point {
 }
 
 fn main() {
+    let start = std::time::Instant::now();
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), &args);
+    let opts = args.pipeline_options();
+    let data = load_or_build_dataset(&opts, &args);
     let protocol = args.protocol();
     let all = data.static_dataset(StaticFeatureSet::All).expect("static");
     let energies = data.energies();
@@ -98,4 +100,5 @@ fn main() {
         100.0 * half.acc_at_5_mean / last.acc_at_5_mean
     );
     args.dump_json(&points);
+    args.write_manifest("learning_curve", &opts, Some(&protocol), start);
 }

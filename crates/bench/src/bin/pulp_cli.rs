@@ -13,12 +13,15 @@
 //! pulp_cli trace    <kernel> --chrome out.json [...]  # Chrome trace-event JSON
 //! pulp_cli cache    stats --cache-dir DIR             # sweep-cache usage
 //! pulp_cli cache    clear --cache-dir DIR             # delete cached sweeps
+//! pulp_cli serve    [--addr HOST:PORT] [--full]       # HTTP prediction service
+//! pulp_cli bench    diff OLD.json NEW.json            # accuracy-regression gate
 //! ```
 //!
 //! Defaults: `--dtype f32` (or the kernel's only supported type),
-//! `--size 2048`, `--team 4`.
+//! `--size 2048`, `--team 4`, `--addr 127.0.0.1:7878`.
 
 use kernel_ir::{lower, DType, Kernel};
+use pulp_bench::serve::{ServeState, Server};
 use pulp_bench::{profile_run, recorder_of_run, QUICK_KERNELS};
 use pulp_energy::{
     default_cache_version, measure_kernel,
@@ -29,17 +32,23 @@ use pulp_energy_model::{energy_waterfall, EnergyModel};
 use pulp_kernels::{registry, KernelDef, KernelParams};
 use pulp_ml::{DecisionTree, TreeParams};
 use pulp_sim::{simulate_traced, ClusterConfig, TextSink};
+use serde::Value;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct Args {
     command: String,
     kernel: Option<String>,
+    /// Positional arguments after the first (e.g. `bench diff` paths).
+    rest: Vec<String>,
     dtype: Option<DType>,
     size: usize,
     team: usize,
     chrome: Option<String>,
     cache_dir: Option<String>,
+    addr: Option<String>,
+    full: bool,
 }
 
 fn parse_args() -> Option<Args> {
@@ -51,16 +60,21 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
     let mut args = Args {
         command,
         kernel: None,
+        rest: Vec::new(),
         dtype: None,
         size: 2048,
         team: 4,
         chrome: None,
         cache_dir: None,
+        addr: None,
+        full: false,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--chrome" => args.chrome = Some(argv.next()?),
             "--cache-dir" => args.cache_dir = Some(argv.next()?),
+            "--addr" => args.addr = Some(argv.next()?),
+            "--full" => args.full = true,
             "--dtype" => {
                 args.dtype = match argv.next().as_deref() {
                     Some("i32") => Some(DType::I32),
@@ -76,6 +90,9 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
             other if !other.starts_with("--") && args.kernel.is_none() => {
                 args.kernel = Some(other.to_string());
             }
+            other if !other.starts_with("--") => {
+                args.rest.push(other.to_string());
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 return None;
@@ -89,9 +106,114 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: pulp_cli <list|pretty|features|disasm|measure|classify|mca|profile|trace> \
          [kernel] [--dtype i32|f32] [--size BYTES] [--team N] [--chrome OUT.json]\n   \
-         or: pulp_cli cache <stats|clear> --cache-dir DIR"
+         or: pulp_cli cache <stats|clear> --cache-dir DIR\n   \
+         or: pulp_cli serve [--addr HOST:PORT] [--full] [--cache-dir DIR]\n   \
+         or: pulp_cli bench diff OLD.json NEW.json"
     );
     ExitCode::FAILURE
+}
+
+/// Maximum tolerated accuracy drop between baseline and candidate before
+/// `bench diff` fails: one percentage point.
+const REGRESSION_TOLERANCE: f64 = 0.01;
+
+/// Compares two `BENCH_headline.json` records field-by-field over their
+/// `accuracy` maps; returns the regressions found.
+fn bench_regressions(old: &Value, new: &Value) -> Result<Vec<String>, String> {
+    let old_acc = old
+        .field("accuracy")
+        .and_then(Value::as_map)
+        .map_err(|e| format!("baseline: {e}"))?;
+    let new_acc = new
+        .field("accuracy")
+        .and_then(Value::as_map)
+        .map_err(|e| format!("candidate: {e}"))?;
+    let mut regressions = Vec::new();
+    for (name, old_v) in old_acc {
+        let Ok(old_v) = old_v.as_f64() else { continue };
+        let Some(new_v) = new_acc
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_f64().ok())
+        else {
+            regressions.push(format!("{name}: missing from candidate"));
+            continue;
+        };
+        if new_v < old_v - REGRESSION_TOLERANCE {
+            regressions.push(format!(
+                "{name}: {:.1}% -> {:.1}% (drop {:.1} pts > {:.0} pt tolerance)",
+                old_v * 100.0,
+                new_v * 100.0,
+                (old_v - new_v) * 100.0,
+                REGRESSION_TOLERANCE * 100.0
+            ));
+        }
+    }
+    Ok(regressions)
+}
+
+fn cmd_bench_diff(old_path: &str, new_path: &str) -> ExitCode {
+    let load = |path: &str| -> Result<Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match bench_regressions(&old, &new) {
+        Ok(regressions) if regressions.is_empty() => {
+            println!("bench diff: no accuracy regressions ({old_path} -> {new_path})");
+            ExitCode::SUCCESS
+        }
+        Ok(regressions) => {
+            eprintln!("bench diff: {} accuracy regression(s):", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_serve(args: &Args) -> ExitCode {
+    let mut opts = if args.full {
+        PipelineOptions::default()
+    } else {
+        PipelineOptions::quick(QUICK_KERNELS)
+    };
+    if let Some(dir) = &args.cache_dir {
+        match SweepCache::new(dir) {
+            Ok(cache) => opts.cache = Some(Arc::new(cache)),
+            Err(e) => eprintln!("warning: cannot open cache dir {dir}: {e}; continuing uncached"),
+        }
+    }
+    eprintln!(
+        "[serve] training {} model (this simulates the training sweep unless cached)...",
+        if args.full { "full" } else { "quick" }
+    );
+    let state = Arc::new(ServeState::train(&opts));
+    let addr = args.addr.as_deref().unwrap_or("127.0.0.1:7878");
+    let server = match Server::bind(addr, state) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[serve] listening on {} — POST /predict, GET /metrics, GET /healthz, GET /manifest",
+        server.addr
+    );
+    server.run();
+    ExitCode::SUCCESS
 }
 
 fn find_kernel<'a>(defs: &'a [KernelDef], name: &str) -> Option<&'a KernelDef> {
@@ -434,6 +556,13 @@ fn main() -> ExitCode {
                 _ => usage(),
             }
         }
+        "serve" => cmd_serve(&args),
+        "bench" => {
+            if args.kernel.as_deref() != Some("diff") || args.rest.len() != 2 {
+                return usage();
+            }
+            cmd_bench_diff(&args.rest[0], &args.rest[1])
+        }
         _ => usage(),
     }
 }
@@ -479,6 +608,53 @@ mod tests {
         let a = parse(&["trace", "fir", "--chrome", "out.json"]).expect("parse");
         assert_eq!(a.chrome.as_deref(), Some("out.json"));
         assert!(parse(&["trace", "fir", "--chrome"]).is_none());
+    }
+
+    #[test]
+    fn serve_and_bench_subcommands_parse() {
+        let a = parse(&["serve", "--addr", "0.0.0.0:9000", "--full"]).expect("parse");
+        assert_eq!(a.command, "serve");
+        assert_eq!(a.addr.as_deref(), Some("0.0.0.0:9000"));
+        assert!(a.full);
+
+        let a = parse(&["bench", "diff", "old.json", "new.json"]).expect("parse");
+        assert_eq!(a.kernel.as_deref(), Some("diff"));
+        assert_eq!(a.rest, vec!["old.json".to_string(), "new.json".to_string()]);
+    }
+
+    fn headline_value(static_at_5: f64) -> Value {
+        Value::Map(vec![(
+            "accuracy".to_string(),
+            Value::Map(vec![
+                ("static_at_0".to_string(), Value::F64(0.55)),
+                ("static_at_5".to_string(), Value::F64(static_at_5)),
+            ]),
+        )])
+    }
+
+    #[test]
+    fn bench_diff_flags_only_real_regressions() {
+        let base = headline_value(0.80);
+        // Within tolerance: a 1-point drop passes.
+        let ok = bench_regressions(&base, &headline_value(0.79)).expect("compare");
+        assert!(ok.is_empty(), "{ok:?}");
+        // Beyond tolerance fails and names the field.
+        let bad = bench_regressions(&base, &headline_value(0.70)).expect("compare");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("static_at_5"), "{bad:?}");
+        // Improvements never fail.
+        assert!(bench_regressions(&base, &headline_value(0.95))
+            .expect("compare")
+            .is_empty());
+        // A field missing from the candidate is a failure, not a skip.
+        let missing = Value::Map(vec![(
+            "accuracy".to_string(),
+            Value::Map(vec![("static_at_0".to_string(), Value::F64(0.55))]),
+        )]);
+        let out = bench_regressions(&base, &missing).expect("compare");
+        assert!(out.iter().any(|r| r.contains("missing")), "{out:?}");
+        // Records without an accuracy map are an error.
+        assert!(bench_regressions(&Value::Map(vec![]), &base).is_err());
     }
 
     #[test]

@@ -22,8 +22,10 @@ struct Row {
 }
 
 fn main() {
+    let start = std::time::Instant::now();
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), &args);
+    let opts = args.pipeline_options();
+    let data = load_or_build_dataset(&opts, &args);
     let all = data.static_dataset(StaticFeatureSet::All).expect("static");
     let energies = data.energies();
 
@@ -126,4 +128,5 @@ fn main() {
         a5 * 100.0
     );
     args.dump_json(&rows);
+    args.write_manifest("suite_generalization", &opts, None, start);
 }

@@ -53,6 +53,7 @@ fn marginal(config: &ClusterConfig, model: &EnergyModel, kind: OpKind, addr: Opt
 }
 
 fn main() {
+    let start = std::time::Instant::now();
     let args = pulp_bench::CommonArgs::parse();
     let config = ClusterConfig::default();
     let model = EnergyModel::table1();
@@ -144,4 +145,5 @@ fn main() {
         .map(|r| r.error_percent.abs())
         .fold(0.0, f64::max);
     println!("\nmax |error| = {worst:.2}% (expected ~0: the accounting charges each event once)");
+    args.write_manifest("table1_energy_model", &args.pipeline_options(), None, start);
 }

@@ -16,8 +16,10 @@ struct Record {
 }
 
 fn main() {
+    let start = std::time::Instant::now();
     let args = CommonArgs::parse();
-    let data = load_or_build_dataset(&args.pipeline_options(), &args);
+    let opts = args.pipeline_options();
+    let data = load_or_build_dataset(&opts, &args);
     let protocol = args.protocol();
 
     let dynamic = rank_features(&data.dynamic_dataset().expect("dynamic"), &protocol);
@@ -54,4 +56,5 @@ fn main() {
     );
 
     args.dump_json(&Record { dynamic, static_ });
+    args.write_manifest("table4_importance", &opts, Some(&protocol), start);
 }

@@ -30,13 +30,15 @@ struct Row {
 }
 
 fn main() {
+    let start = std::time::Instant::now();
     let args = CommonArgs::parse();
+    let opts = args.pipeline_options();
     let config = ClusterConfig::default();
     let model = EnergyModel::table1();
 
     // Train a predictor on ordinary (factor-1) kernels.
     eprintln!("[unroll] training factor-1 predictor...");
-    let data = pulp_bench::load_or_build_dataset(&args.pipeline_options(), &args);
+    let data = pulp_bench::load_or_build_dataset(&opts, &args);
     let predictor =
         EnergyPredictor::train(&data, StaticFeatureSet::All, TreeParams::default()).expect("train");
 
@@ -105,4 +107,5 @@ fn main() {
         max_waste * 100.0
     );
     args.dump_json(&rows);
+    args.write_manifest("unroll_ablation", &opts, None, start);
 }

@@ -23,15 +23,18 @@
 //! is bypassed in favour of the per-sample sweep cache.
 
 pub mod profiling;
+pub mod serve;
 
 pub use profiling::{
     chrome_trace_of_run, profile_run, recorder_of_run, CauseRun, CoreTimeline, ProfiledRun,
 };
 
 use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};
-use pulp_energy::{Protocol, SweepCache};
+use pulp_energy::{Protocol, RunManifest, SweepCache};
+use pulp_obs::{LogFormat, Logger};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Usage text printed when a common flag is given an invalid value.
 pub const COMMON_USAGE: &str = "common options:
@@ -41,7 +44,10 @@ pub const COMMON_USAGE: &str = "common options:
   --cv-threads <n>    cross-validation worker threads (0 = all cores)
   --cache-dir <dir>   content-addressed sweep cache directory
   --progress          per-sample progress lines on stderr
-  --quiet             suppress informational stderr chatter";
+  --quiet             suppress informational stderr chatter
+  --log-json          JSON-lines structured logs on stderr (default: text)
+  --manifest <path>   run-manifest output path (default: manifest.json)
+  --no-manifest       skip writing the run manifest";
 
 /// Parsed common command-line options.
 #[derive(Debug, Clone, Default)]
@@ -60,6 +66,13 @@ pub struct CommonArgs {
     pub progress: bool,
     /// Suppress informational stderr chatter (`--quiet`).
     pub quiet: bool,
+    /// Structured JSON-lines logs instead of `[stage] message` text
+    /// (`--log-json`).
+    pub log_json: bool,
+    /// Run-manifest output path (`--manifest`; default `manifest.json`).
+    pub manifest: Option<PathBuf>,
+    /// Skip the run manifest entirely (`--no-manifest`).
+    pub no_manifest: bool,
 }
 
 fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
@@ -112,6 +125,11 @@ impl CommonArgs {
                 }
                 "--progress" => out.progress = true,
                 "--quiet" => out.quiet = true,
+                "--log-json" => out.log_json = true,
+                "--manifest" => {
+                    out.manifest = Some(PathBuf::from(flag_value(&mut args, "--manifest")?));
+                }
+                "--no-manifest" => out.no_manifest = true,
                 _ => {}
             }
         }
@@ -154,6 +172,69 @@ impl CommonArgs {
         }
     }
 
+    /// The structured logger implied by these arguments: JSON-lines under
+    /// `--log-json`, the historical `[stage] message` text otherwise.
+    pub fn logger(&self) -> Logger {
+        Logger::new(if self.log_json {
+            LogFormat::Json
+        } else {
+            LogFormat::Text
+        })
+    }
+
+    /// Writes the run manifest for `tool` (unless `--no-manifest`):
+    /// versions, config/model hashes (sweep-cache keying), protocol, seed,
+    /// cache counters and wall time since `start`. The default path is
+    /// `manifest.json` in the working directory — next to the binary's
+    /// report output — overridable with `--manifest <path>`.
+    ///
+    /// Returns the manifest written (also when writing was skipped or
+    /// failed), so binaries can embed its hash in their own reports.
+    pub fn write_manifest(
+        &self,
+        tool: &str,
+        opts: &PipelineOptions,
+        protocol: Option<&Protocol>,
+        start: Instant,
+    ) -> RunManifest {
+        let mut m = RunManifest::new(tool, &opts.config, &opts.model)
+            .with_extra("quick", self.quick)
+            .with_wall_time_ms(start.elapsed().as_millis() as u64);
+        if let Some(p) = protocol {
+            m = m.with_protocol(*p);
+        }
+        if let Some(cache) = &opts.cache {
+            m = m.with_cache_stats(cache.stats());
+        }
+        if self.no_manifest {
+            return m;
+        }
+        let path = self
+            .manifest
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("manifest.json"));
+        if let Err(e) = m.write(&path) {
+            self.logger().warn(
+                "manifest",
+                "cannot write manifest",
+                &[
+                    ("path", path.display().to_string()),
+                    ("error", e.to_string()),
+                ],
+            );
+        } else if !self.quiet {
+            self.logger().info(
+                "manifest",
+                "written",
+                &[
+                    ("path", path.display().to_string()),
+                    ("hash", m.manifest_hash()),
+                ],
+            );
+        }
+        m
+    }
+
     /// Writes `record` as pretty JSON if `--json` was given.
     pub fn dump_json<T: serde::Serialize>(&self, record: &T) {
         if let Some(path) = &self.json {
@@ -192,6 +273,7 @@ pub const QUICK_KERNELS: &[&str] = &[
 /// without it.
 pub fn load_or_build_dataset(opts: &PipelineOptions, args: &CommonArgs) -> LabeledDataset {
     let quiet = args.quiet;
+    let log = args.logger();
     // With a sweep cache the per-sample entries are the source of truth:
     // the coarse whole-dataset JSON cache is bypassed so every sample goes
     // through (and populates) the content-addressed store.
@@ -204,36 +286,53 @@ pub fn load_or_build_dataset(opts: &PipelineOptions, args: &CommonArgs) -> Label
         if let Ok(text) = std::fs::read_to_string(cache) {
             if let Ok(data) = serde_json::from_str::<LabeledDataset>(&text) {
                 if !quiet {
-                    eprintln!("[dataset] reusing cache {}", cache.display());
+                    log.info(
+                        "dataset",
+                        "reusing cache",
+                        &[("path", cache.display().to_string())],
+                    );
                 }
                 return data;
             }
         }
     }
     if !quiet {
-        eprintln!(
-            "[dataset] building ({} kernels x sizes; this simulates every sample at 1..=8 cores)...",
-            opts.kernel_filter.as_ref().map_or(59, Vec::len)
+        log.info(
+            "dataset",
+            "building (this simulates every sample at 1..=8 cores)",
+            &[(
+                "kernels",
+                opts.kernel_filter.as_ref().map_or(59, Vec::len).to_string(),
+            )],
         );
     }
     let start = std::time::Instant::now();
     let data = LabeledDataset::build(opts).expect("dataset build failed");
     if !quiet {
-        eprintln!(
-            "[dataset] {} samples in {:.1?}",
-            data.len(),
-            start.elapsed()
+        log.info(
+            "dataset",
+            "built",
+            &[
+                ("samples", data.len().to_string()),
+                ("elapsed", format!("{:.1?}", start.elapsed())),
+            ],
         );
     }
     if let Some(sweep) = &opts.cache {
-        // One line the CI warm-cache check asserts on: a warm run must
-        // report a 100% hit rate (zero simulator invocations).
-        eprintln!("[cache] {}", sweep.stats());
+        // In text mode this renders exactly as the historical
+        // `[cache] N hits, ...` line the CI warm-cache check asserts on: a
+        // warm run must report a 100% hit rate (zero simulator
+        // invocations).
+        log.info("cache", &sweep.stats().to_string(), &[]);
     }
     if let Some(cache) = &dataset_cache {
         if let Ok(s) = serde_json::to_string(&data) {
             if std::fs::write(cache, s).is_ok() && !quiet {
-                eprintln!("[dataset] cached at {}", cache.display());
+                log.info(
+                    "dataset",
+                    "cached",
+                    &[("path", cache.display().to_string())],
+                );
             }
         }
     }

@@ -1,0 +1,526 @@
+//! The instrumented prediction service behind `pulp_cli serve`.
+//!
+//! A std-only, thread-per-connection HTTP/1.1 server exposing the paper's
+//! end product — "static features in, minimum-energy core count out" — as
+//! three endpoints:
+//!
+//! * `POST /predict` — body `{"kernel": "gemm", "dtype": "f32", "size":
+//!   2048}` (a known kernel, features computed server-side) or
+//!   `{"features": [/* full 20-dim static vector */]}`; replies with the
+//!   predicted core count, the 0-based class, and — when the sample was in
+//!   the training sweep — the expected energy at that core count.
+//! * `GET /metrics` — Prometheus text exposition from a
+//!   [`MetricsRegistry`]: request counts by endpoint/status, request and
+//!   per-stage latency histograms, sweep-cache counters, model metadata
+//!   and the startup-training stage histograms bridged from the pipeline
+//!   `Recorder`.
+//! * `GET /healthz` — `200 ok` once the model is trained (the server only
+//!   starts accepting after training, so this is always `ok` when
+//!   reachable).
+//!
+//! Everything rides on blocking `std::net` — no async runtime, no HTTP
+//! crate — mirroring how the rest of the workspace treats dependencies.
+
+use pulp_energy::manifest::RunManifest;
+use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};
+use pulp_energy::{static_feature_vector, EnergyPredictor, PredictorMetadata, StaticFeatureSet};
+use pulp_ml::TreeParams;
+use pulp_obs::{validate_exposition, MetricsRegistry};
+use serde::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Histogram bucket layout for request latencies: 100ns .. 10s.
+fn latency_buckets() -> Vec<f64> {
+    pulp_obs::metrics::log_buckets(1e-7, 10.0, 4)
+}
+
+/// Shared state of one running prediction service.
+pub struct ServeState {
+    predictor: EnergyPredictor,
+    metadata: PredictorMetadata,
+    /// Training samples by `(kernel, dtype, payload_bytes)` — used to
+    /// answer "expected energy at the predicted core count" for kernels
+    /// the sweep has measured.
+    samples: Vec<(String, String, usize, Vec<f64>)>,
+    metrics: Mutex<MetricsRegistry>,
+    manifest: RunManifest,
+}
+
+impl ServeState {
+    /// Trains the service model on `opts` (startup cost: the full dataset
+    /// sweep unless cached) and prepares the metrics registry, seeding it
+    /// with pipeline-stage histograms from the instrumented build, model
+    /// metadata and sweep-cache counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset cannot be built or the model cannot be
+    /// trained — the service is useless without either.
+    pub fn train(opts: &PipelineOptions) -> Self {
+        let mut metrics = MetricsRegistry::new();
+        let data = LabeledDataset::build_with_metrics(opts, &mut metrics)
+            .expect("serve: dataset build failed");
+        let predictor = EnergyPredictor::train(&data, StaticFeatureSet::All, TreeParams::default())
+            .expect("serve: model training failed");
+        Self::from_parts(predictor, &data, metrics, opts)
+    }
+
+    /// Assembles the state from pre-built parts (the integration test
+    /// trains offline and reuses the dataset).
+    pub fn from_parts(
+        predictor: EnergyPredictor,
+        data: &LabeledDataset,
+        mut metrics: MetricsRegistry,
+        opts: &PipelineOptions,
+    ) -> Self {
+        let metadata = predictor.metadata();
+        metrics.gauge_set(
+            "pulp_model_info",
+            "Model metadata (value is always 1; labels carry the info).",
+            &[
+                ("feature_set", metadata.feature_set.as_str()),
+                ("n_features", &metadata.n_features.to_string()),
+                ("n_classes", &metadata.n_classes.to_string()),
+                ("tree_depth", &metadata.tree_depth.to_string()),
+                ("tree_nodes", &metadata.tree_nodes.to_string()),
+            ],
+            1.0,
+        );
+        if let Some(cache) = &opts.cache {
+            let stats = cache.stats();
+            for (kind, v) in [
+                ("hits", stats.hits),
+                ("misses", stats.misses),
+                ("invalidations", stats.invalidations),
+            ] {
+                metrics.gauge_set(
+                    "pulp_sweep_cache_lookups",
+                    "Sweep-cache lookup outcomes during startup training.",
+                    &[("kind", kind)],
+                    v as f64,
+                );
+            }
+        }
+        let mut manifest = RunManifest::new("pulp_cli serve", &opts.config, &opts.model)
+            .with_extra("feature_set", &metadata.feature_set)
+            .with_extra("samples", data.len());
+        if let Some(cache) = &opts.cache {
+            manifest = manifest.with_cache_stats(cache.stats());
+        }
+        let samples = data
+            .samples
+            .iter()
+            .map(|s| {
+                (
+                    s.kernel.clone(),
+                    s.dtype.to_string(),
+                    s.payload_bytes,
+                    s.energy.clone(),
+                )
+            })
+            .collect();
+        Self {
+            predictor,
+            metadata,
+            samples,
+            metrics: Mutex::new(metrics),
+            manifest,
+        }
+    }
+
+    /// The run manifest describing this service instance.
+    pub fn manifest(&self) -> &RunManifest {
+        &self.manifest
+    }
+
+    /// Renders the current `/metrics` exposition.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.lock().expect("metrics lock").render()
+    }
+}
+
+/// A running server: the bound address plus its accept-loop thread.
+pub struct Server {
+    /// The actual bound address (useful with port 0).
+    pub addr: SocketAddr,
+    listener: TcpListener,
+    state: Arc<ServeState>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) without
+    /// accepting yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, state: Arc<ServeState>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            addr,
+            listener,
+            state,
+        })
+    }
+
+    /// Serves forever on the calling thread, spawning one thread per
+    /// connection (`pulp_cli serve` calls this; the integration test calls
+    /// it from a background thread).
+    pub fn run(self) {
+        for stream in self.listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || handle_connection(stream, &state));
+        }
+    }
+}
+
+/// Handles one HTTP connection: parse, route, respond, close.
+fn handle_connection(stream: TcpStream, state: &ServeState) {
+    let mut reader = BufReader::new(stream);
+    let Some(request) = read_request(&mut reader) else {
+        return;
+    };
+    let start = Instant::now();
+    let (status, body, content_type) = route(&request, state);
+    let elapsed = start.elapsed().as_secs_f64();
+    record_request(state, &request, status, elapsed);
+    let response = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    );
+    let mut stream = reader.into_inner();
+    // A peer that went away mid-response needs no cleanup.
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// One parsed request: method, path, body.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Reads one HTTP/1.1 request (request line, headers, Content-Length
+/// body). Returns `None` on malformed or truncated input.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).ok()?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    // Cap bodies at 1 MiB — feature vectors are tiny; anything larger is
+    // not a legitimate request.
+    if content_length > 1 << 20 {
+        return None;
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Routes one request, returning `(status, body, content type)`.
+fn route(req: &Request, state: &ServeState) -> (u16, String, &'static str) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, "ok\n".to_string(), "text/plain; charset=utf-8"),
+        ("GET", "/metrics") => (
+            200,
+            state.render_metrics(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        ),
+        ("GET", "/manifest") => (200, state.manifest.to_json_pretty(), "application/json"),
+        ("POST", "/predict") => match predict(req, state) {
+            Ok(body) => (200, body, "application/json"),
+            Err(msg) => (
+                400,
+                serde_json::to_string(&Value::Map(vec![("error".to_string(), Value::Str(msg))]))
+                    .unwrap_or_default(),
+                "application/json",
+            ),
+        },
+        ("GET", "/predict") => (405, "use POST\n".to_string(), "text/plain; charset=utf-8"),
+        _ => (404, "not found\n".to_string(), "text/plain; charset=utf-8"),
+    }
+}
+
+/// Serves one `/predict` request body.
+fn predict(req: &Request, state: &ServeState) -> Result<String, String> {
+    let parse_start = Instant::now();
+    let body: Value =
+        serde_json::from_str(&req.body).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let parse_s = parse_start.elapsed().as_secs_f64();
+
+    let features_start = Instant::now();
+    // Either a raw feature vector, or a known kernel to featurise.
+    let (full, lookup) = if let Ok(seq) = body.field("features").and_then(Value::as_seq) {
+        let full: Vec<f64> = seq
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .map_err(|_| "features must be an array of numbers".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        (full, None)
+    } else {
+        let name = body
+            .field("kernel")
+            .and_then(Value::as_str)
+            .map_err(|_| "body needs `features` (array) or `kernel` (string)".to_string())?;
+        let dtype_text = body.field("dtype").and_then(Value::as_str).unwrap_or("i32");
+        let dtype = match dtype_text {
+            "i32" => kernel_ir::DType::I32,
+            "f32" => kernel_ir::DType::F32,
+            other => return Err(format!("unknown dtype `{other}` (want i32 or f32)")),
+        };
+        let size = body.field("size").and_then(Value::as_u64).unwrap_or(2048) as usize;
+        let def = pulp_kernels::registry()
+            .into_iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| format!("unknown kernel `{name}`"))?;
+        let kernel = def
+            .build(&pulp_kernels::KernelParams::new(dtype, size))
+            .map_err(|e| format!("kernel `{name}` rejects size {size}: {e}"))?;
+        (
+            static_feature_vector(&kernel),
+            Some((name.to_string(), dtype.to_string(), size)),
+        )
+    };
+    let features_s = features_start.elapsed().as_secs_f64();
+
+    let predict_start = Instant::now();
+    let cores = state
+        .predictor
+        .predict_cores_from_static(&full)
+        .map_err(|e| e.to_string())?;
+    let predict_s = predict_start.elapsed().as_secs_f64();
+
+    // Expected energy at the predicted core count, when the training sweep
+    // measured this exact sample.
+    let expected = lookup.as_ref().and_then(|(name, dtype, size)| {
+        state
+            .samples
+            .iter()
+            .find(|(k, d, p, _)| k == name && d == dtype && *p == *size)
+            .and_then(|(_, _, _, energy)| energy.get(cores - 1).copied())
+    });
+
+    if let Ok(mut metrics) = state.metrics.lock() {
+        for (stage, s) in [
+            ("parse", parse_s),
+            ("features", features_s),
+            ("predict", predict_s),
+        ] {
+            metrics.histogram_observe_with(
+                "pulp_predict_stage_seconds",
+                "Per-stage /predict latency.",
+                &[("stage", stage)],
+                s,
+                latency_buckets,
+            );
+        }
+        let outcome = if expected.is_some() { "hit" } else { "miss" };
+        metrics.counter_add(
+            "pulp_predict_energy_lookups_total",
+            "Expected-energy lookups against the training sweep.",
+            &[("outcome", outcome)],
+            1.0,
+        );
+    }
+
+    let mut reply = vec![
+        ("cores".to_string(), Value::U64(cores as u64)),
+        ("class".to_string(), Value::U64((cores - 1) as u64)),
+        (
+            "expected_energy_fj".to_string(),
+            expected.map_or(Value::Null, Value::F64),
+        ),
+        (
+            "model".to_string(),
+            Value::Str(state.metadata.feature_set.clone()),
+        ),
+    ];
+    if let Some((name, dtype, size)) = lookup {
+        reply.push(("kernel".to_string(), Value::Str(name)));
+        reply.push(("dtype".to_string(), Value::Str(dtype)));
+        reply.push(("size".to_string(), Value::U64(size as u64)));
+    }
+    serde_json::to_string(&Value::Map(reply)).map_err(|e| e.to_string())
+}
+
+/// Folds one served request into the registry.
+fn record_request(state: &ServeState, req: &Request, status: u16, elapsed_s: f64) {
+    let endpoint = match req.path.as_str() {
+        "/predict" | "/metrics" | "/healthz" | "/manifest" => req.path.as_str(),
+        // Collapse arbitrary paths into one label value so a scanner
+        // cannot blow up metric cardinality.
+        _ => "other",
+    };
+    if let Ok(mut metrics) = state.metrics.lock() {
+        metrics.counter_add(
+            "pulp_http_requests_total",
+            "HTTP requests served, by endpoint and status.",
+            &[("endpoint", endpoint), ("status", &status.to_string())],
+            1.0,
+        );
+        metrics.histogram_observe_with(
+            "pulp_http_request_seconds",
+            "End-to-end request latency.",
+            &[("endpoint", endpoint)],
+            elapsed_s,
+            latency_buckets,
+        );
+    }
+}
+
+/// Sanity-checks a rendered exposition (`debug_assert` style helper for
+/// callers that want the guarantee without importing pulp-obs).
+///
+/// # Errors
+///
+/// See [`validate_exposition`].
+pub fn check_exposition(text: &str) -> Result<(), String> {
+    validate_exposition(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_state() -> ServeState {
+        let opts = PipelineOptions::quick(&["vec_scale", "fpu_storm"]);
+        ServeState::train(&opts)
+    }
+
+    #[test]
+    fn trained_state_renders_a_valid_exposition() {
+        let state = quick_state();
+        let text = state.render_metrics();
+        validate_exposition(&text).expect("startup exposition valid");
+        assert!(text.contains("pulp_model_info"));
+        assert!(
+            text.contains("pulp_pipeline_stage_ticks"),
+            "training stage histograms bridged from the Recorder:\n{text}"
+        );
+    }
+
+    #[test]
+    fn predict_by_kernel_matches_offline_predictor() {
+        let state = quick_state();
+        let req = Request {
+            method: "POST".into(),
+            path: "/predict".into(),
+            body: r#"{"kernel": "vec_scale", "dtype": "i32", "size": 2048}"#.into(),
+        };
+        let body = predict(&req, &state).expect("predicts");
+        let v: Value = serde_json::from_str(&body).expect("json");
+        let cores = v.field("cores").and_then(Value::as_u64).expect("cores") as usize;
+        assert!((1..=8).contains(&cores));
+        assert!(
+            v.field("expected_energy_fj")
+                .and_then(Value::as_f64)
+                .is_ok(),
+            "training sample must resolve an expected energy: {body}"
+        );
+    }
+
+    #[test]
+    fn predict_by_features_and_errors() {
+        let state = quick_state();
+        let mk = |body: &str| Request {
+            method: "POST".into(),
+            path: "/predict".into(),
+            body: body.into(),
+        };
+        let features: Vec<String> = (0..20).map(|i| format!("{}.0", i + 1)).collect();
+        let ok = predict(
+            &mk(&format!("{{\"features\": [{}]}}", features.join(","))),
+            &state,
+        )
+        .expect("full vector predicts");
+        let v: Value = serde_json::from_str(&ok).expect("json");
+        assert!(matches!(
+            v.field("expected_energy_fj").expect("field"),
+            Value::Null
+        ));
+
+        assert!(predict(&mk("{\"features\": [1.0]}"), &state)
+            .unwrap_err()
+            .contains("20"));
+        assert!(predict(&mk("not json"), &state).is_err());
+        assert!(predict(&mk("{\"kernel\": \"nope\"}"), &state)
+            .unwrap_err()
+            .contains("unknown kernel"));
+        assert!(
+            predict(&mk("{\"kernel\": \"gemm\", \"dtype\": \"f64\"}"), &state)
+                .unwrap_err()
+                .contains("dtype")
+        );
+    }
+
+    #[test]
+    fn request_metrics_move_in_lockstep() {
+        let state = quick_state();
+        let req = Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            body: String::new(),
+        };
+        record_request(&state, &req, 200, 0.001);
+        record_request(&state, &req, 200, 0.002);
+        let text = state.render_metrics();
+        assert!(
+            text.contains("pulp_http_requests_total{endpoint=\"/healthz\",status=\"200\"} 2"),
+            "{text}"
+        );
+        validate_exposition(&text).expect("valid after traffic");
+    }
+
+    #[test]
+    fn routes_cover_the_surface() {
+        let state = quick_state();
+        let get = |path: &str| Request {
+            method: "GET".into(),
+            path: path.into(),
+            body: String::new(),
+        };
+        assert_eq!(route(&get("/healthz"), &state).0, 200);
+        assert_eq!(route(&get("/metrics"), &state).0, 200);
+        assert_eq!(route(&get("/manifest"), &state).0, 200);
+        assert_eq!(route(&get("/predict"), &state).0, 405);
+        assert_eq!(route(&get("/nope"), &state).0, 404);
+    }
+}

@@ -45,6 +45,15 @@ pub fn default_cache_version() -> String {
     )
 }
 
+/// Hex-encoded FNV-1a 64-bit hash of a value's deterministic JSON
+/// encoding — the exact keying primitive [`SweepCache::key`] uses, exposed
+/// so run manifests can record config/model hashes that are comparable
+/// with cache keys (same serialisation, same hash).
+pub fn content_hash_hex(value: &impl Serialize) -> String {
+    let encoded = serde_json::to_string(&value.to_value()).expect("value serialises");
+    format!("{:016x}", fnv1a64(encoded.as_bytes()))
+}
+
 /// 64-bit FNV-1a over `bytes` — a small, stable, dependency-free hash.
 /// Collisions are tolerable: entries embed the sample id and are verified
 /// on load.
@@ -78,7 +87,7 @@ impl CacheKey {
 }
 
 /// Hit/miss/invalidation counts observed by one [`SweepCache`] instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups served from disk.
     pub hits: u64,

@@ -125,6 +125,24 @@ pub fn tolerance_curve(
     tolerance_curve_instrumented(label, data, energies, tolerances, protocol, &mut rec)
 }
 
+/// [`tolerance_curve`] that folds the recorded evaluation telemetry into
+/// a [`MetricsRegistry`](pulp_obs::MetricsRegistry) as
+/// `pulp_eval_stage_ticks` histograms — the online counterpart of
+/// [`tolerance_curve_instrumented`] for services exposing `/metrics`.
+pub fn tolerance_curve_with_metrics(
+    label: impl Into<String>,
+    data: &Dataset,
+    energies: &[Vec<f64>],
+    tolerances: &[f64],
+    protocol: &Protocol,
+    metrics: &mut pulp_obs::MetricsRegistry,
+) -> ToleranceCurve {
+    let mut rec = pulp_obs::Recorder::new();
+    let curve = tolerance_curve_instrumented(label, data, energies, tolerances, protocol, &mut rec);
+    metrics.observe_recorder("pulp_eval", &rec);
+    curve
+}
+
 /// [`tolerance_curve`] with stage telemetry: records a `cv_predict` span
 /// around the repeated cross-validation and a `score` span around the
 /// tolerance sweep.

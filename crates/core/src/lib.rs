@@ -52,14 +52,16 @@ pub mod cache;
 pub mod evaluation;
 pub mod features;
 pub mod labeling;
+pub mod manifest;
 pub mod pipeline;
 pub mod predictor;
 pub mod report;
 
-pub use cache::{default_cache_version, CacheDirStats, CacheStats, SweepCache};
+pub use cache::{content_hash_hex, default_cache_version, CacheDirStats, CacheStats, SweepCache};
 pub use evaluation::{
     always_n_curve, default_tolerances, rank_features, tolerance_curve,
-    tolerance_curve_instrumented, top_feature_columns, Protocol, RankedFeature, ToleranceCurve,
+    tolerance_curve_instrumented, tolerance_curve_with_metrics, top_feature_columns, Protocol,
+    RankedFeature, ToleranceCurve,
 };
 pub use features::{
     dynamic_feature_names, dynamic_feature_vector, static_feature_names, static_feature_vector,
@@ -69,5 +71,6 @@ pub use labeling::{
     measure_kernel, measure_kernel_cached, measure_kernel_instrumented, EnergyProfile,
     MeasureError, NUM_CLASSES,
 };
+pub use manifest::RunManifest;
 pub use pipeline::{BuildDatasetError, LabeledDataset, PipelineOptions, SampleRecord};
-pub use predictor::{EnergyPredictor, PredictorError};
+pub use predictor::{EnergyPredictor, PredictorError, PredictorMetadata};

@@ -161,6 +161,27 @@ impl LabeledDataset {
         Self::build_instrumented(opts, &mut rec)
     }
 
+    /// [`build`](Self::build) that folds the recorded stage telemetry into
+    /// a [`MetricsRegistry`](pulp_obs::MetricsRegistry) as
+    /// `pulp_pipeline_stage_ticks{stage=...}` latency histograms and
+    /// `pulp_pipeline_counter{name=...}` gauges — the online aggregate
+    /// view of the same spans [`build_instrumented`](Self::build_instrumented)
+    /// records offline. The prediction service uses this to expose
+    /// startup-training latencies on `/metrics`.
+    ///
+    /// # Errors
+    ///
+    /// See [`build`](Self::build).
+    pub fn build_with_metrics(
+        opts: &PipelineOptions,
+        metrics: &mut pulp_obs::MetricsRegistry,
+    ) -> Result<Self, BuildDatasetError> {
+        let mut rec = Recorder::new();
+        let built = Self::build_instrumented(opts, &mut rec);
+        metrics.observe_recorder("pulp_pipeline", &rec);
+        built
+    }
+
     /// [`build`](Self::build) with stage telemetry: records `enumerate`,
     /// `measure` and `assemble` stage spans plus one span per sample
     /// (nesting the per-team-size `simulate` spans) into `rec`. Worker

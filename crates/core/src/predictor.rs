@@ -22,6 +22,13 @@ pub enum PredictorError {
     Dataset(DatasetError),
     /// A serialised predictor could not be parsed.
     Parse(serde_json::Error),
+    /// A caller-supplied feature vector has the wrong width.
+    FeatureWidth {
+        /// Width the predictor was trained against (full static vector).
+        expected: usize,
+        /// Width the caller supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for PredictorError {
@@ -29,6 +36,10 @@ impl fmt::Display for PredictorError {
         match self {
             Self::Dataset(e) => write!(f, "training data: {e}"),
             Self::Parse(e) => write!(f, "predictor deserialisation: {e}"),
+            Self::FeatureWidth { expected, got } => write!(
+                f,
+                "feature vector has {got} dims, expected the full static vector ({expected})"
+            ),
         }
     }
 }
@@ -38,6 +49,7 @@ impl std::error::Error for PredictorError {
         match self {
             Self::Dataset(e) => Some(e),
             Self::Parse(e) => Some(e),
+            Self::FeatureWidth { .. } => None,
         }
     }
 }
@@ -46,6 +58,23 @@ impl From<DatasetError> for PredictorError {
     fn from(e: DatasetError) -> Self {
         Self::Dataset(e)
     }
+}
+
+/// Descriptive metadata of a trained [`EnergyPredictor`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorMetadata {
+    /// Feature family name (`RAW`, `AGG`, `MCA`, `RAW+AGG`, `ALL`).
+    pub feature_set: String,
+    /// Number of input features after column selection.
+    pub n_features: usize,
+    /// Number of output classes (core counts).
+    pub n_classes: usize,
+    /// Fitted tree depth.
+    pub tree_depth: usize,
+    /// Fitted tree node count.
+    pub tree_nodes: usize,
+    /// Configured depth cap.
+    pub max_depth: usize,
 }
 
 /// A trained, serialisable minimum-energy-configuration predictor.
@@ -108,8 +137,44 @@ impl EnergyPredictor {
     /// its static features only — no simulation involved.
     pub fn predict_cores(&self, kernel: &Kernel) -> usize {
         let full = static_feature_vector(kernel);
+        self.predict_cores_from_static(&full)
+            .expect("static_feature_vector width matches training")
+    }
+
+    /// Predicts the minimum-energy core count (1..=8) from a caller-built
+    /// **full** static feature vector (the 20-dim layout of
+    /// [`static_feature_vector`]) — the single-sample path the prediction
+    /// service uses when features arrive over the wire rather than from a
+    /// [`Kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::FeatureWidth`] when `full` does not cover
+    /// every column this predictor was trained on.
+    pub fn predict_cores_from_static(&self, full: &[f64]) -> Result<usize, PredictorError> {
+        let width = crate::features::static_feature_names().len();
+        if full.len() != width {
+            return Err(PredictorError::FeatureWidth {
+                expected: width,
+                got: full.len(),
+            });
+        }
         let projected: Vec<f64> = self.columns.iter().map(|&c| full[c]).collect();
-        self.tree.predict(&projected) + 1
+        Ok(self.tree.predict(&projected) + 1)
+    }
+
+    /// Serialisable description of the trained model — what a service
+    /// exposes as `pulp_model_info` metric labels and what reports embed
+    /// as provenance.
+    pub fn metadata(&self) -> PredictorMetadata {
+        PredictorMetadata {
+            feature_set: self.feature_set.name().to_string(),
+            n_features: self.columns.len(),
+            n_classes: NUM_CLASSES,
+            tree_depth: self.tree.depth(),
+            tree_nodes: self.tree.node_count(),
+            max_depth: self.tree.params().max_depth,
+        }
     }
 
     /// The feature names this predictor consumes.
@@ -213,6 +278,37 @@ mod tests {
             rules.contains("F1") || rules.contains("F3") || rules.contains("F4"),
             "rules:\n{rules}"
         );
+    }
+
+    #[test]
+    fn static_vector_path_matches_kernel_path() {
+        let p = EnergyPredictor::train(&data(), StaticFeatureSet::All, TreeParams::default())
+            .expect("train");
+        let k = sample_kernel();
+        let full = static_feature_vector(&k);
+        assert_eq!(
+            p.predict_cores_from_static(&full).expect("width ok"),
+            p.predict_cores(&k)
+        );
+        let err = p.predict_cores_from_static(&full[..5]).unwrap_err();
+        assert!(matches!(
+            err,
+            PredictorError::FeatureWidth {
+                expected: 20,
+                got: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn metadata_describes_the_trained_tree() {
+        let p = EnergyPredictor::train(&data(), StaticFeatureSet::Agg, TreeParams::default())
+            .expect("train");
+        let meta = p.metadata();
+        assert_eq!(meta.feature_set, "AGG");
+        assert_eq!(meta.n_features, 3);
+        assert_eq!(meta.n_classes, 8);
+        assert!(meta.tree_nodes >= 1 && meta.tree_depth <= meta.max_depth);
     }
 
     #[test]

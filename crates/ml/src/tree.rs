@@ -203,6 +203,16 @@ impl DecisionTree {
         self.nodes.len()
     }
 
+    /// The hyperparameters this tree was configured with.
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+
+    /// Number of features seen at fit time (0 for an unfitted tree).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
     /// Renders the fitted tree as indented if/else rules — the
     /// interpretability the paper cites as the reason to prefer trees
     /// over deep models.

@@ -35,7 +35,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod chrome;
+pub mod log;
+pub mod metrics;
 pub mod recorder;
 
 pub use chrome::{chrome_trace, chrome_trace_value, validate_chrome_trace};
+pub use log::{LogFormat, Logger};
+pub use metrics::{validate_exposition, MetricsRegistry};
 pub use recorder::{CounterSample, EventRecord, Recorder, SpanId, SpanRecord, Summary};

@@ -8,6 +8,8 @@
 //!    the same per-core stall-cause counters the fast path reports.
 //! 3. **Chrome export** — the trace-event JSON survives a round trip
 //!    through `serde_json` with proper nesting and monotonic timestamps.
+//! 4. **Prometheus export** — the Recorder→registry bridge turns real
+//!    pipeline spans into a valid, deterministic text exposition.
 
 use kernel_ir::lower;
 use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};
@@ -143,4 +145,41 @@ fn pipeline_chrome_trace_round_trips_with_nesting_and_monotonic_time() {
 
     // The deterministic dump is stable across exports.
     assert_eq!(rec.to_json(), rec.to_json());
+}
+
+#[test]
+fn pipeline_metrics_render_a_valid_prometheus_exposition() {
+    use pulp_obs::{validate_exposition, MetricsRegistry};
+
+    let mut metrics = MetricsRegistry::new();
+    let data =
+        LabeledDataset::build_with_metrics(&PipelineOptions::quick(&["vec_scale"]), &mut metrics)
+            .expect("build");
+    assert_eq!(data.len(), 4);
+
+    let text = metrics.render();
+    validate_exposition(&text).expect("pipeline exposition is structurally valid");
+
+    // Every pipeline span category becomes one stage histogram series, and
+    // the sample histogram counts exactly the four built samples.
+    assert!(text.contains("# TYPE pulp_pipeline_stage_ticks histogram"));
+    assert_eq!(
+        metrics.histogram_count("pulp_pipeline_stage_ticks", &[("stage", "sample")]),
+        Some(4),
+        "one observation per built sample:\n{text}"
+    );
+    assert_eq!(
+        metrics.histogram_count("pulp_pipeline_stage_ticks", &[("stage", "simulate")]),
+        Some(4 * 8),
+        "one observation per (sample, team) simulate span"
+    );
+
+    // The exposition is deterministic: rendering twice is byte-identical,
+    // and a registry fed from the same spans renders the same text (modulo
+    // the wall-clock durations, which we exclude by comparing structure).
+    assert_eq!(text, metrics.render());
+    let families: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE")).collect();
+    let mut sorted = families.clone();
+    sorted.sort_unstable();
+    assert_eq!(families, sorted, "families render in sorted order");
 }

@@ -1,0 +1,225 @@
+//! End-to-end test of the instrumented prediction service.
+//!
+//! Boots a real [`Server`] on an ephemeral port, talks to it over raw
+//! `TcpStream` HTTP/1.1 and checks the contract the service promises:
+//!
+//! 1. `/healthz`, `/metrics` and `/predict` all answer.
+//! 2. `/predict` agrees with an offline predictor trained on the same
+//!    dataset with the same protocol (training is deterministic).
+//! 3. `/metrics` always passes the Prometheus exposition validator and its
+//!    request counters move in exact lockstep with the requests we issue.
+
+use pulp_bench::serve::{check_exposition, ServeState, Server};
+use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};
+use pulp_energy::{static_feature_vector, EnergyPredictor, StaticFeatureSet};
+use pulp_ml::TreeParams;
+use pulp_obs::MetricsRegistry;
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// Issues one HTTP/1.1 request and returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Reads one sample value out of a rendered exposition by its exact
+/// `name{labels}` prefix.
+fn sample(text: &str, series: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| {
+            l.strip_prefix(series)
+                .is_some_and(|rest| rest.starts_with(' '))
+        })
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn serve_round_trip_matches_offline_pipeline_and_counts_requests() {
+    // One shared quick dataset: the server trains from it and the offline
+    // reference predictor trains on the identical inputs.
+    let opts = PipelineOptions::quick(&["vec_scale", "fpu_storm"]);
+    let mut metrics = MetricsRegistry::new();
+    let data =
+        LabeledDataset::build_with_metrics(&opts, &mut metrics).expect("quick dataset builds");
+    let offline = EnergyPredictor::train(&data, StaticFeatureSet::All, TreeParams::default())
+        .expect("offline predictor trains");
+    let state = Arc::new(ServeState::from_parts(
+        EnergyPredictor::train(&data, StaticFeatureSet::All, TreeParams::default())
+            .expect("server predictor trains"),
+        &data,
+        metrics,
+        &opts,
+    ));
+
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&state)).expect("bind ephemeral port");
+    let addr = server.addr;
+    std::thread::spawn(move || server.run());
+
+    // 1. All three endpoints answer.
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    let (status, first_metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    check_exposition(&first_metrics).expect("first exposition valid");
+
+    // 2. /predict by kernel name matches the offline predictor on the
+    //    exact same feature vector.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/predict",
+        r#"{"kernel": "vec_scale", "dtype": "i32", "size": 2048}"#,
+    );
+    assert_eq!(status, 200, "predict failed: {body}");
+    let reply: Value = serde_json::from_str(&body).expect("predict reply is JSON");
+    let served = reply.field("cores").and_then(Value::as_u64).expect("cores") as usize;
+
+    let def = pulp_kernels::registry()
+        .into_iter()
+        .find(|d| d.name == "vec_scale")
+        .expect("vec_scale registered");
+    let kernel = def
+        .build(&pulp_kernels::KernelParams::new(
+            kernel_ir::DType::I32,
+            2048,
+        ))
+        .expect("vec_scale instantiates");
+    let full = static_feature_vector(&kernel);
+    let expected = offline
+        .predict_cores_from_static(&full)
+        .expect("offline prediction");
+    assert_eq!(
+        served, expected,
+        "served prediction must match the offline pipeline"
+    );
+    assert!(
+        reply
+            .field("expected_energy_fj")
+            .and_then(Value::as_f64)
+            .is_ok(),
+        "training sample resolves an expected energy: {body}"
+    );
+
+    // The raw-feature path gives the same answer as the kernel path.
+    let features = full
+        .iter()
+        .map(f64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/predict",
+        &format!("{{\"features\": [{features}]}}"),
+    );
+    assert_eq!(status, 200);
+    let reply: Value = serde_json::from_str(&body).expect("json");
+    assert_eq!(
+        reply.field("cores").and_then(Value::as_u64).expect("cores") as usize,
+        expected
+    );
+
+    // Error surface: short vector -> 400, bad method -> 405, bad path -> 404.
+    let (status, body) = request(addr, "POST", "/predict", r#"{"features": [1.0]}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("error"), "400 carries a JSON error: {body}");
+    let (status, _) = request(addr, "GET", "/predict", "");
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "GET", "/does-not-exist", "");
+    assert_eq!(status, 404);
+
+    // 3. The registry reflects exactly the requests issued above. The
+    //    /metrics request itself is recorded after rendering, so the first
+    //    scrape shows up here with count 1.
+    let (status, text) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    check_exposition(&text).expect("second exposition valid");
+    let count = |series: &str| sample(&text, series).unwrap_or(f64::NAN);
+    assert_eq!(
+        count(r#"pulp_http_requests_total{endpoint="/healthz",status="200"}"#),
+        2.0
+    );
+    assert_eq!(
+        count(r#"pulp_http_requests_total{endpoint="/metrics",status="200"}"#),
+        1.0
+    );
+    assert_eq!(
+        count(r#"pulp_http_requests_total{endpoint="/predict",status="200"}"#),
+        2.0
+    );
+    assert_eq!(
+        count(r#"pulp_http_requests_total{endpoint="/predict",status="400"}"#),
+        1.0
+    );
+    assert_eq!(
+        count(r#"pulp_http_requests_total{endpoint="/predict",status="405"}"#),
+        1.0
+    );
+    assert_eq!(
+        count(r#"pulp_http_requests_total{endpoint="other",status="404"}"#),
+        1.0
+    );
+    // Latency histograms track the same totals.
+    assert_eq!(
+        count(r#"pulp_http_request_seconds_count{endpoint="/healthz"}"#),
+        2.0
+    );
+    assert_eq!(
+        count(r#"pulp_http_request_seconds_count{endpoint="/predict"}"#),
+        4.0
+    );
+    // Per-stage /predict instrumentation saw both successful predictions.
+    assert_eq!(
+        count(r#"pulp_predict_stage_seconds_count{stage="predict"}"#),
+        2.0
+    );
+    // One energy lookup hit (kernel path) and one miss (raw features).
+    assert_eq!(
+        count(r#"pulp_predict_energy_lookups_total{outcome="hit"}"#),
+        1.0
+    );
+    assert_eq!(
+        count(r#"pulp_predict_energy_lookups_total{outcome="miss"}"#),
+        1.0
+    );
+
+    // The manifest endpoint serves valid JSON describing this instance.
+    let (status, body) = request(addr, "GET", "/manifest", "");
+    assert_eq!(status, 200);
+    let manifest: Value = serde_json::from_str(&body).expect("manifest is JSON");
+    assert_eq!(
+        manifest.field("tool").and_then(Value::as_str),
+        Ok("pulp_cli serve")
+    );
+    assert_eq!(
+        state.manifest().config_hash,
+        manifest
+            .field("config_hash")
+            .and_then(Value::as_str)
+            .expect("config_hash")
+    );
+}
