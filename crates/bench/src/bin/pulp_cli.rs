@@ -15,14 +15,21 @@
 //! pulp_cli cache    clear --cache-dir DIR             # delete cached sweeps
 //! pulp_cli serve    [--addr HOST:PORT] [--full]       # HTTP prediction service
 //! pulp_cli bench    diff OLD.json NEW.json            # accuracy-regression gate
+//! pulp_cli bench    sim [--quick] [--out PATH]        # simulator perf benchmark
 //! ```
 //!
 //! Defaults: `--dtype f32` (or the kernel's only supported type),
-//! `--size 2048`, `--team 4`, `--addr 127.0.0.1:7878`.
+//! `--size 2048`, `--team 4`, `--addr 127.0.0.1:7878`,
+//! `--max-cycles 100000000` for profile/trace runs.
+//!
+//! `bench sim` runs the fixed kernel basket (ALU-bound, TCDM-conflict,
+//! barrier/DMA-heavy, FP-contended) at 1/2/4/8 cores with the event-horizon
+//! fast-forward and the single-step oracle, verifies the two agree
+//! bit-for-bit, and writes `BENCH_sim.json` (override with `--out`).
 
 use kernel_ir::{lower, DType, Kernel};
 use pulp_bench::serve::{ServeState, Server};
-use pulp_bench::{profile_run, recorder_of_run, QUICK_KERNELS};
+use pulp_bench::{profile_run, recorder_of_run, run_sim_bench, SimBenchOptions, QUICK_KERNELS};
 use pulp_energy::{
     default_cache_version, measure_kernel,
     pipeline::{LabeledDataset, PipelineOptions},
@@ -49,6 +56,9 @@ struct Args {
     cache_dir: Option<String>,
     addr: Option<String>,
     full: bool,
+    quick: bool,
+    out: Option<String>,
+    max_cycles: Option<u64>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -68,6 +78,9 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
         cache_dir: None,
         addr: None,
         full: false,
+        quick: false,
+        out: None,
+        max_cycles: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -75,6 +88,18 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
             "--cache-dir" => args.cache_dir = Some(argv.next()?),
             "--addr" => args.addr = Some(argv.next()?),
             "--full" => args.full = true,
+            "--quick" => args.quick = true,
+            "--out" => args.out = Some(argv.next()?),
+            "--max-cycles" => {
+                let raw = argv.next()?;
+                match raw.parse::<u64>() {
+                    Ok(n) if n > 0 => args.max_cycles = Some(n),
+                    _ => {
+                        eprintln!("--max-cycles expects a positive integer, got {raw:?}");
+                        return None;
+                    }
+                }
+            }
             "--dtype" => {
                 args.dtype = match argv.next().as_deref() {
                     Some("i32") => Some(DType::I32),
@@ -108,10 +133,15 @@ fn usage() -> ExitCode {
          [kernel] [--dtype i32|f32] [--size BYTES] [--team N] [--chrome OUT.json]\n   \
          or: pulp_cli cache <stats|clear> --cache-dir DIR\n   \
          or: pulp_cli serve [--addr HOST:PORT] [--full] [--cache-dir DIR]\n   \
-         or: pulp_cli bench diff OLD.json NEW.json"
+         or: pulp_cli bench diff OLD.json NEW.json\n   \
+         or: pulp_cli bench sim [--quick] [--out PATH] [--max-cycles N]"
     );
     ExitCode::FAILURE
 }
+
+/// Default cycle budget for interactive `profile`/`trace` runs
+/// (override with `--max-cycles`).
+const DEFAULT_RUN_BUDGET: u64 = 100_000_000;
 
 /// Maximum tolerated accuracy drop between baseline and candidate before
 /// `bench diff` fails: one percentage point.
@@ -178,6 +208,55 @@ fn cmd_bench_diff(old_path: &str, new_path: &str) -> ExitCode {
         }
         Err(e) => {
             eprintln!("bench diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the simulator performance benchmark and writes `BENCH_sim.json`
+/// (or `--out PATH`). Fails if any fast-forward run diverges from its
+/// single-step oracle or if the barrier/DMA basket never skips a cycle.
+fn cmd_bench_sim(args: &Args) -> ExitCode {
+    let mut opts = if args.quick {
+        SimBenchOptions::quick()
+    } else {
+        SimBenchOptions::default()
+    };
+    if let Some(n) = args.max_cycles {
+        opts.max_cycles = n;
+    }
+    eprintln!(
+        "bench sim: {} run ({} baskets x {} team sizes, {} timing iteration(s))...",
+        if opts.quick { "quick" } else { "full" },
+        pulp_bench::sim_bench::BASKETS.len(),
+        pulp_bench::sim_bench::TEAM_SIZES.len(),
+        opts.iters
+    );
+    let report = run_sim_bench(&opts);
+    print!("{}", report.render_table());
+    let out_path = args.out.as_deref().unwrap_or("BENCH_sim.json");
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench sim: cannot serialise report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(out_path, json) {
+        eprintln!("bench sim: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    match report.verify() {
+        Ok(()) => {
+            println!("bench sim: all runs bit-identical to the single-step oracle");
+            ExitCode::SUCCESS
+        }
+        Err(problems) => {
+            eprintln!("bench sim: {} invariant violation(s):", problems.len());
+            for p in &problems {
+                eprintln!("  {p}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -434,7 +513,11 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                let run = match profile_run(&config, &lowered.program, 100_000_000) {
+                let run = match profile_run(
+                    &config,
+                    &lowered.program,
+                    args.max_cycles.unwrap_or(DEFAULT_RUN_BUDGET),
+                ) {
                     Ok(r) => r,
                     Err(e) => {
                         eprintln!("simulation failed at team {team}: {e}");
@@ -486,7 +569,11 @@ fn main() -> ExitCode {
                 }
             };
             if let Some(path) = &args.chrome {
-                let run = match profile_run(&config, &lowered.program, 100_000_000) {
+                let run = match profile_run(
+                    &config,
+                    &lowered.program,
+                    args.max_cycles.unwrap_or(DEFAULT_RUN_BUDGET),
+                ) {
                     Ok(r) => r,
                     Err(e) => {
                         eprintln!("simulation failed: {e}");
@@ -508,7 +595,12 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             } else {
                 let mut sink = TextSink::new();
-                match simulate_traced(&config, &lowered.program, 100_000_000, &mut sink) {
+                match simulate_traced(
+                    &config,
+                    &lowered.program,
+                    args.max_cycles.unwrap_or(DEFAULT_RUN_BUDGET),
+                    &mut sink,
+                ) {
                     Ok(_) => {
                         print!("{}", sink.text);
                         ExitCode::SUCCESS
@@ -557,12 +649,11 @@ fn main() -> ExitCode {
             }
         }
         "serve" => cmd_serve(&args),
-        "bench" => {
-            if args.kernel.as_deref() != Some("diff") || args.rest.len() != 2 {
-                return usage();
-            }
-            cmd_bench_diff(&args.rest[0], &args.rest[1])
-        }
+        "bench" => match args.kernel.as_deref() {
+            Some("diff") if args.rest.len() == 2 => cmd_bench_diff(&args.rest[0], &args.rest[1]),
+            Some("sim") if args.rest.is_empty() => cmd_bench_sim(&args),
+            _ => usage(),
+        },
         _ => usage(),
     }
 }
@@ -620,6 +711,29 @@ mod tests {
         let a = parse(&["bench", "diff", "old.json", "new.json"]).expect("parse");
         assert_eq!(a.kernel.as_deref(), Some("diff"));
         assert_eq!(a.rest, vec!["old.json".to_string(), "new.json".to_string()]);
+    }
+
+    #[test]
+    fn bench_sim_flags_parse_strictly() {
+        let a = parse(&[
+            "bench",
+            "sim",
+            "--quick",
+            "--out",
+            "custom.json",
+            "--max-cycles",
+            "5000",
+        ])
+        .expect("parse");
+        assert_eq!(a.kernel.as_deref(), Some("sim"));
+        assert!(a.quick);
+        assert_eq!(a.out.as_deref(), Some("custom.json"));
+        assert_eq!(a.max_cycles, Some(5_000));
+        // Zero, negative and garbage budgets are rejected outright.
+        assert!(parse(&["bench", "sim", "--max-cycles", "0"]).is_none());
+        assert!(parse(&["bench", "sim", "--max-cycles", "-3"]).is_none());
+        assert!(parse(&["bench", "sim", "--max-cycles", "many"]).is_none());
+        assert!(parse(&["bench", "sim", "--max-cycles"]).is_none());
     }
 
     fn headline_value(static_at_5: f64) -> Value {

@@ -24,10 +24,12 @@
 
 pub mod profiling;
 pub mod serve;
+pub mod sim_bench;
 
 pub use profiling::{
     chrome_trace_of_run, profile_run, recorder_of_run, CauseRun, CoreTimeline, ProfiledRun,
 };
+pub use sim_bench::{basket_program, run_sim_bench, SimBenchOptions, SimBenchReport, SimBenchRow};
 
 use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};
 use pulp_energy::{Protocol, RunManifest, SweepCache};
@@ -47,7 +49,8 @@ pub const COMMON_USAGE: &str = "common options:
   --quiet             suppress informational stderr chatter
   --log-json          JSON-lines structured logs on stderr (default: text)
   --manifest <path>   run-manifest output path (default: manifest.json)
-  --no-manifest       skip writing the run manifest";
+  --no-manifest       skip writing the run manifest
+  --max-cycles <n>    per-run simulation cycle budget (positive integer)";
 
 /// Parsed common command-line options.
 #[derive(Debug, Clone, Default)]
@@ -73,6 +76,9 @@ pub struct CommonArgs {
     pub manifest: Option<PathBuf>,
     /// Skip the run manifest entirely (`--no-manifest`).
     pub no_manifest: bool,
+    /// Per-run simulation cycle budget (`--max-cycles`; `None` = the
+    /// simulator default).
+    pub max_cycles: Option<u64>,
 }
 
 fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
@@ -86,6 +92,14 @@ fn numeric_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<
     let v = flag_value(args, flag)?;
     v.parse()
         .map_err(|_| format!("{flag} expects a non-negative integer, got `{v}`"))
+}
+
+fn positive_u64_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    let v = flag_value(args, flag)?;
+    match v.parse::<u64>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{flag} expects a positive integer, got `{v}`")),
+    }
 }
 
 impl CommonArgs {
@@ -130,6 +144,9 @@ impl CommonArgs {
                     out.manifest = Some(PathBuf::from(flag_value(&mut args, "--manifest")?));
                 }
                 "--no-manifest" => out.no_manifest = true,
+                "--max-cycles" => {
+                    out.max_cycles = Some(positive_u64_value(&mut args, "--max-cycles")?);
+                }
                 _ => {}
             }
         }
@@ -147,6 +164,9 @@ impl CommonArgs {
         };
         opts.threads = self.threads;
         opts.progress = self.progress;
+        if let Some(max_cycles) = self.max_cycles {
+            opts.max_cycles = max_cycles;
+        }
         if let Some(dir) = &self.cache_dir {
             match SweepCache::new(dir) {
                 Ok(cache) => opts.cache = Some(Arc::new(cache)),
@@ -445,6 +465,31 @@ mod tests {
             .expect("foreign flags pass through");
         assert!(args.quick);
         assert_eq!(args.threads, 0);
+    }
+
+    #[test]
+    fn max_cycles_parses_strictly_and_reaches_the_pipeline() {
+        let args = parse(&["--max-cycles", "5000"]).expect("valid");
+        assert_eq!(args.max_cycles, Some(5000));
+        assert_eq!(args.pipeline_options().max_cycles, 5000);
+        // Unset: the simulator default flows through.
+        let args = parse(&[]).expect("valid");
+        assert_eq!(args.max_cycles, None);
+        assert_eq!(
+            args.pipeline_options().max_cycles,
+            pulp_sim::DEFAULT_MAX_CYCLES
+        );
+        // Strict parsing: zero, negatives and garbage are rejected.
+        for bad in [
+            &["--max-cycles", "0"][..],
+            &["--max-cycles", "-5"],
+            &["--max-cycles", "many"],
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("--max-cycles"), "{err}");
+        }
+        let err = parse(&["--max-cycles"]).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
     }
 
     #[test]

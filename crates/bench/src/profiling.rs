@@ -48,16 +48,25 @@ impl CoreTimeline {
 
 impl Telemetry for CoreTimeline {
     fn on_cycle(&mut self, cycle: u64, core: usize, cause: CycleCause) {
+        self.advance_n(cycle, core, 1, cause);
+    }
+
+    // O(1) bulk attribution for the simulator's fast-forward: a quiescent
+    // span either extends the core's current run or opens one new run.
+    fn advance_n(&mut self, cycle: u64, core: usize, n: u64, cause: CycleCause) {
+        if n == 0 {
+            return;
+        }
         if self.lanes.len() <= core {
             self.lanes.resize(core + 1, Vec::new());
         }
         let lane = &mut self.lanes[core];
         match lane.last_mut() {
-            Some(run) if run.cause == cause && run.end == cycle => run.end = cycle + 1,
+            Some(run) if run.cause == cause && run.end == cycle => run.end = cycle + n,
             _ => lane.push(CauseRun {
                 cause,
                 start: cycle,
-                end: cycle + 1,
+                end: cycle + n,
             }),
         }
     }
@@ -90,6 +99,11 @@ impl Telemetry for BridgeTelemetry {
     fn on_cycle(&mut self, cycle: u64, core: usize, cause: CycleCause) {
         self.regions.on_cycle(cycle, core, cause);
         self.timeline.on_cycle(cycle, core, cause);
+    }
+
+    fn advance_n(&mut self, cycle: u64, core: usize, n: u64, cause: CycleCause) {
+        self.regions.advance_n(cycle, core, n, cause);
+        self.timeline.advance_n(cycle, core, n, cause);
     }
 
     fn on_fork(&mut self, cycle: u64) {
@@ -212,6 +226,26 @@ mod tests {
                 assert_ne!(w[0].cause, w[1].cause, "runs must be maximal");
             }
         }
+    }
+
+    #[test]
+    fn timeline_advance_n_matches_repeated_on_cycle() {
+        use pulp_sim::CycleCause;
+        let mut bulk = CoreTimeline::default();
+        let mut single = CoreTimeline::default();
+        let pattern = [
+            (0u64, 0usize, 3u64, CycleCause::Execute),
+            (3, 0, 5, CycleCause::Barrier),
+            (0, 1, 8, CycleCause::Idle),
+            (8, 0, 2, CycleCause::Barrier),
+        ];
+        for (cycle, core, n, cause) in pattern {
+            bulk.advance_n(cycle, core, n, cause);
+            for i in 0..n {
+                single.on_cycle(cycle + i, core, cause);
+            }
+        }
+        assert_eq!(bulk.lanes(), single.lanes());
     }
 
     #[test]

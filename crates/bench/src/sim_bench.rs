@@ -1,0 +1,371 @@
+//! `pulp_cli bench sim` — simulator performance benchmark.
+//!
+//! Runs a fixed basket of synthetic kernels — ALU-bound, TCDM-conflict
+//! heavy, barrier/DMA-heavy and FP-contended — at 1/2/4/8 cores, once with
+//! the event-horizon fast-forward and once with the single-step oracle, and
+//! reports cycles-simulated-per-wall-second for both plus the fast-forward
+//! skip ratio. Every pair is also checked for bit-identical architectural
+//! results, so the benchmark doubles as an end-to-end differential test.
+//!
+//! The JSON record (`BENCH_sim.json` by default) seeds the repository's
+//! simulator performance trajectory: future optimisation PRs append their
+//! own records and compare against this baseline.
+
+use pulp_sim::{
+    simulate_opts, AddrExpr, ClusterConfig, NoTelemetry, NullSink, OpKind, Program, SegOp,
+    SimOptions, SimScratch, SimStats, TCDM_BASE,
+};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Team sizes every basket is run at.
+pub const TEAM_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+/// Basket identifiers, in report order.
+pub const BASKETS: [&str; 4] = ["alu", "tcdm_conflict", "barrier_dma", "fp_contended"];
+
+/// Options of one benchmark invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct SimBenchOptions {
+    /// Shrink the baskets for smoke runs (`--quick`).
+    pub quick: bool,
+    /// Per-run cycle budget (`--max-cycles`).
+    pub max_cycles: u64,
+    /// Timing repetitions per configuration; the fastest wall time wins.
+    pub iters: u32,
+}
+
+impl Default for SimBenchOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            max_cycles: pulp_sim::DEFAULT_MAX_CYCLES,
+            iters: 3,
+        }
+    }
+}
+
+impl SimBenchOptions {
+    /// The reduced smoke configuration.
+    pub fn quick() -> Self {
+        Self {
+            quick: true,
+            iters: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// One (basket, team size) measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimBenchRow {
+    /// Basket identifier (see [`BASKETS`]).
+    pub basket: String,
+    /// Team size the basket ran at.
+    pub cores: usize,
+    /// Simulated cycles of the run.
+    pub cycles: u64,
+    /// Fast-forward wall time (seconds, best of the iterations).
+    pub ff_wall_s: f64,
+    /// Single-step oracle wall time (seconds, best of the iterations).
+    pub oracle_wall_s: f64,
+    /// Simulated cycles per wall-second with fast-forward.
+    pub ff_cycles_per_s: f64,
+    /// Simulated cycles per wall-second single-step.
+    pub oracle_cycles_per_s: f64,
+    /// `ff_cycles_per_s / oracle_cycles_per_s`.
+    pub speedup: f64,
+    /// Fraction of simulated cycles advanced in bulk spans.
+    pub skip_ratio: f64,
+    /// Bulk spans taken by the fast-forward run.
+    pub spans: u64,
+    /// `true` when the fast-forward run's architectural results are
+    /// bit-identical to the oracle's.
+    pub oracle_match: bool,
+}
+
+/// The full benchmark record written to `BENCH_sim.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimBenchReport {
+    /// Tool identifier for downstream diffing.
+    pub bench: String,
+    /// `true` for `--quick` runs (not comparable to full runs).
+    pub quick: bool,
+    /// One row per (basket, team size).
+    pub rows: Vec<SimBenchRow>,
+}
+
+fn instr(kind: OpKind) -> SegOp {
+    SegOp::Instr { kind, addr: None }
+}
+
+fn load(addr: u32) -> SegOp {
+    SegOp::Instr {
+        kind: OpKind::Load,
+        addr: Some(AddrExpr::constant(addr)),
+    }
+}
+
+/// Builds the named basket's program for `team` cores.
+///
+/// Baskets scale the per-core work with `scale` so `--quick` stays fast:
+///
+/// * `alu` — every core retires an ALU op per cycle; the fast-forward has
+///   nothing to skip (every cycle has a `Ready` core).
+/// * `tcdm_conflict` — all cores hammer one TCDM bank; conflict stalls are
+///   1-cycle `Busy` tails, so skipping stays minimal.
+/// * `barrier_dma` — the master streams large DMA transfers between
+///   cluster-wide barriers while workers sleep: long quiescent spans, the
+///   fast-forward's best case.
+/// * `fp_contended` — all cores issue FP divides over shared FPUs:
+///   multi-cycle busy tails with contention retries.
+///
+/// # Panics
+///
+/// Panics on an unknown basket name (callers iterate [`BASKETS`]).
+pub fn basket_program(basket: &str, team: usize, scale: u64) -> Program {
+    let streams: Vec<Vec<SegOp>> = match basket {
+        "alu" => (0..team)
+            .map(|_| {
+                vec![
+                    SegOp::LoopBegin { trip: scale },
+                    instr(OpKind::Alu),
+                    SegOp::LoopEnd,
+                    SegOp::Barrier,
+                ]
+            })
+            .collect(),
+        "tcdm_conflict" => (0..team)
+            .map(|_| {
+                // Same word address on every core: worst-case bank focus.
+                vec![
+                    SegOp::LoopBegin { trip: scale },
+                    load(TCDM_BASE),
+                    SegOp::LoopEnd,
+                    SegOp::Barrier,
+                ]
+            })
+            .collect(),
+        "barrier_dma" => {
+            let episodes = (scale / 64).max(2) as usize;
+            (0..team)
+                .map(|core| {
+                    let mut s = Vec::new();
+                    for _ in 0..episodes {
+                        if core == 0 {
+                            s.push(SegOp::Dma {
+                                words: 4096,
+                                inbound: true,
+                            });
+                        }
+                        s.push(SegOp::Barrier);
+                    }
+                    s
+                })
+                .collect()
+        }
+        "fp_contended" => (0..team)
+            .map(|_| {
+                vec![
+                    SegOp::LoopBegin { trip: scale / 4 },
+                    instr(OpKind::Fp(pulp_sim::FpOp::Div)),
+                    SegOp::LoopEnd,
+                    SegOp::Barrier,
+                ]
+            })
+            .collect(),
+        other => panic!("unknown basket `{other}`"),
+    };
+    Program::new(streams)
+}
+
+fn timed_run(
+    config: &ClusterConfig,
+    program: &Program,
+    opts: &SimOptions,
+    iters: u32,
+    scratch: &mut SimScratch,
+) -> (SimStats, f64) {
+    let mut best = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        let s = simulate_opts(
+            config,
+            program,
+            opts,
+            &mut NullSink,
+            &mut NoTelemetry,
+            scratch,
+        )
+        .expect("benchmark basket must simulate cleanly");
+        let wall = start.elapsed().as_secs_f64();
+        best = best.min(wall);
+        stats = Some(s);
+    }
+    (stats.expect("at least one iteration"), best)
+}
+
+/// Runs the full benchmark matrix.
+pub fn run_sim_bench(opts: &SimBenchOptions) -> SimBenchReport {
+    let config = ClusterConfig::default();
+    let scale: u64 = if opts.quick { 2_000 } else { 40_000 };
+    let ff_opts = SimOptions::default().with_max_cycles(opts.max_cycles);
+    let oracle_opts = SimOptions {
+        fast_forward: false,
+        ..ff_opts
+    };
+    let mut scratch = SimScratch::new();
+    let mut rows = Vec::new();
+    for basket in BASKETS {
+        for team in TEAM_SIZES {
+            let program = basket_program(basket, team, scale);
+            let (ff, ff_wall) = timed_run(&config, &program, &ff_opts, opts.iters, &mut scratch);
+            let (oracle, oracle_wall) =
+                timed_run(&config, &program, &oracle_opts, opts.iters, &mut scratch);
+            let cycles = ff.cycles;
+            rows.push(SimBenchRow {
+                basket: basket.to_string(),
+                cores: team,
+                cycles,
+                ff_wall_s: ff_wall,
+                oracle_wall_s: oracle_wall,
+                ff_cycles_per_s: cycles as f64 / ff_wall.max(f64::MIN_POSITIVE),
+                oracle_cycles_per_s: cycles as f64 / oracle_wall.max(f64::MIN_POSITIVE),
+                speedup: oracle_wall / ff_wall.max(f64::MIN_POSITIVE),
+                skip_ratio: ff.skip_ratio(),
+                spans: ff.fast_forward.spans,
+                oracle_match: ff.without_fast_forward() == oracle,
+            });
+        }
+    }
+    SimBenchReport {
+        bench: "sim".to_string(),
+        quick: opts.quick,
+        rows,
+    }
+}
+
+impl SimBenchReport {
+    /// Renders the human-readable table.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>5} {:>12} {:>14} {:>14} {:>8} {:>6} {:>6}",
+            "basket", "cores", "cycles", "ff [cyc/s]", "oracle [cyc/s]", "speedup", "skip", "match"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>5} {:>12} {:>14.3e} {:>14.3e} {:>7.2}x {:>5.1}% {:>6}",
+                r.basket,
+                r.cores,
+                r.cycles,
+                r.ff_cycles_per_s,
+                r.oracle_cycles_per_s,
+                r.speedup,
+                r.skip_ratio * 100.0,
+                if r.oracle_match { "ok" } else { "FAIL" }
+            );
+        }
+        out
+    }
+
+    /// Checks the invariants the benchmark must uphold: every fast-forward
+    /// run bit-identical to its oracle, and the barrier/DMA basket actually
+    /// skipping cycles (a zero skip there means the fast-forward is dead).
+    ///
+    /// # Errors
+    ///
+    /// Returns one message per violated invariant.
+    pub fn verify(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        for r in &self.rows {
+            if !r.oracle_match {
+                problems.push(format!(
+                    "{} @ {} cores: fast-forward diverged from the single-step oracle",
+                    r.basket, r.cores
+                ));
+            }
+        }
+        for r in self.rows.iter().filter(|r| r.basket == "barrier_dma") {
+            if r.cores > 1 && r.skip_ratio <= 0.0 {
+                problems.push(format!(
+                    "barrier_dma @ {} cores: skip ratio is zero — fast-forward never engaged",
+                    r.cores
+                ));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_basket_builds_and_validates_at_every_team_size() {
+        for basket in BASKETS {
+            for team in TEAM_SIZES {
+                let p = basket_program(basket, team, 128);
+                assert!(
+                    p.validate().is_ok(),
+                    "basket {basket} invalid at {team} cores"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quick_bench_passes_its_own_verification() {
+        let report = run_sim_bench(&SimBenchOptions {
+            quick: true,
+            iters: 1,
+            ..SimBenchOptions::default()
+        });
+        assert_eq!(report.rows.len(), BASKETS.len() * TEAM_SIZES.len());
+        report.verify().expect("benchmark invariants hold");
+        // The barrier/DMA basket is the fast-forward's best case: sleeping
+        // workers and a master parked on a long DMA drain.
+        let dma8 = report
+            .rows
+            .iter()
+            .find(|r| r.basket == "barrier_dma" && r.cores == 8)
+            .expect("row exists");
+        assert!(
+            dma8.skip_ratio > 0.5,
+            "barrier_dma@8 should skip most cycles, got {}",
+            dma8.skip_ratio
+        );
+        // The ALU basket keeps a core Ready every cycle: nothing to skip.
+        let alu1 = report
+            .rows
+            .iter()
+            .find(|r| r.basket == "alu" && r.cores == 1)
+            .expect("row exists");
+        assert!(
+            alu1.skip_ratio < 0.1,
+            "alu@1 has no quiescent spans, got skip ratio {}",
+            alu1.skip_ratio
+        );
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = run_sim_bench(&SimBenchOptions {
+            quick: true,
+            iters: 1,
+            ..SimBenchOptions::default()
+        });
+        let json = serde_json::to_string_pretty(&report).expect("serialise");
+        let back: SimBenchReport = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, report);
+    }
+}

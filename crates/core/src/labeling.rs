@@ -8,7 +8,10 @@ use crate::cache::SweepCache;
 use kernel_ir::{lower, Kernel, LowerError};
 use pulp_energy_model::{energy_of, DynamicFeatures, EnergyModel, EnergySummary};
 use pulp_obs::Recorder;
-use pulp_sim::{simulate, ClusterConfig, SimError};
+use pulp_sim::{
+    simulate_opts, ClusterConfig, NoTelemetry, NullSink, SimError, SimOptions, SimScratch,
+    DEFAULT_MAX_CYCLES,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -157,12 +160,40 @@ pub fn measure_kernel(
     config: &ClusterConfig,
     model: &EnergyModel,
 ) -> Result<EnergyProfile, MeasureError> {
+    measure_kernel_budgeted(kernel, config, model, DEFAULT_MAX_CYCLES)
+}
+
+/// [`measure_kernel`] with an explicit per-run cycle budget
+/// (`--max-cycles` on the dataset binaries).
+///
+/// The 8 per-team-size simulations share one [`SimScratch`], so the sweep
+/// allocates its per-core state vectors once instead of once per run.
+///
+/// # Errors
+///
+/// See [`measure_kernel`]; additionally fails with
+/// [`pulp_sim::SimError::CycleLimit`] when a run exceeds `max_cycles`.
+pub fn measure_kernel_budgeted(
+    kernel: &Kernel,
+    config: &ClusterConfig,
+    model: &EnergyModel,
+    max_cycles: u64,
+) -> Result<EnergyProfile, MeasureError> {
     let mut energy = [0.0; NUM_CLASSES];
     let mut cycles = [0u64; NUM_CLASSES];
     let mut dynamic = Vec::with_capacity(NUM_CLASSES);
+    let opts = SimOptions::default().with_max_cycles(max_cycles);
+    let mut scratch = SimScratch::new();
     for team in 1..=NUM_CLASSES.min(config.num_cores) {
         let lowered = lower(kernel, team, config)?;
-        let stats = simulate(config, &lowered.program)?;
+        let stats = simulate_opts(
+            config,
+            &lowered.program,
+            &opts,
+            &mut NullSink,
+            &mut NoTelemetry,
+            &mut scratch,
+        )?;
         energy[team - 1] = energy_of(&stats, model, config).total();
         cycles[team - 1] = stats.cycles;
         dynamic.push(DynamicFeatures::extract(&stats));
@@ -184,16 +215,26 @@ pub fn measure_kernel_instrumented(
     kernel: &Kernel,
     config: &ClusterConfig,
     model: &EnergyModel,
+    max_cycles: u64,
     rec: &mut Recorder,
 ) -> Result<EnergyProfile, MeasureError> {
     let mut energy = [0.0; NUM_CLASSES];
     let mut cycles = [0u64; NUM_CLASSES];
     let mut dynamic = Vec::with_capacity(NUM_CLASSES);
+    let opts = SimOptions::default().with_max_cycles(max_cycles);
+    let mut scratch = SimScratch::new();
     for team in 1..=NUM_CLASSES.min(config.num_cores) {
         let span = rec.start_cat(&format!("simulate t{team}"), "simulate");
         let result = (|| -> Result<_, MeasureError> {
             let lowered = lower(kernel, team, config)?;
-            let stats = simulate(config, &lowered.program)?;
+            let stats = simulate_opts(
+                config,
+                &lowered.program,
+                &opts,
+                &mut NullSink,
+                &mut NoTelemetry,
+                &mut scratch,
+            )?;
             Ok(stats)
         })();
         let stats = match result {
@@ -232,6 +273,7 @@ pub fn measure_kernel_cached(
     kernel: &Kernel,
     config: &ClusterConfig,
     model: &EnergyModel,
+    max_cycles: u64,
     cache: &SweepCache,
     rec: &mut Recorder,
 ) -> Result<EnergyProfile, MeasureError> {
@@ -249,7 +291,7 @@ pub fn measure_kernel_cached(
         // A hash collision or foreign entry of the wrong shape: ignore it
         // and recompute (the store below overwrites it).
     }
-    let profile = measure_kernel_instrumented(kernel, config, model, rec)?;
+    let profile = measure_kernel_instrumented(kernel, config, model, max_cycles, rec)?;
     cache.store(&key, &profile.summaries());
     Ok(profile)
 }
@@ -384,11 +426,25 @@ mod tests {
         let kernel = compute_kernel(256);
 
         let mut rec = Recorder::new();
-        let cold =
-            measure_kernel_cached(&kernel, &config, &model, &cache, &mut rec).expect("cold run");
+        let cold = measure_kernel_cached(
+            &kernel,
+            &config,
+            &model,
+            DEFAULT_MAX_CYCLES,
+            &cache,
+            &mut rec,
+        )
+        .expect("cold run");
         let mut rec = Recorder::new();
-        let warm =
-            measure_kernel_cached(&kernel, &config, &model, &cache, &mut rec).expect("warm run");
+        let warm = measure_kernel_cached(
+            &kernel,
+            &config,
+            &model,
+            DEFAULT_MAX_CYCLES,
+            &cache,
+            &mut rec,
+        )
+        .expect("warm run");
         assert_eq!(cold, warm, "cache round-trip must be bit-identical");
         assert!(
             rec.spans().iter().all(|s| s.cat != "simulate"),

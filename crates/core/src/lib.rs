@@ -68,8 +68,8 @@ pub use features::{
     StaticFeatureSet,
 };
 pub use labeling::{
-    measure_kernel, measure_kernel_cached, measure_kernel_instrumented, EnergyProfile,
-    MeasureError, NUM_CLASSES,
+    measure_kernel, measure_kernel_budgeted, measure_kernel_cached, measure_kernel_instrumented,
+    EnergyProfile, MeasureError, NUM_CLASSES,
 };
 pub use manifest::RunManifest;
 pub use pipeline::{BuildDatasetError, LabeledDataset, PipelineOptions, SampleRecord};

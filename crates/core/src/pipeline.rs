@@ -45,6 +45,10 @@ pub struct PipelineOptions {
     /// `None` simulates every sample from scratch. Shared across the
     /// worker threads.
     pub cache: Option<Arc<SweepCache>>,
+    /// Per-run simulation cycle budget (`--max-cycles` on the binaries);
+    /// a sample exceeding it fails the build with a `CycleLimit` error
+    /// instead of spinning.
+    pub max_cycles: u64,
 }
 
 impl Default for PipelineOptions {
@@ -57,6 +61,7 @@ impl Default for PipelineOptions {
             threads: 0,
             progress: false,
             cache: None,
+            max_cycles: pulp_sim::DEFAULT_MAX_CYCLES,
         }
     }
 }
@@ -379,8 +384,17 @@ fn measure_one_instrumented(
         })?;
     let span = rec.start_cat(&kernel.sample_id(), "sample");
     let measured = match &opts.cache {
-        Some(cache) => measure_kernel_cached(&kernel, &opts.config, &opts.model, cache, rec),
-        None => measure_kernel_instrumented(&kernel, &opts.config, &opts.model, rec),
+        Some(cache) => measure_kernel_cached(
+            &kernel,
+            &opts.config,
+            &opts.model,
+            opts.max_cycles,
+            cache,
+            rec,
+        ),
+        None => {
+            measure_kernel_instrumented(&kernel, &opts.config, &opts.model, opts.max_cycles, rec)
+        }
     };
     let profile = match measured {
         Ok(p) => p,

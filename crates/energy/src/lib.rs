@@ -123,7 +123,9 @@ mod parity_tests {
         let direct = simulate_traced(&config, &program, 1_000_000, &mut sink).expect("simulate");
         let reconstructed =
             stats_from_trace(&sink.text, &config, program.num_cores()).expect("replay");
-        assert_eq!(direct, reconstructed);
+        // Replay reconstructs architectural state; fast-forward span
+        // counters are diagnostics the trace does not carry.
+        assert_eq!(direct.without_fast_forward(), reconstructed);
     }
 
     #[test]

@@ -180,6 +180,8 @@ mod tests {
         let direct =
             simulate_traced(&cfg, &lowered.program, 10_000_000, &mut sink).expect("simulate");
         let replayed = stats_from_trace(&sink.text, &cfg, 2).expect("replay");
-        assert_eq!(direct, replayed);
+        // Replay reconstructs architectural state; fast-forward span
+        // counters are diagnostics the trace does not carry.
+        assert_eq!(direct.without_fast_forward(), replayed);
     }
 }

@@ -100,6 +100,78 @@ enum Mode {
     Finished,
 }
 
+/// Tuning knobs for a simulation run (see [`simulate_opts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Cycle budget before the run is declared hung.
+    pub max_cycles: u64,
+    /// Enables the event-horizon fast-forward: when no core is `Ready`, the
+    /// clock jumps to the next cycle at which any state transition is
+    /// possible, attributing the skipped cycles in bulk. Every
+    /// architectural result — [`SimStats`] counters, trace-event stream,
+    /// downstream energy labels — is bit-identical either way; only the
+    /// [`crate::stats::FastForwardStats`] diagnostics differ. Disable to
+    /// run the single-step oracle (the differential tests do).
+    pub fast_forward: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            max_cycles: DEFAULT_MAX_CYCLES,
+            fast_forward: true,
+        }
+    }
+}
+
+impl SimOptions {
+    /// The single-step oracle configuration: fast-forward disabled,
+    /// default cycle budget.
+    pub fn oracle() -> Self {
+        Self {
+            fast_forward: false,
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the cycle budget.
+    #[must_use]
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+}
+
+/// Reusable per-run working memory for [`simulate_opts`].
+///
+/// A labelling sweep runs the same kernel at up to 8 team sizes back to
+/// back; handing the same scratch to each run reuses the per-core state
+/// vectors (core modes, fork sequence numbers, clock-gating flags) instead
+/// of reallocating them. A scratch carries no state between runs — it is
+/// fully reinitialised on entry — so reuse is purely an allocation saving.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    modes: Vec<Mode>,
+    forks_seen: Vec<u64>,
+    cg_open: Vec<bool>,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, team: usize, num_cores: usize) {
+        self.modes.clear();
+        self.modes.resize(team, Mode::Ready);
+        self.forks_seen.clear();
+        self.forks_seen.resize(team, 0);
+        self.cg_open.clear();
+        self.cg_open.resize(num_cores, false);
+    }
+}
+
 /// Runs `program` on the cluster described by `config`, collecting stats.
 ///
 /// Convenience wrapper over [`simulate_traced`] using a [`NullSink`] and the
@@ -152,6 +224,38 @@ pub fn simulate_instrumented<S: TraceSink, T: Telemetry>(
     sink: &mut S,
     telemetry: &mut T,
 ) -> Result<SimStats, SimError> {
+    simulate_opts(
+        config,
+        program,
+        &SimOptions::default().with_max_cycles(max_cycles),
+        sink,
+        telemetry,
+        &mut SimScratch::new(),
+    )
+}
+
+/// Runs `program` on the cluster with explicit [`SimOptions`] and a caller-
+/// provided [`SimScratch`].
+///
+/// This is the full-control entry point behind every other `simulate_*`
+/// wrapper. `opts.fast_forward` selects between the event-horizon
+/// fast-forward (default; bulk-advances over quiescent spans) and the
+/// single-step oracle; both produce bit-identical architectural results.
+/// `scratch` is reinitialised on entry and may be reused across runs to
+/// avoid reallocating per-core state.
+///
+/// # Errors
+///
+/// See [`simulate_instrumented`].
+pub fn simulate_opts<S: TraceSink, T: Telemetry>(
+    config: &ClusterConfig,
+    program: &Program,
+    opts: &SimOptions,
+    sink: &mut S,
+    telemetry: &mut T,
+    scratch: &mut SimScratch,
+) -> Result<SimStats, SimError> {
+    let max_cycles = opts.max_cycles;
     program.validate()?;
     let team = program.num_cores();
     if team > config.num_cores {
@@ -173,14 +277,15 @@ pub fn simulate_instrumented<S: TraceSink, T: Telemetry>(
     let mut cursors: Vec<_> = (0..team)
         .map(|c| crate::program::Cursor::new(program, c))
         .collect();
-    let mut modes = vec![Mode::Ready; team];
-    let mut forks_seen = vec![0u64; team];
-    let mut cg_open = vec![false; config.num_cores];
+    scratch.prepare(team, config.num_cores);
+    let SimScratch {
+        modes,
+        forks_seen,
+        cg_open,
+    } = scratch;
 
     let mut eu = EventUnit::new(team);
     let mut dma = DmaEngine::new();
-    // Cycle at which the last asynchronous DMA completes.
-    let mut dma_free_at: u64 = 0;
     let mut arbiter = TcdmArbiter::new(config.tcdm_banks, config.model_bank_conflicts);
     // The cluster reaches L2 through a single port: one new access may be
     // issued per cycle (accesses are pipelined, so latency still overlaps
@@ -198,15 +303,31 @@ pub fn simulate_instrumented<S: TraceSink, T: Telemetry>(
         config.fork_latency + config.fork_per_worker * (team.saturating_sub(1)) as u32;
 
     let mut cycle: u64 = 0;
-    // `Some(n)`: the last core arrived; the event unit broadcasts the
-    // release after `n` more cycles.
-    let mut barrier_countdown: Option<u32> = None;
     loop {
         if modes.iter().all(|m| *m == Mode::Finished) {
             break;
         }
         if cycle >= max_cycles {
             return Err(SimError::CycleLimit { budget: max_cycles });
+        }
+
+        if opts.fast_forward {
+            let h = event_horizon(
+                &mut cursors,
+                modes,
+                forks_seen,
+                &eu,
+                &dma,
+                cycle,
+                max_cycles,
+            );
+            if h > 1 {
+                bulk_advance(
+                    config, &mut stats, modes, cg_open, &mut eu, sink, telemetry, cycle, h,
+                );
+                cycle += h;
+                continue;
+            }
         }
 
         let mut barrier_release = false;
@@ -218,7 +339,7 @@ pub fn simulate_instrumented<S: TraceSink, T: Telemetry>(
                     count_sleep(
                         config,
                         &mut stats,
-                        &mut cg_open,
+                        cg_open,
                         sink,
                         telemetry,
                         cycle,
@@ -259,7 +380,7 @@ pub fn simulate_instrumented<S: TraceSink, T: Telemetry>(
                     count_sleep(
                         config,
                         &mut stats,
-                        &mut cg_open,
+                        cg_open,
                         sink,
                         telemetry,
                         cycle,
@@ -290,7 +411,7 @@ pub fn simulate_instrumented<S: TraceSink, T: Telemetry>(
                         count_sleep(
                             config,
                             &mut stats,
-                            &mut cg_open,
+                            cg_open,
                             sink,
                             telemetry,
                             cycle,
@@ -305,7 +426,7 @@ pub fn simulate_instrumented<S: TraceSink, T: Telemetry>(
                         count_sleep(
                             config,
                             &mut stats,
-                            &mut cg_open,
+                            cg_open,
                             sink,
                             telemetry,
                             cycle,
@@ -320,12 +441,11 @@ pub fn simulate_instrumented<S: TraceSink, T: Telemetry>(
                         fork_cycles,
                         &mut stats,
                         &mut cursors,
-                        &mut modes,
-                        &mut forks_seen,
-                        &mut cg_open,
+                        modes,
+                        forks_seen,
+                        cg_open,
                         &mut eu,
                         &mut dma,
-                        &mut dma_free_at,
                         &mut arbiter,
                         &mut l2_port,
                         &mut fpus,
@@ -344,7 +464,7 @@ pub fn simulate_instrumented<S: TraceSink, T: Telemetry>(
             count_sleep(
                 config,
                 &mut stats,
-                &mut cg_open,
+                cg_open,
                 sink,
                 telemetry,
                 cycle,
@@ -354,20 +474,9 @@ pub fn simulate_instrumented<S: TraceSink, T: Telemetry>(
         }
 
         if barrier_release {
-            barrier_countdown = Some(config.barrier_latency);
+            eu.schedule_release(config.barrier_latency);
         }
-        let do_release = match barrier_countdown {
-            Some(0) => {
-                barrier_countdown = None;
-                true
-            }
-            Some(n) => {
-                barrier_countdown = Some(n - 1);
-                false
-            }
-            None => false,
-        };
-        if do_release {
+        if eu.tick_release() {
             stats.barriers += 1;
             telemetry.on_barrier_release(cycle);
             sink.emit(cycle, TraceEvent::BarrierRelease);
@@ -465,6 +574,191 @@ fn count_sleep<S: TraceSink, T: Telemetry>(
     }
 }
 
+/// Number of cycles from `cycle` during which no core can change state: the
+/// event-horizon the fast-forward may jump in one step.
+///
+/// A returned horizon `h` guarantees that for every cycle in
+/// `[cycle, cycle + h)` the single-step loop would do nothing but count a
+/// stall or sleep cycle per core — no retirement, no fork signal, no
+/// barrier arrival or release, no DMA completion, no cursor movement. Any
+/// cycle where something *can* happen is left to the single-step path, so
+/// the horizon is 1 whenever:
+///
+/// - any core is `Ready` on real work (TCDM/FPU/L2 arbitration only
+///   contends among ready cores, so a ready core pins the horizon), or
+/// - a multi-cycle op, fork runtime, DMA wait or barrier-release countdown
+///   expires on the very next cycle.
+fn event_horizon(
+    cursors: &mut [crate::program::Cursor<'_>],
+    modes: &[Mode],
+    forks_seen: &[u64],
+    eu: &EventUnit,
+    dma: &DmaEngine,
+    cycle: u64,
+    max_cycles: u64,
+) -> u64 {
+    // Never jump past the cycle budget: the limit check must still fire.
+    let mut h = max_cycles - cycle;
+    // The barrier-release firing cycle wakes sleepers; run it single-step.
+    if let Some(k) = eu.release_in() {
+        h = h.min(u64::from(k).max(1));
+    }
+    for (core, mode) in modes.iter().enumerate() {
+        let quiet = match *mode {
+            // A ready core issues this cycle — unless it is parked on a
+            // blocking `DmaWait`, which provably spins until the engine
+            // drains.
+            Mode::Ready => match cursors[core].current() {
+                Step::DmaWait => dma.free_at().saturating_sub(cycle),
+                _ => 0,
+            },
+            Mode::Busy(left, _) => u64::from(left),
+            // The final fork-runtime cycle signals the fork; keep it
+            // single-step.
+            Mode::Forking(left) => u64::from(left) - 1,
+            Mode::SleepFork => {
+                if eu.fork_ready(forks_seen[core]) {
+                    0
+                } else {
+                    u64::MAX
+                }
+            }
+            // Woken only by events already bounded above (barrier release),
+            // or never.
+            Mode::SleepBarrier | Mode::Finished => u64::MAX,
+        };
+        if quiet < h {
+            h = quiet;
+        }
+        if h <= 1 {
+            return 1;
+        }
+    }
+    h
+}
+
+/// The per-cycle accounting class of `core` during a quiescent span: the
+/// [`CycleCause`] its cycles are attributed to and whether it is sleeping
+/// (eligible for clock gating) or actively waiting.
+///
+/// Mirrors exactly what the single-step loop does for each mode when no
+/// state transition occurs; `Mode::Ready` inside a span is only ever a core
+/// spinning on `DmaWait` (guaranteed by [`event_horizon`]).
+fn bulk_class(modes: &[Mode], team: usize, core: usize) -> (CycleCause, bool) {
+    if core >= team {
+        return (CycleCause::Idle, true);
+    }
+    match modes[core] {
+        Mode::Busy(_, cause) => (cause, false),
+        Mode::Forking(_) => (CycleCause::Runtime, false),
+        Mode::Ready => (CycleCause::Dma, false),
+        Mode::SleepBarrier => (CycleCause::Barrier, true),
+        Mode::SleepFork => (CycleCause::ForkWait, true),
+        Mode::Finished => (CycleCause::Idle, true),
+    }
+}
+
+/// Advances the simulation by `n` quiescent cycles in one step.
+///
+/// Replays the trace events the single-step loop would have emitted (in the
+/// same cycle-major, core-minor order), bulk-updates the per-core stats and
+/// telemetry, decrements the countdown modes and the pending barrier
+/// release, and books the span in [`crate::stats::FastForwardStats`].
+#[allow(clippy::too_many_arguments)]
+fn bulk_advance<S: TraceSink, T: Telemetry>(
+    config: &ClusterConfig,
+    stats: &mut SimStats,
+    modes: &mut [Mode],
+    cg_open: &mut [bool],
+    eu: &mut EventUnit,
+    sink: &mut S,
+    telemetry: &mut T,
+    cycle: u64,
+    n: u64,
+) {
+    let team = modes.len();
+
+    // Trace replay must happen before any state mutation so `bulk_class`
+    // and `cg_open` still describe the span's first cycle.
+    if !sink.is_null() {
+        let mut emitters = 0usize;
+        let mut pending_cg = 0usize;
+        for (core, open) in cg_open.iter().enumerate().take(config.num_cores) {
+            let (_, sleeping) = bulk_class(modes, team, core);
+            if sleeping && config.model_clock_gating {
+                if !open {
+                    pending_cg += 1;
+                }
+            } else {
+                emitters += 1;
+            }
+        }
+        if emitters == 1 && pending_cg == 0 {
+            // Single stalling core, everyone else already gated: the span's
+            // whole event stream is one repeated `Stall`.
+            for core in 0..config.num_cores {
+                let (cause, sleeping) = bulk_class(modes, team, core);
+                if !(sleeping && config.model_clock_gating) {
+                    sink.emit_n(cycle, n, TraceEvent::Stall { core, cause });
+                }
+            }
+        } else {
+            // Gated sleepers emit only their `CgEnter` on the first span
+            // cycle; if nobody emits per cycle, one pass suffices.
+            let cycles = if emitters > 0 { n } else { 1 };
+            for i in 0..cycles {
+                for (core, open) in cg_open.iter().enumerate().take(config.num_cores) {
+                    let (cause, sleeping) = bulk_class(modes, team, core);
+                    if sleeping && config.model_clock_gating {
+                        if i == 0 && !open {
+                            sink.emit(cycle, TraceEvent::CgEnter { core, cause });
+                        }
+                    } else {
+                        sink.emit(cycle + i, TraceEvent::Stall { core, cause });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut any_active = false;
+    for core in 0..config.num_cores {
+        let (cause, sleeping) = bulk_class(modes, team, core);
+        if sleeping && config.model_clock_gating {
+            cg_open[core] = true;
+            stats.cores[core].cg_cycles += n;
+        } else {
+            stats.cores[core].idle_cycles += n;
+        }
+        if !sleeping {
+            any_active = true;
+        }
+        stats.cores[core].breakdown.add_n(cause, n);
+        telemetry.advance_n(cycle, core, n, cause);
+        if core < team {
+            match modes[core] {
+                Mode::Busy(left, c) => {
+                    modes[core] = if u64::from(left) == n {
+                        Mode::Ready
+                    } else {
+                        Mode::Busy(left - n as u32, c)
+                    };
+                }
+                Mode::Forking(left) => {
+                    modes[core] = Mode::Forking(left - n as u32);
+                }
+                _ => {}
+            }
+        }
+    }
+    eu.skip_release_wait(n);
+    if any_active || !config.model_clock_gating {
+        stats.cluster_active_cycles += n;
+    }
+    stats.fast_forward.spans += 1;
+    stats.fast_forward.skipped_cycles += n;
+}
+
 #[allow(clippy::too_many_arguments)]
 fn step_core<S: TraceSink, T: Telemetry>(
     config: &ClusterConfig,
@@ -476,7 +770,6 @@ fn step_core<S: TraceSink, T: Telemetry>(
     cg_open: &mut [bool],
     eu: &mut EventUnit,
     dma: &mut DmaEngine,
-    dma_free_at: &mut u64,
     arbiter: &mut TcdmArbiter,
     l2_port: &mut TcdmArbiter,
     fpus: &mut FpuPool,
@@ -563,8 +856,7 @@ fn step_core<S: TraceSink, T: Telemetry>(
             } else {
                 DmaTransfer::outbound(words)
             };
-            let busy = dma.run(t) as u32;
-            *dma_free_at = (*dma_free_at).max(cycle + u64::from(busy));
+            let busy = dma.schedule(cycle, t) as u32;
             sink.emit(cycle, TraceEvent::Dma { words, inbound });
             stall(stats, sink, telemetry, cycle, core, CycleCause::Dma);
             cursors[core].advance();
@@ -573,7 +865,7 @@ fn step_core<S: TraceSink, T: Telemetry>(
             }
         }
         Step::DmaAsync { words, inbound } => {
-            if cycle < *dma_free_at {
+            if dma.busy_at(cycle) {
                 // Engine still streaming a previous transfer: retry.
                 stall(stats, sink, telemetry, cycle, core, CycleCause::Dma);
             } else {
@@ -582,8 +874,7 @@ fn step_core<S: TraceSink, T: Telemetry>(
                 } else {
                     DmaTransfer::outbound(words)
                 };
-                let busy = dma.run(t);
-                *dma_free_at = cycle + busy;
+                dma.schedule(cycle, t);
                 sink.emit(cycle, TraceEvent::Dma { words, inbound });
                 // One cycle to program the engine; the core then continues.
                 stall(stats, sink, telemetry, cycle, core, CycleCause::Dma);
@@ -592,7 +883,7 @@ fn step_core<S: TraceSink, T: Telemetry>(
         }
         Step::DmaWait => {
             stall(stats, sink, telemetry, cycle, core, CycleCause::Dma);
-            if cycle >= *dma_free_at {
+            if !dma.busy_at(cycle) {
                 cursors[core].advance();
             }
         }
@@ -998,5 +1289,182 @@ mod tests {
             .filter(|(_, e)| matches!(e, TraceEvent::Insn { .. }))
             .count() as u64;
         assert_eq!(insns, s.total_retired());
+    }
+
+    /// A program with a long quiescent span: core 0 programs a large
+    /// blocking DMA transfer (busy for thousands of cycles) while core 1
+    /// sleeps at the barrier.
+    fn dma_barrier_program() -> Program {
+        Program::new(vec![
+            vec![
+                SegOp::Dma {
+                    words: 4096,
+                    inbound: true,
+                },
+                SegOp::Barrier,
+            ],
+            vec![SegOp::Barrier],
+        ])
+    }
+
+    fn run_opts(p: &Program, opts: &SimOptions) -> SimStats {
+        simulate_opts(
+            &cfg(),
+            p,
+            opts,
+            &mut NullSink,
+            &mut NoTelemetry,
+            &mut SimScratch::new(),
+        )
+        .expect("simulate")
+    }
+
+    #[test]
+    fn fast_forward_skips_quiescent_spans() {
+        let s = run_opts(&dma_barrier_program(), &SimOptions::default());
+        assert!(s.fast_forward.spans > 0, "no bulk spans taken: {s:?}");
+        assert!(
+            s.skip_ratio() > 0.5,
+            "expected most cycles skipped, got {} of {}",
+            s.fast_forward.skipped_cycles,
+            s.cycles
+        );
+    }
+
+    #[test]
+    fn oracle_mode_never_skips_and_matches() {
+        let p = dma_barrier_program();
+        let ff = run_opts(&p, &SimOptions::default());
+        let oracle = run_opts(&p, &SimOptions::oracle());
+        assert_eq!(
+            oracle.fast_forward,
+            crate::stats::FastForwardStats::default()
+        );
+        assert_eq!(ff.without_fast_forward(), oracle);
+    }
+
+    #[test]
+    fn fast_forward_trace_is_identical_to_oracle() {
+        use crate::trace::VecSink;
+        // Exercise fork/join, loops, multi-cycle ops, barriers and DMA so
+        // the bulk replay covers every emitting mode.
+        let worker = |n: u64| {
+            vec![
+                SegOp::WaitFork,
+                SegOp::LoopBegin { trip: n },
+                instr(OpKind::Mul),
+                SegOp::LoopEnd,
+                SegOp::Barrier,
+            ]
+        };
+        let p = Program::new(vec![
+            vec![
+                SegOp::Fork,
+                SegOp::Dma {
+                    words: 512,
+                    inbound: true,
+                },
+                instr(OpKind::Div),
+                SegOp::Barrier,
+            ],
+            worker(7),
+            worker(3),
+            worker(11),
+        ]);
+        let run = |opts: &SimOptions| {
+            let mut sink = VecSink::new();
+            let stats = simulate_opts(
+                &cfg(),
+                &p,
+                opts,
+                &mut sink,
+                &mut NoTelemetry,
+                &mut SimScratch::new(),
+            )
+            .expect("simulate");
+            (stats, sink.events)
+        };
+        let (ff, ff_events) = run(&SimOptions::default());
+        let (oracle, oracle_events) = run(&SimOptions::oracle());
+        assert!(ff.fast_forward.spans > 0, "program produced no spans");
+        assert_eq!(ff.without_fast_forward(), oracle);
+        assert_eq!(ff_events, oracle_events);
+    }
+
+    #[test]
+    fn fast_forward_counters_ignore_the_sink() {
+        use crate::trace::VecSink;
+        // The horizon depends only on simulation state, so a traced run
+        // must fast-forward exactly like an untraced one.
+        let p = dma_barrier_program();
+        let untraced = run_opts(&p, &SimOptions::default());
+        let mut sink = VecSink::new();
+        let traced = simulate_opts(
+            &cfg(),
+            &p,
+            &SimOptions::default(),
+            &mut sink,
+            &mut NoTelemetry,
+            &mut SimScratch::new(),
+        )
+        .expect("simulate");
+        assert_eq!(traced, untraced);
+    }
+
+    #[test]
+    fn scratch_reuse_across_team_sizes_is_clean() {
+        let mut scratch = SimScratch::new();
+        let chunk = |n: u64| {
+            vec![
+                SegOp::LoopBegin { trip: n },
+                instr(OpKind::Alu),
+                SegOp::LoopEnd,
+                SegOp::Barrier,
+            ]
+        };
+        for team in [8usize, 1, 4, 2] {
+            let p = Program::new((0..team).map(|_| chunk(16)).collect());
+            let reused = simulate_opts(
+                &cfg(),
+                &p,
+                &SimOptions::default(),
+                &mut NullSink,
+                &mut NoTelemetry,
+                &mut scratch,
+            )
+            .expect("simulate");
+            let fresh = simulate(&cfg(), &p).expect("simulate");
+            assert_eq!(reused, fresh, "team {team}: scratch reuse leaked state");
+        }
+    }
+
+    #[test]
+    fn cycle_limit_is_identical_with_fast_forward() {
+        // A run that outlives its budget mid-span must exhaust it
+        // identically in both modes: the fast-forward never jumps past the
+        // limit check.
+        let p = dma_barrier_program();
+        let opts = SimOptions::default().with_max_cycles(1_000);
+        let ff = simulate_opts(
+            &cfg(),
+            &p,
+            &opts,
+            &mut NullSink,
+            &mut NoTelemetry,
+            &mut SimScratch::new(),
+        );
+        let oracle = simulate_opts(
+            &cfg(),
+            &p,
+            &SimOptions {
+                fast_forward: false,
+                ..opts
+            },
+            &mut NullSink,
+            &mut NoTelemetry,
+            &mut SimScratch::new(),
+        );
+        assert!(matches!(ff, Err(SimError::CycleLimit { budget: 1_000 })));
+        assert_eq!(ff, oracle);
     }
 }

@@ -50,10 +50,17 @@ impl DmaTransfer {
 }
 
 /// Accumulated DMA activity over a run.
+///
+/// Besides the activity totals, the engine tracks the absolute cycle at
+/// which its current stream of transfers drains ([`DmaEngine::free_at`]).
+/// Keeping completion as a cycle *stamp* rather than a per-cycle countdown
+/// is what lets the fast-forward path jump the clock over a transfer in one
+/// step: nothing in here needs ticking.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DmaEngine {
     words: u64,
     busy: u64,
+    free_at: u64,
 }
 
 impl DmaEngine {
@@ -63,11 +70,35 @@ impl DmaEngine {
     }
 
     /// Executes a transfer to completion, returning the cycles it took.
+    ///
+    /// Accounting-only entry point; use [`DmaEngine::schedule`] inside the
+    /// simulator so completion time is tracked too.
     pub fn run(&mut self, t: DmaTransfer) -> u64 {
         let c = t.busy_cycles();
         self.words += t.words;
         self.busy += c;
         c
+    }
+
+    /// Programs `t` at `cycle`, returning the cycles the engine is busy
+    /// with it and extending [`DmaEngine::free_at`] past the transfer.
+    pub fn schedule(&mut self, cycle: u64, t: DmaTransfer) -> u64 {
+        let c = self.run(t);
+        self.free_at = self.free_at.max(cycle + c);
+        c
+    }
+
+    /// First cycle at which every scheduled transfer has drained. A core
+    /// parked on `DmaWait` provably spins until this cycle, which is the
+    /// DMA contribution to the fast-forward event horizon.
+    pub fn free_at(&self) -> u64 {
+        self.free_at
+    }
+
+    /// Returns `true` while a scheduled transfer is still streaming at
+    /// `cycle` (an async issue must retry).
+    pub fn busy_at(&self, cycle: u64) -> bool {
+        cycle < self.free_at
     }
 
     /// Total words moved.
@@ -100,5 +131,20 @@ mod tests {
         e.run(DmaTransfer::outbound(20));
         assert_eq!(e.words_transferred(), 30);
         assert_eq!(e.busy_cycles(), 2 * DMA_SETUP_CYCLES + 15);
+    }
+
+    #[test]
+    fn schedule_tracks_completion_stamp() {
+        let mut e = DmaEngine::new();
+        assert!(!e.busy_at(0));
+        let busy = e.schedule(100, DmaTransfer::inbound(128));
+        assert_eq!(busy, DMA_SETUP_CYCLES + 64);
+        assert_eq!(e.free_at(), 100 + busy);
+        assert!(e.busy_at(100 + busy - 1));
+        assert!(!e.busy_at(100 + busy));
+        // Back-to-back scheduling extends rather than rewinds the stamp.
+        let earlier = e.schedule(0, DmaTransfer::outbound(2));
+        assert!(e.free_at() >= 100 + busy, "stamp rewound by {earlier}");
+        assert_eq!(e.words_transferred(), 130);
     }
 }

@@ -17,6 +17,9 @@ pub struct EventUnit {
     forks_signalled: u64,
     /// Core currently holding the critical lock.
     lock_holder: Option<usize>,
+    /// `Some(n)`: the last core arrived; the release broadcast fires after
+    /// `n` more end-of-cycle ticks.
+    release_countdown: Option<u32>,
 }
 
 impl EventUnit {
@@ -33,6 +36,55 @@ impl EventUnit {
             team,
             forks_signalled: 0,
             lock_holder: None,
+            release_countdown: None,
+        }
+    }
+
+    /// Arms the release broadcast: it fires after `latency` more
+    /// end-of-cycle [`EventUnit::tick_release`] calls.
+    pub fn schedule_release(&mut self, latency: u32) {
+        self.release_countdown = Some(latency);
+    }
+
+    /// End-of-cycle tick of the pending release countdown.
+    ///
+    /// Returns `true` exactly once per armed release, on the cycle the
+    /// broadcast fires (the caller must then wake sleepers and call
+    /// [`EventUnit::release_barrier`]).
+    pub fn tick_release(&mut self) -> bool {
+        match self.release_countdown {
+            Some(0) => {
+                self.release_countdown = None;
+                true
+            }
+            Some(n) => {
+                self.release_countdown = Some(n - 1);
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Ticks remaining until the pending release fires (`None` when no
+    /// release is armed). This bounds the fast-forward event horizon: the
+    /// firing cycle itself must run single-step because it wakes sleepers.
+    pub fn release_in(&self) -> Option<u32> {
+        self.release_countdown
+    }
+
+    /// Bulk-applies `n` end-of-cycle ticks to the pending release countdown
+    /// (fast-forward path). `n` must not reach the firing cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `n` exceeds the remaining countdown.
+    pub fn skip_release_wait(&mut self, n: u64) {
+        if let Some(k) = self.release_countdown {
+            debug_assert!(
+                n <= u64::from(k),
+                "bulk advance of {n} ticks overruns release countdown {k}"
+            );
+            self.release_countdown = Some(k - n as u32);
         }
     }
 
@@ -145,6 +197,44 @@ mod tests {
         assert!(!eu.fork_ready(1));
         eu.signal_fork();
         assert!(eu.fork_ready(1));
+    }
+
+    #[test]
+    fn release_countdown_fires_after_latency_ticks() {
+        let mut eu = EventUnit::new(2);
+        assert!(!eu.tick_release(), "nothing armed");
+        eu.schedule_release(2);
+        assert_eq!(eu.release_in(), Some(2));
+        assert!(!eu.tick_release());
+        assert!(!eu.tick_release());
+        assert_eq!(eu.release_in(), Some(0));
+        assert!(eu.tick_release(), "fires on the zero tick");
+        assert_eq!(eu.release_in(), None);
+        assert!(!eu.tick_release(), "fires exactly once");
+    }
+
+    #[test]
+    fn zero_latency_release_fires_on_next_tick() {
+        let mut eu = EventUnit::new(2);
+        eu.schedule_release(0);
+        assert!(eu.tick_release());
+    }
+
+    #[test]
+    fn skip_release_wait_matches_repeated_ticks() {
+        let mut bulk = EventUnit::new(2);
+        let mut single = EventUnit::new(2);
+        bulk.schedule_release(48);
+        single.schedule_release(48);
+        bulk.skip_release_wait(40);
+        for _ in 0..40 {
+            assert!(!single.tick_release());
+        }
+        assert_eq!(bulk.release_in(), single.release_in());
+        // No-op without an armed release.
+        let mut idle = EventUnit::new(2);
+        idle.skip_release_wait(1_000);
+        assert_eq!(idle.release_in(), None);
     }
 
     #[test]

@@ -66,6 +66,19 @@ impl FpuPool {
         Some(FpuIssue { core_busy })
     }
 
+    /// Latest `free_at` stamp across the pool: the cycle by which every FPU
+    /// has drained its current occupancy.
+    ///
+    /// Like the DMA engine, FPU occupancy is a cycle *stamp*, not a
+    /// countdown, so the fast-forward path never needs to tick the pool
+    /// when it jumps the clock. Note occupancy does not bound the event
+    /// horizon either: contention can only delay a core that is `Ready`
+    /// and issuing, and any `Ready` core already pins the horizon to 1.
+    /// Exposed for diagnostics and the fast-forward tests.
+    pub fn busy_until(&self) -> u64 {
+        self.free_at.iter().copied().max().unwrap_or(0)
+    }
+
     /// Number of FPUs in the pool.
     pub fn len(&self) -> usize {
         self.free_at.len()
@@ -109,6 +122,18 @@ mod tests {
         assert_eq!(issue.core_busy, 10);
         assert!(p.try_issue(2, FpOp::Add, 15).is_none());
         assert!(p.try_issue(2, FpOp::Add, 20).is_some());
+    }
+
+    #[test]
+    fn issue_is_stable_across_clock_jumps() {
+        // Fast-forward advances `cycle` in large steps; stamp-based
+        // occupancy must behave as if every skipped cycle had been ticked.
+        let mut p = pool();
+        let issue = p.try_issue(1, FpOp::Div, 7).expect("issue");
+        assert_eq!(p.busy_until(), 7 + u64::from(issue.core_busy));
+        // Jump far past the occupancy: the unit accepts immediately.
+        assert!(p.try_issue(1, FpOp::Add, 1_000_000).is_some());
+        assert_eq!(p.busy_until(), 1_000_001);
     }
 
     #[test]

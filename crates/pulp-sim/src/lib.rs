@@ -73,10 +73,15 @@ pub mod trace;
 pub const SIM_VERSION: u32 = 1;
 
 pub use cause::{CycleBreakdown, CycleCause};
-pub use cluster::{simulate, simulate_instrumented, simulate_traced, SimError, DEFAULT_MAX_CYCLES};
+pub use cluster::{
+    simulate, simulate_instrumented, simulate_opts, simulate_traced, SimError, SimOptions,
+    SimScratch, DEFAULT_MAX_CYCLES,
+};
 pub use config::{ClusterConfig, L2_BASE, TCDM_BASE};
 pub use isa::{FpOp, MicroOp, OpKind};
 pub use program::{AddrExpr, Cursor, Program, SegOp, Step, ValidateProgramError};
-pub use stats::{BankStats, CoreStats, DmaStats, IcacheStats, SimStats, SimStatsSummary};
+pub use stats::{
+    BankStats, CoreStats, DmaStats, FastForwardStats, IcacheStats, SimStats, SimStatsSummary,
+};
 pub use telemetry::{NoTelemetry, RegionKind, RegionProfile, RegionProfiler, Telemetry};
 pub use trace::{render_line, NullSink, TextSink, TraceEvent, TraceSink, VecSink};

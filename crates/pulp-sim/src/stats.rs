@@ -83,6 +83,21 @@ pub struct DmaStats {
     pub busy_cycles: u64,
 }
 
+/// Event-horizon fast-forward accounting.
+///
+/// Diagnostic counters describing *how* the simulator advanced, not *what*
+/// it simulated: every architectural counter in [`SimStats`] is bit-identical
+/// whether a run fast-forwards or single-steps. Both fields are zero when
+/// fast-forward is disabled. When comparing a fast-forward run against the
+/// single-step oracle, compare [`SimStats::without_fast_forward`] copies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FastForwardStats {
+    /// Bulk-advance spans taken (each replaces >= 2 single-step iterations).
+    pub spans: u64,
+    /// Cycles advanced inside bulk spans.
+    pub skipped_cycles: u64,
+}
+
 /// Complete statistics of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimStats {
@@ -106,6 +121,10 @@ pub struct SimStats {
     pub barriers: u64,
     /// Cycles during which at least one core was active (not clock-gated).
     pub cluster_active_cycles: u64,
+    /// Fast-forward diagnostics (see [`FastForwardStats`]); defaults when
+    /// absent so records serialised before this field deserialise cleanly.
+    #[serde(default)]
+    pub fast_forward: FastForwardStats,
 }
 
 impl SimStats {
@@ -121,7 +140,26 @@ impl SimStats {
             dma: DmaStats::default(),
             barriers: 0,
             cluster_active_cycles: 0,
+            fast_forward: FastForwardStats::default(),
         }
+    }
+
+    /// Fraction of the run's cycles advanced in bulk by the fast-forward
+    /// (0.0 for a single-step run or an empty run).
+    pub fn skip_ratio(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fast_forward.skipped_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// A copy with the [`FastForwardStats`] diagnostics cleared, for
+    /// bit-identity comparisons against the single-step oracle.
+    pub fn without_fast_forward(&self) -> SimStats {
+        let mut s = self.clone();
+        s.fast_forward = FastForwardStats::default();
+        s
     }
 
     /// Total retired micro-ops across all cores.
@@ -370,6 +408,36 @@ mod tests {
         assert!(table.contains("pe1"), "missing core row:\n{table}");
         assert!(table.contains("100.0%"), "missing cg share:\n{table}");
         assert!(table.starts_with("run: 4 cycles"), "bad header:\n{table}");
+    }
+
+    #[test]
+    fn skip_ratio_and_oracle_view() {
+        let mut s = SimStats::new(1, 1, 1);
+        assert_eq!(s.skip_ratio(), 0.0);
+        s.cycles = 100;
+        s.fast_forward.spans = 3;
+        s.fast_forward.skipped_cycles = 80;
+        assert!((s.skip_ratio() - 0.8).abs() < 1e-12);
+        let oracle_view = s.without_fast_forward();
+        assert_eq!(oracle_view.fast_forward, FastForwardStats::default());
+        assert_eq!(oracle_view.cycles, s.cycles);
+    }
+
+    #[test]
+    fn stats_without_fast_forward_field_deserialise() {
+        // Records serialised before the fast-forward counters existed must
+        // still round-trip (the field defaults to zero).
+        let mut s = SimStats::new(1, 1, 1);
+        s.cycles = 7;
+        let serde::Value::Map(mut entries) = serde::Serialize::to_value(&s) else {
+            panic!("SimStats must serialise to a map");
+        };
+        let before = entries.len();
+        entries.retain(|(k, _)| k != "fast_forward");
+        assert_eq!(entries.len(), before - 1, "field present before removal");
+        let back: SimStats =
+            serde::Deserialize::from_value(&serde::Value::Map(entries)).expect("deserialise");
+        assert_eq!(back, s);
     }
 
     #[test]

@@ -24,6 +24,24 @@ pub trait Telemetry {
         let _ = (cycle, core, cause);
     }
 
+    /// One core spent `n` consecutive cycles starting at `cycle` on `cause`.
+    ///
+    /// Bulk entry point used by the simulator's event-horizon fast-forward:
+    /// inside a bulk span nothing can change, so a core's whole span is
+    /// reported in one call instead of `n` [`Telemetry::on_cycle`] calls.
+    /// The default implementation falls back to per-cycle `on_cycle` calls,
+    /// so existing observers stay correct without changes. Note the
+    /// cross-core interleaving differs from single-step mode (spans arrive
+    /// core-major rather than cycle-major); per-core or order-insensitive
+    /// accumulators — every implementation in this workspace — are
+    /// unaffected.
+    #[inline(always)]
+    fn advance_n(&mut self, cycle: u64, core: usize, n: u64, cause: CycleCause) {
+        for i in 0..n {
+            self.on_cycle(cycle + i, core, cause);
+        }
+    }
+
     /// The master signalled a fork (a parallel region opens).
     #[inline(always)]
     fn on_fork(&mut self, cycle: u64) {
@@ -47,12 +65,22 @@ pub trait Telemetry {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NoTelemetry;
 
-impl Telemetry for NoTelemetry {}
+impl Telemetry for NoTelemetry {
+    // Explicitly empty (rather than the looping default) so the bulk path
+    // monomorphises to pure counter arithmetic.
+    #[inline(always)]
+    fn advance_n(&mut self, _cycle: u64, _core: usize, _n: u64, _cause: CycleCause) {}
+}
 
 impl<T: Telemetry + ?Sized> Telemetry for &mut T {
     #[inline(always)]
     fn on_cycle(&mut self, cycle: u64, core: usize, cause: CycleCause) {
         (**self).on_cycle(cycle, core, cause);
+    }
+
+    #[inline(always)]
+    fn advance_n(&mut self, cycle: u64, core: usize, n: u64, cause: CycleCause) {
+        (**self).advance_n(cycle, core, n, cause);
     }
 
     #[inline(always)]
@@ -181,6 +209,22 @@ impl Telemetry for RegionProfiler {
         }
     }
 
+    fn advance_n(&mut self, cycle: u64, _core: usize, n: u64, cause: CycleCause) {
+        // O(1) bulk attribution: a span never crosses a fork or release
+        // (those end the span), so it lands entirely in the current region.
+        if n == 0 {
+            return;
+        }
+        if self.regions.is_empty() {
+            self.open(RegionKind::Serial, cycle);
+        }
+        self.totals.add_n(cause, n);
+        if let Some(r) = self.regions.last_mut() {
+            r.breakdown.add_n(cause, n);
+            r.end_cycle = r.end_cycle.max(cycle + n);
+        }
+    }
+
     fn on_fork(&mut self, cycle: u64) {
         if self.regions.is_empty() {
             self.open(RegionKind::Serial, cycle);
@@ -250,6 +294,37 @@ mod tests {
         assert_eq!(regions[2].kind, RegionKind::Serial);
         assert_eq!(regions[2].label(), "serial#1");
         assert_eq!(p.totals.total(), 7);
+    }
+
+    #[test]
+    fn advance_n_matches_repeated_on_cycle() {
+        let mut bulk = RegionProfiler::new();
+        let mut single = RegionProfiler::new();
+        // Serial prologue, fork, a long quiet parallel span, join.
+        for p in [&mut bulk, &mut single] {
+            p.on_cycle(0, 0, CycleCause::Execute);
+            p.on_fork(0);
+        }
+        bulk.advance_n(1, 0, 40, CycleCause::Barrier);
+        bulk.advance_n(1, 1, 40, CycleCause::ForkWait);
+        for c in 1..41 {
+            single.on_cycle(c, 0, CycleCause::Barrier);
+            single.on_cycle(c, 1, CycleCause::ForkWait);
+        }
+        for p in [&mut bulk, &mut single] {
+            p.on_barrier_release(40);
+            p.on_finish(41);
+        }
+        assert_eq!(bulk.totals, single.totals);
+        assert_eq!(bulk.regions(), single.regions());
+    }
+
+    #[test]
+    fn advance_n_zero_is_a_noop() {
+        let mut p = RegionProfiler::new();
+        p.advance_n(5, 0, 0, CycleCause::Barrier);
+        assert!(p.regions().is_empty());
+        assert_eq!(p.totals.total(), 0);
     }
 
     #[test]

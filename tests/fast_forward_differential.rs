@@ -1,0 +1,207 @@
+//! Differential test: the event-horizon fast-forward against the
+//! single-step oracle on randomized programs.
+//!
+//! Programs are generated as a sequence of episodes over a shared
+//! synchronisation skeleton (so they always validate): per-core compute
+//! blocks, blocking and asynchronous DMA transfers, fork/join regions and
+//! critical sections, each closed by a cluster barrier. Every sampled
+//! program runs at 1..=8 cores through both simulator modes and must
+//! produce bit-identical architectural statistics (including the per-core
+//! 10-cause cycle histograms) and an identical trace-event stream.
+
+use proptest::prelude::*;
+use pulp_sim::{
+    simulate_opts, AddrExpr, ClusterConfig, FpOp, NoTelemetry, OpKind, Program, SegOp, SimOptions,
+    SimScratch, SimStats, TraceEvent, VecSink, TCDM_BASE,
+};
+
+fn instr(kind: OpKind) -> SegOp {
+    SegOp::Instr { kind, addr: None }
+}
+
+fn load(addr: u32) -> SegOp {
+    SegOp::Instr {
+        kind: OpKind::Load,
+        addr: Some(AddrExpr::constant(addr)),
+    }
+}
+
+/// One episode of the shared synchronisation skeleton.
+#[derive(Debug, Clone)]
+enum Episode {
+    /// Per-core op mixes (index selects kind), each `(mix, reps)`.
+    Compute(Vec<(u8, u8)>),
+    /// Master runs a blocking DMA while workers head to the barrier.
+    Dma { words: u64, inbound: bool },
+    /// Master overlaps an async DMA with compute, then drains it.
+    DmaAsync { words: u64, overlap: u8 },
+    /// Fork/join region with per-core work.
+    Fork(Vec<u8>),
+    /// Every core takes the cluster critical section.
+    Critical,
+}
+
+fn ops_of_mix(mix: u8, reps: u8, out: &mut Vec<SegOp>) {
+    for r in 0..reps {
+        out.push(match mix % 5 {
+            0 => instr(OpKind::Alu),
+            1 => instr(OpKind::Mul),
+            2 => instr(OpKind::Fp(FpOp::Div)),
+            3 => load(TCDM_BASE + u32::from(r % 4) * 4),
+            _ => load(TCDM_BASE), // all cores on one bank: conflict stalls
+        });
+    }
+}
+
+/// Expands the episode list into one stream per core. Every episode ends
+/// with a cluster barrier, so the synchronisation skeleton matches across
+/// cores by construction and the program always validates.
+fn program_of_episodes(team: usize, episodes: &[Episode]) -> Program {
+    let mut streams = vec![Vec::new(); team];
+    for ep in episodes {
+        match ep {
+            Episode::Compute(mixes) => {
+                for (core, stream) in streams.iter_mut().enumerate() {
+                    let (mix, reps) = mixes[core % mixes.len()];
+                    ops_of_mix(mix, reps, stream);
+                }
+            }
+            Episode::Dma { words, inbound } => {
+                streams[0].push(SegOp::Dma {
+                    words: *words,
+                    inbound: *inbound,
+                });
+            }
+            Episode::DmaAsync { words, overlap } => {
+                streams[0].push(SegOp::DmaAsync {
+                    words: *words,
+                    inbound: true,
+                });
+                ops_of_mix(0, *overlap, &mut streams[0]);
+                streams[0].push(SegOp::DmaWait);
+            }
+            Episode::Fork(work) => {
+                for (core, stream) in streams.iter_mut().enumerate() {
+                    stream.push(if core == 0 {
+                        SegOp::Fork
+                    } else {
+                        SegOp::WaitFork
+                    });
+                    ops_of_mix(1, work[core % work.len()], stream);
+                }
+            }
+            Episode::Critical => {
+                for stream in &mut streams {
+                    stream.push(SegOp::CriticalBegin);
+                    stream.push(instr(OpKind::Alu));
+                    stream.push(SegOp::CriticalEnd);
+                }
+            }
+        }
+        for stream in &mut streams {
+            stream.push(SegOp::Barrier);
+        }
+    }
+    Program::new(streams)
+}
+
+fn arb_episode() -> impl Strategy<Value = Episode> {
+    (
+        0u8..5,
+        prop::collection::vec((0u8..5, 0u8..12), 1..8),
+        16u64..2048,
+        prop::bool::ANY,
+        prop::collection::vec(0u8..10, 1..8),
+        0u8..8,
+    )
+        .prop_map(|(kind, mixes, words, inbound, work, overlap)| match kind {
+            0 => Episode::Compute(mixes),
+            1 => Episode::Dma { words, inbound },
+            2 => Episode::DmaAsync {
+                words: words / 2 + 16,
+                overlap,
+            },
+            3 => Episode::Fork(work),
+            _ => Episode::Critical,
+        })
+}
+
+fn run(
+    config: &ClusterConfig,
+    program: &Program,
+    opts: &SimOptions,
+    scratch: &mut SimScratch,
+) -> (SimStats, Vec<(u64, TraceEvent)>) {
+    let mut sink = VecSink::new();
+    let stats = simulate_opts(config, program, opts, &mut sink, &mut NoTelemetry, scratch)
+        .expect("episode programs always terminate");
+    (stats, sink.events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fast-forward is bit-identical to the single-step oracle on random
+    /// episode programs at every team size: same statistics, same 10-cause
+    /// cycle histograms, same trace-event stream.
+    #[test]
+    fn fast_forward_matches_oracle_on_random_programs(
+        episodes in prop::collection::vec(arb_episode(), 1..6),
+        team in 1usize..9,
+    ) {
+        let config = ClusterConfig::default();
+        let program = program_of_episodes(team, &episodes);
+        prop_assert_eq!(program.validate(), Ok(()));
+        let ff_opts = SimOptions::default();
+        let oracle_opts = SimOptions::oracle();
+        let mut scratch = SimScratch::new();
+        let (ff, ff_events) = run(&config, &program, &ff_opts, &mut scratch);
+        let (oracle, oracle_events) = run(&config, &program, &oracle_opts, &mut scratch);
+        // The oracle must never take a bulk span.
+        prop_assert_eq!(oracle.fast_forward.spans, 0);
+        prop_assert_eq!(oracle.fast_forward.skipped_cycles, 0);
+        // Per-core cause histograms agree exactly.
+        for (core, (a, b)) in ff.cores.iter().zip(oracle.cores.iter()).enumerate() {
+            prop_assert_eq!(
+                &a.breakdown, &b.breakdown,
+                "core {} cause histogram diverged", core
+            );
+        }
+        // The trace streams are identical event for event.
+        prop_assert_eq!(ff_events, oracle_events);
+        // Architectural state is bit-identical modulo the ff diagnostics.
+        prop_assert_eq!(ff.without_fast_forward(), oracle);
+    }
+}
+
+/// A fixed barrier/DMA-heavy regression program: long quiescent spans, so
+/// the fast-forward must actually engage while staying bit-identical.
+#[test]
+fn fast_forward_engages_and_matches_on_dma_heavy_program() {
+    let config = ClusterConfig::default();
+    let episodes = [
+        Episode::Dma {
+            words: 4096,
+            inbound: true,
+        },
+        Episode::Fork(vec![3, 1, 4, 1, 5]),
+        Episode::Dma {
+            words: 2048,
+            inbound: false,
+        },
+        Episode::Critical,
+    ];
+    let mut scratch = SimScratch::new();
+    for team in [2usize, 4, 8] {
+        let program = program_of_episodes(team, &episodes);
+        let (ff, ff_events) = run(&config, &program, &SimOptions::default(), &mut scratch);
+        let (oracle, oracle_events) = run(&config, &program, &SimOptions::oracle(), &mut scratch);
+        assert!(
+            ff.skip_ratio() > 0.5,
+            "team {team}: expected heavy skipping, got {}",
+            ff.skip_ratio()
+        );
+        assert_eq!(ff.without_fast_forward(), oracle, "team {team}");
+        assert_eq!(ff_events, oracle_events, "team {team}");
+    }
+}

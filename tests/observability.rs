@@ -75,7 +75,9 @@ fn listener_replay_reproduces_fast_path_stall_causes() {
                 "team {team} core {id}: replayed stall causes must match the fast path"
             );
         }
-        assert_eq!(direct, replayed);
+        // The replay reconstructs architectural state only; the fast-forward
+        // span counters are diagnostics the trace does not carry.
+        assert_eq!(direct.without_fast_forward(), replayed);
     }
 }
 

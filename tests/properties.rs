@@ -112,7 +112,9 @@ proptest! {
         let direct =
             simulate_traced(&cfg, &lowered.program, 50_000_000, &mut sink).expect("simulate");
         let replayed = stats_from_trace(&sink.text, &cfg, 3).expect("replay");
-        prop_assert_eq!(direct, replayed);
+        // Replay reconstructs architectural state; fast-forward span
+        // counters are diagnostics the trace does not carry.
+        prop_assert_eq!(direct.without_fast_forward(), replayed);
     }
 
     /// Rendered trace lines always parse back.

@@ -106,7 +106,9 @@ fn trace_parity_on_dataset_kernel() {
     let mut sink = TextSink::new();
     let direct = simulate_traced(&cfg, &lowered.program, 10_000_000, &mut sink).expect("simulate");
     let replayed = stats_from_trace(&sink.text, &cfg, 4).expect("replay");
-    assert_eq!(direct, replayed);
+    // Replay reconstructs architectural state; fast-forward span counters
+    // are diagnostics the trace does not carry.
+    assert_eq!(direct.without_fast_forward(), replayed);
 }
 
 /// Ablations must act in the expected direction on a conflict-heavy

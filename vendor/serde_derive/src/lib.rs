@@ -22,9 +22,18 @@ enum Item {
 
 #[derive(Debug)]
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<FieldDef>),
     Unnamed(usize),
     Unit,
+}
+
+/// A named field plus the subset of `#[serde(...)]` options the stub
+/// understands (`default`: fall back to `Default::default()` when the key
+/// is absent during deserialization).
+#[derive(Debug)]
+struct FieldDef {
+    name: String,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -34,7 +43,7 @@ struct Variant {
 }
 
 /// Derives the stub `serde::Serialize` (value-model conversion).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
@@ -46,7 +55,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the stub `serde::Deserialize` (value-model conversion).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
@@ -120,19 +129,24 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-/// Parses `field: Type, ...` returning field names. Commas inside angle
-/// brackets (`HashMap<K, V>`) are not separators; bracketed groups arrive
-/// as single tokens and need no special care.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Parses `field: Type, ...` returning field definitions. Commas inside
+/// angle brackets (`HashMap<K, V>`) are not separators; bracketed groups
+/// arrive as single tokens and need no special care. A `#[serde(default)]`
+/// attribute on a field is recorded; other attributes are skipped.
+fn parse_named_fields(stream: TokenStream) -> Vec<FieldDef> {
     let mut fields = Vec::new();
     let mut tokens = stream.into_iter().peekable();
     loop {
-        // Skip attributes and visibility before the field name.
+        // Skip attributes and visibility before the field name, noting a
+        // `#[serde(default)]` when present.
+        let mut default = false;
         loop {
             match tokens.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     tokens.next();
-                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        default |= attr_is_serde_default(g.stream());
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     tokens.next();
@@ -149,7 +163,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         let TokenTree::Ident(field) = tok else {
             panic!("serde_derive: expected field name, got {tok:?}");
         };
-        fields.push(field.to_string());
+        fields.push(FieldDef {
+            name: field.to_string(),
+            default,
+        });
         match tokens.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("serde_derive: expected `:` after field, got {other:?}"),
@@ -166,6 +183,23 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         }
     }
     fields
+}
+
+/// Returns `true` for the content of a `#[serde(default)]` attribute
+/// (i.e. `serde` followed by a parenthesised list containing `default`).
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
 }
 
 fn count_tuple_fields(stream: TokenStream) -> usize {
@@ -250,7 +284,8 @@ fn ser_struct(name: &str, fields: &Fields) -> String {
                 .map(|f| {
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
-                         ::serde::Serialize::to_value(&self.{f}))"
+                         ::serde::Serialize::to_value(&self.{f}))",
+                        f = f.name
                     )
                 })
                 .collect();
@@ -272,13 +307,27 @@ fn ser_struct(name: &str, fields: &Fields) -> String {
     )
 }
 
+/// Deserialization initializer for one named field read from the map
+/// expression `src`. `#[serde(default)]` fields fall back to
+/// `Default::default()` when the key is absent.
+fn named_field_init(f: &FieldDef, src: &str) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match {src}.field(\"{name}\") {{\n\
+             ::std::result::Result::Ok(x) => ::serde::Deserialize::from_value(x)?,\n\
+             ::std::result::Result::Err(_) => ::std::default::Default::default(),\n\
+             }}"
+        )
+    } else {
+        format!("{name}: ::serde::Deserialize::from_value({src}.field(\"{name}\")?)?")
+    }
+}
+
 fn de_struct(name: &str, fields: &Fields) -> String {
     let body = match fields {
         Fields::Named(names) => {
-            let inits: Vec<String> = names
-                .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
-                .collect();
+            let inits: Vec<String> = names.iter().map(|f| named_field_init(f, "v")).collect();
             format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
         }
         Fields::Unnamed(1) => {
@@ -336,13 +385,18 @@ fn ser_enum(name: &str, variants: &[Variant]) -> String {
                     )
                 }
                 Fields::Named(fields) => {
-                    let binds = fields.join(", ");
+                    let binds = fields
+                        .iter()
+                        .map(|f| f.name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ");
                     let entries: Vec<String> = fields
                         .iter()
                         .map(|f| {
                             format!(
                                 "(::std::string::String::from(\"{f}\"), \
-                                 ::serde::Serialize::to_value({f}))"
+                                 ::serde::Serialize::to_value({f}))",
+                                f = f.name
                             )
                         })
                         .collect();
@@ -408,9 +462,7 @@ fn de_enum(name: &str, variants: &[Variant]) -> String {
                 Fields::Named(fields) => {
                     let inits: Vec<String> = fields
                         .iter()
-                        .map(|f| {
-                            format!("{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")?)?")
-                        })
+                        .map(|f| named_field_init(f, "inner"))
                         .collect();
                     format!(
                         "\"{vn}\" => ::std::result::Result::Ok(\
