@@ -14,22 +14,44 @@
 //! pulp_cli cache    stats --cache-dir DIR             # sweep-cache usage
 //! pulp_cli cache    clear --cache-dir DIR             # delete cached sweeps
 //! pulp_cli serve    [--addr HOST:PORT] [--full]       # HTTP prediction service
-//! pulp_cli bench    diff OLD.json NEW.json            # accuracy-regression gate
+//! pulp_cli bench    diff OLD.json NEW.json            # regression gate (headline/sim/serve)
 //! pulp_cli bench    sim [--quick] [--out PATH]        # simulator perf benchmark
+//! pulp_cli bench    serve [--quick] [--out PATH]      # serving-layer load benchmark
 //! ```
 //!
 //! Defaults: `--dtype f32` (or the kernel's only supported type),
 //! `--size 2048`, `--team 4`, `--addr 127.0.0.1:7878`,
 //! `--max-cycles 100000000` for profile/trace runs.
 //!
+//! `serve` capacity knobs: `--workers N` (worker threads), `--queue-depth N`
+//! (bounded accept queue; overflow sheds with 503 + `Retry-After`),
+//! `--timeout-ms N` (per-connection read/write deadline), `--max-body-bytes
+//! N` (413 above this), `--keepalive-max N` (requests per keep-alive
+//! connection). SIGTERM/ctrl-c or `POST /admin/shutdown` drain gracefully.
+//!
 //! `bench sim` runs the fixed kernel basket (ALU-bound, TCDM-conflict,
 //! barrier/DMA-heavy, FP-contended) at 1/2/4/8 cores with the event-horizon
 //! fast-forward and the single-step oracle, verifies the two agree
 //! bit-for-bit, and writes `BENCH_sim.json` (override with `--out`).
+//!
+//! `bench serve` boots the prediction server in-process and drives it with
+//! concurrent keep-alive clients over kernel-name, raw-feature and batch
+//! request mixes, reporting throughput, per-mix p50/p90/p99 latency and the
+//! shed/timeout counters; writes `BENCH_serve.json` (override with
+//! `--out`).
+//!
+//! `bench diff OLD NEW` dispatches on the record's `bench` field:
+//! headline records gate on accuracy (>1 pt drop fails), `BENCH_sim.json`
+//! on fast-forward throughput (>20% cycles-per-wall-second drop on any
+//! basket fails), `BENCH_serve.json` on tail latency (>20% p99 regression
+//! on any mix, or any shed in the quick profile, fails).
 
 use kernel_ir::{lower, DType, Kernel};
-use pulp_bench::serve::{ServeState, Server};
-use pulp_bench::{profile_run, recorder_of_run, run_sim_bench, SimBenchOptions, QUICK_KERNELS};
+use pulp_bench::serve::{install_signal_shutdown, ServeOptions, ServeState, Server};
+use pulp_bench::{
+    profile_run, recorder_of_run, run_serve_bench, run_sim_bench, ServeBenchOptions,
+    SimBenchOptions, QUICK_KERNELS,
+};
 use pulp_energy::{
     default_cache_version, measure_kernel,
     pipeline::{LabeledDataset, PipelineOptions},
@@ -59,6 +81,11 @@ struct Args {
     quick: bool,
     out: Option<String>,
     max_cycles: Option<u64>,
+    workers: Option<usize>,
+    queue_depth: Option<usize>,
+    timeout_ms: Option<u64>,
+    max_body_bytes: Option<usize>,
+    keepalive_max: Option<usize>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -81,7 +108,26 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
         quick: false,
         out: None,
         max_cycles: None,
+        workers: None,
+        queue_depth: None,
+        timeout_ms: None,
+        max_body_bytes: None,
+        keepalive_max: None,
     };
+    // `--flag N` where N must be a strictly positive integer.
+    fn positive<T: std::str::FromStr + PartialOrd + From<u8>>(
+        argv: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Option<T> {
+        let raw = argv.next()?;
+        match raw.parse::<T>() {
+            Ok(n) if n >= T::from(1u8) => Some(n),
+            _ => {
+                eprintln!("{flag} expects a positive integer, got {raw:?}");
+                None
+            }
+        }
+    }
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--chrome" => args.chrome = Some(argv.next()?),
@@ -90,16 +136,14 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
             "--full" => args.full = true,
             "--quick" => args.quick = true,
             "--out" => args.out = Some(argv.next()?),
-            "--max-cycles" => {
-                let raw = argv.next()?;
-                match raw.parse::<u64>() {
-                    Ok(n) if n > 0 => args.max_cycles = Some(n),
-                    _ => {
-                        eprintln!("--max-cycles expects a positive integer, got {raw:?}");
-                        return None;
-                    }
-                }
+            "--max-cycles" => args.max_cycles = Some(positive(&mut argv, "--max-cycles")?),
+            "--workers" => args.workers = Some(positive(&mut argv, "--workers")?),
+            "--queue-depth" => args.queue_depth = Some(positive(&mut argv, "--queue-depth")?),
+            "--timeout-ms" => args.timeout_ms = Some(positive(&mut argv, "--timeout-ms")?),
+            "--max-body-bytes" => {
+                args.max_body_bytes = Some(positive(&mut argv, "--max-body-bytes")?);
             }
+            "--keepalive-max" => args.keepalive_max = Some(positive(&mut argv, "--keepalive-max")?),
             "--dtype" => {
                 args.dtype = match argv.next().as_deref() {
                     Some("i32") => Some(DType::I32),
@@ -132,9 +176,11 @@ fn usage() -> ExitCode {
         "usage: pulp_cli <list|pretty|features|disasm|measure|classify|mca|profile|trace> \
          [kernel] [--dtype i32|f32] [--size BYTES] [--team N] [--chrome OUT.json]\n   \
          or: pulp_cli cache <stats|clear> --cache-dir DIR\n   \
-         or: pulp_cli serve [--addr HOST:PORT] [--full] [--cache-dir DIR]\n   \
+         or: pulp_cli serve [--addr HOST:PORT] [--full] [--cache-dir DIR] [--workers N]\n   \
+                [--queue-depth N] [--timeout-ms N] [--max-body-bytes N] [--keepalive-max N]\n   \
          or: pulp_cli bench diff OLD.json NEW.json\n   \
-         or: pulp_cli bench sim [--quick] [--out PATH] [--max-cycles N]"
+         or: pulp_cli bench sim [--quick] [--out PATH] [--max-cycles N]\n   \
+         or: pulp_cli bench serve [--quick] [--out PATH]"
     );
     ExitCode::FAILURE
 }
@@ -147,9 +193,149 @@ const DEFAULT_RUN_BUDGET: u64 = 100_000_000;
 /// `bench diff` fails: one percentage point.
 const REGRESSION_TOLERANCE: f64 = 0.01;
 
+/// Maximum tolerated relative drop in simulator throughput
+/// (`ff_cycles_per_s`) per basket before `bench diff` fails: 20%.
+const SIM_THROUGHPUT_TOLERANCE: f64 = 0.20;
+
+/// Maximum tolerated relative p99-latency regression per serve mix before
+/// `bench diff` fails: 20%.
+const SERVE_P99_TOLERANCE: f64 = 0.20;
+
+/// Compares two benchmark records, dispatching on their `bench` field:
+/// `"sim"` gates on per-basket fast-forward throughput, `"serve"` on
+/// per-mix p99 latency plus shedding, anything else on the headline
+/// `accuracy` map. Returns the regressions found.
+fn bench_regressions(old: &Value, new: &Value) -> Result<Vec<String>, String> {
+    let kind = old.field("bench").and_then(Value::as_str).unwrap_or("");
+    match kind {
+        "sim" => sim_regressions(old, new),
+        "serve" => serve_regressions(old, new),
+        _ => headline_regressions(old, new),
+    }
+}
+
+/// Both records must come from the same profile — a `--quick` candidate
+/// against a full baseline (or vice versa) compares different workloads.
+fn check_same_profile(old: &Value, new: &Value) -> Result<(), String> {
+    let profile = |v: &Value, side: &str| {
+        v.field("quick")
+            .and_then(Value::as_bool)
+            .map_err(|e| format!("{side}: {e}"))
+    };
+    let (old_quick, new_quick) = (profile(old, "baseline")?, profile(new, "candidate")?);
+    if old_quick != new_quick {
+        return Err(format!(
+            "profiles differ (baseline quick={old_quick}, candidate quick={new_quick}); \
+             records are not comparable"
+        ));
+    }
+    Ok(())
+}
+
+/// Pulls the `rows` sequence out of a benchmark record, labelling parse
+/// failures with which side (baseline/candidate) was at fault.
+fn record_rows<'a>(v: &'a Value, side: &str) -> Result<&'a [Value], String> {
+    v.field("rows")
+        .and_then(Value::as_seq)
+        .map_err(|e| format!("{side}: {e}"))
+}
+
+/// `BENCH_sim.json`: fail on >20% `ff_cycles_per_s` drop on any
+/// (basket, cores) row, or a row missing from the candidate.
+fn sim_regressions(old: &Value, new: &Value) -> Result<Vec<String>, String> {
+    check_same_profile(old, new)?;
+    let (old_rows, new_rows) = (
+        record_rows(old, "baseline")?,
+        record_rows(new, "candidate")?,
+    );
+    let key = |r: &Value| -> Option<(String, u64)> {
+        Some((
+            r.field("basket").and_then(Value::as_str).ok()?.to_string(),
+            r.field("cores").and_then(Value::as_u64).ok()?,
+        ))
+    };
+    let mut regressions = Vec::new();
+    for old_row in old_rows {
+        let Some((basket, cores)) = key(old_row) else {
+            return Err("baseline: row without basket/cores".to_string());
+        };
+        let Ok(old_cps) = old_row.field("ff_cycles_per_s").and_then(Value::as_f64) else {
+            continue;
+        };
+        let Some(new_cps) = new_rows
+            .iter()
+            .filter(|r| key(r).as_ref() == Some(&(basket.clone(), cores)))
+            .find_map(|r| r.field("ff_cycles_per_s").and_then(Value::as_f64).ok())
+        else {
+            regressions.push(format!("{basket} @ {cores} cores: missing from candidate"));
+            continue;
+        };
+        if new_cps < old_cps * (1.0 - SIM_THROUGHPUT_TOLERANCE) {
+            regressions.push(format!(
+                "{basket} @ {cores} cores: {old_cps:.3e} -> {new_cps:.3e} cycles/s \
+                 (drop {:.1}% > {:.0}% tolerance)",
+                (1.0 - new_cps / old_cps) * 100.0,
+                SIM_THROUGHPUT_TOLERANCE * 100.0
+            ));
+        }
+    }
+    Ok(regressions)
+}
+
+/// `BENCH_serve.json`: fail on >20% p99 regression on any mix, a mix
+/// missing from the candidate, any shed in a quick-profile candidate, or
+/// candidate correctness errors.
+fn serve_regressions(old: &Value, new: &Value) -> Result<Vec<String>, String> {
+    check_same_profile(old, new)?;
+    let (old_rows, new_rows) = (
+        record_rows(old, "baseline")?,
+        record_rows(new, "candidate")?,
+    );
+    let mut regressions = Vec::new();
+    for old_row in old_rows {
+        let Ok(mix) = old_row.field("mix").and_then(Value::as_str) else {
+            return Err("baseline: row without mix".to_string());
+        };
+        let Ok(old_p99) = old_row.field("p99_us").and_then(Value::as_f64) else {
+            continue;
+        };
+        let Some(new_p99) = new_rows
+            .iter()
+            .filter(|r| r.field("mix").and_then(Value::as_str) == Ok(mix))
+            .find_map(|r| r.field("p99_us").and_then(Value::as_f64).ok())
+        else {
+            regressions.push(format!("mix {mix}: missing from candidate"));
+            continue;
+        };
+        if new_p99 > old_p99 * (1.0 + SERVE_P99_TOLERANCE) {
+            regressions.push(format!(
+                "mix {mix}: p99 {old_p99:.0}us -> {new_p99:.0}us \
+                 (+{:.1}% > {:.0}% tolerance)",
+                (new_p99 / old_p99 - 1.0) * 100.0,
+                SERVE_P99_TOLERANCE * 100.0
+            ));
+        }
+    }
+    let quick = new.field("quick").and_then(Value::as_bool).unwrap_or(false);
+    let shed = new
+        .field("shed_total")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    if quick && shed > 0.0 {
+        regressions.push(format!(
+            "candidate shed {shed} connection(s); the quick profile must never shed"
+        ));
+    }
+    let errors = new.field("errors").and_then(Value::as_u64).unwrap_or(0);
+    if errors > 0 {
+        regressions.push(format!("candidate had {errors} failed request(s)"));
+    }
+    Ok(regressions)
+}
+
 /// Compares two `BENCH_headline.json` records field-by-field over their
 /// `accuracy` maps; returns the regressions found.
-fn bench_regressions(old: &Value, new: &Value) -> Result<Vec<String>, String> {
+fn headline_regressions(old: &Value, new: &Value) -> Result<Vec<String>, String> {
     let old_acc = old
         .field("accuracy")
         .and_then(Value::as_map)
@@ -196,11 +382,11 @@ fn cmd_bench_diff(old_path: &str, new_path: &str) -> ExitCode {
     };
     match bench_regressions(&old, &new) {
         Ok(regressions) if regressions.is_empty() => {
-            println!("bench diff: no accuracy regressions ({old_path} -> {new_path})");
+            println!("bench diff: no regressions ({old_path} -> {new_path})");
             ExitCode::SUCCESS
         }
         Ok(regressions) => {
-            eprintln!("bench diff: {} accuracy regression(s):", regressions.len());
+            eprintln!("bench diff: {} regression(s):", regressions.len());
             for r in &regressions {
                 eprintln!("  {r}");
             }
@@ -262,6 +448,27 @@ fn cmd_bench_sim(args: &Args) -> ExitCode {
     }
 }
 
+/// The server capacity knobs implied by the command line.
+fn serve_options(args: &Args) -> ServeOptions {
+    let mut o = ServeOptions::default();
+    if let Some(n) = args.workers {
+        o.workers = n;
+    }
+    if let Some(n) = args.queue_depth {
+        o.queue_depth = n;
+    }
+    if let Some(n) = args.timeout_ms {
+        o.timeout_ms = n;
+    }
+    if let Some(n) = args.max_body_bytes {
+        o.max_body_bytes = n;
+    }
+    if let Some(n) = args.keepalive_max {
+        o.keepalive_max_requests = n;
+    }
+    o
+}
+
 fn cmd_serve(args: &Args) -> ExitCode {
     let mut opts = if args.full {
         PipelineOptions::default()
@@ -280,19 +487,80 @@ fn cmd_serve(args: &Args) -> ExitCode {
     );
     let state = Arc::new(ServeState::train(&opts));
     let addr = args.addr.as_deref().unwrap_or("127.0.0.1:7878");
-    let server = match Server::bind(addr, state) {
+    let serve_opts = serve_options(args);
+    let server = match Server::bind_with(addr, state, serve_opts) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    install_signal_shutdown(server.shutdown_handle());
     eprintln!(
-        "[serve] listening on {} — POST /predict, GET /metrics, GET /healthz, GET /manifest",
+        "[serve] listening on {} — POST /predict, POST /predict/batch, GET /metrics, \
+         GET /healthz, GET /manifest, POST /admin/shutdown",
         server.addr
     );
+    eprintln!(
+        "[serve] capacity: {} workers, queue depth {}, {}ms deadline, {}-byte body cap, \
+         {} requests/connection",
+        serve_opts.workers,
+        serve_opts.queue_depth,
+        serve_opts.timeout_ms,
+        serve_opts.max_body_bytes,
+        serve_opts.keepalive_max_requests
+    );
     server.run();
+    eprintln!("[serve] drained; all workers joined");
     ExitCode::SUCCESS
+}
+
+/// Runs the serving-layer load benchmark and writes `BENCH_serve.json`
+/// (or `--out PATH`). Fails on correctness errors, a batch/sequential
+/// divergence, or (in the quick profile) any shed or timeout.
+fn cmd_bench_serve(args: &Args) -> ExitCode {
+    let opts = if args.quick {
+        ServeBenchOptions::quick()
+    } else {
+        ServeBenchOptions::default()
+    };
+    eprintln!(
+        "bench serve: {} run ({} rounds of {} clients x {} requests, {} workers, queue depth {})...",
+        if opts.quick { "quick" } else { "full" },
+        opts.rounds,
+        opts.clients,
+        opts.requests_per_client,
+        opts.serve.workers,
+        opts.serve.queue_depth
+    );
+    let report = run_serve_bench(&opts);
+    print!("{}", report.render_table());
+    let out_path = args.out.as_deref().unwrap_or("BENCH_serve.json");
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench serve: cannot serialise report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(out_path, json) {
+        eprintln!("bench serve: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    match report.verify() {
+        Ok(()) => {
+            println!("bench serve: all invariants hold");
+            ExitCode::SUCCESS
+        }
+        Err(problems) => {
+            eprintln!("bench serve: {} invariant violation(s):", problems.len());
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn find_kernel<'a>(defs: &'a [KernelDef], name: &str) -> Option<&'a KernelDef> {
@@ -652,6 +920,7 @@ fn main() -> ExitCode {
         "bench" => match args.kernel.as_deref() {
             Some("diff") if args.rest.len() == 2 => cmd_bench_diff(&args.rest[0], &args.rest[1]),
             Some("sim") if args.rest.is_empty() => cmd_bench_sim(&args),
+            Some("serve") if args.rest.is_empty() => cmd_bench_serve(&args),
             _ => usage(),
         },
         _ => usage(),
@@ -769,6 +1038,138 @@ mod tests {
         assert!(out.iter().any(|r| r.contains("missing")), "{out:?}");
         // Records without an accuracy map are an error.
         assert!(bench_regressions(&Value::Map(vec![]), &base).is_err());
+    }
+
+    #[test]
+    fn serve_capacity_flags_parse_strictly() {
+        let a = parse(&[
+            "serve",
+            "--workers",
+            "8",
+            "--queue-depth",
+            "128",
+            "--timeout-ms",
+            "250",
+            "--max-body-bytes",
+            "4096",
+            "--keepalive-max",
+            "32",
+        ])
+        .expect("parse");
+        assert_eq!(a.workers, Some(8));
+        assert_eq!(a.queue_depth, Some(128));
+        assert_eq!(a.timeout_ms, Some(250));
+        assert_eq!(a.max_body_bytes, Some(4096));
+        assert_eq!(a.keepalive_max, Some(32));
+        let o = serve_options(&a);
+        assert_eq!((o.workers, o.queue_depth, o.timeout_ms), (8, 128, 250));
+        assert_eq!((o.max_body_bytes, o.keepalive_max_requests), (4096, 32));
+        // Defaults flow through when flags are absent.
+        let defaults = serve_options(&parse(&["serve"]).expect("parse"));
+        assert_eq!(defaults, ServeOptions::default());
+        // Zero, negatives and garbage are rejected outright.
+        assert!(parse(&["serve", "--workers", "0"]).is_none());
+        assert!(parse(&["serve", "--queue-depth", "-1"]).is_none());
+        assert!(parse(&["serve", "--timeout-ms", "soon"]).is_none());
+        assert!(parse(&["serve", "--max-body-bytes"]).is_none());
+    }
+
+    #[test]
+    fn bench_serve_subcommand_parses() {
+        let a = parse(&["bench", "serve", "--quick", "--out", "S.json"]).expect("parse");
+        assert_eq!(a.kernel.as_deref(), Some("serve"));
+        assert!(a.quick);
+        assert_eq!(a.out.as_deref(), Some("S.json"));
+    }
+
+    fn sim_value(quick: bool, alu1_cps: f64) -> Value {
+        let row = |basket: &str, cores: u64, cps: f64| {
+            Value::Map(vec![
+                ("basket".to_string(), Value::Str(basket.to_string())),
+                ("cores".to_string(), Value::U64(cores)),
+                ("ff_cycles_per_s".to_string(), Value::F64(cps)),
+            ])
+        };
+        Value::Map(vec![
+            ("bench".to_string(), Value::Str("sim".to_string())),
+            ("quick".to_string(), Value::Bool(quick)),
+            (
+                "rows".to_string(),
+                Value::Seq(vec![row("alu", 1, alu1_cps), row("barrier_dma", 8, 5e8)]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn bench_diff_gates_sim_throughput() {
+        let base = sim_value(true, 1e7);
+        // Within 20% passes; beyond fails and names the basket.
+        assert!(bench_regressions(&base, &sim_value(true, 0.85e7))
+            .expect("compare")
+            .is_empty());
+        let bad = bench_regressions(&base, &sim_value(true, 0.5e7)).expect("compare");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("alu @ 1 cores"), "{bad:?}");
+        // Improvements never fail.
+        assert!(bench_regressions(&base, &sim_value(true, 5e7))
+            .expect("compare")
+            .is_empty());
+        // Quick-vs-full comparisons are refused, not silently compared.
+        let err = bench_regressions(&base, &sim_value(false, 1e7)).unwrap_err();
+        assert!(err.contains("not comparable"), "{err}");
+        // A missing row is a regression.
+        let mut missing = sim_value(true, 1e7);
+        if let Value::Map(entries) = &mut missing {
+            for (k, v) in entries.iter_mut() {
+                if k == "rows" {
+                    if let Value::Seq(rows) = v {
+                        rows.truncate(1);
+                    }
+                }
+            }
+        }
+        let out = bench_regressions(&base, &missing).expect("compare");
+        assert!(out.iter().any(|r| r.contains("missing")), "{out:?}");
+    }
+
+    fn serve_value(quick: bool, kernel_p99: f64, shed: f64, errors: u64) -> Value {
+        let row = |mix: &str, p99: f64| {
+            Value::Map(vec![
+                ("mix".to_string(), Value::Str(mix.to_string())),
+                ("p99_us".to_string(), Value::F64(p99)),
+            ])
+        };
+        Value::Map(vec![
+            ("bench".to_string(), Value::Str("serve".to_string())),
+            ("quick".to_string(), Value::Bool(quick)),
+            ("shed_total".to_string(), Value::F64(shed)),
+            ("errors".to_string(), Value::U64(errors)),
+            (
+                "rows".to_string(),
+                Value::Seq(vec![row("kernel", kernel_p99), row("batch", 900.0)]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn bench_diff_gates_serve_latency_and_shed() {
+        let base = serve_value(true, 500.0, 0.0, 0);
+        // Within 20% passes.
+        assert!(bench_regressions(&base, &serve_value(true, 590.0, 0.0, 0))
+            .expect("compare")
+            .is_empty());
+        // A >20% p99 regression fails and names the mix.
+        let bad = bench_regressions(&base, &serve_value(true, 700.0, 0.0, 0)).expect("compare");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("mix kernel"), "{bad:?}");
+        // Any shed in a quick candidate fails even with great latency.
+        let shed = bench_regressions(&base, &serve_value(true, 100.0, 3.0, 0)).expect("compare");
+        assert!(shed.iter().any(|r| r.contains("shed")), "{shed:?}");
+        // Candidate correctness errors fail.
+        let err = bench_regressions(&base, &serve_value(true, 100.0, 0.0, 2)).expect("compare");
+        assert!(err.iter().any(|r| r.contains("failed request")), "{err:?}");
+        // Quick-vs-full refused.
+        assert!(bench_regressions(&base, &serve_value(false, 500.0, 0.0, 0)).is_err());
     }
 
     #[test]

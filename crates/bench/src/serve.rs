@@ -1,22 +1,47 @@
 //! The instrumented prediction service behind `pulp_cli serve`.
 //!
-//! A std-only, thread-per-connection HTTP/1.1 server exposing the paper's
-//! end product — "static features in, minimum-energy core count out" — as
-//! three endpoints:
+//! A std-only, production-shaped HTTP/1.1 server exposing the paper's end
+//! product — "static features in, minimum-energy core count out" — behind
+//! explicit admission control:
+//!
+//! ```text
+//! accept loop ──▶ bounded queue ──▶ N worker threads ──▶ tree predictor
+//!      │   (503 + Retry-After when full)
+//!      └── graceful shutdown: stop accepting, drain queue, join workers
+//! ```
+//!
+//! Endpoints:
 //!
 //! * `POST /predict` — body `{"kernel": "gemm", "dtype": "f32", "size":
 //!   2048}` (a known kernel, features computed server-side) or
 //!   `{"features": [/* full 20-dim static vector */]}`; replies with the
 //!   predicted core count, the 0-based class, and — when the sample was in
 //!   the training sweep — the expected energy at that core count.
+//! * `POST /predict/batch` — body `{"requests": [<any /predict body>, …]}`;
+//!   replies `{"count": N, "results": [<one /predict reply each>]}` via
+//!   [`EnergyPredictor::predict_cores_batch`], bit-identical to N
+//!   sequential `/predict` calls.
+//! * `POST /admin/shutdown` — begins a graceful drain: in-flight and queued
+//!   requests complete, new connections are refused, [`Server::run`]
+//!   returns after joining every worker. SIGTERM/ctrl-c do the same when
+//!   [`install_signal_shutdown`] is wired up (as `pulp_cli serve` does).
 //! * `GET /metrics` — Prometheus text exposition from a
 //!   [`MetricsRegistry`]: request counts by endpoint/status, request and
-//!   per-stage latency histograms, sweep-cache counters, model metadata
-//!   and the startup-training stage histograms bridged from the pipeline
-//!   `Recorder`.
+//!   per-stage latency histograms, queue-depth and in-flight gauges,
+//!   shed/timeout/keep-alive-reuse counters, sweep-cache counters, model
+//!   metadata and the startup-training stage histograms bridged from the
+//!   pipeline `Recorder`.
 //! * `GET /healthz` — `200 ok` once the model is trained (the server only
 //!   starts accepting after training, so this is always `ok` when
 //!   reachable).
+//!
+//! Connections are HTTP/1.1 keep-alive by default, capped at
+//! [`ServeOptions::keepalive_max_requests`] requests each, with
+//! [`ServeOptions::timeout_ms`] read/write deadlines so a slowloris peer
+//! can only park a worker for one timeout, never forever. Bodies above
+//! [`ServeOptions::max_body_bytes`] are refused with `413` *before* any
+//! allocation, and malformed request lines get a `400` instead of a
+//! silently dropped connection.
 //!
 //! Everything rides on blocking `std::net` — no async runtime, no HTTP
 //! crate — mirroring how the rest of the workspace treats dependencies.
@@ -27,14 +52,48 @@ use pulp_energy::{static_feature_vector, EnergyPredictor, PredictorMetadata, Sta
 use pulp_ml::TreeParams;
 use pulp_obs::{validate_exposition, MetricsRegistry};
 use serde::Value;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Histogram bucket layout for request latencies: 100ns .. 10s.
 fn latency_buckets() -> Vec<f64> {
     pulp_obs::metrics::log_buckets(1e-7, 10.0, 4)
+}
+
+/// Capacity knobs of one server instance (`pulp_cli serve` flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Worker threads pulling connections off the queue (`--workers`).
+    pub workers: usize,
+    /// Bounded connection-queue depth; a full queue sheds with 503 +
+    /// `Retry-After` (`--queue-depth`).
+    pub queue_depth: usize,
+    /// Per-connection read/write deadline in milliseconds
+    /// (`--timeout-ms`). A stalled peer costs a worker at most one
+    /// timeout, never a hung thread.
+    pub timeout_ms: u64,
+    /// Maximum accepted request-body size (`--max-body-bytes`); larger
+    /// `Content-Length` values are refused with 413 before allocating.
+    pub max_body_bytes: usize,
+    /// Requests served per keep-alive connection before the server closes
+    /// it (`--keepalive-max`), bounding per-connection state lifetime.
+    pub keepalive_max_requests: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            timeout_ms: 5_000,
+            max_body_bytes: 1 << 20,
+            keepalive_max_requests: 1_000,
+        }
+    }
 }
 
 /// Shared state of one running prediction service.
@@ -47,6 +106,7 @@ pub struct ServeState {
     samples: Vec<(String, String, usize, Vec<f64>)>,
     metrics: Mutex<MetricsRegistry>,
     manifest: RunManifest,
+    inflight: AtomicI64,
 }
 
 impl ServeState {
@@ -128,6 +188,7 @@ impl ServeState {
             samples,
             metrics: Mutex::new(metrics),
             manifest,
+            inflight: AtomicI64::new(0),
         }
     }
 
@@ -140,106 +201,523 @@ impl ServeState {
     pub fn render_metrics(&self) -> String {
         self.metrics.lock().expect("metrics lock").render()
     }
+
+    /// Reads one metric sample back out of the registry — the programmatic
+    /// mirror of scraping `/metrics`, used by the load benchmark and the
+    /// integration tests.
+    pub fn metric_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .value(name, labels)
+    }
+
+    fn counter_add(&self, name: &str, help: &'static str, labels: &[(&str, &str)], delta: f64) {
+        if let Ok(mut m) = self.metrics.lock() {
+            m.counter_add(name, help, labels, delta);
+        }
+    }
+
+    fn gauge_set(&self, name: &str, help: &'static str, labels: &[(&str, &str)], value: f64) {
+        if let Ok(mut m) = self.metrics.lock() {
+            m.gauge_set(name, help, labels, value);
+        }
+    }
+
+    /// Adjusts the in-flight request count and mirrors it into the gauge.
+    fn inflight_delta(&self, delta: i64) {
+        let now = self.inflight.fetch_add(delta, Ordering::SeqCst) + delta;
+        self.gauge_set(
+            "pulp_serve_inflight_requests",
+            "Requests currently being processed by a worker.",
+            &[],
+            now as f64,
+        );
+    }
+
+    fn note_queue_depth(&self, depth: usize) {
+        self.gauge_set(
+            "pulp_serve_queue_depth",
+            "Connections waiting in the bounded accept queue.",
+            &[],
+            depth as f64,
+        );
+    }
+
+    fn note_shed(&self) {
+        self.counter_add(
+            "pulp_serve_shed_total",
+            "Connections refused with 503 because the queue was full.",
+            &[],
+            1.0,
+        );
+    }
+
+    fn note_timeout(&self, kind: &str) {
+        self.counter_add(
+            "pulp_serve_timeouts_total",
+            "Connections dropped on a read/write deadline.",
+            &[("kind", kind)],
+            1.0,
+        );
+    }
+
+    fn note_keepalive_reuse(&self) {
+        self.counter_add(
+            "pulp_serve_keepalive_reuse_total",
+            "Requests served on an already-used keep-alive connection.",
+            &[],
+            1.0,
+        );
+    }
 }
 
-/// A running server: the bound address plus its accept-loop thread.
+/// A generic bounded MPMC queue: non-blocking producer (`try_push` fails
+/// when full — the caller sheds), blocking consumers, and a `close` that
+/// lets consumers drain the backlog before retiring.
+struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<(VecDeque<T>, bool)>,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new((VecDeque::new(), false)),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking; a full or closed queue hands the item
+    /// back so the caller can shed it explicitly. Returns the new depth.
+    fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut g = self.inner.lock().expect("queue lock");
+        if g.1 || g.0.len() >= self.capacity {
+            return Err(item);
+        }
+        g.0.push_back(item);
+        let depth = g.0.len();
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available; `None` once the queue is closed
+    /// *and* drained.
+    fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = g.0.pop_front() {
+                return Some(item);
+            }
+            if g.1 {
+                return None;
+            }
+            g = self.not_empty.wait(g).expect("queue wait");
+        }
+    }
+
+    /// Stops accepting new items; consumers drain what is queued, then see
+    /// `None`.
+    fn close(&self) {
+        self.inner.lock().expect("queue lock").1 = true;
+        self.not_empty.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").0.len()
+    }
+}
+
+/// A clonable remote control for one server's graceful shutdown.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// `true` once a drain has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain: sets the flag, then pokes the accept
+    /// loop awake with a throwaway connection so a blocked `accept()`
+    /// observes it.
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // The accept loop re-checks the flag after every accept; this
+        // throwaway connection is only there to unblock it.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+    }
+}
+
+/// A running server: the bound address plus its accept loop and workers.
 pub struct Server {
     /// The actual bound address (useful with port 0).
     pub addr: SocketAddr,
     listener: TcpListener,
     state: Arc<ServeState>,
+    opts: ServeOptions,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Everything a worker thread needs.
+struct ServerCtx {
+    state: Arc<ServeState>,
+    opts: ServeOptions,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    shutdown: ShutdownHandle,
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) without
-    /// accepting yet.
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with
+    /// default capacity knobs, without accepting yet.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn bind(addr: &str, state: Arc<ServeState>) -> std::io::Result<Self> {
+        Self::bind_with(addr, state, ServeOptions::default())
+    }
+
+    /// Binds with explicit capacity knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_with(
+        addr: &str,
+        state: Arc<ServeState>,
+        opts: ServeOptions,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Self {
             addr,
             listener,
             state,
+            opts,
+            shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
 
-    /// Serves forever on the calling thread, spawning one thread per
-    /// connection (`pulp_cli serve` calls this; the integration test calls
-    /// it from a background thread).
+    /// A handle that triggers this server's graceful drain from another
+    /// thread (or a signal-watcher).
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.addr,
+        }
+    }
+
+    /// Serves until a graceful shutdown is requested (`POST
+    /// /admin/shutdown`, [`ShutdownHandle::trigger`], or a signal wired
+    /// via [`install_signal_shutdown`]): accepts on the calling thread,
+    /// feeds the bounded queue, sheds with 503 + `Retry-After` when it is
+    /// full, then drains queued and in-flight requests and joins all
+    /// workers before returning.
     pub fn run(self) {
+        let shutdown = self.shutdown_handle();
+        let queue = Arc::new(BoundedQueue::new(self.opts.queue_depth));
+        let ctx = Arc::new(ServerCtx {
+            state: Arc::clone(&self.state),
+            opts: self.opts,
+            queue: Arc::clone(&queue),
+            shutdown: shutdown.clone(),
+        });
+        for (knob, v) in [
+            ("workers", self.opts.workers.max(1)),
+            ("queue_depth", self.opts.queue_depth.max(1)),
+            ("timeout_ms", self.opts.timeout_ms as usize),
+            ("max_body_bytes", self.opts.max_body_bytes),
+            ("keepalive_max_requests", self.opts.keepalive_max_requests),
+        ] {
+            self.state.gauge_set(
+                "pulp_serve_capacity",
+                "Configured capacity knobs of this server instance.",
+                &[("knob", knob)],
+                v as f64,
+            );
+        }
+        self.state.note_queue_depth(0);
+        let workers: Vec<_> = (0..self.opts.workers.max(1))
+            .map(|i| {
+                let ctx = Arc::clone(&ctx);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&ctx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
         for stream in self.listener.incoming() {
+            if shutdown.is_shutdown() {
+                break;
+            }
             let Ok(stream) = stream else { continue };
-            let state = Arc::clone(&self.state);
-            std::thread::spawn(move || handle_connection(stream, &state));
+            if shutdown.is_shutdown() {
+                // The wake-up poke itself lands here; refuse it quietly.
+                break;
+            }
+            match queue.try_push(stream) {
+                Ok(depth) => self.state.note_queue_depth(depth),
+                Err(stream) => shed(stream, &self.state, self.opts.timeout_ms),
+            }
+        }
+        queue.close();
+        for w in workers {
+            let _ = w.join();
         }
     }
 }
 
-/// Handles one HTTP connection: parse, route, respond, close.
-fn handle_connection(stream: TcpStream, state: &ServeState) {
-    let mut reader = BufReader::new(stream);
-    let Some(request) = read_request(&mut reader) else {
-        return;
-    };
-    let start = Instant::now();
-    let (status, body, content_type) = route(&request, state);
-    let elapsed = start.elapsed().as_secs_f64();
-    record_request(state, &request, status, elapsed);
-    let response = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        reason(status),
-        body.len(),
+/// Refuses one connection with `503 Service Unavailable` + `Retry-After`.
+fn shed(mut stream: TcpStream, state: &ServeState, timeout_ms: u64) {
+    state.note_shed();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(timeout_ms.max(1))));
+    let _ = write_response(
+        &mut stream,
+        503,
+        "server overloaded, retry later\n",
+        "text/plain; charset=utf-8",
+        false,
+        &[("Retry-After", "1")],
     );
-    let mut stream = reader.into_inner();
-    // A peer that went away mid-response needs no cleanup.
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.flush();
 }
 
-/// One parsed request: method, path, body.
+/// One worker: pull connections off the queue until it closes and drains.
+fn worker_loop(ctx: &ServerCtx) {
+    while let Some(stream) = ctx.queue.pop() {
+        ctx.state.note_queue_depth(ctx.queue.depth());
+        handle_connection(stream, ctx);
+    }
+}
+
+/// Serves one keep-alive connection: parse, route, respond, repeat until
+/// the peer closes, an error/deadline fires, the per-connection request
+/// cap is hit, or the server starts draining.
+fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
+    let timeout = Duration::from_millis(ctx.opts.timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    let mut served = 0usize;
+    loop {
+        let req = match read_request(&mut reader, ctx.opts.max_body_bytes) {
+            Ok(r) => r,
+            Err(RequestError::Eof) => break,
+            Err(RequestError::Io) => break,
+            Err(RequestError::TimedOut) => {
+                ctx.state.note_timeout("read");
+                let _ = write_response(
+                    reader.get_mut(),
+                    408,
+                    "request deadline exceeded\n",
+                    "text/plain; charset=utf-8",
+                    false,
+                    &[],
+                );
+                break;
+            }
+            Err(RequestError::TooLarge { length, limit }) => {
+                let _ = write_response(
+                    reader.get_mut(),
+                    413,
+                    &format!("body of {length} bytes exceeds the {limit}-byte limit\n"),
+                    "text/plain; charset=utf-8",
+                    false,
+                    &[],
+                );
+                break;
+            }
+            Err(RequestError::Malformed(why)) => {
+                let _ = write_response(
+                    reader.get_mut(),
+                    400,
+                    &format!("malformed request: {why}\n"),
+                    "text/plain; charset=utf-8",
+                    false,
+                    &[],
+                );
+                break;
+            }
+        };
+        served += 1;
+        if served > 1 {
+            ctx.state.note_keepalive_reuse();
+        }
+        ctx.state.inflight_delta(1);
+        let start = Instant::now();
+        let (status, body, content_type) = if req.method == "POST" && req.path == "/admin/shutdown"
+        {
+            ctx.shutdown.trigger();
+            (
+                200,
+                "draining: in-flight requests complete, new connections are refused\n".to_string(),
+                "text/plain; charset=utf-8",
+            )
+        } else {
+            route(&req, &ctx.state)
+        };
+        let elapsed = start.elapsed().as_secs_f64();
+        record_request(&ctx.state, &req, status, elapsed);
+        ctx.state.inflight_delta(-1);
+        let keep = !ctx.shutdown.is_shutdown()
+            && !req.close
+            && served < ctx.opts.keepalive_max_requests.max(1);
+        let written = write_response(reader.get_mut(), status, &body, content_type, keep, &[]);
+        match written {
+            Ok(()) => {}
+            Err(e) => {
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                    ctx.state.note_timeout("write");
+                }
+                break;
+            }
+        }
+        if !keep {
+            break;
+        }
+    }
+}
+
+/// Writes one HTTP/1.1 response, announcing the keep-alive decision.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    content_type: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// One parsed request: method, path, body, client's connection wish.
 struct Request {
     method: String,
     path: String,
     body: String,
+    /// `true` when the client asked for `Connection: close` (or spoke
+    /// HTTP/1.0 without requesting keep-alive).
+    close: bool,
 }
 
-/// Reads one HTTP/1.1 request (request line, headers, Content-Length
-/// body). Returns `None` on malformed or truncated input.
-fn read_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
+/// Why a request could not be read off the wire.
+enum RequestError {
+    /// Clean end of stream between requests (normal keep-alive end).
+    Eof,
+    /// A read deadline fired mid-request (slowloris or a stalled peer).
+    TimedOut,
+    /// The declared `Content-Length` exceeds the configured cap; nothing
+    /// was allocated for it.
+    TooLarge { length: usize, limit: usize },
+    /// The request line or headers do not parse as HTTP.
+    Malformed(&'static str),
+    /// Any other transport error.
+    Io,
+}
+
+fn classify_io(e: &std::io::Error) -> RequestError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => RequestError::TimedOut,
+        _ => RequestError::Io,
+    }
+}
+
+/// Reads one HTTP/1.1 request (request line, headers, `Content-Length`
+/// body) without trusting the peer: the body is only allocated after its
+/// declared length passes the `max_body` cap, and malformed input is
+/// reported distinctly so the caller can answer 400 instead of silently
+/// dropping the connection.
+fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, RequestError> {
     let mut line = String::new();
-    reader.read_line(&mut line).ok()?;
+    match reader.read_line(&mut line) {
+        Ok(0) => return Err(RequestError::Eof),
+        Ok(_) => {}
+        Err(e) => return Err(classify_io(&e)),
+    }
     let mut parts = line.split_whitespace();
-    let method = parts.next()?.to_string();
-    let path = parts.next()?.to_string();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(RequestError::Malformed(
+            "request line needs `METHOD PATH HTTP/x.y`",
+        ));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/") {
+        return Err(RequestError::Malformed(
+            "request line needs `METHOD PATH HTTP/x.y`",
+        ));
+    }
+    if !path.starts_with('/') {
+        return Err(RequestError::Malformed("path must start with `/`"));
+    }
+    let http10 = version == "HTTP/1.0";
+    let method = method.to_string();
+    let path = path.to_string();
     let mut content_length = 0usize;
+    let mut close = http10;
     loop {
         let mut header = String::new();
-        reader.read_line(&mut header).ok()?;
+        match reader.read_line(&mut header) {
+            Ok(0) => return Err(RequestError::Malformed("headers truncated")),
+            Ok(_) => {}
+            Err(e) => return Err(classify_io(&e)),
+        }
         let header = header.trim_end();
         if header.is_empty() {
             break;
         }
-        if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(RequestError::Malformed("header without `:`"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| RequestError::Malformed("unparseable Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
             }
         }
     }
-    // Cap bodies at 1 MiB — feature vectors are tiny; anything larger is
-    // not a legitimate request.
-    if content_length > 1 << 20 {
-        return None;
+    // Refuse attacker-controlled allocations: check the declared length
+    // against the cap before reserving a single byte for the body.
+    if content_length > max_body {
+        return Err(RequestError::TooLarge {
+            length: content_length,
+            limit: max_body,
+        });
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).ok()?;
-    Some(Request {
+    reader.read_exact(&mut body).map_err(|e| classify_io(&e))?;
+    Ok(Request {
         method,
         path,
         body: String::from_utf8_lossy(&body).into_owned(),
+        close,
     })
 }
 
@@ -249,12 +727,21 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
 /// Routes one request, returning `(status, body, content type)`.
+/// (`POST /admin/shutdown` is intercepted by the worker loop, which owns
+/// the shutdown handle; everything else lands here.)
 fn route(req: &Request, state: &ServeState) -> (u16, String, &'static str) {
+    let json_error = |msg: String| {
+        serde_json::to_string(&Value::Map(vec![("error".to_string(), Value::Str(msg))]))
+            .unwrap_or_default()
+    };
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, "ok\n".to_string(), "text/plain; charset=utf-8"),
         ("GET", "/metrics") => (
@@ -265,28 +752,31 @@ fn route(req: &Request, state: &ServeState) -> (u16, String, &'static str) {
         ("GET", "/manifest") => (200, state.manifest.to_json_pretty(), "application/json"),
         ("POST", "/predict") => match predict(req, state) {
             Ok(body) => (200, body, "application/json"),
-            Err(msg) => (
-                400,
-                serde_json::to_string(&Value::Map(vec![("error".to_string(), Value::Str(msg))]))
-                    .unwrap_or_default(),
-                "application/json",
-            ),
+            Err(msg) => (400, json_error(msg), "application/json"),
         },
-        ("GET", "/predict") => (405, "use POST\n".to_string(), "text/plain; charset=utf-8"),
+        ("POST", "/predict/batch") => match predict_batch(req, state) {
+            Ok(body) => (200, body, "application/json"),
+            Err(msg) => (400, json_error(msg), "application/json"),
+        },
+        ("GET", "/predict" | "/predict/batch" | "/admin/shutdown") => {
+            (405, "use POST\n".to_string(), "text/plain; charset=utf-8")
+        }
         _ => (404, "not found\n".to_string(), "text/plain; charset=utf-8"),
     }
 }
 
-/// Serves one `/predict` request body.
-fn predict(req: &Request, state: &ServeState) -> Result<String, String> {
-    let parse_start = Instant::now();
-    let body: Value =
-        serde_json::from_str(&req.body).map_err(|e| format!("invalid JSON body: {e}"))?;
-    let parse_s = parse_start.elapsed().as_secs_f64();
+/// One featurised prediction request: the full static vector plus, for
+/// known kernels, the identity used to look up the measured energy.
+struct Featurized {
+    full: Vec<f64>,
+    lookup: Option<(String, String, usize)>,
+}
 
-    let features_start = Instant::now();
-    // Either a raw feature vector, or a known kernel to featurise.
-    let (full, lookup) = if let Ok(seq) = body.field("features").and_then(Value::as_seq) {
+/// Turns one `/predict`-shaped body (already parsed) into the full static
+/// feature vector — either taken verbatim from `features` or computed
+/// server-side for a registered `kernel`.
+fn featurize(body: &Value) -> Result<Featurized, String> {
+    if let Ok(seq) = body.field("features").and_then(Value::as_seq) {
         let full: Vec<f64> = seq
             .iter()
             .map(|v| {
@@ -294,73 +784,51 @@ fn predict(req: &Request, state: &ServeState) -> Result<String, String> {
                     .map_err(|_| "features must be an array of numbers".to_string())
             })
             .collect::<Result<_, _>>()?;
-        (full, None)
-    } else {
-        let name = body
-            .field("kernel")
-            .and_then(Value::as_str)
-            .map_err(|_| "body needs `features` (array) or `kernel` (string)".to_string())?;
-        let dtype_text = body.field("dtype").and_then(Value::as_str).unwrap_or("i32");
-        let dtype = match dtype_text {
-            "i32" => kernel_ir::DType::I32,
-            "f32" => kernel_ir::DType::F32,
-            other => return Err(format!("unknown dtype `{other}` (want i32 or f32)")),
-        };
-        let size = body.field("size").and_then(Value::as_u64).unwrap_or(2048) as usize;
-        let def = pulp_kernels::registry()
-            .into_iter()
-            .find(|d| d.name == name)
-            .ok_or_else(|| format!("unknown kernel `{name}`"))?;
-        let kernel = def
-            .build(&pulp_kernels::KernelParams::new(dtype, size))
-            .map_err(|e| format!("kernel `{name}` rejects size {size}: {e}"))?;
-        (
-            static_feature_vector(&kernel),
-            Some((name.to_string(), dtype.to_string(), size)),
-        )
+        return Ok(Featurized { full, lookup: None });
+    }
+    let name = body
+        .field("kernel")
+        .and_then(Value::as_str)
+        .map_err(|_| "body needs `features` (array) or `kernel` (string)".to_string())?;
+    let dtype_text = body.field("dtype").and_then(Value::as_str).unwrap_or("i32");
+    let dtype = match dtype_text {
+        "i32" => kernel_ir::DType::I32,
+        "f32" => kernel_ir::DType::F32,
+        other => return Err(format!("unknown dtype `{other}` (want i32 or f32)")),
     };
-    let features_s = features_start.elapsed().as_secs_f64();
+    let size = body.field("size").and_then(Value::as_u64).unwrap_or(2048) as usize;
+    let def = pulp_kernels::registry()
+        .into_iter()
+        .find(|d| d.name == name)
+        .ok_or_else(|| format!("unknown kernel `{name}`"))?;
+    let kernel = def
+        .build(&pulp_kernels::KernelParams::new(dtype, size))
+        .map_err(|e| format!("kernel `{name}` rejects size {size}: {e}"))?;
+    Ok(Featurized {
+        full: static_feature_vector(&kernel),
+        lookup: Some((name.to_string(), dtype.to_string(), size)),
+    })
+}
 
-    let predict_start = Instant::now();
-    let cores = state
-        .predictor
-        .predict_cores_from_static(&full)
-        .map_err(|e| e.to_string())?;
-    let predict_s = predict_start.elapsed().as_secs_f64();
-
+/// Builds one `/predict`-reply map for a finished prediction, folding the
+/// expected-energy lookup into the energy-lookup counter.
+fn reply_map(state: &ServeState, cores: usize, featurized: &Featurized) -> Value {
     // Expected energy at the predicted core count, when the training sweep
     // measured this exact sample.
-    let expected = lookup.as_ref().and_then(|(name, dtype, size)| {
+    let expected = featurized.lookup.as_ref().and_then(|(name, dtype, size)| {
         state
             .samples
             .iter()
             .find(|(k, d, p, _)| k == name && d == dtype && *p == *size)
             .and_then(|(_, _, _, energy)| energy.get(cores - 1).copied())
     });
-
-    if let Ok(mut metrics) = state.metrics.lock() {
-        for (stage, s) in [
-            ("parse", parse_s),
-            ("features", features_s),
-            ("predict", predict_s),
-        ] {
-            metrics.histogram_observe_with(
-                "pulp_predict_stage_seconds",
-                "Per-stage /predict latency.",
-                &[("stage", stage)],
-                s,
-                latency_buckets,
-            );
-        }
-        let outcome = if expected.is_some() { "hit" } else { "miss" };
-        metrics.counter_add(
-            "pulp_predict_energy_lookups_total",
-            "Expected-energy lookups against the training sweep.",
-            &[("outcome", outcome)],
-            1.0,
-        );
-    }
-
+    let outcome = if expected.is_some() { "hit" } else { "miss" };
+    state.counter_add(
+        "pulp_predict_energy_lookups_total",
+        "Expected-energy lookups against the training sweep.",
+        &[("outcome", outcome)],
+        1.0,
+    );
     let mut reply = vec![
         ("cores".to_string(), Value::U64(cores as u64)),
         ("class".to_string(), Value::U64((cores - 1) as u64)),
@@ -373,18 +841,139 @@ fn predict(req: &Request, state: &ServeState) -> Result<String, String> {
             Value::Str(state.metadata.feature_set.clone()),
         ),
     ];
-    if let Some((name, dtype, size)) = lookup {
-        reply.push(("kernel".to_string(), Value::Str(name)));
-        reply.push(("dtype".to_string(), Value::Str(dtype)));
-        reply.push(("size".to_string(), Value::U64(size as u64)));
+    if let Some((name, dtype, size)) = &featurized.lookup {
+        reply.push(("kernel".to_string(), Value::Str(name.clone())));
+        reply.push(("dtype".to_string(), Value::Str(dtype.clone())));
+        reply.push(("size".to_string(), Value::U64(*size as u64)));
     }
-    serde_json::to_string(&Value::Map(reply)).map_err(|e| e.to_string())
+    Value::Map(reply)
+}
+
+fn observe_stages(state: &ServeState, stages: &[(&str, f64)]) {
+    if let Ok(mut metrics) = state.metrics.lock() {
+        for (stage, s) in stages {
+            metrics.histogram_observe_with(
+                "pulp_predict_stage_seconds",
+                "Per-stage /predict latency.",
+                &[("stage", stage)],
+                *s,
+                latency_buckets,
+            );
+        }
+    }
+}
+
+/// Serves one `/predict` request body.
+fn predict(req: &Request, state: &ServeState) -> Result<String, String> {
+    let parse_start = Instant::now();
+    let body: Value =
+        serde_json::from_str(&req.body).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let parse_s = parse_start.elapsed().as_secs_f64();
+
+    let features_start = Instant::now();
+    let featurized = featurize(&body)?;
+    let features_s = features_start.elapsed().as_secs_f64();
+
+    let predict_start = Instant::now();
+    let cores = state
+        .predictor
+        .predict_cores_from_static(&featurized.full)
+        .map_err(|e| e.to_string())?;
+    let predict_s = predict_start.elapsed().as_secs_f64();
+
+    observe_stages(
+        state,
+        &[
+            ("parse", parse_s),
+            ("features", features_s),
+            ("predict", predict_s),
+        ],
+    );
+    let reply = reply_map(state, cores, &featurized);
+    serde_json::to_string(&reply).map_err(|e| e.to_string())
+}
+
+/// Serves one `/predict/batch` request body: featurises every item, runs
+/// the whole batch through [`EnergyPredictor::predict_cores_batch`] and
+/// replies with one `/predict`-shaped result per item, in order.
+fn predict_batch(req: &Request, state: &ServeState) -> Result<String, String> {
+    let parse_start = Instant::now();
+    let body: Value =
+        serde_json::from_str(&req.body).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let items = body
+        .field("requests")
+        .and_then(Value::as_seq)
+        .map_err(|_| "body needs `requests` (array of /predict bodies)".to_string())?;
+    if items.is_empty() {
+        return Err("`requests` must not be empty".to_string());
+    }
+    let parse_s = parse_start.elapsed().as_secs_f64();
+
+    let features_start = Instant::now();
+    let width = pulp_energy::static_feature_names().len();
+    let featurized: Vec<Featurized> = items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            featurize(item)
+                .and_then(|f| {
+                    // Validate per item so the error names the offender;
+                    // `predict_cores_batch` would only report the width.
+                    if f.full.len() == width {
+                        Ok(f)
+                    } else {
+                        Err(format!(
+                            "feature vector has {} dims, expected the full static vector ({width})",
+                            f.full.len()
+                        ))
+                    }
+                })
+                .map_err(|e| format!("requests[{i}]: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let rows: Vec<Vec<f64>> = featurized.iter().map(|f| f.full.clone()).collect();
+    let features_s = features_start.elapsed().as_secs_f64();
+
+    let predict_start = Instant::now();
+    let cores = state
+        .predictor
+        .predict_cores_batch(&rows)
+        .map_err(|e| e.to_string())?;
+    let predict_s = predict_start.elapsed().as_secs_f64();
+
+    observe_stages(
+        state,
+        &[
+            ("parse", parse_s),
+            ("features", features_s),
+            ("predict", predict_s),
+        ],
+    );
+    if let Ok(mut metrics) = state.metrics.lock() {
+        metrics.histogram_observe(
+            "pulp_predict_batch_size",
+            "Items per /predict/batch request.",
+            &[],
+            items.len() as f64,
+        );
+    }
+    let results: Vec<Value> = cores
+        .iter()
+        .zip(&featurized)
+        .map(|(&c, f)| reply_map(state, c, f))
+        .collect();
+    let reply = Value::Map(vec![
+        ("count".to_string(), Value::U64(results.len() as u64)),
+        ("results".to_string(), Value::Seq(results)),
+    ]);
+    serde_json::to_string(&reply).map_err(|e| e.to_string())
 }
 
 /// Folds one served request into the registry.
 fn record_request(state: &ServeState, req: &Request, status: u16, elapsed_s: f64) {
     let endpoint = match req.path.as_str() {
-        "/predict" | "/metrics" | "/healthz" | "/manifest" => req.path.as_str(),
+        "/predict" | "/predict/batch" | "/metrics" | "/healthz" | "/manifest"
+        | "/admin/shutdown" => req.path.as_str(),
         // Collapse arbitrary paths into one label value so a scanner
         // cannot blow up metric cardinality.
         _ => "other",
@@ -416,13 +1005,78 @@ pub fn check_exposition(text: &str) -> Result<(), String> {
     validate_exposition(text)
 }
 
+#[cfg(unix)]
+mod signal {
+    //! Minimal std-only SIGINT/SIGTERM hook: the handler just flips an
+    //! atomic (the only async-signal-safe thing it could do); a watcher
+    //! thread polls the atomic and runs the graceful drain.
+
+    use super::ShutdownHandle;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // `signal(2)` from the platform C library std already links; the
+        // workspace stays dependency-free (no libc crate).
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Installs the handlers and spawns the watcher that triggers
+    /// `handle` once a signal arrives.
+    pub fn install(handle: ShutdownHandle) {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+        std::thread::Builder::new()
+            .name("serve-signal-watcher".to_string())
+            .spawn(move || loop {
+                if SIGNALLED.load(Ordering::SeqCst) {
+                    handle.trigger();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            })
+            .expect("spawn signal watcher");
+    }
+}
+
+/// Wires SIGINT/SIGTERM to a graceful drain of the server owning `handle`
+/// (no-op on non-unix platforms, where `POST /admin/shutdown` remains the
+/// shutdown path).
+pub fn install_signal_shutdown(handle: ShutdownHandle) {
+    #[cfg(unix)]
+    signal::install(handle);
+    #[cfg(not(unix))]
+    let _ = handle;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Cursor;
 
     fn quick_state() -> ServeState {
         let opts = PipelineOptions::quick(&["vec_scale", "fpu_storm"]);
         ServeState::train(&opts)
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            body: body.into(),
+            close: false,
+        }
     }
 
     #[test]
@@ -440,11 +1094,10 @@ mod tests {
     #[test]
     fn predict_by_kernel_matches_offline_predictor() {
         let state = quick_state();
-        let req = Request {
-            method: "POST".into(),
-            path: "/predict".into(),
-            body: r#"{"kernel": "vec_scale", "dtype": "i32", "size": 2048}"#.into(),
-        };
+        let req = post(
+            "/predict",
+            r#"{"kernel": "vec_scale", "dtype": "i32", "size": 2048}"#,
+        );
         let body = predict(&req, &state).expect("predicts");
         let v: Value = serde_json::from_str(&body).expect("json");
         let cores = v.field("cores").and_then(Value::as_u64).expect("cores") as usize;
@@ -460,11 +1113,7 @@ mod tests {
     #[test]
     fn predict_by_features_and_errors() {
         let state = quick_state();
-        let mk = |body: &str| Request {
-            method: "POST".into(),
-            path: "/predict".into(),
-            body: body.into(),
-        };
+        let mk = |body: &str| post("/predict", body);
         let features: Vec<String> = (0..20).map(|i| format!("{}.0", i + 1)).collect();
         let ok = predict(
             &mk(&format!("{{\"features\": [{}]}}", features.join(","))),
@@ -492,12 +1141,77 @@ mod tests {
     }
 
     #[test]
+    fn batch_predict_is_bit_identical_to_sequential() {
+        let state = quick_state();
+        let bodies = [
+            r#"{"kernel": "vec_scale", "dtype": "i32", "size": 2048}"#.to_string(),
+            r#"{"kernel": "fpu_storm", "dtype": "f32", "size": 4096}"#.to_string(),
+            format!(
+                "{{\"features\": [{}]}}",
+                (0..20)
+                    .map(|i| format!("{}.5", i))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        ];
+        let sequential: Vec<u64> = bodies
+            .iter()
+            .map(|b| {
+                let reply = predict(&post("/predict", b), &state).expect("sequential predicts");
+                let v: Value = serde_json::from_str(&reply).expect("json");
+                v.field("cores").and_then(Value::as_u64).expect("cores")
+            })
+            .collect();
+        let batch_body = format!("{{\"requests\": [{}]}}", bodies.join(","));
+        let reply = predict_batch(&post("/predict/batch", &batch_body), &state).expect("batch");
+        let v: Value = serde_json::from_str(&reply).expect("json");
+        assert_eq!(
+            v.field("count").and_then(Value::as_u64),
+            Ok(bodies.len() as u64)
+        );
+        let batch: Vec<u64> = v
+            .field("results")
+            .and_then(Value::as_seq)
+            .expect("results")
+            .iter()
+            .map(|r| r.field("cores").and_then(Value::as_u64).expect("cores"))
+            .collect();
+        assert_eq!(batch, sequential, "batch must match N sequential predicts");
+    }
+
+    #[test]
+    fn batch_predict_rejects_bad_shapes() {
+        let state = quick_state();
+        assert!(predict_batch(&post("/predict/batch", "{}"), &state)
+            .unwrap_err()
+            .contains("requests"));
+        assert!(
+            predict_batch(&post("/predict/batch", r#"{"requests": []}"#), &state)
+                .unwrap_err()
+                .contains("empty")
+        );
+        let err = predict_batch(
+            &post(
+                "/predict/batch",
+                r#"{"requests": [{"kernel": "vec_scale"}, {"kernel": "nope"}]}"#,
+            ),
+            &state,
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("requests[1]") && err.contains("unknown kernel"),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn request_metrics_move_in_lockstep() {
         let state = quick_state();
         let req = Request {
             method: "GET".into(),
             path: "/healthz".into(),
             body: String::new(),
+            close: false,
         };
         record_request(&state, &req, 200, 0.001);
         record_request(&state, &req, 200, 0.002);
@@ -516,11 +1230,126 @@ mod tests {
             method: "GET".into(),
             path: path.into(),
             body: String::new(),
+            close: false,
         };
         assert_eq!(route(&get("/healthz"), &state).0, 200);
         assert_eq!(route(&get("/metrics"), &state).0, 200);
         assert_eq!(route(&get("/manifest"), &state).0, 200);
         assert_eq!(route(&get("/predict"), &state).0, 405);
+        assert_eq!(route(&get("/predict/batch"), &state).0, 405);
+        assert_eq!(route(&get("/admin/shutdown"), &state).0, 405);
         assert_eq!(route(&get("/nope"), &state).0, 404);
+    }
+
+    fn parse_bytes(text: &str, max_body: usize) -> Result<Request, RequestError> {
+        let mut cursor = Cursor::new(text.as_bytes().to_vec());
+        read_request(&mut cursor, max_body)
+    }
+
+    #[test]
+    fn read_request_parses_a_well_formed_request() {
+        let req = parse_bytes(
+            "POST /predict HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\n\r\nhi",
+            1024,
+        )
+        .ok()
+        .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, "hi");
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn read_request_reports_connection_wishes() {
+        let req = parse_bytes("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n", 1024)
+            .ok()
+            .expect("parses");
+        assert!(req.close);
+        // HTTP/1.0 defaults to close unless keep-alive is requested.
+        let req = parse_bytes("GET /healthz HTTP/1.0\r\n\r\n", 1024)
+            .ok()
+            .expect("parses");
+        assert!(req.close);
+        let req = parse_bytes(
+            "GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+            1024,
+        )
+        .ok()
+        .expect("parses");
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn read_request_refuses_oversized_bodies_without_allocating() {
+        let out = parse_bytes(
+            "POST /predict HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n",
+            1024,
+        );
+        match out {
+            Err(RequestError::TooLarge { length, limit }) => {
+                assert_eq!(length, 999_999_999_999);
+                assert_eq!(limit, 1024);
+            }
+            _ => panic!("oversized Content-Length must be TooLarge"),
+        }
+    }
+
+    #[test]
+    fn read_request_flags_malformed_input_distinctly() {
+        assert!(matches!(
+            parse_bytes("garbage\r\n\r\n", 1024),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_bytes("GET /x HTTP/1.1 extra\r\n\r\n", 1024),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_bytes("GET x-no-slash HTTP/1.1\r\n\r\n", 1024),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_bytes("GET /x FTP/1.0\r\n\r\n", 1024),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_bytes("POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n", 1024),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_bytes("GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n", 1024),
+            Err(RequestError::Malformed(_))
+        ));
+        // Clean EOF before any bytes is the normal keep-alive end.
+        assert!(matches!(parse_bytes("", 1024), Err(RequestError::Eof)));
+        // EOF mid-headers is a truncated request, not a clean close.
+        assert!(matches!(
+            parse_bytes("GET /x HTTP/1.1\r\n", 1024),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn bounded_queue_sheds_when_full_and_drains_after_close() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1).ok(), Some(1));
+        assert_eq!(q.try_push(2).ok(), Some(2));
+        assert_eq!(q.try_push(3), Err(3), "third item must bounce");
+        assert_eq!(q.depth(), 2);
+        q.close();
+        assert_eq!(q.try_push(4), Err(4), "closed queue refuses items");
+        // Consumers drain the backlog, then observe the close.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn serve_options_default_is_sane() {
+        let o = ServeOptions::default();
+        assert!(o.workers >= 1 && o.queue_depth >= 1);
+        assert!(o.timeout_ms >= 1 && o.max_body_bytes >= 1024);
+        assert!(o.keepalive_max_requests > 1);
     }
 }

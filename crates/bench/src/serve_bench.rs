@@ -1,0 +1,720 @@
+//! `pulp_cli bench serve` — serving-layer load benchmark.
+//!
+//! Boots the production-shaped prediction server in-process on an
+//! ephemeral port, then drives it with K concurrent keep-alive clients
+//! split over three request mixes:
+//!
+//! * `kernel` — `POST /predict` with `{"kernel": …}` bodies (features
+//!   computed server-side; the expensive single-request path),
+//! * `features` — `POST /predict` with raw 20-dim `{"features": […]}`
+//!   vectors (the cheap wire path),
+//! * `batch` — `POST /predict/batch` with [`ServeBenchOptions::batch_size`]
+//!   items per request (amortised admission + parsing).
+//!
+//! Every response is checked (HTTP 200, parseable JSON, 1..=8 cores), one
+//! batch request is verified bit-identical against sequential `/predict`
+//! calls, and the run finishes by exercising the graceful-shutdown path
+//! (`POST /admin/shutdown`, then joining [`Server::run`]). The load runs
+//! in [`ServeBenchOptions::rounds`] rounds and reports the median across
+//! rounds of each round's percentiles — stable enough for a 20% CI gate
+//! where a single round's p99 is not. The report carries throughput,
+//! per-mix p50/p90/p99 latency and the server's own
+//! shed/timeout/keep-alive counters; `BENCH_serve.json` feeds
+//! `pulp_cli bench diff`, which gates CI on p99 regressions and on any
+//! shedding in the quick profile.
+//!
+//! The model is always the quick-trained one: the predictor costs
+//! microseconds either way, and this benchmark measures the serving layer
+//! (admission control, parsing, keep-alive) rather than the tree.
+
+use crate::serve::{ServeOptions, ServeState, Server};
+use crate::QUICK_KERNELS;
+use pulp_energy::pipeline::PipelineOptions;
+use pulp_energy::static_feature_vector;
+use serde::{Deserialize, Serialize, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The three request mixes, in report order.
+pub const MIXES: [&str; 3] = ["kernel", "features", "batch"];
+
+/// Options of one load-benchmark invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchOptions {
+    /// Shrunken profile for CI smoke runs (`--quick`).
+    pub quick: bool,
+    /// Concurrent client threads (split round-robin over [`MIXES`]).
+    pub clients: usize,
+    /// Requests each client issues per round.
+    pub requests_per_client: usize,
+    /// Measurement rounds. Reported percentiles are the **median across
+    /// rounds** of each round's percentile: a single round's p99 at
+    /// microsecond latencies is dominated by scheduler noise (±30%
+    /// run-to-run), the median of five rounds is stable enough for a 20%
+    /// CI gate.
+    pub rounds: usize,
+    /// Items per `/predict/batch` request in the batch mix.
+    pub batch_size: usize,
+    /// Capacity knobs of the server under test.
+    pub serve: ServeOptions,
+}
+
+impl Default for ServeBenchOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            clients: 12,
+            requests_per_client: 250,
+            rounds: 5,
+            batch_size: 16,
+            serve: ServeOptions::default(),
+        }
+    }
+}
+
+impl ServeBenchOptions {
+    /// The reduced smoke configuration: one client per mix, low enough
+    /// concurrency that a correctly sized queue never sheds (so CI can
+    /// require zero shed and zero timeouts) and that single-core CI
+    /// runners are not oversubscribed into pure scheduler noise.
+    pub fn quick() -> Self {
+        Self {
+            quick: true,
+            clients: 3,
+            requests_per_client: 200,
+            batch_size: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// Latency digest of one request mix. Percentiles are the median across
+/// measurement rounds of each round's percentile (see
+/// [`ServeBenchOptions::rounds`]); `max_us` is the worst latency over all
+/// rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBenchMixRow {
+    /// Mix identifier (see [`MIXES`]).
+    pub mix: String,
+    /// Requests issued in this mix across all rounds.
+    pub requests: u64,
+    /// Responses that were not HTTP 200 with a well-formed body.
+    pub errors: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 90th-percentile request latency, microseconds.
+    pub p90_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Worst observed request latency, microseconds.
+    pub max_us: f64,
+}
+
+/// The full benchmark record written to `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBenchReport {
+    /// Tool identifier for downstream diffing (`"serve"`).
+    pub bench: String,
+    /// `true` for `--quick` runs (not comparable to full runs).
+    pub quick: bool,
+    /// Concurrent clients that drove the run.
+    pub clients: usize,
+    /// Measurement rounds behind the median-of-rounds percentiles.
+    pub rounds: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Server connection-queue depth.
+    pub queue_depth: usize,
+    /// Total requests issued across all mixes.
+    pub total_requests: u64,
+    /// Wall time of the load phase, seconds.
+    pub wall_s: f64,
+    /// `total_requests / wall_s`.
+    pub throughput_rps: f64,
+    /// Responses that failed the correctness checks.
+    pub errors: u64,
+    /// Server-side `pulp_serve_shed_total` after the run.
+    pub shed_total: f64,
+    /// Server-side `pulp_serve_timeouts_total` (all kinds) after the run.
+    pub timeouts_total: f64,
+    /// Server-side `pulp_serve_keepalive_reuse_total` after the run.
+    pub keepalive_reuse_total: f64,
+    /// `true` when one `/predict/batch` probe matched sequential
+    /// `/predict` calls item-for-item.
+    pub batch_matches_sequential: bool,
+    /// One latency digest per mix.
+    pub rows: Vec<ServeBenchMixRow>,
+}
+
+/// `q`-quantile (0..=1) of an already-sorted latency sample, microseconds.
+fn percentile_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+/// Median of an unsorted sample (lower-median for even counts, matching
+/// [`percentile_us`]'s ceil-rank convention).
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    values[values.len().div_ceil(2) - 1]
+}
+
+/// Per-round, per-mix digest: `(mix, [p50, p90, p99, max], ok, errors)`.
+type RoundStats = Vec<(String, [f64; 4], u64, u64)>;
+
+/// One keep-alive client connection to the server under test.
+struct BenchClient {
+    reader: BufReader<TcpStream>,
+    addr: SocketAddr,
+}
+
+impl BenchClient {
+    fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            addr,
+        })
+    }
+
+    /// Issues one request, reconnecting transparently when the server
+    /// closed the connection (keep-alive cap); returns `(status, body)`.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        match self.try_request(method, path, body) {
+            Ok(out) => Ok(out),
+            Err(_) => {
+                *self = Self::connect(self.addr)?;
+                self.try_request(method, path, body)
+            }
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        read_response(&mut self.reader)
+    }
+}
+
+/// Reads one HTTP/1.1 response off a keep-alive connection.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, String)> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        ));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "unparseable status line")
+        })?;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "headers truncated",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// The rotating request bodies of one mix.
+fn mix_bodies(mix: &str, batch_size: usize) -> Vec<String> {
+    let kernel_bodies: Vec<String> = QUICK_KERNELS
+        .iter()
+        .map(|k| format!("{{\"kernel\": \"{k}\", \"dtype\": \"i32\", \"size\": 2048}}"))
+        .collect();
+    match mix {
+        "kernel" => kernel_bodies,
+        "features" => {
+            // Real feature vectors (from the registry) so the tree sees
+            // realistic split paths, serialised once up front.
+            QUICK_KERNELS
+                .iter()
+                .filter_map(|k| {
+                    let def = pulp_kernels::registry()
+                        .into_iter()
+                        .find(|d| d.name == *k)?;
+                    let kernel = def
+                        .build(&pulp_kernels::KernelParams::new(
+                            kernel_ir::DType::I32,
+                            2048,
+                        ))
+                        .ok()?;
+                    let features = static_feature_vector(&kernel)
+                        .iter()
+                        .map(f64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    Some(format!("{{\"features\": [{features}]}}"))
+                })
+                .collect()
+        }
+        "batch" => {
+            let items: Vec<String> = (0..batch_size)
+                .map(|i| kernel_bodies[i % kernel_bodies.len()].clone())
+                .collect();
+            vec![format!("{{\"requests\": [{}]}}", items.join(","))]
+        }
+        other => panic!("unknown mix `{other}`"),
+    }
+}
+
+/// Checks one 200-response body for the mix's expected shape.
+fn response_ok(mix: &str, status: u16, body: &str) -> bool {
+    if status != 200 {
+        return false;
+    }
+    let Ok(v) = serde_json::from_str::<Value>(body) else {
+        return false;
+    };
+    let cores_ok = |r: &Value| {
+        r.field("cores")
+            .and_then(Value::as_u64)
+            .is_ok_and(|c| (1..=8).contains(&c))
+    };
+    if mix == "batch" {
+        v.field("results")
+            .and_then(Value::as_seq)
+            .is_ok_and(|rs| !rs.is_empty() && rs.iter().all(cores_ok))
+    } else {
+        cores_ok(&v)
+    }
+}
+
+/// Verifies one `/predict/batch` probe against sequential `/predict`
+/// calls, item for item.
+fn batch_matches_sequential(addr: SocketAddr, batch_size: usize) -> bool {
+    let Ok(mut client) = BenchClient::connect(addr) else {
+        return false;
+    };
+    let items: Vec<String> = (0..batch_size)
+        .map(|i| {
+            let k = QUICK_KERNELS[i % QUICK_KERNELS.len()];
+            format!("{{\"kernel\": \"{k}\", \"dtype\": \"i32\", \"size\": 2048}}")
+        })
+        .collect();
+    let batch_body = format!("{{\"requests\": [{}]}}", items.join(","));
+    let Ok((200, body)) = client.request("POST", "/predict/batch", &batch_body) else {
+        return false;
+    };
+    let Ok(v) = serde_json::from_str::<Value>(&body) else {
+        return false;
+    };
+    let Ok(results) = v.field("results").and_then(Value::as_seq) else {
+        return false;
+    };
+    let batch: Vec<Option<u64>> = results
+        .iter()
+        .map(|r| r.field("cores").and_then(Value::as_u64).ok())
+        .collect();
+    let sequential: Vec<Option<u64>> = items
+        .iter()
+        .map(|item| {
+            let (status, body) = client.request("POST", "/predict", item).ok()?;
+            if status != 200 {
+                return None;
+            }
+            serde_json::from_str::<Value>(&body)
+                .ok()?
+                .field("cores")
+                .and_then(Value::as_u64)
+                .ok()
+        })
+        .collect();
+    !batch.is_empty() && batch.iter().all(Option::is_some) && batch == sequential
+}
+
+/// Runs the load benchmark: trains the quick model, boots the server,
+/// drives it with the configured client fleet, then shuts it down
+/// gracefully and returns the report.
+///
+/// # Panics
+///
+/// Panics when the model cannot be trained or the server cannot bind —
+/// there is nothing to measure without either.
+pub fn run_serve_bench(opts: &ServeBenchOptions) -> ServeBenchReport {
+    let pipeline = PipelineOptions::quick(QUICK_KERNELS);
+    let state = Arc::new(ServeState::train(&pipeline));
+    let server = Server::bind_with("127.0.0.1:0", Arc::clone(&state), opts.serve)
+        .expect("bench: bind ephemeral port");
+    let addr = server.addr;
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::Builder::new()
+        .name("serve-bench-server".to_string())
+        .spawn(move || server.run())
+        .expect("bench: spawn server");
+
+    // Warm-up: one request per mix so first-connection costs (kernel
+    // registry, lazy allocations) stay out of the measured window.
+    for mix in MIXES {
+        if let Ok(mut c) = BenchClient::connect(addr) {
+            let bodies = mix_bodies(mix, opts.batch_size);
+            let path = if mix == "batch" {
+                "/predict/batch"
+            } else {
+                "/predict"
+            };
+            let _ = c.request("POST", path, &bodies[0]);
+        }
+    }
+
+    // Each round re-runs the full client fleet; per-mix percentiles are
+    // computed per round and the rounds' medians are reported, so one
+    // scheduler hiccup cannot move the record's p99.
+    let clients = opts.clients.max(1);
+    let rounds = opts.rounds.max(1);
+    let mut round_stats: Vec<RoundStats> = Vec::with_capacity(rounds);
+    let load_start = Instant::now();
+    for _ in 0..rounds {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                let mix = MIXES[i % MIXES.len()].to_string();
+                let bodies = mix_bodies(&mix, opts.batch_size);
+                let n = opts.requests_per_client.max(1);
+                std::thread::Builder::new()
+                    .name(format!("serve-bench-client-{i}"))
+                    .spawn(move || {
+                        let path = if mix == "batch" {
+                            "/predict/batch"
+                        } else {
+                            "/predict"
+                        };
+                        let mut latencies = Vec::with_capacity(n);
+                        let mut errors = 0u64;
+                        let mut client = match BenchClient::connect(addr) {
+                            Ok(c) => c,
+                            Err(_) => return (mix, latencies, n as u64),
+                        };
+                        for r in 0..n {
+                            let body = &bodies[r % bodies.len()];
+                            let start = Instant::now();
+                            match client.request("POST", path, body) {
+                                Ok((status, text)) if response_ok(&mix, status, &text) => {
+                                    latencies.push(start.elapsed().as_micros() as u64);
+                                }
+                                _ => errors += 1,
+                            }
+                        }
+                        (mix, latencies, errors)
+                    })
+                    .expect("bench: spawn client")
+            })
+            .collect();
+
+        let mut per_mix: Vec<(String, Vec<u64>, u64)> = MIXES
+            .iter()
+            .map(|m| ((*m).to_string(), Vec::new(), 0u64))
+            .collect();
+        for h in handles {
+            let (mix, latencies, errors) = h.join().expect("bench: client thread panicked");
+            let slot = per_mix
+                .iter_mut()
+                .find(|(m, _, _)| *m == mix)
+                .expect("known mix");
+            slot.1.extend(latencies);
+            slot.2 += errors;
+        }
+        round_stats.push(
+            per_mix
+                .into_iter()
+                .map(|(mix, mut latencies, errors)| {
+                    latencies.sort_unstable();
+                    let stats = [
+                        percentile_us(&latencies, 0.50),
+                        percentile_us(&latencies, 0.90),
+                        percentile_us(&latencies, 0.99),
+                        latencies.last().copied().unwrap_or(0) as f64,
+                    ];
+                    (mix, stats, latencies.len() as u64, errors)
+                })
+                .collect(),
+        );
+    }
+    let wall_s = load_start.elapsed().as_secs_f64();
+
+    let batch_ok = batch_matches_sequential(addr, opts.batch_size);
+
+    // Exercise the graceful-shutdown path on every benchmark run, then
+    // read the server's own counters before the state goes away.
+    if let Ok(mut c) = BenchClient::connect(addr) {
+        let _ = c.request("POST", "/admin/shutdown", "");
+    } else {
+        shutdown.trigger();
+    }
+    server_thread.join().expect("bench: server joins");
+
+    let counter =
+        |name: &str, labels: &[(&str, &str)]| state.metric_value(name, labels).unwrap_or(0.0);
+    let shed_total = counter("pulp_serve_shed_total", &[]);
+    let timeouts_total = counter("pulp_serve_timeouts_total", &[("kind", "read")])
+        + counter("pulp_serve_timeouts_total", &[("kind", "write")]);
+    let keepalive_reuse_total = counter("pulp_serve_keepalive_reuse_total", &[]);
+
+    let mut rows = Vec::new();
+    let mut total_requests = 0u64;
+    let mut errors = 0u64;
+    for mix in MIXES {
+        let mut per_stat: [Vec<f64>; 4] = Default::default();
+        let (mut requests, mut mix_errors) = (0u64, 0u64);
+        for round in &round_stats {
+            let (_, stats, ok, errs) = round
+                .iter()
+                .find(|(m, _, _, _)| m == mix)
+                .expect("known mix");
+            for (dst, s) in per_stat.iter_mut().zip(stats) {
+                dst.push(*s);
+            }
+            requests += ok + errs;
+            mix_errors += errs;
+        }
+        total_requests += requests;
+        errors += mix_errors;
+        let [mut p50s, mut p90s, mut p99s, maxes] = per_stat;
+        rows.push(ServeBenchMixRow {
+            mix: mix.to_string(),
+            requests,
+            errors: mix_errors,
+            p50_us: median(&mut p50s),
+            p90_us: median(&mut p90s),
+            p99_us: median(&mut p99s),
+            max_us: maxes.iter().copied().fold(0.0, f64::max),
+        });
+    }
+
+    ServeBenchReport {
+        bench: "serve".to_string(),
+        quick: opts.quick,
+        clients,
+        rounds,
+        workers: opts.serve.workers,
+        queue_depth: opts.serve.queue_depth,
+        total_requests,
+        wall_s,
+        throughput_rps: total_requests as f64 / wall_s.max(f64::MIN_POSITIVE),
+        errors,
+        shed_total,
+        timeouts_total,
+        keepalive_reuse_total,
+        batch_matches_sequential: batch_ok,
+        rows,
+    }
+}
+
+impl ServeBenchReport {
+    /// Renders the human-readable table.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serve bench: {} clients vs {} workers (queue {}), {:.0} req/s over {:.2}s, \
+             median of {} rounds",
+            self.clients,
+            self.workers,
+            self.queue_depth,
+            self.throughput_rps,
+            self.wall_s,
+            self.rounds
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>7} {:>10} {:>10} {:>10} {:>10}",
+            "mix", "requests", "errors", "p50 [us]", "p90 [us]", "p99 [us]", "max [us]"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>9} {:>7} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+                r.mix, r.requests, r.errors, r.p50_us, r.p90_us, r.p99_us, r.max_us
+            );
+        }
+        let _ = writeln!(
+            out,
+            "shed {} · timeouts {} · keep-alive reuses {} · batch≡sequential: {}",
+            self.shed_total,
+            self.timeouts_total,
+            self.keepalive_reuse_total,
+            if self.batch_matches_sequential {
+                "ok"
+            } else {
+                "FAIL"
+            }
+        );
+        out
+    }
+
+    /// Checks the invariants every benchmark run must uphold — and, in the
+    /// quick profile, the zero-shed/zero-timeout requirement CI gates on
+    /// (the quick fleet is sized to fit the queue; shedding there means
+    /// admission control regressed).
+    ///
+    /// # Errors
+    ///
+    /// Returns one message per violated invariant.
+    pub fn verify(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        if self.errors > 0 {
+            problems.push(format!(
+                "{} request(s) failed the correctness checks",
+                self.errors
+            ));
+        }
+        if !self.batch_matches_sequential {
+            problems.push("batch /predict/batch diverged from sequential /predict".to_string());
+        }
+        if self.quick && self.shed_total > 0.0 {
+            problems.push(format!(
+                "quick profile shed {} connection(s); its fleet must fit the queue",
+                self.shed_total
+            ));
+        }
+        if self.quick && self.timeouts_total > 0.0 {
+            problems.push(format!(
+                "quick profile hit {} read/write timeout(s)",
+                self.timeouts_total
+            ));
+        }
+        if self.rows.iter().map(|r| r.requests).sum::<u64>() != self.total_requests {
+            problems.push("per-mix request counts do not add up".to_string());
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_the_expected_ranks() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&sorted, 0.50), 50.0);
+        assert_eq!(percentile_us(&sorted, 0.90), 90.0);
+        assert_eq!(percentile_us(&sorted, 0.99), 99.0);
+        assert_eq!(percentile_us(&sorted, 1.0), 100.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+        assert_eq!(percentile_us(&[7], 0.99), 7.0);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        assert_eq!(median(&mut [400.0, 9000.0, 380.0, 390.0, 410.0]), 400.0);
+        assert_eq!(median(&mut [2.0, 1.0]), 1.0);
+        assert_eq!(median(&mut [5.0]), 5.0);
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn every_mix_builds_non_empty_bodies() {
+        for mix in MIXES {
+            let bodies = mix_bodies(mix, 4);
+            assert!(!bodies.is_empty(), "mix {mix} has no bodies");
+            for b in &bodies {
+                let v: Value = serde_json::from_str(b).expect("mix body is JSON");
+                assert!(v.as_map().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn response_ok_rejects_bad_shapes() {
+        assert!(!response_ok("kernel", 503, "{}"));
+        assert!(!response_ok("kernel", 200, "not json"));
+        assert!(!response_ok("kernel", 200, r#"{"cores": 0}"#));
+        assert!(response_ok("kernel", 200, r#"{"cores": 4}"#));
+        assert!(!response_ok("batch", 200, r#"{"results": []}"#));
+        assert!(response_ok(
+            "batch",
+            200,
+            r#"{"results": [{"cores": 1}, {"cores": 8}]}"#
+        ));
+    }
+
+    #[test]
+    fn report_round_trips_through_json_and_verifies() {
+        let report = ServeBenchReport {
+            bench: "serve".to_string(),
+            quick: true,
+            clients: 3,
+            rounds: 2,
+            workers: 2,
+            queue_depth: 8,
+            total_requests: 30,
+            wall_s: 0.5,
+            throughput_rps: 60.0,
+            errors: 0,
+            shed_total: 0.0,
+            timeouts_total: 0.0,
+            keepalive_reuse_total: 27.0,
+            batch_matches_sequential: true,
+            rows: MIXES
+                .iter()
+                .map(|m| ServeBenchMixRow {
+                    mix: (*m).to_string(),
+                    requests: 10,
+                    errors: 0,
+                    p50_us: 100.0,
+                    p90_us: 200.0,
+                    p99_us: 300.0,
+                    max_us: 400.0,
+                })
+                .collect(),
+        };
+        report.verify().expect("healthy report verifies");
+        let json = serde_json::to_string_pretty(&report).expect("serialise");
+        let back: ServeBenchReport = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, report);
+
+        // A shedding quick run fails verification.
+        let mut shedding = report.clone();
+        shedding.shed_total = 2.0;
+        let problems = shedding.verify().expect_err("shed must fail quick verify");
+        assert!(problems.iter().any(|p| p.contains("shed")), "{problems:?}");
+        // A full-profile run may shed without failing.
+        shedding.quick = false;
+        shedding.verify().expect("full profile tolerates shed");
+    }
+}

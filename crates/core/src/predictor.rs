@@ -163,6 +163,42 @@ impl EnergyPredictor {
         Ok(self.tree.predict(&projected) + 1)
     }
 
+    /// Predicts the minimum-energy core count (1..=8) for a batch of
+    /// caller-built **full** static feature vectors — the `/predict/batch`
+    /// path of the prediction service. The whole batch is validated up
+    /// front and the column projection reuses one scratch buffer across
+    /// rows, so a batch of N costs N tree traversals and a single
+    /// allocation instead of N.
+    ///
+    /// Predictions are bit-identical to calling
+    /// [`predict_cores_from_static`](Self::predict_cores_from_static) on
+    /// each row in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::FeatureWidth`] naming the first row whose
+    /// width does not cover every trained column; no row is predicted
+    /// until all widths check out.
+    pub fn predict_cores_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<usize>, PredictorError> {
+        let width = crate::features::static_feature_names().len();
+        if let Some(bad) = rows.iter().find(|r| r.len() != width) {
+            return Err(PredictorError::FeatureWidth {
+                expected: width,
+                got: bad.len(),
+            });
+        }
+        let mut projected = vec![0.0; self.columns.len()];
+        Ok(rows
+            .iter()
+            .map(|full| {
+                for (dst, &c) in projected.iter_mut().zip(&self.columns) {
+                    *dst = full[c];
+                }
+                self.tree.predict(&projected) + 1
+            })
+            .collect())
+    }
+
     /// Serialisable description of the trained model — what a service
     /// exposes as `pulp_model_info` metric labels and what reports embed
     /// as provenance.
@@ -296,6 +332,52 @@ mod tests {
             PredictorError::FeatureWidth {
                 expected: 20,
                 got: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn batch_prediction_is_bit_identical_to_sequential() {
+        let d = data();
+        let p = EnergyPredictor::train(&d, StaticFeatureSet::All, TreeParams::default())
+            .expect("train");
+        // A mix of real kernels and synthetic vectors.
+        let mut rows: Vec<Vec<f64>> = vec![static_feature_vector(&sample_kernel())];
+        for seed in 0..5 {
+            rows.push(
+                (0..20)
+                    .map(|i| (i as f64) * 1.5 + f64::from(seed))
+                    .collect(),
+            );
+        }
+        let batch = p.predict_cores_batch(&rows).expect("batch predicts");
+        let sequential: Vec<usize> = rows
+            .iter()
+            .map(|r| p.predict_cores_from_static(r).expect("row predicts"))
+            .collect();
+        assert_eq!(batch, sequential);
+        // Works for pruned-column predictors too.
+        let pruned = EnergyPredictor::train_on_columns(
+            &d,
+            StaticFeatureSet::All,
+            vec![3, 6],
+            TreeParams::default(),
+        )
+        .expect("train");
+        assert_eq!(
+            pruned.predict_cores_batch(&rows).expect("batch"),
+            rows.iter()
+                .map(|r| pruned.predict_cores_from_static(r).expect("row"))
+                .collect::<Vec<_>>()
+        );
+        // Empty batches are fine; a bad row fails the whole batch up front.
+        assert!(p.predict_cores_batch(&[]).expect("empty").is_empty());
+        let bad = vec![vec![1.0; 20], vec![1.0; 3]];
+        assert!(matches!(
+            p.predict_cores_batch(&bad).unwrap_err(),
+            PredictorError::FeatureWidth {
+                expected: 20,
+                got: 3
             }
         ));
     }

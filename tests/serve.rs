@@ -9,15 +9,106 @@
 //! 3. `/metrics` always passes the Prometheus exposition validator and its
 //!    request counters move in exact lockstep with the requests we issue.
 
-use pulp_bench::serve::{check_exposition, ServeState, Server};
+use pulp_bench::serve::{check_exposition, ServeOptions, ServeState, Server, ShutdownHandle};
 use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};
 use pulp_energy::{static_feature_vector, EnergyPredictor, StaticFeatureSet};
 use pulp_ml::TreeParams;
 use pulp_obs::MetricsRegistry;
 use serde::Value;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One shared quick dataset for every test in this file: the sweep is the
+/// expensive part, training a fresh predictor from it is cheap, so each
+/// test gets its own [`ServeState`] (fresh metrics) over the same data.
+fn fixture() -> &'static (PipelineOptions, LabeledDataset) {
+    static DATA: OnceLock<(PipelineOptions, LabeledDataset)> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let opts = PipelineOptions::quick(&["vec_scale", "fpu_storm"]);
+        let mut metrics = MetricsRegistry::new();
+        let data =
+            LabeledDataset::build_with_metrics(&opts, &mut metrics).expect("quick dataset builds");
+        (opts, data)
+    })
+}
+
+/// A fresh server state over the shared fixture dataset.
+fn fresh_state() -> Arc<ServeState> {
+    let (opts, data) = fixture();
+    Arc::new(ServeState::from_parts(
+        EnergyPredictor::train(data, StaticFeatureSet::All, TreeParams::default())
+            .expect("predictor trains"),
+        data,
+        MetricsRegistry::new(),
+        opts,
+    ))
+}
+
+/// Boots a server with explicit capacity knobs; returns its address, the
+/// shared state (for metric assertions), a shutdown handle, and the thread
+/// running [`Server::run`] so tests can prove it joins.
+fn spawn_server(
+    opts: ServeOptions,
+) -> (
+    SocketAddr,
+    Arc<ServeState>,
+    ShutdownHandle,
+    std::thread::JoinHandle<()>,
+) {
+    let state = fresh_state();
+    let server =
+        Server::bind_with("127.0.0.1:0", Arc::clone(&state), opts).expect("bind ephemeral port");
+    let addr = server.addr;
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+    (addr, state, handle, thread)
+}
+
+/// Writes one HTTP/1.1 request on an already-open stream without closing
+/// it, so keep-alive behaviour is observable.
+fn send_on(stream: &mut TcpStream, method: &str, path: &str, body: &str) {
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+}
+
+/// Reads one `Content-Length`-framed response off a persistent connection:
+/// `(status, headers, body)` with header names lowercased.
+fn read_framed(reader: &mut BufReader<TcpStream>) -> (u16, Vec<(String, String)>, String) {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut headers = Vec::new();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header line");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let (name, value) = header.split_once(':').expect("header separator");
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .expect("content-length header")
+        .1
+        .parse()
+        .expect("numeric length");
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("body");
+    (status, headers, String::from_utf8(body).expect("utf8 body"))
+}
 
 /// Issues one HTTP/1.1 request and returns `(status, body)`.
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
@@ -222,4 +313,268 @@ fn serve_round_trip_matches_offline_pipeline_and_counts_requests() {
             .and_then(Value::as_str)
             .expect("config_hash")
     );
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_and_joins() {
+    let (addr, _state, _handle, thread) = spawn_server(ServeOptions::default());
+
+    // Park one request mid-flight: headers promise a body we have not sent
+    // yet, so a worker sits in `read_request` waiting for it.
+    let body = r#"{"kernel": "vec_scale", "dtype": "i32", "size": 2048}"#;
+    let mut inflight = TcpStream::connect(addr).expect("connect");
+    let (head, tail) = body.split_at(10);
+    inflight
+        .write_all(
+            format!(
+                "POST /predict HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{head}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send partial request");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Ask the server to drain over a second connection.
+    let (status, reply) = request(addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 200, "shutdown ack: {reply}");
+    assert!(reply.contains("draining"), "{reply}");
+
+    // The in-flight request still completes after the drain began.
+    inflight.write_all(tail.as_bytes()).expect("finish request");
+    let mut reader = BufReader::new(inflight);
+    let (status, _, reply) = read_framed(&mut reader);
+    assert_eq!(status, 200, "in-flight request must complete: {reply}");
+    let reply: Value = serde_json::from_str(&reply).expect("predict reply is JSON");
+    assert!(reply.field("cores").and_then(Value::as_u64).is_ok());
+
+    // `Server::run` returns: every worker joined.
+    thread.join().expect("server thread joins cleanly");
+
+    // And the listener is gone, so new connections are refused.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "connections after shutdown must be refused"
+    );
+}
+
+#[test]
+fn keepalive_connection_reuse_is_counted() {
+    let (addr, state, handle, thread) = spawn_server(ServeOptions::default());
+
+    // Three requests down one connection: HTTP/1.1 defaults to keep-alive.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+    for _ in 0..3 {
+        send_on(&mut stream, "GET", "/healthz", "");
+        let (status, headers, body) = read_framed(&mut reader);
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert!(
+            headers
+                .iter()
+                .any(|(n, v)| n == "connection" && v == "keep-alive"),
+            "server must announce keep-alive: {headers:?}"
+        );
+    }
+    drop(stream);
+
+    // Requests 2 and 3 were reuses of the same connection.
+    assert_eq!(
+        state.metric_value("pulp_serve_keepalive_reuse_total", &[]),
+        Some(2.0)
+    );
+
+    handle.trigger();
+    thread.join().expect("server thread joins");
+}
+
+#[test]
+fn keepalive_honours_per_connection_request_cap() {
+    let opts = ServeOptions {
+        keepalive_max_requests: 2,
+        ..ServeOptions::default()
+    };
+    let (addr, _state, handle, thread) = spawn_server(opts);
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+    send_on(&mut stream, "GET", "/healthz", "");
+    let (_, headers, _) = read_framed(&mut reader);
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "connection" && v == "keep-alive"));
+    // The second (cap-th) request is answered but the server closes after.
+    send_on(&mut stream, "GET", "/healthz", "");
+    let (status, headers, _) = read_framed(&mut reader);
+    assert_eq!(status, 200);
+    assert!(
+        headers
+            .iter()
+            .any(|(n, v)| n == "connection" && v == "close"),
+        "cap-th response must announce close: {headers:?}"
+    );
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("peer closed");
+    assert!(rest.is_empty(), "no bytes after the final response");
+
+    handle.trigger();
+    thread.join().expect("server thread joins");
+}
+
+#[test]
+fn full_queue_sheds_with_503_and_retry_after() {
+    // One worker, queue depth one: parking the worker and queueing one
+    // connection makes the very next connection shed.
+    let opts = ServeOptions {
+        workers: 1,
+        queue_depth: 1,
+        timeout_ms: 5_000,
+        ..ServeOptions::default()
+    };
+    let (addr, state, handle, thread) = spawn_server(opts);
+
+    // Park the only worker: it blocks reading a request we never finish.
+    let mut parked = TcpStream::connect(addr).expect("connect parked");
+    parked
+        .write_all(b"POST /predict HTTP/1.1\r\nHost: test\r\nContent-Length: 10\r\n\r\n")
+        .expect("park worker");
+    std::thread::sleep(Duration::from_millis(200));
+
+    // This connection sits in the queue (depth 1, now full).
+    let queued = TcpStream::connect(addr).expect("connect queued");
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The next connection must be shed: 503 + Retry-After, counted.
+    let mut shed = TcpStream::connect(addr).expect("connect shed");
+    send_on(&mut shed, "GET", "/healthz", "");
+    let mut reader = BufReader::new(shed);
+    let (status, headers, body) = read_framed(&mut reader);
+    assert_eq!(status, 503, "over-capacity connection must shed: {body}");
+    assert!(
+        headers.iter().any(|(n, _)| n == "retry-after"),
+        "503 must carry Retry-After: {headers:?}"
+    );
+    assert!(
+        state
+            .metric_value("pulp_serve_shed_total", &[])
+            .unwrap_or(0.0)
+            >= 1.0,
+        "shed_total must count the refused connection"
+    );
+
+    // Unpark the worker so the drain below is quick; the queued connection
+    // then gets served too.
+    parked.write_all(b"0123456789").expect("unpark");
+    let mut parked_reader = BufReader::new(parked);
+    let (status, _, _) = read_framed(&mut parked_reader);
+    assert_eq!(status, 400, "ten bytes of junk JSON is a client error");
+    drop(queued);
+
+    handle.trigger();
+    thread.join().expect("server thread joins");
+}
+
+#[test]
+fn batch_predictions_match_sequential_over_http() {
+    let (addr, _state, handle, thread) = spawn_server(ServeOptions::default());
+
+    // Mixed batch: kernel-name items and a raw-feature item.
+    let items = [
+        r#"{"kernel": "vec_scale", "dtype": "i32", "size": 1024}"#.to_string(),
+        r#"{"kernel": "fpu_storm", "dtype": "f32", "size": 2048}"#.to_string(),
+        r#"{"kernel": "vec_scale", "dtype": "f32", "size": 4096}"#.to_string(),
+    ];
+    let batch_body = format!("{{\"requests\": [{}]}}", items.join(","));
+    let (status, body) = request(addr, "POST", "/predict/batch", &batch_body);
+    assert_eq!(status, 200, "batch failed: {body}");
+    let reply: Value = serde_json::from_str(&body).expect("batch reply is JSON");
+    assert_eq!(
+        reply.field("count").and_then(Value::as_u64),
+        Ok(items.len() as u64)
+    );
+    let results = reply
+        .field("results")
+        .and_then(Value::as_seq)
+        .expect("results array");
+    assert_eq!(results.len(), items.len());
+
+    // Each batch result carries exactly the cores a sequential /predict
+    // call returns for the same item.
+    for (item, batched) in items.iter().zip(results) {
+        let (status, body) = request(addr, "POST", "/predict", item);
+        assert_eq!(status, 200, "sequential predict failed: {body}");
+        let sequential: Value = serde_json::from_str(&body).expect("json");
+        assert_eq!(
+            batched.field("cores").and_then(Value::as_u64),
+            sequential.field("cores").and_then(Value::as_u64),
+            "batch and sequential disagree on {item}"
+        );
+    }
+
+    // Shape errors name the offending item and reject empty batches.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/predict/batch",
+        r#"{"requests": [{"kernel": "vec_scale", "dtype": "i32", "size": 64}, {"features": [1.0]}]}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("requests[1]"), "error names the item: {body}");
+    let (status, _) = request(addr, "POST", "/predict/batch", r#"{"requests": []}"#);
+    assert_eq!(status, 400);
+
+    handle.trigger();
+    thread.join().expect("server thread joins");
+}
+
+#[test]
+fn oversized_body_is_refused_with_413_before_reading_it() {
+    let opts = ServeOptions {
+        max_body_bytes: 256,
+        ..ServeOptions::default()
+    };
+    let (addr, _state, handle, thread) = spawn_server(opts);
+
+    // Announce a huge body and send none of it: the refusal must come from
+    // the Content-Length check alone.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"POST /predict HTTP/1.1\r\nHost: test\r\nContent-Length: 1000000\r\n\r\n")
+        .expect("send oversized header");
+    let mut reader = BufReader::new(stream);
+    let (status, _, body) = read_framed(&mut reader);
+    assert_eq!(status, 413, "oversized body must be refused: {body}");
+    assert!(body.contains("256"), "413 names the limit: {body}");
+
+    // A body at the limit still parses (and fails later, as bad JSON).
+    let at_limit = "x".repeat(256);
+    let (status, _) = request(addr, "POST", "/predict", &at_limit);
+    assert_eq!(status, 400, "at-limit body reaches the JSON parser");
+
+    handle.trigger();
+    thread.join().expect("server thread joins");
+}
+
+#[test]
+fn malformed_request_lines_get_400_not_a_dropped_connection() {
+    let (addr, _state, handle, thread) = spawn_server(ServeOptions::default());
+
+    for garbage in [
+        "this is not http\r\n\r\n",
+        "GET /healthz\r\n\r\n",
+        "GET healthz HTTP/1.1\r\nHost: t\r\n\r\n",
+        "GET /healthz SMTP/1.0\r\nHost: t\r\n\r\n",
+    ] {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(garbage.as_bytes()).expect("send garbage");
+        let mut reader = BufReader::new(stream);
+        let (status, _, body) = read_framed(&mut reader);
+        assert_eq!(status, 400, "{garbage:?} must get a 400, got: {body}");
+        assert!(body.contains("malformed"), "{body}");
+    }
+
+    handle.trigger();
+    thread.join().expect("server thread joins");
 }
