@@ -30,7 +30,9 @@ pub mod sim_bench;
 pub use profiling::{
     chrome_trace_of_run, profile_run, recorder_of_run, CauseRun, CoreTimeline, ProfiledRun,
 };
-pub use serve_bench::{run_serve_bench, ServeBenchMixRow, ServeBenchOptions, ServeBenchReport};
+pub use serve_bench::{
+    run_serve_bench, ServeBenchMixRow, ServeBenchOptions, ServeBenchReport, ServeBenchRun,
+};
 pub use sim_bench::{basket_program, run_sim_bench, SimBenchOptions, SimBenchReport, SimBenchRow};
 
 use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};

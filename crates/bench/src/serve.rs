@@ -34,6 +34,22 @@
 //! * `GET /healthz` — `200 ok` once the model is trained (the server only
 //!   starts accepting after training, so this is always `ok` when
 //!   reachable).
+//! * `GET /debug/requests?n=K` — the last K completed request traces from
+//!   the flight recorder as Chrome trace-event JSON (one thread lane per
+//!   request; loadable in Perfetto and accepted by
+//!   [`pulp_obs::validate_chrome_trace`]).
+//! * `GET /debug/slow?n=K` — the K worst requests by total latency since
+//!   start as a compact JSON span breakdown, slowest first.
+//!
+//! Every admitted connection is stamped with a [`TraceContext`] at accept;
+//! each request records queue-wait/read/parse/features/predict/serialize/
+//! write child spans under one `request` root, feeds the completed tree
+//! into a bounded [`FlightRecorder`], and — when it exceeds
+//! [`ServeOptions::slow_ms`] — emits a structured slow-request log line
+//! through the state's [`Logger`] (JSON when `--log-json` is set).
+//! Request latency is additionally folded into sliding-window series
+//! (`pulp_serve_request_seconds_window`, `pulp_serve_queue_depth_window`)
+//! rendered next to the cumulative histograms on `/metrics`.
 //!
 //! Connections are HTTP/1.1 keep-alive by default, capped at
 //! [`ServeOptions::keepalive_max_requests`] requests each, with
@@ -50,7 +66,11 @@ use pulp_energy::manifest::RunManifest;
 use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};
 use pulp_energy::{static_feature_vector, EnergyPredictor, PredictorMetadata, StaticFeatureSet};
 use pulp_ml::TreeParams;
-use pulp_obs::{validate_exposition, MetricsRegistry};
+use pulp_obs::recorder::{Recorder, SpanId};
+use pulp_obs::{
+    validate_exposition, FlightRecorder, LogFormat, Logger, MetricsRegistry, RequestTrace,
+    TraceContext, TraceIdGen, WindowConfig,
+};
 use serde::Value;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -82,7 +102,19 @@ pub struct ServeOptions {
     /// Requests served per keep-alive connection before the server closes
     /// it (`--keepalive-max`), bounding per-connection state lifetime.
     pub keepalive_max_requests: usize,
+    /// Requests slower than this (end-to-end, in milliseconds) emit a
+    /// structured slow-request log line with the full span breakdown
+    /// (`--slow-ms`).
+    pub slow_ms: u64,
+    /// Completed request traces retained by the flight recorder
+    /// (`--flight-capacity`). Applied by `pulp_cli serve` via
+    /// [`ServeState::with_flight_capacity`]; states built directly default
+    /// to the same value.
+    pub flight_capacity: usize,
 }
+
+/// Default flight-recorder retention (traces).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
 
 impl Default for ServeOptions {
     fn default() -> Self {
@@ -92,6 +124,8 @@ impl Default for ServeOptions {
             timeout_ms: 5_000,
             max_body_bytes: 1 << 20,
             keepalive_max_requests: 1_000,
+            slow_ms: 500,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -107,6 +141,17 @@ pub struct ServeState {
     metrics: Mutex<MetricsRegistry>,
     manifest: RunManifest,
     inflight: AtomicI64,
+    /// Structured logger for operational lines (slow requests); stderr/Text
+    /// by default, swapped via [`ServeState::with_logger`].
+    logger: Logger,
+    /// Ring of recently completed request traces (`/debug/requests`,
+    /// `/debug/slow`).
+    flight: FlightRecorder,
+    /// Trace-id source stamping admitted connections.
+    trace_ids: TraceIdGen,
+    /// Service start time — anchors the `now_s` clock of the sliding-window
+    /// metrics.
+    started: Instant,
 }
 
 impl ServeState {
@@ -189,12 +234,69 @@ impl ServeState {
             metrics: Mutex::new(metrics),
             manifest,
             inflight: AtomicI64::new(0),
+            logger: Logger::new(LogFormat::Text),
+            flight: FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY),
+            trace_ids: TraceIdGen::default(),
+            started: Instant::now(),
         }
+    }
+
+    /// Replaces the logger (e.g. `Logger::new(LogFormat::Json)` for
+    /// `--log-json`, or a sink logger in tests). Builder-style: call before
+    /// wrapping the state in an `Arc`.
+    #[must_use]
+    pub fn with_logger(mut self, logger: Logger) -> Self {
+        self.logger = logger;
+        self
+    }
+
+    /// Replaces the flight recorder with one retaining `capacity` traces.
+    #[must_use]
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight = FlightRecorder::new(capacity);
+        self
     }
 
     /// The run manifest describing this service instance.
     pub fn manifest(&self) -> &RunManifest {
         &self.manifest
+    }
+
+    /// The flight recorder holding recently completed request traces.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// This service's structured logger.
+    pub fn logger(&self) -> &Logger {
+        &self.logger
+    }
+
+    /// Snapshot of the logger's in-memory sink (`None` for stderr loggers);
+    /// lets tests read slow-request lines through the shared state.
+    pub fn log_lines(&self) -> Option<Vec<String>> {
+        self.logger.sink_lines()
+    }
+
+    /// Seconds since service start — the clock feeding the sliding-window
+    /// metrics.
+    pub fn now_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// A sliding-window quantile (`pulp_serve_*_window` series), if the
+    /// series exists and its window holds observations.
+    pub fn windowed_quantile(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
+        self.metrics.lock().ok()?.windowed_quantile(name, labels, q)
+    }
+
+    /// A cumulative-histogram quantile at bucket resolution, if the series
+    /// exists and is non-empty.
+    pub fn histogram_quantile(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
+        self.metrics
+            .lock()
+            .ok()?
+            .histogram_quantile(name, labels, q)
     }
 
     /// Renders the current `/metrics` exposition.
@@ -242,6 +344,15 @@ impl ServeState {
             &[],
             depth as f64,
         );
+        if let Ok(mut m) = self.metrics.lock() {
+            m.windowed_gauge_set(
+                "pulp_serve_queue_depth_window",
+                "Peak accept-queue depth over the sliding window.",
+                &[],
+                depth as f64,
+                self.started.elapsed().as_secs(),
+            );
+        }
     }
 
     fn note_shed(&self) {
@@ -365,11 +476,20 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
 }
 
+/// One admitted connection as queued for a worker: the stream plus the
+/// trace identity and accept timestamp stamped by the accept loop (the
+/// span between `accepted` and worker pickup is the request's queue-wait).
+struct Conn {
+    stream: TcpStream,
+    accepted: Instant,
+    trace: TraceContext,
+}
+
 /// Everything a worker thread needs.
 struct ServerCtx {
     state: Arc<ServeState>,
     opts: ServeOptions,
-    queue: Arc<BoundedQueue<TcpStream>>,
+    queue: Arc<BoundedQueue<Conn>>,
     shutdown: ShutdownHandle,
 }
 
@@ -435,6 +555,8 @@ impl Server {
             ("timeout_ms", self.opts.timeout_ms as usize),
             ("max_body_bytes", self.opts.max_body_bytes),
             ("keepalive_max_requests", self.opts.keepalive_max_requests),
+            ("slow_ms", self.opts.slow_ms as usize),
+            ("flight_capacity", self.state.flight.capacity()),
         ] {
             self.state.gauge_set(
                 "pulp_serve_capacity",
@@ -462,9 +584,14 @@ impl Server {
                 // The wake-up poke itself lands here; refuse it quietly.
                 break;
             }
-            match queue.try_push(stream) {
+            let conn = Conn {
+                stream,
+                accepted: Instant::now(),
+                trace: TraceContext::root(self.state.trace_ids.next_id()),
+            };
+            match queue.try_push(conn) {
                 Ok(depth) => self.state.note_queue_depth(depth),
-                Err(stream) => shed(stream, &self.state, self.opts.timeout_ms),
+                Err(conn) => shed(conn.stream, &self.state, self.opts.timeout_ms),
             }
         }
         queue.close();
@@ -490,16 +617,117 @@ fn shed(mut stream: TcpStream, state: &ServeState, timeout_ms: u64) {
 
 /// One worker: pull connections off the queue until it closes and drains.
 fn worker_loop(ctx: &ServerCtx) {
-    while let Some(stream) = ctx.queue.pop() {
+    while let Some(conn) = ctx.queue.pop() {
         ctx.state.note_queue_depth(ctx.queue.depth());
-        handle_connection(stream, ctx);
+        handle_connection(conn, ctx);
     }
+}
+
+/// Builds one request's span tree on a microsecond clock.
+///
+/// The tracer drives a manual-clock [`Recorder`]: ticks are µs since the
+/// connection was accepted, so the `queue_wait` span (accept → worker
+/// pickup, zero-length on keep-alive reuses) occupies `[0, offset)` and
+/// every later span is stamped from a single `Instant` anchor. Freezing
+/// ([`RequestTracer::into_trace`]) closes the root and yields the
+/// [`RequestTrace`] fed to the flight recorder.
+struct RequestTracer {
+    rec: Recorder,
+    /// Real-time anchor: the instant the worker picked the connection up.
+    epoch: Instant,
+    /// Ticks (µs) that elapsed before `epoch` — the queue wait.
+    offset_us: u64,
+    root: SpanId,
+}
+
+impl RequestTracer {
+    fn new(trace: TraceContext, queue_wait_us: u64) -> Self {
+        let mut rec = Recorder::manual().with_trace(trace);
+        let root = rec.start("request");
+        let wait = rec.start("queue_wait");
+        rec.set_time(queue_wait_us);
+        rec.end(wait);
+        Self {
+            rec,
+            epoch: Instant::now(),
+            offset_us: queue_wait_us,
+            root,
+        }
+    }
+
+    fn now_ticks(&self) -> u64 {
+        self.offset_us + self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Opens a child span at the current wall time.
+    fn begin(&mut self, name: &str) -> SpanId {
+        let t = self.now_ticks();
+        self.rec.set_time(t);
+        self.rec.start(name)
+    }
+
+    /// Closes `span` at the current wall time, returning its duration in
+    /// seconds (for bridging into the stage-latency histograms).
+    fn finish(&mut self, span: SpanId) -> f64 {
+        let t = self.now_ticks();
+        self.rec.set_time(t);
+        self.rec.end(span);
+        self.rec
+            .record_of(span)
+            .map(|s| s.duration() as f64 / 1e6)
+            .unwrap_or(0.0)
+    }
+
+    /// Closes everything and freezes the tree into a [`RequestTrace`].
+    fn into_trace(mut self, label: &str, status: u16) -> RequestTrace {
+        let t = self.now_ticks();
+        self.rec.set_time(t);
+        self.rec.end(self.root);
+        self.rec.close_all();
+        RequestTrace::from_recorder(label, status, &self.rec)
+    }
+}
+
+/// Records one completed request into the flight recorder and, when it
+/// blew the `slow_ms` budget, logs the full span breakdown.
+fn finish_request(ctx: &ServerCtx, tracer: RequestTracer, endpoint: &str, status: u16) {
+    let trace = tracer.into_trace(endpoint, status);
+    let total_us = trace.total_ticks();
+    if total_us >= ctx.opts.slow_ms.saturating_mul(1_000) {
+        let breakdown = trace
+            .spans
+            .iter()
+            .filter(|s| s.name != "request")
+            .map(|s| format!("{}={}us", s.name, s.duration()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        ctx.state.logger.warn(
+            "serve",
+            "slow request",
+            &[
+                ("trace_id", trace.trace_id.to_string()),
+                ("endpoint", endpoint.to_string()),
+                ("status", status.to_string()),
+                ("total_us", total_us.to_string()),
+                ("spans", breakdown),
+            ],
+        );
+    }
+    ctx.state.flight.record(trace);
 }
 
 /// Serves one keep-alive connection: parse, route, respond, repeat until
 /// the peer closes, an error/deadline fires, the per-connection request
-/// cap is hit, or the server starts draining.
-fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
+/// cap is hit, or the server starts draining. The first request inherits
+/// the connection's accept-stamped [`TraceContext`] (queue wait included);
+/// keep-alive reuses get fresh trace ids with a zero-length queue wait.
+fn handle_connection(conn: Conn, ctx: &ServerCtx) {
+    let Conn {
+        stream,
+        accepted,
+        trace,
+    } = conn;
+    let queue_wait_us = accepted.elapsed().as_micros() as u64;
     let timeout = Duration::from_millis(ctx.opts.timeout_ms.max(1));
     let _ = stream.set_read_timeout(Some(timeout));
     let _ = stream.set_write_timeout(Some(timeout));
@@ -507,6 +735,12 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
     let mut reader = BufReader::new(stream);
     let mut served = 0usize;
     loop {
+        let mut tracer = if served == 0 {
+            RequestTracer::new(trace, queue_wait_us)
+        } else {
+            RequestTracer::new(TraceContext::root(ctx.state.trace_ids.next_id()), 0)
+        };
+        let read_span = tracer.begin("read");
         let req = match read_request(&mut reader, ctx.opts.max_body_bytes) {
             Ok(r) => r,
             Err(RequestError::Eof) => break,
@@ -546,12 +780,13 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
                 break;
             }
         };
+        tracer.finish(read_span);
         served += 1;
         if served > 1 {
             ctx.state.note_keepalive_reuse();
         }
         ctx.state.inflight_delta(1);
-        let start = Instant::now();
+        let handle_span = tracer.begin("handle");
         let (status, body, content_type) = if req.method == "POST" && req.path == "/admin/shutdown"
         {
             ctx.shutdown.trigger();
@@ -561,15 +796,18 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
                 "text/plain; charset=utf-8",
             )
         } else {
-            route(&req, &ctx.state)
+            route(&req, &ctx.state, &mut tracer)
         };
-        let elapsed = start.elapsed().as_secs_f64();
+        let elapsed = tracer.finish(handle_span);
         record_request(&ctx.state, &req, status, elapsed);
         ctx.state.inflight_delta(-1);
         let keep = !ctx.shutdown.is_shutdown()
             && !req.close
             && served < ctx.opts.keepalive_max_requests.max(1);
+        let write_span = tracer.begin("write");
         let written = write_response(reader.get_mut(), status, &body, content_type, keep, &[]);
+        tracer.finish(write_span);
+        finish_request(ctx, tracer, endpoint_label(&req.path), status);
         match written {
             Ok(()) => {}
             Err(e) => {
@@ -734,15 +972,49 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Splits a request target into `(path, query)` at the first `?`.
+fn split_query(target: &str) -> (&str, Option<&str>) {
+    match target.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (target, None),
+    }
+}
+
+/// Reads a `k=v` integer out of a query string, clamped to `[1, max]`.
+fn query_count(query: Option<&str>, key: &str, default: usize, max: usize) -> usize {
+    query
+        .into_iter()
+        .flat_map(|q| q.split('&'))
+        .find_map(|pair| pair.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+        .unwrap_or(default)
+        .clamp(1, max.max(1))
+}
+
+/// Collapses a request target into a bounded endpoint label: known paths
+/// keep their name (query stripped), everything else becomes `other` so a
+/// scanner cannot blow up metric cardinality or trace labels.
+fn endpoint_label(target: &str) -> &str {
+    match split_query(target).0 {
+        p @ ("/predict" | "/predict/batch" | "/metrics" | "/healthz" | "/manifest"
+        | "/admin/shutdown" | "/debug/requests" | "/debug/slow") => p,
+        _ => "other",
+    }
+}
+
 /// Routes one request, returning `(status, body, content type)`.
 /// (`POST /admin/shutdown` is intercepted by the worker loop, which owns
 /// the shutdown handle; everything else lands here.)
-fn route(req: &Request, state: &ServeState) -> (u16, String, &'static str) {
+fn route(
+    req: &Request,
+    state: &ServeState,
+    tracer: &mut RequestTracer,
+) -> (u16, String, &'static str) {
     let json_error = |msg: String| {
         serde_json::to_string(&Value::Map(vec![("error".to_string(), Value::Str(msg))]))
             .unwrap_or_default()
     };
-    match (req.method.as_str(), req.path.as_str()) {
+    let (path, query) = split_query(&req.path);
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => (200, "ok\n".to_string(), "text/plain; charset=utf-8"),
         ("GET", "/metrics") => (
             200,
@@ -750,11 +1022,23 @@ fn route(req: &Request, state: &ServeState) -> (u16, String, &'static str) {
             "text/plain; version=0.0.4; charset=utf-8",
         ),
         ("GET", "/manifest") => (200, state.manifest.to_json_pretty(), "application/json"),
-        ("POST", "/predict") => match predict(req, state) {
+        ("GET", "/debug/requests") => {
+            let n = query_count(query, "n", 32, state.flight.capacity());
+            (
+                200,
+                state.flight.chrome_recent(n, "pulp-serve"),
+                "application/json",
+            )
+        }
+        ("GET", "/debug/slow") => {
+            let n = query_count(query, "n", 16, 64);
+            (200, state.flight.slow_json(n), "application/json")
+        }
+        ("POST", "/predict") => match predict(req, state, tracer) {
             Ok(body) => (200, body, "application/json"),
             Err(msg) => (400, json_error(msg), "application/json"),
         },
-        ("POST", "/predict/batch") => match predict_batch(req, state) {
+        ("POST", "/predict/batch") => match predict_batch(req, state, tracer) {
             Ok(body) => (200, body, "application/json"),
             Err(msg) => (400, json_error(msg), "application/json"),
         },
@@ -863,23 +1147,36 @@ fn observe_stages(state: &ServeState, stages: &[(&str, f64)]) {
     }
 }
 
-/// Serves one `/predict` request body.
-fn predict(req: &Request, state: &ServeState) -> Result<String, String> {
-    let parse_start = Instant::now();
+/// Serves one `/predict` request body. Stage timings come from the
+/// request tracer's spans, so the `pulp_predict_stage_seconds` histograms
+/// and the span tree in the flight recorder always agree. Error returns
+/// may leave the current stage span open; the tracer closes stragglers
+/// when the request tree is frozen.
+fn predict(
+    req: &Request,
+    state: &ServeState,
+    tracer: &mut RequestTracer,
+) -> Result<String, String> {
+    let span = tracer.begin("parse");
     let body: Value =
         serde_json::from_str(&req.body).map_err(|e| format!("invalid JSON body: {e}"))?;
-    let parse_s = parse_start.elapsed().as_secs_f64();
+    let parse_s = tracer.finish(span);
 
-    let features_start = Instant::now();
+    let span = tracer.begin("features");
     let featurized = featurize(&body)?;
-    let features_s = features_start.elapsed().as_secs_f64();
+    let features_s = tracer.finish(span);
 
-    let predict_start = Instant::now();
+    let span = tracer.begin("predict");
     let cores = state
         .predictor
         .predict_cores_from_static(&featurized.full)
         .map_err(|e| e.to_string())?;
-    let predict_s = predict_start.elapsed().as_secs_f64();
+    let predict_s = tracer.finish(span);
+
+    let span = tracer.begin("serialize");
+    let reply = reply_map(state, cores, &featurized);
+    let out = serde_json::to_string(&reply).map_err(|e| e.to_string());
+    let serialize_s = tracer.finish(span);
 
     observe_stages(
         state,
@@ -887,17 +1184,21 @@ fn predict(req: &Request, state: &ServeState) -> Result<String, String> {
             ("parse", parse_s),
             ("features", features_s),
             ("predict", predict_s),
+            ("serialize", serialize_s),
         ],
     );
-    let reply = reply_map(state, cores, &featurized);
-    serde_json::to_string(&reply).map_err(|e| e.to_string())
+    out
 }
 
 /// Serves one `/predict/batch` request body: featurises every item, runs
 /// the whole batch through [`EnergyPredictor::predict_cores_batch`] and
 /// replies with one `/predict`-shaped result per item, in order.
-fn predict_batch(req: &Request, state: &ServeState) -> Result<String, String> {
-    let parse_start = Instant::now();
+fn predict_batch(
+    req: &Request,
+    state: &ServeState,
+    tracer: &mut RequestTracer,
+) -> Result<String, String> {
+    let span = tracer.begin("parse");
     let body: Value =
         serde_json::from_str(&req.body).map_err(|e| format!("invalid JSON body: {e}"))?;
     let items = body
@@ -907,9 +1208,9 @@ fn predict_batch(req: &Request, state: &ServeState) -> Result<String, String> {
     if items.is_empty() {
         return Err("`requests` must not be empty".to_string());
     }
-    let parse_s = parse_start.elapsed().as_secs_f64();
+    let parse_s = tracer.finish(span);
 
-    let features_start = Instant::now();
+    let span = tracer.begin("features");
     let width = pulp_energy::static_feature_names().len();
     let featurized: Vec<Featurized> = items
         .iter()
@@ -932,14 +1233,27 @@ fn predict_batch(req: &Request, state: &ServeState) -> Result<String, String> {
         })
         .collect::<Result<_, _>>()?;
     let rows: Vec<Vec<f64>> = featurized.iter().map(|f| f.full.clone()).collect();
-    let features_s = features_start.elapsed().as_secs_f64();
+    let features_s = tracer.finish(span);
 
-    let predict_start = Instant::now();
+    let span = tracer.begin("predict");
     let cores = state
         .predictor
         .predict_cores_batch(&rows)
         .map_err(|e| e.to_string())?;
-    let predict_s = predict_start.elapsed().as_secs_f64();
+    let predict_s = tracer.finish(span);
+
+    let span = tracer.begin("serialize");
+    let results: Vec<Value> = cores
+        .iter()
+        .zip(&featurized)
+        .map(|(&c, f)| reply_map(state, c, f))
+        .collect();
+    let reply = Value::Map(vec![
+        ("count".to_string(), Value::U64(results.len() as u64)),
+        ("results".to_string(), Value::Seq(results)),
+    ]);
+    let out = serde_json::to_string(&reply).map_err(|e| e.to_string());
+    let serialize_s = tracer.finish(span);
 
     observe_stages(
         state,
@@ -947,6 +1261,7 @@ fn predict_batch(req: &Request, state: &ServeState) -> Result<String, String> {
             ("parse", parse_s),
             ("features", features_s),
             ("predict", predict_s),
+            ("serialize", serialize_s),
         ],
     );
     if let Ok(mut metrics) = state.metrics.lock() {
@@ -957,27 +1272,14 @@ fn predict_batch(req: &Request, state: &ServeState) -> Result<String, String> {
             items.len() as f64,
         );
     }
-    let results: Vec<Value> = cores
-        .iter()
-        .zip(&featurized)
-        .map(|(&c, f)| reply_map(state, c, f))
-        .collect();
-    let reply = Value::Map(vec![
-        ("count".to_string(), Value::U64(results.len() as u64)),
-        ("results".to_string(), Value::Seq(results)),
-    ]);
-    serde_json::to_string(&reply).map_err(|e| e.to_string())
+    out
 }
 
-/// Folds one served request into the registry.
+/// Folds one served request into the registry: cumulative counter and
+/// histogram plus the sliding-window latency series rendered next to them.
 fn record_request(state: &ServeState, req: &Request, status: u16, elapsed_s: f64) {
-    let endpoint = match req.path.as_str() {
-        "/predict" | "/predict/batch" | "/metrics" | "/healthz" | "/manifest"
-        | "/admin/shutdown" => req.path.as_str(),
-        // Collapse arbitrary paths into one label value so a scanner
-        // cannot blow up metric cardinality.
-        _ => "other",
-    };
+    let endpoint = endpoint_label(&req.path);
+    let now_s = state.started.elapsed().as_secs();
     if let Ok(mut metrics) = state.metrics.lock() {
         metrics.counter_add(
             "pulp_http_requests_total",
@@ -991,6 +1293,17 @@ fn record_request(state: &ServeState, req: &Request, status: u16, elapsed_s: f64
             &[("endpoint", endpoint)],
             elapsed_s,
             latency_buckets,
+        );
+        metrics.windowed_observe_with(
+            "pulp_serve_request_seconds_window",
+            "Request latency over the sliding window (p50/p90/p99).",
+            &[("endpoint", endpoint)],
+            elapsed_s,
+            now_s,
+            || WindowConfig {
+                buckets: latency_buckets(),
+                ..WindowConfig::default()
+            },
         );
     }
 }
@@ -1077,6 +1390,22 @@ mod tests {
             body: body.into(),
             close: false,
         }
+    }
+
+    fn tracer() -> RequestTracer {
+        RequestTracer::new(TraceContext::root(0), 0)
+    }
+
+    fn predict(req: &Request, state: &ServeState) -> Result<String, String> {
+        super::predict(req, state, &mut tracer())
+    }
+
+    fn predict_batch(req: &Request, state: &ServeState) -> Result<String, String> {
+        super::predict_batch(req, state, &mut tracer())
+    }
+
+    fn route(req: &Request, state: &ServeState) -> (u16, String, &'static str) {
+        super::route(req, state, &mut tracer())
     }
 
     #[test]
@@ -1351,5 +1680,190 @@ mod tests {
         assert!(o.workers >= 1 && o.queue_depth >= 1);
         assert!(o.timeout_ms >= 1 && o.max_body_bytes >= 1024);
         assert!(o.keepalive_max_requests > 1);
+        assert!(o.slow_ms >= 1 && o.flight_capacity >= 1);
+    }
+
+    #[test]
+    fn endpoint_labels_collapse_and_strip_queries() {
+        assert_eq!(endpoint_label("/predict"), "/predict");
+        assert_eq!(endpoint_label("/debug/requests?n=4"), "/debug/requests");
+        assert_eq!(endpoint_label("/healthz?probe=1"), "/healthz");
+        assert_eq!(endpoint_label("/wp-admin.php"), "other");
+    }
+
+    #[test]
+    fn query_counts_parse_with_clamping() {
+        assert_eq!(query_count(Some("n=4"), "n", 32, 64), 4);
+        assert_eq!(query_count(Some("a=1&n=9"), "n", 32, 64), 9);
+        assert_eq!(query_count(Some("n=9999"), "n", 32, 64), 64);
+        assert_eq!(query_count(Some("n=0"), "n", 32, 64), 1);
+        assert_eq!(query_count(Some("n=banana"), "n", 32, 64), 32);
+        assert_eq!(query_count(None, "n", 32, 64), 32);
+    }
+
+    #[test]
+    fn predict_records_stage_spans_under_the_request_root() {
+        let state = quick_state();
+        let mut t = tracer();
+        let handle = t.begin("handle");
+        super::predict(
+            &post(
+                "/predict",
+                r#"{"kernel": "vec_scale", "dtype": "i32", "size": 2048}"#,
+            ),
+            &state,
+            &mut t,
+        )
+        .expect("predicts");
+        t.finish(handle);
+        let trace = t.into_trace("/predict", 200);
+        for name in ["queue_wait", "parse", "features", "predict", "serialize"] {
+            assert!(trace.span(name).is_some(), "missing span {name}");
+        }
+        // Stage spans nest under `handle`, which nests under the root.
+        let handle_idx = trace
+            .spans
+            .iter()
+            .position(|s| s.name == "handle")
+            .expect("handle span");
+        let predict_span = trace.span("predict").expect("predict span");
+        assert_eq!(predict_span.parent, Some(handle_idx));
+        // The tracer's seconds agree with the frozen span durations.
+        assert!(trace.total_ticks() > 0);
+    }
+
+    #[test]
+    fn debug_endpoints_serve_flight_data() {
+        let state = quick_state();
+        // Seed the flight recorder with two completed requests.
+        for (path, body) in [
+            (
+                "/predict",
+                r#"{"kernel": "vec_scale", "dtype": "i32", "size": 2048}"#,
+            ),
+            (
+                "/predict",
+                r#"{"kernel": "fpu_storm", "dtype": "f32", "size": 1024}"#,
+            ),
+        ] {
+            let mut t = tracer();
+            let handle = t.begin("handle");
+            super::predict(&post(path, body), &state, &mut t).expect("predicts");
+            t.finish(handle);
+            state.flight.record(t.into_trace("/predict", 200));
+        }
+        let (status, body, ct) = route(
+            &Request {
+                method: "GET".into(),
+                path: "/debug/requests?n=2".into(),
+                body: String::new(),
+                close: false,
+            },
+            &state,
+        );
+        assert_eq!((status, ct), (200, "application/json"));
+        pulp_obs::validate_chrome_trace(&body).expect("debug trace validates");
+        assert!(body.contains("queue_wait"), "{body}");
+
+        let (status, body, _) = route(
+            &Request {
+                method: "GET".into(),
+                path: "/debug/slow".into(),
+                body: String::new(),
+                close: false,
+            },
+            &state,
+        );
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).expect("slow json");
+        assert_eq!(v.as_seq().expect("array").len(), 2);
+    }
+
+    #[test]
+    fn windowed_series_render_and_track_the_cumulative_histogram() {
+        let state = quick_state();
+        let req = Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            body: String::new(),
+            close: false,
+        };
+        for i in 0..50 {
+            record_request(&state, &req, 200, 0.001 + f64::from(i) * 1e-5);
+        }
+        let text = state.render_metrics();
+        validate_exposition(&text).expect("windowed series render validly");
+        assert!(
+            text.contains(
+                "pulp_serve_request_seconds_window{endpoint=\"/healthz\",quantile=\"0.99\"}"
+            ),
+            "{text}"
+        );
+        // With every observation in the live window, windowed and
+        // cumulative p99 agree to bucket resolution.
+        let windowed = state
+            .windowed_quantile(
+                "pulp_serve_request_seconds_window",
+                &[("endpoint", "/healthz")],
+                0.99,
+            )
+            .expect("windowed p99");
+        let cumulative = state
+            .histogram_quantile(
+                "pulp_http_request_seconds",
+                &[("endpoint", "/healthz")],
+                0.99,
+            )
+            .expect("cumulative p99");
+        assert_eq!(windowed, cumulative);
+    }
+
+    #[test]
+    fn slow_requests_emit_a_structured_log_line() {
+        let ctx = ServerCtx {
+            state: Arc::new(quick_state().with_logger(Logger::to_sink(LogFormat::Json))),
+            opts: ServeOptions {
+                slow_ms: 0, // everything is slow
+                ..ServeOptions::default()
+            },
+            queue: Arc::new(BoundedQueue::new(1)),
+            shutdown: ShutdownHandle {
+                flag: Arc::new(AtomicBool::new(false)),
+                addr: "127.0.0.1:0".parse().expect("addr"),
+            },
+        };
+        let mut t = tracer();
+        let span = t.begin("handle");
+        t.finish(span);
+        finish_request(&ctx, t, "/healthz", 200);
+        let lines = ctx.state.log_lines().expect("sink logger");
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        let v: Value = serde_json::from_str(&lines[0]).expect("json log line");
+        assert_eq!(v.field("stage").and_then(Value::as_str), Ok("serve"));
+        assert_eq!(v.field("msg").and_then(Value::as_str), Ok("slow request"));
+        assert_eq!(v.field("endpoint").and_then(Value::as_str), Ok("/healthz"));
+        assert!(v
+            .field("spans")
+            .and_then(Value::as_str)
+            .expect("spans field")
+            .contains("queue_wait="));
+        assert_eq!(ctx.state.flight.len(), 1, "trace recorded");
+
+        // A generous budget suppresses the line but still records the trace.
+        let quiet = ServerCtx {
+            state: Arc::new(quick_state().with_logger(Logger::to_sink(LogFormat::Json))),
+            opts: ServeOptions::default(),
+            queue: Arc::new(BoundedQueue::new(1)),
+            shutdown: ShutdownHandle {
+                flag: Arc::new(AtomicBool::new(false)),
+                addr: "127.0.0.1:0".parse().expect("addr"),
+            },
+        };
+        let mut t = tracer();
+        let span = t.begin("handle");
+        t.finish(span);
+        finish_request(&quiet, t, "/healthz", 200);
+        assert!(quiet.state.log_lines().expect("sink").is_empty());
+        assert_eq!(quiet.state.flight.len(), 1);
     }
 }

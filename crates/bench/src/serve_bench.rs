@@ -31,6 +31,7 @@ use crate::serve::{ServeOptions, ServeState, Server};
 use crate::QUICK_KERNELS;
 use pulp_energy::pipeline::PipelineOptions;
 use pulp_energy::static_feature_vector;
+use pulp_obs::validate_chrome_trace;
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -146,6 +147,49 @@ pub struct ServeBenchReport {
     pub batch_matches_sequential: bool,
     /// One latency digest per mix.
     pub rows: Vec<ServeBenchMixRow>,
+}
+
+/// Result of one benchmark invocation: the JSON-committable report plus
+/// the flight-recorder capture, which is written as a separate artifact
+/// (`--trace-out`) rather than into `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+pub struct ServeBenchRun {
+    /// The record destined for `BENCH_serve.json`.
+    pub report: ServeBenchReport,
+    /// Chrome-trace JSON from `GET /debug/requests`, captured right before
+    /// shutdown — the tail of the load, one lane per request.
+    pub trace_json: String,
+}
+
+impl ServeBenchRun {
+    /// [`ServeBenchReport::verify`] plus the flight-recorder checks: the
+    /// captured trace must pass [`validate_chrome_trace`] and actually
+    /// contain the per-request child spans the server promises.
+    ///
+    /// # Errors
+    ///
+    /// Returns one message per violated invariant.
+    pub fn verify(&self) -> Result<(), Vec<String>> {
+        let mut problems = match self.report.verify() {
+            Ok(()) => Vec::new(),
+            Err(p) => p,
+        };
+        if let Err(e) = validate_chrome_trace(&self.trace_json) {
+            problems.push(format!("/debug/requests trace is malformed: {e}"));
+        }
+        for span in ["queue_wait", "predict", "write"] {
+            if !self.trace_json.contains(&format!("\"{span}\"")) {
+                problems.push(format!(
+                    "/debug/requests trace is missing `{span}` spans after a full load run"
+                ));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
 }
 
 /// `q`-quantile (0..=1) of an already-sorted latency sample, microseconds.
@@ -364,14 +408,14 @@ fn batch_matches_sequential(addr: SocketAddr, batch_size: usize) -> bool {
 }
 
 /// Runs the load benchmark: trains the quick model, boots the server,
-/// drives it with the configured client fleet, then shuts it down
-/// gracefully and returns the report.
+/// drives it with the configured client fleet, snapshots the flight
+/// recorder, then shuts the server down gracefully and returns the run.
 ///
 /// # Panics
 ///
 /// Panics when the model cannot be trained or the server cannot bind —
 /// there is nothing to measure without either.
-pub fn run_serve_bench(opts: &ServeBenchOptions) -> ServeBenchReport {
+pub fn run_serve_bench(opts: &ServeBenchOptions) -> ServeBenchRun {
     let pipeline = PipelineOptions::quick(QUICK_KERNELS);
     let state = Arc::new(ServeState::train(&pipeline));
     let server = Server::bind_with("127.0.0.1:0", Arc::clone(&state), opts.serve)
@@ -473,6 +517,13 @@ pub fn run_serve_bench(opts: &ServeBenchOptions) -> ServeBenchReport {
 
     let batch_ok = batch_matches_sequential(addr, opts.batch_size);
 
+    // Snapshot the flight recorder while the server is still up: the tail
+    // of the load as Chrome-trace JSON, one lane per request.
+    let trace_json = BenchClient::connect(addr)
+        .and_then(|mut c| c.request("GET", "/debug/requests?n=256", ""))
+        .map(|(status, body)| if status == 200 { body } else { String::new() })
+        .unwrap_or_default();
+
     // Exercise the graceful-shutdown path on every benchmark run, then
     // read the server's own counters before the state goes away.
     if let Ok(mut c) = BenchClient::connect(addr) {
@@ -520,22 +571,25 @@ pub fn run_serve_bench(opts: &ServeBenchOptions) -> ServeBenchReport {
         });
     }
 
-    ServeBenchReport {
-        bench: "serve".to_string(),
-        quick: opts.quick,
-        clients,
-        rounds,
-        workers: opts.serve.workers,
-        queue_depth: opts.serve.queue_depth,
-        total_requests,
-        wall_s,
-        throughput_rps: total_requests as f64 / wall_s.max(f64::MIN_POSITIVE),
-        errors,
-        shed_total,
-        timeouts_total,
-        keepalive_reuse_total,
-        batch_matches_sequential: batch_ok,
-        rows,
+    ServeBenchRun {
+        report: ServeBenchReport {
+            bench: "serve".to_string(),
+            quick: opts.quick,
+            clients,
+            rounds,
+            workers: opts.serve.workers,
+            queue_depth: opts.serve.queue_depth,
+            total_requests,
+            wall_s,
+            throughput_rps: total_requests as f64 / wall_s.max(f64::MIN_POSITIVE),
+            errors,
+            shed_total,
+            timeouts_total,
+            keepalive_reuse_total,
+            batch_matches_sequential: batch_ok,
+            rows,
+        },
+        trace_json,
     }
 }
 
@@ -673,9 +727,8 @@ mod tests {
         ));
     }
 
-    #[test]
-    fn report_round_trips_through_json_and_verifies() {
-        let report = ServeBenchReport {
+    fn healthy_report() -> ServeBenchReport {
+        ServeBenchReport {
             bench: "serve".to_string(),
             quick: true,
             clients: 3,
@@ -702,7 +755,12 @@ mod tests {
                     max_us: 400.0,
                 })
                 .collect(),
-        };
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json_and_verifies() {
+        let report = healthy_report();
         report.verify().expect("healthy report verifies");
         let json = serde_json::to_string_pretty(&report).expect("serialise");
         let back: ServeBenchReport = serde_json::from_str(&json).expect("deserialise");
@@ -716,5 +774,45 @@ mod tests {
         // A full-profile run may shed without failing.
         shedding.quick = false;
         shedding.verify().expect("full profile tolerates shed");
+    }
+
+    #[test]
+    fn run_verification_gates_on_the_captured_trace() {
+        use pulp_obs::recorder::Recorder;
+        use pulp_obs::{FlightRecorder, RequestTrace, TraceContext};
+
+        let flight = FlightRecorder::new(4);
+        let mut rec = Recorder::manual().with_trace(TraceContext::root(7));
+        let root = rec.start("request");
+        let mut t = 0;
+        for name in ["queue_wait", "predict", "write"] {
+            let span = rec.start(name);
+            t += 5;
+            rec.set_time(t);
+            rec.end(span);
+        }
+        rec.end(root);
+        flight.record(RequestTrace::from_recorder("/predict", 200, &rec));
+
+        let run = ServeBenchRun {
+            report: healthy_report(),
+            trace_json: flight.chrome_recent(4, "pulp-serve"),
+        };
+        run.verify()
+            .expect("healthy run with a real trace verifies");
+
+        let bad = ServeBenchRun {
+            report: healthy_report(),
+            trace_json: "{}".to_string(),
+        };
+        let problems = bad.verify().expect_err("a malformed trace must fail");
+        assert!(
+            problems.iter().any(|p| p.contains("malformed")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("queue_wait")),
+            "{problems:?}"
+        );
     }
 }

@@ -82,6 +82,21 @@ pub struct SimBenchRow {
     /// `true` when the fast-forward run's architectural results are
     /// bit-identical to the oracle's.
     pub oracle_match: bool,
+    /// Fraction of horizon computations that produced a bulk skip, from a
+    /// separate `horizon_timing`-instrumented run.
+    #[serde(default)]
+    pub horizon_hit_rate: f64,
+    /// Wall seconds the instrumented run spent scanning for the next event
+    /// horizon.
+    #[serde(default)]
+    pub horizon_scan_s: f64,
+    /// Wall seconds the instrumented run spent in per-cycle stepping.
+    #[serde(default)]
+    pub horizon_step_s: f64,
+    /// `horizon_scan_s / (horizon_scan_s + horizon_step_s)` — the share of
+    /// instrumented wall time paid for the fast-forward bookkeeping.
+    #[serde(default)]
+    pub horizon_scan_share: f64,
 }
 
 /// The full benchmark record written to `BENCH_sim.json`.
@@ -215,6 +230,7 @@ pub fn run_sim_bench(opts: &SimBenchOptions) -> SimBenchReport {
         fast_forward: false,
         ..ff_opts
     };
+    let timing_opts = ff_opts.with_horizon_timing(true);
     let mut scratch = SimScratch::new();
     let mut rows = Vec::new();
     for basket in BASKETS {
@@ -223,6 +239,11 @@ pub fn run_sim_bench(opts: &SimBenchOptions) -> SimBenchReport {
             let (ff, ff_wall) = timed_run(&config, &program, &ff_opts, opts.iters, &mut scratch);
             let (oracle, oracle_wall) =
                 timed_run(&config, &program, &oracle_opts, opts.iters, &mut scratch);
+            // A separate instrumented pass: `horizon_timing` adds two
+            // `Instant::now` calls per scheduler iteration, so it must not
+            // pollute `ff_wall_s`. One iteration is enough — the split is a
+            // ratio, not a throughput claim.
+            let (timed, _) = timed_run(&config, &program, &timing_opts, 1, &mut scratch);
             let cycles = ff.cycles;
             rows.push(SimBenchRow {
                 basket: basket.to_string(),
@@ -236,6 +257,10 @@ pub fn run_sim_bench(opts: &SimBenchOptions) -> SimBenchReport {
                 skip_ratio: ff.skip_ratio(),
                 spans: ff.fast_forward.spans,
                 oracle_match: ff.without_fast_forward() == oracle,
+                horizon_hit_rate: timed.fast_forward.horizon_hit_rate(),
+                horizon_scan_s: timed.fast_forward.horizon_scan_nanos as f64 / 1e9,
+                horizon_step_s: timed.fast_forward.step_nanos as f64 / 1e9,
+                horizon_scan_share: timed.fast_forward.horizon_scan_share(),
             });
         }
     }
@@ -253,13 +278,22 @@ impl SimBenchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<14} {:>5} {:>12} {:>14} {:>14} {:>8} {:>6} {:>6}",
-            "basket", "cores", "cycles", "ff [cyc/s]", "oracle [cyc/s]", "speedup", "skip", "match"
+            "{:<14} {:>5} {:>12} {:>14} {:>14} {:>8} {:>6} {:>6} {:>6} {:>6}",
+            "basket",
+            "cores",
+            "cycles",
+            "ff [cyc/s]",
+            "oracle [cyc/s]",
+            "speedup",
+            "skip",
+            "hit",
+            "scan",
+            "match"
         );
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{:<14} {:>5} {:>12} {:>14.3e} {:>14.3e} {:>7.2}x {:>5.1}% {:>6}",
+                "{:<14} {:>5} {:>12} {:>14.3e} {:>14.3e} {:>7.2}x {:>5.1}% {:>5.1}% {:>5.1}% {:>6}",
                 r.basket,
                 r.cores,
                 r.cycles,
@@ -267,6 +301,8 @@ impl SimBenchReport {
                 r.oracle_cycles_per_s,
                 r.speedup,
                 r.skip_ratio * 100.0,
+                r.horizon_hit_rate * 100.0,
+                r.horizon_scan_share * 100.0,
                 if r.oracle_match { "ok" } else { "FAIL" }
             );
         }
@@ -295,6 +331,20 @@ impl SimBenchReport {
                 problems.push(format!(
                     "barrier_dma @ {} cores: skip ratio is zero — fast-forward never engaged",
                     r.cores
+                ));
+            }
+            if r.cores > 1 && r.horizon_hit_rate <= 0.0 {
+                problems.push(format!(
+                    "barrier_dma @ {} cores: horizon hit rate is zero — instrumented run saw no skips",
+                    r.cores
+                ));
+            }
+        }
+        for r in &self.rows {
+            if r.horizon_scan_s + r.horizon_step_s <= 0.0 {
+                problems.push(format!(
+                    "{} @ {} cores: horizon wall split is empty — timing instrumentation is dead",
+                    r.basket, r.cores
                 ));
             }
         }
@@ -355,6 +405,18 @@ mod tests {
             "alu@1 has no quiescent spans, got skip ratio {}",
             alu1.skip_ratio
         );
+        // The instrumented pass fills the wall split for every row and the
+        // skip-friendly basket converts horizon computations into skips.
+        assert!(dma8.horizon_hit_rate > 0.0, "no horizon skips at dma@8");
+        for r in &report.rows {
+            assert!(
+                r.horizon_scan_s + r.horizon_step_s > 0.0,
+                "{} @ {}: empty horizon wall split",
+                r.basket,
+                r.cores
+            );
+            assert!((0.0..=1.0).contains(&r.horizon_scan_share));
+        }
     }
 
     #[test]

@@ -35,11 +35,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod chrome;
+pub mod flight;
 pub mod log;
 pub mod metrics;
 pub mod recorder;
 
 pub use chrome::{chrome_trace, chrome_trace_value, validate_chrome_trace};
+pub use flight::{
+    chrome_value_of_traces, summary_value_of_traces, FlightRecorder, RequestTrace, TraceContext,
+    TraceIdGen,
+};
 pub use log::{LogFormat, Logger};
-pub use metrics::{validate_exposition, MetricsRegistry};
+pub use metrics::{validate_exposition, MetricsRegistry, WindowConfig};
 pub use recorder::{CounterSample, EventRecord, Recorder, SpanId, SpanRecord, Summary};

@@ -93,6 +93,15 @@ impl Logger {
         self.sink.map(|m| m.into_inner().unwrap_or_default())
     }
 
+    /// Snapshots the in-memory sink without consuming the logger (for
+    /// callers that share the logger behind an `Arc`). `None` for stderr
+    /// loggers.
+    pub fn sink_lines(&self) -> Option<Vec<String>> {
+        self.sink
+            .as_ref()
+            .map(|m| m.lock().map(|g| g.clone()).unwrap_or_default())
+    }
+
     /// Logs at [`LogLevel::Info`].
     pub fn info(&self, stage: &str, msg: &str, fields: &[(&str, String)]) {
         self.log(LogLevel::Info, stage, msg, fields);

@@ -122,6 +122,21 @@ impl HistogramData {
         self.count += 1;
     }
 
+    fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.sum = 0.0;
+        self.count = 0;
+    }
+
+    fn merge_from(&mut self, other: &HistogramData) {
+        debug_assert_eq!(self.bounds, other.bounds, "windowed slots share bounds");
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
     /// The `q`-quantile (0..=1) estimated from the bucket layout: the upper
     /// bound of the bucket holding the target rank (`+Inf` degrades to the
     /// last finite bound). `None` while empty.
@@ -145,11 +160,157 @@ impl HistogramData {
     }
 }
 
+/// Layout of a sliding-window series: total window length, the number of
+/// ring slots it is divided into, and (for histograms) the bucket bounds.
+///
+/// The window is a ring of `slots` sub-aggregates, each covering
+/// `window_secs / slots` seconds. Observations rotate the slot they land in
+/// (resetting it when its epoch is stale); reads merge only the slots whose
+/// epoch falls inside the window anchored at the most recent observation —
+/// time comes from the caller, so behaviour is fully deterministic and the
+/// "last W seconds" view never depends on a hidden wall clock.
+#[derive(Debug, Clone)]
+pub struct WindowConfig {
+    /// Window length in seconds.
+    pub window_secs: u64,
+    /// Ring slots the window is divided into (resolution of expiry).
+    pub slots: usize,
+    /// Histogram bucket upper bounds (ignored by windowed gauges).
+    pub buckets: Vec<f64>,
+}
+
+impl Default for WindowConfig {
+    /// One minute over six 10-second slots, [`default_buckets`] layout.
+    fn default() -> Self {
+        Self {
+            window_secs: 60,
+            slots: 6,
+            buckets: default_buckets(),
+        }
+    }
+}
+
+/// One ring slot of a windowed series: the slot epoch (absolute slot index
+/// since time zero) plus the sub-aggregate for that slot.
+#[derive(Debug, Clone)]
+struct WindowSlot<T> {
+    epoch: u64,
+    data: T,
+}
+
+#[derive(Debug, Clone)]
+struct WindowedHistogram {
+    slot_secs: u64,
+    slots: Vec<WindowSlot<HistogramData>>,
+}
+
+impl WindowedHistogram {
+    fn new(cfg: &WindowConfig) -> Self {
+        let n = cfg.slots.max(1);
+        let slot_secs = (cfg.window_secs / n as u64).max(1);
+        Self {
+            slot_secs,
+            slots: (0..n)
+                .map(|_| WindowSlot {
+                    epoch: 0,
+                    data: HistogramData::new(cfg.buckets.clone()),
+                })
+                .collect(),
+        }
+    }
+
+    fn observe(&mut self, value: f64, now_s: u64) {
+        let epoch = now_s / self.slot_secs;
+        let n = self.slots.len() as u64;
+        let slot = &mut self.slots[(epoch % n) as usize];
+        if epoch < slot.epoch {
+            return; // time went backwards; drop rather than pollute a slot
+        }
+        if epoch > slot.epoch {
+            slot.data.reset();
+            slot.epoch = epoch;
+        }
+        slot.data.observe(value);
+    }
+
+    /// All live slots merged: those within the window anchored at the most
+    /// recent observed epoch.
+    fn merged(&self) -> HistogramData {
+        let n = self.slots.len() as u64;
+        let anchor = self.slots.iter().map(|s| s.epoch).max().unwrap_or(0);
+        let mut out = HistogramData::new(self.slots[0].data.bounds.clone());
+        for slot in &self.slots {
+            if slot.epoch + n > anchor {
+                out.merge_from(&slot.data);
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WindowedGauge {
+    slot_secs: u64,
+    slots: Vec<WindowSlot<Option<f64>>>,
+}
+
+impl WindowedGauge {
+    fn new(cfg: &WindowConfig) -> Self {
+        let n = cfg.slots.max(1);
+        let slot_secs = (cfg.window_secs / n as u64).max(1);
+        Self {
+            slot_secs,
+            slots: (0..n)
+                .map(|_| WindowSlot {
+                    epoch: 0,
+                    data: None,
+                })
+                .collect(),
+        }
+    }
+
+    fn observe(&mut self, value: f64, now_s: u64) {
+        if !value.is_finite() {
+            return;
+        }
+        let epoch = now_s / self.slot_secs;
+        let n = self.slots.len() as u64;
+        let slot = &mut self.slots[(epoch % n) as usize];
+        if epoch < slot.epoch {
+            return;
+        }
+        if epoch > slot.epoch {
+            slot.data = None;
+            slot.epoch = epoch;
+        }
+        slot.data = Some(match slot.data {
+            Some(prev) => prev.max(value),
+            None => value,
+        });
+    }
+
+    /// Peak over the live slots, `None` before the first observation.
+    fn peak(&self) -> Option<f64> {
+        let n = self.slots.len() as u64;
+        let anchor = self.slots.iter().map(|s| s.epoch).max().unwrap_or(0);
+        self.slots
+            .iter()
+            .filter(|s| s.epoch + n > anchor)
+            .filter_map(|s| s.data)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+/// Quantiles a windowed histogram exposes, as (label value, q) pairs.
+const WINDOW_QUANTILES: [(&str, f64); 3] = [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)];
+
 #[derive(Debug, Clone)]
 enum MetricData {
     Counter(f64),
     Gauge(f64),
     Histogram(HistogramData),
+    WindowedHistogram(WindowedHistogram),
+    WindowedGauge(WindowedGauge),
 }
 
 #[derive(Debug, Clone)]
@@ -267,11 +428,94 @@ impl MetricsRegistry {
         }
     }
 
-    /// Current value of a counter or gauge series, if it exists.
+    /// Records `value` into the sliding-window histogram `name{labels}` at
+    /// caller time `now_s` (seconds; e.g. seconds since service start),
+    /// using the [`WindowConfig::default`] layout. The series renders as a
+    /// `gauge` family of p50/p90/p99 samples labelled `quantile`, computed
+    /// over the window anchored at the most recent observation.
+    pub fn windowed_observe(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        now_s: u64,
+    ) {
+        self.windowed_observe_with(name, help, labels, value, now_s, WindowConfig::default);
+    }
+
+    /// [`windowed_observe`](Self::windowed_observe) with an explicit window
+    /// layout, applied only when the series is first created.
+    pub fn windowed_observe_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        now_s: u64,
+        config: impl FnOnce() -> WindowConfig,
+    ) {
+        let set = label_set(labels);
+        match self
+            .family(name, help, "window_histogram")
+            .series
+            .entry(set)
+            .or_insert_with(|| MetricData::WindowedHistogram(WindowedHistogram::new(&config())))
+        {
+            MetricData::WindowedHistogram(w) => w.observe(value, now_s),
+            _ => unreachable!("family() enforces the kind"),
+        }
+    }
+
+    /// Records `value` into the sliding-window peak gauge `name{labels}` at
+    /// caller time `now_s`. The rendered sample is the maximum observed
+    /// value over the window anchored at the most recent observation —
+    /// a "worst level recently" companion to a last-write-wins gauge.
+    pub fn windowed_gauge_set(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        now_s: u64,
+    ) {
+        let set = label_set(labels);
+        match self
+            .family(name, help, "window_gauge")
+            .series
+            .entry(set)
+            .or_insert_with(|| {
+                MetricData::WindowedGauge(WindowedGauge::new(&WindowConfig::default()))
+            }) {
+            MetricData::WindowedGauge(w) => w.observe(value, now_s),
+            _ => unreachable!("family() enforces the kind"),
+        }
+    }
+
+    /// Windowed-histogram quantile over the live window, `None` for a
+    /// missing series or an empty window.
+    pub fn windowed_quantile(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
+        match self.families.get(name)?.series.get(&label_set(labels))? {
+            MetricData::WindowedHistogram(w) => w.merged().quantile(q),
+            _ => None,
+        }
+    }
+
+    /// Number of observations inside a windowed histogram's live window.
+    pub fn windowed_count(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.families.get(name)?.series.get(&label_set(labels))? {
+            MetricData::WindowedHistogram(w) => Some(w.merged().count),
+            _ => None,
+        }
+    }
+
+    /// Current value of a counter or gauge series, if it exists. Windowed
+    /// gauges report their live-window peak.
     pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
         match self.families.get(name)?.series.get(&label_set(labels))? {
             MetricData::Counter(v) | MetricData::Gauge(v) => Some(*v),
-            MetricData::Histogram(_) => None,
+            MetricData::WindowedGauge(w) => w.peak(),
+            MetricData::Histogram(_) | MetricData::WindowedHistogram(_) => None,
         }
     }
 
@@ -346,15 +590,41 @@ impl MetricsRegistry {
     /// Renders the registry in the Prometheus text exposition format,
     /// deterministically: families sorted by name, series sorted by label
     /// set, histogram buckets in ascending `le` order ending at `+Inf`.
+    /// Windowed series render as `gauge` families: quantile samples (with a
+    /// `quantile` label) for windowed histograms, the live-window peak for
+    /// windowed gauges; empty windows render no samples.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (name, family) in &self.families {
+            let exposed_kind = match family.kind {
+                "window_histogram" | "window_gauge" => "gauge",
+                k => k,
+            };
             let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
-            let _ = writeln!(out, "# TYPE {name} {}", family.kind);
+            let _ = writeln!(out, "# TYPE {name} {exposed_kind}");
             for (labels, data) in &family.series {
                 match data {
                     MetricData::Counter(v) | MetricData::Gauge(v) => {
                         let _ = writeln!(out, "{name}{} {}", render_labels(labels), fmt_value(*v));
+                    }
+                    MetricData::WindowedHistogram(w) => {
+                        let merged = w.merged();
+                        for (label, q) in WINDOW_QUANTILES {
+                            if let Some(v) = merged.quantile(q) {
+                                let _ = writeln!(
+                                    out,
+                                    "{name}{} {}",
+                                    render_labels_with(labels, "quantile", label),
+                                    fmt_value(v)
+                                );
+                            }
+                        }
+                    }
+                    MetricData::WindowedGauge(w) => {
+                        if let Some(v) = w.peak() {
+                            let _ =
+                                writeln!(out, "{name}{} {}", render_labels(labels), fmt_value(v));
+                        }
                     }
                     MetricData::Histogram(h) => {
                         let mut cumulative = 0u64;
@@ -889,6 +1159,76 @@ mod tests {
         assert!((b[3] - 1.0).abs() < 1e-9);
         let d = default_buckets();
         assert!(d.len() > 40 && d.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn windowed_histogram_expires_old_slots() {
+        let cfg = || WindowConfig {
+            window_secs: 60,
+            slots: 6,
+            buckets: vec![1.0, 10.0, 100.0, 1000.0],
+        };
+        let mut reg = MetricsRegistry::new();
+        // Ten slow observations early in the run...
+        for i in 0..10 {
+            reg.windowed_observe_with("lat_window", "w.", &[], 500.0, i, cfg);
+        }
+        assert_eq!(reg.windowed_quantile("lat_window", &[], 0.99), Some(1000.0));
+        // ...then, two minutes later, fast ones: the slow slots are out of
+        // the 60 s window anchored at the newest observation.
+        for i in 0..10 {
+            reg.windowed_observe_with("lat_window", "w.", &[], 0.5, 120 + i, cfg);
+        }
+        assert_eq!(reg.windowed_quantile("lat_window", &[], 0.99), Some(1.0));
+        assert_eq!(reg.windowed_count("lat_window", &[]), Some(10));
+    }
+
+    #[test]
+    fn windowed_histogram_renders_quantile_gauges() {
+        let mut reg = MetricsRegistry::new();
+        for i in 0..100u64 {
+            reg.windowed_observe("w_seconds_window", "w.", &[("endpoint", "/p")], 0.001, i);
+        }
+        let text = reg.render();
+        assert!(text.contains("# TYPE w_seconds_window gauge"), "{text}");
+        assert!(
+            text.contains("w_seconds_window{endpoint=\"/p\",quantile=\"0.99\"}"),
+            "{text}"
+        );
+        validate_exposition(&text).expect("windowed exposition is valid");
+    }
+
+    #[test]
+    fn empty_windowed_series_render_no_samples() {
+        let mut reg = MetricsRegistry::new();
+        reg.windowed_observe("w_window", "w.", &[], f64::NAN, 0);
+        let text = reg.render();
+        assert!(text.contains("# TYPE w_window gauge"));
+        assert!(!text.contains("w_window{"), "{text}");
+        validate_exposition(&text).expect("headers without samples are valid");
+    }
+
+    #[test]
+    fn windowed_gauge_tracks_the_window_peak() {
+        let mut reg = MetricsRegistry::new();
+        reg.windowed_gauge_set("depth_window", "d.", &[], 9.0, 0);
+        reg.windowed_gauge_set("depth_window", "d.", &[], 3.0, 5);
+        assert_eq!(reg.value("depth_window", &[]), Some(9.0));
+        // 10 minutes later the early peak has aged out.
+        reg.windowed_gauge_set("depth_window", "d.", &[], 2.0, 600);
+        assert_eq!(reg.value("depth_window", &[]), Some(2.0));
+        let text = reg.render();
+        assert!(text.contains("depth_window 2"), "{text}");
+        validate_exposition(&text).expect("valid");
+    }
+
+    #[test]
+    fn windowed_backwards_time_is_dropped() {
+        let mut reg = MetricsRegistry::new();
+        reg.windowed_observe("w_window", "w.", &[], 1.0, 1000);
+        // Same slot index, older epoch: must not clobber the newer slot.
+        reg.windowed_observe("w_window", "w.", &[], 1.0, 400);
+        assert_eq!(reg.windowed_count("w_window", &[]), Some(1));
     }
 
     #[test]

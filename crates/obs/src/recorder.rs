@@ -1,5 +1,6 @@
 //! Span/counter recorder with pluggable clock.
 
+use crate::flight::TraceContext;
 use serde::Value;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -83,6 +84,7 @@ pub struct Recorder {
     counters: BTreeMap<String, Vec<CounterSample>>,
     track: u32,
     next_track: u32,
+    trace: Option<TraceContext>,
 }
 
 impl Default for Recorder {
@@ -113,7 +115,31 @@ impl Recorder {
             counters: BTreeMap::new(),
             track: 0,
             next_track: 1,
+            trace: None,
         }
+    }
+
+    /// Stamps this recorder with a request-scoped [`TraceContext`].
+    ///
+    /// The context identifies every span recorded here as part of one
+    /// request tree: the trace id flows into
+    /// [`crate::RequestTrace::from_recorder`] and the JSON dump, and a
+    /// context with a parent span makes [`Recorder::merge`] re-home this
+    /// recorder's root spans under that span of the merge target.
+    pub fn set_trace(&mut self, trace: TraceContext) {
+        self.trace = Some(trace);
+    }
+
+    /// Builder form of [`Recorder::set_trace`].
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.set_trace(trace);
+        self
+    }
+
+    /// The trace context stamped on this recorder, if any.
+    pub fn trace(&self) -> Option<TraceContext> {
+        self.trace
     }
 
     /// Current tick count.
@@ -226,6 +252,12 @@ impl Recorder {
         &self.spans
     }
 
+    /// The record behind a span handle (open or closed). `None` only for
+    /// handles from another recorder with more spans.
+    pub fn record_of(&self, span: SpanId) -> Option<&SpanRecord> {
+        self.spans.get(span.0)
+    }
+
     /// All instantaneous events in emission order.
     pub fn events(&self) -> &[EventRecord] {
         &self.events
@@ -239,16 +271,29 @@ impl Recorder {
     /// Absorbs `other`, re-homing its tracks after this recorder's so the
     /// two span forests never interleave. Use for per-thread recorders
     /// joined back into the pipeline's main one.
+    ///
+    /// If `other` carries a [`TraceContext`] whose `parent_span` names a
+    /// span of *this* recorder, `other`'s root spans are adopted as
+    /// children of that span, so child-stage recorders fold back into one
+    /// request tree.
     pub fn merge(&mut self, other: Recorder) {
         let mut other = other;
         other.close_all();
         let base_span = self.spans.len();
+        let adopt = other
+            .trace
+            .and_then(|t| t.parent_span)
+            .map(|p| p as usize)
+            .filter(|p| *p < base_span);
         let shift = self.next_track;
         let mut max_track = 0;
         for mut s in other.spans {
             s.track += shift;
             max_track = max_track.max(s.track);
-            s.parent = s.parent.map(|p| p + base_span);
+            s.parent = match s.parent {
+                Some(p) => Some(p + base_span),
+                None => adopt,
+            };
             self.spans.push(s);
         }
         for mut e in other.events {
@@ -318,11 +363,14 @@ impl Recorder {
                 ])
             })
             .collect();
-        Value::Map(vec![
-            ("spans".to_string(), Value::Seq(spans)),
-            ("counters".to_string(), Value::Map(counters)),
-            ("events".to_string(), Value::Seq(events)),
-        ])
+        let mut top = Vec::new();
+        if let Some(t) = self.trace {
+            top.push(("trace_id".to_string(), Value::U64(t.trace_id)));
+        }
+        top.push(("spans".to_string(), Value::Seq(spans)));
+        top.push(("counters".to_string(), Value::Map(counters)));
+        top.push(("events".to_string(), Value::Seq(events)));
+        Value::Map(top)
     }
 
     /// Compact deterministic JSON dump of [`Recorder::to_value`].
@@ -442,6 +490,44 @@ mod tests {
         assert_eq!(spans[1].track, 1);
         assert_eq!(spans[2].track, 1);
         assert_eq!(spans[2].parent, Some(1));
+    }
+
+    #[test]
+    fn merge_adopts_roots_under_the_trace_parent_span() {
+        let mut main = Recorder::manual();
+        let root = main.start("request");
+        main.set_time(2);
+        let predict = main.start("predict");
+
+        let mut stage =
+            Recorder::manual().with_trace(crate::TraceContext::root(9).child_of(predict));
+        let inner = stage.start("project");
+        stage.set_time(1);
+        stage.end(inner);
+
+        main.merge(stage);
+        main.set_time(5);
+        main.end(predict);
+        main.end(root);
+        let spans = main.spans();
+        // The child stage's root span hangs off `predict`, not top level.
+        assert_eq!(spans[2].name, "project");
+        assert_eq!(spans[2].parent, Some(1));
+        // Local nesting inside the merged recorder is still shifted as before.
+        assert_eq!(spans[1].parent, Some(0));
+    }
+
+    #[test]
+    fn trace_context_round_trips_and_shows_in_the_dump() {
+        let ctx = crate::TraceContext::root(42);
+        let mut r = Recorder::manual().with_trace(ctx);
+        assert_eq!(r.trace(), Some(ctx));
+        let s = r.start("request");
+        r.set_time(3);
+        r.end(s);
+        assert!(r.to_json().contains("\"trace_id\":42"), "{}", r.to_json());
+        // Untraced recorders keep the historical dump shape.
+        assert!(!Recorder::manual().to_json().contains("trace_id"));
     }
 
     #[test]

@@ -113,6 +113,12 @@ pub struct SimOptions {
     /// [`crate::stats::FastForwardStats`] diagnostics differ. Disable to
     /// run the single-step oracle (the differential tests do).
     pub fast_forward: bool,
+    /// Measures the wall-time split between the horizon scan and stepped
+    /// execution (`horizon_scan_nanos`/`step_nanos` in
+    /// [`crate::stats::FastForwardStats`]). Off by default: it adds two
+    /// clock reads per loop iteration, which perturbs throughput runs, so
+    /// benchmarks take a separate instrumented run for the split.
+    pub horizon_timing: bool,
 }
 
 impl Default for SimOptions {
@@ -120,6 +126,7 @@ impl Default for SimOptions {
         Self {
             max_cycles: DEFAULT_MAX_CYCLES,
             fast_forward: true,
+            horizon_timing: false,
         }
     }
 }
@@ -138,6 +145,13 @@ impl SimOptions {
     #[must_use]
     pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
         self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Enables the horizon-overhead wall-time split.
+    #[must_use]
+    pub fn with_horizon_timing(mut self, horizon_timing: bool) -> Self {
+        self.horizon_timing = horizon_timing;
         self
     }
 }
@@ -312,6 +326,7 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
         }
 
         if opts.fast_forward {
+            let scan_t0 = opts.horizon_timing.then(std::time::Instant::now);
             let h = event_horizon(
                 &mut cursors,
                 modes,
@@ -321,7 +336,12 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
                 cycle,
                 max_cycles,
             );
+            if let Some(t0) = scan_t0 {
+                stats.fast_forward.horizon_scan_nanos += t0.elapsed().as_nanos() as u64;
+            }
+            stats.fast_forward.horizon_computations += 1;
             if h > 1 {
+                stats.fast_forward.horizon_skips += 1;
                 bulk_advance(
                     config, &mut stats, modes, cg_open, &mut eu, sink, telemetry, cycle, h,
                 );
@@ -329,6 +349,7 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
                 continue;
             }
         }
+        let step_t0 = opts.horizon_timing.then(std::time::Instant::now);
 
         let mut barrier_release = false;
         let mut any_active = false;
@@ -495,6 +516,9 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
 
         if any_active || !config.model_clock_gating {
             stats.cluster_active_cycles += 1;
+        }
+        if let Some(t0) = step_t0 {
+            stats.fast_forward.step_nanos += t0.elapsed().as_nanos() as u64;
         }
         cycle += 1;
     }
@@ -1329,6 +1353,43 @@ mod tests {
             s.fast_forward.skipped_cycles,
             s.cycles
         );
+    }
+
+    #[test]
+    fn horizon_accounting_counts_scans_and_skips() {
+        let p = dma_barrier_program();
+        let s = run_opts(&p, &SimOptions::default());
+        // One scan per non-bulk iteration plus one per bulk span.
+        assert!(s.fast_forward.horizon_computations > 0);
+        assert_eq!(s.fast_forward.horizon_skips, s.fast_forward.spans);
+        assert!(s.fast_forward.horizon_skips <= s.fast_forward.horizon_computations);
+        // Timing was off: the wall-time split stays untouched.
+        assert_eq!(s.fast_forward.horizon_scan_nanos, 0);
+        assert_eq!(s.fast_forward.step_nanos, 0);
+        assert_eq!(s.fast_forward.horizon_scan_share(), 0.0);
+        // The oracle runs no scans at all.
+        let oracle = run_opts(&p, &SimOptions::oracle());
+        assert_eq!(oracle.fast_forward.horizon_computations, 0);
+    }
+
+    #[test]
+    fn horizon_timing_fills_the_wall_split_without_changing_results() {
+        let p = dma_barrier_program();
+        let timed = run_opts(&p, &SimOptions::default().with_horizon_timing(true));
+        let untimed = run_opts(&p, &SimOptions::default());
+        assert!(
+            timed.fast_forward.horizon_scan_nanos > 0,
+            "timed run must measure the scan: {:?}",
+            timed.fast_forward
+        );
+        // Architectural results and the discrete horizon counters are
+        // identical; only the nano fields differ.
+        assert_eq!(timed.without_fast_forward(), untimed.without_fast_forward());
+        assert_eq!(
+            timed.fast_forward.horizon_computations,
+            untimed.fast_forward.horizon_computations
+        );
+        assert_eq!(timed.fast_forward.spans, untimed.fast_forward.spans);
     }
 
     #[test]

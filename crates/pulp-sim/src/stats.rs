@@ -87,15 +87,61 @@ pub struct DmaStats {
 ///
 /// Diagnostic counters describing *how* the simulator advanced, not *what*
 /// it simulated: every architectural counter in [`SimStats`] is bit-identical
-/// whether a run fast-forwards or single-steps. Both fields are zero when
+/// whether a run fast-forwards or single-steps. All fields are zero when
 /// fast-forward is disabled. When comparing a fast-forward run against the
 /// single-step oracle, compare [`SimStats::without_fast_forward`] copies.
+///
+/// The horizon-overhead fields attribute where the simulator's own wall
+/// time goes: `horizon_computations`/`horizon_skips` count how often the
+/// horizon scan ran and how often it paid off, and the two `*_nanos` fields
+/// split wall time between scanning and stepping. The nano fields stay zero
+/// unless [`crate::SimOptions::horizon_timing`] is set — per-iteration
+/// clock reads are too expensive for throughput runs, so timing is an
+/// explicit diagnostic mode.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FastForwardStats {
     /// Bulk-advance spans taken (each replaces >= 2 single-step iterations).
     pub spans: u64,
     /// Cycles advanced inside bulk spans.
     pub skipped_cycles: u64,
+    /// Horizon scans performed (one per loop iteration while fast-forward
+    /// is enabled). Defaults when absent in serialised records.
+    #[serde(default)]
+    pub horizon_computations: u64,
+    /// Horizon scans that yielded a skip (horizon > 1, so a bulk advance
+    /// replaced the iteration). Defaults when absent.
+    #[serde(default)]
+    pub horizon_skips: u64,
+    /// Wall time spent inside the horizon scan, in nanoseconds. Zero
+    /// unless timing was requested. Defaults when absent.
+    #[serde(default)]
+    pub horizon_scan_nanos: u64,
+    /// Wall time spent in stepped (non-skipped) loop iterations, in
+    /// nanoseconds. Zero unless timing was requested. Defaults when absent.
+    #[serde(default)]
+    pub step_nanos: u64,
+}
+
+impl FastForwardStats {
+    /// Fraction of horizon scans that yielded a skip (0.0 when none ran).
+    pub fn horizon_hit_rate(&self) -> f64 {
+        if self.horizon_computations == 0 {
+            0.0
+        } else {
+            self.horizon_skips as f64 / self.horizon_computations as f64
+        }
+    }
+
+    /// Share of measured wall time spent scanning for the horizon rather
+    /// than stepping (0.0 when timing was off or nothing was measured).
+    pub fn horizon_scan_share(&self) -> f64 {
+        let total = self.horizon_scan_nanos + self.step_nanos;
+        if total == 0 {
+            0.0
+        } else {
+            self.horizon_scan_nanos as f64 / total as f64
+        }
+    }
 }
 
 /// Complete statistics of one simulation run.
@@ -438,6 +484,43 @@ mod tests {
         let back: SimStats =
             serde::Deserialize::from_value(&serde::Value::Map(entries)).expect("deserialise");
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn horizon_overhead_ratios_and_serde_defaults() {
+        let mut s = SimStats::new(1, 1, 1);
+        s.fast_forward.horizon_computations = 10;
+        s.fast_forward.horizon_skips = 4;
+        s.fast_forward.horizon_scan_nanos = 30;
+        s.fast_forward.step_nanos = 70;
+        assert!((s.fast_forward.horizon_hit_rate() - 0.4).abs() < 1e-12);
+        assert!((s.fast_forward.horizon_scan_share() - 0.3).abs() < 1e-12);
+        assert_eq!(FastForwardStats::default().horizon_hit_rate(), 0.0);
+        assert_eq!(FastForwardStats::default().horizon_scan_share(), 0.0);
+        // The oracle view clears the horizon fields with the rest.
+        assert_eq!(
+            s.without_fast_forward().fast_forward,
+            FastForwardStats::default()
+        );
+        // Records serialised before the horizon fields existed still
+        // round-trip: strip them from the nested map and deserialise.
+        s.cycles = 3;
+        let serde::Value::Map(mut entries) = serde::Serialize::to_value(&s) else {
+            panic!("SimStats must serialise to a map");
+        };
+        let ff = entries
+            .iter_mut()
+            .find(|(k, _)| k == "fast_forward")
+            .expect("fast_forward present");
+        let serde::Value::Map(inner) = &mut ff.1 else {
+            panic!("fast_forward must serialise to a map");
+        };
+        inner.retain(|(k, _)| k == "spans" || k == "skipped_cycles");
+        let back: SimStats =
+            serde::Deserialize::from_value(&serde::Value::Map(entries)).expect("deserialise");
+        assert_eq!(back.cycles, 3);
+        assert_eq!(back.fast_forward.horizon_computations, 0);
+        assert_eq!(back.fast_forward.step_nanos, 0);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use pulp_bench::serve::{check_exposition, ServeOptions, ServeState, Server, Shut
 use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};
 use pulp_energy::{static_feature_vector, EnergyPredictor, StaticFeatureSet};
 use pulp_ml::TreeParams;
-use pulp_obs::MetricsRegistry;
+use pulp_obs::{validate_chrome_trace, validate_exposition, LogFormat, Logger, MetricsRegistry};
 use serde::Value;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -552,6 +552,184 @@ fn oversized_body_is_refused_with_413_before_reading_it() {
     let at_limit = "x".repeat(256);
     let (status, _) = request(addr, "POST", "/predict", &at_limit);
     assert_eq!(status, 400, "at-limit body reaches the JSON parser");
+
+    handle.trigger();
+    thread.join().expect("server thread joins");
+}
+
+#[test]
+fn metrics_exposition_is_versioned_and_machine_valid() {
+    let (addr, _state, handle, thread) = spawn_server(ServeOptions::default());
+
+    // Exercise a predict first so histograms and windowed series exist.
+    let body = r#"{"kernel": "vec_scale", "dtype": "i32", "size": 2048}"#;
+    let (status, _) = request(addr, "POST", "/predict", body);
+    assert_eq!(status, 200);
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+    send_on(&mut stream, "GET", "/metrics", "");
+    let (status, headers, text) = read_framed(&mut reader);
+    assert_eq!(status, 200);
+    let content_type = &headers
+        .iter()
+        .find(|(n, _)| n == "content-type")
+        .expect("content-type header")
+        .1;
+    assert!(
+        content_type.starts_with("text/plain; version=0.0.4"),
+        "Prometheus exposition must be versioned: {content_type}"
+    );
+    validate_exposition(&text).expect("exposition must pass the validator");
+    // The sliding-window latency series renders next to the cumulative
+    // histogram it mirrors.
+    assert!(
+        text.contains("pulp_serve_request_seconds_window"),
+        "windowed series missing from the exposition"
+    );
+    assert!(text.contains("pulp_http_request_seconds_bucket"));
+
+    handle.trigger();
+    thread.join().expect("server thread joins");
+}
+
+#[test]
+fn debug_requests_serves_a_validated_chrome_trace_of_every_request() {
+    let (addr, state, handle, thread) = spawn_server(ServeOptions::default());
+
+    let body = r#"{"kernel": "vec_scale", "dtype": "i32", "size": 2048}"#;
+    const N: usize = 5;
+    for _ in 0..N {
+        let (status, reply) = request(addr, "POST", "/predict", body);
+        assert_eq!(status, 200, "predict failed: {reply}");
+    }
+
+    let (status, trace) = request(addr, "GET", "/debug/requests?n=64", "");
+    assert_eq!(status, 200, "debug endpoint failed: {trace}");
+    validate_chrome_trace(&trace).expect("flight-recorder trace must validate");
+    // Every request above appears as its own lane with the promised child
+    // spans: queue wait at the front, the predict stage, the final write.
+    let count = |needle: &str| trace.matches(needle).count();
+    assert!(
+        count("\"queue_wait\"") >= N,
+        "every request carries a queue_wait span: {trace}"
+    );
+    assert!(count("\"predict\"") >= N, "predict spans missing: {trace}");
+    assert!(count("\"write\"") >= N, "write spans missing: {trace}");
+    // The recorder retained each completed request (the /debug request
+    // itself is recorded after its response is written, so >= N).
+    assert!(state.flight().completed() >= N as u64);
+
+    // The slow table renders as a deterministic JSON array sorted worst
+    // first.
+    let (status, slow) = request(addr, "GET", "/debug/slow?n=8", "");
+    assert_eq!(status, 200);
+    let v: Value = serde_json::from_str(&slow).expect("slow summary is JSON");
+    let entries = v.as_seq().expect("top-level array");
+    assert!(!entries.is_empty());
+    let worst: Vec<u64> = entries
+        .iter()
+        .map(|e| {
+            e.field("total_ticks")
+                .and_then(Value::as_u64)
+                .expect("ticks")
+        })
+        .collect();
+    assert!(worst.windows(2).all(|w| w[0] >= w[1]), "sorted: {worst:?}");
+
+    handle.trigger();
+    thread.join().expect("server thread joins");
+}
+
+#[test]
+fn slow_request_lines_honour_the_json_log_format() {
+    let (pipeline, data) = fixture();
+    let state = Arc::new(
+        ServeState::from_parts(
+            EnergyPredictor::train(data, StaticFeatureSet::All, TreeParams::default())
+                .expect("predictor trains"),
+            data,
+            MetricsRegistry::new(),
+            pipeline,
+        )
+        .with_logger(Logger::to_sink(LogFormat::Json)),
+    );
+    // slow_ms 0: every request is "slow", so one line per request.
+    let opts = ServeOptions {
+        slow_ms: 0,
+        ..ServeOptions::default()
+    };
+    let server =
+        Server::bind_with("127.0.0.1:0", Arc::clone(&state), opts).expect("bind ephemeral port");
+    let addr = server.addr;
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let body = r#"{"kernel": "vec_scale", "dtype": "i32", "size": 2048}"#;
+    let (status, reply) = request(addr, "POST", "/predict", body);
+    assert_eq!(status, 200, "predict failed: {reply}");
+
+    // The line lands after the response is written; poll briefly.
+    let mut lines = Vec::new();
+    for _ in 0..100 {
+        lines = state.log_lines().expect("sink logger");
+        if !lines.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(!lines.is_empty(), "slow_ms=0 must log every request");
+    let v: Value = serde_json::from_str(&lines[0]).expect("JSON-lines record");
+    assert_eq!(v.field("level").and_then(Value::as_str), Ok("warn"));
+    assert_eq!(v.field("stage").and_then(Value::as_str), Ok("serve"));
+    assert_eq!(v.field("endpoint").and_then(Value::as_str), Ok("/predict"));
+    assert_eq!(v.field("status").and_then(Value::as_str), Ok("200"));
+    assert!(v.field("trace_id").and_then(Value::as_str).is_ok());
+    let spans = v.field("spans").and_then(Value::as_str).expect("spans");
+    assert!(
+        spans.contains("queue_wait=") && spans.contains("predict="),
+        "span breakdown names the stages: {spans}"
+    );
+
+    handle.trigger();
+    thread.join().expect("server thread joins");
+}
+
+#[test]
+fn windowed_p99_tracks_the_cumulative_p99_under_steady_load() {
+    let (addr, state, handle, thread) = spawn_server(ServeOptions::default());
+
+    let body = r#"{"kernel": "vec_scale", "dtype": "i32", "size": 2048}"#;
+    for _ in 0..60 {
+        let (status, reply) = request(addr, "POST", "/predict", body);
+        assert_eq!(status, 200, "predict failed: {reply}");
+    }
+
+    // Every observation of this run is inside the 60s window, and the
+    // windowed series shares the cumulative histogram's log buckets — the
+    // two p99 estimates must land within one log-bucket of each other
+    // (buckets are 10^(1/4) apart).
+    let windowed = state
+        .windowed_quantile(
+            "pulp_serve_request_seconds_window",
+            &[("endpoint", "/predict")],
+            0.99,
+        )
+        .expect("windowed series exists");
+    let cumulative = state
+        .histogram_quantile(
+            "pulp_http_request_seconds",
+            &[("endpoint", "/predict")],
+            0.99,
+        )
+        .expect("cumulative histogram exists");
+    assert!(windowed > 0.0 && cumulative > 0.0);
+    let log_distance = (windowed / cumulative).log10().abs();
+    assert!(
+        log_distance < 0.2501,
+        "windowed p99 {windowed} vs cumulative {cumulative}: {log_distance} decades apart"
+    );
 
     handle.trigger();
     thread.join().expect("server thread joins");
