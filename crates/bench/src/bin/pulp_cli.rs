@@ -89,6 +89,7 @@ struct Args {
     quick: bool,
     out: Option<String>,
     max_cycles: Option<u64>,
+    iters: Option<u32>,
     workers: Option<usize>,
     queue_depth: Option<usize>,
     timeout_ms: Option<u64>,
@@ -121,6 +122,7 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
         quick: false,
         out: None,
         max_cycles: None,
+        iters: None,
         workers: None,
         queue_depth: None,
         timeout_ms: None,
@@ -155,6 +157,7 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
             "--quick" => args.quick = true,
             "--out" => args.out = Some(argv.next()?),
             "--max-cycles" => args.max_cycles = Some(positive(&mut argv, "--max-cycles")?),
+            "--iters" => args.iters = Some(positive(&mut argv, "--iters")?),
             "--workers" => args.workers = Some(positive(&mut argv, "--workers")?),
             "--queue-depth" => args.queue_depth = Some(positive(&mut argv, "--queue-depth")?),
             "--timeout-ms" => args.timeout_ms = Some(positive(&mut argv, "--timeout-ms")?),
@@ -224,7 +227,7 @@ fn usage() -> ExitCode {
                 [--queue-depth N] [--timeout-ms N] [--max-body-bytes N] [--keepalive-max N]\n   \
                 [--slow-ms N] [--flight-capacity N] [--log-json]\n   \
          or: pulp_cli bench diff OLD.json NEW.json [--p99-tolerance X]\n   \
-         or: pulp_cli bench sim [--quick] [--out PATH] [--max-cycles N]\n   \
+         or: pulp_cli bench sim [--quick] [--out PATH] [--max-cycles N] [--iters N]\n   \
          or: pulp_cli bench serve [--quick] [--out PATH] [--trace-out PATH]"
     );
     ExitCode::FAILURE
@@ -241,6 +244,24 @@ const REGRESSION_TOLERANCE: f64 = 0.01;
 /// Maximum tolerated relative drop in simulator throughput
 /// (`ff_cycles_per_s`) per basket before `bench diff` fails: 20%.
 const SIM_THROUGHPUT_TOLERANCE: f64 = 0.20;
+
+/// Minimum fast-forward speedup over the single-step oracle tolerated on
+/// any candidate basket: the fast-forward path must never be slower than
+/// just stepping. Guards the contended-path regression (PR 4 shipped ALU
+/// baskets at 0.64–0.89×) from coming back.
+const SIM_SPEEDUP_FLOOR: f64 = 1.0;
+
+/// Wall-clock jitter allowance on the speedup floor. Contended baskets sit
+/// at parity (speedup ≈ 1.00 — nothing is skippable, so the fast-forward
+/// does the same work as the oracle), and a knife-edge `< 1.0` check would
+/// flake on scheduler noise; the regression this gate guards shipped at
+/// 0.64–0.89×, far below the 0.95 effective floor.
+const SIM_SPEEDUP_NOISE: f64 = 0.05;
+
+/// Maximum tolerated relative drop in labeling throughput
+/// (`labeling_samples_per_s`) before `bench diff` fails: 20%. Only gated
+/// when both records carry the measurement (older baselines predate it).
+const SIM_LABELING_TOLERANCE: f64 = 0.20;
 
 /// Default maximum tolerated relative p99-latency regression per serve
 /// mix before `bench diff` fails: 20%. Override with `--p99-tolerance`
@@ -292,7 +313,9 @@ fn record_rows<'a>(v: &'a Value, side: &str) -> Result<&'a [Value], String> {
 }
 
 /// `BENCH_sim.json`: fail on >20% `ff_cycles_per_s` drop on any
-/// (basket, cores) row, or a row missing from the candidate.
+/// (basket, cores) row, a row missing from the candidate, any candidate
+/// row with fast-forward `speedup` below [`SIM_SPEEDUP_FLOOR`], or a >20%
+/// drop in labeling throughput when both records measure it.
 fn sim_regressions(old: &Value, new: &Value) -> Result<Vec<String>, String> {
     check_same_profile(old, new)?;
     let (old_rows, new_rows) = (
@@ -327,6 +350,43 @@ fn sim_regressions(old: &Value, new: &Value) -> Result<Vec<String>, String> {
                  (drop {:.1}% > {:.0}% tolerance)",
                 (1.0 - new_cps / old_cps) * 100.0,
                 SIM_THROUGHPUT_TOLERANCE * 100.0
+            ));
+        }
+    }
+    // Absolute floor on every candidate row: the fast-forward must beat
+    // (or match) the oracle on all baskets, not just avoid drops vs the
+    // previous record.
+    for new_row in new_rows {
+        let Some((basket, cores)) = key(new_row) else {
+            return Err("candidate: row without basket/cores".to_string());
+        };
+        let Ok(speedup) = new_row.field("speedup").and_then(Value::as_f64) else {
+            continue;
+        };
+        if speedup < SIM_SPEEDUP_FLOOR - SIM_SPEEDUP_NOISE {
+            regressions.push(format!(
+                "{basket} @ {cores} cores: fast-forward speedup {speedup:.2}x \
+                 below the {SIM_SPEEDUP_FLOOR:.1}x floor (with {:.0}% jitter \
+                 allowance) — the skipping path is slower than single-stepping",
+                SIM_SPEEDUP_NOISE * 100.0
+            ));
+        }
+    }
+    // Labeling throughput: gate only when both records carry a positive
+    // measurement (baselines from before the column lack it).
+    let labeling = |v: &Value| {
+        v.field("labeling_samples_per_s")
+            .and_then(Value::as_f64)
+            .ok()
+            .filter(|&s| s > 0.0)
+    };
+    if let (Some(old_sps), Some(new_sps)) = (labeling(old), labeling(new)) {
+        if new_sps < old_sps * (1.0 - SIM_LABELING_TOLERANCE) {
+            regressions.push(format!(
+                "labeling throughput: {old_sps:.1} -> {new_sps:.1} samples/s \
+                 (drop {:.1}% > {:.0}% tolerance)",
+                (1.0 - new_sps / old_sps) * 100.0,
+                SIM_LABELING_TOLERANCE * 100.0
             ));
         }
     }
@@ -461,6 +521,9 @@ fn cmd_bench_sim(args: &Args) -> ExitCode {
     };
     if let Some(n) = args.max_cycles {
         opts.max_cycles = n;
+    }
+    if let Some(n) = args.iters {
+        opts.iters = n;
     }
     eprintln!(
         "bench sim: {} run ({} baskets x {} team sizes, {} timing iteration(s))...",
@@ -1290,6 +1353,90 @@ mod tests {
         }
         let out = bench_regressions(&base, &missing).expect("compare");
         assert!(out.iter().any(|r| r.contains("missing")), "{out:?}");
+    }
+
+    fn sim_value_gated(speedups: &[(&str, u64, f64)], labeling_sps: Option<f64>) -> Value {
+        let rows = speedups
+            .iter()
+            .map(|(basket, cores, speedup)| {
+                Value::Map(vec![
+                    ("basket".to_string(), Value::Str((*basket).to_string())),
+                    ("cores".to_string(), Value::U64(*cores)),
+                    ("ff_cycles_per_s".to_string(), Value::F64(1e7)),
+                    ("speedup".to_string(), Value::F64(*speedup)),
+                ])
+            })
+            .collect();
+        let mut entries = vec![
+            ("bench".to_string(), Value::Str("sim".to_string())),
+            ("quick".to_string(), Value::Bool(true)),
+            ("rows".to_string(), Value::Seq(rows)),
+        ];
+        if let Some(sps) = labeling_sps {
+            entries.push(("labeling_samples_per_s".to_string(), Value::F64(sps)));
+        }
+        Value::Map(entries)
+    }
+
+    #[test]
+    fn bench_diff_gates_sim_speedup_floor() {
+        let base = sim_value_gated(&[("alu", 1, 1.2)], None);
+        // At or above 1.0x passes even when the baseline was faster, and
+        // parity within the jitter allowance (0.96x) is tolerated.
+        assert!(
+            bench_regressions(&base, &sim_value_gated(&[("alu", 1, 1.0)], None))
+                .expect("compare")
+                .is_empty()
+        );
+        assert!(
+            bench_regressions(&base, &sim_value_gated(&[("alu", 1, 0.96)], None))
+                .expect("compare")
+                .is_empty()
+        );
+        // Any candidate basket below 1.0x fails, regardless of the baseline
+        // (extra candidate rows are still gated).
+        let bad = bench_regressions(
+            &base,
+            &sim_value_gated(&[("alu", 1, 1.1), ("tcdm_conflict", 8, 0.84)], None),
+        )
+        .expect("compare");
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(
+            bad[0].contains("tcdm_conflict @ 8 cores") && bad[0].contains("floor"),
+            "{bad:?}"
+        );
+        // Rows without the column (older records) are skipped, not failed.
+        assert!(bench_regressions(&base, &sim_value(true, 1e7))
+            .expect("compare")
+            .is_empty());
+    }
+
+    #[test]
+    fn bench_diff_gates_labeling_throughput() {
+        let base = sim_value_gated(&[("alu", 1, 1.2)], Some(100.0));
+        // Within 20% passes; beyond fails and names the column.
+        assert!(
+            bench_regressions(&base, &sim_value_gated(&[("alu", 1, 1.2)], Some(85.0)))
+                .expect("compare")
+                .is_empty()
+        );
+        let bad = bench_regressions(&base, &sim_value_gated(&[("alu", 1, 1.2)], Some(50.0)))
+            .expect("compare");
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("labeling throughput"), "{bad:?}");
+        // Either side missing (or zero) disables the gate: old baselines
+        // predate the column.
+        assert!(
+            bench_regressions(&base, &sim_value_gated(&[("alu", 1, 1.2)], None))
+                .expect("compare")
+                .is_empty()
+        );
+        assert!(bench_regressions(
+            &sim_value_gated(&[("alu", 1, 1.2)], Some(0.0)),
+            &sim_value_gated(&[("alu", 1, 1.2)], Some(50.0))
+        )
+        .expect("compare")
+        .is_empty());
     }
 
     fn serve_value(quick: bool, kernel_p99: f64, shed: f64, errors: u64) -> Value {

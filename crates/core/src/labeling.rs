@@ -179,11 +179,30 @@ pub fn measure_kernel_budgeted(
     model: &EnergyModel,
     max_cycles: u64,
 ) -> Result<EnergyProfile, MeasureError> {
+    measure_kernel_scratch(kernel, config, model, max_cycles, &mut SimScratch::new())
+}
+
+/// [`measure_kernel_budgeted`] with a caller-provided [`SimScratch`].
+///
+/// The sharded sweep driver ([`measure_kernels_sharded`]) hands each worker
+/// thread one scratch that is reused across *all* its kernels and team
+/// sizes, so a multi-thousand-sample labelling run performs a handful of
+/// scratch allocations instead of one per sample.
+///
+/// # Errors
+///
+/// See [`measure_kernel_budgeted`].
+pub fn measure_kernel_scratch(
+    kernel: &Kernel,
+    config: &ClusterConfig,
+    model: &EnergyModel,
+    max_cycles: u64,
+    scratch: &mut SimScratch,
+) -> Result<EnergyProfile, MeasureError> {
     let mut energy = [0.0; NUM_CLASSES];
     let mut cycles = [0u64; NUM_CLASSES];
     let mut dynamic = Vec::with_capacity(NUM_CLASSES);
     let opts = SimOptions::default().with_max_cycles(max_cycles);
-    let mut scratch = SimScratch::new();
     for team in 1..=NUM_CLASSES.min(config.num_cores) {
         let lowered = lower(kernel, team, config)?;
         let stats = simulate_opts(
@@ -192,7 +211,7 @@ pub fn measure_kernel_budgeted(
             &opts,
             &mut NullSink,
             &mut NoTelemetry,
-            &mut scratch,
+            scratch,
         )?;
         energy[team - 1] = energy_of(&stats, model, config).total();
         cycles[team - 1] = stats.cycles;
@@ -218,11 +237,34 @@ pub fn measure_kernel_instrumented(
     max_cycles: u64,
     rec: &mut Recorder,
 ) -> Result<EnergyProfile, MeasureError> {
+    measure_kernel_instrumented_scratch(
+        kernel,
+        config,
+        model,
+        max_cycles,
+        rec,
+        &mut SimScratch::new(),
+    )
+}
+
+/// [`measure_kernel_instrumented`] with a caller-provided [`SimScratch`]
+/// (see [`measure_kernel_scratch`] for why sweeps thread one through).
+///
+/// # Errors
+///
+/// See [`measure_kernel`].
+pub fn measure_kernel_instrumented_scratch(
+    kernel: &Kernel,
+    config: &ClusterConfig,
+    model: &EnergyModel,
+    max_cycles: u64,
+    rec: &mut Recorder,
+    scratch: &mut SimScratch,
+) -> Result<EnergyProfile, MeasureError> {
     let mut energy = [0.0; NUM_CLASSES];
     let mut cycles = [0u64; NUM_CLASSES];
     let mut dynamic = Vec::with_capacity(NUM_CLASSES);
     let opts = SimOptions::default().with_max_cycles(max_cycles);
-    let mut scratch = SimScratch::new();
     for team in 1..=NUM_CLASSES.min(config.num_cores) {
         let span = rec.start_cat(&format!("simulate t{team}"), "simulate");
         let result = (|| -> Result<_, MeasureError> {
@@ -233,7 +275,7 @@ pub fn measure_kernel_instrumented(
                 &opts,
                 &mut NullSink,
                 &mut NoTelemetry,
-                &mut scratch,
+                scratch,
             )?;
             Ok(stats)
         })();
@@ -277,6 +319,32 @@ pub fn measure_kernel_cached(
     cache: &SweepCache,
     rec: &mut Recorder,
 ) -> Result<EnergyProfile, MeasureError> {
+    measure_kernel_cached_scratch(
+        kernel,
+        config,
+        model,
+        max_cycles,
+        cache,
+        rec,
+        &mut SimScratch::new(),
+    )
+}
+
+/// [`measure_kernel_cached`] with a caller-provided [`SimScratch`]
+/// (see [`measure_kernel_scratch`]; the scratch is only touched on a miss).
+///
+/// # Errors
+///
+/// See [`measure_kernel`].
+pub fn measure_kernel_cached_scratch(
+    kernel: &Kernel,
+    config: &ClusterConfig,
+    model: &EnergyModel,
+    max_cycles: u64,
+    cache: &SweepCache,
+    rec: &mut Recorder,
+    scratch: &mut SimScratch,
+) -> Result<EnergyProfile, MeasureError> {
     let sample = kernel.sample_id();
     let key = cache.key(&sample, config, model);
     let expected_teams = NUM_CLASSES.min(config.num_cores);
@@ -291,9 +359,99 @@ pub fn measure_kernel_cached(
         // A hash collision or foreign entry of the wrong shape: ignore it
         // and recompute (the store below overwrites it).
     }
-    let profile = measure_kernel_instrumented(kernel, config, model, max_cycles, rec)?;
+    let profile =
+        measure_kernel_instrumented_scratch(kernel, config, model, max_cycles, rec, scratch)?;
     cache.store(&key, &profile.summaries());
     Ok(profile)
+}
+
+/// Sweeps a batch of independent kernels across a scoped worker pool.
+///
+/// Labelling is embarrassingly parallel per sample: each kernel's 1..=8
+/// team-size sweep touches no shared state. Workers claim kernels by
+/// round-robin striding (worker `t` measures indices `t, t + threads, ...`),
+/// each reusing one [`SimScratch`] across every run it performs, and the
+/// profiles land in input order — the result is **bit-identical to
+/// sequential measurement at any thread count**, which the unit tests pin
+/// at 1/2/8 threads.
+///
+/// `threads == 0` uses all available cores; the count is clamped to the
+/// batch size.
+///
+/// # Errors
+///
+/// If any kernels fail, returns the error of the **lowest-indexed** failing
+/// kernel (independent of thread interleaving), as sequential measurement
+/// would.
+pub fn measure_kernels_sharded(
+    kernels: &[Kernel],
+    config: &ClusterConfig,
+    model: &EnergyModel,
+    max_cycles: u64,
+    threads: usize,
+) -> Result<Vec<EnergyProfile>, MeasureError> {
+    if kernels.is_empty() {
+        return Ok(Vec::new());
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+    .min(kernels.len());
+    if threads == 1 {
+        let mut scratch = SimScratch::new();
+        return kernels
+            .iter()
+            .map(|k| measure_kernel_scratch(k, config, model, max_cycles, &mut scratch))
+            .collect();
+    }
+
+    let mut profiles: Vec<Option<EnergyProfile>> = vec![None; kernels.len()];
+    let mut first_error: Option<(usize, MeasureError)> = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut scratch = SimScratch::new();
+                let mut out = Vec::new();
+                let mut i = t;
+                while i < kernels.len() {
+                    out.push((
+                        i,
+                        measure_kernel_scratch(
+                            &kernels[i],
+                            config,
+                            model,
+                            max_cycles,
+                            &mut scratch,
+                        ),
+                    ));
+                    i += threads;
+                }
+                out
+            }));
+        }
+        for h in handles {
+            for (i, res) in h.join().expect("sharded sweep worker panicked") {
+                match res {
+                    Ok(p) => profiles[i] = Some(p),
+                    Err(e) => {
+                        if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                            first_error = Some((i, e));
+                        }
+                    }
+                }
+            }
+        }
+    });
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    Ok(profiles
+        .into_iter()
+        .map(|p| p.expect("all kernels measured"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -410,6 +568,48 @@ mod tests {
         assert_eq!(summaries.len(), 8);
         assert!(summaries.iter().enumerate().all(|(i, s)| s.cores == i + 1));
         assert_eq!(EnergyProfile::from_summaries(&summaries), p);
+    }
+
+    #[test]
+    fn sharded_sweep_is_bit_identical_to_sequential_at_1_2_8_threads() {
+        let config = ClusterConfig::default();
+        let model = EnergyModel::table1();
+        let kernels: Vec<Kernel> = [64usize, 128, 192, 256, 96, 160, 224, 80, 144, 208]
+            .iter()
+            .map(|&n| compute_kernel(n))
+            .collect();
+        let sequential: Vec<EnergyProfile> = kernels
+            .iter()
+            .map(|k| measure_kernel(k, &config, &model).expect("sequential"))
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let sharded =
+                measure_kernels_sharded(&kernels, &config, &model, DEFAULT_MAX_CYCLES, threads)
+                    .expect("sharded");
+            assert_eq!(
+                sharded, sequential,
+                "sharding across {threads} threads must not change any profile"
+            );
+        }
+        assert!(
+            measure_kernels_sharded(&[], &config, &model, DEFAULT_MAX_CYCLES, 4)
+                .expect("empty batch")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn sharded_sweep_reports_the_lowest_indexed_error() {
+        // A 1-cycle budget fails every kernel; the reported error must be
+        // kernel 0's regardless of which worker hits an error first.
+        let config = ClusterConfig::default();
+        let model = EnergyModel::table1();
+        let kernels: Vec<Kernel> = (0..6).map(|i| compute_kernel(64 + i * 32)).collect();
+        let err = measure_kernels_sharded(&kernels, &config, &model, 1, 3)
+            .expect_err("1-cycle budget must fail");
+        let seq_err = measure_kernel_budgeted(&kernels[0], &config, &model, 1)
+            .expect_err("sequential fails too");
+        assert_eq!(format!("{err}"), format!("{seq_err}"));
     }
 
     #[test]

@@ -68,8 +68,9 @@ pub use features::{
     StaticFeatureSet,
 };
 pub use labeling::{
-    measure_kernel, measure_kernel_budgeted, measure_kernel_cached, measure_kernel_instrumented,
-    EnergyProfile, MeasureError, NUM_CLASSES,
+    measure_kernel, measure_kernel_budgeted, measure_kernel_cached, measure_kernel_cached_scratch,
+    measure_kernel_instrumented, measure_kernel_instrumented_scratch, measure_kernel_scratch,
+    measure_kernels_sharded, EnergyProfile, MeasureError, NUM_CLASSES,
 };
 pub use manifest::RunManifest;
 pub use pipeline::{BuildDatasetError, LabeledDataset, PipelineOptions, SampleRecord};

@@ -12,14 +12,14 @@ use crate::features::{
     StaticFeatureSet,
 };
 use crate::labeling::{
-    measure_kernel_cached, measure_kernel_instrumented, MeasureError, NUM_CLASSES,
+    measure_kernel_cached_scratch, measure_kernel_instrumented_scratch, MeasureError, NUM_CLASSES,
 };
 use kernel_ir::{DType, Suite, ValidateKernelError};
 use pulp_energy_model::EnergyModel;
 use pulp_kernels::{all_samples, registry, KernelDef, SampleSpec, PAYLOAD_SIZES};
 use pulp_ml::{Dataset, DatasetError};
 use pulp_obs::Recorder;
-use pulp_sim::ClusterConfig;
+use pulp_sim::{ClusterConfig, SimScratch};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -240,6 +240,9 @@ impl LabeledDataset {
                 let done = &done;
                 handles.push(scope.spawn(move || {
                     let mut worker_rec = Recorder::new();
+                    // One simulator scratch per worker, reused across every
+                    // sample and team size this worker measures.
+                    let mut scratch = SimScratch::new();
                     let mut out = Vec::new();
                     let mut i = t;
                     while i < specs.len() {
@@ -250,6 +253,7 @@ impl LabeledDataset {
                                 &defs[specs[i].kernel_index],
                                 opts_ref,
                                 &mut worker_rec,
+                                &mut scratch,
                             ),
                         ));
                         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -371,6 +375,7 @@ fn measure_one_instrumented(
     def: &KernelDef,
     opts: &PipelineOptions,
     rec: &mut Recorder,
+    scratch: &mut SimScratch,
 ) -> Result<SampleRecord, BuildDatasetError> {
     let params = spec.params();
     let kernel = def
@@ -384,17 +389,23 @@ fn measure_one_instrumented(
         })?;
     let span = rec.start_cat(&kernel.sample_id(), "sample");
     let measured = match &opts.cache {
-        Some(cache) => measure_kernel_cached(
+        Some(cache) => measure_kernel_cached_scratch(
             &kernel,
             &opts.config,
             &opts.model,
             opts.max_cycles,
             cache,
             rec,
+            scratch,
         ),
-        None => {
-            measure_kernel_instrumented(&kernel, &opts.config, &opts.model, opts.max_cycles, rec)
-        }
+        None => measure_kernel_instrumented_scratch(
+            &kernel,
+            &opts.config,
+            &opts.model,
+            opts.max_cycles,
+            rec,
+            scratch,
+        ),
     };
     let profile = match measured {
         Ok(p) => p,

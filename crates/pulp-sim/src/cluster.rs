@@ -87,14 +87,23 @@ impl From<ValidateProgramError> for SimError {
     }
 }
 
+/// Per-core scheduling state, kept as a bare tag.
+///
+/// The payloads the old enum carried (countdown, busy cause) live in the
+/// parallel `left`/`cause` arrays of [`SimScratch`] — struct-of-arrays keeps
+/// the hot loop's mode dispatch on a one-byte discriminant and lets the
+/// horizon scan walk countdowns without destructuring.
+///
+/// Invariants: `Busy`/`Forking` imply `left[core] >= 1`; other modes ignore
+/// `left`/`cause`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
     Ready,
-    /// Finishing a multi-cycle operation; carries the cause its remaining
-    /// cycles are attributed to.
-    Busy(u32, CycleCause),
-    /// Master executing the fork runtime code.
-    Forking(u32),
+    /// Finishing a multi-cycle operation; `left` cycles remain, attributed
+    /// to `cause`.
+    Busy,
+    /// Master executing the fork runtime code for `left` more cycles.
+    Forking,
     SleepBarrier,
     SleepFork,
     Finished,
@@ -113,11 +122,29 @@ pub struct SimOptions {
     /// [`crate::stats::FastForwardStats`] diagnostics differ. Disable to
     /// run the single-step oracle (the differential tests do).
     pub fast_forward: bool,
+    /// Adaptive horizon checks (on by default): the scan that computes the
+    /// event horizon is skipped entirely while any core ended the previous
+    /// iteration `Ready` on immediately runnable work — such a core pins
+    /// the horizon to 1, so the scan provably cannot skip. The scan re-arms
+    /// only on state transitions that could open a quiescent span: a core
+    /// entering a countdown (`Busy`/`Forking`), going to sleep (barrier or
+    /// fork wait), finishing, or parking on `DmaWait`. The set of scans
+    /// that *skip* is identical to the always-scan strategy, so spans,
+    /// skipped cycles and all architectural results are bit-identical; only
+    /// `horizon_computations` shrinks (ALU-bound programs drop from one
+    /// scan per cycle to ~one per run). Disable to scan every iteration —
+    /// the re-arm coverage property tests use that as their reference.
+    pub adaptive_scan: bool,
     /// Measures the wall-time split between the horizon scan and stepped
     /// execution (`horizon_scan_nanos`/`step_nanos` in
-    /// [`crate::stats::FastForwardStats`]). Off by default: it adds two
-    /// clock reads per loop iteration, which perturbs throughput runs, so
-    /// benchmarks take a separate instrumented run for the split.
+    /// [`crate::stats::FastForwardStats`]). Off by default: clock reads
+    /// perturb throughput runs, so benchmarks take a separate instrumented
+    /// run for the split. To keep the observer effect out of the measured
+    /// split itself, timing is *sampled*: one in
+    /// [`TIMING_SAMPLE_PERIOD`] scan/step events is clocked (the first
+    /// always is) and the totals are scaled up by the event count at the
+    /// end, so short runs still report a non-zero split while long runs pay
+    /// two clock reads per 32 events instead of per iteration.
     pub horizon_timing: bool,
 }
 
@@ -126,6 +153,7 @@ impl Default for SimOptions {
         Self {
             max_cycles: DEFAULT_MAX_CYCLES,
             fast_forward: true,
+            adaptive_scan: true,
             horizon_timing: false,
         }
     }
@@ -154,6 +182,29 @@ impl SimOptions {
         self.horizon_timing = horizon_timing;
         self
     }
+
+    /// Toggles the adaptive horizon-scan gating (see
+    /// [`SimOptions::adaptive_scan`]).
+    #[must_use]
+    pub fn with_adaptive_scan(mut self, adaptive_scan: bool) -> Self {
+        self.adaptive_scan = adaptive_scan;
+        self
+    }
+}
+
+/// One in this many `horizon_timing` scan/step events is actually clocked;
+/// the first event of each kind always is. See
+/// [`SimOptions::horizon_timing`].
+const TIMING_SAMPLE_PERIOD: u64 = 32;
+
+/// Scales a sampled nano total up to the full event count
+/// (`raw * events / timed`, in u128 to avoid overflow).
+fn scale_sampled_nanos(raw: u64, events: u64, timed: u64) -> u64 {
+    if timed == 0 {
+        0
+    } else {
+        (u128::from(raw) * u128::from(events) / u128::from(timed)) as u64
+    }
 }
 
 /// Reusable per-run working memory for [`simulate_opts`].
@@ -165,9 +216,18 @@ impl SimOptions {
 /// fully reinitialised on entry — so reuse is purely an allocation saving.
 #[derive(Debug, Default)]
 pub struct SimScratch {
+    // Struct-of-arrays core state: `modes` is the one-byte dispatch tag the
+    // hot loop switches on; `left` and `cause` carry the countdown payload
+    // for `Busy`/`Forking` cores so the horizon scan and bulk advance walk
+    // flat integer arrays.
     modes: Vec<Mode>,
+    left: Vec<u32>,
+    cause: Vec<CycleCause>,
     forks_seen: Vec<u64>,
     cg_open: Vec<bool>,
+    /// Precomputed per-core FPU index (`ClusterConfig::fpu_of` hoisted out
+    /// of the issue path).
+    fpu_of: Vec<usize>,
 }
 
 impl SimScratch {
@@ -176,13 +236,19 @@ impl SimScratch {
         Self::default()
     }
 
-    fn prepare(&mut self, team: usize, num_cores: usize) {
+    fn prepare(&mut self, team: usize, config: &ClusterConfig) {
         self.modes.clear();
         self.modes.resize(team, Mode::Ready);
+        self.left.clear();
+        self.left.resize(team, 0);
+        self.cause.clear();
+        self.cause.resize(team, CycleCause::Idle);
         self.forks_seen.clear();
         self.forks_seen.resize(team, 0);
         self.cg_open.clear();
-        self.cg_open.resize(num_cores, false);
+        self.cg_open.resize(config.num_cores, false);
+        self.fpu_of.clear();
+        self.fpu_of.extend((0..team).map(|c| config.fpu_of(c)));
     }
 }
 
@@ -291,11 +357,14 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
     let mut cursors: Vec<_> = (0..team)
         .map(|c| crate::program::Cursor::new(program, c))
         .collect();
-    scratch.prepare(team, config.num_cores);
+    scratch.prepare(team, config);
     let SimScratch {
         modes,
+        left,
+        cause,
         forks_seen,
         cg_open,
+        fpu_of,
     } = scratch;
 
     let mut eu = EventUnit::new(team);
@@ -317,19 +386,42 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
         config.fork_latency + config.fork_per_worker * (team.saturating_sub(1)) as u32;
 
     let mut cycle: u64 = 0;
+    // Cores in `Mode::Finished`; they never leave it, so an O(1) counter
+    // replaces the per-iteration all-finished scan.
+    let mut finished = 0usize;
+    // The adaptive-scan arm flag: `true` while no core is provably `Ready`
+    // on immediately runnable work, i.e. while a horizon scan *could* find
+    // a skippable span. Each stepped iteration recomputes it from the
+    // transitions it performs (see `SimOptions::adaptive_scan`); a bulk
+    // advance always leaves the woken state worth scanning again.
+    let mut scan_armed = true;
+    // Sampled-timing state (see `SimOptions::horizon_timing`): raw nanos and
+    // how many of the events were clocked, scaled to the full event counts
+    // after the run.
+    let mut scan_nanos_raw = 0u64;
+    let mut scan_timed = 0u64;
+    let mut step_events = 0u64;
+    let mut step_nanos_raw = 0u64;
+    let mut step_timed = 0u64;
     loop {
-        if modes.iter().all(|m| *m == Mode::Finished) {
+        if finished == team {
             break;
         }
         if cycle >= max_cycles {
             return Err(SimError::CycleLimit { budget: max_cycles });
         }
 
-        if opts.fast_forward {
-            let scan_t0 = opts.horizon_timing.then(std::time::Instant::now);
+        if opts.fast_forward && (scan_armed || !opts.adaptive_scan) {
+            let scan_t0 = (opts.horizon_timing
+                && stats
+                    .fast_forward
+                    .horizon_computations
+                    .is_multiple_of(TIMING_SAMPLE_PERIOD))
+            .then(std::time::Instant::now);
             let h = event_horizon(
                 &mut cursors,
                 modes,
+                left,
                 forks_seen,
                 &eu,
                 &dma,
@@ -337,22 +429,29 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
                 max_cycles,
             );
             if let Some(t0) = scan_t0 {
-                stats.fast_forward.horizon_scan_nanos += t0.elapsed().as_nanos() as u64;
+                scan_nanos_raw += t0.elapsed().as_nanos() as u64;
+                scan_timed += 1;
             }
             stats.fast_forward.horizon_computations += 1;
             if h > 1 {
                 stats.fast_forward.horizon_skips += 1;
                 bulk_advance(
-                    config, &mut stats, modes, cg_open, &mut eu, sink, telemetry, cycle, h,
+                    config, &mut stats, modes, left, cause, cg_open, &mut eu, sink, telemetry,
+                    cycle, h,
                 );
                 cycle += h;
                 continue;
             }
         }
-        let step_t0 = opts.horizon_timing.then(std::time::Instant::now);
+        let step_t0 = (opts.horizon_timing && step_events.is_multiple_of(TIMING_SAMPLE_PERIOD))
+            .then(std::time::Instant::now);
+        step_events += 1;
 
         let mut barrier_release = false;
         let mut any_active = false;
+        // Cores ending this iteration `Ready` on a step that can issue next
+        // cycle; zero re-arms the horizon scan.
+        let mut ready_next = 0usize;
 
         for core in 0..team {
             match modes[core] {
@@ -368,16 +467,17 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
                         CycleCause::Idle,
                     );
                 }
-                Mode::Busy(left, cause) => {
-                    stall(&mut stats, sink, telemetry, cycle, core, cause);
+                Mode::Busy => {
+                    stall(&mut stats, sink, telemetry, cycle, core, cause[core]);
                     any_active = true;
-                    modes[core] = if left <= 1 {
-                        Mode::Ready
-                    } else {
-                        Mode::Busy(left - 1, cause)
-                    };
+                    let l = left[core].saturating_sub(1);
+                    left[core] = l;
+                    if l == 0 {
+                        modes[core] = Mode::Ready;
+                        ready_next += usize::from(!cursors[core].next_is_dma_wait());
+                    }
                 }
-                Mode::Forking(left) => {
+                Mode::Forking => {
                     stall(
                         &mut stats,
                         sink,
@@ -387,14 +487,15 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
                         CycleCause::Runtime,
                     );
                     any_active = true;
-                    if left <= 1 {
+                    let l = left[core].saturating_sub(1);
+                    left[core] = l;
+                    if l == 0 {
                         eu.signal_fork();
                         telemetry.on_fork(cycle);
                         sink.emit(cycle, TraceEvent::Fork);
                         cursors[core].advance();
                         modes[core] = Mode::Ready;
-                    } else {
-                        modes[core] = Mode::Forking(left - 1);
+                        ready_next += usize::from(!cursors[core].next_is_dma_wait());
                     }
                 }
                 Mode::SleepBarrier => {
@@ -428,6 +529,7 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
                         );
                         any_active = true;
                         modes[core] = Mode::Ready;
+                        ready_next += usize::from(!cursors[core].next_is_dma_wait());
                     } else {
                         count_sleep(
                             config,
@@ -442,8 +544,10 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
                     }
                 }
                 Mode::Ready => {
-                    if cursors[core].is_done() {
+                    let step = cursors[core].current();
+                    if step == Step::Done {
                         modes[core] = Mode::Finished;
+                        finished += 1;
                         count_sleep(
                             config,
                             &mut stats,
@@ -457,14 +561,17 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
                         continue;
                     }
                     any_active = true;
-                    step_core(
+                    let ready = step_core(
                         config,
                         fork_cycles,
                         &mut stats,
                         &mut cursors,
                         modes,
+                        left,
+                        cause,
                         forks_seen,
                         cg_open,
+                        fpu_of,
                         &mut eu,
                         &mut dma,
                         &mut arbiter,
@@ -475,7 +582,9 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
                         telemetry,
                         cycle,
                         core,
+                        step,
                     )?;
+                    ready_next += usize::from(ready);
                 }
             }
         }
@@ -509,6 +618,7 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
                     }
                     cursors[core].advance();
                     modes[core] = Mode::Ready;
+                    ready_next += usize::from(!cursors[core].next_is_dma_wait());
                 }
             }
             eu.release_barrier();
@@ -517,10 +627,21 @@ pub fn simulate_opts<S: TraceSink, T: Telemetry>(
         if any_active || !config.model_clock_gating {
             stats.cluster_active_cycles += 1;
         }
+        scan_armed = ready_next == 0;
         if let Some(t0) = step_t0 {
-            stats.fast_forward.step_nanos += t0.elapsed().as_nanos() as u64;
+            step_nanos_raw += t0.elapsed().as_nanos() as u64;
+            step_timed += 1;
         }
         cycle += 1;
+    }
+    if opts.horizon_timing {
+        stats.fast_forward.horizon_scan_nanos = scale_sampled_nanos(
+            scan_nanos_raw,
+            stats.fast_forward.horizon_computations,
+            scan_timed,
+        );
+        stats.fast_forward.step_nanos =
+            scale_sampled_nanos(step_nanos_raw, step_events, step_timed);
     }
 
     // Close dangling clock-gating regions for the listeners.
@@ -612,9 +733,11 @@ fn count_sleep<S: TraceSink, T: Telemetry>(
 ///   contends among ready cores, so a ready core pins the horizon), or
 /// - a multi-cycle op, fork runtime, DMA wait or barrier-release countdown
 ///   expires on the very next cycle.
+#[allow(clippy::too_many_arguments)]
 fn event_horizon(
     cursors: &mut [crate::program::Cursor<'_>],
     modes: &[Mode],
+    left: &[u32],
     forks_seen: &[u64],
     eu: &EventUnit,
     dma: &DmaEngine,
@@ -632,14 +755,17 @@ fn event_horizon(
             // A ready core issues this cycle — unless it is parked on a
             // blocking `DmaWait`, which provably spins until the engine
             // drains.
-            Mode::Ready => match cursors[core].current() {
-                Step::DmaWait => dma.free_at().saturating_sub(cycle),
-                _ => 0,
-            },
-            Mode::Busy(left, _) => u64::from(left),
+            Mode::Ready => {
+                if cursors[core].next_is_dma_wait() {
+                    dma.free_at().saturating_sub(cycle)
+                } else {
+                    0
+                }
+            }
+            Mode::Busy => u64::from(left[core]),
             // The final fork-runtime cycle signals the fork; keep it
             // single-step.
-            Mode::Forking(left) => u64::from(left) - 1,
+            Mode::Forking => u64::from(left[core]) - 1,
             Mode::SleepFork => {
                 if eu.fork_ready(forks_seen[core]) {
                     0
@@ -668,13 +794,18 @@ fn event_horizon(
 /// Mirrors exactly what the single-step loop does for each mode when no
 /// state transition occurs; `Mode::Ready` inside a span is only ever a core
 /// spinning on `DmaWait` (guaranteed by [`event_horizon`]).
-fn bulk_class(modes: &[Mode], team: usize, core: usize) -> (CycleCause, bool) {
+fn bulk_class(
+    modes: &[Mode],
+    cause: &[CycleCause],
+    team: usize,
+    core: usize,
+) -> (CycleCause, bool) {
     if core >= team {
         return (CycleCause::Idle, true);
     }
     match modes[core] {
-        Mode::Busy(_, cause) => (cause, false),
-        Mode::Forking(_) => (CycleCause::Runtime, false),
+        Mode::Busy => (cause[core], false),
+        Mode::Forking => (CycleCause::Runtime, false),
         Mode::Ready => (CycleCause::Dma, false),
         Mode::SleepBarrier => (CycleCause::Barrier, true),
         Mode::SleepFork => (CycleCause::ForkWait, true),
@@ -693,6 +824,8 @@ fn bulk_advance<S: TraceSink, T: Telemetry>(
     config: &ClusterConfig,
     stats: &mut SimStats,
     modes: &mut [Mode],
+    left: &mut [u32],
+    cause: &mut [CycleCause],
     cg_open: &mut [bool],
     eu: &mut EventUnit,
     sink: &mut S,
@@ -708,7 +841,7 @@ fn bulk_advance<S: TraceSink, T: Telemetry>(
         let mut emitters = 0usize;
         let mut pending_cg = 0usize;
         for (core, open) in cg_open.iter().enumerate().take(config.num_cores) {
-            let (_, sleeping) = bulk_class(modes, team, core);
+            let (_, sleeping) = bulk_class(modes, cause, team, core);
             if sleeping && config.model_clock_gating {
                 if !open {
                     pending_cg += 1;
@@ -721,7 +854,7 @@ fn bulk_advance<S: TraceSink, T: Telemetry>(
             // Single stalling core, everyone else already gated: the span's
             // whole event stream is one repeated `Stall`.
             for core in 0..config.num_cores {
-                let (cause, sleeping) = bulk_class(modes, team, core);
+                let (cause, sleeping) = bulk_class(modes, cause, team, core);
                 if !(sleeping && config.model_clock_gating) {
                     sink.emit_n(cycle, n, TraceEvent::Stall { core, cause });
                 }
@@ -732,7 +865,7 @@ fn bulk_advance<S: TraceSink, T: Telemetry>(
             let cycles = if emitters > 0 { n } else { 1 };
             for i in 0..cycles {
                 for (core, open) in cg_open.iter().enumerate().take(config.num_cores) {
-                    let (cause, sleeping) = bulk_class(modes, team, core);
+                    let (cause, sleeping) = bulk_class(modes, cause, team, core);
                     if sleeping && config.model_clock_gating {
                         if i == 0 && !open {
                             sink.emit(cycle, TraceEvent::CgEnter { core, cause });
@@ -747,7 +880,7 @@ fn bulk_advance<S: TraceSink, T: Telemetry>(
 
     let mut any_active = false;
     for core in 0..config.num_cores {
-        let (cause, sleeping) = bulk_class(modes, team, core);
+        let (span_cause, sleeping) = bulk_class(modes, cause, team, core);
         if sleeping && config.model_clock_gating {
             cg_open[core] = true;
             stats.cores[core].cg_cycles += n;
@@ -757,19 +890,37 @@ fn bulk_advance<S: TraceSink, T: Telemetry>(
         if !sleeping {
             any_active = true;
         }
-        stats.cores[core].breakdown.add_n(cause, n);
-        telemetry.advance_n(cycle, core, n, cause);
+        stats.cores[core].breakdown.add_n(span_cause, n);
+        telemetry.advance_n(cycle, core, n, span_cause);
         if core < team {
             match modes[core] {
-                Mode::Busy(left, c) => {
-                    modes[core] = if u64::from(left) == n {
-                        Mode::Ready
-                    } else {
-                        Mode::Busy(left - n as u32, c)
-                    };
+                Mode::Busy => {
+                    // The horizon is the minimum over all countdowns, so a
+                    // span can at most *exactly* consume a Busy countdown.
+                    debug_assert!(
+                        n <= u64::from(left[core]),
+                        "bulk advance of {n} cycles overshoots core {core}'s Busy \
+                         countdown of {} — event_horizon must never exceed the \
+                         shortest countdown",
+                        left[core]
+                    );
+                    let l = left[core].saturating_sub(n as u32);
+                    left[core] = l;
+                    if l == 0 {
+                        modes[core] = Mode::Ready;
+                    }
                 }
-                Mode::Forking(left) => {
-                    modes[core] = Mode::Forking(left - n as u32);
+                Mode::Forking => {
+                    // Forking contributes `left - 1` to the horizon: the
+                    // fork-signal cycle itself must run single-step, so a
+                    // span always leaves at least one Forking cycle.
+                    debug_assert!(
+                        n < u64::from(left[core]),
+                        "bulk advance of {n} cycles overshoots core {core}'s Forking \
+                         countdown of {} — the fork-signal cycle must run single-step",
+                        left[core]
+                    );
+                    left[core] = left[core].saturating_sub(n as u32).max(1);
                 }
                 _ => {}
             }
@@ -783,6 +934,12 @@ fn bulk_advance<S: TraceSink, T: Telemetry>(
     stats.fast_forward.skipped_cycles += n;
 }
 
+/// Executes one `Ready`-mode step for `core` and returns whether the core
+/// ends the cycle `Ready` on immediately runnable work (the contribution to
+/// the adaptive scan's re-arm count): `true` for any outcome that leaves the
+/// core able to issue next cycle — retire with latency 1, a contention
+/// retry, an immediate fork — and `false` when it enters a countdown, goes
+/// to sleep, or rests on a `DmaWait`.
 #[allow(clippy::too_many_arguments)]
 fn step_core<S: TraceSink, T: Telemetry>(
     config: &ClusterConfig,
@@ -790,8 +947,11 @@ fn step_core<S: TraceSink, T: Telemetry>(
     stats: &mut SimStats,
     cursors: &mut [crate::program::Cursor<'_>],
     modes: &mut [Mode],
+    left: &mut [u32],
+    cause: &mut [CycleCause],
     forks_seen: &mut [u64],
     cg_open: &mut [bool],
+    fpu_of: &[usize],
     eu: &mut EventUnit,
     dma: &mut DmaEngine,
     arbiter: &mut TcdmArbiter,
@@ -802,16 +962,16 @@ fn step_core<S: TraceSink, T: Telemetry>(
     telemetry: &mut T,
     cycle: u64,
     core: usize,
-) -> Result<(), SimError> {
-    let step = cursors[core].current();
+    step: Step,
+) -> Result<bool, SimError> {
     match step {
         // Completion is detected by the main loop before dispatching here.
         Step::Done => unreachable!("step_core called on a finished cursor"),
         Step::Op(op) => {
-            exec_op(
-                config, stats, cursors, modes, arbiter, l2_port, fpus, sink, telemetry, cycle,
-                core, op,
-            )?;
+            return exec_op(
+                config, stats, cursors, modes, left, cause, fpu_of, arbiter, l2_port, fpus, sink,
+                telemetry, cycle, core, op,
+            );
         }
         Step::Barrier => {
             sink.emit(cycle, TraceEvent::BarrierArrive { core });
@@ -828,49 +988,53 @@ fn step_core<S: TraceSink, T: Telemetry>(
                 telemetry.on_fork(cycle);
                 sink.emit(cycle, TraceEvent::Fork);
                 cursors[core].advance();
-            } else {
-                modes[core] = Mode::Forking(fork_cycles - 1);
+                return Ok(!cursors[core].next_is_dma_wait());
             }
+            modes[core] = Mode::Forking;
+            left[core] = fork_cycles - 1;
         }
         Step::WaitFork => {
             if eu.fork_ready(forks_seen[core]) {
                 forks_seen[core] += 1;
                 cursors[core].advance();
                 stall(stats, sink, telemetry, cycle, core, CycleCause::Runtime);
-            } else {
-                modes[core] = Mode::SleepFork;
-                // This cycle already counts as sleeping.
-                if config.model_clock_gating {
-                    cg_open[core] = true;
-                    sink.emit(
-                        cycle,
-                        TraceEvent::CgEnter {
-                            core,
-                            cause: CycleCause::ForkWait,
-                        },
-                    );
-                    stats.cores[core].cg_cycles += 1;
-                    stats.cores[core].breakdown.add(CycleCause::ForkWait);
-                    telemetry.on_cycle(cycle, core, CycleCause::ForkWait);
-                    return Ok(());
-                }
-                stall(stats, sink, telemetry, cycle, core, CycleCause::ForkWait);
+                return Ok(!cursors[core].next_is_dma_wait());
             }
+            modes[core] = Mode::SleepFork;
+            // This cycle already counts as sleeping.
+            if config.model_clock_gating {
+                cg_open[core] = true;
+                sink.emit(
+                    cycle,
+                    TraceEvent::CgEnter {
+                        core,
+                        cause: CycleCause::ForkWait,
+                    },
+                );
+                stats.cores[core].cg_cycles += 1;
+                stats.cores[core].breakdown.add(CycleCause::ForkWait);
+                telemetry.on_cycle(cycle, core, CycleCause::ForkWait);
+                return Ok(false);
+            }
+            stall(stats, sink, telemetry, cycle, core, CycleCause::ForkWait);
         }
         Step::CriticalBegin => {
             if eu.try_lock(core) {
                 retire(stats, sink, telemetry, cycle, core, OpKind::Alu, None);
                 stats.cores[core].alu_ops += 1;
                 cursors[core].advance();
-            } else {
-                stall(stats, sink, telemetry, cycle, core, CycleCause::Runtime);
+                return Ok(!cursors[core].next_is_dma_wait());
             }
+            // Lock spin: retries next cycle.
+            stall(stats, sink, telemetry, cycle, core, CycleCause::Runtime);
+            return Ok(true);
         }
         Step::CriticalEnd => {
             eu.unlock(core);
             retire(stats, sink, telemetry, cycle, core, OpKind::Alu, None);
             stats.cores[core].alu_ops += 1;
             cursors[core].advance();
+            return Ok(!cursors[core].next_is_dma_wait());
         }
         Step::Dma { words, inbound } => {
             // Blocking transfer: the issuing core programs the engine and
@@ -885,34 +1049,43 @@ fn step_core<S: TraceSink, T: Telemetry>(
             stall(stats, sink, telemetry, cycle, core, CycleCause::Dma);
             cursors[core].advance();
             if busy > 1 {
-                modes[core] = Mode::Busy(busy - 1, CycleCause::Dma);
+                modes[core] = Mode::Busy;
+                left[core] = busy - 1;
+                cause[core] = CycleCause::Dma;
+                return Ok(false);
             }
+            return Ok(!cursors[core].next_is_dma_wait());
         }
         Step::DmaAsync { words, inbound } => {
             if dma.busy_at(cycle) {
                 // Engine still streaming a previous transfer: retry.
                 stall(stats, sink, telemetry, cycle, core, CycleCause::Dma);
-            } else {
-                let t = if inbound {
-                    DmaTransfer::inbound(words)
-                } else {
-                    DmaTransfer::outbound(words)
-                };
-                dma.schedule(cycle, t);
-                sink.emit(cycle, TraceEvent::Dma { words, inbound });
-                // One cycle to program the engine; the core then continues.
-                stall(stats, sink, telemetry, cycle, core, CycleCause::Dma);
-                cursors[core].advance();
+                return Ok(true);
             }
+            let t = if inbound {
+                DmaTransfer::inbound(words)
+            } else {
+                DmaTransfer::outbound(words)
+            };
+            dma.schedule(cycle, t);
+            sink.emit(cycle, TraceEvent::Dma { words, inbound });
+            // One cycle to program the engine; the core then continues.
+            stall(stats, sink, telemetry, cycle, core, CycleCause::Dma);
+            cursors[core].advance();
+            return Ok(!cursors[core].next_is_dma_wait());
         }
         Step::DmaWait => {
             stall(stats, sink, telemetry, cycle, core, CycleCause::Dma);
             if !dma.busy_at(cycle) {
                 cursors[core].advance();
+                return Ok(!cursors[core].next_is_dma_wait());
             }
+            // Still draining: the core rests on `DmaWait`, which must not
+            // pin the horizon.
+            return Ok(false);
         }
     }
-    Ok(())
+    Ok(false)
 }
 
 /// Records the fetch + trace event shared by every retirement path.
@@ -931,12 +1104,17 @@ fn retire<S: TraceSink, T: Telemetry>(
     sink.emit(cycle, TraceEvent::Insn { core, kind, addr });
 }
 
+/// Executes one micro-op for `core`; returns the ready-immediate flag with
+/// the same contract as [`step_core`].
 #[allow(clippy::too_many_arguments)]
 fn exec_op<S: TraceSink, T: Telemetry>(
     config: &ClusterConfig,
     stats: &mut SimStats,
     cursors: &mut [crate::program::Cursor<'_>],
     modes: &mut [Mode],
+    left: &mut [u32],
+    cause: &mut [CycleCause],
+    fpu_of: &[usize],
     arbiter: &mut TcdmArbiter,
     l2_port: &mut TcdmArbiter,
     fpus: &mut FpuPool,
@@ -945,32 +1123,40 @@ fn exec_op<S: TraceSink, T: Telemetry>(
     cycle: u64,
     core: usize,
     op: MicroOp,
-) -> Result<(), SimError> {
+) -> Result<bool, SimError> {
     // An executing core is never clock-gated; CG flags are managed by the
     // sleep paths. `finish` consumes the step and schedules any multi-cycle
-    // tail as Busy time attributed to `tail_cause`.
-    let mut finish =
-        |cursors: &mut [crate::program::Cursor<'_>], latency: u32, tail_cause: CycleCause| {
-            cursors[core].advance();
-            if latency > 1 {
-                modes[core] = Mode::Busy(latency - 1, tail_cause);
-            }
-        };
-    match op.kind {
+    // tail as Busy time attributed to `tail_cause`; it reports whether the
+    // core stays immediately runnable (single-cycle retire not resting on
+    // `DmaWait`).
+    let mut finish = |cursors: &mut [crate::program::Cursor<'_>],
+                      latency: u32,
+                      tail_cause: CycleCause|
+     -> bool {
+        cursors[core].advance();
+        if latency > 1 {
+            modes[core] = Mode::Busy;
+            left[core] = latency - 1;
+            cause[core] = tail_cause;
+            return false;
+        }
+        !cursors[core].next_is_dma_wait()
+    };
+    let ready = match op.kind {
         OpKind::Alu => {
             stats.cores[core].alu_ops += 1;
             retire(stats, sink, telemetry, cycle, core, op.kind, None);
-            finish(cursors, 1, CycleCause::ExecTail);
+            finish(cursors, 1, CycleCause::ExecTail)
         }
         OpKind::Mul => {
             stats.cores[core].alu_ops += 1;
             retire(stats, sink, telemetry, cycle, core, op.kind, None);
-            finish(cursors, config.mul_latency, CycleCause::ExecTail);
+            finish(cursors, config.mul_latency, CycleCause::ExecTail)
         }
         OpKind::Div => {
             stats.cores[core].alu_ops += 1;
             retire(stats, sink, telemetry, cycle, core, op.kind, None);
-            finish(cursors, config.int_div_latency, CycleCause::ExecTail);
+            finish(cursors, config.int_div_latency, CycleCause::ExecTail)
         }
         OpKind::Branch | OpKind::Jump => {
             stats.cores[core].alu_ops += 1;
@@ -979,20 +1165,20 @@ fn exec_op<S: TraceSink, T: Telemetry>(
                 cursors,
                 1 + config.taken_branch_penalty,
                 CycleCause::ExecTail,
-            );
+            )
         }
         OpKind::Nop => {
             stats.cores[core].nop_ops += 1;
             retire(stats, sink, telemetry, cycle, core, op.kind, None);
-            finish(cursors, 1, CycleCause::ExecTail);
+            finish(cursors, 1, CycleCause::ExecTail)
         }
         OpKind::Fp(f) => {
-            let fpu = config.fpu_of(core);
+            let fpu = fpu_of[core];
             match fpus.try_issue(fpu, f, cycle) {
                 Some(issue) => {
                     stats.cores[core].fp_ops += 1;
                     retire(stats, sink, telemetry, cycle, core, op.kind, None);
-                    finish(cursors, issue.core_busy, CycleCause::ExecTail);
+                    finish(cursors, issue.core_busy, CycleCause::ExecTail)
                 }
                 None => {
                     stall(
@@ -1003,6 +1189,8 @@ fn exec_op<S: TraceSink, T: Telemetry>(
                         core,
                         CycleCause::FpuContention,
                     );
+                    // Arbitration retry next cycle.
+                    true
                 }
             }
         }
@@ -1020,7 +1208,7 @@ fn exec_op<S: TraceSink, T: Telemetry>(
                     }
                     sink.emit(cycle, TraceEvent::L1Access { bank, write });
                     retire(stats, sink, telemetry, cycle, core, op.kind, Some(addr));
-                    finish(cursors, 1, CycleCause::ExecTail);
+                    finish(cursors, 1, CycleCause::ExecTail)
                 } else {
                     stats.l1_banks[bank].conflicts += 1;
                     sink.emit(cycle, TraceEvent::L1Conflict { bank });
@@ -1032,11 +1220,14 @@ fn exec_op<S: TraceSink, T: Telemetry>(
                         core,
                         CycleCause::TcdmConflict,
                     );
+                    // Arbitration retry next cycle.
+                    true
                 }
             } else if config.is_l2(addr) {
                 if !l2_port.try_access(0, cycle) {
                     stall(stats, sink, telemetry, cycle, core, CycleCause::L2Wait);
-                    return Ok(());
+                    // Port retry next cycle.
+                    return Ok(true);
                 }
                 let bank = config.l2_bank_of(addr);
                 stats.cores[core].l2_ops += 1;
@@ -1047,13 +1238,13 @@ fn exec_op<S: TraceSink, T: Telemetry>(
                 }
                 sink.emit(cycle, TraceEvent::L2Access { bank, write });
                 retire(stats, sink, telemetry, cycle, core, op.kind, Some(addr));
-                finish(cursors, config.l2_latency, CycleCause::L2Wait);
+                finish(cursors, config.l2_latency, CycleCause::L2Wait)
             } else {
                 return Err(SimError::AddressOutOfRange { core, addr });
             }
         }
-    }
-    Ok(())
+    };
+    Ok(ready)
 }
 
 #[cfg(test)]
@@ -1497,6 +1688,162 @@ mod tests {
             let fresh = simulate(&cfg(), &p).expect("simulate");
             assert_eq!(reused, fresh, "team {team}: scratch reuse leaked state");
         }
+    }
+
+    /// Drives `bulk_advance` directly with a crafted state. Returns the
+    /// (mode, left) of core 0 afterwards.
+    fn bulk_advance_busy_core(left0: u32, n: u64) -> (Mode, u32) {
+        let config = cfg();
+        let mut stats = SimStats::new(config.num_cores, config.tcdm_banks, config.l2_banks);
+        let mut modes = vec![Mode::Busy];
+        let mut left = vec![left0];
+        let mut cause = vec![CycleCause::Dma];
+        let mut cg_open = vec![false; config.num_cores];
+        let mut eu = EventUnit::new(1);
+        bulk_advance(
+            &config,
+            &mut stats,
+            &mut modes,
+            &mut left,
+            &mut cause,
+            &mut cg_open,
+            &mut eu,
+            &mut NullSink,
+            &mut NoTelemetry,
+            0,
+            n,
+        );
+        (modes[0], left[0])
+    }
+
+    #[test]
+    fn bulk_advance_exact_boundary_releases_the_countdown() {
+        // A span may consume a Busy countdown exactly; the core re-arms.
+        assert_eq!(bulk_advance_busy_core(5, 5), (Mode::Ready, 0));
+        assert_eq!(bulk_advance_busy_core(5, 4), (Mode::Busy, 1));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "overshoots")]
+    fn bulk_advance_overshoot_panics_in_debug() {
+        // Regression: this used to underflow-panic deep in the subtraction
+        // under overflow-checks (and silently wrap in release). Now the
+        // invariant is named by a debug_assert and the release arithmetic
+        // saturates.
+        bulk_advance_busy_core(5, 10);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn bulk_advance_overshoot_saturates_in_release() {
+        assert_eq!(bulk_advance_busy_core(5, 10), (Mode::Ready, 0));
+    }
+
+    #[test]
+    fn bulk_countdowns_hit_exact_boundaries_and_match_oracle() {
+        // Countdowns engineered to expire at the span boundary: the horizon
+        // equals core 1's Div tail while core 0 drains a blocking DMA, so
+        // the bulk advance lands exactly on a `left == n` edge. Both modes
+        // must agree bit-for-bit (the overshoot bug's oracle-side net).
+        let p = Program::new(vec![
+            vec![
+                SegOp::Dma {
+                    words: 4096,
+                    inbound: true,
+                },
+                SegOp::Barrier,
+            ],
+            vec![
+                instr(OpKind::Div),
+                instr(OpKind::Div),
+                instr(OpKind::Mul),
+                SegOp::Barrier,
+            ],
+        ]);
+        let ff = run_opts(&p, &SimOptions::default());
+        let oracle = run_opts(&p, &SimOptions::oracle());
+        assert!(ff.fast_forward.spans > 0, "program produced no spans");
+        assert_eq!(ff.without_fast_forward(), oracle);
+    }
+
+    #[test]
+    fn adaptive_scan_matches_always_scan_exactly() {
+        // The adaptive re-arm rule must select a superset of the scans that
+        // skip, so spans, skipped cycles and every architectural result are
+        // bit-identical to scanning on every iteration.
+        let worker = |n: u64| {
+            vec![
+                SegOp::WaitFork,
+                SegOp::LoopBegin { trip: n },
+                instr(OpKind::Mul),
+                SegOp::LoopEnd,
+                SegOp::Barrier,
+            ]
+        };
+        let programs = [
+            dma_barrier_program(),
+            Program::new(vec![
+                vec![
+                    SegOp::Fork,
+                    SegOp::DmaAsync {
+                        words: 512,
+                        inbound: true,
+                    },
+                    SegOp::DmaWait,
+                    instr(OpKind::Div),
+                    SegOp::Barrier,
+                ],
+                worker(7),
+                worker(3),
+            ]),
+        ];
+        for p in &programs {
+            let adaptive = run_opts(p, &SimOptions::default());
+            let always = run_opts(p, &SimOptions::default().with_adaptive_scan(false));
+            assert_eq!(adaptive.fast_forward.spans, always.fast_forward.spans);
+            assert_eq!(
+                adaptive.fast_forward.skipped_cycles,
+                always.fast_forward.skipped_cycles
+            );
+            assert_eq!(
+                adaptive.fast_forward.horizon_skips,
+                always.fast_forward.horizon_skips
+            );
+            assert!(
+                adaptive.fast_forward.horizon_computations
+                    <= always.fast_forward.horizon_computations
+            );
+            assert_eq!(
+                adaptive.without_fast_forward(),
+                always.without_fast_forward()
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_scan_pays_no_overhead_on_alu_programs() {
+        // A straight compute loop never opens a quiescent span; the
+        // adaptive gate should collapse the scan count to the initial
+        // arm while the always-scan reference pays one per cycle.
+        let p = Program::new(vec![vec![
+            SegOp::LoopBegin { trip: 256 },
+            instr(OpKind::Alu),
+            SegOp::LoopEnd,
+        ]]);
+        let adaptive = run_opts(&p, &SimOptions::default());
+        let always = run_opts(&p, &SimOptions::default().with_adaptive_scan(false));
+        assert_eq!(
+            adaptive.without_fast_forward(),
+            always.without_fast_forward()
+        );
+        assert_eq!(adaptive.fast_forward.spans, always.fast_forward.spans);
+        assert!(
+            adaptive.fast_forward.horizon_computations <= 2,
+            "ALU program should scan at most on entry and park, got {}",
+            adaptive.fast_forward.horizon_computations
+        );
+        assert!(always.fast_forward.horizon_computations >= adaptive.cycles / 2);
     }
 
     #[test]

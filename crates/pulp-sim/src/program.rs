@@ -438,12 +438,16 @@ impl<'p> Cursor<'p> {
         }
     }
 
-    /// Returns the step at the current position without consuming it.
-    pub fn current(&mut self) -> Step {
+    /// Folds loop bookkeeping (entering loops, iterating, popping finished
+    /// frames) until the cursor rests on a yieldable op, and returns it
+    /// (`None` once the stream is exhausted). Frame mutations only happen
+    /// while the pc sits on a `LoopBegin`/`LoopEnd` marker, so once resolved
+    /// the call is idempotent until the next [`Cursor::advance`].
+    #[inline]
+    fn resolve(&mut self) -> Option<&'p SegOp> {
+        let stream = self.stream;
         loop {
-            let Some(op) = self.stream.get(self.pc) else {
-                return Step::Done;
-            };
+            let op = stream.get(self.pc)?;
             match op {
                 SegOp::LoopBegin { trip } => {
                     if *trip == 0 {
@@ -470,33 +474,54 @@ impl<'p> Cursor<'p> {
                         self.pc = f.begin_pc + 1;
                     }
                 }
-                SegOp::Instr { kind, addr } => {
-                    let a = addr.as_ref().map(|e| e.eval(&self.ivs));
-                    return Step::Op(MicroOp {
-                        kind: *kind,
-                        addr: a,
-                    });
-                }
-                SegOp::Barrier => return Step::Barrier,
-                SegOp::Fork => return Step::Fork,
-                SegOp::WaitFork => return Step::WaitFork,
-                SegOp::CriticalBegin => return Step::CriticalBegin,
-                SegOp::CriticalEnd => return Step::CriticalEnd,
-                SegOp::Dma { words, inbound } => {
-                    return Step::Dma {
-                        words: *words,
-                        inbound: *inbound,
-                    }
-                }
-                SegOp::DmaAsync { words, inbound } => {
-                    return Step::DmaAsync {
-                        words: *words,
-                        inbound: *inbound,
-                    }
-                }
-                SegOp::DmaWait => return Step::DmaWait,
+                _ => return Some(op),
             }
         }
+    }
+
+    /// Returns the step at the current position without consuming it.
+    pub fn current(&mut self) -> Step {
+        let Some(op) = self.resolve() else {
+            return Step::Done;
+        };
+        match op {
+            SegOp::Instr { kind, addr } => {
+                let a = addr.as_ref().map(|e| e.eval(&self.ivs));
+                Step::Op(MicroOp {
+                    kind: *kind,
+                    addr: a,
+                })
+            }
+            SegOp::Barrier => Step::Barrier,
+            SegOp::Fork => Step::Fork,
+            SegOp::WaitFork => Step::WaitFork,
+            SegOp::CriticalBegin => Step::CriticalBegin,
+            SegOp::CriticalEnd => Step::CriticalEnd,
+            SegOp::Dma { words, inbound } => Step::Dma {
+                words: *words,
+                inbound: *inbound,
+            },
+            SegOp::DmaAsync { words, inbound } => Step::DmaAsync {
+                words: *words,
+                inbound: *inbound,
+            },
+            SegOp::DmaWait => Step::DmaWait,
+            SegOp::LoopBegin { .. } | SegOp::LoopEnd => unreachable!("resolve() folds loops"),
+        }
+    }
+
+    /// Whether the next yieldable step is [`Step::DmaWait`], without
+    /// evaluating address expressions.
+    ///
+    /// This is the cheap probe behind the adaptive horizon scan: a core in
+    /// `Ready` mode counts as "immediately runnable" — pinning the event
+    /// horizon to 1 — *except* when it is parked on `DmaWait`, which can
+    /// quiesce for the whole DMA drain. The hot loop calls this on every
+    /// transition into `Ready`, so it must stay cheaper than
+    /// [`Cursor::current`] (no `MicroOp` construction, no `AddrExpr` eval).
+    #[inline]
+    pub fn next_is_dma_wait(&mut self) -> bool {
+        matches!(self.resolve(), Some(SegOp::DmaWait))
     }
 
     /// Consumes the current step, moving to the next one.
@@ -680,6 +705,30 @@ mod tests {
         assert!(text.contains("lw [0x10000000 + 4*iv0]"));
         assert!(text.contains("barrier"));
         assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+
+    #[test]
+    fn next_is_dma_wait_resolves_loops_without_consuming() {
+        // A zero-trip loop immediately followed by DmaWait: the probe must
+        // fold the loop bookkeeping exactly like `current()` would.
+        let p = Program::new(vec![vec![
+            SegOp::LoopBegin { trip: 0 },
+            instr(OpKind::Alu),
+            SegOp::LoopEnd,
+            SegOp::DmaWait,
+            instr(OpKind::Nop),
+        ]]);
+        let mut c = Cursor::new(&p, 0);
+        assert!(c.next_is_dma_wait());
+        // Idempotent, and agrees with `current()`.
+        assert!(c.next_is_dma_wait());
+        assert_eq!(c.current(), Step::DmaWait);
+        c.advance();
+        assert!(!c.next_is_dma_wait());
+        assert!(matches!(c.current(), Step::Op(_)));
+        c.advance();
+        assert!(!c.next_is_dma_wait());
+        assert!(c.is_done());
     }
 
     #[test]

@@ -95,17 +95,20 @@ pub struct DmaStats {
 /// time goes: `horizon_computations`/`horizon_skips` count how often the
 /// horizon scan ran and how often it paid off, and the two `*_nanos` fields
 /// split wall time between scanning and stepping. The nano fields stay zero
-/// unless [`crate::SimOptions::horizon_timing`] is set — per-iteration
-/// clock reads are too expensive for throughput runs, so timing is an
-/// explicit diagnostic mode.
+/// unless [`crate::SimOptions::horizon_timing`] is set — clock reads
+/// perturb throughput runs, so timing is an explicit diagnostic mode, and
+/// the split is *sampled* (one clocked event in 32, scaled to the full
+/// event count) so the timers themselves stay out of the measurement.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FastForwardStats {
     /// Bulk-advance spans taken (each replaces >= 2 single-step iterations).
     pub spans: u64,
     /// Cycles advanced inside bulk spans.
     pub skipped_cycles: u64,
-    /// Horizon scans performed (one per loop iteration while fast-forward
-    /// is enabled). Defaults when absent in serialised records.
+    /// Horizon scans performed. With adaptive scanning (the default) this
+    /// is only the iterations where a quiescent span was possible; with
+    /// [`crate::SimOptions::adaptive_scan`] off it is one per loop
+    /// iteration. Defaults when absent in serialised records.
     #[serde(default)]
     pub horizon_computations: u64,
     /// Horizon scans that yielded a skip (horizon > 1, so a bulk advance

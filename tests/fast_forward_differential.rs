@@ -172,6 +172,47 @@ proptest! {
         // Architectural state is bit-identical modulo the ff diagnostics.
         prop_assert_eq!(ff.without_fast_forward(), oracle);
     }
+
+    /// The adaptive scan re-arm points never miss a skippable span: on
+    /// random episode programs at every team size, adaptive scanning takes
+    /// exactly the same bulk spans (count and skipped cycles) as scanning
+    /// on every iteration, while computing the horizon no more often — and
+    /// the architectural results stay bit-identical.
+    #[test]
+    fn adaptive_scan_never_misses_a_span_on_random_programs(
+        episodes in prop::collection::vec(arb_episode(), 1..6),
+        team in 1usize..9,
+    ) {
+        let config = ClusterConfig::default();
+        let program = program_of_episodes(team, &episodes);
+        prop_assert_eq!(program.validate(), Ok(()));
+        let adaptive_opts = SimOptions::default(); // adaptive_scan: true
+        let always_opts = SimOptions::default().with_adaptive_scan(false);
+        let mut scratch = SimScratch::new();
+        let (adaptive, adaptive_events) = run(&config, &program, &adaptive_opts, &mut scratch);
+        let (always, always_events) = run(&config, &program, &always_opts, &mut scratch);
+        // Same spans: an armed scan at every point the always-scan skips.
+        prop_assert_eq!(adaptive.fast_forward.spans, always.fast_forward.spans);
+        prop_assert_eq!(
+            adaptive.fast_forward.skipped_cycles,
+            always.fast_forward.skipped_cycles
+        );
+        prop_assert_eq!(
+            adaptive.fast_forward.horizon_skips,
+            always.fast_forward.horizon_skips
+        );
+        // Adaptive never scans more often than once per iteration.
+        prop_assert!(
+            adaptive.fast_forward.horizon_computations
+                <= always.fast_forward.horizon_computations,
+            "adaptive scanned {} times vs always-scan's {}",
+            adaptive.fast_forward.horizon_computations,
+            always.fast_forward.horizon_computations
+        );
+        // And the architectural results are bit-identical.
+        prop_assert_eq!(adaptive.without_fast_forward(), always.without_fast_forward());
+        prop_assert_eq!(adaptive_events, always_events);
+    }
 }
 
 /// A fixed barrier/DMA-heavy regression program: long quiescent spans, so
