@@ -35,7 +35,13 @@ fn build(name: &str, config: ClusterConfig, args: &CommonArgs) -> LabeledDataset
     };
     opts.threads = args.threads;
     opts.config = config;
-    eprintln!("[ablation] building dataset for `{name}`...");
+    if !args.quiet {
+        args.logger().info(
+            "ablation",
+            "building dataset",
+            &[("variant", name.to_string())],
+        );
+    }
     LabeledDataset::build(&opts).expect("dataset build failed")
 }
 

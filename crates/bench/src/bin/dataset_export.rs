@@ -56,11 +56,16 @@ fn main() {
         row.extend(s.dynamic_x.iter().map(|v| format!("{v}")));
         println!("{}", row.join(","));
     }
-    eprintln!(
-        "[export] {} rows x {} columns written to stdout",
-        data.len(),
-        cols.len()
-    );
+    if !args.quiet {
+        args.logger().info(
+            "export",
+            "rows written to stdout",
+            &[
+                ("rows", data.len().to_string()),
+                ("columns", cols.len().to_string()),
+            ],
+        );
+    }
     args.dump_json(&data);
     args.write_manifest("dataset_export", &opts, None, start);
 }

@@ -19,12 +19,17 @@ fn main() {
     let tolerances = default_tolerances();
     let energies = data.energies();
 
-    eprintln!(
-        "[fig2-left] {}-fold CV x {} repeats on {} samples",
-        protocol.folds,
-        protocol.repeats,
-        data.len()
-    );
+    if !args.quiet {
+        args.logger().info(
+            "fig2-left",
+            "cross-validating",
+            &[
+                ("folds", protocol.folds.to_string()),
+                ("repeats", protocol.repeats.to_string()),
+                ("samples", data.len().to_string()),
+            ],
+        );
+    }
 
     let agg = data
         .static_dataset(StaticFeatureSet::Agg)

@@ -27,11 +27,16 @@ fn main() {
     let mut curves: Vec<ToleranceCurve> = Vec::new();
     for set in StaticFeatureSet::ALL_SETS {
         let ds = data.static_dataset(set).expect("static dataset");
-        eprintln!(
-            "[fig2-right] evaluating {} ({} features)",
-            set.name(),
-            ds.n_features()
-        );
+        if !args.quiet {
+            args.logger().info(
+                "fig2-right",
+                "evaluating feature set",
+                &[
+                    ("set", set.name().to_string()),
+                    ("features", ds.n_features().to_string()),
+                ],
+            );
+        }
         curves.push(tolerance_curve(
             set.name(),
             &ds,
@@ -50,7 +55,13 @@ fn main() {
         .iter()
         .map(|&c| all.feature_names()[c].as_str())
         .collect();
-    eprintln!("[fig2-right] optimised set keeps: {kept:?}");
+    if !args.quiet {
+        args.logger().info(
+            "fig2-right",
+            "optimised set keeps",
+            &[("features", format!("{kept:?}"))],
+        );
+    }
     let optimized = all.select_features(&top);
     curves.push(tolerance_curve(
         "optimised",

@@ -27,10 +27,16 @@ fn main() {
     // while keeping the fold structure.
     let forest_repeats = (protocol.repeats / 10).max(2);
 
-    eprintln!(
-        "[forest] tree: {} reps; forest: {forest_repeats} reps",
-        protocol.repeats
-    );
+    if !args.quiet {
+        args.logger().info(
+            "forest",
+            "repetition plan",
+            &[
+                ("tree_reps", protocol.repeats.to_string()),
+                ("forest_reps", forest_repeats.to_string()),
+            ],
+        );
+    }
     let tree_preds = repeated_cross_val_predict(
         &all,
         protocol.folds,

@@ -7,12 +7,13 @@
 //! * static features exceed 85% accuracy within an 8% tolerance;
 //! * the static-vs-dynamic accuracy gap stays below ~10 points.
 
-use pulp_bench::{load_or_build_dataset, CommonArgs};
+use pulp_bench::{load_or_build_dataset_observed, CommonArgs};
 use pulp_energy::{
     default_tolerances, report::render_confusion, tolerance_curve, top_feature_columns, CacheStats,
     StaticFeatureSet,
 };
 use pulp_ml::{confusion_matrix, cross_val_predict, DecisionTree};
+use pulp_obs::JournalEvent;
 use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -61,10 +62,28 @@ fn main() {
     let start = Instant::now();
     let args = CommonArgs::parse();
     let opts = args.pipeline_options();
-    let data = load_or_build_dataset(&opts, &args);
     let protocol = args.protocol();
+    let mut journal = args.journal_writer("headline", &opts, Some(&protocol));
+    let data = load_or_build_dataset_observed(&opts, &args, journal.as_mut());
     let tolerances = default_tolerances();
     let energies = data.energies();
+
+    // Journal writes must never fail the experiment; a full disk degrades
+    // to a warning.
+    let journal_event = |journal: &mut Option<pulp_obs::JournalWriter>, ev: JournalEvent| {
+        if let Some(j) = journal {
+            if let Err(e) = j.event(ev) {
+                eprintln!("[headline] warning: journal write failed: {e}");
+            }
+        }
+    };
+    journal_event(
+        &mut journal,
+        JournalEvent::StageStart {
+            stage: "train_eval".into(),
+        },
+    );
+    let eval_t0 = Instant::now();
 
     let all = data.static_dataset(StaticFeatureSet::All).expect("static");
     let static_curve = tolerance_curve("static", &all, &energies, &tolerances, &protocol);
@@ -78,6 +97,14 @@ fn main() {
     let dynamic_curve = tolerance_curve("dynamic", &dynamic, &energies, &tolerances, &protocol);
 
     let naive = pulp_energy::always_n_curve(8, &energies, &tolerances);
+
+    journal_event(
+        &mut journal,
+        JournalEvent::StageEnd {
+            stage: "train_eval".into(),
+            wall_ms: eval_t0.elapsed().as_secs_f64() * 1e3,
+        },
+    );
 
     let at = |c: &pulp_energy::ToleranceCurve, t: f64| c.at(t).expect("non-empty tolerance grid");
     let h = Headline {
@@ -177,6 +204,27 @@ fn main() {
     );
 
     args.dump_json(&h);
+
+    // The headline accuracy figures land in the journal tail so
+    // `pulp_cli bench history` can read trajectories from journals alone.
+    for (name, value) in [
+        ("static_at_0", h.static_at_0),
+        ("static_at_5", h.static_at_5),
+        ("static_at_8", h.static_at_8),
+        ("optimized_at_0", h.optimized_at_0),
+        ("optimized_at_5", h.optimized_at_5),
+        ("dynamic_at_5", h.dynamic_at_5),
+    ] {
+        journal_event(
+            &mut journal,
+            JournalEvent::BenchRecord {
+                bench: "headline".into(),
+                name: name.into(),
+                value,
+            },
+        );
+    }
+    args.finish_journal(journal);
 
     // Provenance + the benchmark-trajectory record `bench diff` compares.
     let manifest = args.write_manifest("headline", &opts, Some(&protocol), start);

@@ -17,6 +17,9 @@
 //! pulp_cli bench    diff OLD.json NEW.json            # regression gate (headline/sim/serve)
 //! pulp_cli bench    sim [--quick] [--out PATH]        # simulator perf benchmark
 //! pulp_cli bench    serve [--quick] [--out PATH]      # serving-layer load benchmark
+//! pulp_cli bench    history DIR                       # benchmark trajectory over committed records
+//! pulp_cli report   RUN.jsonl                         # deterministic report from a run journal
+//! pulp_cli journal  validate RUN.jsonl [...]          # structural check of run journals
 //! ```
 //!
 //! Defaults: `--dtype f32` (or the kernel's only supported type),
@@ -52,12 +55,25 @@
 //! basket fails), `BENCH_serve.json` on tail latency (p99 regression beyond
 //! `--p99-tolerance`, default 20%, on any mix, or any shed in the quick
 //! profile, fails).
+//!
+//! `bench history DIR` reads every `BENCH_*.json` record in `DIR` (sorted by
+//! file name), groups them by benchmark kind and profile, prints the
+//! trajectory as a table, and flags regressions between consecutive records
+//! of a group using the same thresholds as `bench diff`. Run journals
+//! (`*.jsonl`) in the directory contribute their `bench_record` tails.
+//!
+//! `report RUN.jsonl` validates a run journal and renders its deterministic
+//! report: per-stage wall breakdown, shard throughput table, top-K slowest
+//! kernels and cache attribution. `journal validate` runs just the
+//! structural check (schema version, gap-free sequence, framing, stage
+//! discipline) over any number of journals. `bench sim --journal PATH` and
+//! the dataset-building bins' `--journal PATH` write such journals.
 
 use kernel_ir::{lower, DType, Kernel};
 use pulp_bench::serve::{install_signal_shutdown, ServeOptions, ServeState, Server};
 use pulp_bench::{
-    profile_run, recorder_of_run, run_serve_bench, run_sim_bench, ServeBenchOptions,
-    SimBenchOptions, QUICK_KERNELS,
+    profile_run, recorder_of_run, run_serve_bench, ServeBenchOptions, SimBenchOptions,
+    QUICK_KERNELS,
 };
 use pulp_energy::{
     default_cache_version, measure_kernel,
@@ -100,6 +116,7 @@ struct Args {
     log_json: bool,
     trace_out: Option<String>,
     p99_tolerance: Option<f64>,
+    journal: Option<String>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -133,6 +150,7 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
         log_json: false,
         trace_out: None,
         p99_tolerance: None,
+        journal: None,
     };
     // `--flag N` where N must be a strictly positive integer.
     fn positive<T: std::str::FromStr + PartialOrd + From<u8>>(
@@ -181,6 +199,7 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
             }
             "--log-json" => args.log_json = true,
             "--trace-out" => args.trace_out = Some(argv.next()?),
+            "--journal" => args.journal = Some(argv.next()?),
             "--p99-tolerance" => {
                 let raw = argv.next()?;
                 match raw.parse::<f64>() {
@@ -227,8 +246,11 @@ fn usage() -> ExitCode {
                 [--queue-depth N] [--timeout-ms N] [--max-body-bytes N] [--keepalive-max N]\n   \
                 [--slow-ms N] [--flight-capacity N] [--log-json]\n   \
          or: pulp_cli bench diff OLD.json NEW.json [--p99-tolerance X]\n   \
-         or: pulp_cli bench sim [--quick] [--out PATH] [--max-cycles N] [--iters N]\n   \
-         or: pulp_cli bench serve [--quick] [--out PATH] [--trace-out PATH]"
+         or: pulp_cli bench sim [--quick] [--out PATH] [--max-cycles N] [--iters N] [--journal PATH]\n   \
+         or: pulp_cli bench serve [--quick] [--out PATH] [--trace-out PATH]\n   \
+         or: pulp_cli bench history DIR [--p99-tolerance X]\n   \
+         or: pulp_cli report RUN.jsonl\n   \
+         or: pulp_cli journal validate RUN.jsonl [RUN2.jsonl ...]"
     );
     ExitCode::FAILURE
 }
@@ -510,6 +532,199 @@ fn cmd_bench_diff(old_path: &str, new_path: &str, p99_tolerance: Option<f64>) ->
     }
 }
 
+/// Validates a run journal and prints its deterministic report: per-stage
+/// wall breakdown, shard throughput table, top-K slowest kernels and cache
+/// attribution. The output is a pure function of the journal bytes.
+fn cmd_report(path: &str) -> ExitCode {
+    match pulp_obs::JournalReader::read_file(std::path::Path::new(path)) {
+        Ok(journal) => {
+            print!("{}", pulp_obs::render_report(&journal));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("report: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Structurally validates each journal: schema version, gap-free sequence
+/// numbers, run_start/run_end framing, stage discipline, trailing newline.
+/// Prints one line per file; any invalid journal fails the command.
+fn cmd_journal_validate(paths: &[String]) -> ExitCode {
+    let mut failed = false;
+    for path in paths {
+        let outcome = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| pulp_obs::validate_journal(&text).map_err(|e| e.to_string()));
+        match outcome {
+            Ok(()) => println!("journal validate: {path}: ok"),
+            Err(e) => {
+                eprintln!("journal validate: {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// One line summarising a benchmark record for the `bench history` table.
+fn record_summary(kind: &str, v: &Value) -> String {
+    match kind {
+        "sim" => {
+            let sps = v
+                .field("labeling_samples_per_s")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            let min_speedup = v
+                .field("rows")
+                .and_then(Value::as_seq)
+                .ok()
+                .and_then(|rows| {
+                    rows.iter()
+                        .filter_map(|r| r.field("speedup").and_then(Value::as_f64).ok())
+                        .min_by(f64::total_cmp)
+                });
+            match min_speedup {
+                Some(s) => format!("labeling {sps:.1} samples/s, min speedup {s:.2}x"),
+                None => format!("labeling {sps:.1} samples/s"),
+            }
+        }
+        "serve" => {
+            let max_p99 = v
+                .field("rows")
+                .and_then(Value::as_seq)
+                .ok()
+                .and_then(|rows| {
+                    rows.iter()
+                        .filter_map(|r| r.field("p99_us").and_then(Value::as_f64).ok())
+                        .max_by(f64::total_cmp)
+                });
+            match max_p99 {
+                Some(p) => format!("worst-mix p99 {p:.0}us"),
+                None => "no rows".to_string(),
+            }
+        }
+        _ => match v.field("accuracy").and_then(Value::as_map) {
+            Ok(acc) => acc
+                .iter()
+                .filter_map(|(k, val)| val.as_f64().ok().map(|x| format!("{k}={:.1}%", x * 100.0)))
+                .collect::<Vec<_>>()
+                .join(" "),
+            Err(_) => "no accuracy map".to_string(),
+        },
+    }
+}
+
+/// Reads every `BENCH_*.json` record in `dir` (sorted by file name), groups
+/// them by `(bench kind, quick)`, prints the trajectory, and flags
+/// regressions between consecutive records of a group with the same
+/// thresholds as `bench diff`. Journals (`*.jsonl`) in the directory
+/// contribute their `bench_record` tails.
+fn cmd_bench_history(dir: &str, p99_tolerance: Option<f64>) -> ExitCode {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bench history: cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut records: Vec<String> = Vec::new();
+    let mut journals: Vec<String> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            records.push(name);
+        } else if name.ends_with(".jsonl") {
+            journals.push(name);
+        }
+    }
+    records.sort();
+    journals.sort();
+    if records.is_empty() && journals.is_empty() {
+        println!("bench history: no BENCH_*.json records or *.jsonl journals in {dir}");
+        return ExitCode::SUCCESS;
+    }
+    // Parse and group by (kind, quick); groups keep file-name order.
+    // One group: the (bench kind, quick profile) key plus its (file, record) rows.
+    type HistoryGroup = ((String, bool), Vec<(String, Value)>);
+    let mut groups: Vec<HistoryGroup> = Vec::new();
+    for name in &records {
+        let path = format!("{dir}/{name}");
+        let parsed: Result<Value, String> = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()));
+        let v = match parsed {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bench history: skipping {name}: {e}");
+                continue;
+            }
+        };
+        let kind = v
+            .field("bench")
+            .and_then(Value::as_str)
+            .unwrap_or("headline")
+            .to_string();
+        let quick = v.field("quick").and_then(Value::as_bool).unwrap_or(false);
+        let key = (kind, quick);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, list)) => list.push((name.clone(), v)),
+            None => groups.push((key, vec![(name.clone(), v)])),
+        }
+    }
+    groups.sort_by(|(a, _), (b, _)| a.cmp(b));
+    let mut flagged = 0usize;
+    for ((kind, quick), list) in &groups {
+        println!(
+            "== {kind} ({} profile), {} record(s) ==",
+            if *quick { "quick" } else { "full" },
+            list.len()
+        );
+        for (name, v) in list {
+            println!("  {name:<28} {}", record_summary(kind, v));
+        }
+        for pair in list.windows(2) {
+            let (old_name, old) = &pair[0];
+            let (new_name, new) = &pair[1];
+            match bench_regressions_with(old, new, p99_tolerance.unwrap_or(SERVE_P99_TOLERANCE)) {
+                Ok(regressions) => {
+                    for r in &regressions {
+                        println!("  REGRESSION {old_name} -> {new_name}: {r}");
+                    }
+                    flagged += regressions.len();
+                }
+                Err(e) => println!("  (cannot compare {old_name} -> {new_name}: {e})"),
+            }
+        }
+    }
+    for name in &journals {
+        let path = format!("{dir}/{name}");
+        match pulp_obs::JournalReader::read_file(std::path::Path::new(&path)) {
+            Ok(journal) => {
+                let (tool, _, _) = journal.run_start();
+                println!("== journal {name} (run {}, tool {tool}) ==", journal.run_id);
+                for ev in &journal.events {
+                    if let pulp_obs::JournalEvent::BenchRecord { bench, name, value } = ev {
+                        println!("  {bench:<8} {name:<36} {value:.3}");
+                    }
+                }
+            }
+            Err(e) => println!("== journal {name}: invalid ({e}) =="),
+        }
+    }
+    if flagged > 0 {
+        println!("bench history: {flagged} regression(s) flagged");
+    } else {
+        println!("bench history: no regressions across consecutive records");
+    }
+    ExitCode::SUCCESS
+}
+
 /// Runs the simulator performance benchmark and writes `BENCH_sim.json`
 /// (or `--out PATH`). Fails if any fast-forward run diverges from its
 /// single-step oracle or if the barrier/DMA basket never skips a cycle.
@@ -532,7 +747,41 @@ fn cmd_bench_sim(args: &Args) -> ExitCode {
         pulp_bench::sim_bench::TEAM_SIZES.len(),
         opts.iters
     );
-    let report = run_sim_bench(&opts);
+    // The journal's run id is seeded from the pre-run provenance manifest
+    // (wall times excluded), so re-running the same configuration re-derives
+    // the same id.
+    let mut journal = args.journal.as_deref().and_then(|path| {
+        let pre = pulp_energy::RunManifest::new(
+            "bench_sim",
+            &ClusterConfig::default(),
+            &EnergyModel::table1(),
+        )
+        .with_extra("quick", opts.quick);
+        match pulp_obs::JournalWriter::create(
+            std::path::Path::new(path),
+            "bench_sim",
+            &pre.manifest_hash(),
+            pre.seed,
+        ) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("bench sim: cannot open journal {path}: {e}");
+                None
+            }
+        }
+    });
+    let report = pulp_bench::sim_bench::run_sim_bench_journaled(&opts, journal.as_mut());
+    if let Some(j) = journal {
+        let run = j.run_id().to_string();
+        match j.finalize() {
+            Ok(()) => {
+                if let Some(path) = &args.journal {
+                    println!("wrote {path} (run journal, run {run})");
+                }
+            }
+            Err(e) => eprintln!("bench sim: cannot finalize journal: {e}"),
+        }
+    }
     print!("{}", report.render_table());
     let out_path = args.out.as_deref().unwrap_or("BENCH_sim.json");
     let json = match serde_json::to_string_pretty(&report) {
@@ -1080,12 +1329,23 @@ fn main() -> ExitCode {
             }
         }
         "serve" => cmd_serve(&args),
+        "report" => match args.kernel.as_deref() {
+            Some(path) if args.rest.is_empty() => cmd_report(path),
+            _ => usage(),
+        },
+        "journal" => match args.kernel.as_deref() {
+            Some("validate") if !args.rest.is_empty() => cmd_journal_validate(&args.rest),
+            _ => usage(),
+        },
         "bench" => match args.kernel.as_deref() {
             Some("diff") if args.rest.len() == 2 => {
                 cmd_bench_diff(&args.rest[0], &args.rest[1], args.p99_tolerance)
             }
             Some("sim") if args.rest.is_empty() => cmd_bench_sim(&args),
             Some("serve") if args.rest.is_empty() => cmd_bench_serve(&args),
+            Some("history") if args.rest.len() == 1 => {
+                cmd_bench_history(&args.rest[0], args.p99_tolerance)
+            }
             _ => usage(),
         },
         _ => usage(),
@@ -1477,6 +1737,39 @@ mod tests {
         assert!(err.iter().any(|r| r.contains("failed request")), "{err:?}");
         // Quick-vs-full refused.
         assert!(bench_regressions(&base, &serve_value(false, 500.0, 0.0, 0)).is_err());
+    }
+
+    #[test]
+    fn report_and_journal_subcommands_parse() {
+        let a = parse(&["report", "RUN.jsonl"]).expect("parse");
+        assert_eq!(a.command, "report");
+        assert_eq!(a.kernel.as_deref(), Some("RUN.jsonl"));
+
+        let a = parse(&["journal", "validate", "a.jsonl", "b.jsonl"]).expect("parse");
+        assert_eq!(a.command, "journal");
+        assert_eq!(a.kernel.as_deref(), Some("validate"));
+        assert_eq!(a.rest, vec!["a.jsonl".to_string(), "b.jsonl".to_string()]);
+
+        let a = parse(&["bench", "history", "baselines"]).expect("parse");
+        assert_eq!(a.kernel.as_deref(), Some("history"));
+        assert_eq!(a.rest, vec!["baselines".to_string()]);
+
+        let a = parse(&["bench", "sim", "--quick", "--journal", "R.jsonl"]).expect("parse");
+        assert_eq!(a.journal.as_deref(), Some("R.jsonl"));
+        assert!(parse(&["bench", "sim", "--journal"]).is_none());
+    }
+
+    #[test]
+    fn record_summaries_name_the_headline_figures() {
+        let sim = sim_value_gated(&[("alu", 1, 1.2)], Some(100.0));
+        let s = record_summary("sim", &sim);
+        assert!(s.contains("labeling 100.0 samples/s"), "{s}");
+        assert!(s.contains("min speedup 1.20x"), "{s}");
+        let serve = serve_value(true, 500.0, 0.0, 0);
+        assert_eq!(record_summary("serve", &serve), "worst-mix p99 900us");
+        let headline = headline_value(0.80);
+        let s = record_summary("headline", &headline);
+        assert!(s.contains("static_at_5=80.0%"), "{s}");
     }
 
     #[test]

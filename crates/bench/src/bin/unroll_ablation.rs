@@ -37,7 +37,10 @@ fn main() {
     let model = EnergyModel::table1();
 
     // Train a predictor on ordinary (factor-1) kernels.
-    eprintln!("[unroll] training factor-1 predictor...");
+    if !args.quiet {
+        args.logger()
+            .info("unroll", "training factor-1 predictor", &[]);
+    }
     let data = pulp_bench::load_or_build_dataset(&opts, &args);
     let predictor =
         EnergyPredictor::train(&data, StaticFeatureSet::All, TreeParams::default()).expect("train");

@@ -35,9 +35,9 @@ pub use serve_bench::{
 };
 pub use sim_bench::{basket_program, run_sim_bench, SimBenchOptions, SimBenchReport, SimBenchRow};
 
-use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};
+use pulp_energy::pipeline::{BuildObserver, LabeledDataset, PipelineOptions};
 use pulp_energy::{Protocol, RunManifest, SweepCache};
-use pulp_obs::{LogFormat, Logger};
+use pulp_obs::{JournalEvent, JournalWriter, LogFormat, Logger, Recorder};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
@@ -54,7 +54,8 @@ pub const COMMON_USAGE: &str = "common options:
   --log-json          JSON-lines structured logs on stderr (default: text)
   --manifest <path>   run-manifest output path (default: manifest.json)
   --no-manifest       skip writing the run manifest
-  --max-cycles <n>    per-run simulation cycle budget (positive integer)";
+  --max-cycles <n>    per-run simulation cycle budget (positive integer)
+  --journal <path>    append-only JSONL run journal (read with `pulp_cli report`)";
 
 /// Parsed common command-line options.
 #[derive(Debug, Clone, Default)]
@@ -83,6 +84,8 @@ pub struct CommonArgs {
     /// Per-run simulation cycle budget (`--max-cycles`; `None` = the
     /// simulator default).
     pub max_cycles: Option<u64>,
+    /// Run-journal output path (`--journal`); `None` = no journal.
+    pub journal: Option<PathBuf>,
 }
 
 fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
@@ -151,6 +154,9 @@ impl CommonArgs {
                 "--max-cycles" => {
                     out.max_cycles = Some(positive_u64_value(&mut args, "--max-cycles")?);
                 }
+                "--journal" => {
+                    out.journal = Some(PathBuf::from(flag_value(&mut args, "--journal")?));
+                }
                 _ => {}
             }
         }
@@ -167,7 +173,9 @@ impl CommonArgs {
             PipelineOptions::default()
         };
         opts.threads = self.threads;
-        opts.progress = self.progress;
+        // `--quiet` wins over `--progress`: a quiet run emits no live
+        // progress/ETA lines even when both flags are given.
+        opts.progress = self.progress && !self.quiet;
         if let Some(max_cycles) = self.max_cycles {
             opts.max_cycles = max_cycles;
         }
@@ -259,6 +267,61 @@ impl CommonArgs {
         m
     }
 
+    /// Opens the run journal when `--journal` was given. The run id is
+    /// seeded from the **pre-run** manifest hash — the same provenance
+    /// [`write_manifest`](Self::write_manifest) records minus the fields
+    /// only known at exit (wall time, cache counters) — so the id is
+    /// stable for identical inputs and computable before the run starts.
+    ///
+    /// An unopenable path warns and degrades to no journal; observability
+    /// must never fail the experiment.
+    pub fn journal_writer(
+        &self,
+        tool: &str,
+        opts: &PipelineOptions,
+        protocol: Option<&Protocol>,
+    ) -> Option<JournalWriter> {
+        let path = self.journal.as_ref()?;
+        let mut pre =
+            RunManifest::new(tool, &opts.config, &opts.model).with_extra("quick", self.quick);
+        if let Some(p) = protocol {
+            pre = pre.with_protocol(*p);
+        }
+        match JournalWriter::create(path, tool, &pre.manifest_hash(), pre.seed) {
+            Ok(w) => Some(w),
+            Err(e) => {
+                self.logger().warn(
+                    "journal",
+                    "cannot open journal; continuing without one",
+                    &[
+                        ("path", path.display().to_string()),
+                        ("error", e.to_string()),
+                    ],
+                );
+                None
+            }
+        }
+    }
+
+    /// Finalizes `journal` (writing the `run_end` record) and, unless
+    /// `--quiet`, logs where it landed.
+    pub fn finish_journal(&self, journal: Option<JournalWriter>) {
+        let Some(journal) = journal else { return };
+        let run_id = journal.run_id().to_string();
+        if let Err(e) = journal.finalize() {
+            self.logger()
+                .warn("journal", "finalize failed", &[("error", e.to_string())]);
+        } else if !self.quiet {
+            if let Some(path) = &self.journal {
+                self.logger().info(
+                    "journal",
+                    "written",
+                    &[("path", path.display().to_string()), ("run", run_id)],
+                );
+            }
+        }
+    }
+
     /// Writes `record` as pretty JSON if `--json` was given.
     pub fn dump_json<T: serde::Serialize>(&self, record: &T) {
         if let Some(path) = &self.json {
@@ -296,8 +359,33 @@ pub const QUICK_KERNELS: &[&str] = &[
 /// Panics when the dataset cannot be built — experiments cannot proceed
 /// without it.
 pub fn load_or_build_dataset(opts: &PipelineOptions, args: &CommonArgs) -> LabeledDataset {
+    load_or_build_dataset_observed(opts, args, None)
+}
+
+/// [`load_or_build_dataset`] with an optional run journal: the build's
+/// stage events, per-shard heartbeats, slow kernels and cache attribution
+/// are appended to `journal`, and the `--progress` line (with ETA and
+/// straggler flags) goes through the binary's [`Logger`] — so `--log-json`
+/// yields machine-readable progress too. A dataset reused from the coarse
+/// JSON cache journals a `dataset_load` stage instead of a build.
+///
+/// # Panics
+///
+/// See [`load_or_build_dataset`].
+pub fn load_or_build_dataset_observed(
+    opts: &PipelineOptions,
+    args: &CommonArgs,
+    mut journal: Option<&mut JournalWriter>,
+) -> LabeledDataset {
     let quiet = args.quiet;
     let log = args.logger();
+    let journal_stage = |journal: &mut Option<&mut JournalWriter>, ev: JournalEvent| {
+        if let Some(j) = journal {
+            if let Err(e) = j.event(ev) {
+                eprintln!("[dataset] warning: journal write failed: {e}");
+            }
+        }
+    };
     // With a sweep cache the per-sample entries are the source of truth:
     // the coarse whole-dataset JSON cache is bypassed so every sample goes
     // through (and populates) the content-addressed store.
@@ -307,6 +395,7 @@ pub fn load_or_build_dataset(opts: &PipelineOptions, args: &CommonArgs) -> Label
         None
     };
     if let Some(cache) = &dataset_cache {
+        let load_t0 = std::time::Instant::now();
         if let Ok(text) = std::fs::read_to_string(cache) {
             if let Ok(data) = serde_json::from_str::<LabeledDataset>(&text) {
                 if !quiet {
@@ -316,6 +405,19 @@ pub fn load_or_build_dataset(opts: &PipelineOptions, args: &CommonArgs) -> Label
                         &[("path", cache.display().to_string())],
                     );
                 }
+                journal_stage(
+                    &mut journal,
+                    JournalEvent::StageStart {
+                        stage: "dataset_load".into(),
+                    },
+                );
+                journal_stage(
+                    &mut journal,
+                    JournalEvent::StageEnd {
+                        stage: "dataset_load".into(),
+                        wall_ms: load_t0.elapsed().as_secs_f64() * 1e3,
+                    },
+                );
                 return data;
             }
         }
@@ -331,7 +433,16 @@ pub fn load_or_build_dataset(opts: &PipelineOptions, args: &CommonArgs) -> Label
         );
     }
     let start = std::time::Instant::now();
-    let data = LabeledDataset::build(opts).expect("dataset build failed");
+    let mut rec = Recorder::new();
+    let data = LabeledDataset::build_observed(
+        opts,
+        &mut rec,
+        BuildObserver {
+            journal,
+            logger: Some(&log),
+        },
+    )
+    .expect("dataset build failed");
     if !quiet {
         log.info(
             "dataset",
@@ -494,6 +605,58 @@ mod tests {
         }
         let err = parse(&["--max-cycles"]).unwrap_err();
         assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn journal_flag_parses_and_quiet_wins_over_progress() {
+        let args = parse(&["--journal", "/tmp/run.jsonl", "--progress", "--quiet"]).expect("valid");
+        assert_eq!(args.journal.as_deref(), Some(Path::new("/tmp/run.jsonl")));
+        assert!(
+            !args.pipeline_options().progress,
+            "--quiet must suppress --progress"
+        );
+        let loud = parse(&["--progress"]).expect("valid");
+        assert!(loud.pipeline_options().progress);
+        let err = parse(&["--journal"]).unwrap_err();
+        assert!(err.contains("--journal"), "{err}");
+        assert!(parse(&[]).expect("valid").journal.is_none());
+    }
+
+    #[test]
+    fn journal_writer_opens_seeded_and_finalizes() {
+        let path =
+            std::env::temp_dir().join(format!("pulp-bench-journal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let args = CommonArgs {
+            quick: true,
+            journal: Some(path.clone()),
+            quiet: true,
+            ..CommonArgs::default()
+        };
+        let opts = args.pipeline_options();
+        let protocol = args.protocol();
+        let w = args
+            .journal_writer("test_tool", &opts, Some(&protocol))
+            .expect("journal opens");
+        // Run id derives from the pre-run manifest: stable across calls.
+        let run_id = w.run_id().to_string();
+        args.finish_journal(Some(w));
+        let journal = pulp_obs::JournalReader::read_file(&path).expect("valid journal");
+        assert_eq!(journal.run_id, run_id);
+        assert!(journal.ok());
+        let (tool, _, seed) = journal.run_start();
+        assert_eq!(tool, "test_tool");
+        assert_eq!(seed, protocol.seed);
+        let again = args
+            .journal_writer("test_tool", &opts, Some(&protocol))
+            .expect("journal reopens");
+        assert_eq!(again.run_id(), run_id, "run id is deterministic");
+        drop(again);
+        // No journal flag → no writer.
+        assert!(CommonArgs::default()
+            .journal_writer("t", &opts, None)
+            .is_none());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

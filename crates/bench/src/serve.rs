@@ -980,14 +980,31 @@ fn split_query(target: &str) -> (&str, Option<&str>) {
     }
 }
 
-/// Reads a `k=v` integer out of a query string, clamped to `[1, max]`.
-fn query_count(query: Option<&str>, key: &str, default: usize, max: usize) -> usize {
-    query
+/// Reads a `k=v` integer out of a query string. An absent key yields
+/// `default`; a present value must be a positive integer (anything else —
+/// garbage, zero, negatives, empty — is an error the caller turns into a
+/// 400 instead of silently replacing the value). In-range values are
+/// clamped to `[1, max]` — `max` is the structure's actual retention, so
+/// over-asking degrades to "everything retained" rather than erroring.
+fn query_count(
+    query: Option<&str>,
+    key: &str,
+    default: usize,
+    max: usize,
+) -> Result<usize, String> {
+    let raw = query
         .into_iter()
         .flat_map(|q| q.split('&'))
-        .find_map(|pair| pair.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
-        .unwrap_or(default)
-        .clamp(1, max.max(1))
+        .find_map(|pair| pair.strip_prefix(key)?.strip_prefix('='));
+    match raw {
+        None => Ok(default.clamp(1, max.max(1))),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n.clamp(1, max.max(1))),
+            _ => Err(format!(
+                "query parameter `{key}` must be a positive integer, got `{v}`"
+            )),
+        },
+    }
 }
 
 /// Collapses a request target into a bounded endpoint label: known paths
@@ -1022,18 +1039,18 @@ fn route(
             "text/plain; version=0.0.4; charset=utf-8",
         ),
         ("GET", "/manifest") => (200, state.manifest.to_json_pretty(), "application/json"),
-        ("GET", "/debug/requests") => {
-            let n = query_count(query, "n", 32, state.flight.capacity());
-            (
+        ("GET", "/debug/requests") => match query_count(query, "n", 32, state.flight.capacity()) {
+            Ok(n) => (
                 200,
                 state.flight.chrome_recent(n, "pulp-serve"),
                 "application/json",
-            )
-        }
-        ("GET", "/debug/slow") => {
-            let n = query_count(query, "n", 16, 64);
-            (200, state.flight.slow_json(n), "application/json")
-        }
+            ),
+            Err(msg) => (400, json_error(msg), "application/json"),
+        },
+        ("GET", "/debug/slow") => match query_count(query, "n", 16, state.flight.slow_capacity()) {
+            Ok(n) => (200, state.flight.slow_json(n), "application/json"),
+            Err(msg) => (400, json_error(msg), "application/json"),
+        },
         ("POST", "/predict") => match predict(req, state, tracer) {
             Ok(body) => (200, body, "application/json"),
             Err(msg) => (400, json_error(msg), "application/json"),
@@ -1692,13 +1709,19 @@ mod tests {
     }
 
     #[test]
-    fn query_counts_parse_with_clamping() {
-        assert_eq!(query_count(Some("n=4"), "n", 32, 64), 4);
-        assert_eq!(query_count(Some("a=1&n=9"), "n", 32, 64), 9);
-        assert_eq!(query_count(Some("n=9999"), "n", 32, 64), 64);
-        assert_eq!(query_count(Some("n=0"), "n", 32, 64), 1);
-        assert_eq!(query_count(Some("n=banana"), "n", 32, 64), 32);
-        assert_eq!(query_count(None, "n", 32, 64), 32);
+    fn query_counts_parse_strictly_and_clamp_to_capacity() {
+        assert_eq!(query_count(Some("n=4"), "n", 32, 64), Ok(4));
+        assert_eq!(query_count(Some("a=1&n=9"), "n", 32, 64), Ok(9));
+        // Over-asking clamps to what the structure retains.
+        assert_eq!(query_count(Some("n=9999"), "n", 32, 64), Ok(64));
+        // An absent key is the default; a malformed present value is a
+        // client error, not a silent fallback (regression: `n=banana`
+        // used to quietly become 32).
+        assert_eq!(query_count(None, "n", 32, 64), Ok(32));
+        for bad in ["n=0", "n=banana", "n=-3", "n=", "n=1.5"] {
+            let err = query_count(Some(bad), "n", 32, 64).unwrap_err();
+            assert!(err.contains("positive integer"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -29,9 +29,10 @@
 //! set and reported as samples labelled per wall-second, giving the corpus
 //! build a tracked baseline.
 
-use pulp_energy::measure_kernels_sharded;
+use pulp_energy::{measure_kernels_sharded, measure_kernels_sharded_observed, SweepObserver};
 use pulp_energy_model::EnergyModel;
 use pulp_kernels::KernelParams;
+use pulp_obs::{JournalEvent, JournalWriter, LogFormat, Logger};
 use pulp_sim::{
     simulate_opts, AddrExpr, ClusterConfig, NoTelemetry, NullSink, OpKind, Program, SegOp,
     SimOptions, SimScratch, SimStats, TCDM_BASE,
@@ -160,6 +161,19 @@ pub struct SimBenchReport {
     /// baseline (`labeling_samples / labeling_wall_s`).
     #[serde(default)]
     pub labeling_samples_per_s: f64,
+    /// Wall seconds of the **observed** sharded sweep: same kernel set,
+    /// but with journaling and live progress enabled.
+    #[serde(default)]
+    pub labeling_observed_wall_s: f64,
+    /// Labelled samples per wall-second with journaling + progress on.
+    #[serde(default)]
+    pub labeling_observed_samples_per_s: f64,
+    /// `labeling_observed_wall_s / labeling_wall_s` — the observability
+    /// tax. The acceptance bar is ≤ 1.02 on a quiet full-profile box; the
+    /// figure is tracked here rather than hard-gated because CI boxes are
+    /// noisy.
+    #[serde(default)]
+    pub labeling_journal_overhead: f64,
 }
 
 fn instr(kind: OpKind) -> SegOp {
@@ -344,6 +358,27 @@ fn median(samples: &mut [f64]) -> f64 {
 
 /// Runs the full benchmark matrix.
 pub fn run_sim_bench(opts: &SimBenchOptions) -> SimBenchReport {
+    run_sim_bench_journaled(opts, None)
+}
+
+/// Emits a journal event, downgrading failures to a stderr warning so a
+/// full disk never aborts a benchmark that already has its numbers.
+fn journal_event(journal: &mut Option<&mut JournalWriter>, ev: JournalEvent) {
+    if let Some(j) = journal.as_deref_mut() {
+        if let Err(e) = j.event(ev) {
+            eprintln!("[journal] dropped event: {e}");
+        }
+    }
+}
+
+/// [`run_sim_bench`] with an optional run journal: each basket and the
+/// labeling measurement become journal stages, and every headline figure
+/// is recorded as a `bench_record` event so `bench history` can read the
+/// trajectory straight from journals.
+pub fn run_sim_bench_journaled(
+    opts: &SimBenchOptions,
+    mut journal: Option<&mut JournalWriter>,
+) -> SimBenchReport {
     let config = ClusterConfig::default();
     // Quick runs must still be long enough that a single timer interrupt
     // (~µs) doesn't dominate a timing pair: 8k cycles ≈ 0.3–1 ms per run.
@@ -357,6 +392,13 @@ pub fn run_sim_bench(opts: &SimBenchOptions) -> SimBenchReport {
     let mut scratch = SimScratch::new();
     let mut rows = Vec::new();
     for basket in BASKETS {
+        let basket_start = Instant::now();
+        journal_event(
+            &mut journal,
+            JournalEvent::StageStart {
+                stage: basket.to_string(),
+            },
+        );
         for team in TEAM_SIZES {
             let program = basket_program(basket, team, scale);
             let TimedPair {
@@ -396,9 +438,56 @@ pub fn run_sim_bench(opts: &SimBenchOptions) -> SimBenchReport {
                 horizon_step_s: timed.fast_forward.step_nanos as f64 / 1e9,
                 horizon_scan_share: timed.fast_forward.horizon_scan_share(),
             });
+            let row = rows.last().expect("just pushed");
+            journal_event(
+                &mut journal,
+                JournalEvent::BenchRecord {
+                    bench: "sim".to_string(),
+                    name: format!("{basket}@{team}/ff_cycles_per_s"),
+                    value: row.ff_cycles_per_s,
+                },
+            );
         }
+        journal_event(
+            &mut journal,
+            JournalEvent::StageEnd {
+                stage: basket.to_string(),
+                wall_ms: basket_start.elapsed().as_secs_f64() * 1e3,
+            },
+        );
     }
+    let labeling_start = Instant::now();
+    journal_event(
+        &mut journal,
+        JournalEvent::StageStart {
+            stage: "labeling".to_string(),
+        },
+    );
     let labeling = measure_labeling_throughput(opts.quick, opts.max_cycles);
+    journal_event(
+        &mut journal,
+        JournalEvent::StageEnd {
+            stage: "labeling".to_string(),
+            wall_ms: labeling_start.elapsed().as_secs_f64() * 1e3,
+        },
+    );
+    for (name, value) in [
+        ("labeling/samples_per_s", labeling.samples_per_s),
+        (
+            "labeling/observed_samples_per_s",
+            labeling.observed_samples_per_s,
+        ),
+        ("labeling/journal_overhead", labeling.journal_overhead),
+    ] {
+        journal_event(
+            &mut journal,
+            JournalEvent::BenchRecord {
+                bench: "sim".to_string(),
+                name: name.to_string(),
+                value,
+            },
+        );
+    }
     SimBenchReport {
         bench: "sim".to_string(),
         quick: opts.quick,
@@ -407,6 +496,9 @@ pub fn run_sim_bench(opts: &SimBenchOptions) -> SimBenchReport {
         labeling_threads: labeling.threads,
         labeling_wall_s: labeling.wall_s,
         labeling_samples_per_s: labeling.samples_per_s,
+        labeling_observed_wall_s: labeling.observed_wall_s,
+        labeling_observed_samples_per_s: labeling.observed_samples_per_s,
+        labeling_journal_overhead: labeling.journal_overhead,
     }
 }
 
@@ -427,12 +519,21 @@ struct LabelingThroughput {
     threads: u64,
     wall_s: f64,
     samples_per_s: f64,
+    observed_wall_s: f64,
+    observed_samples_per_s: f64,
+    journal_overhead: f64,
 }
 
 /// Times the sharded sweep driver over the quick kernel set: every quick
 /// kernel at one payload size (`--quick`) or three (full), labelled across
 /// all available cores. This is the figure ROADMAP item 1's corpus build
 /// scales from.
+///
+/// The same workload is then re-run through the **observed** driver — an
+/// in-memory journal plus live progress into a sink logger — so the report
+/// carries the journaling overhead as a tracked ratio. The observed pass
+/// must produce bit-identical profiles; anything else means the observer
+/// leaked into the measurement.
 fn measure_labeling_throughput(quick: bool, max_cycles: u64) -> LabelingThroughput {
     let payloads: &[usize] = if quick { &[512] } else { &[512, 2048, 8196] };
     let defs = pulp_kernels::registry();
@@ -452,11 +553,39 @@ fn measure_labeling_throughput(quick: bool, max_cycles: u64) -> LabelingThroughp
     let profiles = measure_kernels_sharded(&kernels, &config, &model, max_cycles, threads)
         .expect("quick kernels must label cleanly");
     let wall_s = start.elapsed().as_secs_f64();
+
+    let mut journal = JournalWriter::in_memory("bench_sim_labeling", "unseeded", 0);
+    let progress_sink = Logger::to_sink(LogFormat::Text);
+    let observed_start = Instant::now();
+    let observed = measure_kernels_sharded_observed(
+        &kernels,
+        &config,
+        &model,
+        max_cycles,
+        threads,
+        SweepObserver {
+            journal: Some(&mut journal),
+            logger: Some(&progress_sink),
+            progress: true,
+            ..SweepObserver::default()
+        },
+    )
+    .expect("quick kernels must label cleanly under observation");
+    let observed_wall_s = observed_start.elapsed().as_secs_f64();
+    assert_eq!(
+        profiles, observed,
+        "observed sweep must be bit-identical to the plain sweep"
+    );
+    drop(journal);
+
     LabelingThroughput {
         samples: profiles.len() as u64,
         threads: threads as u64,
         wall_s,
         samples_per_s: profiles.len() as f64 / wall_s.max(WALL_FLOOR_S),
+        observed_wall_s,
+        observed_samples_per_s: profiles.len() as f64 / observed_wall_s.max(WALL_FLOOR_S),
+        journal_overhead: observed_wall_s.max(WALL_FLOOR_S) / wall_s.max(WALL_FLOOR_S),
     }
 }
 
@@ -505,6 +634,15 @@ impl SimBenchReport {
                 self.labeling_threads,
                 self.labeling_wall_s,
                 self.labeling_samples_per_s
+            );
+        }
+        if self.labeling_observed_wall_s > 0.0 {
+            let _ = writeln!(
+                out,
+                "labeling+journal: {:.3}s = {:.1} samples/s (overhead {:.3}x)",
+                self.labeling_observed_wall_s,
+                self.labeling_observed_samples_per_s,
+                self.labeling_journal_overhead
             );
         }
         out
@@ -574,6 +712,12 @@ impl SimBenchReport {
         for (name, v) in [
             ("labeling_wall_s", self.labeling_wall_s),
             ("labeling_samples_per_s", self.labeling_samples_per_s),
+            ("labeling_observed_wall_s", self.labeling_observed_wall_s),
+            (
+                "labeling_observed_samples_per_s",
+                self.labeling_observed_samples_per_s,
+            ),
+            ("labeling_journal_overhead", self.labeling_journal_overhead),
         ] {
             if !v.is_finite() {
                 problems.push(format!(
@@ -693,6 +837,49 @@ mod tests {
         assert!(report.labeling_threads > 0);
         assert!(report.labeling_samples_per_s > 0.0);
         assert!(report.labeling_samples_per_s.is_finite());
+        // The observed pass ran and its overhead ratio is a usable number.
+        assert!(report.labeling_observed_wall_s > 0.0);
+        assert!(report.labeling_observed_samples_per_s > 0.0);
+        assert!(report.labeling_journal_overhead > 0.0);
+        assert!(report.labeling_journal_overhead.is_finite());
+        // Both throughput lines reach the rendered table.
+        let table = report.render_table();
+        assert!(table.contains("labeling:"), "table: {table}");
+        assert!(table.contains("labeling+journal:"), "table: {table}");
+    }
+
+    #[test]
+    fn journaled_bench_writes_a_valid_staged_journal() {
+        let mut journal = pulp_obs::JournalWriter::in_memory("bench_sim", "cafe", 7);
+        let report = run_sim_bench_journaled(
+            &SimBenchOptions {
+                quick: true,
+                iters: 1,
+                ..SimBenchOptions::default()
+            },
+            Some(&mut journal),
+        );
+        let text = journal.finalize_to_string().expect("finalize");
+        let parsed = pulp_obs::JournalReader::read_str(&text).expect("journal validates");
+        assert!(parsed.ok(), "journal must finalize ok=true");
+        let stages: Vec<&str> = parsed
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                pulp_obs::JournalEvent::StageStart { stage } => Some(stage.as_str()),
+                _ => None,
+            })
+            .collect();
+        let mut expected: Vec<&str> = BASKETS.to_vec();
+        expected.push("labeling");
+        assert_eq!(stages, expected);
+        // One bench_record per row plus the three labeling figures.
+        let records = parsed
+            .events
+            .iter()
+            .filter(|e| matches!(e, pulp_obs::JournalEvent::BenchRecord { .. }))
+            .count();
+        assert_eq!(records, report.rows.len() + 3);
     }
 
     #[test]

@@ -219,6 +219,22 @@ mod tests {
     }
 
     #[test]
+    fn manifest_hash_golden_value_is_stable() {
+        // Golden pin: the hash of a fully deterministic manifest (default
+        // config/model, fixed seed, no wall time). This only moves when
+        // something that *should* invalidate provenance moves — a version
+        // constant, the config/model encoding, or the hash itself. Update
+        // the constant deliberately when one of those changes.
+        let m = manifest().with_seed(42).with_extra("quick", false);
+        assert_eq!(m.manifest_hash(), "0b3bdbc67d8b88ea");
+        // Wall time must not move the golden value.
+        assert_eq!(
+            m.clone().with_wall_time_ms(123_456).manifest_hash(),
+            m.manifest_hash()
+        );
+    }
+
+    #[test]
     fn versions_reflect_build_constants() {
         let m = manifest();
         assert_eq!(m.sim_version, pulp_sim::SIM_VERSION);

@@ -12,18 +12,19 @@ use crate::features::{
     StaticFeatureSet,
 };
 use crate::labeling::{
-    measure_kernel_cached_scratch, measure_kernel_instrumented_scratch, MeasureError, NUM_CLASSES,
+    measure_kernel_cached_scratch, measure_kernel_instrumented_scratch, MeasureError,
+    SweepProgress, NUM_CLASSES,
 };
 use kernel_ir::{DType, Suite, ValidateKernelError};
 use pulp_energy_model::EnergyModel;
 use pulp_kernels::{all_samples, registry, KernelDef, SampleSpec, PAYLOAD_SIZES};
 use pulp_ml::{Dataset, DatasetError};
-use pulp_obs::Recorder;
+use pulp_obs::{JournalEvent, JournalWriter, LogFormat, Logger, Recorder};
 use pulp_sim::{ClusterConfig, SimScratch};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Options controlling dataset construction.
 #[derive(Debug, Clone)]
@@ -77,6 +78,25 @@ impl PipelineOptions {
         }
     }
 }
+
+/// Observation hooks for [`LabeledDataset::build_observed`]: an optional
+/// run journal receiving stage/heartbeat/cache/slow-kernel events, and an
+/// optional logger for the live `--progress` line. The default observer
+/// (no journal, no logger) keeps per-kernel timing off the hot loop
+/// entirely.
+#[derive(Default)]
+pub struct BuildObserver<'a> {
+    /// Durable event log for the build (see [`pulp_obs::journal`]).
+    pub journal: Option<&'a mut JournalWriter>,
+    /// Sink for progress lines; `None` with `opts.progress` set falls
+    /// back to a plain-text stderr logger.
+    pub logger: Option<&'a Logger>,
+}
+
+/// Samples between journal heartbeats per worker.
+const PIPELINE_HEARTBEAT_EVERY: u64 = 16;
+/// Slow-sample entries each worker tracks for the journal.
+const PIPELINE_SLOW_PER_SHARD: usize = 4;
 
 /// Errors produced while building the dataset.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,6 +220,46 @@ impl LabeledDataset {
         opts: &PipelineOptions,
         rec: &mut Recorder,
     ) -> Result<Self, BuildDatasetError> {
+        Self::build_observed(opts, rec, BuildObserver::default())
+    }
+
+    /// [`build_instrumented`](Self::build_instrumented) with durable
+    /// observation: stage start/end, per-shard heartbeats (kernels done,
+    /// kernels/s, cache hits/misses) and slow-kernel entries go to
+    /// `obs.journal`, and `opts.progress` drives a live throttled
+    /// `[sweep]` line (ETA + straggler flags) through `obs.logger`.
+    ///
+    /// Journal events are buffered per worker and appended in shard order
+    /// after the join — the hot measurement loop never touches the
+    /// writer, and the measured dataset is bit-identical to an unobserved
+    /// build at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`build`](Self::build). Journal write failures warn on stderr
+    /// but never fail the build.
+    pub fn build_observed(
+        opts: &PipelineOptions,
+        rec: &mut Recorder,
+        obs: BuildObserver<'_>,
+    ) -> Result<Self, BuildDatasetError> {
+        let BuildObserver { journal, logger } = obs;
+        let mut journal = journal;
+        let stage_guard = |journal: &mut Option<&mut JournalWriter>, ev: JournalEvent| {
+            if let Some(j) = journal {
+                if let Err(e) = j.event(ev) {
+                    eprintln!("[pipeline] warning: journal write failed: {e}");
+                }
+            }
+        };
+
+        let stage_t0 = Instant::now();
+        stage_guard(
+            &mut journal,
+            JournalEvent::StageStart {
+                stage: "enumerate".into(),
+            },
+        );
         let enumerate = rec.start_cat("enumerate", "stage");
         let defs = registry();
         let specs: Vec<SampleSpec> = all_samples()
@@ -214,6 +274,13 @@ impl LabeledDataset {
             .collect();
         rec.annotate(enumerate, "samples", specs.len());
         rec.end(enumerate);
+        stage_guard(
+            &mut journal,
+            JournalEvent::StageEnd {
+                stage: "enumerate".into(),
+                wall_ms: stage_t0.elapsed().as_secs_f64() * 1e3,
+            },
+        );
         if specs.is_empty() {
             return Err(BuildDatasetError::EmptySelection);
         }
@@ -225,52 +292,147 @@ impl LabeledDataset {
         }
         .min(specs.len());
 
+        let stage_t0 = Instant::now();
+        stage_guard(
+            &mut journal,
+            JournalEvent::StageStart {
+                stage: "measure".into(),
+            },
+        );
         let measure = rec.start_cat("measure", "stage");
         rec.annotate(measure, "threads", threads);
-        let done = AtomicUsize::new(0);
         let total = specs.len();
+        let journaling = journal.is_some();
+        let caching = opts.cache.is_some();
+        // Shard `t` owns indices `t, t + threads, ...`.
+        let assigned: Vec<u64> = (0..threads)
+            .map(|t| ((total - t).div_ceil(threads)) as u64)
+            .collect();
+        let progress = SweepProgress::new(total, threads);
+        let fallback_logger = Logger::new(LogFormat::Text);
+        let progress_logger: Option<&Logger> = if opts.progress {
+            Some(logger.unwrap_or(&fallback_logger))
+        } else {
+            None
+        };
         let mut samples: Vec<Option<SampleRecord>> = vec![None; specs.len()];
         let mut first_error: Option<BuildDatasetError> = None;
+        let mut shard_events: Vec<Vec<JournalEvent>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let specs = &specs;
                 let defs = &defs;
                 let opts_ref = &*opts;
-                let done = &done;
+                let progress = &progress;
                 handles.push(scope.spawn(move || {
                     let mut worker_rec = Recorder::new();
                     // One simulator scratch per worker, reused across every
                     // sample and team size this worker measures.
                     let mut scratch = SimScratch::new();
                     let mut out = Vec::new();
+                    let mut events: Vec<JournalEvent> = Vec::new();
+                    let mut slow: Vec<(String, f64, u64)> = Vec::new();
+                    let mut done = 0u64;
+                    let mut cache_hits = 0u64;
+                    let shard_total = ((specs.len() - t).div_ceil(threads)) as u64;
                     let mut i = t;
                     while i < specs.len() {
-                        out.push((
-                            i,
-                            measure_one_instrumented(
-                                &specs[i],
-                                &defs[specs[i].kernel_index],
-                                opts_ref,
-                                &mut worker_rec,
-                                &mut scratch,
-                            ),
-                        ));
-                        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-                        if opts_ref.progress {
-                            eprintln!(
-                                "[pipeline] measured {n}/{total} {}",
-                                defs[specs[i].kernel_index].name
+                        let spans_before = worker_rec.spans().len();
+                        let t0 = journaling.then(Instant::now);
+                        let res = measure_one_instrumented(
+                            &specs[i],
+                            &defs[specs[i].kernel_index],
+                            opts_ref,
+                            &mut worker_rec,
+                            &mut scratch,
+                        );
+                        done += 1;
+                        if let Some(t0) = t0 {
+                            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                            let new_spans = &worker_rec.spans()[spans_before..];
+                            if new_spans.iter().any(|s| s.cat == "cache") {
+                                cache_hits += 1;
+                            }
+                            let cycles = res.as_ref().map_or(0, |r| r.cycles[0]);
+                            let sample = res.as_ref().map_or_else(
+                                |_| defs[specs[i].kernel_index].name.to_string(),
+                                |r| r.id.clone(),
                             );
+                            slow.push((sample, wall_ms, cycles));
+                            if slow.len() > PIPELINE_SLOW_PER_SHARD {
+                                slow.sort_by(|a, b| {
+                                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                                });
+                                slow.truncate(PIPELINE_SLOW_PER_SHARD);
+                            }
+                            if done.is_multiple_of(PIPELINE_HEARTBEAT_EVERY) || done == shard_total
+                            {
+                                let elapsed_ms = progress.elapsed_ms();
+                                let elapsed_s = elapsed_ms as f64 / 1e3;
+                                events.push(JournalEvent::Heartbeat {
+                                    shard: t as u64,
+                                    done,
+                                    assigned: shard_total,
+                                    elapsed_ms,
+                                    kernels_per_s: if elapsed_s > 0.0 {
+                                        done as f64 / elapsed_s
+                                    } else {
+                                        0.0
+                                    },
+                                    cache_hits,
+                                    cache_misses: if caching { done - cache_hits } else { 0 },
+                                });
+                            }
                         }
+                        out.push((i, res));
+                        progress.record(t);
                         i += threads;
                     }
-                    (out, worker_rec)
+                    slow.sort_by(|a, b| {
+                        b.1.partial_cmp(&a.1)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.0.cmp(&b.0))
+                    });
+                    for (sample, wall_ms, cycles) in slow {
+                        events.push(JournalEvent::SlowKernel {
+                            sample,
+                            wall_ms,
+                            cycles,
+                        });
+                    }
+                    (out, events, worker_rec)
                 }));
             }
+            let monitor = progress_logger.map(|log| {
+                let progress = &progress;
+                let assigned = &assigned;
+                scope.spawn(move || {
+                    let mut last = u64::MAX;
+                    loop {
+                        let snap = progress.snapshot();
+                        if snap.done() != last {
+                            last = snap.done();
+                            log.info(
+                                "sweep",
+                                &format!("measured {}/{}", snap.done(), snap.total),
+                                &snap.progress_fields(assigned),
+                            );
+                        }
+                        if snap.done() >= snap.total {
+                            break;
+                        }
+                        // Parked, not slept: the join path unparks us as soon
+                        // as the last worker finishes, so short builds never
+                        // pay a full monitor tick of extra wall time.
+                        std::thread::park_timeout(std::time::Duration::from_millis(200));
+                    }
+                })
+            });
             for h in handles {
-                let (results, worker_rec) = h.join().expect("worker panicked");
+                let (results, events, worker_rec) = h.join().expect("worker panicked");
                 rec.merge(worker_rec);
+                shard_events.push(events);
                 for (i, res) in results {
                     match res {
                         Ok(record) => samples[i] = Some(record),
@@ -282,15 +444,47 @@ impl LabeledDataset {
                     }
                 }
             }
+            if let Some(m) = &monitor {
+                m.thread().unpark();
+            }
         });
-        rec.counter("pipeline/samples", done.load(Ordering::Relaxed) as f64);
+        rec.counter("pipeline/samples", progress.snapshot().done() as f64);
+        if let Some(j) = &mut journal {
+            // Deterministic merge: shard 0's buffer first, then shard 1's.
+            if let Err(e) = j.events(shard_events.into_iter().flatten()) {
+                eprintln!("[pipeline] warning: journal write failed: {e}");
+            }
+        }
         if let Some(cache) = &opts.cache {
             cache.record(rec);
+            let stats = cache.stats();
+            stage_guard(
+                &mut journal,
+                JournalEvent::Cache {
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    invalidations: stats.invalidations,
+                },
+            );
         }
         rec.end(measure);
+        stage_guard(
+            &mut journal,
+            JournalEvent::StageEnd {
+                stage: "measure".into(),
+                wall_ms: stage_t0.elapsed().as_secs_f64() * 1e3,
+            },
+        );
         if let Some(e) = first_error {
             return Err(e);
         }
+        let stage_t0 = Instant::now();
+        stage_guard(
+            &mut journal,
+            JournalEvent::StageStart {
+                stage: "assemble".into(),
+            },
+        );
         let assemble = rec.start_cat("assemble", "stage");
         let out = Self {
             samples: samples
@@ -299,6 +493,13 @@ impl LabeledDataset {
                 .collect(),
         };
         rec.end(assemble);
+        stage_guard(
+            &mut journal,
+            JournalEvent::StageEnd {
+                stage: "assemble".into(),
+                wall_ms: stage_t0.elapsed().as_secs_f64() * 1e3,
+            },
+        );
         Ok(out)
     }
 
@@ -497,6 +698,78 @@ mod tests {
         opts.threads = 4;
         let d4 = LabeledDataset::build(&opts).expect("build");
         assert_eq!(d1, d4);
+    }
+
+    #[test]
+    fn observed_build_is_identical_and_journals_stages_and_cache() {
+        use pulp_obs::{validate_journal, JournalEvent, JournalReader, JournalWriter};
+        let dir = std::env::temp_dir().join(format!(
+            "pulp-pipeline-journal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = PipelineOptions::quick(&["vec_scale", "bank_hammer"]);
+        opts.threads = 2;
+        opts.cache = Some(Arc::new(SweepCache::new(&dir).expect("cache")));
+        let plain = LabeledDataset::build(&opts).expect("plain build");
+
+        // Warm run with a journal: bit-identical dataset, full cache
+        // attribution in the journal.
+        opts.cache = Some(Arc::new(SweepCache::new(&dir).expect("cache")));
+        let mut journal = JournalWriter::in_memory("pipeline_test", "beef", 3);
+        let mut rec = Recorder::new();
+        let observed = LabeledDataset::build_observed(
+            &opts,
+            &mut rec,
+            BuildObserver {
+                journal: Some(&mut journal),
+                logger: None,
+            },
+        )
+        .expect("observed build");
+        assert_eq!(observed, plain, "journaling must not perturb the dataset");
+
+        let text = journal.finalize_to_string().expect("text");
+        validate_journal(&text).expect("valid journal");
+        let parsed = JournalReader::read_str(&text).expect("readable");
+        let stages: Vec<&str> = parsed
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                JournalEvent::StageEnd { stage, .. } => Some(stage.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stages, ["enumerate", "measure", "assemble"]);
+        let cache_ev = parsed
+            .events
+            .iter()
+            .find_map(|e| match e {
+                JournalEvent::Cache { hits, misses, .. } => Some((*hits, *misses)),
+                _ => None,
+            })
+            .expect("cache attribution present");
+        assert_eq!(cache_ev, (plain.len() as u64, 0), "warm run: all hits");
+        let heartbeat_hits: u64 = parsed
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                JournalEvent::Heartbeat {
+                    done,
+                    assigned,
+                    cache_hits,
+                    ..
+                } if done == assigned => Some(*cache_hits),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(
+            heartbeat_hits,
+            plain.len() as u64,
+            "final heartbeats attribute every sample to the cache"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

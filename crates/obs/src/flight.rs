@@ -186,6 +186,12 @@ impl FlightRecorder {
         self.stripe_cap * self.stripes.len()
     }
 
+    /// Maximum traces the slow table retains ([`SLOW_TABLE_CAP`]) — the
+    /// upper bound for `/debug/slow?n=` requests.
+    pub fn slow_capacity(&self) -> usize {
+        SLOW_TABLE_CAP
+    }
+
     /// Number of traces currently retained.
     pub fn len(&self) -> usize {
         self.stripes

@@ -36,6 +36,7 @@
 
 pub mod chrome;
 pub mod flight;
+pub mod journal;
 pub mod log;
 pub mod metrics;
 pub mod recorder;
@@ -44,6 +45,10 @@ pub use chrome::{chrome_trace, chrome_trace_value, validate_chrome_trace};
 pub use flight::{
     chrome_value_of_traces, summary_value_of_traces, FlightRecorder, RequestTrace, TraceContext,
     TraceIdGen,
+};
+pub use journal::{
+    render_journal, render_report, seeded_run_id, validate_journal, Journal, JournalEvent,
+    JournalReader, JournalWriter, JOURNAL_SCHEMA_VERSION,
 };
 pub use log::{LogFormat, Logger};
 pub use metrics::{validate_exposition, MetricsRegistry, WindowConfig};

@@ -249,4 +249,31 @@ proptest! {
         prop_assert_eq!(stats.check_consistency(), Ok(()));
         prop_assert_eq!(stats.total_retired(), (ops.len() * team) as u64);
     }
+
+    /// Wall time is the only non-deterministic manifest field; no value of
+    /// it (on either side) may perturb `manifest_hash`, while any change
+    /// to a provenance field must.
+    #[test]
+    fn manifest_hash_ignores_wall_time_only(
+        wall_a in 0u64..u64::MAX,
+        wall_b in 0u64..u64::MAX,
+        seed in 0u64..1_000_000,
+    ) {
+        use pulp_energy::RunManifest;
+        use pulp_energy_model::EnergyModel;
+        let base = RunManifest::new("prop", &config(), &EnergyModel::table1()).with_seed(seed);
+        let a = base.clone().with_wall_time_ms(wall_a);
+        let b = base.clone().with_wall_time_ms(wall_b);
+        prop_assert_eq!(a.manifest_hash(), b.manifest_hash());
+        prop_assert_eq!(a.manifest_hash(), base.manifest_hash());
+        // Wall time does change the raw encoding when the values differ —
+        // the hash's indifference is deliberate, not vacuous.
+        if wall_a != wall_b {
+            prop_assert_ne!(a.to_json_pretty(), b.to_json_pretty());
+        }
+        prop_assert_ne!(
+            base.clone().with_seed(seed + 1).manifest_hash(),
+            base.manifest_hash()
+        );
+    }
 }

@@ -643,6 +643,44 @@ fn debug_requests_serves_a_validated_chrome_trace_of_every_request() {
 }
 
 #[test]
+fn debug_query_params_reject_malformed_values_with_400() {
+    let (addr, state, handle, thread) = spawn_server(ServeOptions::default());
+
+    for target in [
+        "/debug/requests?n=banana",
+        "/debug/requests?n=0",
+        "/debug/requests?n=-1",
+        "/debug/slow?n=",
+        "/debug/slow?n=2.5",
+    ] {
+        let (status, body) = request(addr, "GET", target, "");
+        assert_eq!(status, 400, "{target} must be rejected: {body}");
+        let v: Value = serde_json::from_str(&body).expect("error body is JSON");
+        let msg = v
+            .field("error")
+            .and_then(Value::as_str)
+            .expect("error field");
+        assert!(msg.contains("positive integer"), "{target}: {msg}");
+    }
+
+    // Well-formed but oversized values clamp to retention instead of
+    // erroring; absent values keep serving the default.
+    let over = state.flight().capacity() + 1000;
+    for target in [
+        format!("/debug/requests?n={over}"),
+        "/debug/requests".to_string(),
+        "/debug/slow?n=9999".to_string(),
+        "/debug/slow".to_string(),
+    ] {
+        let (status, body) = request(addr, "GET", &target, "");
+        assert_eq!(status, 200, "{target} must clamp, not fail: {body}");
+    }
+
+    handle.trigger();
+    thread.join().expect("server thread joins");
+}
+
+#[test]
 fn slow_request_lines_honour_the_json_log_format() {
     let (pipeline, data) = fixture();
     let state = Arc::new(
