@@ -113,6 +113,9 @@ struct Args {
     keepalive_max: Option<usize>,
     slow_ms: Option<u64>,
     flight_capacity: Option<usize>,
+    retry_after_secs: Option<u64>,
+    rate: Option<f64>,
+    hist_out: Option<String>,
     log_json: bool,
     trace_out: Option<String>,
     p99_tolerance: Option<f64>,
@@ -147,6 +150,9 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
         keepalive_max: None,
         slow_ms: None,
         flight_capacity: None,
+        retry_after_secs: None,
+        rate: None,
+        hist_out: None,
         log_json: false,
         trace_out: None,
         p99_tolerance: None,
@@ -197,6 +203,20 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
             "--flight-capacity" => {
                 args.flight_capacity = Some(positive(&mut argv, "--flight-capacity")?);
             }
+            "--retry-after-secs" => {
+                args.retry_after_secs = Some(positive(&mut argv, "--retry-after-secs")?);
+            }
+            "--rate" => {
+                let raw = argv.next()?;
+                match raw.parse::<f64>() {
+                    Ok(x) if x > 0.0 && x.is_finite() => args.rate = Some(x),
+                    _ => {
+                        eprintln!("--rate expects a positive requests/second, got {raw:?}");
+                        return None;
+                    }
+                }
+            }
+            "--hist-out" => args.hist_out = Some(argv.next()?),
             "--log-json" => args.log_json = true,
             "--trace-out" => args.trace_out = Some(argv.next()?),
             "--journal" => args.journal = Some(argv.next()?),
@@ -244,10 +264,11 @@ fn usage() -> ExitCode {
          or: pulp_cli cache <stats|clear> --cache-dir DIR\n   \
          or: pulp_cli serve [--addr HOST:PORT] [--full] [--cache-dir DIR] [--workers N]\n   \
                 [--queue-depth N] [--timeout-ms N] [--max-body-bytes N] [--keepalive-max N]\n   \
-                [--slow-ms N] [--flight-capacity N] [--log-json]\n   \
+                [--slow-ms N] [--flight-capacity N] [--retry-after-secs N] [--log-json]\n   \
          or: pulp_cli bench diff OLD.json NEW.json [--p99-tolerance X]\n   \
          or: pulp_cli bench sim [--quick] [--out PATH] [--max-cycles N] [--iters N] [--journal PATH]\n   \
-         or: pulp_cli bench serve [--quick] [--out PATH] [--trace-out PATH]\n   \
+         or: pulp_cli bench serve [--quick] [--out PATH] [--trace-out PATH] [--rate RPS]\n   \
+                [--hist-out PATH]\n   \
          or: pulp_cli bench history DIR [--p99-tolerance X]\n   \
          or: pulp_cli report RUN.jsonl\n   \
          or: pulp_cli journal validate RUN.jsonl [RUN2.jsonl ...]"
@@ -462,6 +483,29 @@ fn serve_regressions(old: &Value, new: &Value, p99_tolerance: f64) -> Result<Vec
     let errors = new.field("errors").and_then(Value::as_u64).unwrap_or(0);
     if errors > 0 {
         regressions.push(format!("candidate had {errors} failed request(s)"));
+    }
+    // Open-loop (coordinated-omission-safe) envelope: gated only when the
+    // baseline carries the section, so pre-open-loop records keep diffing.
+    let open_p99 = |record: &Value| {
+        record
+            .field("open_loop")
+            .ok()
+            .and_then(|o| o.field("p99_us").and_then(Value::as_f64).ok())
+    };
+    if let Some(old_p99) = open_p99(old) {
+        match open_p99(new) {
+            None => regressions
+                .push("open-loop results missing from candidate (baseline has them)".to_string()),
+            Some(new_p99) if new_p99 > old_p99 * (1.0 + p99_tolerance) => {
+                regressions.push(format!(
+                    "open-loop: p99 {old_p99:.0}us -> {new_p99:.0}us \
+                     (+{:.1}% > {:.0}% tolerance)",
+                    (new_p99 / old_p99 - 1.0) * 100.0,
+                    p99_tolerance * 100.0
+                ));
+            }
+            Some(_) => {}
+        }
     }
     Ok(regressions)
 }
@@ -835,6 +879,9 @@ fn serve_options(args: &Args) -> ServeOptions {
     if let Some(n) = args.flight_capacity {
         o.flight_capacity = n;
     }
+    if let Some(n) = args.retry_after_secs {
+        o.retry_after_secs = n;
+    }
     o
 }
 
@@ -913,6 +960,7 @@ fn cmd_serve(args: &Args) -> ExitCode {
             ),
             ("slow_ms", serve_opts.slow_ms.to_string()),
             ("flight_capacity", serve_opts.flight_capacity.to_string()),
+            ("retry_after_secs", serve_opts.retry_after_secs.to_string()),
         ],
     );
     server.run();
@@ -924,19 +972,24 @@ fn cmd_serve(args: &Args) -> ExitCode {
 /// (or `--out PATH`). Fails on correctness errors, a batch/sequential
 /// divergence, or (in the quick profile) any shed or timeout.
 fn cmd_bench_serve(args: &Args) -> ExitCode {
-    let opts = if args.quick {
+    let mut opts = if args.quick {
         ServeBenchOptions::quick()
     } else {
         ServeBenchOptions::default()
     };
+    if let Some(rate) = args.rate {
+        opts.open_loop_rate_rps = rate;
+    }
     eprintln!(
-        "bench serve: {} run ({} rounds of {} clients x {} requests, {} workers, queue depth {})...",
+        "bench serve: {} run ({} rounds of {} clients x {} requests, {} workers, queue depth {}, \
+         open-loop {} rps)...",
         if opts.quick { "quick" } else { "full" },
         opts.rounds,
         opts.clients,
         opts.requests_per_client,
         opts.serve.workers,
-        opts.serve.queue_depth
+        opts.serve.queue_depth,
+        opts.open_loop_rate_rps
     );
     let run = run_serve_bench(&opts);
     print!("{}", run.report.render_table());
@@ -959,6 +1012,13 @@ fn cmd_bench_serve(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote {trace_path} (flight-recorder Chrome trace)");
+    }
+    if let Some(hist_path) = &args.hist_out {
+        if let Err(e) = std::fs::write(hist_path, run.open_loop_histogram_json()) {
+            eprintln!("bench serve: cannot write {hist_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {hist_path} (open-loop latency histogram)");
     }
     match run.verify() {
         Ok(()) => {
@@ -1505,6 +1565,43 @@ mod tests {
     }
 
     #[test]
+    fn retry_after_flag_parses_strictly_and_reaches_the_options() {
+        let a = parse(&["serve", "--retry-after-secs", "5"]).expect("parse");
+        assert_eq!(a.retry_after_secs, Some(5));
+        assert_eq!(serve_options(&a).retry_after_secs, 5);
+        // Default is 1 second, unchanged from the pre-flag behaviour.
+        let d = serve_options(&parse(&["serve"]).expect("parse"));
+        assert_eq!(d.retry_after_secs, 1);
+        // Zero, negatives and garbage are rejected outright.
+        assert!(parse(&["serve", "--retry-after-secs", "0"]).is_none());
+        assert!(parse(&["serve", "--retry-after-secs", "-2"]).is_none());
+        assert!(parse(&["serve", "--retry-after-secs", "soon"]).is_none());
+        assert!(parse(&["serve", "--retry-after-secs"]).is_none());
+    }
+
+    #[test]
+    fn open_loop_flags_parse_strictly() {
+        let a = parse(&[
+            "bench",
+            "serve",
+            "--quick",
+            "--rate",
+            "750.5",
+            "--hist-out",
+            "H.json",
+        ])
+        .expect("parse");
+        assert_eq!(a.rate, Some(750.5));
+        assert_eq!(a.hist_out.as_deref(), Some("H.json"));
+        // Zero, negatives, garbage and missing values are rejected.
+        assert!(parse(&["bench", "serve", "--rate", "0"]).is_none());
+        assert!(parse(&["bench", "serve", "--rate", "-100"]).is_none());
+        assert!(parse(&["bench", "serve", "--rate", "fast"]).is_none());
+        assert!(parse(&["bench", "serve", "--rate", "inf"]).is_none());
+        assert!(parse(&["bench", "serve", "--hist-out"]).is_none());
+    }
+
+    #[test]
     fn bench_serve_subcommand_parses() {
         let a = parse(&["bench", "serve", "--quick", "--out", "S.json"]).expect("parse");
         assert_eq!(a.kernel.as_deref(), Some("serve"));
@@ -1737,6 +1834,46 @@ mod tests {
         assert!(err.iter().any(|r| r.contains("failed request")), "{err:?}");
         // Quick-vs-full refused.
         assert!(bench_regressions(&base, &serve_value(false, 500.0, 0.0, 0)).is_err());
+    }
+
+    /// `serve_value` plus an `open_loop` section at the given p99.
+    fn serve_value_with_open_loop(p99: f64) -> Value {
+        let Value::Map(mut fields) = serve_value(true, 500.0, 0.0, 0) else {
+            unreachable!("serve_value builds a map");
+        };
+        fields.push((
+            "open_loop".to_string(),
+            Value::Map(vec![("p99_us".to_string(), Value::F64(p99))]),
+        ));
+        Value::Map(fields)
+    }
+
+    #[test]
+    fn bench_diff_gates_the_open_loop_envelope() {
+        let base = serve_value_with_open_loop(1000.0);
+        // Within tolerance passes.
+        assert!(
+            bench_regressions(&base, &serve_value_with_open_loop(1100.0))
+                .expect("compare")
+                .is_empty()
+        );
+        // Beyond tolerance fails and names the open-loop gate.
+        let bad = bench_regressions(&base, &serve_value_with_open_loop(1500.0)).expect("compare");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("open-loop"), "{bad:?}");
+        // A candidate that silently dropped its open-loop section fails.
+        let dropped = bench_regressions(&base, &serve_value(true, 500.0, 0.0, 0)).expect("compare");
+        assert!(
+            dropped.iter().any(|r| r.contains("missing from candidate")),
+            "{dropped:?}"
+        );
+        // Old baselines without the section never engage the gate.
+        let old_base = serve_value(true, 500.0, 0.0, 0);
+        assert!(
+            bench_regressions(&old_base, &serve_value_with_open_loop(99999.0))
+                .expect("compare")
+                .is_empty()
+        );
     }
 
     #[test]

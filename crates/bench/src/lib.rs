@@ -22,6 +22,7 @@
 //! consecutive experiments reuse it; with `--cache-dir` that coarse cache
 //! is bypassed in favour of the per-sample sweep cache.
 
+pub mod net;
 pub mod profiling;
 pub mod serve;
 pub mod serve_bench;
@@ -31,7 +32,8 @@ pub use profiling::{
     chrome_trace_of_run, profile_run, recorder_of_run, CauseRun, CoreTimeline, ProfiledRun,
 };
 pub use serve_bench::{
-    run_serve_bench, ServeBenchMixRow, ServeBenchOptions, ServeBenchReport, ServeBenchRun,
+    run_serve_bench, OpenLoopReport, ServeBenchMixRow, ServeBenchOptions, ServeBenchReport,
+    ServeBenchRun,
 };
 pub use sim_bench::{basket_program, run_sim_bench, SimBenchOptions, SimBenchReport, SimBenchRow};
 

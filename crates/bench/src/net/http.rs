@@ -1,0 +1,432 @@
+//! Incremental HTTP/1.1 request parsing for non-blocking sockets.
+//!
+//! The blocking tier read requests with `BufRead::read_line`; readiness
+//! delivers bytes in arbitrary fragments, so [`HttpParser`] buffers them
+//! and re-parses on demand: feed what the socket had, then [`take`] either
+//! yields a complete [`Request`], asks for more bytes, or fails with the
+//! same [`RequestError`] taxonomy the blocking reader used (so the 400 /
+//! 408 / 413 response surface is unchanged).
+//!
+//! [`take`]: HttpParser::take
+
+/// One parsed request: method, path, body, client's connection wish.
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: String,
+    /// `true` when the client asked for `Connection: close` (or spoke
+    /// HTTP/1.0 without requesting keep-alive).
+    pub close: bool,
+}
+
+/// Why a request could not be read off the wire.
+pub enum RequestError {
+    /// Clean end of stream between requests (normal keep-alive end).
+    Eof,
+    /// A read deadline fired mid-request (slowloris or a stalled peer).
+    /// The parser never produces this itself — deadlines live on the
+    /// event loop's timer wheel — but the error surface keeps the variant
+    /// so response mapping stays in one place.
+    TimedOut,
+    /// The declared `Content-Length` exceeds the configured cap; nothing
+    /// was allocated for it.
+    TooLarge { length: usize, limit: usize },
+    /// The request line or headers do not parse as HTTP.
+    Malformed(&'static str),
+    /// Any other transport error.
+    Io,
+}
+
+/// Result of one [`HttpParser::take`] attempt.
+pub enum Parsed {
+    /// The buffer does not hold a complete request yet; feed more bytes
+    /// (never returned once EOF has been fed).
+    NeedMore,
+    Request(Request),
+    Failed(RequestError),
+}
+
+/// Header bytes a single request may occupy before it is refused — the
+/// equivalent allocation guard to the `Content-Length` cap, since a
+/// readiness parser must buffer heads it has not finished parsing.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+enum State {
+    /// Waiting for the request line.
+    Line,
+    /// Request line parsed; accumulating headers.
+    Headers {
+        method: String,
+        path: String,
+        content_length: usize,
+        close: bool,
+    },
+    /// Headers done; waiting for `content_length` body bytes.
+    Body {
+        method: String,
+        path: String,
+        content_length: usize,
+        close: bool,
+    },
+}
+
+pub struct HttpParser {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by the parser.
+    pos: usize,
+    state: State,
+    eof: bool,
+}
+
+impl Default for HttpParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HttpParser {
+    pub fn new() -> Self {
+        HttpParser {
+            buf: Vec::new(),
+            pos: 0,
+            state: State::Line,
+            eof: false,
+        }
+    }
+
+    /// Appends bytes read off the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Marks end of stream; the next [`take`] classifies any partial
+    /// request instead of asking for more bytes.
+    ///
+    /// [`take`]: HttpParser::take
+    pub fn feed_eof(&mut self) {
+        self.eof = true;
+    }
+
+    /// `true` when bytes are buffered beyond the last complete request —
+    /// a request is part-way through arriving (or pipelined ahead).
+    pub fn has_partial(&self) -> bool {
+        self.pos < self.buf.len() || !matches!(self.state, State::Line)
+    }
+
+    /// Pops one full line (without its `\n`, trailing whitespace trimmed
+    /// like the blocking tier's `read_line` + `trim_end`). At EOF the
+    /// un-terminated remainder counts as a final line, exactly as
+    /// `read_line` would have returned it.
+    fn next_line(&mut self) -> Option<String> {
+        let rest = &self.buf[self.pos..];
+        let (raw_end, consume) = match rest.iter().position(|&b| b == b'\n') {
+            Some(nl) => (nl, nl + 1),
+            None if self.eof && !rest.is_empty() => (rest.len(), rest.len()),
+            None => return None,
+        };
+        let mut end = raw_end;
+        while end > 0 && rest[end - 1].is_ascii_whitespace() {
+            end -= 1;
+        }
+        let line = String::from_utf8_lossy(&rest[..end]).into_owned();
+        self.pos += consume;
+        Some(line)
+    }
+
+    /// Drops consumed bytes once they dominate the buffer.
+    fn compact(&mut self) {
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 8 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    fn fail(&mut self, err: RequestError) -> Parsed {
+        // A parse failure poisons the connection (the caller answers with
+        // a final response and closes); drop the buffer.
+        self.buf.clear();
+        self.pos = 0;
+        self.state = State::Line;
+        Parsed::Failed(err)
+    }
+
+    /// Attempts to produce one request from the buffered bytes.
+    pub fn take(&mut self, max_body: usize) -> Parsed {
+        loop {
+            match std::mem::replace(&mut self.state, State::Line) {
+                State::Line => {
+                    let Some(line) = self.next_line() else {
+                        return self.need_more_or_eof_line();
+                    };
+                    match parse_request_line(&line) {
+                        Ok((method, path, close)) => {
+                            self.state = State::Headers {
+                                method,
+                                path,
+                                content_length: 0,
+                                close,
+                            };
+                        }
+                        Err(e) => return self.fail(e),
+                    }
+                }
+                State::Headers {
+                    method,
+                    path,
+                    mut content_length,
+                    mut close,
+                } => {
+                    let Some(line) = self.next_line() else {
+                        self.state = State::Headers {
+                            method,
+                            path,
+                            content_length,
+                            close,
+                        };
+                        return self.need_more_or_eof_headers();
+                    };
+                    if line.is_empty() {
+                        // Refuse attacker-controlled allocations: check the
+                        // declared length against the cap before reserving
+                        // a single byte for the body.
+                        if content_length > max_body {
+                            return self.fail(RequestError::TooLarge {
+                                length: content_length,
+                                limit: max_body,
+                            });
+                        }
+                        self.state = State::Body {
+                            method,
+                            path,
+                            content_length,
+                            close,
+                        };
+                        continue;
+                    }
+                    match parse_header(&line, &mut content_length, &mut close) {
+                        Ok(()) => {
+                            self.state = State::Headers {
+                                method,
+                                path,
+                                content_length,
+                                close,
+                            };
+                        }
+                        Err(e) => return self.fail(e),
+                    }
+                }
+                State::Body {
+                    method,
+                    path,
+                    content_length,
+                    close,
+                } => {
+                    if self.buf.len() - self.pos < content_length {
+                        self.state = State::Body {
+                            method,
+                            path,
+                            content_length,
+                            close,
+                        };
+                        if self.eof {
+                            // The blocking reader's `read_exact` hit EOF
+                            // mid-body: a transport error, not a 400.
+                            return self.fail(RequestError::Io);
+                        }
+                        return Parsed::NeedMore;
+                    }
+                    let body_bytes = &self.buf[self.pos..self.pos + content_length];
+                    let body = String::from_utf8_lossy(body_bytes).into_owned();
+                    self.pos += content_length;
+                    self.compact();
+                    return Parsed::Request(Request {
+                        method,
+                        path,
+                        body,
+                        close,
+                    });
+                }
+            }
+        }
+    }
+
+    /// No complete line while waiting for a request line. With EOF fed,
+    /// [`next_line`] already surrendered any partial remainder, so landing
+    /// here at EOF means a clean close between requests.
+    ///
+    /// [`next_line`]: HttpParser::next_line
+    fn need_more_or_eof_line(&mut self) -> Parsed {
+        if self.eof {
+            return Parsed::Failed(RequestError::Eof);
+        }
+        if self.buf.len() - self.pos > MAX_HEAD_BYTES {
+            return self.fail(RequestError::Malformed("request head too large"));
+        }
+        self.compact();
+        Parsed::NeedMore
+    }
+
+    /// No complete line while inside the header block.
+    fn need_more_or_eof_headers(&mut self) -> Parsed {
+        if self.eof {
+            // The blocking reader saw `read_line` return 0 mid-headers.
+            return self.fail(RequestError::Malformed("headers truncated"));
+        }
+        if self.buf.len() - self.pos > MAX_HEAD_BYTES {
+            return self.fail(RequestError::Malformed("request head too large"));
+        }
+        self.compact();
+        Parsed::NeedMore
+    }
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String, bool), RequestError> {
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(RequestError::Malformed(
+            "request line needs `METHOD PATH HTTP/x.y`",
+        ));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/") {
+        return Err(RequestError::Malformed(
+            "request line needs `METHOD PATH HTTP/x.y`",
+        ));
+    }
+    if !path.starts_with('/') {
+        return Err(RequestError::Malformed("path must start with `/`"));
+    }
+    let http10 = version == "HTTP/1.0";
+    Ok((method.to_string(), path.to_string(), http10))
+}
+
+fn parse_header(
+    line: &str,
+    content_length: &mut usize,
+    close: &mut bool,
+) -> Result<(), RequestError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(RequestError::Malformed("header without `:`"));
+    };
+    let value = value.trim();
+    if name.eq_ignore_ascii_case("content-length") {
+        *content_length = value
+            .parse()
+            .map_err(|_| RequestError::Malformed("unparseable Content-Length"))?;
+    } else if name.eq_ignore_ascii_case("connection") {
+        if value.eq_ignore_ascii_case("close") {
+            *close = true;
+        } else if value.eq_ignore_ascii_case("keep-alive") {
+            *close = false;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn take_all(text: &str, max_body: usize) -> Parsed {
+        let mut p = HttpParser::new();
+        p.feed(text.as_bytes());
+        p.feed_eof();
+        p.take(max_body)
+    }
+
+    #[test]
+    fn byte_at_a_time_arrival_still_parses() {
+        let raw = "POST /predict HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let mut p = HttpParser::new();
+        for b in raw.as_bytes() {
+            match p.take(1024) {
+                Parsed::NeedMore => {}
+                _ => panic!("complete before all bytes arrived"),
+            }
+            p.feed(std::slice::from_ref(b));
+        }
+        match p.take(1024) {
+            Parsed::Request(r) => {
+                assert_eq!((r.method.as_str(), r.path.as_str()), ("POST", "/predict"));
+                assert_eq!(r.body, "abcd");
+                assert!(!r.close);
+            }
+            _ => panic!("expected a complete request"),
+        }
+        assert!(!p.has_partial());
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_one_at_a_time() {
+        let mut p = HttpParser::new();
+        p.feed(b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n");
+        let Parsed::Request(first) = p.take(1024) else {
+            panic!("first request");
+        };
+        assert_eq!(first.path, "/healthz");
+        assert!(p.has_partial());
+        let Parsed::Request(second) = p.take(1024) else {
+            panic!("second request");
+        };
+        assert_eq!(second.path, "/metrics");
+        assert!(!p.has_partial());
+        assert!(matches!(p.take(1024), Parsed::NeedMore));
+    }
+
+    #[test]
+    fn eof_classification_matches_the_blocking_reader() {
+        // Clean EOF between requests.
+        assert!(matches!(
+            take_all("", 1024),
+            Parsed::Failed(RequestError::Eof)
+        ));
+        // EOF mid-headers: 400 material, not a clean close.
+        for raw in ["GET /x HTTP/1.1\r\n", "GET /x HTTP/1.1\r\nA: b\r\n"] {
+            assert!(
+                matches!(
+                    take_all(raw, 1024),
+                    Parsed::Failed(RequestError::Malformed("headers truncated"))
+                ),
+                "eof mid-head misclassified for {raw:?}"
+            );
+        }
+        // A request line cut short by EOF parses as the short line the
+        // blocking reader's final `read_line` would have returned.
+        assert!(matches!(
+            take_all("GET /x", 1024),
+            Parsed::Failed(RequestError::Malformed(
+                "request line needs `METHOD PATH HTTP/x.y`"
+            ))
+        ));
+        // EOF mid-body: transport error, not a 400.
+        assert!(matches!(
+            take_all("POST /p HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc", 1024),
+            Parsed::Failed(RequestError::Io)
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_bodies_are_refused_before_arrival() {
+        let mut p = HttpParser::new();
+        p.feed(b"POST /p HTTP/1.1\r\nContent-Length: 4096\r\n\r\n");
+        // No body bytes arrived at all — the declared length is enough.
+        match p.take(256) {
+            Parsed::Failed(RequestError::TooLarge { length, limit }) => {
+                assert_eq!((length, limit), (4096, 256));
+            }
+            _ => panic!("expected TooLarge"),
+        }
+    }
+
+    #[test]
+    fn unbounded_heads_are_refused() {
+        let mut p = HttpParser::new();
+        p.feed(b"GET / HTTP/1.1\r\n");
+        let filler = vec![b'a'; MAX_HEAD_BYTES + 1024];
+        p.feed(&filler); // one endless header line, no newline in sight
+        assert!(matches!(
+            p.take(1024),
+            Parsed::Failed(RequestError::Malformed("request head too large"))
+        ));
+    }
+}

@@ -1,14 +1,30 @@
 //! The instrumented prediction service behind `pulp_cli serve`.
 //!
 //! A std-only, production-shaped HTTP/1.1 server exposing the paper's end
-//! product — "static features in, minimum-energy core count out" — behind
-//! explicit admission control:
+//! product — "static features in, minimum-energy core count out" — built
+//! on a readiness-driven event loop with explicit admission control:
 //!
 //! ```text
-//! accept loop ──▶ bounded queue ──▶ N worker threads ──▶ tree predictor
-//!      │   (503 + Retry-After when full)
-//!      └── graceful shutdown: stop accepting, drain queue, join workers
+//!              ┌── readiness event loop (one thread) ──┐
+//! epoll/poll ──▶ accept ─▶ per-conn state machine ─────▶ bounded job queue
+//!              │  reading → dispatched → writing → idle │       │
+//!              │  (503 + Retry-After when the active    │       ▼
+//!              │   set is full; timer-wheel deadlines)  │  N worker threads
+//!              └────────◀── completions + waker ◀───────┘  (tree predictor)
 //! ```
+//!
+//! The event loop (the thread that calls [`Server::run`]) owns every
+//! socket: it accepts, reads and incrementally parses requests, flushes
+//! responses, and arms read/write deadlines on a hashed timer wheel
+//! ([`crate::net`] supplies the epoll shim, parser and wheel). Workers
+//! never touch a socket — they pull parsed requests off the bounded queue,
+//! run the predictor, render the response bytes and hand them back through
+//! a completion list plus an eventfd waker. Admission is a bounded
+//! *active* set of `workers + queue_depth` connections (accept → response
+//! flushed); beyond it connections shed with `503` + `Retry-After`.
+//! Established keep-alive connections parked between requests hold no
+//! slot, no thread and no timer, which is what lets one loop hold 10k+
+//! open connections.
 //!
 //! Endpoints:
 //!
@@ -42,8 +58,8 @@
 //!   start as a compact JSON span breakdown, slowest first.
 //!
 //! Every admitted connection is stamped with a [`TraceContext`] at accept;
-//! each request records queue-wait/read/parse/features/predict/serialize/
-//! write child spans under one `request` root, feeds the completed tree
+//! each request records read/queue-wait/features/predict/serialize/write
+//! child spans under one `request` root, feeds the completed tree
 //! into a bounded [`FlightRecorder`], and — when it exceeds
 //! [`ServeOptions::slow_ms`] — emits a structured slow-request log line
 //! through the state's [`Logger`] (JSON when `--log-json` is set).
@@ -53,15 +69,18 @@
 //!
 //! Connections are HTTP/1.1 keep-alive by default, capped at
 //! [`ServeOptions::keepalive_max_requests`] requests each, with
-//! [`ServeOptions::timeout_ms`] read/write deadlines so a slowloris peer
-//! can only park a worker for one timeout, never forever. Bodies above
-//! [`ServeOptions::max_body_bytes`] are refused with `413` *before* any
-//! allocation, and malformed request lines get a `400` instead of a
-//! silently dropped connection.
+//! [`ServeOptions::timeout_ms`] read/write deadlines on the timer wheel so
+//! a slowloris peer costs one admission slot for one timeout, never a
+//! thread and never forever. Bodies above [`ServeOptions::max_body_bytes`]
+//! are refused with `413` *before* any allocation, and malformed request
+//! lines get a `400` instead of a silently dropped connection.
 //!
-//! Everything rides on blocking `std::net` — no async runtime, no HTTP
-//! crate — mirroring how the rest of the workspace treats dependencies.
+//! Everything rides on `std::net` plus a ~150-line raw `epoll` syscall
+//! shim — no async runtime, no HTTP crate, no libc crate — mirroring how
+//! the rest of the workspace treats dependencies.
 
+use crate::net::{raw_fd, Event, HttpParser, Interest, Parsed, Poller, TimerWheel, Waker};
+pub use crate::net::{Request, RequestError};
 use pulp_energy::manifest::RunManifest;
 use pulp_energy::pipeline::{LabeledDataset, PipelineOptions};
 use pulp_energy::{static_feature_vector, EnergyPredictor, PredictorMetadata, StaticFeatureSet};
@@ -73,7 +92,7 @@ use pulp_obs::{
 };
 use serde::Value;
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{ErrorKind, Read as _, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -111,6 +130,9 @@ pub struct ServeOptions {
     /// [`ServeState::with_flight_capacity`]; states built directly default
     /// to the same value.
     pub flight_capacity: usize,
+    /// `Retry-After` value (seconds) announced on 503 shed responses
+    /// (`--retry-after-secs`).
+    pub retry_after_secs: u64,
 }
 
 /// Default flight-recorder retention (traces).
@@ -126,6 +148,7 @@ impl Default for ServeOptions {
             keepalive_max_requests: 1_000,
             slow_ms: 500,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            retry_after_secs: 1,
         }
     }
 }
@@ -381,6 +404,26 @@ impl ServeState {
             1.0,
         );
     }
+
+    fn note_open_connections(&self, n: usize) {
+        self.gauge_set(
+            "pulp_serve_open_connections",
+            "Connections currently open on the event loop, every state \
+             included (idle keep-alive connections hold no worker).",
+            &[],
+            n as f64,
+        );
+    }
+
+    fn note_accept_saturation(&self) {
+        self.counter_add(
+            "pulp_serve_accept_saturation_total",
+            "Accept bursts that filled the whole batch without draining the \
+             listen backlog — the accept loop itself is the bottleneck.",
+            &[],
+            1.0,
+        );
+    }
 }
 
 /// A generic bounded MPMC queue: non-blocking producer (`try_push` fails
@@ -446,7 +489,9 @@ impl<T> BoundedQueue<T> {
 #[derive(Clone)]
 pub struct ShutdownHandle {
     flag: Arc<AtomicBool>,
-    addr: SocketAddr,
+    /// Wakes the event loop out of a blocked readiness wait so the flag is
+    /// observed immediately (workers also use it to hand completions back).
+    waker: Waker,
 }
 
 impl ShutdownHandle {
@@ -455,18 +500,15 @@ impl ShutdownHandle {
         self.flag.load(Ordering::SeqCst)
     }
 
-    /// Requests a graceful drain: sets the flag, then pokes the accept
-    /// loop awake with a throwaway connection so a blocked `accept()`
-    /// observes it.
+    /// Requests a graceful drain: sets the flag and wakes the event loop.
     pub fn trigger(&self) {
         self.flag.store(true, Ordering::SeqCst);
-        // The accept loop re-checks the flag after every accept; this
-        // throwaway connection is only there to unblock it.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        self.waker.wake();
     }
 }
 
-/// A running server: the bound address plus its accept loop and workers.
+/// A running server: the bound socket plus its readiness event loop and
+/// worker pool, ready to [`run`](Server::run).
 pub struct Server {
     /// The actual bound address (useful with port 0).
     pub addr: SocketAddr,
@@ -474,24 +516,99 @@ pub struct Server {
     state: Arc<ServeState>,
     opts: ServeOptions,
     shutdown: Arc<AtomicBool>,
+    poller: Poller,
 }
 
-/// One admitted connection as queued for a worker: the stream plus the
-/// trace identity and accept timestamp stamped by the accept loop (the
-/// span between `accepted` and worker pickup is the request's queue-wait).
+/// Where a connection currently is in its life cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Accumulating request bytes (an active slot is held).
+    Reading,
+    /// A parsed request is with the worker pool; socket interest is muted
+    /// so a pipelining peer cannot spin the event loop.
+    Dispatched,
+    /// Flushing a response.
+    Writing,
+    /// Established keep-alive connection between requests. Holds no active
+    /// slot and no deadline — parked idle connections are what the
+    /// readiness tier scales to, far beyond the worker count.
+    Idle,
+}
+
+/// Per-connection state machine driven by the event loop.
 struct Conn {
     stream: TcpStream,
-    accepted: Instant,
+    phase: Phase,
+    parser: HttpParser,
+    /// Trace identity for the connection's next request (stamped at accept
+    /// for the first; fresh ids on keep-alive reuse).
     trace: TraceContext,
+    /// Requests dispatched on this connection so far.
+    served: usize,
+    /// First byte of the current request (accept time for fresh
+    /// connections) — the dispatch turns this into the `read` span.
+    request_started: Instant,
+    /// Authoritative armed deadline; timer-wheel entries that no longer
+    /// match are stale (lazy cancellation).
+    deadline_ms: Option<u64>,
+    /// `true` once at least one response has been fully written.
+    established: bool,
+    /// This connection holds one of the bounded active slots.
+    holds_slot: bool,
+    /// Response bytes in flight and the write cursor.
+    out: Vec<u8>,
+    out_pos: usize,
+    keep_after_write: bool,
+    /// For routed responses: the tracer (write span open), endpoint label
+    /// and status to finalize once the response is fully flushed.
+    write_meta: Option<(RequestTracer, SpanId, &'static str, u16)>,
+}
+
+/// One parsed request on its way to a worker.
+struct Job {
+    token: u64,
+    req: Request,
+    trace: TraceContext,
+    /// Wire time: first byte to parse completion, in µs (the `read` span).
+    read_us: u64,
+    /// Queued-at instant; pickup time minus this is the queue wait.
+    enqueued: Instant,
+    /// 1-based request ordinal on its connection.
+    index: usize,
+}
+
+/// A finished request on its way back from a worker to the event loop.
+struct Completion {
+    token: u64,
+    bytes: Vec<u8>,
+    keep: bool,
+    status: u16,
+    endpoint: &'static str,
+    tracer: RequestTracer,
 }
 
 /// Everything a worker thread needs.
 struct ServerCtx {
     state: Arc<ServeState>,
     opts: ServeOptions,
-    queue: Arc<BoundedQueue<Conn>>,
+    queue: Arc<BoundedQueue<Job>>,
+    completions: Mutex<Vec<Completion>>,
     shutdown: ShutdownHandle,
 }
+
+/// Event-loop token of the listening socket.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Connections accepted per listener readiness before yielding back to the
+/// loop; exhausting the batch bumps the accept-saturation counter.
+const ACCEPT_BATCH: usize = 64;
+/// Bytes read per connection per readiness event before yielding
+/// (level-triggered polling re-reports whatever is left).
+const READ_BURST_BYTES: usize = 256 * 1024;
+/// Timer-wheel precision for read/write deadlines.
+const TIMER_GRANULARITY_MS: u64 = 10;
+/// Timer-wheel slot count (one rotation covers ~2.5s; longer deadlines
+/// wrap and re-home, which the wheel handles).
+const TIMER_SLOTS: usize = 256;
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with
@@ -508,7 +625,7 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind failures and readiness-backend setup failures.
     pub fn bind_with(
         addr: &str,
         state: Arc<ServeState>,
@@ -516,12 +633,14 @@ impl Server {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let poller = Poller::new()?;
         Ok(Self {
             addr,
             listener,
             state,
             opts,
             shutdown: Arc::new(AtomicBool::new(false)),
+            poller,
         })
     }
 
@@ -530,43 +649,67 @@ impl Server {
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
             flag: Arc::clone(&self.shutdown),
-            addr: self.addr,
+            waker: self.poller.waker(),
         }
     }
 
     /// Serves until a graceful shutdown is requested (`POST
     /// /admin/shutdown`, [`ShutdownHandle::trigger`], or a signal wired
-    /// via [`install_signal_shutdown`]): accepts on the calling thread,
-    /// feeds the bounded queue, sheds with 503 + `Retry-After` when it is
-    /// full, then drains queued and in-flight requests and joins all
-    /// workers before returning.
+    /// via [`install_signal_shutdown`]).
+    ///
+    /// The calling thread becomes the event loop: it accepts, reads,
+    /// parses, writes and tracks deadlines for every connection, while the
+    /// fixed worker pool executes the actual prediction work. Admission is
+    /// a bounded *active* set — connections from accept (or from the first
+    /// byte of a keep-alive reuse) until their response is flushed — of
+    /// `workers + queue_depth`; beyond it, connections shed with 503 +
+    /// `Retry-After`. Established idle keep-alive connections are parked
+    /// outside the active set at no per-connection thread cost, which is
+    /// where the 10k+ concurrency headroom comes from. On drain, parked
+    /// idle and silent fresh connections close immediately, in-flight
+    /// requests (including partially read ones) complete, then workers are
+    /// joined.
     pub fn run(self) {
         let shutdown = self.shutdown_handle();
-        let queue = Arc::new(BoundedQueue::new(self.opts.queue_depth));
-        let ctx = Arc::new(ServerCtx {
-            state: Arc::clone(&self.state),
-            opts: self.opts,
-            queue: Arc::clone(&queue),
-            shutdown: shutdown.clone(),
-        });
+        let Server {
+            addr: _,
+            listener,
+            state,
+            opts,
+            shutdown: _,
+            mut poller,
+        } = self;
         for (knob, v) in [
-            ("workers", self.opts.workers.max(1)),
-            ("queue_depth", self.opts.queue_depth.max(1)),
-            ("timeout_ms", self.opts.timeout_ms as usize),
-            ("max_body_bytes", self.opts.max_body_bytes),
-            ("keepalive_max_requests", self.opts.keepalive_max_requests),
-            ("slow_ms", self.opts.slow_ms as usize),
-            ("flight_capacity", self.state.flight.capacity()),
+            ("workers", opts.workers.max(1)),
+            ("queue_depth", opts.queue_depth.max(1)),
+            ("timeout_ms", opts.timeout_ms as usize),
+            ("max_body_bytes", opts.max_body_bytes),
+            ("keepalive_max_requests", opts.keepalive_max_requests),
+            ("slow_ms", opts.slow_ms as usize),
+            ("flight_capacity", state.flight.capacity()),
+            ("retry_after_secs", opts.retry_after_secs as usize),
         ] {
-            self.state.gauge_set(
+            state.gauge_set(
                 "pulp_serve_capacity",
                 "Configured capacity knobs of this server instance.",
                 &[("knob", knob)],
                 v as f64,
             );
         }
-        self.state.note_queue_depth(0);
-        let workers: Vec<_> = (0..self.opts.workers.max(1))
+        state.note_queue_depth(0);
+        state.note_open_connections(0);
+        // Sized so that admission control alone bounds it: every active
+        // connection contributes at most one queued job.
+        let slot_capacity = opts.workers.max(1) + opts.queue_depth.max(1);
+        let queue = Arc::new(BoundedQueue::new(slot_capacity));
+        let ctx = Arc::new(ServerCtx {
+            state: Arc::clone(&state),
+            opts,
+            queue: Arc::clone(&queue),
+            completions: Mutex::new(Vec::new()),
+            shutdown: shutdown.clone(),
+        });
+        let workers: Vec<_> = (0..opts.workers.max(1))
             .map(|i| {
                 let ctx = Arc::clone(&ctx);
                 std::thread::Builder::new()
@@ -575,25 +718,33 @@ impl Server {
                     .expect("spawn worker thread")
             })
             .collect();
-        for stream in self.listener.incoming() {
-            if shutdown.is_shutdown() {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            if shutdown.is_shutdown() {
-                // The wake-up poke itself lands here; refuse it quietly.
-                break;
-            }
-            let conn = Conn {
-                stream,
-                accepted: Instant::now(),
-                trace: TraceContext::root(self.state.trace_ids.next_id()),
-            };
-            match queue.try_push(conn) {
-                Ok(depth) => self.state.note_queue_depth(depth),
-                Err(conn) => shed(conn.stream, &self.state, self.opts.timeout_ms),
-            }
+        let _ = listener.set_nonblocking(true);
+        if let Err(e) = poller.add(raw_fd(&listener), LISTENER_TOKEN, Interest::Read) {
+            state.logger.warn(
+                "serve",
+                "failed to register listener with the poller",
+                &[("error", e.to_string())],
+            );
         }
+        EventLoop {
+            state,
+            ctx,
+            opts,
+            poller,
+            listener: Some(listener),
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            open: 0,
+            active_slots: 0,
+            slot_capacity,
+            timers: TimerWheel::new(TIMER_GRANULARITY_MS, TIMER_SLOTS),
+            started: Instant::now(),
+            draining: false,
+            last_shed_log_s: None,
+        }
+        .run(&shutdown);
+        // Every connection is gone; release the workers and join them.
         queue.close();
         for w in workers {
             let _ = w.join();
@@ -601,25 +752,647 @@ impl Server {
     }
 }
 
-/// Refuses one connection with `503 Service Unavailable` + `Retry-After`.
-fn shed(mut stream: TcpStream, state: &ServeState, timeout_ms: u64) {
-    state.note_shed();
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(timeout_ms.max(1))));
-    let _ = write_response(
-        &mut stream,
-        503,
-        "server overloaded, retry later\n",
-        "text/plain; charset=utf-8",
-        false,
-        &[("Retry-After", "1")],
-    );
+/// The readiness event loop: single-threaded owner of every connection's
+/// state machine, the timer wheel and the admission slots.
+struct EventLoop {
+    state: Arc<ServeState>,
+    ctx: Arc<ServerCtx>,
+    opts: ServeOptions,
+    poller: Poller,
+    /// Dropped at drain start so new connections are refused at the socket.
+    listener: Option<TcpListener>,
+    /// Connection slab; tokens embed `(generation << 32) | index` so stale
+    /// timer entries and completions for a recycled index are ignored.
+    conns: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    /// Open connections (slab occupancy), mirrored to the gauge.
+    open: usize,
+    /// Connections currently in the bounded active set.
+    active_slots: usize,
+    slot_capacity: usize,
+    timers: TimerWheel,
+    started: Instant,
+    draining: bool,
+    /// Second (of `now_s`) the last shed log line was emitted — rate-limits
+    /// shed logging to one line per second under overload.
+    last_shed_log_s: Option<u64>,
 }
 
-/// One worker: pull connections off the queue until it closes and drains.
+impl EventLoop {
+    fn run(mut self, shutdown: &ShutdownHandle) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let timeout = if self.draining {
+                Some(TIMER_GRANULARITY_MS)
+            } else if self.timers.is_idle() {
+                None // fully idle: block until accept/readiness/waker
+            } else {
+                Some(self.timers.granularity_ms())
+            };
+            if let Err(e) = self.poller.wait(&mut events, timeout) {
+                self.state
+                    .logger
+                    .warn("serve", "poller wait failed", &[("error", e.to_string())]);
+                std::thread::sleep(Duration::from_millis(TIMER_GRANULARITY_MS));
+            }
+            if shutdown.is_shutdown() && !self.draining {
+                self.begin_drain();
+            }
+            for ev in events.iter().copied() {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                } else {
+                    self.conn_event(ev);
+                }
+            }
+            self.drain_completions();
+            let now = self.now_ms();
+            self.fire_timers(now);
+            if self.draining && self.open == 0 {
+                return;
+            }
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn token_of(&self, idx: usize) -> u64 {
+        (u64::from(self.gens[idx]) << 32) | idx as u64
+    }
+
+    /// Resolves a token to a live slab index, refusing stale generations.
+    fn conn_at(&self, token: u64) -> Option<usize> {
+        let idx = (token & u32::MAX as u64) as usize;
+        let gen = (token >> 32) as u32;
+        if idx < self.conns.len() && self.gens[idx] == gen && self.conns[idx].is_some() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    fn try_acquire_slot(&mut self) -> bool {
+        if self.active_slots < self.slot_capacity {
+            self.active_slots += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release_slot(&mut self, idx: usize) {
+        let conn = self.conns[idx].as_mut().expect("live conn");
+        if conn.holds_slot {
+            conn.holds_slot = false;
+            self.active_slots -= 1;
+        }
+    }
+
+    fn arm_deadline(&mut self, idx: usize, at_ms: u64) {
+        let token = self.token_of(idx);
+        let conn = self.conns[idx].as_mut().expect("live conn");
+        conn.deadline_ms = Some(at_ms);
+        self.timers.schedule(at_ms, token);
+    }
+
+    fn clear_deadline(&mut self, idx: usize) {
+        self.conns[idx].as_mut().expect("live conn").deadline_ms = None;
+    }
+
+    /// Accepts a burst of pending connections; admission happens here.
+    fn accept_ready(&mut self) {
+        let mut accepted = 0usize;
+        while accepted < ACCEPT_BATCH {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    accepted += 1;
+                    if self.draining {
+                        drop(stream);
+                        continue;
+                    }
+                    if !self.try_acquire_slot() {
+                        self.shed_fresh(stream);
+                        continue;
+                    }
+                    self.admit(stream);
+                }
+                Err(ref e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+        // The whole batch filled without hitting WouldBlock: connections
+        // are arriving faster than one readiness round drains them.
+        self.state.note_accept_saturation();
+    }
+
+    /// Registers an admitted connection (slot already acquired): fresh
+    /// connections enter `Reading` with the read deadline armed at accept,
+    /// exactly like the blocking tier's `SO_RCVTIMEO` from accept.
+    fn admit(&mut self, stream: TcpStream) {
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        let conn = Conn {
+            stream,
+            phase: Phase::Reading,
+            parser: HttpParser::new(),
+            trace: TraceContext::root(self.state.trace_ids.next_id()),
+            served: 0,
+            request_started: Instant::now(),
+            deadline_ms: None,
+            established: false,
+            holds_slot: true,
+            out: Vec::new(),
+            out_pos: 0,
+            keep_after_write: false,
+            write_meta: None,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.conns[idx] = Some(conn);
+                idx
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.gens.push(0);
+                self.conns.len() - 1
+            }
+        };
+        self.open += 1;
+        self.state.note_open_connections(self.open);
+        let token = self.token_of(idx);
+        let fd = raw_fd(&self.conns[idx].as_ref().expect("live conn").stream);
+        if self.poller.add(fd, token, Interest::Read).is_err() {
+            self.close_conn(idx);
+            return;
+        }
+        let deadline = self.now_ms() + self.opts.timeout_ms.max(1);
+        self.arm_deadline(idx, deadline);
+    }
+
+    /// Sheds a just-accepted connection (no slot available): 503 +
+    /// `Retry-After`, written blocking with a bounded timeout — the socket
+    /// is fresh, so this is one buffer copy in practice.
+    fn shed_fresh(&mut self, mut stream: TcpStream) {
+        self.note_shed_with_log();
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(self.opts.timeout_ms.max(1))));
+        let bytes = render_response(
+            503,
+            "server overloaded, retry later\n",
+            "text/plain; charset=utf-8",
+            false,
+            &[("Retry-After", &self.opts.retry_after_secs.to_string())],
+        );
+        let _ = stream.write_all(&bytes);
+    }
+
+    /// Counts a shed and emits the post-hoc analysis log line, rate-limited
+    /// to one per second so overload cannot flood the log.
+    fn note_shed_with_log(&mut self) {
+        self.state.note_shed();
+        let now_s = self.state.now_s();
+        if self.last_shed_log_s == Some(now_s) {
+            return;
+        }
+        self.last_shed_log_s = Some(now_s);
+        self.state.logger.warn(
+            "serve",
+            "connection shed",
+            &[
+                ("queue_depth", self.ctx.queue.depth().to_string()),
+                ("active_connections", self.active_slots.to_string()),
+                ("open_connections", self.open.to_string()),
+                ("retry_after_secs", self.opts.retry_after_secs.to_string()),
+            ],
+        );
+    }
+
+    /// Routes one readiness event to the owning connection's state.
+    fn conn_event(&mut self, ev: Event) {
+        let Some(idx) = self.conn_at(ev.token) else {
+            return;
+        };
+        match self.conns[idx].as_ref().expect("live conn").phase {
+            Phase::Reading | Phase::Idle => {
+                if ev.readable || ev.hangup {
+                    self.do_read(idx);
+                }
+            }
+            Phase::Writing => {
+                if ev.writable || ev.hangup {
+                    self.do_write(idx);
+                }
+            }
+            // Interest is muted while dispatched; a stray event (e.g. a
+            // hangup race) is picked up after the response is written.
+            Phase::Dispatched => {}
+        }
+    }
+
+    /// Reads until `WouldBlock` (bounded per event), feeding the parser.
+    /// The first byte on an idle connection re-enters admission control.
+    fn do_read(&mut self, idx: usize) {
+        let mut buf = [0u8; 16 * 1024];
+        let mut total = 0usize;
+        loop {
+            let conn = self.conns[idx].as_mut().expect("live conn");
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.parser.feed_eof();
+                    if conn.phase == Phase::Idle && !conn.parser.has_partial() {
+                        // Clean keep-alive close between requests.
+                        self.close_conn(idx);
+                        return;
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    if conn.phase == Phase::Idle && !self.reactivate(idx) {
+                        return; // overloaded: a 503 is on its way out
+                    }
+                    let conn = self.conns[idx].as_mut().expect("live conn");
+                    conn.parser.feed(&buf[..n]);
+                    total += n;
+                    if total >= READ_BURST_BYTES {
+                        break; // level-triggered: the rest re-reports
+                    }
+                }
+                Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Transport error mid-read: same as the blocking tier's
+                    // `RequestError::Io` — drop without a response.
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+        if self.conns[idx].as_ref().expect("live conn").phase == Phase::Reading {
+            self.pump_parser(idx);
+        }
+    }
+
+    /// First byte of a keep-alive reuse: rejoin the active set, or shed
+    /// with the same 503 contract as a fresh connection when full.
+    /// Returns `false` when the connection left the `Idle` phase without
+    /// becoming `Reading` (i.e. it is shedding).
+    fn reactivate(&mut self, idx: usize) -> bool {
+        if !self.try_acquire_slot() {
+            self.note_shed_with_log();
+            self.respond_and_close(
+                idx,
+                503,
+                "server overloaded, retry later\n".to_string(),
+                &[("Retry-After", &self.opts.retry_after_secs.to_string())],
+            );
+            return false;
+        }
+        let deadline = self.now_ms() + self.opts.timeout_ms.max(1);
+        let conn = self.conns[idx].as_mut().expect("live conn");
+        conn.holds_slot = true;
+        conn.phase = Phase::Reading;
+        conn.request_started = Instant::now();
+        conn.trace = TraceContext::root(self.state.trace_ids.next_id());
+        self.arm_deadline(idx, deadline);
+        true
+    }
+
+    /// Tries to complete one request out of the parse buffer.
+    fn pump_parser(&mut self, idx: usize) {
+        let conn = self.conns[idx].as_mut().expect("live conn");
+        match conn.parser.take(self.opts.max_body_bytes) {
+            Parsed::NeedMore => {}
+            Parsed::Request(req) => self.dispatch(idx, req),
+            Parsed::Failed(RequestError::Eof) | Parsed::Failed(RequestError::Io) => {
+                self.close_conn(idx);
+            }
+            Parsed::Failed(RequestError::TimedOut) => {
+                // The incremental parser never produces this (deadlines
+                // live on the timer wheel), but map it like the old tier.
+                self.state.note_timeout("read");
+                self.respond_and_close(idx, 408, "request deadline exceeded\n".to_string(), &[]);
+            }
+            Parsed::Failed(RequestError::TooLarge { length, limit }) => {
+                self.respond_and_close(
+                    idx,
+                    413,
+                    format!("body of {length} bytes exceeds the {limit}-byte limit\n"),
+                    &[],
+                );
+            }
+            Parsed::Failed(RequestError::Malformed(why)) => {
+                self.respond_and_close(idx, 400, format!("malformed request: {why}\n"), &[]);
+            }
+        }
+    }
+
+    /// Hands a parsed request to the worker pool and mutes the socket.
+    fn dispatch(&mut self, idx: usize, req: Request) {
+        self.clear_deadline(idx);
+        let token = self.token_of(idx);
+        let conn = self.conns[idx].as_mut().expect("live conn");
+        conn.phase = Phase::Dispatched;
+        conn.served += 1;
+        let job = Job {
+            token,
+            req,
+            trace: conn.trace,
+            read_us: conn.request_started.elapsed().as_micros() as u64,
+            enqueued: Instant::now(),
+            index: conn.served,
+        };
+        let fd = raw_fd(&conn.stream);
+        let _ = self.poller.modify(fd, token, Interest::None);
+        match self.ctx.queue.try_push(job) {
+            Ok(depth) => self.state.note_queue_depth(depth),
+            Err(_) => {
+                // Unreachable by construction (active slots bound queued
+                // jobs), but degrade like any other overload if it happens.
+                self.note_shed_with_log();
+                self.respond_and_close(
+                    idx,
+                    503,
+                    "server overloaded, retry later\n".to_string(),
+                    &[("Retry-After", &self.opts.retry_after_secs.to_string())],
+                );
+            }
+        }
+    }
+
+    /// Starts flushing a transport-level error response (400/408/413/503)
+    /// and closes once it is out. These bypass the flight recorder and the
+    /// request counters, matching the blocking tier.
+    fn respond_and_close(&mut self, idx: usize, status: u16, body: String, extra: &[(&str, &str)]) {
+        let bytes = render_response(status, &body, "text/plain; charset=utf-8", false, extra);
+        let token = self.token_of(idx);
+        let conn = self.conns[idx].as_mut().expect("live conn");
+        conn.out = bytes;
+        conn.out_pos = 0;
+        conn.keep_after_write = false;
+        conn.write_meta = None;
+        conn.phase = Phase::Writing;
+        let fd = raw_fd(&conn.stream);
+        let _ = self.poller.modify(fd, token, Interest::None);
+        let deadline = self.now_ms() + self.opts.timeout_ms.max(1);
+        self.arm_deadline(idx, deadline);
+        self.do_write(idx);
+    }
+
+    /// Collects worker completions and starts their response writes.
+    fn drain_completions(&mut self) {
+        let done: Vec<Completion> = {
+            let mut guard = self.ctx.completions.lock().expect("completions lock");
+            std::mem::take(&mut *guard)
+        };
+        for completion in done {
+            let Some(idx) = self.conn_at(completion.token) else {
+                // The connection died while its request executed (only
+                // possible on registration failure); keep the books
+                // consistent by recording the trace anyway.
+                let Completion {
+                    tracer,
+                    endpoint,
+                    status,
+                    ..
+                } = completion;
+                finish_request(&self.state, self.opts.slow_ms, tracer, endpoint, status);
+                continue;
+            };
+            self.begin_write(idx, completion);
+        }
+    }
+
+    /// Starts flushing a routed response; the write span stays open until
+    /// the last byte is out.
+    fn begin_write(&mut self, idx: usize, completion: Completion) {
+        let Completion {
+            bytes,
+            keep,
+            status,
+            endpoint,
+            mut tracer,
+            ..
+        } = completion;
+        let span = tracer.begin("write");
+        let conn = self.conns[idx].as_mut().expect("live conn");
+        conn.out = bytes;
+        conn.out_pos = 0;
+        conn.keep_after_write = keep;
+        conn.write_meta = Some((tracer, span, endpoint, status));
+        conn.phase = Phase::Writing;
+        let deadline = self.now_ms() + self.opts.timeout_ms.max(1);
+        self.arm_deadline(idx, deadline);
+        self.do_write(idx);
+    }
+
+    /// Writes until done or `WouldBlock`; only a stalled write registers
+    /// write interest (the optimistic first flush usually completes).
+    fn do_write(&mut self, idx: usize) {
+        enum Next {
+            Done,
+            Stalled,
+            Broken,
+        }
+        let next = loop {
+            let conn = self.conns[idx].as_mut().expect("live conn");
+            let pending = &conn.out[conn.out_pos..];
+            if pending.is_empty() {
+                break Next::Done;
+            }
+            match conn.stream.write(pending) {
+                Ok(0) => break Next::Broken,
+                Ok(n) => conn.out_pos += n,
+                Err(ref e) if e.kind() == ErrorKind::WouldBlock => break Next::Stalled,
+                Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break Next::Broken,
+            }
+        };
+        match next {
+            Next::Done => self.finish_write(idx),
+            Next::Stalled => {
+                let token = self.token_of(idx);
+                let fd = raw_fd(&self.conns[idx].as_ref().expect("live conn").stream);
+                let _ = self.poller.modify(fd, token, Interest::Write);
+            }
+            Next::Broken => self.abort_write(idx, false),
+        }
+    }
+
+    /// A response could not be fully written (error or deadline). The
+    /// request itself already executed, so its trace is still recorded —
+    /// matching the blocking tier, which recorded before checking the
+    /// write result.
+    fn abort_write(&mut self, idx: usize, timed_out: bool) {
+        if timed_out {
+            self.state.note_timeout("write");
+        }
+        let conn = self.conns[idx].as_mut().expect("live conn");
+        if let Some((mut tracer, span, endpoint, status)) = conn.write_meta.take() {
+            tracer.finish(span);
+            finish_request(&self.state, self.opts.slow_ms, tracer, endpoint, status);
+        }
+        self.close_conn(idx);
+    }
+
+    /// The response is fully flushed: finalize the trace, release the
+    /// active slot, and either park the connection idle or close it.
+    fn finish_write(&mut self, idx: usize) {
+        self.clear_deadline(idx);
+        let conn = self.conns[idx].as_mut().expect("live conn");
+        let meta = conn.write_meta.take();
+        let keep = conn.keep_after_write;
+        conn.out = Vec::new();
+        conn.out_pos = 0;
+        conn.established = true;
+        if let Some((mut tracer, span, endpoint, status)) = meta {
+            tracer.finish(span);
+            finish_request(&self.state, self.opts.slow_ms, tracer, endpoint, status);
+        }
+        self.release_slot(idx);
+        if !keep || self.draining {
+            self.close_conn(idx);
+            return;
+        }
+        let token = self.token_of(idx);
+        let conn = self.conns[idx].as_mut().expect("live conn");
+        conn.phase = Phase::Idle;
+        let fd = raw_fd(&conn.stream);
+        let _ = self.poller.modify(fd, token, Interest::Read);
+        if self.conns[idx]
+            .as_ref()
+            .expect("live conn")
+            .parser
+            .has_partial()
+            && self.reactivate(idx)
+        {
+            // Pipelined bytes arrived with the previous request; they may
+            // already hold a complete next request.
+            self.pump_parser(idx);
+        }
+    }
+
+    /// Fires elapsed deadlines. Stale entries (re-armed or disarmed since
+    /// scheduling) are ignored by matching the connection's authoritative
+    /// deadline — lazy cancellation.
+    fn fire_timers(&mut self, now_ms: u64) {
+        let mut expired: Vec<(u64, u64)> = Vec::new();
+        self.timers.advance(now_ms, &mut expired);
+        for (token, deadline) in expired {
+            let Some(idx) = self.conn_at(token) else {
+                continue;
+            };
+            let conn = self.conns[idx].as_ref().expect("live conn");
+            if conn.deadline_ms != Some(deadline) {
+                continue;
+            }
+            match conn.phase {
+                Phase::Reading => {
+                    self.state.note_timeout("read");
+                    self.respond_and_close(
+                        idx,
+                        408,
+                        "request deadline exceeded\n".to_string(),
+                        &[],
+                    );
+                }
+                Phase::Writing => self.abort_write(idx, true),
+                // No deadline runs while dispatched or parked idle.
+                Phase::Dispatched | Phase::Idle => {}
+            }
+        }
+    }
+
+    /// Begins the graceful drain: refuse new connections at the socket,
+    /// close parked idle and silent fresh connections, and let everything
+    /// mid-request (reading, executing, writing) run to completion under
+    /// its normal deadlines.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.remove(raw_fd(&listener));
+            drop(listener);
+        }
+        for idx in 0..self.conns.len() {
+            let Some(conn) = self.conns[idx].as_ref() else {
+                continue;
+            };
+            let droppable = match conn.phase {
+                Phase::Idle => !conn.parser.has_partial(),
+                // A fresh connection that never sent a byte has nothing in
+                // flight to drain.
+                Phase::Reading => !conn.parser.has_partial(),
+                Phase::Dispatched | Phase::Writing => false,
+            };
+            if droppable {
+                self.close_conn(idx);
+            }
+        }
+    }
+
+    /// Removes a connection: deregisters, recycles the slab slot (bumping
+    /// the generation so stale tokens miss) and releases its active slot.
+    fn close_conn(&mut self, idx: usize) {
+        self.release_slot(idx);
+        let conn = self.conns[idx].take().expect("live conn");
+        let _ = self.poller.remove(raw_fd(&conn.stream));
+        drop(conn);
+        self.gens[idx] = self.gens[idx].wrapping_add(1);
+        self.free.push(idx);
+        self.open -= 1;
+        self.state.note_open_connections(self.open);
+    }
+}
+
+/// One worker: pull parsed requests off the queue, execute, render the
+/// response bytes, and hand the completion back to the event loop. Workers
+/// never touch sockets — prediction work is all they do.
 fn worker_loop(ctx: &ServerCtx) {
-    while let Some(conn) = ctx.queue.pop() {
+    while let Some(job) = ctx.queue.pop() {
         ctx.state.note_queue_depth(ctx.queue.depth());
-        handle_connection(conn, ctx);
+        let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
+        let mut tracer = RequestTracer::with_read(job.trace, job.read_us, queue_wait_us);
+        if job.index > 1 {
+            ctx.state.note_keepalive_reuse();
+        }
+        ctx.state.inflight_delta(1);
+        let handle_span = tracer.begin("handle");
+        let (status, body, content_type) = if job.req.method == "POST"
+            && job.req.path == "/admin/shutdown"
+        {
+            ctx.shutdown.trigger();
+            (
+                200,
+                "draining: in-flight requests complete, new connections are refused\n".to_string(),
+                "text/plain; charset=utf-8",
+            )
+        } else {
+            route(&job.req, &ctx.state, &mut tracer)
+        };
+        let elapsed = tracer.finish(handle_span);
+        record_request(&ctx.state, &job.req, status, elapsed);
+        ctx.state.inflight_delta(-1);
+        let keep = !ctx.shutdown.is_shutdown()
+            && !job.req.close
+            && job.index < ctx.opts.keepalive_max_requests.max(1);
+        let bytes = render_response(status, &body, content_type, keep, &[]);
+        let completion = Completion {
+            token: job.token,
+            bytes,
+            keep,
+            status,
+            endpoint: endpoint_label(&job.req.path),
+            tracer,
+        };
+        if let Ok(mut pending) = ctx.completions.lock() {
+            pending.push(completion);
+        }
+        ctx.shutdown.waker.wake();
     }
 }
 
@@ -641,16 +1414,31 @@ struct RequestTracer {
 }
 
 impl RequestTracer {
+    /// A tracer with no wire history — queue wait only (unit tests).
+    #[cfg(test)]
     fn new(trace: TraceContext, queue_wait_us: u64) -> Self {
+        Self::with_read(trace, 0, queue_wait_us)
+    }
+
+    /// Builds a tracer whose pre-pickup history is already known: the wire
+    /// time (`read` span, `[0, read_us)`) the event loop measured, then
+    /// the queue wait (`[read_us, read_us + queue_wait_us)`). The worker
+    /// calls this at pickup so every later span is stamped live.
+    fn with_read(trace: TraceContext, read_us: u64, queue_wait_us: u64) -> Self {
         let mut rec = Recorder::manual().with_trace(trace);
         let root = rec.start("request");
+        if read_us > 0 {
+            let read = rec.start("read");
+            rec.set_time(read_us);
+            rec.end(read);
+        }
         let wait = rec.start("queue_wait");
-        rec.set_time(queue_wait_us);
+        rec.set_time(read_us + queue_wait_us);
         rec.end(wait);
         Self {
             rec,
             epoch: Instant::now(),
-            offset_us: queue_wait_us,
+            offset_us: read_us + queue_wait_us,
             root,
         }
     }
@@ -690,10 +1478,16 @@ impl RequestTracer {
 
 /// Records one completed request into the flight recorder and, when it
 /// blew the `slow_ms` budget, logs the full span breakdown.
-fn finish_request(ctx: &ServerCtx, tracer: RequestTracer, endpoint: &str, status: u16) {
+fn finish_request(
+    state: &ServeState,
+    slow_ms: u64,
+    tracer: RequestTracer,
+    endpoint: &str,
+    status: u16,
+) {
     let trace = tracer.into_trace(endpoint, status);
     let total_us = trace.total_ticks();
-    if total_us >= ctx.opts.slow_ms.saturating_mul(1_000) {
+    if total_us >= slow_ms.saturating_mul(1_000) {
         let breakdown = trace
             .spans
             .iter()
@@ -701,7 +1495,7 @@ fn finish_request(ctx: &ServerCtx, tracer: RequestTracer, endpoint: &str, status
             .map(|s| format!("{}={}us", s.name, s.duration()))
             .collect::<Vec<_>>()
             .join(" ");
-        ctx.state.logger.warn(
+        state.logger.warn(
             "serve",
             "slow request",
             &[
@@ -713,125 +1507,18 @@ fn finish_request(ctx: &ServerCtx, tracer: RequestTracer, endpoint: &str, status
             ],
         );
     }
-    ctx.state.flight.record(trace);
+    state.flight.record(trace);
 }
 
-/// Serves one keep-alive connection: parse, route, respond, repeat until
-/// the peer closes, an error/deadline fires, the per-connection request
-/// cap is hit, or the server starts draining. The first request inherits
-/// the connection's accept-stamped [`TraceContext`] (queue wait included);
-/// keep-alive reuses get fresh trace ids with a zero-length queue wait.
-fn handle_connection(conn: Conn, ctx: &ServerCtx) {
-    let Conn {
-        stream,
-        accepted,
-        trace,
-    } = conn;
-    let queue_wait_us = accepted.elapsed().as_micros() as u64;
-    let timeout = Duration::from_millis(ctx.opts.timeout_ms.max(1));
-    let _ = stream.set_read_timeout(Some(timeout));
-    let _ = stream.set_write_timeout(Some(timeout));
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream);
-    let mut served = 0usize;
-    loop {
-        let mut tracer = if served == 0 {
-            RequestTracer::new(trace, queue_wait_us)
-        } else {
-            RequestTracer::new(TraceContext::root(ctx.state.trace_ids.next_id()), 0)
-        };
-        let read_span = tracer.begin("read");
-        let req = match read_request(&mut reader, ctx.opts.max_body_bytes) {
-            Ok(r) => r,
-            Err(RequestError::Eof) => break,
-            Err(RequestError::Io) => break,
-            Err(RequestError::TimedOut) => {
-                ctx.state.note_timeout("read");
-                let _ = write_response(
-                    reader.get_mut(),
-                    408,
-                    "request deadline exceeded\n",
-                    "text/plain; charset=utf-8",
-                    false,
-                    &[],
-                );
-                break;
-            }
-            Err(RequestError::TooLarge { length, limit }) => {
-                let _ = write_response(
-                    reader.get_mut(),
-                    413,
-                    &format!("body of {length} bytes exceeds the {limit}-byte limit\n"),
-                    "text/plain; charset=utf-8",
-                    false,
-                    &[],
-                );
-                break;
-            }
-            Err(RequestError::Malformed(why)) => {
-                let _ = write_response(
-                    reader.get_mut(),
-                    400,
-                    &format!("malformed request: {why}\n"),
-                    "text/plain; charset=utf-8",
-                    false,
-                    &[],
-                );
-                break;
-            }
-        };
-        tracer.finish(read_span);
-        served += 1;
-        if served > 1 {
-            ctx.state.note_keepalive_reuse();
-        }
-        ctx.state.inflight_delta(1);
-        let handle_span = tracer.begin("handle");
-        let (status, body, content_type) = if req.method == "POST" && req.path == "/admin/shutdown"
-        {
-            ctx.shutdown.trigger();
-            (
-                200,
-                "draining: in-flight requests complete, new connections are refused\n".to_string(),
-                "text/plain; charset=utf-8",
-            )
-        } else {
-            route(&req, &ctx.state, &mut tracer)
-        };
-        let elapsed = tracer.finish(handle_span);
-        record_request(&ctx.state, &req, status, elapsed);
-        ctx.state.inflight_delta(-1);
-        let keep = !ctx.shutdown.is_shutdown()
-            && !req.close
-            && served < ctx.opts.keepalive_max_requests.max(1);
-        let write_span = tracer.begin("write");
-        let written = write_response(reader.get_mut(), status, &body, content_type, keep, &[]);
-        tracer.finish(write_span);
-        finish_request(ctx, tracer, endpoint_label(&req.path), status);
-        match written {
-            Ok(()) => {}
-            Err(e) => {
-                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
-                    ctx.state.note_timeout("write");
-                }
-                break;
-            }
-        }
-        if !keep {
-            break;
-        }
-    }
-}
-
-/// Writes one HTTP/1.1 response, announcing the keep-alive decision.
-fn write_response(
-    stream: &mut TcpStream,
+/// Renders one HTTP/1.1 response as wire bytes, announcing the
+/// keep-alive decision. Workers render; the event loop flushes.
+fn render_response(
     status: u16,
     body: &str,
     content_type: &str,
     keep_alive: bool,
     extra_headers: &[(&str, &str)],
-) -> std::io::Result<()> {
+) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
@@ -845,118 +1532,9 @@ fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
-/// One parsed request: method, path, body, client's connection wish.
-struct Request {
-    method: String,
-    path: String,
-    body: String,
-    /// `true` when the client asked for `Connection: close` (or spoke
-    /// HTTP/1.0 without requesting keep-alive).
-    close: bool,
-}
-
-/// Why a request could not be read off the wire.
-enum RequestError {
-    /// Clean end of stream between requests (normal keep-alive end).
-    Eof,
-    /// A read deadline fired mid-request (slowloris or a stalled peer).
-    TimedOut,
-    /// The declared `Content-Length` exceeds the configured cap; nothing
-    /// was allocated for it.
-    TooLarge { length: usize, limit: usize },
-    /// The request line or headers do not parse as HTTP.
-    Malformed(&'static str),
-    /// Any other transport error.
-    Io,
-}
-
-fn classify_io(e: &std::io::Error) -> RequestError {
-    match e.kind() {
-        ErrorKind::WouldBlock | ErrorKind::TimedOut => RequestError::TimedOut,
-        _ => RequestError::Io,
-    }
-}
-
-/// Reads one HTTP/1.1 request (request line, headers, `Content-Length`
-/// body) without trusting the peer: the body is only allocated after its
-/// declared length passes the `max_body` cap, and malformed input is
-/// reported distinctly so the caller can answer 400 instead of silently
-/// dropping the connection.
-fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, RequestError> {
-    let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) => return Err(RequestError::Eof),
-        Ok(_) => {}
-        Err(e) => return Err(classify_io(&e)),
-    }
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return Err(RequestError::Malformed(
-            "request line needs `METHOD PATH HTTP/x.y`",
-        ));
-    };
-    if parts.next().is_some() || !version.starts_with("HTTP/") {
-        return Err(RequestError::Malformed(
-            "request line needs `METHOD PATH HTTP/x.y`",
-        ));
-    }
-    if !path.starts_with('/') {
-        return Err(RequestError::Malformed("path must start with `/`"));
-    }
-    let http10 = version == "HTTP/1.0";
-    let method = method.to_string();
-    let path = path.to_string();
-    let mut content_length = 0usize;
-    let mut close = http10;
-    loop {
-        let mut header = String::new();
-        match reader.read_line(&mut header) {
-            Ok(0) => return Err(RequestError::Malformed("headers truncated")),
-            Ok(_) => {}
-            Err(e) => return Err(classify_io(&e)),
-        }
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        let Some((name, value)) = header.split_once(':') else {
-            return Err(RequestError::Malformed("header without `:`"));
-        };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| RequestError::Malformed("unparseable Content-Length"))?;
-        } else if name.eq_ignore_ascii_case("connection") {
-            if value.eq_ignore_ascii_case("close") {
-                close = true;
-            } else if value.eq_ignore_ascii_case("keep-alive") {
-                close = false;
-            }
-        }
-    }
-    // Refuse attacker-controlled allocations: check the declared length
-    // against the cap before reserving a single byte for the body.
-    if content_length > max_body {
-        return Err(RequestError::TooLarge {
-            length: content_length,
-            limit: max_body,
-        });
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| classify_io(&e))?;
-    Ok(Request {
-        method,
-        path,
-        body: String::from_utf8_lossy(&body).into_owned(),
-        close,
-    })
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
 }
 
 fn reason(status: u16) -> &'static str {
@@ -1010,10 +1588,16 @@ fn query_count(
 /// Collapses a request target into a bounded endpoint label: known paths
 /// keep their name (query stripped), everything else becomes `other` so a
 /// scanner cannot blow up metric cardinality or trace labels.
-fn endpoint_label(target: &str) -> &str {
+fn endpoint_label(target: &str) -> &'static str {
     match split_query(target).0 {
-        p @ ("/predict" | "/predict/batch" | "/metrics" | "/healthz" | "/manifest"
-        | "/admin/shutdown" | "/debug/requests" | "/debug/slow") => p,
+        "/predict" => "/predict",
+        "/predict/batch" => "/predict/batch",
+        "/metrics" => "/metrics",
+        "/healthz" => "/healthz",
+        "/manifest" => "/manifest",
+        "/admin/shutdown" => "/admin/shutdown",
+        "/debug/requests" => "/debug/requests",
+        "/debug/slow" => "/debug/slow",
         _ => "other",
     }
 }
@@ -1393,7 +1977,6 @@ pub fn install_signal_shutdown(handle: ShutdownHandle) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Cursor;
 
     fn quick_state() -> ServeState {
         let opts = PipelineOptions::quick(&["vec_scale", "fpu_storm"]);
@@ -1588,8 +2171,14 @@ mod tests {
     }
 
     fn parse_bytes(text: &str, max_body: usize) -> Result<Request, RequestError> {
-        let mut cursor = Cursor::new(text.as_bytes().to_vec());
-        read_request(&mut cursor, max_body)
+        let mut parser = HttpParser::new();
+        parser.feed(text.as_bytes());
+        parser.feed_eof();
+        match parser.take(max_body) {
+            Parsed::Request(req) => Ok(req),
+            Parsed::Failed(e) => Err(e),
+            Parsed::NeedMore => unreachable!("an EOF-fed parser always resolves"),
+        }
     }
 
     #[test]
@@ -1843,23 +2432,12 @@ mod tests {
 
     #[test]
     fn slow_requests_emit_a_structured_log_line() {
-        let ctx = ServerCtx {
-            state: Arc::new(quick_state().with_logger(Logger::to_sink(LogFormat::Json))),
-            opts: ServeOptions {
-                slow_ms: 0, // everything is slow
-                ..ServeOptions::default()
-            },
-            queue: Arc::new(BoundedQueue::new(1)),
-            shutdown: ShutdownHandle {
-                flag: Arc::new(AtomicBool::new(false)),
-                addr: "127.0.0.1:0".parse().expect("addr"),
-            },
-        };
+        let state = Arc::new(quick_state().with_logger(Logger::to_sink(LogFormat::Json)));
         let mut t = tracer();
         let span = t.begin("handle");
         t.finish(span);
-        finish_request(&ctx, t, "/healthz", 200);
-        let lines = ctx.state.log_lines().expect("sink logger");
+        finish_request(&state, 0, t, "/healthz", 200); // slow_ms=0: everything is slow
+        let lines = state.log_lines().expect("sink logger");
         assert_eq!(lines.len(), 1, "{lines:?}");
         let v: Value = serde_json::from_str(&lines[0]).expect("json log line");
         assert_eq!(v.field("stage").and_then(Value::as_str), Ok("serve"));
@@ -1870,23 +2448,15 @@ mod tests {
             .and_then(Value::as_str)
             .expect("spans field")
             .contains("queue_wait="));
-        assert_eq!(ctx.state.flight.len(), 1, "trace recorded");
+        assert_eq!(state.flight.len(), 1, "trace recorded");
 
         // A generous budget suppresses the line but still records the trace.
-        let quiet = ServerCtx {
-            state: Arc::new(quick_state().with_logger(Logger::to_sink(LogFormat::Json))),
-            opts: ServeOptions::default(),
-            queue: Arc::new(BoundedQueue::new(1)),
-            shutdown: ShutdownHandle {
-                flag: Arc::new(AtomicBool::new(false)),
-                addr: "127.0.0.1:0".parse().expect("addr"),
-            },
-        };
+        let quiet = Arc::new(quick_state().with_logger(Logger::to_sink(LogFormat::Json)));
         let mut t = tracer();
         let span = t.begin("handle");
         t.finish(span);
-        finish_request(&quiet, t, "/healthz", 200);
-        assert!(quiet.state.log_lines().expect("sink").is_empty());
-        assert_eq!(quiet.state.flight.len(), 1);
+        finish_request(&quiet, ServeOptions::default().slow_ms, t, "/healthz", 200);
+        assert!(quiet.log_lines().expect("sink").is_empty());
+        assert_eq!(quiet.flight.len(), 1);
     }
 }

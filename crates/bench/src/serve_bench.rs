@@ -58,6 +58,15 @@ pub struct ServeBenchOptions {
     pub rounds: usize,
     /// Items per `/predict/batch` request in the batch mix.
     pub batch_size: usize,
+    /// Open-loop target arrival rate, requests per second (`--rate`).
+    /// Arrivals are Poisson: exponential gaps around `1/rate`, issued on
+    /// schedule whether or not earlier responses came back.
+    pub open_loop_rate_rps: f64,
+    /// Open-loop measurement window, seconds.
+    pub open_loop_duration_s: f64,
+    /// Keep-alive connections the open-loop generator spreads its
+    /// arrival process over.
+    pub open_loop_connections: usize,
     /// Capacity knobs of the server under test.
     pub serve: ServeOptions,
 }
@@ -70,6 +79,9 @@ impl Default for ServeBenchOptions {
             requests_per_client: 250,
             rounds: 5,
             batch_size: 16,
+            open_loop_rate_rps: 2_000.0,
+            open_loop_duration_s: 4.0,
+            open_loop_connections: 8,
             serve: ServeOptions::default(),
         }
     }
@@ -86,6 +98,9 @@ impl ServeBenchOptions {
             clients: 3,
             requests_per_client: 200,
             batch_size: 8,
+            open_loop_rate_rps: 300.0,
+            open_loop_duration_s: 1.5,
+            open_loop_connections: 4,
             ..Self::default()
         }
     }
@@ -110,6 +125,44 @@ pub struct ServeBenchMixRow {
     /// 99th-percentile request latency, microseconds.
     pub p99_us: f64,
     /// Worst observed request latency, microseconds.
+    pub max_us: f64,
+}
+
+/// Open-loop (constant-arrival-rate) results: the tail-latency view that
+/// closed-loop clients cannot give. Closed-loop clients wait for each
+/// response before sending again, so a slow server slows its own load down
+/// and the measured percentiles silently omit the requests that *would*
+/// have arrived meanwhile — coordinated omission. Here arrivals follow a
+/// Poisson schedule fixed up front, and every latency is stamped from the
+/// request's **intended** send time, so server stalls surface as real
+/// tail latency instead of vanishing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoopReport {
+    /// Arrival rate the generator aimed for, requests/second.
+    pub target_rps: f64,
+    /// Requests actually issued per second of wall time.
+    pub achieved_rps: f64,
+    /// Measurement window, seconds.
+    pub duration_s: f64,
+    /// Keep-alive connections the arrival process was spread over.
+    pub connections: usize,
+    /// Requests issued.
+    pub requests: u64,
+    /// Responses failing the correctness checks (non-200, bad body).
+    pub errors: u64,
+    /// Arrivals whose send left more than one mean gap late because the
+    /// connection was still busy with an earlier exchange — the generator
+    /// fell behind schedule (latencies still count from intended time).
+    pub late_sends: u64,
+    /// Latency percentiles from intended-send to response-complete, µs.
+    pub p50_us: f64,
+    /// 90th percentile, µs.
+    pub p90_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile, µs.
+    pub p999_us: f64,
+    /// Worst observed, µs.
     pub max_us: f64,
 }
 
@@ -147,6 +200,11 @@ pub struct ServeBenchReport {
     pub batch_matches_sequential: bool,
     /// One latency digest per mix.
     pub rows: Vec<ServeBenchMixRow>,
+    /// Open-loop (Poisson-arrival, coordinated-omission-safe) results.
+    /// `None` in records written before the open-loop mode existed — the
+    /// diff gate only engages when both records carry it.
+    #[serde(default)]
+    pub open_loop: Option<OpenLoopReport>,
 }
 
 /// Result of one benchmark invocation: the JSON-committable report plus
@@ -159,6 +217,10 @@ pub struct ServeBenchRun {
     /// Chrome-trace JSON from `GET /debug/requests`, captured right before
     /// shutdown — the tail of the load, one lane per request.
     pub trace_json: String,
+    /// Sorted raw open-loop latencies (µs, intended-send to complete):
+    /// the full distribution behind [`OpenLoopReport`]'s percentiles,
+    /// exported as a histogram artifact via `--hist-out`.
+    pub open_loop_latencies_us: Vec<u64>,
 }
 
 impl ServeBenchRun {
@@ -190,6 +252,35 @@ impl ServeBenchRun {
             Err(problems)
         }
     }
+
+    /// Renders the open-loop latency distribution as a JSON histogram
+    /// artifact: power-of-two bucket upper bounds in µs with per-bucket
+    /// counts, so CI can archive the full tail shape, not just the
+    /// percentiles in the report.
+    pub fn open_loop_histogram_json(&self) -> String {
+        use std::fmt::Write;
+        let latencies = &self.open_loop_latencies_us;
+        let mut buckets: Vec<(u64, u64)> = Vec::new();
+        let mut le = 1u64;
+        let mut i = 0usize;
+        while i < latencies.len() {
+            let count = latencies[i..].iter().take_while(|&&v| v <= le).count();
+            if count > 0 || !buckets.is_empty() {
+                buckets.push((le, count as u64));
+            }
+            i += count;
+            le = le.saturating_mul(2);
+        }
+        let mut out = String::from("{\n  \"unit\": \"us\",\n");
+        let _ = writeln!(out, "  \"total\": {},", latencies.len());
+        out.push_str("  \"buckets\": [\n");
+        for (j, (le, count)) in buckets.iter().enumerate() {
+            let comma = if j + 1 == buckets.len() { "" } else { "," };
+            let _ = writeln!(out, "    {{\"le\": {le}, \"count\": {count}}}{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
 }
 
 /// `q`-quantile (0..=1) of an already-sorted latency sample, microseconds.
@@ -213,6 +304,119 @@ fn median(values: &mut [f64]) -> f64 {
 
 /// Per-round, per-mix digest: `(mix, [p50, p90, p99, max], ok, errors)`.
 type RoundStats = Vec<(String, [f64; 4], u64, u64)>;
+
+/// SplitMix64 step — a tiny deterministic PRNG so Poisson schedules are
+/// reproducible run to run (no `rand` dependency).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One exponentially distributed inter-arrival gap (µs) around `mean_us`,
+/// via inverse-CDF sampling: `-ln(U) * mean`.
+fn exp_gap_us(state: &mut u64, mean_us: f64) -> u64 {
+    // 53 uniform mantissa bits in [0, 1); flip to (0, 1] so ln() is finite.
+    let u = 1.0 - (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    (-u.ln() * mean_us).round() as u64
+}
+
+/// What one open-loop generator thread (and, merged, the whole fleet)
+/// brought back.
+struct OpenLoopOutcome {
+    latencies_us: Vec<u64>,
+    requests: u64,
+    errors: u64,
+    late_sends: u64,
+}
+
+/// Drives the server open-loop: a Poisson arrival schedule at
+/// `rate_rps`, split evenly over `connections` keep-alive connections,
+/// for `duration_s`. Every request's latency is measured from its
+/// **intended** arrival time — not from when the connection got around to
+/// sending it — so a stalled server cannot hide queueing delay
+/// (coordinated omission).
+fn run_open_loop(
+    addr: SocketAddr,
+    rate_rps: f64,
+    duration_s: f64,
+    connections: usize,
+    bodies: Arc<Vec<String>>,
+) -> OpenLoopOutcome {
+    let connections = connections.max(1);
+    let mean_gap_us = 1e6 * connections as f64 / rate_rps.max(1e-6);
+    let window_us = (duration_s.max(0.01) * 1e6) as u64;
+    let handles: Vec<_> = (0..connections)
+        .map(|i| {
+            let bodies = Arc::clone(&bodies);
+            std::thread::Builder::new()
+                .name(format!("serve-openloop-{i}"))
+                .spawn(move || {
+                    // Deterministic per-thread seed: schedules replay
+                    // exactly across runs of the same shape.
+                    let mut rng = 0x0DDB_1A5E_5BAD_5EED_u64 ^ ((i as u64) << 17);
+                    let mut outcome = OpenLoopOutcome {
+                        latencies_us: Vec::new(),
+                        requests: 0,
+                        errors: 0,
+                        late_sends: 0,
+                    };
+                    let mut client = match BenchClient::connect(addr) {
+                        Ok(c) => c,
+                        Err(_) => {
+                            outcome.errors += 1;
+                            return outcome;
+                        }
+                    };
+                    let start = Instant::now();
+                    let mut intended_us = exp_gap_us(&mut rng, mean_gap_us);
+                    while intended_us < window_us {
+                        let now_us = start.elapsed().as_micros() as u64;
+                        if now_us < intended_us {
+                            std::thread::sleep(std::time::Duration::from_micros(
+                                intended_us - now_us,
+                            ));
+                        } else if now_us > intended_us + mean_gap_us as u64 {
+                            // The previous exchange held the connection past
+                            // this arrival's slot; the send is late but the
+                            // latency below still counts from `intended_us`.
+                            outcome.late_sends += 1;
+                        }
+                        let body = &bodies[outcome.requests as usize % bodies.len()];
+                        outcome.requests += 1;
+                        match client.request("POST", "/predict", body) {
+                            Ok((status, text)) if response_ok("features", status, &text) => {
+                                let done_us = start.elapsed().as_micros() as u64;
+                                outcome
+                                    .latencies_us
+                                    .push(done_us.saturating_sub(intended_us));
+                            }
+                            _ => outcome.errors += 1,
+                        }
+                        intended_us += exp_gap_us(&mut rng, mean_gap_us);
+                    }
+                    outcome
+                })
+                .expect("bench: spawn open-loop client")
+        })
+        .collect();
+    let mut merged = OpenLoopOutcome {
+        latencies_us: Vec::new(),
+        requests: 0,
+        errors: 0,
+        late_sends: 0,
+    };
+    for h in handles {
+        let one = h.join().expect("bench: open-loop thread panicked");
+        merged.latencies_us.extend(one.latencies_us);
+        merged.requests += one.requests;
+        merged.errors += one.errors;
+        merged.late_sends += one.late_sends;
+    }
+    merged
+}
 
 /// One keep-alive client connection to the server under test.
 struct BenchClient {
@@ -515,6 +719,34 @@ pub fn run_serve_bench(opts: &ServeBenchOptions) -> ServeBenchRun {
     }
     let wall_s = load_start.elapsed().as_secs_f64();
 
+    // Open-loop phase: fixed Poisson arrival schedule over the cheap wire
+    // path, latencies stamped from intended send times (CO-safe).
+    let open_bodies = Arc::new(mix_bodies("features", opts.batch_size));
+    let open_start = Instant::now();
+    let mut open = run_open_loop(
+        addr,
+        opts.open_loop_rate_rps,
+        opts.open_loop_duration_s,
+        opts.open_loop_connections,
+        open_bodies,
+    );
+    let open_wall_s = open_start.elapsed().as_secs_f64();
+    open.latencies_us.sort_unstable();
+    let open_report = OpenLoopReport {
+        target_rps: opts.open_loop_rate_rps,
+        achieved_rps: open.requests as f64 / open_wall_s.max(f64::MIN_POSITIVE),
+        duration_s: opts.open_loop_duration_s,
+        connections: opts.open_loop_connections.max(1),
+        requests: open.requests,
+        errors: open.errors,
+        late_sends: open.late_sends,
+        p50_us: percentile_us(&open.latencies_us, 0.50),
+        p90_us: percentile_us(&open.latencies_us, 0.90),
+        p99_us: percentile_us(&open.latencies_us, 0.99),
+        p999_us: percentile_us(&open.latencies_us, 0.999),
+        max_us: open.latencies_us.last().copied().unwrap_or(0) as f64,
+    };
+
     let batch_ok = batch_matches_sequential(addr, opts.batch_size);
 
     // Snapshot the flight recorder while the server is still up: the tail
@@ -588,8 +820,10 @@ pub fn run_serve_bench(opts: &ServeBenchOptions) -> ServeBenchRun {
             keepalive_reuse_total,
             batch_matches_sequential: batch_ok,
             rows,
+            open_loop: Some(open_report),
         },
         trace_json,
+        open_loop_latencies_us: open.latencies_us,
     }
 }
 
@@ -633,6 +867,25 @@ impl ServeBenchReport {
                 "FAIL"
             }
         );
+        if let Some(o) = &self.open_loop {
+            let _ = writeln!(
+                out,
+                "open-loop: target {:.0} rps → achieved {:.0} rps over {:.1}s on {} conns \
+                 (CO-safe) · p50 {:.0}us p90 {:.0}us p99 {:.0}us p99.9 {:.0}us max {:.0}us \
+                 · {} errors · {} late sends",
+                o.target_rps,
+                o.achieved_rps,
+                o.duration_s,
+                o.connections,
+                o.p50_us,
+                o.p90_us,
+                o.p99_us,
+                o.p999_us,
+                o.max_us,
+                o.errors,
+                o.late_sends
+            );
+        }
         out
     }
 
@@ -669,6 +922,21 @@ impl ServeBenchReport {
         }
         if self.rows.iter().map(|r| r.requests).sum::<u64>() != self.total_requests {
             problems.push("per-mix request counts do not add up".to_string());
+        }
+        if let Some(o) = &self.open_loop {
+            if self.quick && o.errors > 0 {
+                problems.push(format!(
+                    "open-loop quick profile had {} failed response(s)",
+                    o.errors
+                ));
+            }
+            if o.requests > 0 && o.achieved_rps < o.target_rps * 0.25 {
+                problems.push(format!(
+                    "open-loop generator only achieved {:.0} of {:.0} target rps — \
+                     the schedule collapsed instead of measuring the server",
+                    o.achieved_rps, o.target_rps
+                ));
+            }
         }
         if problems.is_empty() {
             Ok(())
@@ -755,7 +1023,98 @@ mod tests {
                     max_us: 400.0,
                 })
                 .collect(),
+            open_loop: Some(OpenLoopReport {
+                target_rps: 300.0,
+                achieved_rps: 295.0,
+                duration_s: 1.5,
+                connections: 4,
+                requests: 440,
+                errors: 0,
+                late_sends: 2,
+                p50_us: 150.0,
+                p90_us: 400.0,
+                p99_us: 900.0,
+                p999_us: 1500.0,
+                max_us: 2100.0,
+            }),
         }
+    }
+
+    #[test]
+    fn poisson_gaps_are_deterministic_with_the_right_mean() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let gaps_a: Vec<u64> = (0..1000).map(|_| exp_gap_us(&mut a, 500.0)).collect();
+        let gaps_b: Vec<u64> = (0..1000).map(|_| exp_gap_us(&mut b, 500.0)).collect();
+        assert_eq!(gaps_a, gaps_b, "same seed, same schedule");
+        let mean = gaps_a.iter().sum::<u64>() as f64 / gaps_a.len() as f64;
+        assert!(
+            (mean - 500.0).abs() < 100.0,
+            "exponential gaps should average near the mean, got {mean}"
+        );
+    }
+
+    #[test]
+    fn open_loop_histogram_renders_valid_json_buckets() {
+        let run = ServeBenchRun {
+            report: healthy_report(),
+            trace_json: String::new(),
+            open_loop_latencies_us: vec![1, 3, 3, 7, 120, 4000],
+        };
+        let hist = run.open_loop_histogram_json();
+        let v: Value = serde_json::from_str(&hist).expect("histogram is JSON");
+        assert_eq!(v.field("unit").and_then(Value::as_str), Ok("us"));
+        assert_eq!(v.field("total").and_then(Value::as_u64), Ok(6));
+        let buckets = v
+            .field("buckets")
+            .and_then(Value::as_seq)
+            .expect("buckets array");
+        let total: u64 = buckets
+            .iter()
+            .map(|b| b.field("count").and_then(Value::as_u64).unwrap_or(0))
+            .sum();
+        assert_eq!(total, 6, "bucket counts cover every sample");
+    }
+
+    #[test]
+    fn reports_without_an_open_loop_section_still_deserialize() {
+        // A baseline written before open-loop mode existed.
+        let mut old = healthy_report();
+        old.open_loop = None;
+        let mut json = serde_json::to_string_pretty(&old).expect("serialise");
+        // Strip the null field entirely to mimic the old schema.
+        json = json
+            .lines()
+            .filter(|l| !l.contains("open_loop"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Drop a dangling comma if the filtered field was last.
+        let json = json.replace(",\n}", "\n}");
+        let back: ServeBenchReport = serde_json::from_str(&json).expect("old schema deserialises");
+        assert_eq!(back.open_loop, None);
+        back.verify().expect("old-schema report still verifies");
+    }
+
+    #[test]
+    fn open_loop_gates_catch_errors_and_collapsed_schedules() {
+        let mut report = healthy_report();
+        if let Some(o) = report.open_loop.as_mut() {
+            o.errors = 3;
+        }
+        let problems = report.verify().expect_err("quick open-loop errors fail");
+        assert!(
+            problems.iter().any(|p| p.contains("open-loop")),
+            "{problems:?}"
+        );
+        let mut collapsed = healthy_report();
+        if let Some(o) = collapsed.open_loop.as_mut() {
+            o.achieved_rps = o.target_rps * 0.1;
+        }
+        let problems = collapsed.verify().expect_err("collapsed schedule fails");
+        assert!(
+            problems.iter().any(|p| p.contains("achieved")),
+            "{problems:?}"
+        );
     }
 
     #[test]
@@ -797,6 +1156,7 @@ mod tests {
         let run = ServeBenchRun {
             report: healthy_report(),
             trace_json: flight.chrome_recent(4, "pulp-serve"),
+            open_loop_latencies_us: vec![100, 150, 900],
         };
         run.verify()
             .expect("healthy run with a real trace verifies");
@@ -804,6 +1164,7 @@ mod tests {
         let bad = ServeBenchRun {
             report: healthy_report(),
             trace_json: "{}".to_string(),
+            open_loop_latencies_us: Vec::new(),
         };
         let problems = bad.verify().expect_err("a malformed trace must fail");
         assert!(

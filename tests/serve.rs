@@ -794,3 +794,171 @@ fn malformed_request_lines_get_400_not_a_dropped_connection() {
     handle.trigger();
     thread.join().expect("server thread joins");
 }
+
+#[test]
+fn a_thousand_idle_keepalive_connections_cost_no_capacity() {
+    // The admission set is tiny (2 workers + 8 queue slots), yet a
+    // thousand established keep-alive connections can park on the event
+    // loop: established idle connections hold no slot, no thread and no
+    // deadline. Before the readiness rewrite each of these held a worker.
+    let opts = ServeOptions {
+        workers: 2,
+        queue_depth: 8,
+        timeout_ms: 10_000,
+        ..ServeOptions::default()
+    };
+    let (addr, state, handle, thread) = spawn_server(opts);
+
+    const IDLE: usize = 1_000;
+    let mut parked = Vec::with_capacity(IDLE);
+    for i in 0..IDLE {
+        let mut stream = TcpStream::connect(addr).expect("connect idle conn");
+        send_on(&mut stream, "GET", "/healthz", "");
+        let mut reader = BufReader::new(stream);
+        let (status, _, body) = read_framed(&mut reader);
+        assert_eq!(status, 200, "idle conn {i} establish failed: {body}");
+        parked.push(reader); // keep-alive: the server parks it idle
+    }
+
+    // The open-connections gauge sees the whole parked fleet.
+    let open = state
+        .metric_value("pulp_serve_open_connections", &[])
+        .expect("open-connections gauge exists");
+    assert!(
+        open >= IDLE as f64,
+        "gauge must count the parked fleet, got {open}"
+    );
+
+    // Active traffic still flows with bounded latency: the parked fleet
+    // must not consume the admission slots actives need.
+    let started = std::time::Instant::now();
+    for _ in 0..20 {
+        let (status, body) = request(addr, "GET", "/healthz", "");
+        assert_eq!(
+            status, 200,
+            "active request failed under parked load: {body}"
+        );
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "20 active round-trips took {elapsed:?} with {IDLE} parked connections"
+    );
+
+    // Parked connections are still live: reuse one end-to-end.
+    let reader = parked.last_mut().expect("parked fleet");
+    send_on(reader.get_mut(), "GET", "/healthz", "");
+    let (status, _, _) = read_framed(reader);
+    assert_eq!(status, 200, "parked connection must still serve");
+
+    handle.trigger();
+    thread
+        .join()
+        .expect("server thread joins with 1k connections open");
+}
+
+#[test]
+fn drain_completes_with_connections_in_every_state() {
+    let opts = ServeOptions {
+        workers: 1,
+        queue_depth: 4,
+        timeout_ms: 5_000,
+        ..ServeOptions::default()
+    };
+    let (addr, _state, _handle, thread) = spawn_server(opts);
+
+    // Idle established: one completed request, then parked keep-alive.
+    let mut idle = TcpStream::connect(addr).expect("connect idle");
+    send_on(&mut idle, "GET", "/healthz", "");
+    let mut idle_reader = BufReader::new(idle);
+    let (status, _, _) = read_framed(&mut idle_reader);
+    assert_eq!(status, 200);
+
+    // Fresh and silent: accepted, never sent a byte.
+    let silent = TcpStream::connect(addr).expect("connect silent");
+
+    // Mid-read: headers sent, body short by six bytes.
+    let mut partial = TcpStream::connect(addr).expect("connect partial");
+    partial
+        .write_all(b"POST /predict HTTP/1.1\r\nHost: test\r\nContent-Length: 10\r\n\r\n0123")
+        .expect("send partial");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Trigger the drain over HTTP; this connection itself is mid-pipeline
+    // (dispatched, then writing) while the drain begins.
+    let mut admin = TcpStream::connect(addr).expect("connect admin");
+    send_on(&mut admin, "POST", "/admin/shutdown", "");
+    let mut admin_reader = BufReader::new(admin);
+    let (status, _, body) = read_framed(&mut admin_reader);
+    assert_eq!(status, 200, "shutdown must answer before closing: {body}");
+    assert!(body.contains("draining"), "{body}");
+
+    // The idle and silent connections are dropped by the drain...
+    let mut probe = [0u8; 1];
+    idle_reader
+        .get_mut()
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("set timeout");
+    assert_eq!(
+        idle_reader.get_mut().read(&mut probe).expect("idle closes"),
+        0,
+        "parked idle connection must close on drain"
+    );
+
+    // ...while the mid-read request finishes its body and completes.
+    partial.write_all(b"456789").expect("finish body");
+    let mut partial_reader = BufReader::new(partial);
+    let (status, _, body) = read_framed(&mut partial_reader);
+    assert_eq!(
+        status, 400,
+        "in-flight request must complete through the drain: {body}"
+    );
+
+    drop(silent);
+    thread.join().expect("server drains every state and joins");
+}
+
+#[test]
+fn slow_loris_gets_408_from_the_timer_wheel_while_idle_conns_live_on() {
+    let opts = ServeOptions {
+        workers: 2,
+        queue_depth: 4,
+        timeout_ms: 150,
+        ..ServeOptions::default()
+    };
+    let (addr, state, handle, thread) = spawn_server(opts);
+
+    // Establish a keep-alive connection before the loris arrives.
+    let mut veteran = TcpStream::connect(addr).expect("connect veteran");
+    send_on(&mut veteran, "GET", "/healthz", "");
+    let mut veteran_reader = BufReader::new(veteran);
+    let (status, _, _) = read_framed(&mut veteran_reader);
+    assert_eq!(status, 200);
+
+    // The loris trickles half a request line and stalls; the timer wheel
+    // must fire the read deadline and answer 408 without a worker ever
+    // being involved.
+    let mut loris = TcpStream::connect(addr).expect("connect loris");
+    loris.write_all(b"GET /healthz HT").expect("trickle");
+    let mut loris_reader = BufReader::new(loris);
+    let (status, _, body) = read_framed(&mut loris_reader);
+    assert_eq!(status, 408, "stalled read must deadline: {body}");
+    assert!(body.contains("deadline"), "{body}");
+    assert!(
+        state
+            .metric_value("pulp_serve_timeouts_total", &[("kind", "read")])
+            .unwrap_or(0.0)
+            >= 1.0,
+        "read timeout must be counted"
+    );
+
+    // Far longer than timeout_ms later, the established idle connection is
+    // still alive: idle keep-alive connections carry no read deadline.
+    std::thread::sleep(Duration::from_millis(400));
+    send_on(veteran_reader.get_mut(), "GET", "/healthz", "");
+    let (status, _, _) = read_framed(&mut veteran_reader);
+    assert_eq!(status, 200, "established idle connections must not expire");
+
+    handle.trigger();
+    thread.join().expect("server thread joins");
+}
