@@ -6,13 +6,23 @@
 //!   0%-tolerance accuracy (paper: 61% / 79%);
 //! * static features exceed 85% accuracy within an 8% tolerance;
 //! * the static-vs-dynamic accuracy gap stays below ~10 points.
+//!
+//! `--model tree|forest|gbt` (default `tree`) swaps the classifier behind
+//! every curve for another zoo member. The paper's reference numbers are
+//! tree numbers, so non-tree runs write their record to
+//! `BENCH_headline_<model>.json` by default — the committed tree baseline
+//! is never clobbered by a zoo sweep — and the record names its model so
+//! `bench diff` refuses cross-model comparisons via the accuracy map.
 
 use pulp_bench::{load_or_build_dataset_observed, CommonArgs};
 use pulp_energy::{
-    default_tolerances, report::render_confusion, tolerance_curve, top_feature_columns, CacheStats,
-    StaticFeatureSet,
+    default_tolerances, evaluation::curve_from_predictions, report::render_confusion,
+    tolerance_curve, top_feature_columns, CacheStats, Protocol, StaticFeatureSet, ToleranceCurve,
 };
-use pulp_ml::{confusion_matrix, cross_val_predict, DecisionTree};
+use pulp_ml::{
+    confusion_matrix, cross_val_predict, cv::repeated_cross_val_predict, DecisionTree,
+    ForestParams, Gbt, GbtParams, RandomForest,
+};
 use pulp_obs::JournalEvent;
 use serde::Serialize;
 use std::path::PathBuf;
@@ -36,6 +46,8 @@ struct Headline {
 #[derive(Debug, Serialize)]
 struct BenchHeadline {
     schema: &'static str,
+    /// Zoo member behind every accuracy figure (`tree` unless `--model`).
+    model: String,
     accuracy: Headline,
     /// How much the tree beats the always-8 naive policy at 5% tolerance.
     naive_delta: f64,
@@ -44,9 +56,11 @@ struct BenchHeadline {
     manifest_hash: String,
 }
 
-/// `--bench-out <path>` (default `BENCH_headline.json`); parsed directly
-/// because it is headline-specific and `CommonArgs` ignores foreign flags.
-fn bench_out_path() -> PathBuf {
+/// `--bench-out <path>`; parsed directly because it is headline-specific
+/// and `CommonArgs` ignores foreign flags. Defaults to
+/// `BENCH_headline.json` for the tree (the paper's model, the committed
+/// baseline) and `BENCH_headline_<model>.json` for other zoo members.
+fn bench_out_path(model: &str) -> PathBuf {
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         if a == "--bench-out" {
@@ -55,12 +69,89 @@ fn bench_out_path() -> PathBuf {
             }
         }
     }
-    PathBuf::from("BENCH_headline.json")
+    if model == "tree" {
+        PathBuf::from("BENCH_headline.json")
+    } else {
+        PathBuf::from(format!("BENCH_headline_{model}.json"))
+    }
+}
+
+/// `--model tree|forest|gbt` (default `tree`); bin-local like
+/// `--bench-out`. An unknown model is a usage error, not a silent tree.
+fn model_arg() -> String {
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        if a == "--model" {
+            return match argv.next().as_deref() {
+                Some(m @ ("tree" | "forest" | "gbt")) => m.to_string(),
+                other => {
+                    eprintln!("--model expects tree|forest|gbt, got {other:?}");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    "tree".to_string()
+}
+
+/// The tolerance curve of the selected zoo member over `data`. Trees use
+/// the instrumented single-model path (identical to the historical
+/// behaviour); ensembles run the same repeated-CV protocol with the
+/// repetition count scaled down as in `bench models`, seeded per
+/// repetition so the result is bit-identical at any `--cv-threads`.
+fn model_curve(
+    model: &str,
+    label: &str,
+    data: &pulp_ml::Dataset,
+    energies: &[Vec<f64>],
+    tolerances: &[f64],
+    protocol: &Protocol,
+) -> ToleranceCurve {
+    let slow_repeats = (protocol.repeats / 10).max(2);
+    match model {
+        "tree" => tolerance_curve(label, data, energies, tolerances, protocol),
+        "forest" => {
+            let preds = repeated_cross_val_predict(
+                data,
+                protocol.folds,
+                slow_repeats,
+                protocol.seed,
+                protocol.cv_threads,
+                |seed| {
+                    RandomForest::new(ForestParams {
+                        n_trees: 50,
+                        tree: protocol.tree,
+                        max_features: None,
+                        seed: seed + 1,
+                    })
+                },
+            );
+            curve_from_predictions(label, &preds, energies, tolerances)
+        }
+        "gbt" => {
+            let preds = repeated_cross_val_predict(
+                data,
+                protocol.folds,
+                slow_repeats,
+                protocol.seed,
+                protocol.cv_threads,
+                |seed| {
+                    Gbt::new(GbtParams {
+                        seed,
+                        ..GbtParams::default()
+                    })
+                },
+            );
+            curve_from_predictions(label, &preds, energies, tolerances)
+        }
+        other => unreachable!("model_arg validated {other}"),
+    }
 }
 
 fn main() {
     let start = Instant::now();
     let args = CommonArgs::parse();
+    let model = model_arg();
     let opts = args.pipeline_options();
     let protocol = args.protocol();
     let mut journal = args.journal_writer("headline", &opts, Some(&protocol));
@@ -86,15 +177,28 @@ fn main() {
     let eval_t0 = Instant::now();
 
     let all = data.static_dataset(StaticFeatureSet::All).expect("static");
-    let static_curve = tolerance_curve("static", &all, &energies, &tolerances, &protocol);
+    let static_curve = model_curve(&model, "static", &all, &energies, &tolerances, &protocol);
 
     let top = top_feature_columns(&all, 6, &protocol);
     let optimized = all.select_features(&top);
-    let optimized_curve =
-        tolerance_curve("optimised", &optimized, &energies, &tolerances, &protocol);
+    let optimized_curve = model_curve(
+        &model,
+        "optimised",
+        &optimized,
+        &energies,
+        &tolerances,
+        &protocol,
+    );
 
     let dynamic = data.dynamic_dataset().expect("dynamic");
-    let dynamic_curve = tolerance_curve("dynamic", &dynamic, &energies, &tolerances, &protocol);
+    let dynamic_curve = model_curve(
+        &model,
+        "dynamic",
+        &dynamic,
+        &energies,
+        &tolerances,
+        &protocol,
+    );
 
     let naive = pulp_energy::always_n_curve(8, &energies, &tolerances);
 
@@ -119,7 +223,7 @@ fn main() {
         always8_at_5: at(&naive, 0.05),
     };
 
-    println!("E6 — headline numbers (ours vs paper)\n");
+    println!("E6 — headline numbers (ours [{model}] vs paper [tree])\n");
     println!("{:<34} {:>8} {:>10}", "metric", "ours", "paper");
     let pct = |v: f64| format!("{:.1}%", v * 100.0);
     println!(
@@ -173,9 +277,25 @@ fn main() {
 
     // One CV pass for the confusion structure: most confusion should sit
     // between adjacent core counts (near-ties), as on the real platform.
-    let preds = cross_val_predict(&all, protocol.folds, protocol.seed, || {
-        DecisionTree::new(protocol.tree)
-    });
+    let preds = match model.as_str() {
+        "forest" => cross_val_predict(&all, protocol.folds, protocol.seed, || {
+            RandomForest::new(ForestParams {
+                n_trees: 50,
+                tree: protocol.tree,
+                max_features: None,
+                seed: protocol.seed + 1,
+            })
+        }),
+        "gbt" => cross_val_predict(&all, protocol.folds, protocol.seed, || {
+            Gbt::new(GbtParams {
+                seed: protocol.seed,
+                ..GbtParams::default()
+            })
+        }),
+        _ => cross_val_predict(&all, protocol.folds, protocol.seed, || {
+            DecisionTree::new(protocol.tree)
+        }),
+    };
     let confusion = confusion_matrix(&preds, all.labels(), pulp_energy::NUM_CLASSES);
     println!("\nconfusion matrix (static features, one CV pass):");
     print!("{}", render_confusion(&confusion));
@@ -230,13 +350,14 @@ fn main() {
     let manifest = args.write_manifest("headline", &opts, Some(&protocol), start);
     let bench = BenchHeadline {
         schema: "pulp-headline/v1",
+        model: model.clone(),
         naive_delta: h.static_at_5 - h.always8_at_5,
         accuracy: h,
         wall_time_ms: start.elapsed().as_millis() as u64,
         cache: opts.cache.as_ref().map(|c| c.stats()),
         manifest_hash: manifest.manifest_hash(),
     };
-    let out = bench_out_path();
+    let out = bench_out_path(&model);
     match serde_json::to_string_pretty(&bench) {
         Ok(s) => {
             if let Err(e) = std::fs::write(&out, s) {

@@ -14,9 +14,10 @@
 //! pulp_cli cache    stats --cache-dir DIR             # sweep-cache usage
 //! pulp_cli cache    clear --cache-dir DIR             # delete cached sweeps
 //! pulp_cli serve    [--addr HOST:PORT] [--full]       # HTTP prediction service
-//! pulp_cli bench    diff OLD.json NEW.json            # regression gate (headline/sim/serve)
+//! pulp_cli bench    diff OLD.json NEW.json            # regression gate (headline/sim/serve/models)
 //! pulp_cli bench    sim [--quick] [--out PATH]        # simulator perf benchmark
 //! pulp_cli bench    serve [--quick] [--out PATH]      # serving-layer load benchmark
+//! pulp_cli bench    models [--quick] [--out PATH]     # model-zoo accuracy + flat-parity benchmark
 //! pulp_cli bench    history DIR                       # benchmark trajectory over committed records
 //! pulp_cli report   RUN.jsonl                         # deterministic report from a run journal
 //! pulp_cli journal  validate RUN.jsonl [...]          # structural check of run journals
@@ -49,12 +50,21 @@
 //! (the flight recorder's tail of the load) as Chrome-trace JSON; the
 //! capture is validated either way.
 //!
+//! `bench models` evaluates the whole model zoo (tree, random forest,
+//! gradient-boosted trees, kNN) under the repeated-CV protocol and checks
+//! the quantized flat compilation of each tree-backed model against the
+//! float reference on every dataset row; writes `BENCH_models.json`
+//! (override with `--out`). `--cv-threads N` pins the CV worker count —
+//! the record is bit-identical at any value. `--predictor flat|float` on
+//! `bench serve` selects the model form the server under test walks.
+//!
 //! `bench diff OLD NEW` dispatches on the record's `bench` field:
 //! headline records gate on accuracy (>1 pt drop fails), `BENCH_sim.json`
 //! on fast-forward throughput (>20% cycles-per-wall-second drop on any
 //! basket fails), `BENCH_serve.json` on tail latency (p99 regression beyond
 //! `--p99-tolerance`, default 20%, on any mix, or any shed in the quick
-//! profile, fails).
+//! profile, fails), `BENCH_models.json` on per-model accuracy (>1 pt
+//! static@5 drop fails) and flat/float parity (any mismatch fails).
 //!
 //! `bench history DIR` reads every `BENCH_*.json` record in `DIR` (sorted by
 //! file name), groups them by benchmark kind and profile, prints the
@@ -70,10 +80,12 @@
 //! the dataset-building bins' `--journal PATH` write such journals.
 
 use kernel_ir::{lower, DType, Kernel};
-use pulp_bench::serve::{install_signal_shutdown, ServeOptions, ServeState, Server};
+use pulp_bench::serve::{
+    install_signal_shutdown, PredictorBackend, ServeOptions, ServeState, Server,
+};
 use pulp_bench::{
-    profile_run, recorder_of_run, run_serve_bench, ServeBenchOptions, SimBenchOptions,
-    QUICK_KERNELS,
+    profile_run, recorder_of_run, run_models_bench, run_serve_bench, CommonArgs, ServeBenchOptions,
+    SimBenchOptions, QUICK_KERNELS,
 };
 use pulp_energy::{
     default_cache_version, measure_kernel,
@@ -120,6 +132,8 @@ struct Args {
     trace_out: Option<String>,
     p99_tolerance: Option<f64>,
     journal: Option<String>,
+    cv_threads: Option<usize>,
+    predictor: Option<PredictorBackend>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -157,6 +171,8 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
         trace_out: None,
         p99_tolerance: None,
         journal: None,
+        cv_threads: None,
+        predictor: None,
     };
     // `--flag N` where N must be a strictly positive integer.
     fn positive<T: std::str::FromStr + PartialOrd + From<u8>>(
@@ -217,6 +233,17 @@ fn parse_from(mut argv: impl Iterator<Item = String>) -> Option<Args> {
                 }
             }
             "--hist-out" => args.hist_out = Some(argv.next()?),
+            "--cv-threads" => args.cv_threads = Some(positive(&mut argv, "--cv-threads")?),
+            "--predictor" => {
+                let raw = argv.next()?;
+                match PredictorBackend::parse(&raw) {
+                    Some(b) => args.predictor = Some(b),
+                    None => {
+                        eprintln!("--predictor expects `flat` or `float`, got {raw:?}");
+                        return None;
+                    }
+                }
+            }
             "--log-json" => args.log_json = true,
             "--trace-out" => args.trace_out = Some(argv.next()?),
             "--journal" => args.journal = Some(argv.next()?),
@@ -268,7 +295,9 @@ fn usage() -> ExitCode {
          or: pulp_cli bench diff OLD.json NEW.json [--p99-tolerance X]\n   \
          or: pulp_cli bench sim [--quick] [--out PATH] [--max-cycles N] [--iters N] [--journal PATH]\n   \
          or: pulp_cli bench serve [--quick] [--out PATH] [--trace-out PATH] [--rate RPS]\n   \
-                [--hist-out PATH]\n   \
+                [--hist-out PATH] [--predictor flat|float]\n   \
+         or: pulp_cli bench models [--quick] [--out PATH] [--cv-threads N] [--journal PATH]\n   \
+                [--cache-dir DIR]\n   \
          or: pulp_cli bench history DIR [--p99-tolerance X]\n   \
          or: pulp_cli report RUN.jsonl\n   \
          or: pulp_cli journal validate RUN.jsonl [RUN2.jsonl ...]"
@@ -325,6 +354,7 @@ fn bench_regressions_with(
     match kind {
         "sim" => sim_regressions(old, new),
         "serve" => serve_regressions(old, new, serve_p99_tolerance),
+        "models" => models_regressions(old, new),
         _ => headline_regressions(old, new),
     }
 }
@@ -510,6 +540,59 @@ fn serve_regressions(old: &Value, new: &Value, p99_tolerance: f64) -> Result<Vec
     Ok(regressions)
 }
 
+/// `BENCH_models.json`: fail on a >1-pt `static_at_5` accuracy drop for
+/// any zoo model, a model missing from the candidate, or any candidate
+/// row reporting flat/float prediction mismatches — the quantized flat
+/// path must stay bit-exact with the float reference on the dataset.
+fn models_regressions(old: &Value, new: &Value) -> Result<Vec<String>, String> {
+    check_same_profile(old, new)?;
+    let (old_rows, new_rows) = (
+        record_rows(old, "baseline")?,
+        record_rows(new, "candidate")?,
+    );
+    let mut regressions = Vec::new();
+    for old_row in old_rows {
+        let Ok(model) = old_row.field("model").and_then(Value::as_str) else {
+            return Err("baseline: row without model".to_string());
+        };
+        let Ok(old_acc) = old_row.field("static_at_5").and_then(Value::as_f64) else {
+            continue;
+        };
+        let Some(new_acc) = new_rows
+            .iter()
+            .filter(|r| r.field("model").and_then(Value::as_str) == Ok(model))
+            .find_map(|r| r.field("static_at_5").and_then(Value::as_f64).ok())
+        else {
+            regressions.push(format!("model {model}: missing from candidate"));
+            continue;
+        };
+        if new_acc < old_acc - REGRESSION_TOLERANCE {
+            regressions.push(format!(
+                "model {model}: static@5 {:.1}% -> {:.1}% (drop {:.1} pts > {:.0} pt tolerance)",
+                old_acc * 100.0,
+                new_acc * 100.0,
+                (old_acc - new_acc) * 100.0,
+                REGRESSION_TOLERANCE * 100.0
+            ));
+        }
+    }
+    for new_row in new_rows {
+        let model = new_row
+            .field("model")
+            .and_then(Value::as_str)
+            .unwrap_or("?");
+        if let Ok(m) = new_row.field("flat_mismatches").and_then(Value::as_u64) {
+            if m > 0 {
+                regressions.push(format!(
+                    "model {model}: flat inference diverged from the float reference \
+                     on {m} row(s); the quantized path must be bit-exact"
+                ));
+            }
+        }
+    }
+    Ok(regressions)
+}
+
 /// Compares two `BENCH_headline.json` records field-by-field over their
 /// `accuracy` maps; returns the regressions found.
 fn headline_regressions(old: &Value, new: &Value) -> Result<Vec<String>, String> {
@@ -653,6 +736,29 @@ fn record_summary(kind: &str, v: &Value) -> String {
                 None => "no rows".to_string(),
             }
         }
+        "models" => match v.field("rows").and_then(Value::as_seq) {
+            Ok(rows) => {
+                let mut parts: Vec<String> = rows
+                    .iter()
+                    .filter_map(|r| {
+                        let model = r.field("model").and_then(Value::as_str).ok()?;
+                        let acc = r.field("static_at_5").and_then(Value::as_f64).ok()?;
+                        Some(format!("{model}@5={:.1}%", acc * 100.0))
+                    })
+                    .collect();
+                let mismatches: u64 = rows
+                    .iter()
+                    .filter_map(|r| r.field("flat_mismatches").and_then(Value::as_u64).ok())
+                    .sum();
+                parts.push(if mismatches == 0 {
+                    "flat=exact".to_string()
+                } else {
+                    format!("flat={mismatches} mismatch(es)")
+                });
+                parts.join(" ")
+            }
+            Err(_) => "no rows".to_string(),
+        },
         _ => match v.field("accuracy").and_then(Value::as_map) {
             Ok(acc) => acc
                 .iter()
@@ -980,10 +1086,14 @@ fn cmd_bench_serve(args: &Args) -> ExitCode {
     if let Some(rate) = args.rate {
         opts.open_loop_rate_rps = rate;
     }
+    if let Some(backend) = args.predictor {
+        opts.backend = backend;
+    }
     eprintln!(
-        "bench serve: {} run ({} rounds of {} clients x {} requests, {} workers, queue depth {}, \
-         open-loop {} rps)...",
+        "bench serve: {} run, {} predictor ({} rounds of {} clients x {} requests, {} workers, \
+         queue depth {}, open-loop {} rps)...",
         if opts.quick { "quick" } else { "full" },
+        opts.backend.name(),
         opts.rounds,
         opts.clients,
         opts.requests_per_client,
@@ -1027,6 +1137,84 @@ fn cmd_bench_serve(args: &Args) -> ExitCode {
         }
         Err(problems) => {
             eprintln!("bench serve: {} invariant violation(s):", problems.len());
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the model-zoo evaluation benchmark and writes `BENCH_models.json`
+/// (or `--out PATH`). Builds (or loads) the dataset with the usual
+/// pipeline caches, evaluates every zoo model under the repeated-CV
+/// protocol, checks flat/float parity on the full dataset, and wires the
+/// run manifest + journal exactly like the other benches.
+fn cmd_bench_models(args: &Args) -> ExitCode {
+    let start = std::time::Instant::now();
+    let common = CommonArgs {
+        quick: args.quick,
+        cv_threads: args.cv_threads.unwrap_or(0),
+        cache_dir: args.cache_dir.clone().map(std::path::PathBuf::from),
+        journal: args.journal.clone().map(std::path::PathBuf::from),
+        ..CommonArgs::default()
+    };
+    let opts = common.pipeline_options();
+    let protocol = common.protocol();
+    eprintln!(
+        "bench models: {} run ({} folds x {} repeats, cv-threads {})...",
+        if args.quick { "quick" } else { "full" },
+        protocol.folds,
+        protocol.repeats,
+        if protocol.cv_threads == 0 {
+            "all".to_string()
+        } else {
+            protocol.cv_threads.to_string()
+        }
+    );
+    let mut journal = common.journal_writer("bench_models", &opts, Some(&protocol));
+    let data = pulp_bench::load_or_build_dataset_observed(&opts, &common, journal.as_mut());
+    let mut report = run_models_bench(&data, &protocol, args.quick);
+    let manifest = common.write_manifest("bench_models", &opts, Some(&protocol), start);
+    report.manifest_hash = manifest.manifest_hash();
+    if let Some(j) = journal.as_mut() {
+        for row in &report.rows {
+            let record = |name: String, value: f64| pulp_obs::JournalEvent::BenchRecord {
+                bench: "models".to_string(),
+                name,
+                value,
+            };
+            let _ = j.event(record(
+                format!("{}_static_at_5", row.model),
+                row.static_at_5,
+            ));
+            if let Some(m) = row.flat_mismatches {
+                let _ = j.event(record(format!("{}_flat_mismatches", row.model), m as f64));
+            }
+        }
+    }
+    common.finish_journal(journal);
+    print!("{}", report.render_table());
+    let out_path = args.out.as_deref().unwrap_or("BENCH_models.json");
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench models: cannot serialise report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(out_path, json) {
+        eprintln!("bench models: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    match report.verify() {
+        Ok(()) => {
+            println!("bench models: flat inference bit-exact with the float reference");
+            ExitCode::SUCCESS
+        }
+        Err(problems) => {
+            eprintln!("bench models: {} invariant violation(s):", problems.len());
             for p in &problems {
                 eprintln!("  {p}");
             }
@@ -1403,6 +1591,7 @@ fn main() -> ExitCode {
             }
             Some("sim") if args.rest.is_empty() => cmd_bench_sim(&args),
             Some("serve") if args.rest.is_empty() => cmd_bench_serve(&args),
+            Some("models") if args.rest.is_empty() => cmd_bench_models(&args),
             Some("history") if args.rest.len() == 1 => {
                 cmd_bench_history(&args.rest[0], args.p99_tolerance)
             }
@@ -1874,6 +2063,152 @@ mod tests {
                 .expect("compare")
                 .is_empty()
         );
+    }
+
+    /// A `BENCH_models.json`-shaped record with the given per-model
+    /// static@5 accuracies and flat mismatch counts (`None` = kNN-style
+    /// row without a flat form).
+    fn models_value(rows: &[(&str, f64, Option<u64>)]) -> Value {
+        let rows = rows
+            .iter()
+            .map(|(model, at5, mismatches)| {
+                Value::Map(vec![
+                    ("model".to_string(), Value::Str((*model).to_string())),
+                    ("static_at_5".to_string(), Value::F64(*at5)),
+                    (
+                        "flat_mismatches".to_string(),
+                        mismatches.map_or(Value::Null, Value::U64),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("bench".to_string(), Value::Str("models".to_string())),
+            ("quick".to_string(), Value::Bool(true)),
+            ("rows".to_string(), Value::Seq(rows)),
+        ])
+    }
+
+    #[test]
+    fn bench_diff_gates_model_zoo_accuracy_and_flat_parity() {
+        let base = models_value(&[
+            ("tree", 0.93, Some(0)),
+            ("gbt", 0.94, Some(0)),
+            ("knn", 0.90, None),
+        ]);
+        // Within 1 pt passes.
+        let ok = bench_regressions(
+            &base,
+            &models_value(&[
+                ("tree", 0.925, Some(0)),
+                ("gbt", 0.935, Some(0)),
+                ("knn", 0.91, None),
+            ]),
+        )
+        .expect("compare");
+        assert!(ok.is_empty(), "{ok:?}");
+        // A >1-pt static@5 drop fails and names the model.
+        let bad = bench_regressions(
+            &base,
+            &models_value(&[
+                ("tree", 0.90, Some(0)),
+                ("gbt", 0.94, Some(0)),
+                ("knn", 0.90, None),
+            ]),
+        )
+        .expect("compare");
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("model tree"), "{bad:?}");
+        // Any flat mismatch fails even with perfect accuracy.
+        let diverged = bench_regressions(
+            &base,
+            &models_value(&[
+                ("tree", 0.99, Some(2)),
+                ("gbt", 0.99, Some(0)),
+                ("knn", 0.99, None),
+            ]),
+        )
+        .expect("compare");
+        assert_eq!(diverged.len(), 1, "{diverged:?}");
+        assert!(
+            diverged[0].contains("bit-exact") && diverged[0].contains("2 row(s)"),
+            "{diverged:?}"
+        );
+        // A model missing from the candidate is a failure, not a skip.
+        let missing = bench_regressions(
+            &base,
+            &models_value(&[("tree", 0.93, Some(0)), ("knn", 0.90, None)]),
+        )
+        .expect("compare");
+        assert!(
+            missing
+                .iter()
+                .any(|r| r.contains("gbt") && r.contains("missing")),
+            "{missing:?}"
+        );
+        // Quick-vs-full refused.
+        let mut full = models_value(&[("tree", 0.93, Some(0))]);
+        if let Value::Map(fields) = &mut full {
+            for (k, v) in fields.iter_mut() {
+                if k == "quick" {
+                    *v = Value::Bool(false);
+                }
+            }
+        }
+        assert!(bench_regressions(&base, &full).is_err());
+    }
+
+    #[test]
+    fn bench_models_subcommand_and_flags_parse() {
+        let a = parse(&[
+            "bench",
+            "models",
+            "--quick",
+            "--out",
+            "M.json",
+            "--cv-threads",
+            "4",
+            "--journal",
+            "R.jsonl",
+        ])
+        .expect("parse");
+        assert_eq!(a.kernel.as_deref(), Some("models"));
+        assert!(a.quick);
+        assert_eq!(a.out.as_deref(), Some("M.json"));
+        assert_eq!(a.cv_threads, Some(4));
+        assert_eq!(a.journal.as_deref(), Some("R.jsonl"));
+        // Zero, garbage and missing cv-thread counts are rejected.
+        assert!(parse(&["bench", "models", "--cv-threads", "0"]).is_none());
+        assert!(parse(&["bench", "models", "--cv-threads", "x"]).is_none());
+        assert!(parse(&["bench", "models", "--cv-threads"]).is_none());
+    }
+
+    #[test]
+    fn predictor_flag_parses_strictly() {
+        let a = parse(&["bench", "serve", "--quick", "--predictor", "float"]).expect("parse");
+        assert_eq!(a.predictor, Some(PredictorBackend::Float));
+        let a = parse(&["bench", "serve", "--predictor", "flat"]).expect("parse");
+        assert_eq!(a.predictor, Some(PredictorBackend::Flat));
+        // Default: no override, the bench keeps its flat default.
+        assert_eq!(parse(&["bench", "serve"]).expect("parse").predictor, None);
+        assert!(parse(&["bench", "serve", "--predictor", "boxed"]).is_none());
+        assert!(parse(&["bench", "serve", "--predictor"]).is_none());
+    }
+
+    #[test]
+    fn models_record_summary_names_models_and_parity() {
+        let v = models_value(&[
+            ("tree", 0.93, Some(0)),
+            ("gbt", 0.94, Some(0)),
+            ("knn", 0.90, None),
+        ]);
+        let s = record_summary("models", &v);
+        assert!(s.contains("tree@5=93.0%"), "{s}");
+        assert!(s.contains("gbt@5=94.0%"), "{s}");
+        assert!(s.contains("flat=exact"), "{s}");
+        let diverged = models_value(&[("tree", 0.93, Some(4))]);
+        let s = record_summary("models", &diverged);
+        assert!(s.contains("flat=4 mismatch(es)"), "{s}");
     }
 
     #[test]

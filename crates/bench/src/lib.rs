@@ -22,12 +22,14 @@
 //! consecutive experiments reuse it; with `--cache-dir` that coarse cache
 //! is bypassed in favour of the per-sample sweep cache.
 
+pub mod models_bench;
 pub mod net;
 pub mod profiling;
 pub mod serve;
 pub mod serve_bench;
 pub mod sim_bench;
 
+pub use models_bench::{run_models_bench, ModelsBenchReport, ModelsBenchRow, MODELS};
 pub use profiling::{
     chrome_trace_of_run, profile_run, recorder_of_run, CauseRun, CoreTimeline, ProfiledRun,
 };

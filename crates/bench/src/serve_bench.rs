@@ -27,7 +27,7 @@
 //! microseconds either way, and this benchmark measures the serving layer
 //! (admission control, parsing, keep-alive) rather than the tree.
 
-use crate::serve::{ServeOptions, ServeState, Server};
+use crate::serve::{PredictorBackend, ServeOptions, ServeState, Server};
 use crate::QUICK_KERNELS;
 use pulp_energy::pipeline::PipelineOptions;
 use pulp_energy::static_feature_vector;
@@ -67,6 +67,10 @@ pub struct ServeBenchOptions {
     /// Keep-alive connections the open-loop generator spreads its
     /// arrival process over.
     pub open_loop_connections: usize,
+    /// Which compiled form of the model the server walks (`--predictor`).
+    /// Flat is the production default; `float` measures the boxed
+    /// reference tree so the flat path can be gated against it.
+    pub backend: PredictorBackend,
     /// Capacity knobs of the server under test.
     pub serve: ServeOptions,
 }
@@ -82,6 +86,7 @@ impl Default for ServeBenchOptions {
             open_loop_rate_rps: 2_000.0,
             open_loop_duration_s: 4.0,
             open_loop_connections: 8,
+            backend: PredictorBackend::default(),
             serve: ServeOptions::default(),
         }
     }
@@ -173,6 +178,14 @@ pub struct ServeBenchReport {
     pub bench: String,
     /// `true` for `--quick` runs (not comparable to full runs).
     pub quick: bool,
+    /// Predictor backend the server walked (`"flat"` or `"float"`).
+    /// Records written before the backend knob existed deserialise with
+    /// this empty; [`predictor_name`](Self::predictor_name) maps that to
+    /// `"float"` (what those runs actually measured), which is exactly
+    /// what lets `bench diff` gate a new flat record against a committed
+    /// float-era baseline.
+    #[serde(default)]
+    pub predictor: String,
     /// Concurrent clients that drove the run.
     pub clients: usize,
     /// Measurement rounds behind the median-of-rounds percentiles.
@@ -621,7 +634,7 @@ fn batch_matches_sequential(addr: SocketAddr, batch_size: usize) -> bool {
 /// there is nothing to measure without either.
 pub fn run_serve_bench(opts: &ServeBenchOptions) -> ServeBenchRun {
     let pipeline = PipelineOptions::quick(QUICK_KERNELS);
-    let state = Arc::new(ServeState::train(&pipeline));
+    let state = Arc::new(ServeState::train(&pipeline).with_backend(opts.backend));
     let server = Server::bind_with("127.0.0.1:0", Arc::clone(&state), opts.serve)
         .expect("bench: bind ephemeral port");
     let addr = server.addr;
@@ -807,6 +820,7 @@ pub fn run_serve_bench(opts: &ServeBenchOptions) -> ServeBenchRun {
         report: ServeBenchReport {
             bench: "serve".to_string(),
             quick: opts.quick,
+            predictor: opts.backend.name().to_string(),
             clients,
             rounds,
             workers: opts.serve.workers,
@@ -828,14 +842,25 @@ pub fn run_serve_bench(opts: &ServeBenchOptions) -> ServeBenchRun {
 }
 
 impl ServeBenchReport {
+    /// The backend this record measured, with the pre-knob empty field
+    /// normalised to `"float"` (see [`predictor`](Self::predictor)).
+    pub fn predictor_name(&self) -> &str {
+        if self.predictor.is_empty() {
+            PredictorBackend::Float.name()
+        } else {
+            &self.predictor
+        }
+    }
+
     /// Renders the human-readable table.
     pub fn render_table(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "serve bench: {} clients vs {} workers (queue {}), {:.0} req/s over {:.2}s, \
-             median of {} rounds",
+            "serve bench [{} predictor]: {} clients vs {} workers (queue {}), {:.0} req/s \
+             over {:.2}s, median of {} rounds",
+            self.predictor_name(),
             self.clients,
             self.workers,
             self.queue_depth,
@@ -999,6 +1024,7 @@ mod tests {
         ServeBenchReport {
             bench: "serve".to_string(),
             quick: true,
+            predictor: "flat".to_string(),
             clients: 3,
             rounds: 2,
             workers: 2,
@@ -1078,20 +1104,26 @@ mod tests {
 
     #[test]
     fn reports_without_an_open_loop_section_still_deserialize() {
-        // A baseline written before open-loop mode existed.
+        // A baseline written before open-loop mode and the predictor knob
+        // existed.
         let mut old = healthy_report();
         old.open_loop = None;
         let mut json = serde_json::to_string_pretty(&old).expect("serialise");
-        // Strip the null field entirely to mimic the old schema.
+        // Strip the fields entirely to mimic the old schema.
         json = json
             .lines()
-            .filter(|l| !l.contains("open_loop"))
+            .filter(|l| !l.contains("open_loop") && !l.contains("predictor"))
             .collect::<Vec<_>>()
             .join("\n");
         // Drop a dangling comma if the filtered field was last.
         let json = json.replace(",\n}", "\n}");
         let back: ServeBenchReport = serde_json::from_str(&json).expect("old schema deserialises");
         assert_eq!(back.open_loop, None);
+        assert_eq!(
+            back.predictor_name(),
+            "float",
+            "pre-knob records were measured on the float tree"
+        );
         back.verify().expect("old-schema report still verifies");
     }
 

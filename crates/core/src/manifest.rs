@@ -12,7 +12,8 @@
 //! Determinism contract: two runs with identical inputs produce
 //! byte-identical manifests except for the wall-time field, and
 //! [`RunManifest::manifest_hash`] hashes the manifest with wall time
-//! zeroed, so equal hashes ⇔ equal provenance.
+//! zeroed and the protocol's CV thread count canonicalised (the fan-out
+//! is bit-identical at any width), so equal hashes ⇔ equal provenance.
 //!
 //! # Examples
 //!
@@ -133,12 +134,18 @@ impl RunManifest {
         self
     }
 
-    /// FNV-1a hex hash of the manifest with wall time zeroed: equal
-    /// hashes mean the runs had identical provenance, however long they
-    /// took.
+    /// FNV-1a hex hash of the manifest with wall time zeroed and the
+    /// protocol's `cv_threads` canonicalised to 0: equal hashes mean the
+    /// runs had identical provenance, however long they took and however
+    /// many worker threads fanned the CV out (predictions are bit-identical
+    /// at any `cv_threads`, so thread count is execution detail, not
+    /// provenance).
     pub fn manifest_hash(&self) -> String {
         let mut canonical = self.clone();
         canonical.wall_time_ms = 0;
+        if let Some(p) = canonical.protocol.as_mut() {
+            p.cv_threads = 0;
+        }
         content_hash_hex(&canonical)
     }
 
@@ -219,6 +226,22 @@ mod tests {
     }
 
     #[test]
+    fn manifest_hash_ignores_cv_thread_count() {
+        // The CV fan-out is bit-identical at any thread count, so two runs
+        // differing only in `cv_threads` have the same provenance — and the
+        // same hash (also what keeps `bench models` records byte-identical
+        // across `--cv-threads`).
+        let at = |threads: usize| {
+            manifest().with_protocol(Protocol {
+                cv_threads: threads,
+                ..Protocol::default()
+            })
+        };
+        assert_eq!(at(1).manifest_hash(), at(4).manifest_hash());
+        assert_ne!(at(1).to_json_pretty(), at(4).to_json_pretty());
+    }
+
+    #[test]
     fn manifest_hash_golden_value_is_stable() {
         // Golden pin: the hash of a fully deterministic manifest (default
         // config/model, fixed seed, no wall time). This only moves when
@@ -226,7 +249,8 @@ mod tests {
         // constant, the config/model encoding, or the hash itself. Update
         // the constant deliberately when one of those changes.
         let m = manifest().with_seed(42).with_extra("quick", false);
-        assert_eq!(m.manifest_hash(), "0b3bdbc67d8b88ea");
+        // Moved with MODEL_VERSION 1 → 2 (model-zoo/flat-inference release).
+        assert_eq!(m.manifest_hash(), "43871660d1e98262");
         // Wall time must not move the golden value.
         assert_eq!(
             m.clone().with_wall_time_ms(123_456).manifest_hash(),

@@ -556,6 +556,14 @@ impl LabeledDataset {
         )
     }
 
+    /// The full 20-dimensional static feature vectors, one per sample —
+    /// the row shape the [`crate::predictor::EnergyPredictor`] batch
+    /// paths consume (`bench models` feeds these to both the flat and
+    /// the float path when counting mismatches).
+    pub fn static_rows(&self) -> Vec<Vec<f64>> {
+        self.samples.iter().map(|s| s.static_x.clone()).collect()
+    }
+
     /// Trainable dataset over the 80-dimensional dynamic vector.
     ///
     /// # Errors

@@ -11,7 +11,7 @@ use crate::features::{static_feature_vector, StaticFeatureSet};
 use crate::labeling::NUM_CLASSES;
 use crate::pipeline::LabeledDataset;
 use kernel_ir::Kernel;
-use pulp_ml::{DatasetError, DecisionTree, TreeParams};
+use pulp_ml::{DatasetError, DecisionTree, FlatModel, TreeParams};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -86,6 +86,10 @@ pub struct EnergyPredictor {
     /// optional importance pruning).
     columns: Vec<usize>,
     feature_names: Vec<String>,
+    /// Quantized flat compilation of `tree` — derived state, rebuilt
+    /// deterministically from the tree on load so the two can never
+    /// drift. The batch path walks this instead of the boxed float tree.
+    flat: FlatModel,
 }
 
 impl EnergyPredictor {
@@ -125,11 +129,13 @@ impl EnergyPredictor {
         let projected = full.select_features(&columns);
         let mut tree = DecisionTree::new(params);
         tree.fit(&projected);
+        let flat = FlatModel::from_tree(&tree);
         Ok(Self {
             tree,
             feature_set,
             feature_names: projected.feature_names().to_vec(),
             columns,
+            flat,
         })
     }
 
@@ -166,13 +172,15 @@ impl EnergyPredictor {
     /// Predicts the minimum-energy core count (1..=8) for a batch of
     /// caller-built **full** static feature vectors — the `/predict/batch`
     /// path of the prediction service. The whole batch is validated up
-    /// front and the column projection reuses one scratch buffer across
-    /// rows, so a batch of N costs N tree traversals and a single
-    /// allocation instead of N.
+    /// front, then every row walks the **quantized flat compilation** of
+    /// the tree ([`pulp_ml::FlatModel`]): contiguous breadth-first node
+    /// arrays with integer compares, reusing one projection and one
+    /// quantization scratch buffer across rows.
     ///
-    /// Predictions are bit-identical to calling
-    /// [`predict_cores_from_static`](Self::predict_cores_from_static) on
-    /// each row in order.
+    /// Flat decisions are bit-exact against the float tree for any input
+    /// on the quantization grid (see `pulp_ml::flat`), which covers every
+    /// feature vector the pipeline produces; the dataset-wide equality is
+    /// pinned by tests and by `bench models`' mismatch gate.
     ///
     /// # Errors
     ///
@@ -180,6 +188,39 @@ impl EnergyPredictor {
     /// width does not cover every trained column; no row is predicted
     /// until all widths check out.
     pub fn predict_cores_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<usize>, PredictorError> {
+        let width = crate::features::static_feature_names().len();
+        if let Some(bad) = rows.iter().find(|r| r.len() != width) {
+            return Err(PredictorError::FeatureWidth {
+                expected: width,
+                got: bad.len(),
+            });
+        }
+        let mut projected = vec![0.0; self.columns.len()];
+        let mut scratch = Vec::with_capacity(self.columns.len());
+        Ok(rows
+            .iter()
+            .map(|full| {
+                for (dst, &c) in projected.iter_mut().zip(&self.columns) {
+                    *dst = full[c];
+                }
+                self.flat.predict_with(&mut scratch, &projected) + 1
+            })
+            .collect())
+    }
+
+    /// [`predict_cores_batch`](Self::predict_cores_batch) through the
+    /// float reference tree instead of the flat compilation — the
+    /// baseline the serve benchmark compares the flat hot path against,
+    /// and the oracle for mismatch counting in `bench models`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::FeatureWidth`] exactly like the flat
+    /// path.
+    pub fn predict_cores_batch_float(
+        &self,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<usize>, PredictorError> {
         let width = crate::features::static_feature_names().len();
         if let Some(bad) = rows.iter().find(|r| r.len() != width) {
             return Err(PredictorError::FeatureWidth {
@@ -197,6 +238,11 @@ impl EnergyPredictor {
                 self.tree.predict(&projected) + 1
             })
             .collect())
+    }
+
+    /// The quantized flat compilation backing the batch path.
+    pub fn flat(&self) -> &FlatModel {
+        &self.flat
     }
 
     /// Serialisable description of the trained model — what a service
@@ -230,11 +276,18 @@ impl EnergyPredictor {
 
     /// Loads a predictor from its JSON form.
     ///
+    /// The flat compilation is rebuilt from the deserialised tree rather
+    /// than trusted from the wire: compilation is deterministic, so a
+    /// faithful encoding round-trips to an equal predictor, while a
+    /// hand-edited `flat` section can never desynchronise the two
+    /// prediction paths.
+    ///
     /// # Errors
     ///
     /// Returns an error when the JSON does not describe a predictor.
     pub fn from_json(text: &str) -> Result<Self, PredictorError> {
-        let p: Self = serde_json::from_str(text).map_err(PredictorError::Parse)?;
+        let mut p: Self = serde_json::from_str(text).map_err(PredictorError::Parse)?;
+        p.flat = FlatModel::from_tree(&p.tree);
         Ok(p)
     }
 
@@ -380,6 +433,28 @@ mod tests {
                 got: 3
             }
         ));
+    }
+
+    #[test]
+    fn flat_batch_is_bit_exact_vs_float_reference() {
+        // The quantized flat path must agree with the float tree on every
+        // sample the pipeline produces (the full-dataset version of this
+        // check is `bench models`' mismatch gate) and on the kernel path.
+        let d = data();
+        let p = EnergyPredictor::train(&d, StaticFeatureSet::All, TreeParams::default())
+            .expect("train");
+        let full = d.static_dataset_all().expect("static dataset");
+        let rows: Vec<Vec<f64>> = (0..full.len()).map(|i| full.row(i).to_vec()).collect();
+        assert_eq!(
+            p.predict_cores_batch(&rows).expect("flat batch"),
+            p.predict_cores_batch_float(&rows).expect("float batch"),
+            "flat and float paths diverged on pipeline samples"
+        );
+        assert!(p.flat().n_nodes() >= 1);
+        assert_eq!(p.flat().n_trees(), 1);
+        // Width validation is shared between the two paths.
+        let bad = vec![vec![0.0; 3]];
+        assert!(p.predict_cores_batch_float(&bad).is_err());
     }
 
     #[test]

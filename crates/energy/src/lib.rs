@@ -49,11 +49,16 @@ pub mod trace_analyser;
 /// Version of the energy model and feature-extraction pipeline.
 ///
 /// Bump this whenever Table-I coefficients, the accounting rules in
-/// [`energy_of`], or the [`DynamicFeatures`] extraction change numeric
-/// results. The `pulp-energy` sweep cache folds this constant into its
-/// keys, so a bump invalidates cached energies instead of serving stale
-/// ones.
-pub const MODEL_VERSION: u32 = 1;
+/// [`energy_of`], the [`DynamicFeatures`] extraction, or the downstream
+/// classifier/serving stack change numeric results. The `pulp-energy`
+/// sweep cache folds this constant into its keys, so a bump invalidates
+/// cached energies instead of serving stale ones, and every run manifest
+/// records it as provenance.
+///
+/// v2: model-zoo release — the serving batch path moved to the quantized
+/// flat compilation of the tree, so cached artifacts and manifests from
+/// the float-only era are no longer comparable.
+pub const MODEL_VERSION: u32 = 2;
 
 pub use accounting::{
     energy_of, energy_waterfall, render_breakdown, EnergyBreakdown, EnergyWaterfall, WaterfallEntry,

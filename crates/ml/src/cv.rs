@@ -407,6 +407,53 @@ mod tests {
     }
 
     #[test]
+    fn zoo_models_are_bit_identical_across_thread_counts() {
+        // The acceptance bar for the model zoo: forest and GBT runs under
+        // repeated CV must not depend on --cv-threads. The forest derives
+        // all randomness from the per-repetition seed; the GBT fit is
+        // deterministic outright.
+        use crate::forest::{ForestParams, RandomForest};
+        use crate::gbt::{Gbt, GbtParams};
+        let features: Vec<Vec<f64>> = (0..48)
+            .map(|i| vec![(i % 8) as f64, (i % 5) as f64 * 0.5, i as f64])
+            .collect();
+        let labels: Vec<usize> = (0..48).map(|i| i % 3).collect();
+        let data = Dataset::new(
+            features,
+            labels,
+            vec!["a".into(), "b".into(), "c".into()],
+            3,
+        )
+        .expect("dataset");
+
+        let make_forest = |seed: u64| {
+            RandomForest::new(ForestParams {
+                n_trees: 7,
+                seed: seed + 1,
+                ..ForestParams::default()
+            })
+        };
+        assert_eq!(
+            repeated_cross_val_predict(&data, 4, 4, 0, 1, make_forest),
+            repeated_cross_val_predict(&data, 4, 4, 0, 4, make_forest),
+            "forest diverged across thread counts"
+        );
+
+        let make_gbt = |seed: u64| {
+            Gbt::new(GbtParams {
+                n_rounds: 6,
+                seed,
+                ..GbtParams::default()
+            })
+        };
+        assert_eq!(
+            repeated_cross_val_predict(&data, 4, 4, 0, 1, make_gbt),
+            repeated_cross_val_predict(&data, 4, 4, 0, 4, make_gbt),
+            "gbt diverged across thread counts"
+        );
+    }
+
+    #[test]
     fn instrumented_cv_records_one_span_per_repetition() {
         let features: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
         let labels: Vec<usize> = (0..30).map(|i| i % 2).collect();

@@ -1,0 +1,678 @@
+//! Flat, quantized compilation of zoo models for the serving hot path.
+//!
+//! Every zoo model (single [`DecisionTree`], [`RandomForest`],
+//! [`Gbt`]) lowers to one contiguous structure-of-arrays arena:
+//!
+//! * `feat`   — `u16` feature id per node (`u16::MAX` marks a leaf);
+//! * `thresh` — `i32` fixed-point threshold per node;
+//! * `left`   — `u32` left-child index per internal node (breadth-first
+//!   layout makes siblings adjacent, so the right child is `left + 1`);
+//!   for leaves this slot holds the payload (class id, or an index into
+//!   the additive-value table).
+//!
+//! Nodes are laid out **breadth-first per tree**, trees back-to-back, so
+//! the top of every tree — the levels every single prediction walks —
+//! occupies one dense cache-line-friendly prefix instead of the
+//! pointer-chasing pre-order the trainer produces. A node costs 10 bytes
+//! across the three arrays versus ~48 for the boxed float enum.
+//!
+//! # Quantization scale
+//!
+//! Thresholds are stored as `floor(t · 2^k)` with a **per-feature** scale
+//! `2^k`; incoming features are quantized once per prediction as
+//! `ceil(x · 2^k)`. `k` is the largest value `<= MAX_SCALE_BITS` (20, ≈
+//! six decimal digits of resolution) for which every threshold on that
+//! feature still fits in `i32`. Per-feature scales matter because the
+//! static feature space mixes large instruction counts with sub-unit
+//! ratio features: a shared scale wide enough for the counts would
+//! destroy the ratios' resolution.
+//!
+//! The rounding pair (`ceil` input, `floor` threshold) is chosen so the
+//! integer compare is *exactly* the float compare on the quantization
+//! grid: scaling by a power of two is lossless in f64, and for any real
+//! `r` and integer `q`, `r <= q ⟺ ceil(r) <= q`. Hence for every input
+//! `x`,
+//!
+//! ```text
+//! flat.predict(x) == float.predict(snap(x)),   snap(x) = ceil(x·2^k)/2^k
+//! ```
+//!
+//! bit-exactly — including `NaN`, which quantizes to `i64::MAX` and takes
+//! the right branch exactly as a float `NaN <= t` comparison does. Inputs
+//! already on the grid (in particular any value with `<= k` fractional
+//! bits) satisfy `snap(x) == x`, so for them the flat decision equals the
+//! float reference on the raw input. The proptest below proves both
+//! properties on randomized models and vectors; the dataset-level
+//! bit-exactness check lives with `EnergyPredictor` in `pulp-energy`.
+
+use crate::forest::RandomForest;
+use crate::gbt::Gbt;
+use crate::tree::{DecisionTree, NodeView};
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on the per-feature fixed-point scale exponent.
+pub const MAX_SCALE_BITS: u32 = 20;
+
+/// Leaf sentinel in the `feat` array.
+const LEAF: u16 = u16::MAX;
+
+/// How a compiled model turns per-tree leaf payloads into a class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum FlatKind {
+    /// One tree; the leaf payload is the class.
+    Single,
+    /// Majority vote over trees; ties resolve to the lowest class
+    /// (matching [`RandomForest::predict`]).
+    Vote,
+    /// Additive scores: leaf payloads index `values`; tree `i` belongs to
+    /// class `i / rounds`. Sums accumulate in the same order as
+    /// [`Gbt::scores`], so they are bit-identical f64s.
+    Additive {
+        rounds: usize,
+        base: Vec<f64>,
+        values: Vec<f64>,
+    },
+}
+
+/// A zoo model compiled to contiguous quantized node arrays.
+///
+/// Build one with [`FlatModel::from_tree`], [`FlatModel::from_forest`] or
+/// [`FlatModel::from_gbt`]; compilation is deterministic, so compiling
+/// the same fitted model twice yields equal `FlatModel`s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatModel {
+    n_features: usize,
+    n_classes: usize,
+    /// Per-feature scale exponents: feature `f` is quantized by `2^scale_bits[f]`.
+    scale_bits: Vec<u32>,
+    /// Feature id per node; [`LEAF`] marks leaves.
+    feat: Vec<u16>,
+    /// `floor(threshold · 2^k)` per internal node; 0 for leaves.
+    thresh: Vec<i32>,
+    /// Left-child index per internal node (right child = left + 1);
+    /// payload for leaves.
+    left: Vec<u32>,
+    /// First node of each tree.
+    roots: Vec<u32>,
+    kind: FlatKind,
+}
+
+/// Quantizes one input feature: exact power-of-two scaling then `ceil`.
+/// `NaN` maps to `i64::MAX` so it takes the right branch, exactly like a
+/// float `NaN <= t` comparison; the `as` cast saturates at the type
+/// bounds for overflowing magnitudes.
+#[inline]
+fn quantize(x: f64, scale: f64) -> i64 {
+    let q = (x * scale).ceil();
+    if q.is_nan() {
+        i64::MAX
+    } else {
+        q as i64
+    }
+}
+
+fn quantize_threshold(t: f64, scale: f64) -> i32 {
+    // In range by scale selection for any |t| < 2^31; clamp keeps the
+    // cast defined beyond the supported feature magnitude.
+    (t * scale).floor().clamp(i32::MIN as f64, i32::MAX as f64) as i32
+}
+
+fn threshold_fits(t: f64, bits: u32) -> bool {
+    let q = (t * (1u64 << bits) as f64).floor();
+    (i32::MIN as f64..=i32::MAX as f64).contains(&q)
+}
+
+/// Walks a float tree collecting `(global feature, threshold)` pairs and
+/// the max leaf class.
+fn scan_tree(
+    tree: &DecisionTree,
+    columns: Option<&[usize]>,
+    thresholds: &mut Vec<(usize, f64)>,
+    max_class: &mut usize,
+) {
+    for id in 0..tree.node_count() {
+        match tree.node(id) {
+            NodeView::Leaf { class } => *max_class = (*max_class).max(class),
+            NodeView::Internal {
+                feature, threshold, ..
+            } => {
+                let global = columns.map_or(feature, |c| c[feature]);
+                thresholds.push((global, threshold));
+            }
+        }
+    }
+}
+
+impl FlatModel {
+    /// Compiles a fitted single decision tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted.
+    pub fn from_tree(tree: &DecisionTree) -> Self {
+        assert!(tree.node_count() > 0, "cannot compile an unfitted tree");
+        let mut b = Builder::new(tree.n_features());
+        b.scan(tree, None);
+        b.finish_scales();
+        b.lower(tree, None, |_, class| class as u32);
+        b.build(FlatKind::Single)
+    }
+
+    /// Compiles a fitted random forest (majority vote, ties to the
+    /// lowest class — identical to [`RandomForest::predict`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest is unfitted.
+    pub fn from_forest(forest: &RandomForest) -> Self {
+        assert!(!forest.is_empty(), "cannot compile an unfitted forest");
+        let mut b = Builder::new(forest.n_features());
+        for (tree, columns) in forest.trees() {
+            b.scan(tree, Some(columns));
+        }
+        b.finish_scales();
+        for (tree, columns) in forest.trees() {
+            b.lower(tree, Some(columns), |_, class| class as u32);
+        }
+        b.build(FlatKind::Vote)
+    }
+
+    /// Compiles a fitted gradient-boosted ensemble. Leaf values are kept
+    /// as exact f64s and summed in [`Gbt::scores`] order, so the additive
+    /// scores (and therefore the argmax) are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is unfitted.
+    pub fn from_gbt(gbt: &Gbt) -> Self {
+        assert!(gbt.n_classes() > 0, "cannot compile an unfitted model");
+        let mut b = Builder::new(gbt.n_features());
+        for c in 0..gbt.n_classes() {
+            for (tree, _) in gbt.stages(c) {
+                b.scan(tree, None);
+            }
+        }
+        b.finish_scales();
+        let mut values = Vec::new();
+        for c in 0..gbt.n_classes() {
+            for (tree, leaf_values) in gbt.stages(c) {
+                b.lower(tree, None, |node_id, _| {
+                    values.push(leaf_values[node_id]);
+                    (values.len() - 1) as u32
+                });
+            }
+        }
+        let rounds = gbt.n_trees() / gbt.n_classes();
+        let mut model = b.build(FlatKind::Additive {
+            rounds,
+            base: gbt.base_scores().to_vec(),
+            values,
+        });
+        model.n_classes = gbt.n_classes();
+        model
+    }
+
+    /// Predicts the class of one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is shorter than the compiled feature count.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let mut scratch = Vec::with_capacity(self.n_features);
+        self.predict_with(&mut scratch, x)
+    }
+
+    /// [`predict`](Self::predict) with a caller-owned quantization
+    /// scratch buffer — the batch hot path's allocation-free entry.
+    pub fn predict_with(&self, scratch: &mut Vec<i64>, x: &[f64]) -> usize {
+        assert!(
+            x.len() >= self.n_features,
+            "feature vector too short: {} < {}",
+            x.len(),
+            self.n_features
+        );
+        scratch.clear();
+        scratch.extend(
+            x.iter()
+                .take(self.n_features)
+                .zip(&self.scale_bits)
+                .map(|(&v, &bits)| quantize(v, (1u64 << bits) as f64)),
+        );
+        match &self.kind {
+            FlatKind::Single => self.walk(self.roots[0] as usize, scratch) as usize,
+            FlatKind::Vote => {
+                let mut votes = vec![0u32; self.n_classes];
+                for &root in &self.roots {
+                    votes[self.walk(root as usize, scratch) as usize] += 1;
+                }
+                argmax_first(votes.iter().map(|&v| v as f64))
+            }
+            FlatKind::Additive {
+                rounds,
+                base,
+                values,
+            } => {
+                let mut scores = base.clone();
+                for (i, &root) in self.roots.iter().enumerate() {
+                    scores[i / rounds] += values[self.walk(root as usize, scratch) as usize];
+                }
+                argmax_first(scores.iter().copied())
+            }
+        }
+    }
+
+    #[inline]
+    fn walk(&self, mut id: usize, qx: &[i64]) -> u32 {
+        loop {
+            let f = self.feat[id];
+            if f == LEAF {
+                return self.left[id];
+            }
+            let l = self.left[id] as usize;
+            id = if qx[f as usize] <= self.thresh[id] as i64 {
+                l
+            } else {
+                l + 1
+            };
+        }
+    }
+
+    /// Grid representative of `x`: the input the integer path effectively
+    /// classifies, `snap(x)[f] = ceil(x[f]·2^k_f)/2^k_f`. The compiled
+    /// model satisfies `flat.predict(x) == float.predict(&flat.snap(x))`
+    /// for every `x` (see the module docs for why).
+    pub fn snap(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .take(self.n_features)
+            .zip(&self.scale_bits)
+            .map(|(&v, &bits)| {
+                let s = (1u64 << bits) as f64;
+                (v * s).ceil() / s
+            })
+            .collect()
+    }
+
+    /// Number of features the model was compiled for.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes the model can emit.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total node count across all compiled trees.
+    pub fn n_nodes(&self) -> usize {
+        self.feat.len()
+    }
+
+    /// Number of compiled trees.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Per-feature quantization scale exponents (`2^k` scales).
+    pub fn scale_bits(&self) -> &[u32] {
+        &self.scale_bits
+    }
+}
+
+/// First-wins argmax: strictly greater replaces, so ties keep the lowest
+/// index — the shared tie rule of the forest vote and the GBT argmax.
+fn argmax_first(scores: impl Iterator<Item = f64>) -> usize {
+    let mut best = 0;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, s) in scores.enumerate() {
+        if s > best_score {
+            best = i;
+            best_score = s;
+        }
+    }
+    best
+}
+
+struct Builder {
+    n_features: usize,
+    thresholds: Vec<(usize, f64)>,
+    max_class: usize,
+    scale_bits: Vec<u32>,
+    feat: Vec<u16>,
+    thresh: Vec<i32>,
+    left: Vec<u32>,
+    roots: Vec<u32>,
+}
+
+impl Builder {
+    fn new(n_features: usize) -> Self {
+        assert!(
+            n_features < LEAF as usize,
+            "feature space too wide for u16 ids"
+        );
+        Self {
+            n_features,
+            thresholds: Vec::new(),
+            max_class: 0,
+            scale_bits: Vec::new(),
+            feat: Vec::new(),
+            thresh: Vec::new(),
+            left: Vec::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    fn scan(&mut self, tree: &DecisionTree, columns: Option<&[usize]>) {
+        scan_tree(tree, columns, &mut self.thresholds, &mut self.max_class);
+    }
+
+    /// Fixes each feature's scale to the largest exponent under which all
+    /// of its thresholds still fit in `i32`.
+    fn finish_scales(&mut self) {
+        let mut bits = vec![MAX_SCALE_BITS; self.n_features];
+        for &(f, t) in &self.thresholds {
+            while bits[f] > 0 && !threshold_fits(t, bits[f]) {
+                bits[f] -= 1;
+            }
+        }
+        self.scale_bits = bits;
+    }
+
+    /// Appends `tree` in breadth-first order. `payload` maps a leaf's
+    /// original node id and class to the `u32` stored in its `left` slot.
+    fn lower(
+        &mut self,
+        tree: &DecisionTree,
+        columns: Option<&[usize]>,
+        mut payload: impl FnMut(usize, usize) -> u32,
+    ) {
+        let base = self.feat.len();
+        self.roots.push(base as u32);
+        // BFS queue of original node ids; slot i of this tree's region
+        // receives queue element i, so children enqueue in adjacent pairs.
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        let mut next_slot = base + 1;
+        while let Some(src) = queue.pop_front() {
+            match tree.node(src) {
+                NodeView::Leaf { class } => {
+                    self.feat.push(LEAF);
+                    self.thresh.push(0);
+                    self.left.push(payload(src, class));
+                }
+                NodeView::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let global = columns.map_or(feature, |c| c[feature]);
+                    let scale = (1u64 << self.scale_bits[global]) as f64;
+                    self.feat.push(global as u16);
+                    self.thresh.push(quantize_threshold(threshold, scale));
+                    self.left.push(next_slot as u32);
+                    next_slot += 2;
+                    queue.push_back(left);
+                    queue.push_back(right);
+                }
+            }
+        }
+        debug_assert_eq!(self.feat.len(), next_slot);
+    }
+
+    fn build(self, kind: FlatKind) -> FlatModel {
+        FlatModel {
+            n_features: self.n_features,
+            n_classes: self.max_class + 1,
+            scale_bits: self.scale_bits,
+            feat: self.feat,
+            thresh: self.thresh,
+            left: self.left,
+            roots: self.roots,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::forest::ForestParams;
+    use crate::gbt::GbtParams;
+    use crate::tree::TreeParams;
+
+    fn data(rows: Vec<Vec<f64>>, labels: Vec<usize>, n_classes: usize) -> Dataset {
+        let width = rows[0].len();
+        let names = (0..width).map(|i| format!("f{i}")).collect();
+        Dataset::new(rows, labels, names, n_classes).expect("valid dataset")
+    }
+
+    fn blobs() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, centre) in [0.0, 7.25, 19.5].iter().enumerate() {
+            for i in 0..10 {
+                rows.push(vec![centre + i as f64 * 0.125, (i % 3) as f64, 1000.5]);
+                labels.push(c);
+            }
+        }
+        data(rows, labels, 3)
+    }
+
+    #[test]
+    fn tree_compiles_bit_exact_on_grid_inputs() {
+        let d = blobs();
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        let flat = FlatModel::from_tree(&t);
+        // Training features have <= 3 fractional bits — far inside the
+        // grid — so flat must equal float on the raw inputs.
+        for i in 0..d.len() {
+            assert_eq!(flat.predict(d.row(i)), t.predict(d.row(i)), "row {i}");
+        }
+        assert_eq!(flat.n_trees(), 1);
+        assert_eq!(flat.n_nodes(), t.node_count());
+    }
+
+    #[test]
+    fn forest_compiles_bit_exact_on_grid_inputs() {
+        let d = blobs();
+        let mut f = RandomForest::new(ForestParams {
+            n_trees: 17,
+            max_features: Some(2),
+            ..ForestParams::default()
+        });
+        f.fit(&d);
+        let flat = FlatModel::from_forest(&f);
+        for i in 0..d.len() {
+            assert_eq!(flat.predict(d.row(i)), f.predict(d.row(i)), "row {i}");
+        }
+        assert_eq!(flat.n_trees(), 17);
+    }
+
+    #[test]
+    fn gbt_compiles_bit_exact_on_grid_inputs() {
+        let d = blobs();
+        let mut g = Gbt::new(GbtParams::default());
+        g.fit(&d);
+        let flat = FlatModel::from_gbt(&g);
+        for i in 0..d.len() {
+            assert_eq!(flat.predict(d.row(i)), g.predict(d.row(i)), "row {i}");
+        }
+        assert_eq!(flat.n_classes(), 3);
+        assert_eq!(flat.n_trees(), g.n_trees());
+    }
+
+    #[test]
+    fn layout_is_breadth_first_with_adjacent_siblings() {
+        let d = blobs();
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        let flat = FlatModel::from_tree(&t);
+        // Every internal node's children sit later in the arena, in an
+        // adjacent pair, and child indices increase monotonically across
+        // the scan — the defining property of BFS layout.
+        let mut last_child = 0;
+        for id in 0..flat.n_nodes() {
+            if flat.feat[id] != LEAF {
+                let l = flat.left[id] as usize;
+                assert!(l > id, "child {l} before parent {id}");
+                assert!(l > last_child);
+                last_child = l;
+                assert!(l + 1 < flat.n_nodes());
+            }
+        }
+    }
+
+    #[test]
+    fn large_magnitude_features_lower_their_scale_only() {
+        // Feature 0 is a constant ratio; feature 1 is a count of millions,
+        // which cannot carry 20 fractional bits in an i32. The split must
+        // land on the count, dropping only that feature's scale.
+        let d = data(
+            vec![
+                vec![0.125, 2_000_000.0],
+                vec![0.125, 2_000_001.0],
+                vec![0.125, 3_000_000.0],
+                vec![0.125, 3_000_100.0],
+            ],
+            vec![0, 0, 1, 1],
+            2,
+        );
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        let flat = FlatModel::from_tree(&t);
+        for i in 0..d.len() {
+            assert_eq!(flat.predict(d.row(i)), t.predict(d.row(i)));
+        }
+        // The split threshold is 2_500_000.5; its scale dropped to fit
+        // i32 while the unused ratio feature keeps full resolution.
+        assert!(flat.scale_bits()[1] < MAX_SCALE_BITS);
+        assert!(threshold_fits(2_500_000.5, flat.scale_bits()[1]));
+        assert_eq!(flat.scale_bits()[0], MAX_SCALE_BITS);
+    }
+
+    #[test]
+    fn nan_input_takes_the_right_branch_like_float() {
+        let d = blobs();
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        let flat = FlatModel::from_tree(&t);
+        let x = vec![f64::NAN, f64::NAN, f64::NAN];
+        assert_eq!(flat.predict(&x), t.predict(&x));
+    }
+
+    #[test]
+    fn compilation_is_deterministic_and_round_trips_serde() {
+        let d = blobs();
+        let mut g = Gbt::new(GbtParams::default());
+        g.fit(&d);
+        let a = FlatModel::from_gbt(&g);
+        let b = FlatModel::from_gbt(&g);
+        assert_eq!(a, b);
+        let json = serde_json::to_string(&a).expect("serialises");
+        let back: FlatModel = serde_json::from_str(&json).expect("parses");
+        assert_eq!(a, back);
+        for i in 0..d.len() {
+            assert_eq!(a.predict(d.row(i)), back.predict(d.row(i)));
+        }
+    }
+
+    #[test]
+    fn predict_with_reuses_scratch_identically() {
+        let d = blobs();
+        let mut f = RandomForest::new(ForestParams {
+            n_trees: 9,
+            ..ForestParams::default()
+        });
+        f.fit(&d);
+        let flat = FlatModel::from_forest(&f);
+        let mut scratch = Vec::new();
+        for i in 0..d.len() {
+            assert_eq!(
+                flat.predict_with(&mut scratch, d.row(i)),
+                flat.predict(d.row(i))
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::forest::ForestParams;
+    use crate::gbt::GbtParams;
+    use crate::tree::TreeParams;
+    use proptest::prelude::*;
+
+    /// A random small classification dataset: 3 features, up to 4
+    /// classes, feature magnitudes spanning ratios to thousands.
+    fn arb_dataset() -> impl Strategy<Value = Dataset> {
+        (prop::collection::vec(
+            (-10.0f64..10.0, 0.0f64..2000.0, -1.0f64..1.0, 0usize..4),
+            8..40,
+        ),)
+            .prop_map(|(rows,)| {
+                let labels: Vec<usize> = rows.iter().map(|r| r.3).collect();
+                let feats: Vec<Vec<f64>> = rows.into_iter().map(|r| vec![r.0, r.1, r.2]).collect();
+                Dataset::new(feats, labels, vec!["a".into(), "b".into(), "c".into()], 4)
+                    .expect("valid dataset")
+            })
+    }
+
+    fn arb_x() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(-3000.0f64..3000.0, 3)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The universal exactness contract: for ANY input, the quantized
+        /// flat walk decides exactly like the float model on the input's
+        /// grid representative — for the tree, the forest and the GBT.
+        #[test]
+        fn flat_matches_float_on_snapped_inputs(d in arb_dataset(), x in arb_x()) {
+            let mut tree = DecisionTree::new(TreeParams::default());
+            tree.fit(&d);
+            let flat = FlatModel::from_tree(&tree);
+            prop_assert_eq!(flat.predict(&x), tree.predict(&flat.snap(&x)));
+
+            let mut forest = RandomForest::new(ForestParams {
+                n_trees: 7,
+                max_features: Some(2),
+                ..ForestParams::default()
+            });
+            forest.fit(&d);
+            let flat = FlatModel::from_forest(&forest);
+            prop_assert_eq!(flat.predict(&x), forest.predict(&flat.snap(&x)));
+
+            let mut gbt = Gbt::new(GbtParams { n_rounds: 5, ..GbtParams::default() });
+            gbt.fit(&d);
+            let flat = FlatModel::from_gbt(&gbt);
+            prop_assert_eq!(flat.predict(&x), gbt.predict(&flat.snap(&x)));
+        }
+
+        /// Grid-aligned inputs are their own representative, so the flat
+        /// decision equals the float reference on the RAW vector.
+        #[test]
+        fn flat_matches_float_bit_exactly_on_grid_inputs(
+            d in arb_dataset(),
+            xq in prop::collection::vec(-2_000_000i64..2_000_000, 3),
+            bits in 0u32..10,
+        ) {
+            // Any value with <= 10 fractional bits is on every feature's
+            // grid (scales never drop below 2^10 for these magnitudes).
+            let x: Vec<f64> = xq.iter().map(|&q| q as f64 / (1u64 << bits) as f64 / 1024.0).collect();
+            let mut tree = DecisionTree::new(TreeParams::default());
+            tree.fit(&d);
+            let flat = FlatModel::from_tree(&tree);
+            prop_assert!(flat.scale_bits().iter().all(|&b| b >= bits + 10));
+            prop_assert_eq!(flat.predict(&x), tree.predict(&x));
+
+            let mut gbt = Gbt::new(GbtParams { n_rounds: 4, ..GbtParams::default() });
+            gbt.fit(&d);
+            let flat = FlatModel::from_gbt(&gbt);
+            prop_assert_eq!(flat.predict(&x), gbt.predict(&x));
+        }
+    }
+}

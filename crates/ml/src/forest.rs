@@ -2,7 +2,7 @@
 //!
 //! The paper's related work uses random forests for energy prediction
 //! (Benedict et al.), and its future work calls for stronger models than
-//! a single tree; the `forest_extension` bench compares both on the same
+//! a single tree; the `pulp_cli bench models` zoo compares both on the same
 //! protocol.
 
 use crate::dataset::Dataset;
@@ -144,6 +144,20 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// Number of features seen at fit time (0 for an unfitted forest).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Iterates the fitted trees as `(tree, columns)`, where `columns`
+    /// maps the tree's local feature indices back to the full feature
+    /// space — the flat compiler's input.
+    pub fn trees(&self) -> impl Iterator<Item = (&DecisionTree, &[usize])> {
+        self.trees
+            .iter()
+            .map(|ft| (&ft.tree, ft.columns.as_slice()))
+    }
+
     /// Returns `true` before fitting.
     pub fn is_empty(&self) -> bool {
         self.trees.is_empty()
@@ -213,5 +227,80 @@ mod tests {
     fn predict_requires_fit() {
         let f = RandomForest::new(ForestParams::default());
         let _ = f.predict(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn importances_map_subset_columns_back_to_full_space() {
+        // Four features, two pure noise; per-tree importances live in a
+        // 2-column local space and must land on the right full-space
+        // columns after aggregation.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.1;
+            features.push(vec![t, 5.0, t + 0.5, 5.0]);
+            labels.push(0);
+            features.push(vec![10.0 + t, 5.0, 9.0 - t, 5.0]);
+            labels.push(1);
+        }
+        let names = vec!["x".into(), "c0".into(), "y".into(), "c1".into()];
+        let d = Dataset::new(features, labels, names, 2).expect("valid dataset");
+        let mut f = RandomForest::new(ForestParams {
+            n_trees: 21,
+            max_features: Some(2),
+            ..ForestParams::default()
+        });
+        f.fit(&d);
+        let imp = f.feature_importances();
+        assert_eq!(imp.len(), 4);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The constant columns can never split; all mass is on x and y.
+        assert_eq!(imp[1], 0.0);
+        assert_eq!(imp[3], 0.0);
+        assert!(imp[0] > 0.0 && imp[2] > 0.0);
+    }
+
+    #[test]
+    fn importances_of_unsplittable_forest_stay_zero_not_nan() {
+        // Every feature constant: no tree can split, the normaliser is 0,
+        // and the importances must come back as zeros (not NaN from 0/0).
+        let d = Dataset::new(
+            vec![vec![1.0, 2.0]; 8],
+            vec![0, 1, 0, 1, 0, 1, 0, 1],
+            vec!["a".into(), "b".into()],
+            2,
+        )
+        .expect("valid dataset");
+        let mut f = RandomForest::new(ForestParams {
+            n_trees: 5,
+            ..ForestParams::default()
+        });
+        f.fit(&d);
+        let imp = f.feature_importances();
+        assert_eq!(imp, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn importances_before_fit_are_empty() {
+        let f = RandomForest::new(ForestParams::default());
+        assert!(f.feature_importances().is_empty());
+        assert_eq!(f.n_features(), 0);
+    }
+
+    #[test]
+    fn trees_expose_sorted_column_subsets() {
+        let d = blob_data(10);
+        let mut f = RandomForest::new(ForestParams {
+            n_trees: 9,
+            max_features: Some(1),
+            ..ForestParams::default()
+        });
+        f.fit(&d);
+        assert_eq!(f.trees().count(), 9);
+        for (tree, columns) in f.trees() {
+            assert_eq!(columns.len(), 1);
+            assert!(columns[0] < d.n_features());
+            assert_eq!(tree.n_features(), 1);
+        }
     }
 }

@@ -6,6 +6,11 @@
 //!   (the paper's classifier — chosen over deep models precisely because
 //!   its importances are inspectable, Table IV);
 //! * a [`RandomForest`] for the paper's future-work comparison;
+//! * a gradient-boosted ensemble ([`Gbt`]) — one-vs-rest shallow trees
+//!   with shrinkage, rounding out the model zoo;
+//! * a quantized flat compiler ([`FlatModel`]) that lowers any zoo model
+//!   to contiguous breadth-first node arrays (u16 feature ids, i32
+//!   fixed-point thresholds) for the serving hot path;
 //! * stratified k-fold cross-validation with seeded repetitions
 //!   ([`cv::cross_val_predict`]), matching the paper's "10-fold stratified
 //!   cross-validation repeated 100 times with random seeds";
@@ -32,7 +37,9 @@
 
 pub mod cv;
 pub mod dataset;
+pub mod flat;
 pub mod forest;
+pub mod gbt;
 pub mod knn;
 pub mod metrics;
 pub mod split;
@@ -43,10 +50,12 @@ pub use cv::{
     repeated_cross_val_predict_instrumented, stratified_folds, Classifier,
 };
 pub use dataset::{Dataset, DatasetError};
+pub use flat::{FlatModel, MAX_SCALE_BITS};
 pub use forest::{ForestParams, RandomForest};
+pub use gbt::{Gbt, GbtParams};
 pub use knn::{KNearestNeighbors, KnnParams};
 pub use metrics::{
     accuracy, class_scores, confusion_matrix, mean_std, tolerance_accuracy, ClassScore,
 };
 pub use split::{best_split, best_split_with, entropy, gini, Criterion, Split};
-pub use tree::{DecisionTree, TreeParams};
+pub use tree::{DecisionTree, NodeView, TreeParams};

@@ -46,6 +46,30 @@ enum Node {
     },
 }
 
+/// A borrowed view of one fitted tree node, for compilation passes (such
+/// as [`crate::flat::FlatModel`]) that need to walk the structure without
+/// exposing the private storage. Node ids index the tree's internal
+/// pre-order array; the root is always id 0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeView {
+    /// Terminal node predicting `class`.
+    Leaf {
+        /// Predicted class index.
+        class: usize,
+    },
+    /// Internal test: samples with `x[feature] <= threshold` descend left.
+    Internal {
+        /// Feature column tested.
+        feature: usize,
+        /// Split threshold (`<=` goes left).
+        threshold: f64,
+        /// Node id of the left child.
+        left: usize,
+        /// Node id of the right child.
+        right: usize,
+    },
+}
+
 /// A fitted CART decision tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionTree {
@@ -201,6 +225,59 @@ impl DecisionTree {
     /// Number of nodes in the fitted tree.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// A view of node `id` (`0..node_count()`); the root is id 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (including any call on an unfitted
+    /// tree, which has no nodes).
+    pub fn node(&self, id: usize) -> NodeView {
+        match &self.nodes[id] {
+            Node::Leaf { class } => NodeView::Leaf { class: *class },
+            Node::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+            } => NodeView::Internal {
+                feature: *feature,
+                threshold: *threshold,
+                left: *left,
+                right: *right,
+            },
+        }
+    }
+
+    /// Id of the leaf that `x` falls into (the node-id counterpart of
+    /// [`predict`](Self::predict), used for leaf-value fitting in
+    /// gradient boosting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted or `x` is shorter than the training
+    /// feature count.
+    pub fn leaf_id(&self, x: &[f64]) -> usize {
+        assert!(!self.nodes.is_empty(), "leaf_id called on an unfitted tree");
+        let mut id = 0;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { .. } => return id,
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
     }
 
     /// The hyperparameters this tree was configured with.
@@ -408,6 +485,32 @@ mod tests {
         t.fit(&d);
         for i in 0..d.len() {
             assert_eq!(t.predict(d.row(i)), d.label(i));
+        }
+    }
+
+    #[test]
+    fn node_views_replay_predictions() {
+        let d = xor_data();
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        // Walking the public node views must reach the same class as
+        // predict, and leaf_id must land on a leaf view.
+        for i in 0..d.len() {
+            let x = d.row(i);
+            let mut id = 0;
+            let class = loop {
+                match t.node(id) {
+                    NodeView::Leaf { class } => break class,
+                    NodeView::Internal {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => id = if x[feature] <= threshold { left } else { right },
+                }
+            };
+            assert_eq!(class, t.predict(x));
+            assert!(matches!(t.node(t.leaf_id(x)), NodeView::Leaf { class: c } if c == class));
         }
     }
 
